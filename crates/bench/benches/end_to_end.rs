@@ -1,0 +1,119 @@
+//! OntoAccess vs. native triple store: the same SPARQL/Update stream
+//! through (a) the mediator — parse, translate, constraint-check,
+//! FK-sort, execute on the relational engine — and (b) a native
+//! in-memory triple store. Quantifies the paper's §3 trade-off: what
+//! constraint checking and translation cost on top of raw triple
+//! manipulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::Endpoint;
+use rdf::Graph;
+
+fn setup(n: usize) -> (Endpoint, Graph, Vec<String>) {
+    let db = fixtures::data::populated_database(n, 5);
+    let ep = Endpoint::new(db, fixtures::mapping()).unwrap();
+    let graph = ep.materialize().unwrap();
+    // Insert-only workload so both sides accept everything.
+    let updates: Vec<String> = (0..20)
+        .map(|i| fixtures::workload::insert_author(2_000_000 + i, (i % 4) as usize, None))
+        .collect();
+    (ep, graph, updates)
+}
+
+fn bench_insert_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/insert_stream_20ops");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let (ep, graph, updates) = setup(n);
+        group.bench_with_input(
+            BenchmarkId::new("ontoaccess", n),
+            &updates,
+            |b, updates| {
+                b.iter_batched(
+                    || ep.clone(),
+                    |mut ep| {
+                        for u in updates {
+                            ep.execute_update(u).unwrap();
+                        }
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        let prefixes = ep.prefixes().clone();
+        let parsed: Vec<sparql::UpdateOp> = updates
+            .iter()
+            .map(|u| sparql::parse_update_with_prefixes(u, prefixes.clone()).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("native_store", n),
+            &parsed,
+            |b, parsed| {
+                b.iter_batched(
+                    || graph.clone(),
+                    |mut g| {
+                        for op in parsed {
+                            sparql::apply(&mut g, op).unwrap();
+                        }
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_modify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/modify_email");
+    group.sample_size(20);
+    let ep = fixtures::endpoint_with_sample_data();
+    let graph = ep.materialize().unwrap();
+    let request = fixtures::workload::with_prefixes(
+        "MODIFY DELETE { ?x foaf:mbox ?m . } \
+         INSERT { ?x foaf:mbox <mailto:n@x.ch> . } \
+         WHERE { ?x foaf:firstName \"Matthias\" ; foaf:mbox ?m . }",
+    );
+    group.bench_function("ontoaccess", |b| {
+        b.iter_batched(
+            || ep.clone(),
+            |mut ep| ep.execute_update(&request).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let op =
+        sparql::parse_update_with_prefixes(&request, ep.prefixes().clone()).unwrap();
+    group.bench_function("native_store", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| sparql::apply(&mut g, &op).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    // Cost of producing the full RDF dump (the D2R-style export path).
+    let mut group = c.benchmark_group("end_to_end/materialize");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let db = fixtures::data::populated_database(n, 5);
+        let mapping = fixtures::mapping();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| ontoaccess::materialize(db, &mapping).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_insert_stream, bench_single_modify, bench_materialize
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Cost of Algorithm 1's statement sort (step 5) as the number of
+//! statements per operation grows — the paper's Listing 15 shape
+//! replicated k times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::translate::sort::sort_statements;
+use rel::sql::{parse, Statement};
+
+fn dataset_statements(k: usize) -> Vec<Statement> {
+    // k complete datasets, deliberately in dependency-violating order
+    // (children first) so the sort has real work to do.
+    let mut out = Vec::new();
+    for i in 0..k {
+        let base = 10_000 + i as i64 * 10;
+        for text in [
+            format!(
+                "INSERT INTO publication_author (publication, author) VALUES ({base}, {base});"
+            ),
+            format!(
+                "INSERT INTO publication (id, title, year, type, publisher) \
+                 VALUES ({base}, 'P', 2009, {base}, {base});"
+            ),
+            format!("INSERT INTO author (id, lastname, team) VALUES ({base}, 'L', {base});"),
+            format!("INSERT INTO team (id, name) VALUES ({base}, 'T');"),
+            format!("INSERT INTO pubtype (id, type) VALUES ({base}, 'x');"),
+            format!("INSERT INTO publisher (id, name) VALUES ({base}, 'p');"),
+        ] {
+            out.push(parse(&text).unwrap());
+        }
+    }
+    out
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let schema = fixtures::schema();
+    let mut group = c.benchmark_group("fk_sort/statements");
+    for k in [1usize, 4, 16, 64] {
+        let statements = dataset_statements(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(statements.len()),
+            &statements,
+            |b, stmts| {
+                b.iter_batched(
+                    || stmts.clone(),
+                    |stmts| sort_statements(&schema, stmts).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sort_already_ordered(c: &mut Criterion) {
+    // Best case: input already satisfies every precedence.
+    let schema = fixtures::schema();
+    let sorted = sort_statements(&schema, dataset_statements(16)).unwrap();
+    c.bench_function("fk_sort/already_ordered_96", |b| {
+        b.iter_batched(
+            || sorted.clone(),
+            |stmts| sort_statements(&schema, stmts).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sort, bench_sort_already_ordered
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Front-end parsing throughput: SPARQL/Update requests (the paper's
+//! listing shapes), SPARQL queries, Turtle mapping documents, and the
+//! SQL round-trip of emitted statements.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rdf::namespace::PrefixMap;
+
+fn bench_sparql_update(c: &mut Criterion) {
+    let inputs = [
+        ("listing_9", fixtures::workload::insert_author(6, 3, Some(5))),
+        ("listing_15", fixtures::workload::insert_complete_dataset(12)),
+        ("listing_17", fixtures::workload::delete_author_email(6)),
+        ("listing_11", fixtures::workload::modify_author_email(6)),
+    ];
+    let mut group = c.benchmark_group("parse/sparql_update");
+    for (name, text) in &inputs {
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparql_query(c: &mut Criterion) {
+    let text = fixtures::workload::select_publications_with_authors();
+    let mut group = c.benchmark_group("parse/sparql_query");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("link_join_select", |b| {
+        b.iter(|| sparql::parse_query_with_prefixes(&text, PrefixMap::common()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_turtle_mapping(c: &mut Criterion) {
+    let text = r3m::to_turtle(&fixtures::mapping());
+    let mut group = c.benchmark_group("parse/turtle_mapping");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("full_mapping_document", |b| {
+        b.iter(|| r3m::from_turtle(&text).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sql_roundtrip(c: &mut Criterion) {
+    let statements = [
+        "INSERT INTO author (id, title, firstname, lastname, email, team) \
+         VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);",
+        "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';",
+        "SELECT DISTINCT t0.id AS x, t0.email FROM author t0, team t1 WHERE t0.team = t1.id;",
+    ];
+    c.bench_function("parse/sql_statements", |b| {
+        b.iter(|| {
+            for s in &statements {
+                criterion::black_box(rel::sql::parse(s).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sparql_update,
+    bench_sparql_query,
+    bench_turtle_mapping,
+    bench_sql_roundtrip
+}
+criterion_main!(benches);

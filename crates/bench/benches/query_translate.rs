@@ -1,0 +1,82 @@
+//! SPARQL SELECT → SQL translation and execution (the read path
+//! Algorithm 2 depends on), vs. native BGP matching on the materialized
+//! graph, swept over database size and join depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::Endpoint;
+use rdf::namespace::PrefixMap;
+use sparql::Query;
+
+fn parse_select(text: &str) -> sparql::SelectQuery {
+    match sparql::parse_query_with_prefixes(text, PrefixMap::common()).unwrap() {
+        Query::Select(s) => s,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let queries = [
+        ("single_table", fixtures::workload::with_prefixes(
+            "SELECT ?x ?n WHERE { ?x a foaf:Person ; foaf:family_name ?n . }",
+        )),
+        ("fk_join", fixtures::workload::select_authors_with_team()),
+        ("link_join", fixtures::workload::select_publications_with_authors()),
+        ("filter", fixtures::workload::select_recent_publications(2000)),
+    ];
+    for (name, text) in &queries {
+        let query = parse_select(text);
+        let mut group = c.benchmark_group(format!("query_translate/{name}"));
+        group.sample_size(20);
+        for n in [10usize, 100, 400] {
+            let db = fixtures::data::populated_database(n, 5);
+            let graph = ontoaccess::materialize(&db, &fixtures::mapping()).unwrap();
+            let ep = Endpoint::new(db, fixtures::mapping()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("sql_translation", n),
+                &query,
+                |b, query| {
+                    b.iter_batched(
+                        || ep.clone(),
+                        |mut ep| {
+                            ontoaccess::execute_select(
+                                ep.database_mut(),
+                                &fixtures::mapping(),
+                                query,
+                            )
+                            .unwrap()
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("native_bgp", n),
+                &query,
+                |b, query| b.iter(|| sparql::evaluate_select(&graph, query)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_compile_only(c: &mut Criterion) {
+    // Pure translation cost (no execution): the fixed overhead the
+    // mediator adds to every query.
+    let db = fixtures::data::populated_database(100, 5);
+    let mapping = fixtures::mapping();
+    let query = parse_select(&fixtures::workload::select_publications_with_authors());
+    c.bench_function("query_translate/compile_only", |b| {
+        b.iter(|| ontoaccess::compile_select(&db, &mapping, &query).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_queries, bench_compile_only
+}
+criterion_main!(benches);

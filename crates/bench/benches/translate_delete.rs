@@ -1,0 +1,88 @@
+//! Translation latency of `DELETE DATA` (Algorithm 1): the
+//! attribute-nulling UPDATE branch vs. the full row DELETE branch, and
+//! the row lookup cost as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::translate;
+use rdf::namespace::PrefixMap;
+use rel::Value;
+use sparql::UpdateOp;
+
+fn parse_delete(text: &str) -> Vec<rdf::Triple> {
+    match sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap() {
+        UpdateOp::DeleteData { triples } => triples,
+        _ => unreachable!(),
+    }
+}
+
+// A database whose author ID_BASE has a known email.
+fn db_with_known_email(n: usize) -> rel::Database {
+    let mut db = fixtures::data::populated_database(n, 1);
+    let rid = db
+        .find_by_pk("author", &[Value::Int(fixtures::data::ID_BASE)])
+        .unwrap()
+        .unwrap();
+    db.update_row(
+        "author",
+        rid,
+        &[(
+            "email".to_owned(),
+            Value::text(format!("author{}@example.org", fixtures::data::ID_BASE)),
+        )],
+    )
+    .unwrap();
+    db
+}
+
+fn bench_update_branch(c: &mut Criterion) {
+    let mapping = fixtures::mapping();
+    let mut group = c.benchmark_group("translate_delete/update_branch");
+    for n in [10usize, 100, 1000] {
+        let db = db_with_known_email(n);
+        let triples = parse_delete(&fixtures::workload::delete_author_email(
+            fixtures::data::ID_BASE,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| {
+                translate::delete::translate_delete_data(db, &mapping, &triples).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_delete_branch(c: &mut Criterion) {
+    // Full coverage incl. the type triple → DELETE FROM.
+    let mapping = fixtures::mapping();
+    let mut db = fixtures::database();
+    db.insert(
+        "team",
+        &[
+            ("id".to_owned(), Value::Int(4)),
+            ("name".to_owned(), Value::text("Database Technology")),
+            ("code".to_owned(), Value::text("DBTG")),
+        ],
+    )
+    .unwrap();
+    let triples = parse_delete(
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         PREFIX ont: <http://example.org/ontology#>\n\
+         PREFIX ex: <http://example.org/db/>\n\
+         DELETE DATA { ex:team4 a foaf:Group ; \
+           foaf:name \"Database Technology\" ; ont:teamCode \"DBTG\" . }",
+    );
+    c.bench_function("translate_delete/row_delete_branch", |b| {
+        b.iter(|| translate::delete::translate_delete_data(&db, &mapping, &triples).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_update_branch, bench_row_delete_branch
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Translation latency of `INSERT DATA` (Algorithm 1), swept over the
+//! number of properties per subject and the size of the database the
+//! translation consults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::{translate, TranslateOptions};
+use rdf::namespace::PrefixMap;
+use sparql::UpdateOp;
+
+fn parse_insert(text: &str) -> Vec<rdf::Triple> {
+    match sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap() {
+        UpdateOp::InsertData { triples } => triples,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_by_property_count(c: &mut Criterion) {
+    let db = fixtures::data::populated_database(100, 1);
+    let mapping = fixtures::mapping();
+    let mut group = c.benchmark_group("translate_insert/properties");
+    for props in [0usize, 1, 2, 3] {
+        let triples = parse_insert(&fixtures::workload::insert_author(999_999, props, None));
+        group.bench_with_input(BenchmarkId::from_parameter(props + 1), &triples, |b, t| {
+            b.iter(|| {
+                translate::insert::translate_insert_data(
+                    &db,
+                    &mapping,
+                    t,
+                    TranslateOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_database_size(c: &mut Criterion) {
+    let mapping = fixtures::mapping();
+    let triples = parse_insert(&fixtures::workload::insert_author(999_999, 3, None));
+    let mut group = c.benchmark_group("translate_insert/db_size");
+    for n in [10usize, 100, 1000] {
+        let db = fixtures::data::populated_database(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| {
+                translate::insert::translate_insert_data(
+                    db,
+                    &mapping,
+                    &triples,
+                    TranslateOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_complete_dataset(c: &mut Criterion) {
+    // Listing 15's six-table shape: grouping + identification + FK
+    // checks across sibling groups.
+    let db = fixtures::data::populated_database(100, 1);
+    let mapping = fixtures::mapping();
+    let triples = parse_insert(&fixtures::workload::insert_complete_dataset(999_999));
+    c.bench_function("translate_insert/complete_dataset", |b| {
+        b.iter(|| {
+            translate::insert::translate_insert_data(
+                &db,
+                &mapping,
+                &triples,
+                TranslateOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_by_property_count,
+    bench_by_database_size,
+    bench_complete_dataset
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! End-to-end `MODIFY` cost (Algorithm 2), swept over the number of
+//! bindings the WHERE clause produces — each binding yields one
+//! DELETE DATA/INSERT DATA round through Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::Endpoint;
+use rel::Value;
+
+// Database where team `ID_BASE` has exactly `members` authors, all with
+// a title (so the MODIFY template binds for each).
+fn endpoint_with_team_of(members: usize) -> Endpoint {
+    let mut db = fixtures::database();
+    let a = |name: &str, v: Value| (name.to_owned(), v);
+    let team = fixtures::data::ID_BASE;
+    db.insert(
+        "team",
+        &[
+            a("id", Value::Int(team)),
+            a("name", Value::text("Big Team")),
+            a("code", Value::text("BIG")),
+        ],
+    )
+    .unwrap();
+    for i in 0..members {
+        let id = team + 1 + i as i64;
+        db.insert(
+            "author",
+            &[
+                a("id", Value::Int(id)),
+                a("lastname", Value::text(format!("Last{id}"))),
+                a("title", Value::text("Dr")),
+                a("team", Value::Int(team)),
+            ],
+        )
+        .unwrap();
+    }
+    Endpoint::new(db, fixtures::mapping()).unwrap()
+}
+
+fn bench_by_binding_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate_modify/bindings");
+    group.sample_size(20);
+    for members in [1usize, 4, 16, 64] {
+        let request =
+            fixtures::workload::modify_team_members(fixtures::data::ID_BASE, "Prof");
+        let ep = endpoint_with_team_of(members);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(members),
+            &request,
+            |b, request| {
+                b.iter_batched(
+                    || ep.clone(),
+                    |mut ep| ep.execute_update(request).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_optimization_effect(c: &mut Criterion) {
+    // §5.2 ablation: replacement MODIFY (delete optimized away, one
+    // UPDATE) vs. explicit delete-then-insert as two operations (UPDATE
+    // to NULL + UPDATE to value).
+    let mut group = c.benchmark_group("translate_modify/replace_vs_two_ops");
+    group.sample_size(20);
+    // Sample data has author6 with a known email — both variants
+    // replace it.
+    let ep = fixtures::endpoint_with_sample_data();
+    group.bench_function("modify_replacement", |b| {
+        b.iter_batched(
+            || ep.clone(),
+            |mut ep| {
+                ep.execute_update(
+                    "MODIFY DELETE { ?x foaf:mbox ?m . } \
+                     INSERT { ?x foaf:mbox <mailto:n@x.ch> . } \
+                     WHERE { ?x foaf:family_name \"Hert\" ; foaf:mbox ?m . }",
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("delete_then_insert", |b| {
+        b.iter_batched(
+            || ep.clone(),
+            |mut ep| {
+                ep.execute_update(
+                    "DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
+                )
+                .unwrap();
+                ep.execute_update(
+                    "INSERT DATA { ex:author6 foaf:mbox <mailto:n@x.ch> . }",
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_by_binding_count, bench_optimization_effect
+}
+criterion_main!(benches);

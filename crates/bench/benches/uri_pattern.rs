@@ -1,0 +1,57 @@
+//! URI pattern throughput: matching (Algorithm 1 step 2 runs one match
+//! per candidate pattern per subject) and generation (every
+//! materialized row builds one instance URI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r3m::UriPattern;
+
+fn bench_match(c: &mut Criterion) {
+    let mapping = fixtures::mapping();
+    let uris = [
+        rdf::Iri::parse("http://example.org/db/author12345").unwrap(),
+        rdf::Iri::parse("http://example.org/db/publisher3").unwrap(),
+        rdf::Iri::parse("http://example.org/db/pubtype4").unwrap(),
+        rdf::Iri::parse("http://example.org/db/pub999").unwrap(),
+    ];
+    c.bench_function("uri_pattern/identify_4_uris", |b| {
+        b.iter(|| {
+            for uri in &uris {
+                criterion::black_box(mapping.identify(uri));
+            }
+        })
+    });
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let pattern = UriPattern::parse("author%%id%%").unwrap();
+    c.bench_function("uri_pattern/generate", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = i.to_string();
+            pattern
+                .generate(Some("http://example.org/db/"), &|_| Some(id.clone()))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_mismatch_rejection(c: &mut Criterion) {
+    // Worst case for identification: a URI matching no pattern.
+    let mapping = fixtures::mapping();
+    let uri = rdf::Iri::parse("http://example.org/db/wizard12345").unwrap();
+    c.bench_function("uri_pattern/identify_miss", |b| {
+        b.iter(|| criterion::black_box(mapping.identify(&uri)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_match, bench_generate, bench_mismatch_rejection
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark harness support for the OntoAccess reproduction. The
+//! interesting code lives in `benches/` (Criterion benchmarks, one per
+//! experiment family) and `src/bin/experiments.rs` (regenerates every
+//! figure/table/listing of the paper; see EXPERIMENTS.md).

@@ -1,0 +1,225 @@
+//! Conversions between RDF terms and SQL values, fixed by the mapping.
+//!
+//! These conversions define the *canonical RDF view* of the database: the
+//! same functions are used by the translator (term → value on the way
+//! in) and by [`mod@crate::materialize`] (value → term on the way out), so
+//! the two directions compose to the identity on the supported types —
+//! the bijectivity that, per the paper's §2 discussion of view updates,
+//! sidesteps the hardest parts of the view update problem.
+
+use crate::error::OntoError;
+use rdf::{Literal, LiteralKind, Term};
+use rel::{SqlType, Value};
+
+/// Convert an RDF literal to a SQL value for a column of type `ty`.
+///
+/// Plain literals are accepted for every type when their lexical form
+/// parses (the paper's Listing 15 writes `ont:pubYear "2009"` into an
+/// INTEGER column); typed literals must be of a compatible datatype.
+pub fn literal_to_value(lit: &Literal, ty: SqlType) -> Result<Value, String> {
+    match ty {
+        SqlType::Integer => lit
+            .as_int()
+            .map(Value::Int)
+            .ok_or_else(|| format!("{lit} is not an integer")),
+        SqlType::Double => lit
+            .as_double()
+            .map(Value::Double)
+            .ok_or_else(|| format!("{lit} is not a number")),
+        SqlType::Boolean => match lit.as_bool() {
+            Some(b) => Ok(Value::Bool(b)),
+            None => match lit.lexical() {
+                "true" if plainish(lit) => Ok(Value::Bool(true)),
+                "false" if plainish(lit) => Ok(Value::Bool(false)),
+                _ => Err(format!("{lit} is not a boolean")),
+            },
+        },
+        SqlType::Varchar => {
+            if lit.is_stringy() {
+                Ok(Value::Text(lit.lexical().to_owned()))
+            } else {
+                Err(format!("{lit} is not a string"))
+            }
+        }
+    }
+}
+
+fn plainish(lit: &Literal) -> bool {
+    matches!(lit.kind(), LiteralKind::Plain)
+}
+
+/// Convert a SQL value to its canonical RDF literal.
+///
+/// NULL has no triple (the attribute is simply absent from the RDF
+/// view), so this returns `None` for NULL.
+pub fn value_to_literal(value: &Value) -> Option<Literal> {
+    match value {
+        Value::Null => None,
+        Value::Int(i) => Some(Literal::integer(*i)),
+        Value::Text(s) => Some(Literal::plain(s.clone())),
+        Value::Bool(b) => Some(Literal::boolean(*b)),
+        Value::Double(d) => Some(Literal::double(*d)),
+    }
+}
+
+/// Convert a SQL value to an RDF term (literal form).
+pub fn value_to_term(value: &Value) -> Option<Term> {
+    value_to_literal(value).map(Term::Literal)
+}
+
+/// Parse a URI-pattern-extracted string (always textual) into the value
+/// of a typed key column. Used when Algorithm 1 extracts `"1"` from
+/// `…/author1` for the INTEGER attribute `id`.
+pub fn pattern_value(raw: &str, ty: SqlType) -> Result<Value, String> {
+    match ty {
+        SqlType::Integer => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("{raw:?} is not an integer key")),
+        SqlType::Varchar => Ok(Value::Text(raw.to_owned())),
+        SqlType::Boolean => match raw {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(format!("{raw:?} is not a boolean key")),
+        },
+        SqlType::Double => raw
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|_| format!("{raw:?} is not a numeric key")),
+    }
+}
+
+/// Render a value for URI pattern substitution (inverse of
+/// [`pattern_value`] on the lexical level).
+pub fn value_to_pattern(value: &Value) -> Option<String> {
+    match value {
+        Value::Null => None,
+        Value::Int(i) => Some(i.to_string()),
+        Value::Text(s) => Some(s.clone()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Double(d) => Some(format!("{d:?}")),
+    }
+}
+
+/// "Does the stored value equal the literal in the request?" — the
+/// comparison DELETE DATA uses to verify the triple it removes actually
+/// exists (value semantics: plain `"5"` matches stored integer 5).
+pub fn literal_matches_value(lit: &Literal, value: &Value) -> bool {
+    match value {
+        Value::Null => false,
+        Value::Int(i) => lit.as_int() == Some(*i),
+        Value::Text(s) => lit.is_stringy() && lit.lexical() == s,
+        Value::Bool(b) => {
+            lit.as_bool() == Some(*b)
+                || (plainish(lit) && lit.lexical() == if *b { "true" } else { "false" })
+        }
+        Value::Double(d) => lit.as_double() == Some(*d),
+    }
+}
+
+/// Helper composing [`literal_to_value`] with an [`OntoError`] payload.
+pub fn object_literal_to_value(
+    object: &Term,
+    table: &str,
+    attribute: &str,
+    ty: SqlType,
+) -> Result<Value, OntoError> {
+    let lit = object
+        .as_literal()
+        .ok_or_else(|| OntoError::ValueIncompatible {
+            table: table.to_owned(),
+            attribute: attribute.to_owned(),
+            value: object.clone(),
+            reason: "a data property requires a literal object".into(),
+        })?;
+    literal_to_value(lit, ty).map_err(|reason| OntoError::ValueIncompatible {
+        table: table.to_owned(),
+        attribute: attribute.to_owned(),
+        value: object.clone(),
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_literal_into_integer_column() {
+        // Listing 15: ont:pubYear "2009" lands in INTEGER year.
+        assert_eq!(
+            literal_to_value(&Literal::plain("2009"), SqlType::Integer),
+            Ok(Value::Int(2009))
+        );
+        assert!(literal_to_value(&Literal::plain("soon"), SqlType::Integer).is_err());
+    }
+
+    #[test]
+    fn typed_literal_conversions() {
+        assert_eq!(
+            literal_to_value(&Literal::integer(5), SqlType::Integer),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            literal_to_value(&Literal::boolean(true), SqlType::Boolean),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            literal_to_value(&Literal::string("Mr"), SqlType::Varchar),
+            Ok(Value::Text("Mr".into()))
+        );
+        // Integer literal does not silently become a string.
+        assert!(literal_to_value(&Literal::integer(5), SqlType::Varchar).is_err());
+    }
+
+    #[test]
+    fn round_trip_value_literal_value() {
+        for v in [
+            Value::Int(42),
+            Value::Text("Hert".into()),
+            Value::Bool(false),
+            Value::Double(1.5),
+        ] {
+            let lit = value_to_literal(&v).unwrap();
+            let ty = v.sql_type().unwrap();
+            assert_eq!(literal_to_value(&lit, ty), Ok(v));
+        }
+    }
+
+    #[test]
+    fn null_has_no_literal() {
+        assert_eq!(value_to_literal(&Value::Null), None);
+    }
+
+    #[test]
+    fn pattern_value_round_trip() {
+        let v = pattern_value("6", SqlType::Integer).unwrap();
+        assert_eq!(v, Value::Int(6));
+        assert_eq!(value_to_pattern(&v).as_deref(), Some("6"));
+        assert!(pattern_value("abc", SqlType::Integer).is_err());
+    }
+
+    #[test]
+    fn literal_matching_is_by_value() {
+        assert!(literal_matches_value(&Literal::plain("5"), &Value::Int(5)));
+        assert!(literal_matches_value(&Literal::integer(5), &Value::Int(5)));
+        assert!(!literal_matches_value(&Literal::plain("5"), &Value::Int(6)));
+        assert!(literal_matches_value(
+            &Literal::plain("Hert"),
+            &Value::Text("Hert".into())
+        ));
+        assert!(!literal_matches_value(&Literal::plain("x"), &Value::Null));
+    }
+
+    #[test]
+    fn object_literal_error_payload() {
+        let err = object_literal_to_value(
+            &Term::iri("http://example.org/x"),
+            "author",
+            "lastname",
+            SqlType::Varchar,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OntoError::ValueIncompatible { .. }));
+    }
+}

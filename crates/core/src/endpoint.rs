@@ -1,0 +1,676 @@
+//! The OntoAccess mediator facade (paper §6).
+//!
+//! The paper's prototype is an HTTP endpoint: requests are parsed,
+//! translated, executed, and answered with an RDF feedback document.
+//! This type is that endpoint minus the socket: a transport layer can
+//! wrap [`Endpoint::execute_update`] /
+//! [`Endpoint::execute_query`] unchanged. The mapping is validated
+//! against the schema at construction — a disagreeing mapping would let
+//! invalid updates through or reject valid ones.
+
+use crate::error::{OntoError, OntoResult};
+use crate::feedback::Feedback;
+use crate::modify::ModifyReport;
+use crate::translate::{execute_sorted, TranslateOptions};
+use r3m::Mapping;
+use rdf::namespace::PrefixMap;
+use rdf::Graph;
+use rel::sql::Statement;
+use rel::Database;
+use sparql::{Query, Solutions, UpdateOp};
+
+/// Result of a successful update.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Operation kind (`INSERT DATA`, `DELETE DATA`, `MODIFY`).
+    pub operation: String,
+    /// SQL statements executed, in execution order.
+    pub statements: Vec<Statement>,
+    /// Number of statements executed (0 = request was a no-op).
+    pub statements_executed: usize,
+    /// MODIFY-specific artifacts (Algorithm 2's intermediate steps).
+    pub modify: Option<ModifyReport>,
+}
+
+/// Failure of a multi-operation update request.
+#[derive(Debug, Clone)]
+pub struct ScriptError {
+    /// Zero-based index of the failing operation.
+    pub operation_index: usize,
+    /// Outcomes of the operations that completed before the failure
+    /// (already rolled back when the script ran atomically).
+    pub completed: Vec<UpdateOutcome>,
+    /// The failing operation's error.
+    pub error: OntoError,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "operation {} of the update request failed: {}",
+            self.operation_index + 1,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// The mediator: a database + an R3M mapping + the translation
+/// machinery.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    db: Database,
+    mapping: Mapping,
+    prefixes: PrefixMap,
+}
+
+impl Endpoint {
+    /// Create an endpoint, validating the mapping against the schema.
+    pub fn new(db: Database, mapping: Mapping) -> OntoResult<Self> {
+        r3m::validate_strict(&mapping, db.schema()).map_err(|issue| OntoError::Unsupported {
+            message: format!("mapping rejected: {issue}"),
+        })?;
+        let mut prefixes = PrefixMap::common();
+        if let Some(prefix) = &mapping.uri_prefix {
+            prefixes.insert("ex", prefix.clone());
+        }
+        Ok(Endpoint {
+            db,
+            mapping,
+            prefixes,
+        })
+    }
+
+    /// The underlying database (read access).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The underlying database (mutable — bypasses the mediator; used by
+    /// fixtures and tests to seed data).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Prefixes used for parsing requests and rendering output
+    /// (the common vocabularies plus `ex:` for the instance namespace).
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.prefixes
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Execute a SPARQL/Update given as text.
+    pub fn execute_update(&mut self, text: &str) -> OntoResult<UpdateOutcome> {
+        let op = sparql::parse_update_with_prefixes(text, self.prefixes.clone())?;
+        self.execute_update_op(&op)
+    }
+
+    /// Execute a parsed SPARQL/Update operation.
+    pub fn execute_update_op(&mut self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+        match op {
+            UpdateOp::InsertData { triples } => {
+                let stmts = crate::translate::insert::translate_insert_data(
+                    &self.db,
+                    &self.mapping,
+                    triples,
+                    TranslateOptions::default(),
+                )?;
+                let executed = execute_sorted(&mut self.db, stmts)?;
+                Ok(UpdateOutcome {
+                    operation: "INSERT DATA".into(),
+                    statements_executed: executed.len(),
+                    statements: executed,
+                    modify: None,
+                })
+            }
+            UpdateOp::DeleteData { triples } => {
+                let stmts = crate::translate::delete::translate_delete_data(
+                    &self.db,
+                    &self.mapping,
+                    triples,
+                )?;
+                let executed = execute_sorted(&mut self.db, stmts)?;
+                Ok(UpdateOutcome {
+                    operation: "DELETE DATA".into(),
+                    statements_executed: executed.len(),
+                    statements: executed,
+                    modify: None,
+                })
+            }
+            UpdateOp::Modify {
+                delete,
+                insert,
+                pattern,
+            } => {
+                // MODIFY is atomic: run rounds against a scratch copy;
+                // adopt it only if everything succeeded.
+                let mut scratch = self.db.clone();
+                let report = crate::modify::execute_modify(
+                    &mut scratch,
+                    &self.mapping,
+                    delete,
+                    insert,
+                    pattern,
+                )?;
+                self.db = scratch;
+                Ok(UpdateOutcome {
+                    operation: "MODIFY".into(),
+                    statements_executed: report.executed.len(),
+                    statements: report.executed.clone(),
+                    modify: Some(report),
+                })
+            }
+        }
+    }
+
+    /// Execute a SPARQL 1.1 style update request: one or more operations
+    /// separated by `;`.
+    ///
+    /// Each operation is one transaction (the paper's §5.1 atomicity
+    /// unit); `atomic_script` additionally makes the *whole request*
+    /// all-or-nothing — on any failure earlier operations are undone and
+    /// the error reports the failing operation's index.
+    pub fn execute_script(
+        &mut self,
+        text: &str,
+        atomic_script: bool,
+    ) -> Result<Vec<UpdateOutcome>, ScriptError> {
+        let ops = sparql::parse_update_script(text, self.prefixes.clone()).map_err(|e| {
+            ScriptError {
+                operation_index: 0,
+                completed: Vec::new(),
+                error: e.into(),
+            }
+        })?;
+        let snapshot = if atomic_script {
+            Some(self.db.clone())
+        } else {
+            None
+        };
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            match self.execute_update_op(op) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(error) => {
+                    if let Some(snapshot) = snapshot {
+                        self.db = snapshot;
+                    }
+                    return Err(ScriptError {
+                        operation_index: i,
+                        completed: outcomes,
+                        error,
+                    });
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Execute an update and convert the result into a feedback document
+    /// (what the HTTP endpoint would send back).
+    pub fn execute_update_with_feedback(&mut self, text: &str) -> (Feedback, OntoResult<UpdateOutcome>) {
+        let operation = sparql::parse_update_with_prefixes(text, self.prefixes.clone())
+            .map(|op| op.name().to_owned())
+            .unwrap_or_else(|_| "unparsed".to_owned());
+        let result = self.execute_update(text);
+        let feedback = match &result {
+            Ok(outcome) => Feedback::Success {
+                operation: outcome.operation.clone(),
+                statements: outcome.statements_executed,
+            },
+            Err(error) => Feedback::Rejection {
+                operation,
+                error: error.clone(),
+            },
+        };
+        (feedback, result)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Execute a SPARQL query given as text.
+    pub fn execute_query(&mut self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
+        crate::query::execute_query(&mut self.db, &self.mapping, &query)
+    }
+
+    /// Execute a SELECT given as text.
+    pub fn select(&mut self, text: &str) -> OntoResult<Solutions> {
+        match self.execute_query(text)? {
+            sparql::QueryOutcome::Solutions(s) => Ok(s),
+            sparql::QueryOutcome::Boolean(_) => Err(OntoError::Unsupported {
+                message: "expected a SELECT query".into(),
+            }),
+        }
+    }
+
+    /// Materialize the database's full RDF view.
+    pub fn materialize(&self) -> OntoResult<Graph> {
+        crate::materialize::materialize(&self.db, &self.mapping)
+    }
+
+    /// Describe one instance URI: the triples of its row plus its
+    /// link-table triples (in either role). The D2R-style
+    /// "dereferenceable URI" read the paper's related work describes
+    /// (§2), here over the live database.
+    pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
+        let identified = crate::translate::identify(
+            &self.db,
+            &self.mapping,
+            &rdf::Term::Iri(uri.clone()),
+        )?;
+        let table = self.db.schema().table(&identified.table_map.table_name)?;
+        let Some(row_id) = crate::translate::find_row(&self.db, &identified)? else {
+            return Ok(Graph::new()); // mapped but absent: empty description
+        };
+        let row = self
+            .db
+            .row(&identified.table_map.table_name, row_id)?
+            .expect("row id valid")
+            .clone();
+        let mut graph = crate::materialize::materialize_row(
+            &self.db,
+            &self.mapping,
+            identified.table_map,
+            &row,
+        )?;
+        // Link-table triples where this instance is subject or object.
+        let key = identified.pk_values(table)?;
+        if key.len() == 1 {
+            let key = &key[0];
+            for link in &self.mapping.link_tables {
+                let link_table = self.db.schema().table(&link.table_name)?;
+                let s_idx = link_table
+                    .column_index(&link.subject_attribute.attribute_name)
+                    .expect("validated mapping");
+                let o_idx = link_table
+                    .column_index(&link.object_attribute.attribute_name)
+                    .expect("validated mapping");
+                let s_target = link
+                    .subject_attribute
+                    .foreign_key_target()
+                    .and_then(|id| self.mapping.table_by_id(id));
+                let o_target = link
+                    .object_attribute
+                    .foreign_key_target()
+                    .and_then(|id| self.mapping.table_by_id(id));
+                let (Some(s_target), Some(o_target)) = (s_target, o_target) else {
+                    continue;
+                };
+                let as_subject = s_target.table_name == identified.table_map.table_name;
+                let as_object = o_target.table_name == identified.table_map.table_name;
+                for (_, link_row) in self.db.scan(&link.table_name)? {
+                    let s_val = &link_row[s_idx];
+                    let o_val = &link_row[o_idx];
+                    if s_val.is_null() || o_val.is_null() {
+                        continue;
+                    }
+                    let relevant = (as_subject && s_val.sql_eq(key) == Some(true))
+                        || (as_object && o_val.sql_eq(key) == Some(true));
+                    if relevant {
+                        let s = crate::materialize::key_instance_uri(
+                            &self.mapping,
+                            s_target,
+                            s_val,
+                        )?;
+                        let o = crate::materialize::key_instance_uri(
+                            &self.mapping,
+                            o_target,
+                            o_val,
+                        )?;
+                        graph.insert(rdf::Triple::new(
+                            rdf::Term::Iri(s),
+                            link.property.clone(),
+                            rdf::Term::Iri(o),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixture_db_with_rows;
+    use rdf::namespace::foaf;
+    use rdf::Term;
+
+    fn endpoint() -> Endpoint {
+        let (db, mapping) = fixture_db_with_rows();
+        Endpoint::new(db, mapping).unwrap()
+    }
+
+    #[test]
+    fn full_insert_query_delete_cycle() {
+        let mut ep = endpoint();
+        let outcome = ep
+            .execute_update(
+                "INSERT DATA { ex:author8 foaf:family_name \"Gall\" ; \
+                 foaf:firstName \"Harald\" . }",
+            )
+            .unwrap();
+        assert_eq!(outcome.statements_executed, 1);
+
+        let sols = ep
+            .select("SELECT ?x WHERE { ?x foaf:family_name \"Gall\" . }")
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols.bindings[0]["x"],
+            Term::iri("http://example.org/db/author8")
+        );
+
+        ep.execute_update("DELETE DATA { ex:author8 foaf:firstName \"Harald\" . }")
+            .unwrap();
+        let sols = ep
+            .select("SELECT ?n WHERE { ex:author8 foaf:firstName ?n . }")
+            .unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn rejected_update_produces_rejection_feedback() {
+        let mut ep = endpoint();
+        let (feedback, result) = ep.execute_update_with_feedback(
+            "INSERT DATA { ex:author9 foaf:firstName \"No Lastname\" . }",
+        );
+        assert!(result.is_err());
+        assert!(!feedback.is_success());
+        let text = feedback.to_turtle();
+        assert!(text.contains("MissingRequiredProperty"));
+    }
+
+    #[test]
+    fn successful_update_produces_confirmation_feedback() {
+        let mut ep = endpoint();
+        let (feedback, result) =
+            ep.execute_update_with_feedback("INSERT DATA { ex:team9 foaf:name \"T9\" . }");
+        assert!(result.is_ok());
+        assert!(feedback.is_success());
+        assert!(feedback.to_turtle().contains("fb:Confirmation"));
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let mut ep = endpoint();
+        let err = ep.execute_update("INSERT GARBAGE").unwrap_err();
+        assert!(matches!(err, OntoError::Parse { .. }));
+    }
+
+    #[test]
+    fn modify_through_endpoint_is_atomic() {
+        let mut ep = endpoint();
+        let before = ep.materialize().unwrap();
+        // Second binding fails (dangling team) → nothing changes, even
+        // though the first binding alone would have succeeded.
+        let err = ep
+            .execute_update(
+                "MODIFY DELETE { } INSERT { ?x ont:team ex:team99 . } \
+                 WHERE { ?x a foaf:Person . }",
+            )
+            .unwrap_err();
+        assert!(matches!(err, OntoError::DanglingObject { .. }));
+        assert_eq!(ep.materialize().unwrap(), before);
+    }
+
+    #[test]
+    fn ask_through_endpoint() {
+        let mut ep = endpoint();
+        let outcome = ep
+            .execute_query("ASK { ?x foaf:family_name \"Hert\" . }")
+            .unwrap();
+        assert_eq!(outcome, sparql::QueryOutcome::Boolean(true));
+    }
+
+    #[test]
+    fn script_executes_multiple_operations() {
+        let mut ep = endpoint();
+        let outcomes = ep
+            .execute_script(
+                "INSERT DATA { ex:team9 foaf:name \"T9\" . } ;\n\
+                 INSERT DATA { ex:author8 foaf:family_name \"Gall\" ; ont:team ex:team9 . } ;\n\
+                 DELETE DATA { ex:author8 ont:team ex:team9 . }",
+                false,
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(ep.database().row_count("team").unwrap(), 3);
+    }
+
+    #[test]
+    fn atomic_script_rolls_back_earlier_operations() {
+        let mut ep = endpoint();
+        let before = ep.materialize().unwrap();
+        let err = ep
+            .execute_script(
+                "INSERT DATA { ex:team9 foaf:name \"T9\" . } ;\n\
+                 INSERT DATA { ex:author8 ont:team ex:team424242 . }",
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err.operation_index, 1);
+        assert_eq!(err.completed.len(), 1);
+        assert_eq!(ep.materialize().unwrap(), before);
+    }
+
+    #[test]
+    fn non_atomic_script_keeps_earlier_operations() {
+        let mut ep = endpoint();
+        let err = ep
+            .execute_script(
+                "INSERT DATA { ex:team9 foaf:name \"T9\" . } ;\n\
+                 INSERT DATA { ex:author8 ont:team ex:team424242 . }",
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(err.operation_index, 1);
+        assert_eq!(ep.database().row_count("team").unwrap(), 3);
+    }
+
+    #[test]
+    fn endpoint_rejects_inconsistent_mapping() {
+        let (db, mut mapping) = fixture_db_with_rows();
+        mapping.tables[0].table_name = "ghost".into();
+        assert!(Endpoint::new(db, mapping).is_err());
+    }
+
+    #[test]
+    fn materialization_tracks_updates() {
+        let mut ep = endpoint();
+        let before = ep.materialize().unwrap().len();
+        ep.execute_update("INSERT DATA { ex:team9 foaf:name \"T9\" ; ont:teamCode \"T\" . }")
+            .unwrap();
+        let after = ep.materialize().unwrap().len();
+        assert_eq!(after, before + 3); // type + name + code
+    }
+
+    #[test]
+    fn update_equivalence_with_native_store() {
+        // The paper's core semantic claim, end to end: updating through
+        // OntoAccess then materializing equals materializing then
+        // updating a native triple store.
+        // Note: creating a row *entails* its rdf:type triple in the
+        // relational view, so exact commutation requires the request to
+        // assert the type explicitly (the conceptual gap of §3).
+        let mut ep = endpoint();
+        let mut native = ep.materialize().unwrap();
+        let updates = [
+            "INSERT DATA { ex:team9 a foaf:Group ; foaf:name \"T9\" . }",
+            "INSERT DATA { ex:author8 a foaf:Person ; foaf:family_name \"Gall\" ; ont:team ex:team9 . }",
+            "DELETE DATA { ex:author6 foaf:title \"Mr\" . }",
+            "MODIFY DELETE { ?x foaf:mbox ?m . } \
+             INSERT { ?x foaf:mbox <mailto:new@uzh.ch> . } \
+             WHERE { ?x foaf:family_name \"Hert\" ; foaf:mbox ?m . }",
+        ];
+        for update in updates {
+            ep.execute_update(update).unwrap();
+            let op =
+                sparql::parse_update_with_prefixes(update, ep.prefixes().clone()).unwrap();
+            sparql::apply(&mut native, &op).unwrap();
+            assert_eq!(
+                ep.materialize().unwrap(),
+                native,
+                "divergence after: {update}"
+            );
+        }
+        let _ = foaf::name();
+    }
+}
+
+#[cfg(test)]
+mod check_constraint_tests {
+    use super::*;
+    use r3m::ConstraintInfo;
+    use rel::{Column, Schema, SqlType, Table};
+
+    // A schema with a CHECK on publication.year, plus a mapping that
+    // records it — exercising the §8 "assertions" extension end to end.
+    fn endpoint_with_check() -> Endpoint {
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("publication")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("title", SqlType::Varchar).not_null())
+                    .column(Column::new("year", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .check("year_range", "year >= 1900 AND year <= 2100")
+                    .build(),
+            )
+            .unwrap();
+        let mut mapping = crate::usecase::mapping();
+        mapping.tables.retain(|t| t.table_name == "publication");
+        mapping.link_tables.clear();
+        let publication = &mut mapping.tables[0];
+        publication
+            .attributes
+            .retain(|a| ["id", "title", "year"].contains(&a.attribute_name.as_str()));
+        publication
+            .attributes
+            .iter_mut()
+            .find(|a| a.attribute_name == "year")
+            .unwrap()
+            .constraints = vec![ConstraintInfo::Check {
+            name: "year_range".into(),
+            predicate: "year >= 1900 AND year <= 2100".into(),
+        }];
+        // year is nullable in this cut-down schema.
+        Endpoint::new(rel::Database::new(schema).unwrap(), mapping).unwrap()
+    }
+
+    #[test]
+    fn check_violation_is_rejected_with_feedback() {
+        let mut ep = endpoint_with_check();
+        ep.execute_update(
+            "INSERT DATA { ex:pub1 dc:title \"ok\" ; ont:pubYear \"2009\" . }",
+        )
+        .unwrap();
+        let (feedback, result) = ep.execute_update_with_feedback(
+            "INSERT DATA { ex:pub2 dc:title \"bad\" ; ont:pubYear \"1492\" . }",
+        );
+        let err = result.unwrap_err();
+        assert!(matches!(
+            err,
+            OntoError::Database(rel::RelError::CheckViolation { ref name, .. })
+                if name == "year_range"
+        ));
+        assert!(feedback.to_turtle().contains("DatabaseError"));
+        // Atomicity: the violating row is absent.
+        assert_eq!(ep.database().row_count("publication").unwrap(), 1);
+    }
+
+    #[test]
+    fn check_violation_on_update_path() {
+        let mut ep = endpoint_with_check();
+        ep.execute_update("INSERT DATA { ex:pub1 dc:title \"ok\" ; ont:pubYear \"2000\" . }")
+            .unwrap();
+        let err = ep
+            .execute_update(
+                "MODIFY DELETE { ex:pub1 ont:pubYear ?y . } \
+                 INSERT { ex:pub1 ont:pubYear \"9999\" . } \
+                 WHERE { ex:pub1 ont:pubYear ?y . }",
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OntoError::Database(rel::RelError::CheckViolation { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod describe_tests {
+    use super::*;
+    use crate::testutil::fixture_db_with_rows;
+    use rdf::namespace::{dc, foaf, rdf_type};
+    use rdf::Term;
+
+    fn endpoint() -> Endpoint {
+        let (db, mapping) = fixture_db_with_rows();
+        Endpoint::new(db, mapping).unwrap()
+    }
+
+    #[test]
+    fn describe_author_includes_attributes_and_links() {
+        let ep = endpoint();
+        let uri = rdf::Iri::parse("http://example.org/db/author6").unwrap();
+        let g = ep.describe(&uri).unwrap();
+        let author6 = Term::Iri(uri);
+        assert_eq!(g.object(&author6, &rdf_type()), Some(Term::Iri(foaf::Person())));
+        assert_eq!(g.object(&author6, &foaf::family_name()), Some(Term::plain("Hert")));
+        // Link triple with author6 in object position.
+        assert!(g.contains(&rdf::Triple::new(
+            Term::iri("http://example.org/db/pub1"),
+            dc::creator(),
+            author6,
+        )));
+        // But not the whole database.
+        assert!(g
+            .triples_for_subject(&Term::iri("http://example.org/db/team4"))
+            .is_empty());
+    }
+
+    #[test]
+    fn describe_publication_includes_creator_links_as_subject() {
+        let ep = endpoint();
+        let uri = rdf::Iri::parse("http://example.org/db/pub1").unwrap();
+        let g = ep.describe(&uri).unwrap();
+        assert!(g.contains(&rdf::Triple::new(
+            Term::Iri(uri),
+            dc::creator(),
+            Term::iri("http://example.org/db/author6"),
+        )));
+    }
+
+    #[test]
+    fn describe_absent_row_is_empty() {
+        let ep = endpoint();
+        let uri = rdf::Iri::parse("http://example.org/db/author999").unwrap();
+        assert!(ep.describe(&uri).unwrap().is_empty());
+    }
+
+    #[test]
+    fn describe_unmapped_uri_is_error() {
+        let ep = endpoint();
+        let uri = rdf::Iri::parse("http://example.org/db/wizard1").unwrap();
+        assert!(matches!(
+            ep.describe(&uri),
+            Err(OntoError::UnknownSubject { .. })
+        ));
+    }
+}

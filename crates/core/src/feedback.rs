@@ -1,0 +1,221 @@
+//! The semantically rich feedback protocol (paper §3, §6, §8).
+//!
+//! The paper's prototype returns a confirmation or error message
+//! "converted to an RDF representation and sent back to the client", and
+//! its future work promises a protocol that reports "the causes for the
+//! rejection of a request and possible directions for improvement in an
+//! appropriate format". This module implements that: every outcome —
+//! success or rejection — becomes an RDF document in a small feedback
+//! vocabulary, carrying a machine-readable error code, the affected
+//! table/attribute, a human-readable message, and a hint.
+
+use crate::error::OntoError;
+use rdf::namespace::{rdf_type, PrefixMap};
+use rdf::{Graph, Iri, Literal, Term, Triple};
+
+/// Namespace of the feedback vocabulary.
+pub const FEEDBACK_NS: &str = "http://ontoaccess.org/feedback#";
+
+fn fb(local: &str) -> Iri {
+    Iri::new_unchecked(format!("{FEEDBACK_NS}{local}"))
+}
+
+/// Outcome of one request, as reported to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// The operation executed; `statements` SQL statements ran.
+    Success {
+        /// Operation name (`INSERT DATA`, …).
+        operation: String,
+        /// Number of SQL statements executed.
+        statements: usize,
+    },
+    /// The operation was rejected or failed; nothing was changed.
+    Rejection {
+        /// Operation name if known.
+        operation: String,
+        /// The error.
+        error: OntoError,
+    },
+}
+
+impl Feedback {
+    /// Whether this is a success report.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Feedback::Success { .. })
+    }
+
+    /// Serialize the feedback as an RDF graph.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        let report = Term::blank("report");
+        match self {
+            Feedback::Success {
+                operation,
+                statements,
+            } => {
+                g.insert(Triple::new(
+                    report.clone(),
+                    rdf_type(),
+                    Term::Iri(fb("Confirmation")),
+                ));
+                g.insert(Triple::new(
+                    report.clone(),
+                    fb("operation"),
+                    Literal::plain(operation.clone()),
+                ));
+                g.insert(Triple::new(
+                    report,
+                    fb("statementsExecuted"),
+                    Literal::integer(*statements as i64),
+                ));
+            }
+            Feedback::Rejection { operation, error } => {
+                g.insert(Triple::new(
+                    report.clone(),
+                    rdf_type(),
+                    Term::Iri(fb("Rejection")),
+                ));
+                g.insert(Triple::new(
+                    report.clone(),
+                    fb("operation"),
+                    Literal::plain(operation.clone()),
+                ));
+                g.insert(Triple::new(
+                    report.clone(),
+                    fb("errorCode"),
+                    Literal::plain(error.code()),
+                ));
+                g.insert(Triple::new(
+                    report.clone(),
+                    fb("message"),
+                    Literal::plain(error.to_string()),
+                ));
+                if let Some(hint) = error.hint() {
+                    g.insert(Triple::new(report.clone(), fb("hint"), Literal::plain(hint)));
+                }
+                // Structured payload where available.
+                match error {
+                    OntoError::UnknownProperty { property, table } => {
+                        g.insert(Triple::new(
+                            report.clone(),
+                            fb("property"),
+                            Term::Iri(property.clone()),
+                        ));
+                        g.insert(Triple::new(
+                            report,
+                            fb("table"),
+                            Literal::plain(table.clone()),
+                        ));
+                    }
+                    OntoError::MissingRequiredProperty {
+                        table,
+                        attribute,
+                        property,
+                    } => {
+                        g.insert(Triple::new(
+                            report.clone(),
+                            fb("table"),
+                            Literal::plain(table.clone()),
+                        ));
+                        g.insert(Triple::new(
+                            report.clone(),
+                            fb("attribute"),
+                            Literal::plain(attribute.clone()),
+                        ));
+                        if let Some(p) = property {
+                            g.insert(Triple::new(
+                                report,
+                                fb("property"),
+                                Term::Iri(p.clone()),
+                            ));
+                        }
+                    }
+                    OntoError::ValueIncompatible {
+                        table, attribute, ..
+                    }
+                    | OntoError::NotNullDelete { table, attribute }
+                    | OntoError::AttributeAlreadySet {
+                        table, attribute, ..
+                    } => {
+                        g.insert(Triple::new(
+                            report.clone(),
+                            fb("table"),
+                            Literal::plain(table.clone()),
+                        ));
+                        g.insert(Triple::new(
+                            report,
+                            fb("attribute"),
+                            Literal::plain(attribute.clone()),
+                        ));
+                    }
+                    OntoError::UnknownSubject { subject } => {
+                        g.insert(Triple::new(report, fb("subject"), subject.clone()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        g
+    }
+
+    /// Serialize as Turtle (the wire format of the HTTP endpoint).
+    pub fn to_turtle(&self) -> String {
+        let mut prefixes = PrefixMap::common();
+        prefixes.insert("fb", FEEDBACK_NS);
+        rdf::turtle::write(&self.to_graph(), &prefixes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_document() {
+        let f = Feedback::Success {
+            operation: "INSERT DATA".into(),
+            statements: 3,
+        };
+        let g = f.to_graph();
+        assert!(g.contains(&Triple::new(
+            Term::blank("report"),
+            rdf_type(),
+            Term::Iri(fb("Confirmation")),
+        )));
+        let text = f.to_turtle();
+        assert!(text.contains("fb:Confirmation"));
+        assert!(text.contains("3"));
+    }
+
+    #[test]
+    fn rejection_carries_code_message_and_hint() {
+        let f = Feedback::Rejection {
+            operation: "INSERT DATA".into(),
+            error: OntoError::MissingRequiredProperty {
+                table: "author".into(),
+                attribute: "lastname".into(),
+                property: Some(rdf::namespace::foaf::family_name()),
+            },
+        };
+        let text = f.to_turtle();
+        assert!(text.contains("fb:Rejection"));
+        assert!(text.contains("MissingRequiredProperty"));
+        assert!(text.contains("lastname"));
+        assert!(text.contains("family_name"));
+        assert!(text.contains("fb:hint"));
+    }
+
+    #[test]
+    fn rejection_document_is_parseable_rdf() {
+        let f = Feedback::Rejection {
+            operation: "DELETE DATA".into(),
+            error: OntoError::NotNullDelete {
+                table: "author".into(),
+                attribute: "lastname".into(),
+            },
+        };
+        let parsed = rdf::turtle::parse(&f.to_turtle()).unwrap();
+        assert!(!parsed.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! OntoAccess — ontology-based **write** access to relational databases
+//! via SPARQL/Update, reproducing Hert, Reif, Gall: *Updating Relational
+//! Data via SPARQL/Update* (EDBT 2010).
+//!
+//! The mediator translates SPARQL/Update operations into SQL DML using
+//! an update-aware R3M mapping and executes them transactionally:
+//!
+//! * [`translate`] — Algorithm 1: `INSERT DATA` / `DELETE DATA` → SQL
+//! * [`modify`] — Algorithm 2: `MODIFY` → SELECT + per-binding DATA ops
+//! * [`query`] — SPARQL `SELECT`/`ASK` → SQL (needed by Algorithm 2,
+//!   and the read path of the endpoint)
+//! * [`mod@materialize`] — the virtual RDF view of the database
+//! * [`feedback`] — the semantically rich feedback protocol (§3/§8)
+//! * [`endpoint`] — the mediator facade tying it all together
+//! * [`usecase`] — the paper's publication use case (Figs. 1-2, Table 1)
+//!
+//! # Example
+//!
+//! ```
+//! use ontoaccess::{usecase, Endpoint};
+//!
+//! let mut ep = Endpoint::new(usecase::database(), usecase::mapping()).unwrap();
+//! ep.execute_update(
+//!     "INSERT DATA { ex:team4 foaf:name \"Database Technology\" ; \
+//!      ont:teamCode \"DBTG\" . }",
+//! )
+//! .unwrap();
+//! let sols = ep
+//!     .select("SELECT ?code WHERE { ex:team4 ont:teamCode ?code . }")
+//!     .unwrap();
+//! assert_eq!(sols.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+// Rejections are this system's *product* (the feedback protocol turns
+// them into client-facing RDF documents), so OntoError deliberately
+// carries rich payloads; boxing every error would buy nothing here.
+#![allow(clippy::result_large_err)]
+
+pub mod convert;
+pub mod endpoint;
+pub mod error;
+pub mod feedback;
+pub mod materialize;
+pub mod modify;
+pub mod query;
+pub mod translate;
+pub mod usecase;
+
+mod testutil;
+
+pub use endpoint::{Endpoint, ScriptError, UpdateOutcome};
+pub use error::{OntoError, OntoResult};
+pub use feedback::Feedback;
+pub use materialize::materialize;
+pub use modify::{execute_modify, execute_update_op, ModifyReport};
+pub use query::{compile_select, execute_query, execute_select, CompiledQuery, VarShape};
+pub use translate::{group_by_subject, identify, TranslateOptions};

@@ -1,0 +1,439 @@
+//! `DELETE DATA` → SQL (paper §5.1).
+//!
+//! Per subject group: if the request covers *all* remaining (non-NULL)
+//! data of the row — including its `rdf:type` triple — the row is
+//! removed with `DELETE FROM`; if it covers a proper subset, the
+//! mentioned attributes are set to NULL with an `UPDATE` (Listing 17 →
+//! Listing 18), rejected early when an attribute is NOT NULL. Link
+//! triples delete the corresponding link-table row.
+
+use crate::convert::literal_matches_value;
+use crate::error::{OntoError, OntoResult};
+use crate::translate::insert::pk_predicate;
+use crate::translate::{group_by_subject, identify, IdentifiedSubject};
+use r3m::{Mapping, PropertyMapping};
+use rdf::namespace::rdf_type;
+use rdf::{Term, Triple};
+use rel::sql::{DeleteStmt, Expr, Statement, UpdateStmt};
+use rel::{Database, Value};
+
+/// Translate a full `DELETE DATA` operation into unsorted SQL.
+pub fn translate_delete_data(
+    db: &Database,
+    mapping: &Mapping,
+    triples: &[Triple],
+) -> OntoResult<Vec<Statement>> {
+    let mut statements = Vec::new();
+    for (subject, group) in group_by_subject(triples) {
+        statements.extend(translate_group(db, mapping, &subject, &group)?);
+    }
+    Ok(statements)
+}
+
+fn translate_group(
+    db: &Database,
+    mapping: &Mapping,
+    subject: &Term,
+    triples: &[Triple],
+) -> OntoResult<Vec<Statement>> {
+    let identified = identify(db, mapping, subject)?;
+    let table = db.schema().table(&identified.table_map.table_name)?.clone();
+    let table_name = table.name.clone();
+
+    let row_id = crate::translate::find_row(db, &identified)?.ok_or_else(|| {
+        OntoError::TripleNotPresent {
+            table: table_name.clone(),
+            detail: format!("no row for subject {subject}"),
+        }
+    })?;
+    let row = db.row(&table_name, row_id)?.expect("row id valid").clone();
+
+    let mut has_type = false;
+    let mut mentioned: Vec<(String, Value)> = Vec::new();
+    let mut link_statements: Vec<Statement> = Vec::new();
+
+    for triple in triples {
+        if triple.predicate == rdf_type() {
+            if triple.object.as_iri() != Some(&identified.table_map.class) {
+                return Err(OntoError::TripleNotPresent {
+                    table: table_name.clone(),
+                    detail: format!(
+                        "subject is a {} instance, not {}",
+                        identified.table_map.class, triple.object
+                    ),
+                });
+            }
+            has_type = true;
+            continue;
+        }
+        if let Some(attr) = identified
+            .table_map
+            .attribute_for_property(&triple.predicate)
+        {
+            let idx = table
+                .column_index(&attr.attribute_name)
+                .expect("validated mapping");
+            let stored = &row[idx];
+            verify_object_matches(mapping, &identified, attr, &triple.object, stored, &table_name)?;
+            if table.is_primary_key(&attr.attribute_name) {
+                return Err(OntoError::Unsupported {
+                    message: format!(
+                        "cannot delete the key attribute {}.{} of an existing row",
+                        table_name, attr.attribute_name
+                    ),
+                });
+            }
+            if !mentioned.iter().any(|(n, _)| n == &attr.attribute_name) {
+                mentioned.push((attr.attribute_name.clone(), stored.clone()));
+            }
+            continue;
+        }
+        if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
+            link_statements.push(translate_link_delete(
+                db, mapping, &identified, link, triple,
+            )?);
+            continue;
+        }
+        return Err(OntoError::UnknownProperty {
+            property: triple.predicate.clone(),
+            table: table_name.clone(),
+        });
+    }
+
+    let mut statements = Vec::new();
+    if !mentioned.is_empty() || has_type {
+        // All non-NULL, non-key mapped attributes of the row.
+        let all_set: Vec<String> = identified
+            .table_map
+            .attributes
+            .iter()
+            .filter(|a| a.property.is_some())
+            .filter(|a| !table.is_primary_key(&a.attribute_name))
+            .filter(|a| {
+                let idx = table.column_index(&a.attribute_name).expect("validated");
+                !row[idx].is_null()
+            })
+            .map(|a| a.attribute_name.clone())
+            .collect();
+        let covered_all = all_set
+            .iter()
+            .all(|name| mentioned.iter().any(|(n, _)| n == name));
+
+        if has_type && covered_all {
+            // The request equals all remaining data → remove the row.
+            statements.push(Statement::Delete(DeleteStmt {
+                table: table_name.clone(),
+                where_clause: Some(pk_predicate(&table, &identified)?),
+            }));
+        } else if has_type {
+            return Err(OntoError::CannotRemoveType { table: table_name });
+        } else {
+            // Subset → UPDATE … SET attr = NULL (Listing 18), guarded by
+            // the NOT NULL check of step 3.
+            for (name, _) in &mentioned {
+                let column = table.column(name).expect("validated");
+                if column.not_null {
+                    return Err(OntoError::NotNullDelete {
+                        table: table_name.clone(),
+                        attribute: name.clone(),
+                    });
+                }
+            }
+            // WHERE pk = … AND attr = current-value … (paper's Listing
+            // 18 includes the value equality).
+            let mut predicate = pk_predicate(&table, &identified)?;
+            for (name, value) in &mentioned {
+                predicate = Expr::and(
+                    predicate,
+                    Expr::eq(Expr::col(name), Expr::Value(value.clone())),
+                );
+            }
+            statements.push(Statement::Update(UpdateStmt {
+                table: table_name.clone(),
+                assignments: mentioned
+                    .iter()
+                    .map(|(n, _)| (n.clone(), Expr::Value(Value::Null)))
+                    .collect(),
+                where_clause: Some(predicate),
+            }));
+        }
+    }
+    statements.extend(link_statements);
+    Ok(statements)
+}
+
+// The triple being deleted must actually exist in the RDF view: the
+// stored value must match the object term.
+fn verify_object_matches(
+    mapping: &Mapping,
+    _identified: &IdentifiedSubject<'_>,
+    attr: &r3m::AttributeMap,
+    object: &Term,
+    stored: &Value,
+    table_name: &str,
+) -> OntoResult<()> {
+    let not_present = |detail: String| OntoError::TripleNotPresent {
+        table: table_name.to_owned(),
+        detail,
+    };
+    if stored.is_null() {
+        return Err(not_present(format!(
+            "{}.{} is NULL (no such triple)",
+            table_name, attr.attribute_name
+        )));
+    }
+    match attr.property.as_ref().expect("mapped attribute") {
+        PropertyMapping::Data(_) => {
+            let lit = object.as_literal().ok_or_else(|| {
+                not_present(format!(
+                    "{}.{} is a data attribute but the object is {object}",
+                    table_name, attr.attribute_name
+                ))
+            })?;
+            if !literal_matches_value(lit, stored) {
+                return Err(not_present(format!(
+                    "{}.{} holds {stored}, not {object}",
+                    table_name, attr.attribute_name
+                )));
+            }
+        }
+        PropertyMapping::Object(_) => {
+            let expected_uri: Option<String> = if let Some(pattern) = &attr.value_pattern {
+                crate::convert::value_to_pattern(stored).and_then(|raw| {
+                    pattern
+                        .generate(None, &|name| {
+                            (name == attr.attribute_name).then(|| raw.clone())
+                        })
+                        .ok()
+                })
+            } else {
+                attr.foreign_key_target()
+                    .and_then(|id| mapping.table_by_id(id))
+                    .and_then(|target| {
+                        mapping
+                            .instance_uri(target, &|name| {
+                                // Single-column keys only (enforced on
+                                // the insert path as well).
+                                let _ = name;
+                                crate::convert::value_to_pattern(stored)
+                            })
+                            .ok()
+                            .map(|iri| iri.into_string())
+                    })
+            };
+            let object_str = object.as_iri().map(|i| i.as_str().to_owned());
+            if expected_uri.is_none() || object_str != expected_uri {
+                return Err(not_present(format!(
+                    "{}.{} does not link to {object}",
+                    table_name, attr.attribute_name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn translate_link_delete(
+    db: &Database,
+    mapping: &Mapping,
+    identified: &IdentifiedSubject<'_>,
+    link: &r3m::LinkTableMap,
+    triple: &Triple,
+) -> OntoResult<Statement> {
+    let subject_target = link
+        .subject_attribute
+        .foreign_key_target()
+        .and_then(|id| mapping.table_by_id(id))
+        .ok_or_else(|| OntoError::Unsupported {
+            message: format!("link table {:?}: unresolved subject target", link.table_name),
+        })?;
+    if identified.table_map.table_name != subject_target.table_name {
+        return Err(OntoError::UnknownProperty {
+            property: triple.predicate.clone(),
+            table: identified.table_map.table_name.clone(),
+        });
+    }
+    let object_target = link
+        .object_attribute
+        .foreign_key_target()
+        .and_then(|id| mapping.table_by_id(id))
+        .ok_or_else(|| OntoError::Unsupported {
+            message: format!("link table {:?}: unresolved object target", link.table_name),
+        })?;
+    let object_identified = identify(db, mapping, &triple.object).map_err(|_| {
+        OntoError::TripleNotPresent {
+            table: link.table_name.clone(),
+            detail: format!("object {} is not a mapped instance", triple.object),
+        }
+    })?;
+    if object_identified.table_map.table_name != object_target.table_name {
+        return Err(OntoError::TripleNotPresent {
+            table: link.table_name.clone(),
+            detail: format!(
+                "object {} is a {} instance, expected {}",
+                triple.object, object_identified.table_map.table_name, object_target.table_name
+            ),
+        });
+    }
+    let subject_table = db.schema().table(&identified.table_map.table_name)?;
+    let object_table = db.schema().table(&object_identified.table_map.table_name)?;
+    let s_val = identified.pk_values(subject_table)?;
+    let o_val = object_identified.pk_values(object_table)?;
+    if s_val.len() != 1 || o_val.len() != 1 {
+        return Err(OntoError::Unsupported {
+            message: "link tables over composite keys are not supported".into(),
+        });
+    }
+    let (s_val, o_val) = (s_val.into_iter().next().unwrap(), o_val.into_iter().next().unwrap());
+
+    // The link row must exist (DELETE DATA removes *known* triples).
+    let link_table = db.schema().table(&link.table_name)?;
+    let s_idx = link_table
+        .column_index(&link.subject_attribute.attribute_name)
+        .expect("validated mapping");
+    let o_idx = link_table
+        .column_index(&link.object_attribute.attribute_name)
+        .expect("validated mapping");
+    let exists = db.scan(&link.table_name)?.any(|(_, row)| {
+        row[s_idx].sql_eq(&s_val) == Some(true) && row[o_idx].sql_eq(&o_val) == Some(true)
+    });
+    if !exists {
+        return Err(OntoError::TripleNotPresent {
+            table: link.table_name.clone(),
+            detail: format!(
+                "no {} row links {} to {}",
+                link.table_name, identified.uri, triple.object
+            ),
+        });
+    }
+    Ok(Statement::Delete(DeleteStmt {
+        table: link.table_name.clone(),
+        where_clause: Some(Expr::and(
+            Expr::eq(
+                Expr::col(&link.subject_attribute.attribute_name),
+                Expr::Value(s_val),
+            ),
+            Expr::eq(
+                Expr::col(&link.object_attribute.attribute_name),
+                Expr::Value(o_val),
+            ),
+        )),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{delete_data, fixture_db_with_rows, parse_update, render};
+
+    #[test]
+    fn listing_17_translates_to_listing_18() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
+        );
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';"]
+        );
+    }
+
+    #[test]
+    fn full_coverage_with_type_becomes_row_delete() {
+        let (db, mapping) = fixture_db_with_rows();
+        // team4 row: id=4, name='Database Technology', code='DBTG'.
+        let op = parse_update(
+            "DELETE DATA { ex:team4 a foaf:Group ; \
+               foaf:name \"Database Technology\" ; ont:teamCode \"DBTG\" . }",
+        );
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(render(&stmts), vec!["DELETE FROM team WHERE id = 4;"]);
+    }
+
+    #[test]
+    fn type_with_partial_coverage_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("DELETE DATA { ex:team4 a foaf:Group ; ont:teamCode \"DBTG\" . }");
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(err, OntoError::CannotRemoveType { .. }));
+    }
+
+    #[test]
+    fn deleting_not_null_attribute_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("DELETE DATA { ex:author6 foaf:family_name \"Hert\" . }");
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(
+            err,
+            OntoError::NotNullDelete { ref attribute, .. } if attribute == "lastname"
+        ));
+    }
+
+    #[test]
+    fn deleting_absent_triple_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        // author6's email is hert@ifi.uzh.ch, not this one.
+        let op = parse_update(
+            "DELETE DATA { ex:author6 foaf:mbox <mailto:other@x.ch> . }",
+        );
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(err, OntoError::TripleNotPresent { .. }));
+    }
+
+    #[test]
+    fn deleting_from_missing_row_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("DELETE DATA { ex:author999 foaf:title \"Dr\" . }");
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(err, OntoError::TripleNotPresent { .. }));
+    }
+
+    #[test]
+    fn multiple_attributes_nulled_in_one_update() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "DELETE DATA { ex:author6 foaf:title \"Mr\" ; foaf:firstName \"Matthias\" . }",
+        );
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(render(&stmts), vec![
+            "UPDATE author SET title = NULL, firstname = NULL \
+             WHERE id = 6 AND title = 'Mr' AND firstname = 'Matthias';"
+        ]);
+    }
+
+    #[test]
+    fn link_triple_deletes_link_row() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("DELETE DATA { ex:pub1 dc:creator ex:author6 . }");
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["DELETE FROM publication_author WHERE publication = 1 AND author = 6;"]
+        );
+    }
+
+    #[test]
+    fn absent_link_row_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        // pub1 is not linked to author7.
+        let op = parse_update("DELETE DATA { ex:pub1 dc:creator ex:author7 . }");
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(err, OntoError::TripleNotPresent { .. }));
+    }
+
+    #[test]
+    fn object_property_triple_verified() {
+        let (db, mapping) = fixture_db_with_rows();
+        // author6 belongs to team5, not team4.
+        let op = parse_update("DELETE DATA { ex:author6 ont:team ex:team4 . }");
+        let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
+        assert!(matches!(err, OntoError::TripleNotPresent { .. }));
+        let ok = parse_update("DELETE DATA { ex:author6 ont:team ex:team5 . }");
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&ok)).unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["UPDATE author SET team = NULL WHERE id = 6 AND team = 5;"]
+        );
+    }
+}

@@ -1,0 +1,706 @@
+//! `INSERT DATA` → SQL (paper §5.1).
+//!
+//! Per subject group the translation produces either an `INSERT INTO`
+//! (entity not yet in the database) or an `UPDATE` filling NULL
+//! attributes (entity exists — the paper's "second INSERT DATA with the
+//! additional data" case). Link-table triples (`dc:creator`) become
+//! separate `INSERT`s into the link table.
+
+use crate::convert::{object_literal_to_value, pattern_value};
+use crate::error::{OntoError, OntoResult};
+use crate::translate::{group_by_subject, identify, IdentifiedSubject, TranslateOptions};
+use r3m::{Mapping, PropertyMapping};
+use rdf::namespace::rdf_type;
+use rdf::{Iri, Term, Triple};
+use rel::sql::{Expr, InsertStmt, Statement, UpdateStmt};
+use rel::{Database, Value};
+use std::collections::BTreeMap;
+
+/// Translate a full `INSERT DATA` operation (all subject groups) into
+/// unsorted SQL statements.
+pub fn translate_insert_data(
+    db: &Database,
+    mapping: &Mapping,
+    triples: &[Triple],
+    options: TranslateOptions,
+) -> OntoResult<Vec<Statement>> {
+    let groups = group_by_subject(triples);
+    // Entities this operation creates or touches: FK targets may be
+    // satisfied by rows that a sibling group inserts (Listing 15 inserts
+    // author6 and team5 together; the FK check must accept team5).
+    let mut touched: BTreeMap<Iri, String> = BTreeMap::new();
+    for (subject, _) in &groups {
+        if let Ok(identified) = identify(db, mapping, subject) {
+            touched.insert(identified.uri.clone(), identified.table_map.table_name.clone());
+        }
+    }
+    let mut statements = Vec::new();
+    for (subject, group) in &groups {
+        statements.extend(translate_group(db, mapping, subject, group, &touched, options)?);
+    }
+    Ok(statements)
+}
+
+fn translate_group(
+    db: &Database,
+    mapping: &Mapping,
+    subject: &Term,
+    triples: &[Triple],
+    touched: &BTreeMap<Iri, String>,
+    options: TranslateOptions,
+) -> OntoResult<Vec<Statement>> {
+    let identified = identify(db, mapping, subject)?;
+    let table = db.schema().table(&identified.table_map.table_name)?.clone();
+    let table_name = table.name.clone();
+
+    let mut assignments: Vec<(String, Value)> = Vec::new();
+    let mut link_statements: Vec<Statement> = Vec::new();
+
+    for triple in triples {
+        if triple.predicate == rdf_type() {
+            check_type_triple(&identified, &table_name, &triple.object)?;
+            continue;
+        }
+        if let Some(attr) = identified
+            .table_map
+            .attribute_for_property(&triple.predicate)
+        {
+            let column = table
+                .column(&attr.attribute_name)
+                .expect("validated mapping: attribute exists");
+            let value = object_value(
+                db,
+                mapping,
+                &table_name,
+                attr,
+                column.ty,
+                &triple.object,
+                touched,
+            )?;
+            match assignments.iter().find(|(name, _)| name == &attr.attribute_name) {
+                Some((_, existing)) if existing == &value => {} // duplicate triple
+                Some((_, existing)) => {
+                    return Err(OntoError::AttributeAlreadySet {
+                        table: table_name.clone(),
+                        attribute: attr.attribute_name.clone(),
+                        existing: format!("{existing} (earlier in this request)"),
+                        requested: triple.object.clone(),
+                    })
+                }
+                None => assignments.push((attr.attribute_name.clone(), value)),
+            }
+            continue;
+        }
+        if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
+            link_statements.push(translate_link_insert(
+                db, mapping, &identified, link, triple, touched,
+            )?);
+            continue;
+        }
+        return Err(OntoError::UnknownProperty {
+            property: triple.predicate.clone(),
+            table: table_name.clone(),
+        });
+    }
+
+    // Key attributes extracted from the URI may not be contradicted by a
+    // mapped property (rare but possible when a key attribute also maps
+    // to a property).
+    for (attr, key_value) in &identified.key {
+        if let Some((_, assigned)) = assignments.iter().find(|(name, _)| name == attr) {
+            if assigned != key_value {
+                return Err(OntoError::ValueIncompatible {
+                    table: table_name.clone(),
+                    attribute: attr.clone(),
+                    value: subject.clone(),
+                    reason: format!(
+                        "subject URI encodes {key_value} but the request supplies {assigned}"
+                    ),
+                });
+            }
+        }
+    }
+    let assignments: Vec<(String, Value)> = assignments
+        .into_iter()
+        .filter(|(name, _)| !identified.key.iter().any(|(k, _)| k == name))
+        .collect();
+
+    let existing_row = crate::translate::find_row(db, &identified)?;
+    let mut statements = Vec::new();
+    match existing_row {
+        None => {
+            // New entity: NOT NULL attributes without default must be
+            // covered (step 3's completeness check).
+            for column in &table.columns {
+                let supplied = assignments.iter().any(|(n, _)| n == &column.name)
+                    || identified.key.iter().any(|(n, _)| n == &column.name);
+                let required = column.not_null || table.is_primary_key(&column.name);
+                if required && !supplied && column.default.is_none() && !column.auto_increment {
+                    let property = identified
+                        .table_map
+                        .attribute(&column.name)
+                        .and_then(|a| a.property.as_ref())
+                        .map(|p| p.property().clone());
+                    return Err(OntoError::MissingRequiredProperty {
+                        table: table_name.clone(),
+                        attribute: column.name.clone(),
+                        property,
+                    });
+                }
+            }
+            // Columns in schema order: key attributes first as they
+            // appear, then the mapped assignments (Listing 10 layout).
+            let mut columns = Vec::new();
+            let mut values = Vec::new();
+            for column in &table.columns {
+                let from_key = identified.key.iter().find(|(n, _)| n == &column.name);
+                let from_assign = assignments.iter().find(|(n, _)| n == &column.name);
+                if let Some((name, value)) = from_key.or(from_assign) {
+                    columns.push(name.clone());
+                    values.push(value.clone());
+                }
+            }
+            statements.push(Statement::Insert(InsertStmt {
+                table: table_name.clone(),
+                columns,
+                values,
+            }));
+        }
+        Some(row_id) => {
+            // Existing entity: only fill attributes; a differing
+            // non-NULL current value is a conflict unless Algorithm 2
+            // explicitly allows overwriting (§5.2 optimization).
+            let current = db
+                .row(&table_name, row_id)?
+                .expect("row id from index")
+                .clone();
+            let mut updates = Vec::new();
+            for (name, value) in assignments {
+                let idx = table.column_index(&name).expect("validated");
+                let stored = &current[idx];
+                if stored.is_null() {
+                    updates.push((name, value));
+                } else if stored.sql_eq(&value) == Some(true) {
+                    // Triple already present in the RDF view — no-op.
+                } else if options.allow_overwrite {
+                    updates.push((name, value));
+                } else {
+                    return Err(OntoError::AttributeAlreadySet {
+                        table: table_name.clone(),
+                        attribute: name,
+                        existing: stored.to_string(),
+                        requested: subject.clone(),
+                    });
+                }
+            }
+            if !updates.is_empty() {
+                let where_clause = pk_predicate(&table, &identified)?;
+                statements.push(Statement::Update(UpdateStmt {
+                    table: table_name.clone(),
+                    assignments: updates
+                        .into_iter()
+                        .map(|(n, v)| (n, Expr::Value(v)))
+                        .collect(),
+                    where_clause: Some(where_clause),
+                }));
+            }
+        }
+    }
+    statements.extend(link_statements);
+    Ok(statements)
+}
+
+/// Build `pk1 = v1 AND pk2 = v2 …` for the identified subject.
+pub fn pk_predicate(table: &rel::Table, identified: &IdentifiedSubject<'_>) -> OntoResult<Expr> {
+    let pk_values = identified.pk_values(table)?;
+    let mut conjuncts = Vec::new();
+    for (name, value) in table.primary_key.iter().zip(pk_values) {
+        conjuncts.push(Expr::eq(Expr::col(name), Expr::Value(value)));
+    }
+    Expr::conjunction(conjuncts).ok_or_else(|| OntoError::Unsupported {
+        message: format!("table {:?} has no primary key", table.name),
+    })
+}
+
+fn check_type_triple(
+    identified: &IdentifiedSubject<'_>,
+    table_name: &str,
+    object: &Term,
+) -> OntoResult<()> {
+    if object.as_iri() == Some(&identified.table_map.class) {
+        Ok(())
+    } else {
+        Err(OntoError::ClassMismatch {
+            table: table_name.to_owned(),
+            expected: identified.table_map.class.clone(),
+            found: object.clone(),
+        })
+    }
+}
+
+// Resolve the object term of a mapped attribute to a column value.
+fn object_value(
+    db: &Database,
+    mapping: &Mapping,
+    table_name: &str,
+    attr: &r3m::AttributeMap,
+    ty: rel::SqlType,
+    object: &Term,
+    touched: &BTreeMap<Iri, String>,
+) -> OntoResult<Value> {
+    match attr.property.as_ref().expect("mapped attribute has property") {
+        PropertyMapping::Data(_) => object_literal_to_value(object, table_name, &attr.attribute_name, ty),
+        PropertyMapping::Object(_) => {
+            let object_iri = object.as_iri().ok_or_else(|| OntoError::ValueIncompatible {
+                table: table_name.to_owned(),
+                attribute: attr.attribute_name.clone(),
+                value: object.clone(),
+                reason: "an object property requires an IRI object".into(),
+            })?;
+            // Derived-IRI attribute (foaf:mbox style): extract the value
+            // from the value pattern.
+            if let Some(pattern) = &attr.value_pattern {
+                let values = pattern.match_uri(None, object_iri.as_str()).ok_or_else(|| {
+                    OntoError::ValueIncompatible {
+                        table: table_name.to_owned(),
+                        attribute: attr.attribute_name.clone(),
+                        value: object.clone(),
+                        reason: format!("object does not match value pattern {pattern}"),
+                    }
+                })?;
+                let raw = values
+                    .into_iter()
+                    .find(|(name, _)| name == &attr.attribute_name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| OntoError::Unsupported {
+                        message: format!(
+                            "value pattern of {table_name}.{} does not bind the attribute",
+                            attr.attribute_name
+                        ),
+                    })?;
+                return pattern_value(&raw, ty).map_err(|reason| OntoError::ValueIncompatible {
+                    table: table_name.to_owned(),
+                    attribute: attr.attribute_name.clone(),
+                    value: object.clone(),
+                    reason,
+                });
+            }
+            // Foreign key: object must be an instance of the referenced
+            // table; its key value is stored.
+            let target_map_id =
+                attr.foreign_key_target()
+                    .ok_or_else(|| OntoError::Unsupported {
+                        message: format!(
+                            "object property on {table_name}.{} has neither a ForeignKey \
+                             constraint nor a value pattern",
+                            attr.attribute_name
+                        ),
+                    })?;
+            let expected_table = mapping
+                .table_by_id(target_map_id)
+                .ok_or_else(|| OntoError::Unsupported {
+                    message: format!("foreign key references unknown map node {target_map_id}"),
+                })?;
+            resolve_instance_ref(
+                db,
+                mapping,
+                table_name,
+                &attr.attribute_name,
+                &expected_table.table_name,
+                object,
+                touched,
+            )
+        }
+    }
+}
+
+/// Resolve an instance IRI used as an FK/link endpoint: identify it,
+/// verify it denotes the expected table, verify the row exists (in the
+/// database or among the entities this operation creates), and return
+/// its key value.
+pub fn resolve_instance_ref(
+    db: &Database,
+    mapping: &Mapping,
+    table_name: &str,
+    attribute: &str,
+    expected_table: &str,
+    object: &Term,
+    touched: &BTreeMap<Iri, String>,
+) -> OntoResult<Value> {
+    let dangling = || OntoError::DanglingObject {
+        table: table_name.to_owned(),
+        attribute: attribute.to_owned(),
+        expected_table: expected_table.to_owned(),
+        object: object.clone(),
+    };
+    let identified = identify(db, mapping, object).map_err(|_| dangling())?;
+    if identified.table_map.table_name != expected_table {
+        return Err(dangling());
+    }
+    let target_table = db.schema().table(expected_table)?;
+    let pk_values = identified.pk_values(target_table)?;
+    let exists_in_db = db.find_by_pk(expected_table, &pk_values)?.is_some();
+    let created_here = touched
+        .get(&identified.uri)
+        .is_some_and(|t| t == expected_table);
+    if !exists_in_db && !created_here {
+        return Err(dangling());
+    }
+    if pk_values.len() != 1 {
+        return Err(OntoError::Unsupported {
+            message: format!(
+                "foreign key to composite-key table {expected_table:?} is not supported"
+            ),
+        });
+    }
+    Ok(pk_values.into_iter().next().expect("len checked"))
+}
+
+// A link triple inside a subject group: subject is this group's entity,
+// the object an instance of the table the link's object attribute
+// references.
+fn translate_link_insert(
+    db: &Database,
+    mapping: &Mapping,
+    identified: &IdentifiedSubject<'_>,
+    link: &r3m::LinkTableMap,
+    triple: &Triple,
+    touched: &BTreeMap<Iri, String>,
+) -> OntoResult<Statement> {
+    let subject_target = link
+        .subject_attribute
+        .foreign_key_target()
+        .and_then(|id| mapping.table_by_id(id))
+        .ok_or_else(|| OntoError::Unsupported {
+            message: format!(
+                "link table {:?}: unresolved subject attribute target",
+                link.table_name
+            ),
+        })?;
+    let object_target = link
+        .object_attribute
+        .foreign_key_target()
+        .and_then(|id| mapping.table_by_id(id))
+        .ok_or_else(|| OntoError::Unsupported {
+            message: format!(
+                "link table {:?}: unresolved object attribute target",
+                link.table_name
+            ),
+        })?;
+    // The group's entity must be on the subject side of this property.
+    if identified.table_map.table_name != subject_target.table_name {
+        return Err(OntoError::UnknownProperty {
+            property: triple.predicate.clone(),
+            table: identified.table_map.table_name.clone(),
+        });
+    }
+    let table = db.schema().table(&identified.table_map.table_name)?;
+    let subject_pk = identified.pk_values(table)?;
+    if subject_pk.len() != 1 {
+        return Err(OntoError::Unsupported {
+            message: "link tables over composite keys are not supported".into(),
+        });
+    }
+    let object_value = resolve_instance_ref(
+        db,
+        mapping,
+        &link.table_name,
+        &link.object_attribute.attribute_name,
+        &object_target.table_name,
+        &triple.object,
+        touched,
+    )?;
+    Ok(Statement::Insert(InsertStmt {
+        table: link.table_name.clone(),
+        columns: vec![
+            link.subject_attribute.attribute_name.clone(),
+            link.object_attribute.attribute_name.clone(),
+        ],
+        values: vec![subject_pk.into_iter().next().expect("len checked"), object_value],
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{
+        fixture_db_teams_only, fixture_db_with_rows, insert_data, parse_update, render,
+    };
+
+    #[test]
+    fn listing_9_translates_to_listing_10() {
+        // team5 must exist for the FK (the paper's running example
+        // assumes it); author6 must not exist yet.
+        let (db, mapping) = fixture_db_teams_only();
+        let op = parse_update(
+            "INSERT DATA {
+               ex:author6 foaf:title \"Mr\" ;
+                 foaf:firstName \"Matthias\" ;
+                 foaf:family_name \"Hert\" ;
+                 foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+                 ont:team ex:team5 .
+             }",
+        );
+        let stmts =
+            translate_insert_data(&db, &mapping, &insert_data(&op), TranslateOptions::default())
+                .unwrap();
+        assert_eq!(render(&stmts), vec![
+            "INSERT INTO author (id, title, firstname, lastname, email, team) \
+             VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);"
+        ]);
+    }
+
+    #[test]
+    fn listing_13_translates_to_listing_14() {
+        let (db, mapping) = fixture_db_teams_only();
+        let op = parse_update(
+            "INSERT DATA {
+               ex:team4 foaf:name \"Database Technology\" ;
+                 ont:teamCode \"DBTG\" .
+             }",
+        );
+        let stmts =
+            translate_insert_data(&db, &mapping, &insert_data(&op), TranslateOptions::default())
+                .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');"]
+        );
+    }
+
+    #[test]
+    fn second_insert_becomes_update_filling_nulls() {
+        // §5.1: "The second INSERT DATA operation (with the additional
+        // data) translates to an SQL UPDATE statement that replaces the
+        // NULLs with actual values."
+        let (mut db, mapping) = fixture_db_with_rows();
+        let first = parse_update("INSERT DATA { ex:author9 foaf:family_name \"Gall\" . }");
+        let stmts =
+            translate_insert_data(&db, &mapping, &insert_data(&first), TranslateOptions::default())
+                .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["INSERT INTO author (id, lastname) VALUES (9, 'Gall');"]
+        );
+        crate::translate::execute_sorted(&mut db, stmts).unwrap();
+
+        let second = parse_update(
+            "INSERT DATA { ex:author9 foaf:firstName \"Harald\" ; \
+             foaf:mbox <mailto:gall@ifi.uzh.ch> . }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&second),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["UPDATE author SET firstname = 'Harald', email = 'gall@ifi.uzh.ch' WHERE id = 9;"]
+        );
+    }
+
+    #[test]
+    fn missing_not_null_property_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        // A new author without foaf:family_name (lastname NOT NULL).
+        let op = parse_update("INSERT DATA { ex:author9 foaf:firstName \"X\" . }");
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            OntoError::MissingRequiredProperty { ref attribute, .. } if attribute == "lastname"
+        ));
+    }
+
+    #[test]
+    fn dangling_fk_object_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA { ex:author9 foaf:family_name \"X\" ; ont:team ex:team99 . }",
+        );
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OntoError::DanglingObject { .. }));
+    }
+
+    #[test]
+    fn fk_satisfied_by_sibling_group() {
+        // Listing 15's shape: the team is created in the same operation.
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA {
+               ex:author9 foaf:family_name \"New\" ; ont:team ex:team7 .
+               ex:team7 foaf:name \"Fresh Team\" .
+             }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_value_for_set_attribute_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        // author6 exists with lastname 'Hert'.
+        let op = parse_update("INSERT DATA { ex:author6 foaf:family_name \"Other\" . }");
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OntoError::AttributeAlreadySet { .. }));
+        // …but allowed with the MODIFY overwrite option.
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions {
+                allow_overwrite: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["UPDATE author SET lastname = 'Other' WHERE id = 6;"]
+        );
+    }
+
+    #[test]
+    fn reasserting_existing_triple_is_noop() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("INSERT DATA { ex:author6 foaf:family_name \"Hert\" . }");
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert!(stmts.is_empty());
+    }
+
+    #[test]
+    fn type_triple_checked_against_class() {
+        let (db, mapping) = fixture_db_with_rows();
+        let ok = parse_update(
+            "INSERT DATA { ex:team7 a foaf:Group ; foaf:name \"T\" . }",
+        );
+        assert!(translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&ok),
+            TranslateOptions::default()
+        )
+        .is_ok());
+        let bad = parse_update("INSERT DATA { ex:team7 a foaf:Person ; foaf:name \"T\" . }");
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&bad),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OntoError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA { ex:team7 foaf:name \"T\" ; foaf:mbox <mailto:t@x.ch> . }",
+        );
+        // foaf:mbox is an author property, not a team property.
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            OntoError::UnknownProperty { ref table, .. } if table == "team"
+        ));
+    }
+
+    #[test]
+    fn link_triple_translates_to_link_table_insert() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update("INSERT DATA { ex:pub1 dc:creator ex:author6 . }");
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["INSERT INTO publication_author (publication, author) VALUES (1, 6);"]
+        );
+    }
+
+    #[test]
+    fn type_mismatch_in_literal_rejected() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA { ex:pub9 dc:title \"T\" ; ont:pubYear \"not-a-year\" . }",
+        );
+        let err = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OntoError::ValueIncompatible { .. }));
+    }
+
+    #[test]
+    fn mbox_value_pattern_extracts_email() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA { ex:author9 foaf:family_name \"G\" ; \
+             foaf:mbox <mailto:g@ifi.uzh.ch> . }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["INSERT INTO author (id, lastname, email) VALUES (9, 'G', 'g@ifi.uzh.ch');"]
+        );
+        // Non-mailto object rejected.
+        let bad = parse_update(
+            "INSERT DATA { ex:author9 foaf:family_name \"G\" ; \
+             foaf:mbox <http://not-a-mailbox.org/> . }",
+        );
+        assert!(matches!(
+            translate_insert_data(&db, &mapping, &insert_data(&bad), TranslateOptions::default()),
+            Err(OntoError::ValueIncompatible { .. })
+        ));
+    }
+}

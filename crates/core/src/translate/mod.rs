@@ -1,0 +1,230 @@
+//! Algorithm 1 (paper §5.1): translating the triples of `INSERT DATA` /
+//! `DELETE DATA` operations to SQL DML.
+//!
+//! The six steps of the paper's Algorithm 1 map to this module as:
+//!
+//! 1. `groupTriples`   → [`group_by_subject`]
+//! 2. `identifyTable`  → [`identify`] (via the R3M URI patterns)
+//! 3. `check`          → inside [`insert`] / [`delete`] (constraint
+//!    screening against the mapping-recorded constraints)
+//! 4. `generateSQL`    → inside [`insert`] / [`delete`]
+//! 5. `sortSQL`        → [`sort`] (topological sort along FK edges)
+//! 6. `executeSQL`     → [`execute_sorted`] (one transaction per
+//!    SPARQL/Update operation)
+
+pub mod delete;
+pub mod insert;
+pub mod sort;
+
+use crate::convert::pattern_value;
+use crate::error::{OntoError, OntoResult};
+use r3m::{Mapping, TableMap};
+use rdf::{Iri, Term, Triple};
+use rel::sql::Statement;
+use rel::{Database, Value};
+use std::collections::BTreeMap;
+
+/// Options modulating translation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslateOptions {
+    /// Allow `INSERT DATA` to overwrite an attribute that already holds
+    /// a different value. Off by default (a second value for a
+    /// single-valued attribute is an error); Algorithm 2 switches it on
+    /// for inserts whose matching delete was optimized away (§5.2).
+    pub allow_overwrite: bool,
+}
+
+/// Step 1 — group triples by subject: "these triples all represent data
+/// about the same entity and therefore target the same table".
+/// Deterministic subject order (term order).
+pub fn group_by_subject(triples: &[Triple]) -> Vec<(Term, Vec<Triple>)> {
+    let mut groups: BTreeMap<Term, Vec<Triple>> = BTreeMap::new();
+    for t in triples {
+        groups.entry(t.subject.clone()).or_default().push(t.clone());
+    }
+    groups.into_iter().collect()
+}
+
+/// A subject identified against the mapping: its table and the key
+/// values extracted from the URI (typed per the schema).
+#[derive(Debug, Clone)]
+pub struct IdentifiedSubject<'a> {
+    /// The subject's instance IRI.
+    pub uri: Iri,
+    /// Table map the URI pattern resolved to.
+    pub table_map: &'a TableMap,
+    /// `(attribute, value)` pairs extracted from the URI, converted to
+    /// the column types.
+    pub key: Vec<(String, Value)>,
+}
+
+impl IdentifiedSubject<'_> {
+    /// Values of the table's primary key columns, in PK declaration
+    /// order (what `find_by_pk` expects).
+    pub fn pk_values(&self, table: &rel::Table) -> OntoResult<Vec<Value>> {
+        let mut out = Vec::with_capacity(table.primary_key.len());
+        for pk in &table.primary_key {
+            let value = self
+                .key
+                .iter()
+                .find(|(attr, _)| attr == pk)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| OntoError::Unsupported {
+                    message: format!(
+                        "uriPattern of table {:?} does not expose primary key attribute {pk:?}",
+                        table.name
+                    ),
+                })?;
+            out.push(value);
+        }
+        Ok(out)
+    }
+}
+
+/// Step 2 — identify the table affected by a subject group "through the
+/// URI of their subject", extracting key attribute values (e.g.
+/// `…/author1` → table `author`, `id = 1`).
+pub fn identify<'a>(
+    db: &Database,
+    mapping: &'a Mapping,
+    subject: &Term,
+) -> OntoResult<IdentifiedSubject<'a>> {
+    let uri = match subject {
+        Term::Iri(iri) => iri.clone(),
+        Term::Blank(b) => {
+            return Err(OntoError::BlankNodeSubject {
+                label: b.label().to_owned(),
+            })
+        }
+        Term::Literal(_) => {
+            return Err(OntoError::UnknownSubject {
+                subject: subject.clone(),
+            })
+        }
+    };
+    let (table_map, raw_values) =
+        mapping
+            .identify(&uri)
+            .ok_or_else(|| OntoError::UnknownSubject {
+                subject: subject.clone(),
+            })?;
+    let table = db.schema().table(&table_map.table_name)?;
+    let mut key = Vec::with_capacity(raw_values.len());
+    for (attr, raw) in raw_values {
+        let column = table
+            .column(&attr)
+            .ok_or_else(|| OntoError::Unsupported {
+                message: format!(
+                    "uriPattern attribute {attr:?} missing from table {:?}",
+                    table.name
+                ),
+            })?;
+        let value = pattern_value(&raw, column.ty).map_err(|reason| {
+            OntoError::ValueIncompatible {
+                table: table.name.clone(),
+                attribute: attr.clone(),
+                value: subject.clone(),
+                reason,
+            }
+        })?;
+        key.push((attr, value));
+    }
+    Ok(IdentifiedSubject {
+        uri,
+        table_map,
+        key,
+    })
+}
+
+/// Find the row a subject denotes, if present.
+pub fn find_row(
+    db: &Database,
+    identified: &IdentifiedSubject<'_>,
+) -> OntoResult<Option<rel::RowId>> {
+    let table = db.schema().table(&identified.table_map.table_name)?;
+    let pk = identified.pk_values(table)?;
+    Ok(db.find_by_pk(&table.name, &pk)?)
+}
+
+/// Steps 5+6 — sort the collected statements by FK dependencies and
+/// execute them inside one transaction. On any failure the transaction
+/// is rolled back and the database is unchanged.
+///
+/// Returns the statements in execution order.
+pub fn execute_sorted(db: &mut Database, statements: Vec<Statement>) -> OntoResult<Vec<Statement>> {
+    let sorted = sort::sort_statements(db.schema(), statements)?;
+    db.begin()?;
+    for stmt in &sorted {
+        if let Err(e) = rel::sql::execute(db, stmt) {
+            db.rollback()?;
+            return Err(OntoError::Database(e));
+        }
+    }
+    db.commit()?;
+    Ok(sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{endpoint_fixture, parse_update};
+
+    #[test]
+    fn grouping_is_by_subject_and_deterministic() {
+        let (_, mapping) = endpoint_fixture();
+        let _ = &mapping;
+        let op = parse_update(
+            "INSERT DATA {
+               ex:team5 foaf:name \"SE\" .
+               ex:author6 foaf:family_name \"Hert\" ; foaf:title \"Mr\" .
+               ex:team5 ont:teamCode \"SEAL\" .
+             }",
+        );
+        let sparql::UpdateOp::InsertData { triples } = op else {
+            panic!()
+        };
+        let groups = group_by_subject(&triples);
+        assert_eq!(groups.len(), 2);
+        // Term order: author6 < team5.
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].1.len(), 2);
+    }
+
+    #[test]
+    fn identify_extracts_typed_key() {
+        let (db, mapping) = endpoint_fixture();
+        let subject = Term::iri("http://example.org/db/author1");
+        let identified = identify(&db, &mapping, &subject).unwrap();
+        assert_eq!(identified.table_map.table_name, "author");
+        assert_eq!(identified.key, vec![("id".to_owned(), Value::Int(1))]);
+    }
+
+    #[test]
+    fn identify_rejects_unknown_pattern() {
+        let (db, mapping) = endpoint_fixture();
+        let subject = Term::iri("http://example.org/db/wizard9");
+        assert!(matches!(
+            identify(&db, &mapping, &subject),
+            Err(OntoError::UnknownSubject { .. })
+        ));
+    }
+
+    #[test]
+    fn identify_rejects_blank_nodes() {
+        let (db, mapping) = endpoint_fixture();
+        assert!(matches!(
+            identify(&db, &mapping, &Term::blank("b0")),
+            Err(OntoError::BlankNodeSubject { .. })
+        ));
+    }
+
+    #[test]
+    fn identify_rejects_non_numeric_key_for_integer_pk() {
+        let (db, mapping) = endpoint_fixture();
+        let subject = Term::iri("http://example.org/db/authorXY");
+        assert!(matches!(
+            identify(&db, &mapping, &subject),
+            Err(OntoError::ValueIncompatible { .. })
+        ));
+    }
+}

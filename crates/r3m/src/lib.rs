@@ -1,0 +1,34 @@
+//! R3M — the update-aware RDB→RDF mapping language of OntoAccess (Hert,
+//! Reif, Gall: *Updating Relational Data via SPARQL/Update*, EDBT 2010,
+//! §4).
+//!
+//! R3M maps database tables to ontology classes and attributes to
+//! properties, with explicit support for N:M link tables (mapped to
+//! object properties) and — the update-aware part — recorded integrity
+//! constraints (`PrimaryKey`, `ForeignKey`, `NotNull`, `Default`,
+//! `Unique`) that let the translator reject invalid updates before they
+//! reach the database and explain *why*.
+//!
+//! * [`model`] — the mapping data model
+//! * [`uri_pattern`] — `author%%id%%`-style instance URI patterns
+//! * [`reader`] / [`writer`] — the RDF syntax (paper Listings 1-5)
+//! * [`generator`] — automatic mapping generation from a schema
+//! * [`mod@validate`] — cross-checking mapping against schema
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod model;
+pub mod reader;
+pub mod uri_pattern;
+pub mod validate;
+pub mod writer;
+
+pub use generator::{generate, GenerateError, GeneratorConfig};
+pub use model::{
+    AttributeMap, ConstraintInfo, LinkTableMap, Mapping, PropertyMapping, TableMap,
+};
+pub use reader::{from_graph, from_turtle, MappingError};
+pub use uri_pattern::{PatternError, Segment, UriPattern};
+pub use validate::{validate, validate_strict, Issue, Severity};
+pub use writer::{to_graph, to_turtle};

@@ -1,0 +1,539 @@
+//! Validation of an R3M mapping against the relational schema it claims
+//! to describe.
+//!
+//! The translator trusts the mapping (step 3 of Algorithm 1 checks
+//! requests against *mapping-recorded* constraints), so a mapping that
+//! disagrees with the schema would let invalid updates through to the
+//! database — or reject valid ones. This module cross-checks the two up
+//! front.
+
+use crate::model::{AttributeMap, ConstraintInfo, Mapping};
+use rel::Schema;
+use std::fmt;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Mapping unusable: the translator would misbehave.
+    Error,
+    /// Suspicious but workable (e.g. a NOT NULL the mapping does not
+    /// record — the database would still reject the insert, only the
+    /// early check and feedback quality degrade).
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// Severity.
+    pub severity: Severity,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Validate `mapping` against `schema`, returning all findings.
+pub fn validate(mapping: &Mapping, schema: &Schema) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let error = |issues: &mut Vec<Issue>, message: String| {
+        issues.push(Issue {
+            severity: Severity::Error,
+            message,
+        })
+    };
+    let warn = |issues: &mut Vec<Issue>, message: String| {
+        issues.push(Issue {
+            severity: Severity::Warning,
+            message,
+        })
+    };
+
+    // Classes must be unambiguous (identification in Algorithm 1 relies
+    // on class → table resolution for inserts).
+    for (i, a) in mapping.tables.iter().enumerate() {
+        for b in &mapping.tables[i + 1..] {
+            if a.class == b.class {
+                error(
+                    &mut issues,
+                    format!(
+                        "tables {:?} and {:?} both map to class {}",
+                        a.table_name, b.table_name, b.class
+                    ),
+                );
+            }
+        }
+    }
+
+    for table_map in &mapping.tables {
+        let table = match schema.table(&table_map.table_name) {
+            Ok(t) => t,
+            Err(_) => {
+                error(
+                    &mut issues,
+                    format!("mapped table {:?} does not exist in the schema", table_map.table_name),
+                );
+                continue;
+            }
+        };
+
+        // URI pattern attributes must exist and should cover the PK.
+        for attr in table_map.uri_pattern.attributes() {
+            if table.column(attr).is_none() {
+                error(
+                    &mut issues,
+                    format!(
+                        "uriPattern of {:?} references missing attribute {attr:?}",
+                        table_map.table_name
+                    ),
+                );
+            }
+        }
+        for pk in &table.primary_key {
+            if !table_map.uri_pattern.attributes().contains(&pk.as_str()) {
+                warn(
+                    &mut issues,
+                    format!(
+                        "uriPattern of {:?} does not include primary key attribute {pk:?}; \
+                         instance URIs will not identify rows",
+                        table_map.table_name
+                    ),
+                );
+            }
+        }
+
+        // Properties must be unambiguous within a table.
+        for (i, a) in table_map.attributes.iter().enumerate() {
+            if let Some(pa) = &a.property {
+                for b in &table_map.attributes[i + 1..] {
+                    if let Some(pb) = &b.property {
+                        if pa.property() == pb.property() {
+                            error(
+                                &mut issues,
+                                format!(
+                                    "attributes {:?} and {:?} of table {:?} both map to {}",
+                                    a.attribute_name,
+                                    b.attribute_name,
+                                    table_map.table_name,
+                                    pa.property()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        for attr in &table_map.attributes {
+            validate_attribute(mapping, schema, &table_map.table_name, attr, &mut issues);
+        }
+
+        // Every schema constraint should be recorded for early checking.
+        for column in &table.columns {
+            let Some(attr) = table_map.attribute(&column.name) else {
+                warn(
+                    &mut issues,
+                    format!(
+                        "schema attribute {}.{} is not mapped; its values are \
+                         unreachable from the ontology",
+                        table_map.table_name, column.name
+                    ),
+                );
+                continue;
+            };
+            if column.not_null
+                && !table.is_primary_key(&column.name)
+                && !attr.is_not_null()
+            {
+                warn(
+                    &mut issues,
+                    format!(
+                        "schema declares {}.{} NOT NULL but the mapping does not record it",
+                        table_map.table_name, column.name
+                    ),
+                );
+            }
+            if table.is_primary_key(&column.name) && !attr.is_primary_key() {
+                error(
+                    &mut issues,
+                    format!(
+                        "schema declares {}.{} as primary key but the mapping does not",
+                        table_map.table_name, column.name
+                    ),
+                );
+            }
+            if column.default.is_some() && !attr.has_default() {
+                warn(
+                    &mut issues,
+                    format!(
+                        "schema declares a default for {}.{} but the mapping does not record it",
+                        table_map.table_name, column.name
+                    ),
+                );
+            }
+        }
+    }
+
+    for link in &mapping.link_tables {
+        let table = match schema.table(&link.table_name) {
+            Ok(t) => t,
+            Err(_) => {
+                error(
+                    &mut issues,
+                    format!(
+                        "mapped link table {:?} does not exist in the schema",
+                        link.table_name
+                    ),
+                );
+                continue;
+            }
+        };
+        for attr in [&link.subject_attribute, &link.object_attribute] {
+            if table.column(&attr.attribute_name).is_none() {
+                error(
+                    &mut issues,
+                    format!(
+                        "link table {:?}: attribute {:?} does not exist",
+                        link.table_name, attr.attribute_name
+                    ),
+                );
+            }
+            validate_attribute(mapping, schema, &link.table_name, attr, &mut issues);
+        }
+        if mapping
+            .tables
+            .iter()
+            .any(|t| t.attribute_for_property(&link.property).is_some())
+        {
+            error(
+                &mut issues,
+                format!(
+                    "link table property {} is also mapped by a table attribute",
+                    link.property
+                ),
+            );
+        }
+    }
+
+    issues
+}
+
+fn validate_attribute(
+    mapping: &Mapping,
+    schema: &Schema,
+    table_name: &str,
+    attr: &AttributeMap,
+    issues: &mut Vec<Issue>,
+) {
+    let Ok(table) = schema.table(table_name) else {
+        return;
+    };
+    if table.column(&attr.attribute_name).is_none() {
+        issues.push(Issue {
+            severity: Severity::Error,
+            message: format!(
+                "mapped attribute {}.{} does not exist in the schema",
+                table_name, attr.attribute_name
+            ),
+        });
+        return;
+    }
+    for constraint in &attr.constraints {
+        match constraint {
+            ConstraintInfo::ForeignKey { references } => {
+                // The mapping-side FK must exist in the schema …
+                let Some(fk) = table.foreign_key_on(&attr.attribute_name) else {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "mapping records a foreign key on {}.{} but the schema has none",
+                            table_name, attr.attribute_name
+                        ),
+                    });
+                    continue;
+                };
+                // … and point at the map node of the referenced table.
+                let target_ok = mapping
+                    .table_by_id(references)
+                    .map(|t| t.table_name == fk.ref_table)
+                    .or_else(|| {
+                        mapping
+                            .link_tables
+                            .iter()
+                            .find(|lt| &lt.id == references)
+                            .map(|lt| lt.table_name == fk.ref_table)
+                    });
+                match target_ok {
+                    Some(true) => {}
+                    Some(false) => issues.push(Issue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "foreign key on {}.{} references the wrong table map \
+                             (schema points at {:?})",
+                            table_name, attr.attribute_name, fk.ref_table
+                        ),
+                    }),
+                    None => issues.push(Issue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "foreign key on {}.{} references unknown map node {}",
+                            table_name, attr.attribute_name, references
+                        ),
+                    }),
+                }
+            }
+            ConstraintInfo::NotNull => {
+                let column = table
+                    .column(&attr.attribute_name)
+                    .expect("checked above");
+                if !column.not_null && !table.is_primary_key(&attr.attribute_name) {
+                    issues.push(Issue {
+                        severity: Severity::Warning,
+                        message: format!(
+                            "mapping records NOT NULL on {}.{} but the schema does not \
+                             declare it; the early check is stricter than the database",
+                            table_name, attr.attribute_name
+                        ),
+                    });
+                }
+            }
+            ConstraintInfo::PrimaryKey => {
+                if !table.is_primary_key(&attr.attribute_name) {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        message: format!(
+                            "mapping records {}.{} as primary key but the schema does not",
+                            table_name, attr.attribute_name
+                        ),
+                    });
+                }
+            }
+            ConstraintInfo::Check { name, .. } => {
+                if !table.checks.iter().any(|c| &c.name == name) {
+                    issues.push(Issue {
+                        severity: Severity::Warning,
+                        message: format!(
+                            "mapping records CHECK {name:?} on {}.{} but the schema \
+                             declares no such constraint",
+                            table_name, attr.attribute_name
+                        ),
+                    });
+                }
+            }
+            ConstraintInfo::Unique | ConstraintInfo::Default { .. } => {}
+        }
+    }
+}
+
+/// Validate and fail on the first error (warnings are returned alongside
+/// `Ok`).
+pub fn validate_strict(mapping: &Mapping, schema: &Schema) -> Result<Vec<Issue>, Issue> {
+    let issues = validate(mapping, schema);
+    if let Some(first_error) = issues
+        .iter()
+        .find(|i| i.severity == Severity::Error)
+        .cloned()
+    {
+        Err(first_error)
+    } else {
+        Ok(issues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use rel::{Column, SqlType, Table, Value};
+
+    fn schema() -> Schema {
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("team")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("name", SqlType::Varchar))
+                    .primary_key(&["id"])
+                    .build(),
+            )
+            .unwrap();
+        schema
+            .add_table(
+                Table::builder("author")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("lastname", SqlType::Varchar).not_null())
+                    .column(Column::new("rank", SqlType::Integer).default_value(Value::Int(0)))
+                    .column(Column::new("team", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .foreign_key("team", "team", "id")
+                    .build(),
+            )
+            .unwrap();
+        schema
+    }
+
+    fn valid_mapping() -> Mapping {
+        generate(&schema(), &GeneratorConfig::new()).unwrap()
+    }
+
+    #[test]
+    fn generated_mapping_is_clean() {
+        let issues = validate(&valid_mapping(), &schema());
+        assert!(
+            issues.iter().all(|i| i.severity != Severity::Error),
+            "unexpected errors: {issues:?}"
+        );
+        assert!(validate_strict(&valid_mapping(), &schema()).is_ok());
+    }
+
+    #[test]
+    fn missing_table_is_error() {
+        let mut m = valid_mapping();
+        m.tables[0].table_name = "ghost".into();
+        let err = validate_strict(&m, &schema()).unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn missing_attribute_is_error() {
+        let mut m = valid_mapping();
+        let author = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "author")
+            .unwrap();
+        author.attributes[1].attribute_name = "ghost".into();
+        assert!(validate_strict(&m, &schema()).is_err());
+    }
+
+    #[test]
+    fn duplicate_class_is_error() {
+        let mut m = valid_mapping();
+        let class = m.tables[0].class.clone();
+        m.tables[1].class = class;
+        assert!(validate_strict(&m, &schema()).is_err());
+    }
+
+    #[test]
+    fn duplicate_property_within_table_is_error() {
+        let mut m = valid_mapping();
+        let author = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "author")
+            .unwrap();
+        let p = author
+            .attribute("lastname")
+            .unwrap()
+            .property
+            .clone()
+            .unwrap();
+        let rank = author
+            .attributes
+            .iter_mut()
+            .find(|a| a.attribute_name == "rank")
+            .unwrap();
+        rank.property = Some(p);
+        assert!(validate_strict(&m, &schema()).is_err());
+    }
+
+    #[test]
+    fn fk_to_wrong_map_node_is_error() {
+        let mut m = valid_mapping();
+        let bogus = rdf::Iri::parse("http://example.org/map#nothing").unwrap();
+        let author = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "author")
+            .unwrap();
+        let team_attr = author
+            .attributes
+            .iter_mut()
+            .find(|a| a.attribute_name == "team")
+            .unwrap();
+        team_attr.constraints = vec![ConstraintInfo::ForeignKey { references: bogus }];
+        assert!(validate_strict(&m, &schema()).is_err());
+    }
+
+    #[test]
+    fn unrecorded_not_null_is_warning() {
+        let mut m = valid_mapping();
+        let author = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "author")
+            .unwrap();
+        let lastname = author
+            .attributes
+            .iter_mut()
+            .find(|a| a.attribute_name == "lastname")
+            .unwrap();
+        lastname.constraints.clear();
+        let issues = validate(&m, &schema());
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Warning && i.message.contains("NOT NULL")));
+        // Warnings alone don't fail strict validation.
+        assert!(validate_strict(&m, &schema()).is_ok());
+    }
+
+    #[test]
+    fn pattern_missing_pk_is_warning() {
+        let mut m = valid_mapping();
+        let team = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "team")
+            .unwrap();
+        team.uri_pattern = crate::uri_pattern::UriPattern::parse("team%%name%%").unwrap();
+        let issues = validate(&m, &schema());
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("does not include primary key")));
+    }
+
+    #[test]
+    fn unmapped_schema_attribute_is_warning() {
+        let mut m = valid_mapping();
+        let team = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "team")
+            .unwrap();
+        team.attributes.retain(|a| a.attribute_name != "name");
+        let issues = validate(&m, &schema());
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Warning && i.message.contains("not mapped")));
+    }
+
+    #[test]
+    fn mapping_side_fk_without_schema_fk_is_error() {
+        let mut m = valid_mapping();
+        let team_map_id = m.table("team").unwrap().id.clone();
+        let team = m
+            .tables
+            .iter_mut()
+            .find(|t| t.table_name == "team")
+            .unwrap();
+        let name_attr = team
+            .attributes
+            .iter_mut()
+            .find(|a| a.attribute_name == "name")
+            .unwrap();
+        name_attr
+            .constraints
+            .push(ConstraintInfo::ForeignKey {
+                references: team_map_id,
+            });
+        assert!(validate_strict(&m, &schema()).is_err());
+    }
+}

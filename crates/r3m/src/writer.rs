@@ -1,0 +1,235 @@
+//! Serialize an R3M mapping back to its RDF representation — the inverse
+//! of [`crate::reader`], producing documents in the style of the paper's
+//! Listings 1-5. `reader::from_graph(writer::to_graph(m)) == m` is a
+//! tested round-trip invariant.
+
+use crate::model::{AttributeMap, ConstraintInfo, Mapping, PropertyMapping};
+use rdf::namespace::{r3m, rdf_type, PrefixMap};
+use rdf::{BlankNode, Graph, Iri, Literal, Term, Triple};
+
+/// Build the RDF graph describing `mapping`.
+pub fn to_graph(mapping: &Mapping) -> Graph {
+    let mut graph = Graph::new();
+    let mut blank_counter = 0usize;
+    let db = Term::Iri(mapping.id.clone());
+    graph.insert(Triple::new(db.clone(), rdf_type(), Term::Iri(r3m::DatabaseMap())));
+
+    let lit = |graph: &mut Graph, s: &Term, p: Iri, v: &Option<String>| {
+        if let Some(v) = v {
+            graph.insert(Triple::new(s.clone(), p, Literal::plain(v.clone())));
+        }
+    };
+    lit(&mut graph, &db, r3m::jdbcDriver(), &mapping.jdbc_driver);
+    lit(&mut graph, &db, r3m::jdbcUrl(), &mapping.jdbc_url);
+    lit(&mut graph, &db, r3m::username(), &mapping.username);
+    lit(&mut graph, &db, r3m::password(), &mapping.password);
+    lit(&mut graph, &db, r3m::uriPrefix(), &mapping.uri_prefix);
+
+    for table in &mapping.tables {
+        let node = Term::Iri(table.id.clone());
+        graph.insert(Triple::new(db.clone(), r3m::hasTable(), node.clone()));
+        graph.insert(Triple::new(node.clone(), rdf_type(), Term::Iri(r3m::TableMap())));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::hasTableName(),
+            Literal::plain(table.table_name.clone()),
+        ));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::mapsToClass(),
+            Term::Iri(table.class.clone()),
+        ));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::uriPattern(),
+            Literal::plain(table.uri_pattern.source().to_owned()),
+        ));
+        for attr in &table.attributes {
+            let attr_node = write_attribute(&mut graph, attr, &mut blank_counter);
+            graph.insert(Triple::new(node.clone(), r3m::hasAttribute(), attr_node));
+        }
+    }
+
+    for link in &mapping.link_tables {
+        let node = Term::Iri(link.id.clone());
+        graph.insert(Triple::new(db.clone(), r3m::hasTable(), node.clone()));
+        graph.insert(Triple::new(
+            node.clone(),
+            rdf_type(),
+            Term::Iri(r3m::LinkTableMap()),
+        ));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::hasTableName(),
+            Literal::plain(link.table_name.clone()),
+        ));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::mapsToObjectProperty(),
+            Term::Iri(link.property.clone()),
+        ));
+        let s_node = write_attribute(&mut graph, &link.subject_attribute, &mut blank_counter);
+        graph.insert(Triple::new(node.clone(), r3m::hasSubjectAttribute(), s_node));
+        let o_node = write_attribute(&mut graph, &link.object_attribute, &mut blank_counter);
+        graph.insert(Triple::new(node.clone(), r3m::hasObjectAttribute(), o_node));
+    }
+    graph
+}
+
+/// Serialize `mapping` as Turtle (using the common prefixes plus a `map:`
+/// prefix derived from the mapping node's namespace when possible).
+pub fn to_turtle(mapping: &Mapping) -> String {
+    let graph = to_graph(mapping);
+    let mut prefixes = PrefixMap::common();
+    // Try to register a `map:` prefix so the output resembles the paper.
+    let id = mapping.id.as_str();
+    if let Some(pos) = id.rfind(['#', '/']) {
+        prefixes.insert("map", &id[..pos + 1]);
+    }
+    rdf::turtle::write(&graph, &prefixes)
+}
+
+fn write_attribute(graph: &mut Graph, attr: &AttributeMap, blank_counter: &mut usize) -> Term {
+    let node = Term::Iri(attr.id.clone());
+    graph.insert(Triple::new(
+        node.clone(),
+        rdf_type(),
+        Term::Iri(r3m::AttributeMap()),
+    ));
+    graph.insert(Triple::new(
+        node.clone(),
+        r3m::hasAttributeName(),
+        Literal::plain(attr.attribute_name.clone()),
+    ));
+    match &attr.property {
+        Some(PropertyMapping::Data(p)) => {
+            graph.insert(Triple::new(
+                node.clone(),
+                r3m::mapsToDataProperty(),
+                Term::Iri(p.clone()),
+            ));
+        }
+        Some(PropertyMapping::Object(p)) => {
+            graph.insert(Triple::new(
+                node.clone(),
+                r3m::mapsToObjectProperty(),
+                Term::Iri(p.clone()),
+            ));
+        }
+        None => {}
+    }
+    if let Some(pattern) = &attr.value_pattern {
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::valuePattern(),
+            Literal::plain(pattern.source().to_owned()),
+        ));
+    }
+    for constraint in &attr.constraints {
+        *blank_counter += 1;
+        let c_node = Term::Blank(BlankNode::new(format!("c{blank_counter}")));
+        graph.insert(Triple::new(node.clone(), r3m::hasConstraint(), c_node.clone()));
+        let class = match constraint {
+            ConstraintInfo::PrimaryKey => r3m::PrimaryKey(),
+            ConstraintInfo::NotNull => r3m::NotNull(),
+            ConstraintInfo::Unique => r3m::Unique(),
+            ConstraintInfo::Default { .. } => r3m::Default(),
+            ConstraintInfo::ForeignKey { .. } => r3m::ForeignKey(),
+            ConstraintInfo::Check { .. } => r3m::Check(),
+        };
+        graph.insert(Triple::new(c_node.clone(), rdf_type(), Term::Iri(class)));
+        match constraint {
+            ConstraintInfo::Default { value: Some(v) } => {
+                graph.insert(Triple::new(
+                    c_node.clone(),
+                    r3m::hasValue(),
+                    Literal::plain(v.clone()),
+                ));
+            }
+            ConstraintInfo::ForeignKey { references } => {
+                graph.insert(Triple::new(
+                    c_node.clone(),
+                    r3m::references(),
+                    Term::Iri(references.clone()),
+                ));
+            }
+            ConstraintInfo::Check { name, predicate } => {
+                graph.insert(Triple::new(
+                    c_node.clone(),
+                    r3m::hasName(),
+                    Literal::plain(name.clone()),
+                ));
+                graph.insert(Triple::new(
+                    c_node.clone(),
+                    r3m::hasValue(),
+                    Literal::plain(predicate.clone()),
+                ));
+            }
+            _ => {}
+        }
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader;
+
+    const DOC: &str = r#"
+@prefix r3m: <http://ontoaccess.org/r3m#> .
+@prefix map: <http://example.org/map#> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ont: <http://example.org/ontology#> .
+map:database a r3m:DatabaseMap ;
+    r3m:uriPrefix "http://example.org/db/" ;
+    r3m:hasTable map:author , map:team .
+map:author a r3m:TableMap ;
+    r3m:hasTableName "author" ;
+    r3m:mapsToClass foaf:Person ;
+    r3m:uriPattern "author%%id%%" ;
+    r3m:hasAttribute map:author_id , map:author_team .
+map:author_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+map:author_team a r3m:AttributeMap ;
+    r3m:hasAttributeName "team" ;
+    r3m:mapsToObjectProperty ont:team ;
+    r3m:hasConstraint [ a r3m:ForeignKey ; r3m:references map:team ] .
+map:team a r3m:TableMap ;
+    r3m:hasTableName "team" ;
+    r3m:mapsToClass foaf:Group ;
+    r3m:uriPattern "team%%id%%" ;
+    r3m:hasAttribute map:team_id .
+map:team_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ; ] ;
+    r3m:hasConstraint [ a r3m:Default ; r3m:hasValue "1" ] .
+"#;
+
+    #[test]
+    fn graph_round_trip() {
+        let mapping = reader::from_turtle(DOC).unwrap();
+        let graph = to_graph(&mapping);
+        let reloaded = reader::from_graph(&graph).unwrap();
+        assert_eq!(reloaded, mapping);
+    }
+
+    #[test]
+    fn turtle_round_trip() {
+        let mapping = reader::from_turtle(DOC).unwrap();
+        let text = to_turtle(&mapping);
+        let reloaded = reader::from_turtle(&text).unwrap();
+        assert_eq!(reloaded, mapping);
+    }
+
+    #[test]
+    fn turtle_uses_paper_vocabulary() {
+        let mapping = reader::from_turtle(DOC).unwrap();
+        let text = to_turtle(&mapping);
+        assert!(text.contains("r3m:DatabaseMap"));
+        assert!(text.contains("r3m:hasTableName"));
+        assert!(text.contains("map:author"));
+        assert!(text.contains("r3m:uriPattern"));
+    }
+}

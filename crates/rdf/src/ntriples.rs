@@ -1,0 +1,244 @@
+//! N-Triples parser and serializer (line-based exchange format, used for
+//! graph dumps and golden-file tests).
+
+use crate::graph::Graph;
+use crate::iri::Iri;
+use crate::literal::Literal;
+use crate::term::{BlankNode, Term};
+use crate::triple::Triple;
+use std::fmt;
+
+/// N-Triples parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl fmt::Display for NtParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ntriples:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtParseError {}
+
+/// Serialize a graph as N-Triples (one triple per line, deterministic
+/// order).
+pub fn write(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph.iter() {
+        out.push_str(&triple.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an N-Triples document.
+pub fn parse(input: &str) -> Result<Graph, NtParseError> {
+    let mut graph = Graph::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(trimmed).map_err(|message| NtParseError {
+            message,
+            line: line_no,
+        })?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str) -> Result<Triple, String> {
+    let mut rest = line;
+    let subject = take_term(&mut rest)?;
+    if subject.is_literal() {
+        return Err("literal in subject position".into());
+    }
+    let predicate = match take_term(&mut rest)? {
+        Term::Iri(iri) => iri,
+        other => return Err(format!("predicate must be an IRI, found {other}")),
+    };
+    let object = take_term(&mut rest)?;
+    let rest = rest.trim_start();
+    if rest != "." {
+        return Err(format!("expected terminating '.', found {rest:?}"));
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+fn take_term(rest: &mut &str) -> Result<Term, String> {
+    *rest = rest.trim_start();
+    let bytes = rest.as_bytes();
+    match bytes.first() {
+        Some(b'<') => {
+            let end = rest.find('>').ok_or("unterminated IRI")?;
+            let iri = Iri::parse(&rest[1..end]).map_err(|e| e.to_string())?;
+            *rest = &rest[end + 1..];
+            Ok(Term::Iri(iri))
+        }
+        Some(b'_') => {
+            if !rest.starts_with("_:") {
+                return Err("expected '_:'".into());
+            }
+            let body = &rest[2..];
+            let end = body
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(body.len());
+            let label = &body[..end];
+            if label.is_empty() {
+                return Err("empty blank node label".into());
+            }
+            *rest = &body[end..];
+            Ok(Term::Blank(BlankNode::new(label)))
+        }
+        Some(b'"') => {
+            let (lexical, after) = take_quoted(&rest[1..])?;
+            *rest = after;
+            if let Some(stripped) = rest.strip_prefix("^^") {
+                let stripped = stripped.trim_start();
+                if !stripped.starts_with('<') {
+                    return Err("datatype must be an IRI".into());
+                }
+                let end = stripped.find('>').ok_or("unterminated datatype IRI")?;
+                let dt = Iri::parse(&stripped[1..end]).map_err(|e| e.to_string())?;
+                *rest = &stripped[end + 1..];
+                Ok(Term::Literal(Literal::typed(lexical, dt)))
+            } else if let Some(stripped) = rest.strip_prefix('@') {
+                let end = stripped
+                    .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                    .unwrap_or(stripped.len());
+                let tag = &stripped[..end];
+                if tag.is_empty() {
+                    return Err("empty language tag".into());
+                }
+                *rest = &stripped[end..];
+                Ok(Term::Literal(Literal::lang(lexical, tag)))
+            } else {
+                Ok(Term::Literal(Literal::plain(lexical)))
+            }
+        }
+        Some(_) | None => Err(format!("expected term, found {rest:?}")),
+    }
+}
+
+// Read a quoted string body (after the opening quote); returns the
+// unescaped content and the remainder after the closing quote.
+fn take_quoted(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) | Some((_, 'U')) => {
+                    let need = if s.as_bytes()[i + 1] == b'u' { 4 } else { 8 };
+                    let mut hex = String::new();
+                    for _ in 0..need {
+                        match chars.next() {
+                            Some((_, h)) if h.is_ascii_hexdigit() => hex.push(h),
+                            _ => return Err("invalid unicode escape".into()),
+                        }
+                    }
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "invalid unicode escape")?;
+                    out.push(char::from_u32(code).ok_or("unicode escape out of range")?);
+                }
+                _ => return Err("unknown escape".into()),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string literal".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{foaf, rdf_type};
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://example.org/db/author6"),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://example.org/db/author6"),
+            foaf::family_name(),
+            Literal::plain("Hert"),
+        ));
+        g.insert(Triple::new(
+            Term::blank("b0"),
+            foaf::name(),
+            Literal::lang("Zürich \"crew\"", "de"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://example.org/db/pub12"),
+            Iri::parse("http://example.org/ontology#pubYear").unwrap(),
+            Literal::integer(2009),
+        ));
+        g
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let text = write(&g);
+        assert_eq!(parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn one_triple_per_line() {
+        let text = write(&sample());
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse("# comment\n\n<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n")
+            .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        assert!(parse("\"x\" <http://e.org/p> <http://e.org/o> .").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse("<http://e.org/s> <http://e.org/p> <http://e.org/o>").is_err());
+    }
+
+    #[test]
+    fn rejects_literal_predicate() {
+        assert!(parse("<http://e.org/s> \"p\" <http://e.org/o> .").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("<http://e.org/s> <http://e.org/p> <http://e.org/o> .\nbogus line\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn typed_literal_round_trip() {
+        let input = "<http://e.org/s> <http://e.org/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+        let g = parse(input).unwrap();
+        assert_eq!(write(&g), input);
+    }
+}

@@ -1,0 +1,166 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+
+use crate::iri::Iri;
+use crate::literal::Literal;
+use std::fmt;
+
+/// A blank node, identified by a label local to one document/graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(String);
+
+impl BlankNode {
+    /// Create a blank node with the given label (without the `_:` prefix).
+    pub fn new(label: impl Into<String>) -> Self {
+        BlankNode(label.into())
+    }
+
+    /// The label without the `_:` prefix.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// Any RDF term.
+///
+/// The `Ord` implementation orders IRIs < blank nodes < literals and then
+/// lexicographically, giving graphs a deterministic iteration order (which
+/// keeps translated SQL statement order stable across runs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI term.
+    Iri(Iri),
+    /// A blank node.
+    Blank(BlankNode),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Shorthand: IRI term parsed from a string. Panics on invalid input —
+    /// intended for tests and fixtures; use `Iri::parse` for data paths.
+    pub fn iri(s: &str) -> Term {
+        Term::Iri(Iri::parse(s).expect("Term::iri called with invalid IRI"))
+    }
+
+    /// Shorthand: blank node term.
+    pub fn blank(label: &str) -> Term {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// Shorthand: plain literal term.
+    pub fn plain(s: &str) -> Term {
+        Term::Literal(Literal::plain(s))
+    }
+
+    /// The IRI if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// The literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// The blank node if this term is one.
+    pub fn as_blank(&self) -> Option<&BlankNode> {
+        match self {
+            Term::Blank(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this term may appear in subject position (IRI or blank).
+    pub fn is_subject_term(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+
+    /// Whether this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Whether this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => iri.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(lit) => lit.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(iri: Iri) -> Self {
+        Term::Iri(iri)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(lit: Literal) -> Self {
+        Term::Literal(lit)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x.org/a").to_string(), "<http://x.org/a>");
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+        assert_eq!(Term::plain("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn ordering_groups_kinds() {
+        let iri = Term::iri("http://x.org/a");
+        let blank = Term::blank("a");
+        let lit = Term::plain("a");
+        assert!(iri < blank);
+        assert!(blank < lit);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Term::iri("http://x.org/a");
+        assert!(t.as_iri().is_some());
+        assert!(t.as_literal().is_none());
+        assert!(t.is_subject_term());
+        assert!(!Term::plain("x").is_subject_term());
+    }
+
+    #[test]
+    fn conversions() {
+        let iri = Iri::parse("http://x.org/a").unwrap();
+        let t: Term = iri.clone().into();
+        assert_eq!(t.as_iri(), Some(&iri));
+        let t: Term = Literal::plain("v").into();
+        assert!(t.is_literal());
+    }
+}

@@ -1,0 +1,79 @@
+//! RDF triples.
+
+use crate::iri::Iri;
+use crate::term::Term;
+use std::fmt;
+
+/// An RDF triple (subject, predicate, object).
+///
+/// Predicates are always IRIs per the RDF abstract syntax; subjects are
+/// restricted to IRIs/blank nodes by [`Triple::new`] in debug builds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject: IRI or blank node.
+    pub subject: Term,
+    /// Predicate IRI.
+    pub predicate: Iri,
+    /// Object: any term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Create a triple. Debug-asserts the subject is not a literal.
+    pub fn new(subject: impl Into<Term>, predicate: Iri, object: impl Into<Term>) -> Self {
+        let subject = subject.into();
+        debug_assert!(
+            subject.is_subject_term(),
+            "literal in subject position: {subject}"
+        );
+        Triple {
+            subject,
+            predicate,
+            object: object.into(),
+        }
+    }
+
+    /// Destructure into `(subject, predicate, object)`.
+    pub fn into_parts(self) -> (Term, Iri, Term) {
+        (self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    /// N-Triples-compatible rendering (`S P O .`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::foaf;
+
+    #[test]
+    fn display_is_ntriples() {
+        let t = Triple::new(
+            Term::iri("http://example.org/db/author6"),
+            foaf::mbox(),
+            Term::iri("mailto:hert@ifi.uzh.ch"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://example.org/db/author6> <http://xmlns.com/foaf/0.1/mbox> <mailto:hert@ifi.uzh.ch> ."
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "literal in subject position")]
+    fn literal_subject_panics_in_debug() {
+        let _ = Triple::new(Term::plain("nope"), foaf::name(), Term::plain("x"));
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let t = Triple::new(Term::blank("b"), foaf::name(), Term::plain("x"));
+        let (s, p, o) = t.clone().into_parts();
+        assert_eq!(Triple::new(s, p, o), t);
+    }
+}

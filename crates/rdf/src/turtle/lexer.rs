@@ -1,0 +1,561 @@
+//! Tokenizer for the Turtle subset used by R3M mapping documents and the
+//! fixtures (prefixed names, IRIs, literals, `;`/`,` predicate-object
+//! lists, blank node property lists `[ ... ]`, and `a`).
+
+use std::fmt;
+
+/// A Turtle token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub column: usize,
+}
+
+/// Token kinds for the Turtle subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `<...>`: IRI reference (content without brackets).
+    IriRef(String),
+    /// `prefix:local` (either part may be empty).
+    PrefixedName {
+        /// Namespace prefix (before the colon).
+        prefix: String,
+        /// Local part (after the colon).
+        local: String,
+    },
+    /// `_:label`.
+    BlankNodeLabel(String),
+    /// String literal content (unescaped).
+    StringLiteral(String),
+    /// `@lang` tag or the `@prefix`/`@base` directives.
+    AtWord(String),
+    /// Bare integer (e.g. `42`).
+    Integer(i64),
+    /// Bare decimal/double (kept lexical).
+    Decimal(String),
+    /// Bare `true`/`false`.
+    Boolean(bool),
+    /// The keyword `a`.
+    A,
+    /// `^^` datatype marker.
+    DatatypeMarker,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::IriRef(iri) => write!(f, "<{iri}>"),
+            TokenKind::PrefixedName { prefix, local } => write!(f, "{prefix}:{local}"),
+            TokenKind::BlankNodeLabel(l) => write!(f, "_:{l}"),
+            TokenKind::StringLiteral(s) => write!(f, "\"{s}\""),
+            TokenKind::AtWord(w) => write!(f, "@{w}"),
+            TokenKind::Integer(i) => write!(f, "{i}"),
+            TokenKind::Decimal(d) => write!(f, "{d}"),
+            TokenKind::Boolean(b) => write!(f, "{b}"),
+            TokenKind::A => write!(f, "a"),
+            TokenKind::DatatypeMarker => write!(f, "^^"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexer error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer over a Turtle document.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenize the whole input (trailing `Eof` token included).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let eof = token.kind == TokenKind::Eof;
+            tokens.push(token);
+            if eof {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia();
+        let line = self.line;
+        let column = self.column;
+        let token = |kind| Token { kind, line, column };
+        let Some(c) = self.peek() else {
+            return Ok(token(TokenKind::Eof));
+        };
+        match c {
+            '<' => {
+                self.bump();
+                let mut iri = String::new();
+                loop {
+                    match self.bump() {
+                        Some('>') => break,
+                        Some(c) if c.is_whitespace() => {
+                            return Err(self.error("whitespace inside IRI reference"))
+                        }
+                        Some(c) => iri.push(c),
+                        None => return Err(self.error("unterminated IRI reference")),
+                    }
+                }
+                Ok(token(TokenKind::IriRef(iri)))
+            }
+            '"' => {
+                self.bump();
+                let s = self.read_string()?;
+                Ok(token(TokenKind::StringLiteral(s)))
+            }
+            '@' => {
+                self.bump();
+                let mut word = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        word.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    return Err(self.error("'@' not followed by a word"));
+                }
+                Ok(token(TokenKind::AtWord(word)))
+            }
+            '^' => {
+                self.bump();
+                if self.peek() == Some('^') {
+                    self.bump();
+                    Ok(token(TokenKind::DatatypeMarker))
+                } else {
+                    Err(self.error("single '^' (expected '^^')"))
+                }
+            }
+            '.' => {
+                self.bump();
+                Ok(token(TokenKind::Dot))
+            }
+            ';' => {
+                self.bump();
+                Ok(token(TokenKind::Semicolon))
+            }
+            ',' => {
+                self.bump();
+                Ok(token(TokenKind::Comma))
+            }
+            '[' => {
+                self.bump();
+                Ok(token(TokenKind::LBracket))
+            }
+            ']' => {
+                self.bump();
+                Ok(token(TokenKind::RBracket))
+            }
+            '(' => {
+                self.bump();
+                Ok(token(TokenKind::LParen))
+            }
+            ')' => {
+                self.bump();
+                Ok(token(TokenKind::RParen))
+            }
+            '_' => {
+                self.bump();
+                if self.bump() != Some(':') {
+                    return Err(self.error("'_' not followed by ':' (blank node label)"));
+                }
+                let label = self.read_name();
+                if label.is_empty() {
+                    return Err(self.error("empty blank node label"));
+                }
+                Ok(token(TokenKind::BlankNodeLabel(label)))
+            }
+            c if c == '+' || c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                if c == '+' || c == '-' {
+                    num.push(c);
+                    self.bump();
+                }
+                let mut is_decimal = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        self.bump();
+                    } else if (c == '.' || c == 'e' || c == 'E')
+                        && !is_decimal_terminator(&mut self.chars.clone(), c)
+                    {
+                        is_decimal = true;
+                        num.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if is_decimal {
+                    Ok(token(TokenKind::Decimal(num)))
+                } else {
+                    let value: i64 = num
+                        .parse()
+                        .map_err(|_| self.error(format!("invalid integer {num:?}")))?;
+                    Ok(token(TokenKind::Integer(value)))
+                }
+            }
+            c if is_name_start(c) || c == ':' => {
+                let first = self.read_name();
+                if self.peek() == Some(':') {
+                    self.bump();
+                    let local = self.read_name();
+                    Ok(token(TokenKind::PrefixedName {
+                        prefix: first,
+                        local,
+                    }))
+                } else {
+                    match first.as_str() {
+                        "a" => Ok(token(TokenKind::A)),
+                        "true" => Ok(token(TokenKind::Boolean(true))),
+                        "false" => Ok(token(TokenKind::Boolean(false))),
+                        other => Err(self.error(format!("unexpected bare word {other:?}"))),
+                    }
+                }
+            }
+            other => Err(self.error(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn read_string(&mut self) -> Result<String, LexError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => out.push(self.read_unicode_escape(4)?),
+                    Some('U') => out.push(self.read_unicode_escape(8)?),
+                    Some(other) => {
+                        return Err(self.error(format!("unknown escape '\\{other}'")))
+                    }
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some('\n') => return Err(self.error("newline in single-line string")),
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn read_unicode_escape(&mut self, len: usize) -> Result<char, LexError> {
+        let mut hex = String::with_capacity(len);
+        for _ in 0..len {
+            match self.bump() {
+                Some(c) if c.is_ascii_hexdigit() => hex.push(c),
+                _ => return Err(self.error("invalid unicode escape")),
+            }
+        }
+        let code = u32::from_str_radix(&hex, 16).expect("hex digits verified");
+        char::from_u32(code).ok_or_else(|| self.error("unicode escape out of range"))
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+// A '.' terminates a number if not followed by a digit (it is then the
+// statement terminator).
+fn is_decimal_terminator(
+    lookahead: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    c: char,
+) -> bool {
+    if c != '.' {
+        return false;
+    }
+    lookahead.next();
+    !lookahead.peek().is_some_and(|n| n.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn iri_ref() {
+        assert_eq!(
+            kinds("<http://example.org/x>"),
+            vec![
+                TokenKind::IriRef("http://example.org/x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_name_and_a() {
+        assert_eq!(
+            kinds("map:author a r3m:TableMap ."),
+            vec![
+                TokenKind::PrefixedName {
+                    prefix: "map".into(),
+                    local: "author".into()
+                },
+                TokenKind::A,
+                TokenKind::PrefixedName {
+                    prefix: "r3m".into(),
+                    local: "TableMap".into()
+                },
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\nc""#),
+            vec![TokenKind::StringLiteral("a\"b\nc".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(
+            kinds(r#""é""#),
+            vec![TokenKind::StringLiteral("é".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn at_directives_and_lang() {
+        assert_eq!(
+            kinds("@prefix @base \"x\"@en"),
+            vec![
+                TokenKind::AtWord("prefix".into()),
+                TokenKind::AtWord("base".into()),
+                TokenKind::StringLiteral("x".into()),
+                TokenKind::AtWord("en".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 -7 3.14"),
+            vec![
+                TokenKind::Integer(42),
+                TokenKind::Integer(-7),
+                TokenKind::Decimal("3.14".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_followed_by_dot_terminator() {
+        // `5 .` — the dot is a statement terminator, not a decimal point.
+        assert_eq!(
+            kinds("ont:pubYear 5 ."),
+            vec![
+                TokenKind::PrefixedName {
+                    prefix: "ont".into(),
+                    local: "pubYear".into()
+                },
+                TokenKind::Integer(5),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# a comment\n42 # trailing\n"),
+            vec![TokenKind::Integer(42), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn blank_node_label() {
+        assert_eq!(
+            kinds("_:b0"),
+            vec![TokenKind::BlankNodeLabel("b0".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn datatype_marker() {
+        assert_eq!(
+            kinds("\"5\"^^xsd:int"),
+            vec![
+                TokenKind::StringLiteral("5".into()),
+                TokenKind::DatatypeMarker,
+                TokenKind::PrefixedName {
+                    prefix: "xsd".into(),
+                    local: "int".into()
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets() {
+        assert_eq!(
+            kinds("[ ] ( )"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = Lexer::new("\n  %").tokenize().unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_iri_is_error() {
+        assert!(Lexer::new("<http://x.org/").tokenize().is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+}

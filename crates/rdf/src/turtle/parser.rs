@@ -1,0 +1,486 @@
+//! Recursive-descent parser for the Turtle subset used throughout the
+//! reproduction (R3M mapping documents such as the paper's Listings 1-5,
+//! fixture data, and feedback documents).
+//!
+//! Supported grammar: `@prefix`/`@base` directives, subject
+//! predicate-object lists with `;` and `,`, the `a` keyword, IRI
+//! references, prefixed names, blank node labels, anonymous blank node
+//! property lists `[ ... ]` (the paper's constraint syntax, Listing 3),
+//! string literals with language tags and datatypes, and bare
+//! integer/decimal/boolean abbreviations.
+
+use crate::graph::Graph;
+use crate::iri::Iri;
+use crate::literal::Literal;
+use crate::namespace::{rdf_type, xsd, PrefixMap};
+use crate::term::{BlankNode, Term};
+use crate::triple::Triple;
+use crate::turtle::lexer::{LexError, Lexer, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle:{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            column: e.column,
+        }
+    }
+}
+
+/// Parse a Turtle document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    parse_with_prefixes(input, PrefixMap::new()).map(|(g, _)| g)
+}
+
+/// Parse a Turtle document, starting from the given prefix map (callers
+/// commonly pass [`PrefixMap::common`]), returning the graph and the
+/// final prefix map (including `@prefix` declarations from the document).
+pub fn parse_with_prefixes(
+    input: &str,
+    prefixes: PrefixMap,
+) -> Result<(Graph, PrefixMap), ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes,
+        base: None,
+        graph: Graph::new(),
+        blank_counter: 0,
+    };
+    parser.parse_document()?;
+    Ok((parser.graph, parser.prefixes))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: PrefixMap,
+    base: Option<String>,
+    graph: Graph,
+    blank_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error_at(&self, line: usize, column: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        let token = self.bump();
+        if &token.kind == kind {
+            Ok(())
+        } else {
+            Err(self.error_at(
+                token.line,
+                token.column,
+                format!("expected {kind}, found {}", token.kind),
+            ))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<(), ParseError> {
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => return Ok(()),
+                TokenKind::AtWord(w) if w == "prefix" => self.parse_prefix_directive()?,
+                TokenKind::AtWord(w) if w == "base" => self.parse_base_directive()?,
+                _ => self.parse_statement()?,
+            }
+        }
+    }
+
+    fn parse_prefix_directive(&mut self) -> Result<(), ParseError> {
+        self.bump(); // @prefix
+        let token = self.bump();
+        let (line, column) = (token.line, token.column);
+        let prefix = match token.kind {
+            TokenKind::PrefixedName { prefix, local } if local.is_empty() => prefix,
+            other => {
+                return Err(self.error_at(
+                    line,
+                    column,
+                    format!("expected prefix declaration name, found {other}"),
+                ))
+            }
+        };
+        let ns_token = self.bump();
+        let (ns_line, ns_column) = (ns_token.line, ns_token.column);
+        let ns = match ns_token.kind {
+            TokenKind::IriRef(iri) => self.resolve_iri_ref(&iri, ns_line, ns_column)?,
+            other => {
+                return Err(self.error_at(ns_line, ns_column, format!("expected IRI, found {other}")))
+            }
+        };
+        self.expect(&TokenKind::Dot)?;
+        self.prefixes.insert(prefix, ns.into_string());
+        Ok(())
+    }
+
+    fn parse_base_directive(&mut self) -> Result<(), ParseError> {
+        self.bump(); // @base
+        let token = self.bump();
+        let (line, column) = (token.line, token.column);
+        match token.kind {
+            TokenKind::IriRef(iri) => self.base = Some(iri),
+            other => return Err(self.error_at(line, column, format!("expected IRI, found {other}"))),
+        }
+        self.expect(&TokenKind::Dot)
+    }
+
+    fn parse_statement(&mut self) -> Result<(), ParseError> {
+        let subject = self.parse_subject()?;
+        self.parse_predicate_object_list(&subject)?;
+        self.expect(&TokenKind::Dot)
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, ParseError> {
+        let token = self.bump();
+        let (line, column) = (token.line, token.column);
+        match token.kind {
+            TokenKind::IriRef(iri) => Ok(Term::Iri(self.resolve_iri_ref(&iri, line, column)?)),
+            TokenKind::PrefixedName { prefix, local } => {
+                Ok(Term::Iri(self.resolve_prefixed(&prefix, &local, line, column)?))
+            }
+            TokenKind::BlankNodeLabel(label) => Ok(Term::Blank(BlankNode::new(label))),
+            TokenKind::LBracket => {
+                let node = self.fresh_blank();
+                self.parse_property_list_body(&node)?;
+                Ok(node)
+            }
+            other => Err(self.error_at(line, column, format!("expected subject, found {other}"))),
+        }
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
+        loop {
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object()?;
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if self.peek().kind == TokenKind::Semicolon {
+                self.bump();
+                // Trailing semicolons before '.' or ']' are legal Turtle.
+                if matches!(self.peek().kind, TokenKind::Dot | TokenKind::RBracket) {
+                    return Ok(());
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Iri, ParseError> {
+        let token = self.bump();
+        let (line, column) = (token.line, token.column);
+        match token.kind {
+            TokenKind::A => Ok(rdf_type()),
+            TokenKind::IriRef(iri) => self.resolve_iri_ref(&iri, line, column),
+            TokenKind::PrefixedName { prefix, local } => {
+                self.resolve_prefixed(&prefix, &local, line, column)
+            }
+            other => Err(self.error_at(line, column, format!("expected predicate, found {other}"))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, ParseError> {
+        let token = self.bump();
+        let (line, column) = (token.line, token.column);
+        match token.kind {
+            TokenKind::IriRef(iri) => Ok(Term::Iri(self.resolve_iri_ref(&iri, line, column)?)),
+            TokenKind::PrefixedName { prefix, local } => {
+                Ok(Term::Iri(self.resolve_prefixed(&prefix, &local, line, column)?))
+            }
+            TokenKind::BlankNodeLabel(label) => Ok(Term::Blank(BlankNode::new(label))),
+            TokenKind::LBracket => {
+                let node = self.fresh_blank();
+                self.parse_property_list_body(&node)?;
+                Ok(node)
+            }
+            TokenKind::StringLiteral(s) => self.parse_literal_suffix(s),
+            TokenKind::Integer(i) => Ok(Term::Literal(Literal::integer(i))),
+            TokenKind::Decimal(d) => Ok(Term::Literal(Literal::typed(d, xsd::decimal()))),
+            TokenKind::Boolean(b) => Ok(Term::Literal(Literal::boolean(b))),
+            other => Err(self.error_at(line, column, format!("expected object, found {other}"))),
+        }
+    }
+
+    // `[ p1 o1 ; p2 o2 ]` — body after the '['.
+    fn parse_property_list_body(&mut self, node: &Term) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::RBracket {
+            self.bump();
+            return Ok(());
+        }
+        self.parse_predicate_object_list(node)?;
+        self.expect(&TokenKind::RBracket)
+    }
+
+    fn parse_literal_suffix(&mut self, lexical: String) -> Result<Term, ParseError> {
+        match &self.peek().kind {
+            TokenKind::AtWord(tag) => {
+                let tag = tag.clone();
+                self.bump();
+                Ok(Term::Literal(Literal::lang(lexical, tag)))
+            }
+            TokenKind::DatatypeMarker => {
+                self.bump();
+                let token = self.bump();
+                let (line, column) = (token.line, token.column);
+                let dt = match token.kind {
+                    TokenKind::IriRef(iri) => self.resolve_iri_ref(&iri, line, column)?,
+                    TokenKind::PrefixedName { prefix, local } => {
+                        self.resolve_prefixed(&prefix, &local, line, column)?
+                    }
+                    other => {
+                        return Err(self
+                            .error_at(line, column, format!("expected datatype IRI, found {other}")))
+                    }
+                };
+                Ok(Term::Literal(Literal::typed(lexical, dt)))
+            }
+            _ => Ok(Term::Literal(Literal::plain(lexical))),
+        }
+    }
+
+    fn resolve_iri_ref(&self, iri: &str, line: usize, column: usize) -> Result<Iri, ParseError> {
+        let full = if iri.contains(':') {
+            iri.to_owned()
+        } else if let Some(base) = &self.base {
+            format!("{base}{iri}")
+        } else {
+            iri.to_owned()
+        };
+        Iri::parse(full).map_err(|e| self.error_at(line, column, e.to_string()))
+    }
+
+    fn resolve_prefixed(
+        &self,
+        prefix: &str,
+        local: &str,
+        line: usize,
+        column: usize,
+    ) -> Result<Iri, ParseError> {
+        self.prefixes
+            .resolve(prefix, local)
+            .ok_or_else(|| self.error_at(line, column, format!("undeclared prefix {prefix:?}")))
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::Blank(BlankNode::new(format!("anon{}", self.blank_counter)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{foaf, ont, r3m};
+
+    #[test]
+    fn simple_statement() {
+        let g = parse(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             <http://example.org/db/author6> foaf:family_name \"Hert\" .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&Triple::new(
+            Term::iri("http://example.org/db/author6"),
+            foaf::family_name(),
+            Literal::plain("Hert"),
+        )));
+    }
+
+    #[test]
+    fn predicate_object_lists() {
+        // Shape of the paper's Listing 9.
+        let g = parse(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             @prefix ont: <http://example.org/ontology#> .\n\
+             @prefix ex: <http://example.org/db/> .\n\
+             ex:author6 foaf:title \"Mr\" ;\n\
+                foaf:firstName \"Matthias\" ;\n\
+                foaf:family_name \"Hert\" ;\n\
+                foaf:mbox <mailto:hert@ifi.uzh.ch> ;\n\
+                ont:team ex:team5 .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 5);
+        let subject = Term::iri("http://example.org/db/author6");
+        assert_eq!(g.triples_for_subject(&subject).len(), 5);
+        assert_eq!(
+            g.object(&subject, &ont::team()),
+            Some(Term::iri("http://example.org/db/team5"))
+        );
+    }
+
+    #[test]
+    fn object_lists_with_comma() {
+        let g = parse(
+            "@prefix r3m: <http://ontoaccess.org/r3m#> .\n\
+             @prefix map: <http://example.org/map#> .\n\
+             map:database r3m:hasTable map:author , map:team , map:publisher .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn a_keyword_is_rdf_type() {
+        let g = parse(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             <http://example.org/db/author1> a foaf:Person .",
+        )
+        .unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.predicate, rdf_type());
+    }
+
+    #[test]
+    fn anonymous_blank_node_constraint_syntax() {
+        // The paper's Listing 3: hasConstraint [ a r3m:ForeignKey ; ... ].
+        let g = parse(
+            "@prefix r3m: <http://ontoaccess.org/r3m#> .\n\
+             @prefix map: <http://example.org/map#> .\n\
+             map:author_team a r3m:AttributeMap ;\n\
+               r3m:hasAttributeName \"team\" ;\n\
+               r3m:hasConstraint [ a r3m:ForeignKey ; r3m:references map:team ] .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 5);
+        let attr = Term::iri("http://example.org/map#author_team");
+        let constraint = g.object(&attr, &r3m::hasConstraint()).unwrap();
+        assert!(constraint.as_blank().is_some());
+        assert_eq!(
+            g.object(&constraint, &rdf_type()),
+            Some(Term::Iri(r3m::ForeignKey()))
+        );
+        assert_eq!(
+            g.object(&constraint, &r3m::references()),
+            Some(Term::iri("http://example.org/map#team"))
+        );
+    }
+
+    #[test]
+    fn typed_and_lang_literals() {
+        let g = parse(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             @prefix ex: <http://example.org/> .\n\
+             ex:s ex:p \"2009\"^^xsd:integer , \"hi\"@en , 42 , 3.5 , true .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 5);
+        let s = Term::iri("http://example.org/s");
+        let p = Iri::parse("http://example.org/p").unwrap();
+        let objects = g.objects(&s, &p);
+        assert!(objects.contains(&Term::Literal(Literal::typed("2009", xsd::integer()))));
+        assert!(objects.contains(&Term::Literal(Literal::lang("hi", "en"))));
+        assert!(objects.contains(&Term::Literal(Literal::integer(42))));
+        assert!(objects.contains(&Term::Literal(Literal::boolean(true))));
+    }
+
+    #[test]
+    fn trailing_semicolon_before_dot() {
+        let g = parse(
+            "@prefix ex: <http://example.org/> .\n\
+             ex:s ex:p ex:o ; .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let g = parse(
+            "@base <http://example.org/db/> .\n\
+             <author1> <http://example.org/p> <team2> .",
+        )
+        .unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.subject, Term::iri("http://example.org/db/author1"));
+        assert_eq!(t.object, Term::iri("http://example.org/db/team2"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_error() {
+        let err = parse("nope:s nope:p nope:o .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(parse("<http://e.org/s> <http://e.org/p> <http://e.org/o>").is_err());
+    }
+
+    #[test]
+    fn common_prefixes_preloaded() {
+        let (g, _) = parse_with_prefixes(
+            "<http://example.org/db/author1> a foaf:Person .",
+            PrefixMap::common(),
+        )
+        .unwrap();
+        assert_eq!(
+            g.object(&Term::iri("http://example.org/db/author1"), &rdf_type()),
+            Some(Term::Iri(foaf::Person()))
+        );
+    }
+
+    #[test]
+    fn blank_subject_property_list() {
+        let g = parse(
+            "@prefix ex: <http://example.org/> .\n\
+             [ ex:p ex:o ] ex:q ex:r .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("# only a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Turtle serializer.
+//!
+//! Produces the compact style the paper's listings use: `@prefix` header,
+//! one subject block per paragraph, `;`-separated predicate-object lists,
+//! and `,`-separated object lists.
+
+use crate::graph::Graph;
+use crate::iri::Iri;
+use crate::literal::{Literal, LiteralKind};
+use crate::namespace::{rdf_type, PrefixMap};
+use crate::term::Term;
+use std::fmt::Write as _;
+
+/// Serialize `graph` as Turtle using `prefixes` for abbreviation.
+///
+/// Only prefixes that are actually used appear in the header. Subjects are
+/// emitted in deterministic term order; within a subject, `rdf:type` (as
+/// `a`) comes first, then predicates in IRI order.
+pub fn write(graph: &Graph, prefixes: &PrefixMap) -> String {
+    let mut used: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut body = String::new();
+
+    fn mark_used(
+        rendered: &str,
+        prefixes: &PrefixMap,
+        used: &mut std::collections::BTreeMap<String, String>,
+    ) {
+        // Abbreviated renderings look like `prefix:local` (no '<').
+        if rendered.starts_with('<') || rendered.starts_with('"') || rendered.starts_with("_:") {
+            return;
+        }
+        if let Some((prefix, _)) = rendered.split_once(':') {
+            if let Some(ns) = prefixes.namespace(prefix) {
+                used.entry(prefix.to_owned()).or_insert_with(|| ns.to_owned());
+            }
+        }
+    }
+
+    let subjects: Vec<Term> = graph.subjects().cloned().collect();
+    for subject in &subjects {
+        let mut triples = graph.triples_for_subject(subject);
+        // `a` first, mirroring conventional Turtle style.
+        triples.sort_by_key(|t| (t.predicate != rdf_type(), t.predicate.clone(), t.object.clone()));
+
+        let subject_str = render_term(subject, prefixes);
+        mark_used(&subject_str, prefixes, &mut used);
+        let _ = write!(body, "{subject_str} ");
+        let indent = " ".repeat(subject_str.chars().count() + 1);
+
+        let mut first_predicate = true;
+        let mut i = 0;
+        while i < triples.len() {
+            let predicate = triples[i].predicate.clone();
+            let mut objects = Vec::new();
+            while i < triples.len() && triples[i].predicate == predicate {
+                objects.push(triples[i].object.clone());
+                i += 1;
+            }
+            if !first_predicate {
+                let _ = write!(body, " ;\n{indent}");
+            }
+            first_predicate = false;
+            let predicate_str = if predicate == rdf_type() {
+                "a".to_owned()
+            } else {
+                render_iri(&predicate, prefixes)
+            };
+            mark_used(&predicate_str, prefixes, &mut used);
+            let _ = write!(body, "{predicate_str} ");
+            for (j, object) in objects.iter().enumerate() {
+                if j > 0 {
+                    let _ = write!(body, " , ");
+                }
+                let object_str = render_term(object, prefixes);
+                mark_used(&object_str, prefixes, &mut used);
+                // Datatype IRIs hide inside literal renderings; check them
+                // separately for prefix usage.
+                if let Term::Literal(lit) = object {
+                    if let LiteralKind::Typed(dt) = lit.kind() {
+                        let dt_str = render_iri(dt, prefixes);
+                        mark_used(&dt_str, prefixes, &mut used);
+                    }
+                }
+                let _ = write!(body, "{object_str}");
+            }
+        }
+        let _ = writeln!(body, " .");
+        let _ = writeln!(body);
+    }
+
+    let mut out = String::new();
+    for (prefix, ns) in used {
+        let _ = writeln!(out, "@prefix {prefix}: <{ns}> .");
+    }
+    if !out.is_empty() {
+        let _ = writeln!(out);
+    }
+    out.push_str(body.trim_end());
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a term in Turtle syntax, abbreviating IRIs where possible.
+pub fn render_term(term: &Term, prefixes: &PrefixMap) -> String {
+    match term {
+        Term::Iri(iri) => render_iri(iri, prefixes),
+        Term::Blank(b) => b.to_string(),
+        Term::Literal(lit) => render_literal(lit, prefixes),
+    }
+}
+
+/// Render an IRI, abbreviated to `prefix:local` if possible.
+pub fn render_iri(iri: &Iri, prefixes: &PrefixMap) -> String {
+    prefixes
+        .abbreviate(iri)
+        .unwrap_or_else(|| iri.to_string())
+}
+
+/// Render a literal, abbreviating its datatype IRI if possible.
+pub fn render_literal(lit: &Literal, prefixes: &PrefixMap) -> String {
+    match lit.kind() {
+        LiteralKind::Typed(dt) => {
+            format!(
+                "\"{}\"^^{}",
+                crate::literal::escape_literal(lit.lexical()),
+                render_iri(dt, prefixes)
+            )
+        }
+        _ => lit.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{foaf, ont};
+    use crate::triple::Triple;
+    use crate::turtle::parser;
+
+    fn sample() -> Graph {
+        let author = Term::iri("http://example.org/db/author6");
+        let mut g = Graph::new();
+        g.insert(Triple::new(author.clone(), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(author.clone(), foaf::title(), Literal::plain("Mr")));
+        g.insert(Triple::new(
+            author.clone(),
+            foaf::firstName(),
+            Literal::plain("Matthias"),
+        ));
+        g.insert(Triple::new(
+            author.clone(),
+            foaf::mbox(),
+            Term::iri("mailto:hert@ifi.uzh.ch"),
+        ));
+        g.insert(Triple::new(
+            author,
+            ont::team(),
+            Term::iri("http://example.org/db/team5"),
+        ));
+        g
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let text = write(&g, &PrefixMap::common());
+        let parsed = parser::parse(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn header_only_lists_used_prefixes() {
+        let g = sample();
+        let text = write(&g, &PrefixMap::common());
+        assert!(text.contains("@prefix foaf:"));
+        assert!(text.contains("@prefix ont:"));
+        assert!(!text.contains("@prefix dc:"));
+        assert!(!text.contains("@prefix r3m:"));
+    }
+
+    #[test]
+    fn uses_a_for_rdf_type() {
+        let text = write(&sample(), &PrefixMap::common());
+        assert!(text.contains(" a foaf:Person"));
+    }
+
+    #[test]
+    fn unabbreviated_iris_keep_angle_brackets() {
+        let text = write(&sample(), &PrefixMap::common());
+        assert!(text.contains("<mailto:hert@ifi.uzh.ch>"));
+        assert!(text.contains("<http://example.org/db/author6>"));
+    }
+
+    #[test]
+    fn empty_graph_is_empty_document() {
+        assert_eq!(write(&Graph::new(), &PrefixMap::common()), "");
+    }
+
+    #[test]
+    fn typed_literal_datatype_abbreviated_and_prefix_declared() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://example.org/s"),
+            ont::pubYear(),
+            Literal::integer(2009),
+        ));
+        let text = write(&g, &PrefixMap::common());
+        assert!(text.contains("\"2009\"^^xsd:integer"));
+        assert!(text.contains("@prefix xsd:"));
+        let parsed = parser::parse(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+}

@@ -1,0 +1,796 @@
+//! The database: schema + storage + transactional row operations with
+//! immediate constraint checking.
+//!
+//! The paper's Algorithm 1 (§5.1) relies on a specific RDB behaviour:
+//! *"existing RDB systems check constraints such as referential integrity
+//! already during a transaction"*. This engine reproduces that — every
+//! row operation checks all constraints immediately, so the order in
+//! which translated statements execute matters, exactly as in the paper.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{Schema, Table};
+use crate::storage::{RowId, TableData};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Undo-log entry for transaction rollback.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    Insert {
+        table: String,
+        row_id: RowId,
+    },
+    Update {
+        table: String,
+        row_id: RowId,
+        old: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        row_id: RowId,
+        old: Vec<Value>,
+    },
+}
+
+/// An in-memory relational database.
+///
+/// Row operations ([`Database::insert`], [`Database::update_row`],
+/// [`Database::delete_row`]) enforce every declared constraint before
+/// mutating storage. Wrap multiple statements in
+/// [`Database::begin`]/[`Database::commit`] to get the atomicity the
+/// paper requires for SPARQL/Update operations (§5.1: all statements of
+/// one operation run "within the context of one database transaction").
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    data: BTreeMap<String, TableData>,
+    txn: Option<Vec<UndoOp>>,
+}
+
+impl Database {
+    /// Create a database for a validated schema.
+    pub fn new(schema: Schema) -> RelResult<Self> {
+        schema.validate()?;
+        let data = schema
+            .tables()
+            .map(|t| (t.name.clone(), TableData::for_table(t)))
+            .collect();
+        Ok(Database {
+            schema,
+            data,
+            txn: None,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: &str) -> RelResult<usize> {
+        self.schema.table(table)?;
+        Ok(self.data[table].len())
+    }
+
+    /// Iterate `(row_id, row)` of `table`.
+    pub fn scan(&self, table: &str) -> RelResult<impl Iterator<Item = (RowId, &Vec<Value>)>> {
+        self.schema.table(table)?;
+        Ok(self.data[table].scan())
+    }
+
+    /// Fetch one row by id.
+    pub fn row(&self, table: &str, row_id: RowId) -> RelResult<Option<&Vec<Value>>> {
+        self.schema.table(table)?;
+        Ok(self.data[table].row(row_id))
+    }
+
+    /// Find a row by primary key values (in PK column order).
+    pub fn find_by_pk(&self, table: &str, key: &[Value]) -> RelResult<Option<RowId>> {
+        let t = self.schema.table(table)?;
+        if key.len() != t.primary_key.len() {
+            return Err(RelError::Execution {
+                message: format!(
+                    "primary key of {table} has {} column(s), {} value(s) given",
+                    t.primary_key.len(),
+                    key.len()
+                ),
+            });
+        }
+        let keys: Vec<_> = key.iter().map(Value::index_key).collect();
+        Ok(self.data[table].find_by_pk(&keys))
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. Errors if one is already open.
+    pub fn begin(&mut self) -> RelResult<()> {
+        if self.txn.is_some() {
+            return Err(RelError::Transaction {
+                message: "transaction already open".into(),
+            });
+        }
+        self.txn = Some(Vec::new());
+        Ok(())
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> RelResult<()> {
+        self.txn.take().map(|_| ()).ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })
+    }
+
+    /// Roll back the open transaction, restoring every modified row.
+    pub fn rollback(&mut self) -> RelResult<()> {
+        let log = self.txn.take().ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })?;
+        for op in log.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, row_id } => {
+                    let t = self.schema.table(&table).expect("logged table exists");
+                    let t = t.clone();
+                    self.data
+                        .get_mut(&table)
+                        .expect("logged table exists")
+                        .delete_unchecked(&t, row_id);
+                }
+                UndoOp::Update { table, row_id, old } => {
+                    let t = self.schema.table(&table).expect("logged table exists").clone();
+                    self.data
+                        .get_mut(&table)
+                        .expect("logged table exists")
+                        .update_unchecked(&t, row_id, old);
+                }
+                UndoOp::Delete { table, row_id, old } => {
+                    let t = self.schema.table(&table).expect("logged table exists").clone();
+                    self.data
+                        .get_mut(&table)
+                        .expect("logged table exists")
+                        .restore_unchecked(&t, row_id, old);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn log(&mut self, op: UndoOp) {
+        if let Some(log) = &mut self.txn {
+            log.push(op);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Row operations (constraint-checked)
+    // ------------------------------------------------------------------
+
+    /// Insert a row given `(column, value)` pairs; omitted columns take
+    /// their DEFAULT or NULL. All constraints are checked immediately.
+    pub fn insert(&mut self, table: &str, assignments: &[(String, Value)]) -> RelResult<RowId> {
+        let t = self.schema.table(table)?.clone();
+        let mut row: Vec<Value> = Vec::with_capacity(t.columns.len());
+        for column in &t.columns {
+            let assigned = assignments
+                .iter()
+                .find(|(name, _)| name == &column.name)
+                .map(|(_, v)| v.clone());
+            let mut value = match assigned {
+                Some(v) => v,
+                None => column.default.clone().unwrap_or(Value::Null),
+            };
+            if value.is_null() && column.auto_increment {
+                value = Value::Int(self.next_auto_value(table, &column.name));
+            }
+            row.push(value);
+        }
+        for (name, _) in assignments {
+            if t.column_index(name).is_none() {
+                return Err(RelError::NoSuchColumn {
+                    table: table.to_owned(),
+                    column: name.clone(),
+                });
+            }
+        }
+        self.check_row_constraints(&t, &row, None)?;
+        let row_id = self
+            .data
+            .get_mut(table)
+            .expect("schema table has storage")
+            .insert_unchecked(&t, row);
+        self.log(UndoOp::Insert {
+            table: table.to_owned(),
+            row_id,
+        });
+        Ok(row_id)
+    }
+
+    /// Apply `(column, value)` assignments to an existing row. All
+    /// constraints are re-checked, including RESTRICT when a referenced
+    /// key changes.
+    pub fn update_row(
+        &mut self,
+        table: &str,
+        row_id: RowId,
+        assignments: &[(String, Value)],
+    ) -> RelResult<()> {
+        let t = self.schema.table(table)?.clone();
+        let old = self.data[table]
+            .row(row_id)
+            .ok_or_else(|| RelError::Execution {
+                message: format!("no row {row_id} in {table}"),
+            })?
+            .clone();
+        let mut new_row = old.clone();
+        for (name, value) in assignments {
+            let i = t
+                .column_index(name)
+                .ok_or_else(|| RelError::NoSuchColumn {
+                    table: table.to_owned(),
+                    column: name.clone(),
+                })?;
+            new_row[i] = value.clone();
+        }
+        if new_row == old {
+            return Ok(());
+        }
+        self.check_row_constraints(&t, &new_row, Some(row_id))?;
+        // If a key other rows reference changes, enforce RESTRICT.
+        self.check_restrict_on_key_change(&t, &old, &new_row)?;
+        self.data
+            .get_mut(table)
+            .expect("schema table has storage")
+            .update_unchecked(&t, row_id, new_row);
+        self.log(UndoOp::Update {
+            table: table.to_owned(),
+            row_id,
+            old,
+        });
+        Ok(())
+    }
+
+    /// Delete a row. Errors with RESTRICT if other rows reference it.
+    pub fn delete_row(&mut self, table: &str, row_id: RowId) -> RelResult<()> {
+        let t = self.schema.table(table)?.clone();
+        let row = self.data[table]
+            .row(row_id)
+            .ok_or_else(|| RelError::Execution {
+                message: format!("no row {row_id} in {table}"),
+            })?
+            .clone();
+        self.check_restrict(&t, &row)?;
+        self.data
+            .get_mut(table)
+            .expect("schema table has storage")
+            .delete_unchecked(&t, row_id);
+        self.log(UndoOp::Delete {
+            table: table.to_owned(),
+            row_id,
+            old: row,
+        });
+        Ok(())
+    }
+
+    // Next AUTO_INCREMENT value: max(existing) + 1, starting at 1.
+    // Scans the column; acceptable at in-memory scale and always correct
+    // across rollbacks (a true counter would leak values).
+    fn next_auto_value(&self, table: &str, column: &str) -> i64 {
+        let t = self.schema.table(table).expect("caller verified table");
+        let idx = t.column_index(column).expect("caller verified column");
+        self.data[table]
+            .scan()
+            .filter_map(|(_, row)| match &row[idx] {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            })
+            .max()
+            .map_or(1, |m| m + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint checking
+    // ------------------------------------------------------------------
+
+    // `exclude` is the row being updated (so it doesn't collide with
+    // itself in uniqueness checks).
+    fn check_row_constraints(
+        &self,
+        table: &Table,
+        row: &[Value],
+        exclude: Option<RowId>,
+    ) -> RelResult<()> {
+        // Types and NOT NULL.
+        for (i, column) in table.columns.iter().enumerate() {
+            let value = &row[i];
+            if value.is_null() {
+                if column.not_null || table.is_primary_key(&column.name) {
+                    return Err(RelError::NotNullViolation {
+                        table: table.name.clone(),
+                        column: column.name.clone(),
+                    });
+                }
+                continue;
+            }
+            if !value.fits(column.ty) {
+                return Err(RelError::TypeMismatch {
+                    table: table.name.clone(),
+                    column: column.name.clone(),
+                    expected: column.ty.to_string(),
+                    value: value.clone(),
+                });
+            }
+        }
+        // Primary key uniqueness.
+        if !table.primary_key.is_empty() {
+            let key = TableData::pk_key(table, row);
+            if let Some(existing) = self.data[&table.name].find_by_pk(&key) {
+                if Some(existing) != exclude {
+                    let rendered: Vec<String> = table
+                        .primary_key_indices()
+                        .iter()
+                        .map(|&i| row[i].to_string())
+                        .collect();
+                    return Err(RelError::PrimaryKeyViolation {
+                        table: table.name.clone(),
+                        key: format!("({})", rendered.join(", ")),
+                    });
+                }
+            }
+        }
+        // Unique columns.
+        for (i, column) in table.columns.iter().enumerate() {
+            if column.unique && !row[i].is_null() {
+                if let Some(existing) =
+                    self.data[&table.name].find_by_unique(&column.name, &row[i].index_key())
+                {
+                    if Some(existing) != exclude {
+                        return Err(RelError::UniqueViolation {
+                            table: table.name.clone(),
+                            column: column.name.clone(),
+                            value: row[i].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // CHECK constraints (NULL result passes, as in SQL).
+        for check in &table.checks {
+            if let Value::Bool(false) = crate::sql::exec::eval_on_row(&check.predicate, table, row)? {
+                return Err(RelError::CheckViolation {
+                    table: table.name.clone(),
+                    name: check.name.clone(),
+                    predicate: check.predicate.to_string(),
+                })
+            }
+        }
+        // Foreign keys (NULL references are permitted, as in SQL).
+        for fk in &table.foreign_keys {
+            let i = table
+                .column_index(&fk.column)
+                .expect("validated schema: FK column exists");
+            let value = &row[i];
+            if value.is_null() {
+                continue;
+            }
+            if !self.reference_exists(fk.ref_table.as_str(), fk.ref_column.as_str(), value)? {
+                return Err(RelError::ForeignKeyViolation {
+                    table: table.name.clone(),
+                    column: fk.column.clone(),
+                    ref_table: fk.ref_table.clone(),
+                    value: value.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn reference_exists(&self, ref_table: &str, ref_column: &str, value: &Value) -> RelResult<bool> {
+        let target = self.schema.table(ref_table)?;
+        let data = &self.data[ref_table];
+        // Fast path: FK targets the primary key (the use-case shape) …
+        if target.primary_key == [ref_column.to_owned()] {
+            return Ok(data.find_by_pk(&[value.index_key()]).is_some());
+        }
+        // … or a unique column with an index.
+        if target.column(ref_column).is_some_and(|c| c.unique) {
+            return Ok(data.find_by_unique(ref_column, &value.index_key()).is_some());
+        }
+        // Schema validation guarantees one of the above.
+        unreachable!("FK target is PK or unique (validated)")
+    }
+
+    // RESTRICT: nothing may still reference `row` of `table`.
+    fn check_restrict(&self, table: &Table, row: &[Value]) -> RelResult<()> {
+        for other in self.schema.tables() {
+            for fk in &other.foreign_keys {
+                if fk.ref_table != table.name {
+                    continue;
+                }
+                let ref_i = table
+                    .column_index(&fk.ref_column)
+                    .expect("validated schema");
+                let referenced_value = &row[ref_i];
+                if referenced_value.is_null() {
+                    continue;
+                }
+                let col_i = other.column_index(&fk.column).expect("validated schema");
+                let referencing = self.data[&other.name]
+                    .scan()
+                    .any(|(_, r)| r[col_i].sql_eq(referenced_value) == Some(true));
+                if referencing {
+                    return Err(RelError::RestrictViolation {
+                        table: table.name.clone(),
+                        referencing_table: other.name.clone(),
+                        referencing_column: fk.column.clone(),
+                        value: referenced_value.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_restrict_on_key_change(
+        &self,
+        table: &Table,
+        old: &[Value],
+        new: &[Value],
+    ) -> RelResult<()> {
+        // Only keys that can be referenced matter: PK and unique columns.
+        let mut changed_referencable = false;
+        for (i, column) in table.columns.iter().enumerate() {
+            let referencable = table.is_primary_key(&column.name) || column.unique;
+            if referencable && old[i] != new[i] {
+                changed_referencable = true;
+                break;
+            }
+        }
+        if changed_referencable {
+            self.check_restrict(table, old)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Table};
+    use crate::value::SqlType;
+
+    fn db() -> Database {
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("team")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("name", SqlType::Varchar))
+                    .column(Column::new("code", SqlType::Varchar).unique())
+                    .primary_key(&["id"])
+                    .build(),
+            )
+            .unwrap();
+        schema
+            .add_table(
+                Table::builder("author")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("lastname", SqlType::Varchar).not_null())
+                    .column(Column::new("rank", SqlType::Integer).default_value(Value::Int(0)))
+                    .column(Column::new("team", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .foreign_key("team", "team", "id")
+                    .build(),
+            )
+            .unwrap();
+        Database::new(schema).unwrap()
+    }
+
+    fn a(name: &str, v: Value) -> (String, Value) {
+        (name.to_owned(), v)
+    }
+
+    #[test]
+    fn insert_applies_defaults_and_nulls() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))])
+            .unwrap();
+        let rid = d
+            .insert(
+                "author",
+                &[a("id", Value::Int(1)), a("lastname", Value::text("Hert"))],
+            )
+            .unwrap();
+        let row = d.row("author", rid).unwrap().unwrap();
+        assert_eq!(row[2], Value::Int(0)); // default rank
+        assert_eq!(row[3], Value::Null); // nullable team
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut d = db();
+        let err = d.insert("author", &[a("id", Value::Int(1))]).unwrap_err();
+        assert!(matches!(err, RelError::NotNullViolation { ref column, .. } if column == "lastname"));
+    }
+
+    #[test]
+    fn pk_is_implicitly_not_null() {
+        let mut d = db();
+        let err = d
+            .insert("author", &[a("lastname", Value::text("x"))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::NotNullViolation { ref column, .. } if column == "id"));
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        let err = d.insert("team", &[a("id", Value::Int(1))]).unwrap_err();
+        assert!(matches!(err, RelError::PrimaryKeyViolation { .. }));
+    }
+
+    #[test]
+    fn unique_enforced_but_ignores_nulls() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(1)), a("code", Value::text("X"))])
+            .unwrap();
+        let err = d
+            .insert("team", &[a("id", Value::Int(2)), a("code", Value::text("X"))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::UniqueViolation { .. }));
+        // Multiple NULLs allowed.
+        d.insert("team", &[a("id", Value::Int(3))]).unwrap();
+        d.insert("team", &[a("id", Value::Int(4))]).unwrap();
+    }
+
+    #[test]
+    fn foreign_key_checked_immediately() {
+        let mut d = db();
+        // Paper §5.1: inserting the author before its team must fail,
+        // which is why Algorithm 1 sorts statements.
+        let err = d
+            .insert(
+                "author",
+                &[
+                    a("id", Value::Int(6)),
+                    a("lastname", Value::text("Hert")),
+                    a("team", Value::Int(5)),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelError::ForeignKeyViolation { .. }));
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(6)),
+                a("lastname", Value::text("Hert")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn null_fk_allowed() {
+        let mut d = db();
+        d.insert(
+            "author",
+            &[a("id", Value::Int(1)), a("lastname", Value::text("x"))],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut d = db();
+        let err = d
+            .insert("team", &[a("id", Value::text("one"))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let mut d = db();
+        let err = d
+            .insert("team", &[a("id", Value::Int(1)), a("bogus", Value::Int(2))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::NoSuchColumn { .. }));
+    }
+
+    #[test]
+    fn update_row_rechecks_constraints() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        let rid = d
+            .insert(
+                "author",
+                &[a("id", Value::Int(1)), a("lastname", Value::text("Hert"))],
+            )
+            .unwrap();
+        // Valid FK update.
+        d.update_row("author", rid, &[a("team", Value::Int(5))])
+            .unwrap();
+        // Invalid FK update.
+        let err = d
+            .update_row("author", rid, &[a("team", Value::Int(99))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::ForeignKeyViolation { .. }));
+        // NOT NULL update.
+        let err = d
+            .update_row("author", rid, &[a("lastname", Value::Null)])
+            .unwrap_err();
+        assert!(matches!(err, RelError::NotNullViolation { .. }));
+    }
+
+    #[test]
+    fn delete_restricted_while_referenced() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        let team_rid = d.find_by_pk("team", &[Value::Int(5)]).unwrap().unwrap();
+        let author_rid = d
+            .insert(
+                "author",
+                &[
+                    a("id", Value::Int(1)),
+                    a("lastname", Value::text("Hert")),
+                    a("team", Value::Int(5)),
+                ],
+            )
+            .unwrap();
+        let err = d.delete_row("team", team_rid).unwrap_err();
+        assert!(matches!(err, RelError::RestrictViolation { .. }));
+        d.delete_row("author", author_rid).unwrap();
+        d.delete_row("team", team_rid).unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 0);
+    }
+
+    #[test]
+    fn update_of_referenced_pk_restricted() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        let team_rid = d.find_by_pk("team", &[Value::Int(5)]).unwrap().unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(1)),
+                a("lastname", Value::text("Hert")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        let err = d
+            .update_row("team", team_rid, &[a("id", Value::Int(6))])
+            .unwrap_err();
+        assert!(matches!(err, RelError::RestrictViolation { .. }));
+        // Non-key update is fine.
+        d.update_row("team", team_rid, &[a("name", Value::text("SE"))])
+            .unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))])
+            .unwrap();
+        let team_rid = d.find_by_pk("team", &[Value::Int(5)]).unwrap().unwrap();
+        let before = d.clone();
+
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(6))]).unwrap();
+        d.update_row("team", team_rid, &[a("name", Value::text("DBTG"))])
+            .unwrap();
+        d.insert(
+            "author",
+            &[a("id", Value::Int(1)), a("lastname", Value::text("x"))],
+        )
+        .unwrap();
+        let author_rid = d.find_by_pk("author", &[Value::Int(1)]).unwrap().unwrap();
+        d.delete_row("author", author_rid).unwrap();
+        d.rollback().unwrap();
+
+        assert_eq!(d.row_count("team").unwrap(), before.row_count("team").unwrap());
+        assert_eq!(
+            d.row("team", team_rid).unwrap().unwrap()[1],
+            Value::text("SEAL")
+        );
+        assert_eq!(d.row_count("author").unwrap(), 0);
+        // PK index restored too: re-inserting id 6 must succeed.
+        d.insert("team", &[a("id", Value::Int(6))]).unwrap();
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut d = db();
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.commit().unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut d = db();
+        d.begin().unwrap();
+        assert!(matches!(d.begin(), Err(RelError::Transaction { .. })));
+    }
+
+    #[test]
+    fn commit_without_begin_rejected() {
+        let mut d = db();
+        assert!(matches!(d.commit(), Err(RelError::Transaction { .. })));
+        assert!(matches!(d.rollback(), Err(RelError::Transaction { .. })));
+    }
+
+    #[test]
+    fn noop_update_succeeds_without_log() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(1)), a("name", Value::text("A"))])
+            .unwrap();
+        let rid = d.find_by_pk("team", &[Value::Int(1)]).unwrap().unwrap();
+        d.begin().unwrap();
+        d.update_row("team", rid, &[a("name", Value::text("A"))])
+            .unwrap();
+        d.rollback().unwrap();
+        assert_eq!(d.row("team", rid).unwrap().unwrap()[1], Value::text("A"));
+    }
+}
+
+#[cfg(test)]
+mod auto_increment_tests {
+    use super::*;
+    use crate::schema::{Column, Table};
+    use crate::value::SqlType;
+
+    fn db() -> Database {
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("link")
+                    .column(Column::new("id", SqlType::Integer).not_null().auto_increment())
+                    .column(Column::new("x", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .build(),
+            )
+            .unwrap();
+        Database::new(schema).unwrap()
+    }
+
+    #[test]
+    fn assigns_sequential_ids_when_omitted() {
+        let mut d = db();
+        let r1 = d.insert("link", &[("x".to_owned(), Value::Int(10))]).unwrap();
+        let r2 = d.insert("link", &[("x".to_owned(), Value::Int(20))]).unwrap();
+        assert_eq!(d.row("link", r1).unwrap().unwrap()[0], Value::Int(1));
+        assert_eq!(d.row("link", r2).unwrap().unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn explicit_value_respected_and_counter_follows_max() {
+        let mut d = db();
+        d.insert("link", &[("id".to_owned(), Value::Int(41))]).unwrap();
+        let r = d.insert("link", &[("x".to_owned(), Value::Int(1))]).unwrap();
+        assert_eq!(d.row("link", r).unwrap().unwrap()[0], Value::Int(42));
+    }
+
+    #[test]
+    fn auto_increment_on_varchar_rejected_by_validation() {
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("bad")
+                    .column(Column::new("id", SqlType::Varchar).auto_increment())
+                    .build(),
+            )
+            .unwrap();
+        assert!(Database::new(schema).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Error type for the relational engine.
+//!
+//! Constraint violations carry structured payloads (table, column,
+//! offending value) because OntoAccess's feedback protocol (paper §3/§8)
+//! turns them into semantically rich client-facing RDF documents.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Convenience result alias.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Everything that can go wrong inside the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// Schema assembly: duplicate table name.
+    DuplicateTable {
+        /// Offending table.
+        table: String,
+    },
+    /// Referenced table does not exist.
+    NoSuchTable {
+        /// Requested table.
+        table: String,
+    },
+    /// Referenced column does not exist.
+    NoSuchColumn {
+        /// Table searched.
+        table: String,
+        /// Requested column.
+        column: String,
+    },
+    /// Schema failed validation.
+    SchemaInvalid {
+        /// Explanation.
+        message: String,
+    },
+    /// A value does not fit the column type.
+    TypeMismatch {
+        /// Table.
+        table: String,
+        /// Column.
+        column: String,
+        /// Declared type, rendered.
+        expected: String,
+        /// Offending value.
+        value: Value,
+    },
+    /// NOT NULL constraint violated.
+    NotNullViolation {
+        /// Table.
+        table: String,
+        /// Column.
+        column: String,
+    },
+    /// Primary key uniqueness violated.
+    PrimaryKeyViolation {
+        /// Table.
+        table: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// UNIQUE constraint violated.
+    UniqueViolation {
+        /// Table.
+        table: String,
+        /// Column.
+        column: String,
+        /// Offending value.
+        value: Value,
+    },
+    /// Foreign key has no matching referenced row.
+    ForeignKeyViolation {
+        /// Referencing table.
+        table: String,
+        /// Referencing column.
+        column: String,
+        /// Referenced table.
+        ref_table: String,
+        /// Value with no match.
+        value: Value,
+    },
+    /// CHECK constraint violated.
+    CheckViolation {
+        /// Table.
+        table: String,
+        /// Constraint name.
+        name: String,
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// Deleting/updating a row would orphan referencing rows (RESTRICT).
+    RestrictViolation {
+        /// Table whose row is being removed.
+        table: String,
+        /// Table still referencing it.
+        referencing_table: String,
+        /// Referencing column.
+        referencing_column: String,
+        /// The referenced key value.
+        value: Value,
+    },
+    /// SQL text could not be parsed.
+    SqlParse {
+        /// Explanation with position.
+        message: String,
+    },
+    /// Statement is structurally invalid for execution (e.g. column count
+    /// mismatch in INSERT).
+    Execution {
+        /// Explanation.
+        message: String,
+    },
+    /// Operation requires an open transaction or conflicts with one.
+    Transaction {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::DuplicateTable { table } => write!(f, "duplicate table {table:?}"),
+            RelError::NoSuchTable { table } => write!(f, "no such table {table:?}"),
+            RelError::NoSuchColumn { table, column } => {
+                write!(f, "no such column {table}.{column}")
+            }
+            RelError::SchemaInvalid { message } => write!(f, "invalid schema: {message}"),
+            RelError::TypeMismatch {
+                table,
+                column,
+                expected,
+                value,
+            } => write!(
+                f,
+                "type mismatch: {table}.{column} is {expected}, got {value}"
+            ),
+            RelError::NotNullViolation { table, column } => {
+                write!(f, "NOT NULL violation: {table}.{column}")
+            }
+            RelError::PrimaryKeyViolation { table, key } => {
+                write!(f, "primary key violation in {table}: key {key} already exists")
+            }
+            RelError::UniqueViolation {
+                table,
+                column,
+                value,
+            } => write!(f, "unique violation: {table}.{column} = {value}"),
+            RelError::ForeignKeyViolation {
+                table,
+                column,
+                ref_table,
+                value,
+            } => write!(
+                f,
+                "foreign key violation: {table}.{column} = {value} has no match in {ref_table}"
+            ),
+            RelError::CheckViolation {
+                table,
+                name,
+                predicate,
+            } => write!(
+                f,
+                "check violation: constraint {name:?} on {table} requires {predicate}"
+            ),
+            RelError::RestrictViolation {
+                table,
+                referencing_table,
+                referencing_column,
+                value,
+            } => write!(
+                f,
+                "restrict violation: row in {table} is still referenced by {referencing_table}.{referencing_column} = {value}"
+            ),
+            RelError::SqlParse { message } => write!(f, "SQL parse error: {message}"),
+            RelError::Execution { message } => write!(f, "execution error: {message}"),
+            RelError::Transaction { message } => write!(f, "transaction error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl RelError {
+    /// Whether this error is an integrity-constraint violation (the class
+    /// of errors the paper's checker is designed to catch *before*
+    /// touching the database).
+    pub fn is_constraint_violation(&self) -> bool {
+        matches!(
+            self,
+            RelError::NotNullViolation { .. }
+                | RelError::PrimaryKeyViolation { .. }
+                | RelError::UniqueViolation { .. }
+                | RelError::ForeignKeyViolation { .. }
+                | RelError::CheckViolation { .. }
+                | RelError::RestrictViolation { .. }
+                | RelError::TypeMismatch { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = RelError::ForeignKeyViolation {
+            table: "author".into(),
+            column: "team".into(),
+            ref_table: "team".into(),
+            value: Value::Int(5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("author.team"));
+        assert!(msg.contains('5'));
+        assert!(msg.contains("team"));
+    }
+
+    #[test]
+    fn constraint_classification() {
+        assert!(RelError::NotNullViolation {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .is_constraint_violation());
+        assert!(!RelError::SqlParse {
+            message: "x".into()
+        }
+        .is_constraint_violation());
+    }
+}

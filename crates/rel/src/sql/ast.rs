@@ -1,0 +1,282 @@
+//! SQL DML abstract syntax tree.
+//!
+//! Covers exactly the DML the OntoAccess translator emits (paper §5):
+//! `INSERT INTO … VALUES`, `UPDATE … SET … WHERE`, `DELETE FROM … WHERE`,
+//! and `SELECT [DISTINCT] … FROM t1 a1, t2 a2, … WHERE …` with
+//! conjunctive/disjunctive comparison predicates.
+
+use crate::value::Value;
+
+/// Any DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `INSERT INTO table (columns) VALUES (values)`.
+    Insert(InsertStmt),
+    /// `UPDATE table SET col = expr, … [WHERE expr]`.
+    Update(UpdateStmt),
+    /// `DELETE FROM table [WHERE expr]`.
+    Delete(DeleteStmt),
+    /// `SELECT [DISTINCT] items FROM tables [WHERE expr]`.
+    Select(SelectStmt),
+}
+
+impl Statement {
+    /// The table a DML statement targets (`None` for SELECT).
+    pub fn target_table(&self) -> Option<&str> {
+        match self {
+            Statement::Insert(s) => Some(&s.table),
+            Statement::Update(s) => Some(&s.table),
+            Statement::Delete(s) => Some(&s.table),
+            Statement::Select(_) => None,
+        }
+    }
+}
+
+/// `INSERT INTO table (columns) VALUES (values)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Column names, parallel to `values`.
+    pub columns: Vec<String>,
+    /// Literal values.
+    pub values: Vec<Value>,
+}
+
+/// `UPDATE table SET assignments [WHERE predicate]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// `column = expr` pairs.
+    pub assignments: Vec<(String, Expr)>,
+    /// Row filter (absent = all rows).
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE FROM table [WHERE predicate]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// Row filter (absent = all rows).
+    pub where_clause: Option<Expr>,
+}
+
+/// `SELECT [DISTINCT] items FROM tables [WHERE predicate]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Deduplicate result rows.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Cross-joined table references (join conditions live in the WHERE
+    /// clause — the classic SPARQL-to-SQL output shape).
+    pub from: Vec<TableRef>,
+    /// Row filter.
+    pub where_clause: Option<Expr>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (`FROM author a` → `a`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference binds in scope (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// `expr [AS alias]`.
+    Expr {
+        /// Projected expression.
+        expr: Expr,
+        /// Output column name.
+        alias: Option<String>,
+    },
+}
+
+/// A column reference, optionally qualified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Qualifier (table name or alias).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Scalar/boolean expressions with SQL three-valued logic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Value(Value),
+    /// Column reference.
+    Column(ColumnRef),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// `left = right`.
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, left, right)
+    }
+
+    /// `left AND right`.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    /// `left OR right`.
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Or, left, right)
+    }
+
+    /// Generic binary node.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Column reference shorthand.
+    pub fn col(column: &str) -> Expr {
+        Expr::Column(ColumnRef::bare(column))
+    }
+
+    /// Qualified column reference shorthand.
+    pub fn qcol(table: &str, column: &str) -> Expr {
+        Expr::Column(ColumnRef::qualified(table, column))
+    }
+
+    /// Literal shorthand.
+    pub fn value(value: impl Into<Value>) -> Expr {
+        Expr::Value(value.into())
+    }
+
+    /// Conjoin a list of predicates (`None` for the empty list).
+    pub fn conjunction(mut predicates: Vec<Expr>) -> Option<Expr> {
+        let first = if predicates.is_empty() {
+            return None;
+        } else {
+            predicates.remove(0)
+        };
+        Some(predicates.into_iter().fold(first, Expr::and))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunction_of_none_is_none() {
+        assert_eq!(Expr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn conjunction_of_one_is_identity() {
+        let e = Expr::eq(Expr::col("id"), Expr::value(6i64));
+        assert_eq!(Expr::conjunction(vec![e.clone()]), Some(e));
+    }
+
+    #[test]
+    fn conjunction_folds_left() {
+        let a = Expr::eq(Expr::col("a"), Expr::value(1i64));
+        let b = Expr::eq(Expr::col("b"), Expr::value(2i64));
+        let c = Expr::eq(Expr::col("c"), Expr::value(3i64));
+        let all = Expr::conjunction(vec![a.clone(), b.clone(), c.clone()]).unwrap();
+        assert_eq!(all, Expr::and(Expr::and(a, b), c));
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef {
+            table: "author".into(),
+            alias: Some("a".into()),
+        };
+        assert_eq!(t.binding(), "a");
+        let t = TableRef {
+            table: "author".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "author");
+    }
+
+    #[test]
+    fn target_table() {
+        let s = Statement::Delete(DeleteStmt {
+            table: "author".into(),
+            where_clause: None,
+        });
+        assert_eq!(s.target_table(), Some("author"));
+    }
+}

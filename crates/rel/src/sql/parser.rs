@@ -1,0 +1,633 @@
+//! SQL DML parser for the fragment the engine executes.
+//!
+//! Round-trips with the printer: `parse(stmt.to_string()) == stmt`, which
+//! the property tests rely on. Keywords are case-insensitive; string
+//! literals use single quotes with `''` escaping.
+
+use crate::error::{RelError, RelResult};
+use crate::sql::ast::{
+    BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, TableRef,
+    UpdateStmt,
+};
+use crate::value::Value;
+
+/// Parse one SQL DML statement (optional trailing `;`).
+pub fn parse(input: &str) -> RelResult<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.accept_symbol(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(input: &str) -> RelResult<Vec<Statement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.accept_symbol(";") {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.parse_statement()?);
+        if !p.at_eof() && !p.peek_symbol(";") {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),    // identifier or keyword (original case preserved)
+    Str(String),     // 'string' (unescaped)
+    Int(i64),
+    Float(f64),
+    Symbol(String),  // punctuation / operators
+    Eof,
+}
+
+fn lex(input: &str) -> RelResult<Vec<Tok>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => {
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                            s.push('\'');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(RelError::SqlParse {
+                            message: "unterminated string literal".into(),
+                        })
+                    }
+                }
+            }
+            tokens.push(Tok::Str(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && matches!(tokens.last(), None | Some(Tok::Symbol(_)) | Some(Tok::Word(_)))
+                && {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    ahead.peek().is_some_and(|n| n.is_ascii_digit())
+                })
+        {
+            let mut num = String::new();
+            if c == '-' {
+                num.push(c);
+                chars.next();
+            }
+            let mut is_float = false;
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() {
+                    num.push(c);
+                    chars.next();
+                } else if c == '.' && !is_float {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|n| n.is_ascii_digit()) {
+                        is_float = true;
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if is_float {
+                tokens.push(Tok::Float(num.parse().map_err(|_| RelError::SqlParse {
+                    message: format!("invalid number {num:?}"),
+                })?));
+            } else {
+                tokens.push(Tok::Int(num.parse().map_err(|_| RelError::SqlParse {
+                    message: format!("invalid number {num:?}"),
+                })?));
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    word.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Tok::Word(word));
+        } else {
+            // Multi-char operators first.
+            let two: String = chars.clone().take(2).collect();
+            if two == "<>" || two == "!=" || two == "<=" || two == ">=" {
+                chars.next();
+                chars.next();
+                tokens.push(Tok::Symbol(two));
+            } else if matches!(c, '=' | '<' | '>' | '(' | ')' | ',' | ';' | '.' | '*' | '-') {
+                chars.next();
+                tokens.push(Tok::Symbol(c.to_string()));
+            } else {
+                return Err(RelError::SqlParse {
+                    message: format!("unexpected character {c:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(Tok::Eof);
+    Ok(tokens)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelError {
+        RelError::SqlParse {
+            message: format!("{} (at token {:?})", message.into(), self.peek()),
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn expect_eof(&self) -> RelResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> RelResult<()> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_symbol(&self, sym: &str) -> bool {
+        matches!(self.peek(), Tok::Symbol(s) if s == sym)
+    }
+
+    fn accept_symbol(&mut self, sym: &str) -> bool {
+        if self.peek_symbol(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> RelResult<()> {
+        if self.accept_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_identifier(&mut self) -> RelResult<String> {
+        match self.bump() {
+            Tok::Word(w) if !is_reserved(&w) => Ok(w),
+            t => Err(RelError::SqlParse {
+                message: format!("expected identifier, found {t:?}"),
+            }),
+        }
+    }
+
+    fn parse_statement(&mut self) -> RelResult<Statement> {
+        if self.peek_keyword("INSERT") {
+            self.parse_insert().map(Statement::Insert)
+        } else if self.peek_keyword("UPDATE") {
+            self.parse_update().map(Statement::Update)
+        } else if self.peek_keyword("DELETE") {
+            self.parse_delete().map(Statement::Delete)
+        } else if self.peek_keyword("SELECT") {
+            self.parse_select().map(Statement::Select)
+        } else {
+            Err(self.err("expected INSERT, UPDATE, DELETE, or SELECT"))
+        }
+    }
+
+    fn parse_insert(&mut self) -> RelResult<InsertStmt> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.expect_identifier()?);
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        self.expect_keyword("VALUES")?;
+        self.expect_symbol("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.parse_literal()?);
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        if columns.len() != values.len() {
+            return Err(RelError::SqlParse {
+                message: format!(
+                    "INSERT has {} column(s) but {} value(s)",
+                    columns.len(),
+                    values.len()
+                ),
+            });
+        }
+        Ok(InsertStmt {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn parse_update(&mut self) -> RelResult<UpdateStmt> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.expect_identifier()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.expect_identifier()?;
+            self.expect_symbol("=")?;
+            let expr = self.parse_expr()?;
+            assignments.push((column, expr));
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        let where_clause = self.parse_optional_where()?;
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn parse_delete(&mut self) -> RelResult<DeleteStmt> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_identifier()?;
+        let where_clause = self.parse_optional_where()?;
+        Ok(DeleteStmt {
+            table,
+            where_clause,
+        })
+    }
+
+    fn parse_select(&mut self) -> RelResult<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.accept_keyword("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.accept_symbol("*") {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.accept_keyword("AS") {
+                    Some(self.expect_identifier()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.expect_identifier()?;
+            let alias = match self.peek() {
+                Tok::Word(w) if !is_reserved(w) => {
+                    let alias = w.clone();
+                    self.bump();
+                    Some(alias)
+                }
+                _ => None,
+            };
+            from.push(TableRef { table, alias });
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        let where_clause = self.parse_optional_where()?;
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+        })
+    }
+
+    fn parse_optional_where(&mut self) -> RelResult<Option<Expr>> {
+        if self.accept_keyword("WHERE") {
+            Ok(Some(self.parse_expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // expr := and_expr (OR and_expr)*
+    fn parse_expr(&mut self) -> RelResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    // and_expr := not_expr (AND not_expr)*
+    fn parse_and(&mut self) -> RelResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    // not_expr := NOT not_expr | comparison
+    fn parse_not(&mut self) -> RelResult<Expr> {
+        if self.accept_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    // comparison := primary ((= | <> | != | < | <= | > | >=) primary
+    //             | IS [NOT] NULL)?
+    fn parse_comparison(&mut self) -> RelResult<Expr> {
+        let left = self.parse_primary()?;
+        if self.accept_keyword("IS") {
+            let negated = self.accept_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Tok::Symbol(s) => match s.as_str() {
+                "=" => Some(BinOp::Eq),
+                "<>" | "!=" => Some(BinOp::Ne),
+                "<" => Some(BinOp::Lt),
+                "<=" => Some(BinOp::Le),
+                ">" => Some(BinOp::Gt),
+                ">=" => Some(BinOp::Ge),
+                _ => None,
+            },
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let right = self.parse_primary()?;
+                Ok(Expr::binary(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    // primary := literal | column_ref | '(' expr ')'
+    fn parse_primary(&mut self) -> RelResult<Expr> {
+        match self.peek().clone() {
+            Tok::Symbol(s) if s == "(" => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Tok::Str(_) | Tok::Int(_) | Tok::Float(_) => Ok(Expr::Value(self.parse_literal()?)),
+            Tok::Symbol(s) if s == "-" => Ok(Expr::Value(self.parse_literal()?)),
+            Tok::Word(w) => {
+                if w.eq_ignore_ascii_case("NULL")
+                    || w.eq_ignore_ascii_case("TRUE")
+                    || w.eq_ignore_ascii_case("FALSE")
+                {
+                    return Ok(Expr::Value(self.parse_literal()?));
+                }
+                let first = self.expect_identifier()?;
+                if self.accept_symbol(".") {
+                    let column = self.expect_identifier()?;
+                    Ok(Expr::Column(ColumnRef::qualified(first, column)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(first)))
+                }
+            }
+            t => Err(RelError::SqlParse {
+                message: format!("expected expression, found {t:?}"),
+            }),
+        }
+    }
+
+    fn parse_literal(&mut self) -> RelResult<Value> {
+        match self.bump() {
+            Tok::Str(s) => Ok(Value::Text(s)),
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Float(f) => Ok(Value::Double(f)),
+            Tok::Symbol(s) if s == "-" => match self.bump() {
+                Tok::Int(i) => Ok(Value::Int(-i)),
+                Tok::Float(f) => Ok(Value::Double(-f)),
+                t => Err(RelError::SqlParse {
+                    message: format!("expected number after '-', found {t:?}"),
+                }),
+            },
+            Tok::Word(w) if w.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            Tok::Word(w) if w.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            t => Err(RelError::SqlParse {
+                message: format!("expected literal, found {t:?}"),
+            }),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "FROM", "SELECT", "DISTINCT",
+        "WHERE", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE", "AS",
+    ];
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_10() {
+        let stmt = parse(
+            "INSERT INTO author (id, title, firstname, lastname, email, team) \
+             VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);",
+        )
+        .unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(ins.table, "author");
+        assert_eq!(ins.columns.len(), 6);
+        assert_eq!(ins.values[1], Value::text("Mr"));
+        assert_eq!(ins.values[5], Value::Int(5));
+    }
+
+    #[test]
+    fn parses_listing_18() {
+        let stmt = parse(
+            "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';",
+        )
+        .unwrap();
+        let Statement::Update(up) = stmt else {
+            panic!("expected UPDATE")
+        };
+        assert_eq!(up.assignments, vec![("email".into(), Expr::Value(Value::Null))]);
+        assert!(up.where_clause.is_some());
+    }
+
+    #[test]
+    fn round_trips_printer_output() {
+        let inputs = [
+            "INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');",
+            "UPDATE author SET email = NULL WHERE id = 6 AND email = 'x';",
+            "DELETE FROM author WHERE id = 6;",
+            "SELECT DISTINCT a.id AS x, a.email FROM author a, team t WHERE a.team = t.id;",
+            "SELECT * FROM team;",
+            "DELETE FROM t WHERE a = 1 AND (b = 2 OR c = 3);",
+            "SELECT id FROM t WHERE email IS NOT NULL;",
+            "UPDATE t SET x = -5 WHERE y <> 'a';",
+        ];
+        for input in inputs {
+            let stmt = parse(input).unwrap();
+            let printed = stmt.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(stmt, reparsed, "round-trip failed for {input}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("select id from team where id = 1").is_ok());
+        assert!(parse("Select Id From team Where id Is Not Null").is_ok());
+    }
+
+    #[test]
+    fn string_escaping() {
+        let stmt = parse("DELETE FROM t WHERE name = 'O''Brien';").unwrap();
+        let Statement::Delete(d) = stmt else { panic!() };
+        assert_eq!(
+            d.where_clause,
+            Some(Expr::eq(Expr::col("name"), Expr::value("O'Brien")))
+        );
+    }
+
+    #[test]
+    fn script_parsing() {
+        let script = "INSERT INTO team (id) VALUES (1); INSERT INTO team (id) VALUES (2);";
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn script_requires_separators() {
+        assert!(parse_script("SELECT * FROM a SELECT * FROM b").is_err());
+    }
+
+    #[test]
+    fn insert_column_value_count_mismatch_rejected() {
+        assert!(parse("INSERT INTO t (a, b) VALUES (1);").is_err());
+    }
+
+    #[test]
+    fn reserved_words_not_identifiers() {
+        assert!(parse("SELECT * FROM where;").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t; garbage").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse("DELETE FROM t WHERE a = 'x;").is_err());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let stmt = parse("INSERT INTO t (a) VALUES (-42);").unwrap();
+        let Statement::Insert(i) = stmt else { panic!() };
+        assert_eq!(i.values[0], Value::Int(-42));
+    }
+
+    #[test]
+    fn float_literals() {
+        let stmt = parse("INSERT INTO t (a) VALUES (3.5);").unwrap();
+        let Statement::Insert(i) = stmt else { panic!() };
+        assert_eq!(i.values[0], Value::Double(3.5));
+    }
+
+    #[test]
+    fn boolean_literals() {
+        let stmt = parse("UPDATE t SET flag = TRUE;").unwrap();
+        let Statement::Update(u) = stmt else { panic!() };
+        assert_eq!(u.assignments[0].1, Expr::Value(Value::Bool(true)));
+    }
+}

@@ -1,0 +1,314 @@
+//! SQL rendering — produces the exact textual style of the paper's
+//! listings (e.g. Listing 10: `INSERT INTO author (id, title, firstname,
+//! lastname, email, team) VALUES (6, 'Mr', 'Matthias', 'Hert',
+//! 'hert@ifi.uzh.ch', 5);`), so translated statements can be compared
+//! against the paper verbatim. Statements render with a trailing `;`.
+
+use crate::sql::ast::{
+    BinOp, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+};
+use std::fmt;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Insert(s) => s.fmt(f),
+            Statement::Update(s) => s.fmt(f),
+            Statement::Delete(s) => s.fmt(f),
+            Statement::Select(s) => s.fmt(f),
+        }
+    }
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let values: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        write!(
+            f,
+            "INSERT INTO {} ({}) VALUES ({});",
+            self.table,
+            self.columns.join(", "),
+            values.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for UpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sets: Vec<String> = self
+            .assignments
+            .iter()
+            .map(|(col, expr)| format!("{col} = {expr}"))
+            .collect();
+        write!(f, "UPDATE {} SET {}", self.table, sets.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for DeleteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", items.join(", "))?;
+        let tables: Vec<String> = self.from.iter().map(|t| t.to_string()).collect();
+        write!(f, " FROM {}", tables.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(alias) => write!(f, "{} {}", self.table, alias),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+// Precedence for parenthesization: OR < AND < NOT < comparison < primary.
+fn precedence(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Binary { op: BinOp::Or, .. } => 1,
+        Expr::Binary { op: BinOp::And, .. } => 2,
+        Expr::Not(_) => 3,
+        Expr::Binary { .. } => 4,
+        Expr::IsNull { .. } => 4,
+        Expr::Value(_) | Expr::Column(_) => 5,
+    }
+}
+
+fn fmt_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Value(v) => write!(f, "{v}"),
+            Expr::Column(c) => match &c.table {
+                Some(t) => write!(f, "{t}.{}", c.column),
+                None => write!(f, "{}", c.column),
+            },
+            Expr::Binary { op, left, right } => {
+                let prec = precedence(self);
+                fmt_child(f, left, prec)?;
+                write!(f, " {op} ")?;
+                fmt_child(f, right, prec)
+            }
+            Expr::Not(inner) => {
+                write!(f, "NOT ")?;
+                fmt_child(f, inner, precedence(self))
+            }
+            Expr::IsNull { expr, negated } => {
+                fmt_child(f, expr, precedence(self))?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_matches_listing_10_style() {
+        let stmt = InsertStmt {
+            table: "author".into(),
+            columns: vec![
+                "id".into(),
+                "title".into(),
+                "firstname".into(),
+                "lastname".into(),
+                "email".into(),
+                "team".into(),
+            ],
+            values: vec![
+                Value::Int(6),
+                Value::text("Mr"),
+                Value::text("Matthias"),
+                Value::text("Hert"),
+                Value::text("hert@ifi.uzh.ch"),
+                Value::Int(5),
+            ],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "INSERT INTO author (id, title, firstname, lastname, email, team) \
+             VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);"
+        );
+    }
+
+    #[test]
+    fn update_matches_listing_18_style() {
+        let stmt = UpdateStmt {
+            table: "author".into(),
+            assignments: vec![("email".into(), Expr::Value(Value::Null))],
+            where_clause: Some(Expr::and(
+                Expr::eq(Expr::col("id"), Expr::value(6i64)),
+                Expr::eq(Expr::col("email"), Expr::value("hert@ifi.uzh.ch")),
+            )),
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';"
+        );
+    }
+
+    #[test]
+    fn delete_renders() {
+        let stmt = DeleteStmt {
+            table: "author".into(),
+            where_clause: Some(Expr::eq(Expr::col("id"), Expr::value(6i64))),
+        };
+        assert_eq!(stmt.to_string(), "DELETE FROM author WHERE id = 6;");
+    }
+
+    #[test]
+    fn select_with_aliases_and_join_condition() {
+        let stmt = SelectStmt {
+            distinct: true,
+            items: vec![
+                SelectItem::Expr {
+                    expr: Expr::qcol("a", "id"),
+                    alias: Some("x".into()),
+                },
+                SelectItem::Expr {
+                    expr: Expr::qcol("a", "email"),
+                    alias: None,
+                },
+            ],
+            from: vec![
+                TableRef {
+                    table: "author".into(),
+                    alias: Some("a".into()),
+                },
+                TableRef {
+                    table: "team".into(),
+                    alias: Some("t".into()),
+                },
+            ],
+            where_clause: Some(Expr::eq(Expr::qcol("a", "team"), Expr::qcol("t", "id"))),
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT DISTINCT a.id AS x, a.email FROM author a, team t WHERE a.team = t.id;"
+        );
+    }
+
+    #[test]
+    fn or_under_and_is_parenthesized() {
+        let or = Expr::or(
+            Expr::eq(Expr::col("a"), Expr::value(1i64)),
+            Expr::eq(Expr::col("b"), Expr::value(2i64)),
+        );
+        let and = Expr::and(or, Expr::eq(Expr::col("c"), Expr::value(3i64)));
+        assert_eq!(and.to_string(), "(a = 1 OR b = 2) AND c = 3");
+    }
+
+    #[test]
+    fn and_under_or_is_not_parenthesized() {
+        let and = Expr::and(
+            Expr::eq(Expr::col("a"), Expr::value(1i64)),
+            Expr::eq(Expr::col("b"), Expr::value(2i64)),
+        );
+        let or = Expr::or(and, Expr::eq(Expr::col("c"), Expr::value(3i64)));
+        assert_eq!(or.to_string(), "a = 1 AND b = 2 OR c = 3");
+    }
+
+    #[test]
+    fn is_null_renders() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("email")),
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "email IS NULL");
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("email")),
+            negated: true,
+        };
+        assert_eq!(e.to_string(), "email IS NOT NULL");
+    }
+
+    #[test]
+    fn quoted_string_escaping() {
+        let stmt = DeleteStmt {
+            table: "t".into(),
+            where_clause: Some(Expr::eq(Expr::col("name"), Expr::value("O'Brien"))),
+        };
+        assert_eq!(stmt.to_string(), "DELETE FROM t WHERE name = 'O''Brien';");
+    }
+
+    #[test]
+    fn select_star() {
+        let stmt = SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Star],
+            from: vec![TableRef {
+                table: "team".into(),
+                alias: None,
+            }],
+            where_clause: None,
+        };
+        assert_eq!(stmt.to_string(), "SELECT * FROM team;");
+    }
+}

@@ -1,0 +1,229 @@
+//! Row storage for one table: heap of rows plus primary-key and unique
+//! indexes.
+
+use crate::schema::Table;
+use crate::value::{IndexKey, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifier of a stored row, unique within its table for the lifetime
+/// of the database.
+pub type RowId = u64;
+
+/// Storage for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    rows: BTreeMap<RowId, Vec<Value>>,
+    /// PK values → row id. Empty key vec when the table has no PK.
+    pk_index: HashMap<Vec<IndexKey>, RowId>,
+    /// Per unique column: value → row id (NULLs excluded, as in SQL).
+    unique_indexes: HashMap<String, HashMap<IndexKey, RowId>>,
+    next_row_id: RowId,
+}
+
+impl TableData {
+    /// Empty storage with unique indexes prepared from the table schema.
+    pub fn for_table(table: &Table) -> Self {
+        let mut data = TableData::default();
+        for column in &table.columns {
+            if column.unique {
+                data.unique_indexes
+                    .insert(column.name.clone(), HashMap::new());
+            }
+        }
+        data
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(row_id, row)` in insertion (row id) order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> {
+        self.rows.iter().map(|(id, row)| (*id, row))
+    }
+
+    /// Fetch one row.
+    pub fn row(&self, row_id: RowId) -> Option<&Vec<Value>> {
+        self.rows.get(&row_id)
+    }
+
+    /// Row id holding the given primary key, if present.
+    pub fn find_by_pk(&self, key: &[IndexKey]) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Row id holding `value` in the unique column `column`, if present.
+    pub fn find_by_unique(&self, column: &str, key: &IndexKey) -> Option<RowId> {
+        self.unique_indexes.get(column)?.get(key).copied()
+    }
+
+    /// Store a row that has already passed constraint checking.
+    /// Returns the new row id.
+    pub fn insert_unchecked(&mut self, table: &Table, row: Vec<Value>) -> RowId {
+        let row_id = self.next_row_id;
+        self.next_row_id += 1;
+        self.index_row(table, row_id, &row);
+        self.rows.insert(row_id, row);
+        row_id
+    }
+
+    /// Re-insert a row under its original id (transaction rollback of a
+    /// delete).
+    pub fn restore_unchecked(&mut self, table: &Table, row_id: RowId, row: Vec<Value>) {
+        self.index_row(table, row_id, &row);
+        self.rows.insert(row_id, row);
+    }
+
+    /// Replace a row's values (already constraint-checked), fixing
+    /// indexes. Returns the previous values.
+    pub fn update_unchecked(
+        &mut self,
+        table: &Table,
+        row_id: RowId,
+        new_row: Vec<Value>,
+    ) -> Option<Vec<Value>> {
+        let old = self.rows.get(&row_id)?.clone();
+        self.unindex_row(table, &old);
+        self.index_row(table, row_id, &new_row);
+        self.rows.insert(row_id, new_row);
+        Some(old)
+    }
+
+    /// Remove a row (already constraint-checked), fixing indexes.
+    /// Returns the removed values.
+    pub fn delete_unchecked(&mut self, table: &Table, row_id: RowId) -> Option<Vec<Value>> {
+        let row = self.rows.remove(&row_id)?;
+        self.unindex_row(table, &row);
+        Some(row)
+    }
+
+    /// Primary-key values of `row` as index keys (empty when no PK).
+    pub fn pk_key(table: &Table, row: &[Value]) -> Vec<IndexKey> {
+        table
+            .primary_key_indices()
+            .iter()
+            .map(|&i| row[i].index_key())
+            .collect()
+    }
+
+    fn index_row(&mut self, table: &Table, row_id: RowId, row: &[Value]) {
+        if !table.primary_key.is_empty() {
+            self.pk_index.insert(Self::pk_key(table, row), row_id);
+        }
+        for (column, index) in &mut self.unique_indexes {
+            let i = table
+                .column_index(column)
+                .expect("unique index built from schema");
+            if !row[i].is_null() {
+                index.insert(row[i].index_key(), row_id);
+            }
+        }
+    }
+
+    fn unindex_row(&mut self, table: &Table, row: &[Value]) {
+        if !table.primary_key.is_empty() {
+            self.pk_index.remove(&Self::pk_key(table, row));
+        }
+        for (column, index) in &mut self.unique_indexes {
+            let i = table
+                .column_index(column)
+                .expect("unique index built from schema");
+            if !row[i].is_null() {
+                index.remove(&row[i].index_key());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Table};
+    use crate::value::SqlType;
+
+    fn table() -> Table {
+        Table::builder("t")
+            .column(Column::new("id", SqlType::Integer).not_null())
+            .column(Column::new("code", SqlType::Varchar).unique())
+            .primary_key(&["id"])
+            .build()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        let id = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), Some(id));
+        assert_eq!(
+            data.find_by_unique("code", &Value::text("A").index_key()),
+            Some(id)
+        );
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        let id = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        let old = data
+            .update_unchecked(&t, id, vec![Value::Int(2), Value::text("B")])
+            .unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), None);
+        assert_eq!(data.find_by_pk(&[Value::Int(2).index_key()]), Some(id));
+        assert_eq!(data.find_by_unique("code", &Value::text("A").index_key()), None);
+        assert_eq!(
+            data.find_by_unique("code", &Value::text("B").index_key()),
+            Some(id)
+        );
+    }
+
+    #[test]
+    fn delete_clears_indexes() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        let id = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        let row = data.delete_unchecked(&t, id).unwrap();
+        assert_eq!(row[1], Value::text("A"));
+        assert!(data.is_empty());
+        assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), None);
+    }
+
+    #[test]
+    fn nulls_not_in_unique_index() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        data.insert_unchecked(&t, vec![Value::Int(1), Value::Null]);
+        data.insert_unchecked(&t, vec![Value::Int(2), Value::Null]);
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.find_by_unique("code", &Value::Null.index_key()), None);
+    }
+
+    #[test]
+    fn restore_reuses_row_id() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        let id = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        let row = data.delete_unchecked(&t, id).unwrap();
+        data.restore_unchecked(&t, id, row);
+        assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), Some(id));
+    }
+
+    #[test]
+    fn scan_in_row_id_order() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        data.insert_unchecked(&t, vec![Value::Int(3), Value::Null]);
+        data.insert_unchecked(&t, vec![Value::Int(1), Value::Null]);
+        let ids: Vec<RowId> = data.scan().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,258 @@
+//! SQL data types and runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types supported by the engine — the types Figure 1 uses
+/// (`INTEGER`, `VARCHAR`) plus the scalars needed by generic workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 64-bit signed integer (`INTEGER`).
+    Integer,
+    /// Variable-length string (`VARCHAR`).
+    Varchar,
+    /// Boolean (`BOOLEAN`).
+    Boolean,
+    /// 64-bit float (`DOUBLE`).
+    Double,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Integer => write!(f, "INTEGER"),
+            SqlType::Varchar => write!(f, "VARCHAR"),
+            SqlType::Boolean => write!(f, "BOOLEAN"),
+            SqlType::Double => write!(f, "DOUBLE"),
+        }
+    }
+}
+
+/// A runtime SQL value.
+///
+/// `Null` is a distinct variant rather than an `Option` wrapper because
+/// three-valued logic threads through expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Double value.
+    Double(f64),
+}
+
+impl Value {
+    /// Shorthand for a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type of this value, if non-null.
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(SqlType::Integer),
+            Value::Text(_) => Some(SqlType::Varchar),
+            Value::Bool(_) => Some(SqlType::Boolean),
+            Value::Double(_) => Some(SqlType::Double),
+        }
+    }
+
+    /// Whether this value can be stored in a column of type `ty`
+    /// (NULL fits every type; integers widen into DOUBLE columns).
+    pub fn fits(&self, ty: SqlType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), SqlType::Integer | SqlType::Double)
+                | (Value::Text(_), SqlType::Varchar)
+                | (Value::Bool(_), SqlType::Boolean)
+                | (Value::Double(_), SqlType::Double)
+        )
+    }
+
+    /// SQL equality: NULL compares equal to nothing (returns `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (a, b) => a == b,
+        })
+    }
+
+    /// SQL ordering comparison: `None` if either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Double(a), Value::Double(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Double(b)) => (*a as f64).partial_cmp(b),
+            (Value::Double(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Key form for uniqueness/index checks: total order including NULL.
+    /// Distinct from [`Value::sql_cmp`], which implements three-valued
+    /// comparison semantics.
+    pub fn index_key(&self) -> IndexKey {
+        match self {
+            Value::Null => IndexKey::Null,
+            Value::Int(i) => IndexKey::Int(*i),
+            Value::Text(s) => IndexKey::Text(s.clone()),
+            Value::Bool(b) => IndexKey::Bool(*b),
+            Value::Double(d) => IndexKey::Double(d.to_bits()),
+        }
+    }
+}
+
+/// Totally ordered, hashable projection of a [`Value`], used as a key in
+/// primary-key and uniqueness indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IndexKey {
+    /// NULL sorts first.
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Boolean key.
+    Bool(bool),
+    /// Double key (by bit pattern — exact match only).
+    Double(u64),
+    /// Text key.
+    Text(String),
+}
+
+/// Render a string as a single-quoted SQL literal (doubling embedded
+/// quotes, the style the paper's listings use: `'Matthias'`).
+pub fn quote_sql_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+    out
+}
+
+impl fmt::Display for Value {
+    /// SQL literal rendering (`NULL`, `6`, `'Mr'`, `TRUE`, `1.5`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{}", quote_sql_string(s)),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Double(d) => write!(f, "{d:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Value::Int(6).to_string(), "6");
+        assert_eq!(Value::text("Mr").to_string(), "'Mr'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("O'Brien").to_string(), "'O''Brien'");
+    }
+
+    #[test]
+    fn fits_type_checks() {
+        assert!(Value::Int(1).fits(SqlType::Integer));
+        assert!(Value::Int(1).fits(SqlType::Double));
+        assert!(!Value::Int(1).fits(SqlType::Varchar));
+        assert!(Value::Null.fits(SqlType::Integer));
+        assert!(Value::text("x").fits(SqlType::Varchar));
+        assert!(!Value::text("x").fits(SqlType::Boolean));
+    }
+
+    #[test]
+    fn null_equality_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.0)), Some(true));
+        assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.5)), Some(false));
+    }
+
+    #[test]
+    fn ordering() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::text("a").sql_cmp(&Value::text("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::text("a")), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn index_keys_are_total() {
+        let mut keys = [Value::text("b").index_key(),
+            Value::Null.index_key(),
+            Value::Int(5).index_key()];
+        keys.sort();
+        assert_eq!(keys[0], IndexKey::Null);
+    }
+}

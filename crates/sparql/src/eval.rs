@@ -1,0 +1,439 @@
+//! SPARQL evaluation over an in-memory [`rdf::Graph`].
+//!
+//! This is the query engine of the *native triple store* the paper uses
+//! as its conceptual baseline (§3), and the reference semantics against
+//! which the OntoAccess relational translation is property-tested.
+
+use crate::ast::{
+    AskQuery, CompareOp, FilterExpr, GroupPattern, Projection, Query, SelectQuery, TermPattern,
+    TriplePattern,
+};
+use rdf::{Graph, Iri, Term};
+use std::collections::BTreeMap;
+
+/// A solution mapping: variable name → bound term.
+pub type Binding = BTreeMap<String, Term>;
+
+/// Result of a SELECT: projected variable names plus solution rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solutions {
+    /// Projected variables (without `?`).
+    pub variables: Vec<String>,
+    /// One binding per solution; unbound projected variables are absent
+    /// from the map.
+    pub bindings: Vec<Binding>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// Evaluate any query against a graph.
+pub fn evaluate(graph: &Graph, query: &Query) -> QueryOutcome {
+    match query {
+        Query::Select(q) => QueryOutcome::Solutions(evaluate_select(graph, q)),
+        Query::Ask(q) => QueryOutcome::Boolean(evaluate_ask(graph, q)),
+    }
+}
+
+/// Outcome of [`evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// SELECT result.
+    Solutions(Solutions),
+    /// ASK result.
+    Boolean(bool),
+}
+
+/// Evaluate a SELECT query.
+pub fn evaluate_select(graph: &Graph, query: &SelectQuery) -> Solutions {
+    let mut bindings = match_group(graph, &query.pattern);
+    let variables = match &query.projection {
+        Projection::Star => query.pattern.variables(),
+        Projection::Variables(vars) => vars.clone(),
+    };
+    // Project.
+    for binding in &mut bindings {
+        binding.retain(|var, _| variables.contains(var));
+    }
+    if query.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        bindings.retain(|b| seen.insert(b.clone()));
+    }
+    if let Some(limit) = query.limit {
+        bindings.truncate(limit);
+    }
+    Solutions {
+        variables,
+        bindings,
+    }
+}
+
+/// Evaluate an ASK query.
+pub fn evaluate_ask(graph: &Graph, query: &AskQuery) -> bool {
+    !match_group(graph, &query.pattern).is_empty()
+}
+
+/// Match a group pattern (BGP + filters) against the graph, returning all
+/// solution bindings.
+pub fn match_group(graph: &Graph, group: &GroupPattern) -> Vec<Binding> {
+    let mut solutions = vec![Binding::new()];
+    // Greedy join: process patterns in a selectivity-friendly order —
+    // patterns whose positions are already bound (or ground) first.
+    let mut remaining: Vec<&TriplePattern> = group.patterns.iter().collect();
+    let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
+    let mut bound_vars: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| {
+                let positions = [&p.subject, &p.predicate, &p.object];
+                positions
+                    .iter()
+                    .filter(|tp| match tp {
+                        TermPattern::Term(_) => true,
+                        TermPattern::Variable(v) => bound_vars.contains(v),
+                    })
+                    .count()
+            })
+            .expect("remaining not empty");
+        let chosen = remaining.remove(idx);
+        for v in chosen.variables() {
+            bound_vars.insert(v.to_owned());
+        }
+        ordered.push(chosen);
+    }
+
+    for pattern in ordered {
+        let mut next = Vec::new();
+        for binding in &solutions {
+            extend_with_pattern(graph, pattern, binding, &mut next);
+        }
+        solutions = next;
+        if solutions.is_empty() {
+            break;
+        }
+    }
+    solutions.retain(|b| group.filters.iter().all(|f| eval_filter(f, b) == Some(true)));
+    solutions
+}
+
+fn extend_with_pattern(
+    graph: &Graph,
+    pattern: &TriplePattern,
+    binding: &Binding,
+    out: &mut Vec<Binding>,
+) {
+    let s = resolve(&pattern.subject, binding);
+    let p = resolve(&pattern.predicate, binding);
+    let o = resolve(&pattern.object, binding);
+
+    // The graph index needs the predicate as an IRI.
+    let p_iri: Option<Iri> = match &p {
+        Some(Term::Iri(iri)) => Some(iri.clone()),
+        Some(_) => return, // non-IRI predicate can never match
+        None => None,
+    };
+    let candidates = graph.matching(s.as_ref(), p_iri.as_ref(), o.as_ref());
+    for triple in candidates {
+        let mut extended = binding.clone();
+        if bind(&mut extended, &pattern.subject, &triple.subject)
+            && bind(&mut extended, &pattern.predicate, &Term::Iri(triple.predicate.clone()))
+            && bind(&mut extended, &pattern.object, &triple.object)
+        {
+            out.push(extended);
+        }
+    }
+}
+
+// Concrete term for a pattern position under the current binding, if any.
+fn resolve(tp: &TermPattern, binding: &Binding) -> Option<Term> {
+    match tp {
+        TermPattern::Term(t) => Some(t.clone()),
+        TermPattern::Variable(v) => binding.get(v).cloned(),
+    }
+}
+
+// Bind a variable position to `term`; false on conflict.
+fn bind(binding: &mut Binding, tp: &TermPattern, term: &Term) -> bool {
+    match tp {
+        TermPattern::Term(t) => t == term,
+        TermPattern::Variable(v) => match binding.get(v) {
+            Some(existing) => existing == term,
+            None => {
+                binding.insert(v.clone(), term.clone());
+                true
+            }
+        },
+    }
+}
+
+/// Evaluate a FILTER under SPARQL error semantics: `None` = error
+/// (unbound variable or incomparable operands), which eliminates the
+/// solution unless negated appropriately.
+pub fn eval_filter(filter: &FilterExpr, binding: &Binding) -> Option<bool> {
+    match filter {
+        FilterExpr::Bound(v) => Some(binding.contains_key(v)),
+        FilterExpr::Not(inner) => eval_filter(inner, binding).map(|b| !b),
+        FilterExpr::And(a, b) => {
+            // SPARQL logical-and with error handling: error && false = false.
+            match (eval_filter(a, binding), eval_filter(b, binding)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        }
+        FilterExpr::Or(a, b) => match (eval_filter(a, binding), eval_filter(b, binding)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        FilterExpr::Compare { op, left, right } => {
+            let l = resolve(left, binding)?;
+            let r = resolve(right, binding)?;
+            compare_terms(*op, &l, &r)
+        }
+    }
+}
+
+fn compare_terms(op: CompareOp, l: &Term, r: &Term) -> Option<bool> {
+    match op {
+        CompareOp::Eq | CompareOp::Ne => {
+            let eq = match (l, r) {
+                (Term::Literal(a), Term::Literal(b)) => a.value_eq(b),
+                (a, b) => a == b,
+            };
+            Some(if op == CompareOp::Eq { eq } else { !eq })
+        }
+        _ => {
+            let (a, b) = match (l, r) {
+                (Term::Literal(a), Term::Literal(b)) => (a, b),
+                _ => return None, // ordering only defined on literals
+            };
+            let ord = if let (Some(x), Some(y)) = (a.as_double(), b.as_double()) {
+                x.partial_cmp(&y)?
+            } else if a.is_stringy() && b.is_stringy() {
+                a.lexical().cmp(b.lexical())
+            } else {
+                return None;
+            };
+            Some(match op {
+                CompareOp::Lt => ord.is_lt(),
+                CompareOp::Le => ord.is_le(),
+                CompareOp::Gt => ord.is_gt(),
+                CompareOp::Ge => ord.is_ge(),
+                CompareOp::Eq | CompareOp::Ne => unreachable!(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query_with_prefixes;
+    use rdf::namespace::{foaf, ont, rdf_type, PrefixMap};
+    use rdf::{Literal, Triple};
+
+    fn author(n: u32) -> Term {
+        Term::iri(&format!("http://example.org/db/author{n}"))
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        for (n, first, last, year) in [
+            (6, "Matthias", "Hert", 2009i64),
+            (7, "Gerald", "Reif", 2005),
+            (8, "Harald", "Gall", 1998),
+        ] {
+            g.insert(Triple::new(author(n), rdf_type(), Term::Iri(foaf::Person())));
+            g.insert(Triple::new(author(n), foaf::firstName(), Literal::plain(first)));
+            g.insert(Triple::new(author(n), foaf::family_name(), Literal::plain(last)));
+            g.insert(Triple::new(author(n), ont::pubYear(), Literal::integer(year)));
+        }
+        g.insert(Triple::new(
+            author(6),
+            foaf::mbox(),
+            Term::iri("mailto:hert@ifi.uzh.ch"),
+        ));
+        g
+    }
+
+    fn select(graph: &Graph, q: &str) -> Solutions {
+        let query = parse_query_with_prefixes(q, PrefixMap::common()).unwrap();
+        let Query::Select(s) = query else { panic!("not a SELECT") };
+        evaluate_select(graph, &s)
+    }
+
+    #[test]
+    fn single_pattern_all_persons() {
+        let sols = select(&sample(), "SELECT ?x WHERE { ?x a foaf:Person . }");
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn join_on_shared_subject() {
+        let sols = select(
+            &sample(),
+            "SELECT ?x ?mbox WHERE { ?x foaf:family_name \"Hert\" ; foaf:mbox ?mbox . }",
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.bindings[0]["x"], author(6));
+        assert_eq!(
+            sols.bindings[0]["mbox"],
+            Term::iri("mailto:hert@ifi.uzh.ch")
+        );
+    }
+
+    #[test]
+    fn listing_11_where_clause() {
+        // The paper's MODIFY WHERE clause should bind exactly one row.
+        let sols = select(
+            &sample(),
+            "SELECT ?x ?mbox WHERE { ?x a foaf:Person ; \
+             foaf:firstName \"Matthias\" ; foaf:family_name \"Hert\" ; foaf:mbox ?mbox . }",
+        );
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let sols = select(
+            &sample(),
+            "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y >= 2005) }",
+        );
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn filter_and_or_not() {
+        let g = sample();
+        let sols = select(
+            &g,
+            "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y > 2000 && !(?y = 2005)) }",
+        );
+        assert_eq!(sols.len(), 1);
+        let sols = select(
+            &g,
+            "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y = 1998 || ?y = 2005) }",
+        );
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn filter_value_equality_across_lexical_forms() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            author(1),
+            ont::pubYear(),
+            Literal::plain("2009"),
+        ));
+        // Plain "2009" and typed 2009 compare equal by value.
+        let sols = select(&g, "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y = 2009) }");
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let g = sample();
+        let all = select(&g, "SELECT ?type WHERE { ?x a ?type . }");
+        assert_eq!(all.len(), 3);
+        let distinct = select(&g, "SELECT DISTINCT ?type WHERE { ?x a ?type . }");
+        assert_eq!(distinct.len(), 1);
+        let limited = select(&g, "SELECT ?x WHERE { ?x a foaf:Person . } LIMIT 2");
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn star_projects_all_pattern_variables() {
+        let sols = select(&sample(), "SELECT * WHERE { ?x foaf:mbox ?m . }");
+        assert_eq!(sols.variables, vec!["x", "m"]);
+    }
+
+    #[test]
+    fn ask_true_false() {
+        let g = sample();
+        let q = parse_query_with_prefixes(
+            "ASK { ?x foaf:family_name \"Hert\" . }",
+            PrefixMap::common(),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&g, &q), QueryOutcome::Boolean(true));
+        let q = parse_query_with_prefixes(
+            "ASK { ?x foaf:family_name \"Nobody\" . }",
+            PrefixMap::common(),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&g, &q), QueryOutcome::Boolean(false));
+    }
+
+    #[test]
+    fn shared_variable_join_across_subjects() {
+        let mut g = sample();
+        g.insert(Triple::new(
+            Term::iri("http://example.org/db/pub12"),
+            rdf::namespace::dc::creator(),
+            author(6),
+        ));
+        let sols = select(
+            &g,
+            "SELECT ?pub ?last WHERE { ?pub <http://purl.org/dc/elements/1.1/creator> ?a . ?a foaf:family_name ?last . }",
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.bindings[0]["last"], Term::plain("Hert"));
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_is_empty() {
+        let sols = select(&sample(), "SELECT ?x WHERE { ?x foaf:mbox ?m . ?x ont:pubYear 1850 . }");
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn filter_on_unbound_variable_removes_solution() {
+        // ?z never bound → comparison errors → solution dropped.
+        let sols = select(
+            &sample(),
+            "SELECT ?x WHERE { ?x a foaf:Person . FILTER (?z = 1) }",
+        );
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn bound_filter() {
+        let sols = select(
+            &sample(),
+            "SELECT ?x WHERE { ?x a foaf:Person . FILTER BOUND(?x) }",
+        );
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn string_ordering_filter() {
+        let sols = select(
+            &sample(),
+            "SELECT ?x WHERE { ?x foaf:family_name ?n . FILTER (?n < \"Hz\") }",
+        );
+        // "Gall" and "Hert" sort below "Hz"; "Reif" does not.
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn ground_query_no_variables() {
+        let g = sample();
+        let sols = select(
+            &g,
+            "SELECT ?x WHERE { <http://example.org/db/author6> foaf:family_name \"Hert\" . ?x a foaf:Person . }",
+        );
+        assert_eq!(sols.len(), 3);
+    }
+}

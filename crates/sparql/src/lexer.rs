@@ -1,0 +1,560 @@
+//! Tokenizer for SPARQL queries and SPARQL/Update operations.
+//!
+//! The main subtlety over the Turtle lexer is `<`: it opens an IRI
+//! reference (`<http://…>`) but is also the less-than operator inside
+//! `FILTER`. An IRI reference is recognized when a `>` appears before
+//! any whitespace; otherwise `<` lexes as an operator.
+
+use std::fmt;
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// Line.
+    pub line: usize,
+    /// Column.
+    pub column: usize,
+}
+
+/// SPARQL token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare word: keyword (`SELECT`, `INSERT`, …), `a`, or boolean.
+    Word(String),
+    /// `?name` or `$name`.
+    Variable(String),
+    /// `<…>` IRI reference.
+    IriRef(String),
+    /// `prefix:local`.
+    PrefixedName {
+        /// Namespace prefix.
+        prefix: String,
+        /// Local part.
+        local: String,
+    },
+    /// `_:label`.
+    BlankNodeLabel(String),
+    /// String literal content (unescaped).
+    StringLiteral(String),
+    /// `@lang`.
+    LangTag(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal literal (lexical form preserved).
+    Decimal(String),
+    /// `^^`.
+    DatatypeMarker,
+    /// Punctuation and operators: `{ } ( ) . ; , * = != < <= > >= && || !`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::Variable(v) => write!(f, "?{v}"),
+            TokenKind::IriRef(iri) => write!(f, "<{iri}>"),
+            TokenKind::PrefixedName { prefix, local } => write!(f, "{prefix}:{local}"),
+            TokenKind::BlankNodeLabel(l) => write!(f, "_:{l}"),
+            TokenKind::StringLiteral(s) => write!(f, "\"{s}\""),
+            TokenKind::LangTag(t) => write!(f, "@{t}"),
+            TokenKind::Integer(i) => write!(f, "{i}"),
+            TokenKind::Decimal(d) => write!(f, "{d}"),
+            TokenKind::DatatypeMarker => write!(f, "^^"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexer error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Line.
+    pub line: usize,
+    /// Column.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SPARQL document.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut lexer = Lexer {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
+    let mut tokens = Vec::new();
+    loop {
+        let token = lexer.next_token()?;
+        let eof = token.kind == TokenKind::Eof;
+        tokens.push(token);
+        if eof {
+            return Ok(tokens);
+        }
+    }
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.input[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    // Whether `<` at the current position opens an IRI reference:
+    // a matching `>` occurs before any whitespace.
+    fn lt_is_iri(&self) -> bool {
+        for &b in &self.bytes[self.pos + 1..] {
+            match b {
+                b'>' => return true,
+                b if (b as char).is_ascii_whitespace() => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia();
+        let (line, column) = (self.line, self.column);
+        let token = |kind| Token { kind, line, column };
+        let Some(c) = self.peek() else {
+            return Ok(token(TokenKind::Eof));
+        };
+        match c {
+            '{' | '}' | '(' | ')' | '.' | ';' | ',' | '*' | '=' => {
+                // '.' may begin a decimal — not in our fragment; treat as punct.
+                self.bump();
+                let p = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '.' => ".",
+                    ';' => ";",
+                    ',' => ",",
+                    '*' => "*",
+                    _ => "=",
+                };
+                Ok(token(TokenKind::Punct(p)))
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(token(TokenKind::Punct("!=")))
+                } else {
+                    Ok(token(TokenKind::Punct("!")))
+                }
+            }
+            '&' => {
+                self.bump();
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Ok(token(TokenKind::Punct("&&")))
+                } else {
+                    Err(self.error("single '&' (expected '&&')"))
+                }
+            }
+            '|' => {
+                self.bump();
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Ok(token(TokenKind::Punct("||")))
+                } else {
+                    Err(self.error("single '|' (expected '||')"))
+                }
+            }
+            '<' => {
+                if self.lt_is_iri() {
+                    self.bump();
+                    let mut iri = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('>') => break,
+                            Some(c) => iri.push(c),
+                            None => return Err(self.error("unterminated IRI reference")),
+                        }
+                    }
+                    Ok(token(TokenKind::IriRef(iri)))
+                } else {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Ok(token(TokenKind::Punct("<=")))
+                    } else {
+                        Ok(token(TokenKind::Punct("<")))
+                    }
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ok(token(TokenKind::Punct(">=")))
+                } else {
+                    Ok(token(TokenKind::Punct(">")))
+                }
+            }
+            '?' | '$' => {
+                self.bump();
+                let name = self.read_name();
+                if name.is_empty() {
+                    return Err(self.error("empty variable name"));
+                }
+                Ok(token(TokenKind::Variable(name)))
+            }
+            '"' => {
+                self.bump();
+                let s = self.read_string()?;
+                Ok(token(TokenKind::StringLiteral(s)))
+            }
+            '@' => {
+                self.bump();
+                let mut tag = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        tag.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if tag.is_empty() {
+                    return Err(self.error("'@' not followed by a language tag"));
+                }
+                Ok(token(TokenKind::LangTag(tag)))
+            }
+            '^' => {
+                self.bump();
+                if self.peek() == Some('^') {
+                    self.bump();
+                    Ok(token(TokenKind::DatatypeMarker))
+                } else {
+                    Err(self.error("single '^' (expected '^^')"))
+                }
+            }
+            '_' if self.peek2() == Some(':') => {
+                self.bump();
+                self.bump();
+                let label = self.read_name();
+                if label.is_empty() {
+                    return Err(self.error("empty blank node label"));
+                }
+                Ok(token(TokenKind::BlankNodeLabel(label)))
+            }
+            c if c == '+' || c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                if c == '+' || c == '-' {
+                    num.push(c);
+                    self.bump();
+                }
+                let mut is_decimal = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        self.bump();
+                    } else if c == '.' && !is_decimal && self.peek2().is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_decimal = true;
+                        num.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if is_decimal {
+                    Ok(token(TokenKind::Decimal(num)))
+                } else {
+                    let value: i64 = num
+                        .parse()
+                        .map_err(|_| self.error(format!("invalid integer {num:?}")))?;
+                    Ok(token(TokenKind::Integer(value)))
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let first = self.read_name();
+                if self.peek() == Some(':') {
+                    self.bump();
+                    let local = self.read_name();
+                    Ok(token(TokenKind::PrefixedName {
+                        prefix: first,
+                        local,
+                    }))
+                } else {
+                    Ok(token(TokenKind::Word(first)))
+                }
+            }
+            ':' => {
+                self.bump();
+                let local = self.read_name();
+                Ok(token(TokenKind::PrefixedName {
+                    prefix: String::new(),
+                    local,
+                }))
+            }
+            other => Err(self.error(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-') {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    fn read_string(&mut self) -> Result<String, LexError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => return Err(self.error(format!("unknown escape '\\{other}'"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some('\n') => return Err(self.error("newline in string literal")),
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn variables_both_sigils() {
+        assert_eq!(
+            kinds("?x $y"),
+            vec![
+                TokenKind::Variable("x".into()),
+                TokenKind::Variable("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        assert_eq!(
+            kinds("<http://example.org/x>"),
+            vec![TokenKind::IriRef("http://example.org/x".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("?year < 2009"),
+            vec![
+                TokenKind::Variable("year".into()),
+                TokenKind::Punct("<"),
+                TokenKind::Integer(2009),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("?year <= 2009"),
+            vec![
+                TokenKind::Variable("year".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Integer(2009),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_operators() {
+        assert_eq!(
+            kinds("!= && || ! = >="),
+            vec![
+                TokenKind::Punct("!="),
+                TokenKind::Punct("&&"),
+                TokenKind::Punct("||"),
+                TokenKind::Punct("!"),
+                TokenKind::Punct("="),
+                TokenKind::Punct(">="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_words() {
+        assert_eq!(
+            kinds("INSERT DATA"),
+            vec![
+                TokenKind::Word("INSERT".into()),
+                TokenKind::Word("DATA".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names_and_braces() {
+        assert_eq!(
+            kinds("{ ex:author6 foaf:mbox <mailto:x@y.ch> . }"),
+            vec![
+                TokenKind::Punct("{"),
+                TokenKind::PrefixedName {
+                    prefix: "ex".into(),
+                    local: "author6".into()
+                },
+                TokenKind::PrefixedName {
+                    prefix: "foaf".into(),
+                    local: "mbox".into()
+                },
+                TokenKind::IriRef("mailto:x@y.ch".into()),
+                TokenKind::Punct("."),
+                TokenKind::Punct("}"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_lang_and_datatype() {
+        assert_eq!(
+            kinds("\"2009\"^^xsd:integer \"hi\"@en"),
+            vec![
+                TokenKind::StringLiteral("2009".into()),
+                TokenKind::DatatypeMarker,
+                TokenKind::PrefixedName {
+                    prefix: "xsd".into(),
+                    local: "integer".into()
+                },
+                TokenKind::StringLiteral("hi".into()),
+                TokenKind::LangTag("en".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_node() {
+        assert_eq!(
+            kinds("_:b1"),
+            vec![TokenKind::BlankNodeLabel("b1".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("# hi\n42"), vec![TokenKind::Integer(42), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn empty_default_prefix() {
+        assert_eq!(
+            kinds(":local"),
+            vec![
+                TokenKind::PrefixedName {
+                    prefix: String::new(),
+                    local: "local".into()
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn position_tracking() {
+        let err = tokenize("\n  %").unwrap_err();
+        assert_eq!((err.line, err.column), (2, 3));
+    }
+
+    #[test]
+    fn negative_integer() {
+        assert_eq!(kinds("-5"), vec![TokenKind::Integer(-5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn decimal() {
+        assert_eq!(
+            kinds("3.14"),
+            vec![TokenKind::Decimal("3.14".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Native triple store update semantics.
+//!
+//! Applies SPARQL/Update operations directly to an [`rdf::Graph`] — the
+//! behaviour of the "native triple store" the paper contrasts OntoAccess
+//! against (§3: constraints absent, every update accepted). This module
+//! is both the benchmark baseline and the reference for the semantic
+//! equivalence property: OntoAccess-through-SQL must commute with these
+//! semantics on valid updates.
+
+use crate::ast::{GroupPattern, TermPattern, TriplePattern, UpdateOp};
+use crate::eval::{match_group, Binding};
+use rdf::{Graph, Term, Triple};
+use std::fmt;
+
+/// Error applying an update natively (only template instantiation can
+/// fail: an unbound variable or a literal landing in subject position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update error: {}", self.message)
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Statistics of one applied update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Triples actually inserted (not already present).
+    pub inserted: usize,
+    /// Triples actually removed (present before).
+    pub deleted: usize,
+    /// Bindings produced by the MODIFY WHERE clause (0 for DATA forms).
+    pub bindings: usize,
+}
+
+/// Apply one SPARQL/Update operation to `graph` with native triple store
+/// semantics.
+///
+/// For `MODIFY`, the WHERE clause is evaluated against the *pre-update*
+/// graph; all deletions are applied before all insertions (member
+/// submission semantics, matching SPARQL 1.1).
+pub fn apply(graph: &mut Graph, op: &UpdateOp) -> Result<UpdateStats, UpdateError> {
+    let mut stats = UpdateStats::default();
+    match op {
+        UpdateOp::InsertData { triples } => {
+            for t in triples {
+                if graph.insert(t.clone()) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+        UpdateOp::DeleteData { triples } => {
+            for t in triples {
+                if graph.remove(t) {
+                    stats.deleted += 1;
+                }
+            }
+        }
+        UpdateOp::Modify {
+            delete,
+            insert,
+            pattern,
+        } => {
+            let bindings = match_group(graph, pattern);
+            stats.bindings = bindings.len();
+            let deletions = instantiate_all(delete, &bindings, pattern)?;
+            let insertions = instantiate_all(insert, &bindings, pattern)?;
+            for t in deletions {
+                if graph.remove(&t) {
+                    stats.deleted += 1;
+                }
+            }
+            for t in insertions {
+                if graph.insert(t) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Instantiate a template against every binding. Solutions that leave a
+/// template variable unbound skip that template triple (SPARQL 1.1
+/// semantics); a literal in subject position is an error.
+pub fn instantiate_all(
+    template: &[TriplePattern],
+    bindings: &[Binding],
+    pattern: &GroupPattern,
+) -> Result<Vec<Triple>, UpdateError> {
+    let known: Vec<String> = pattern.variables();
+    let mut out = Vec::new();
+    for binding in bindings {
+        for tp in template {
+            // A template variable that never occurs in the WHERE clause
+            // can never be bound — reject loudly instead of silently
+            // skipping every instantiation.
+            for v in tp.variables() {
+                if !known.iter().any(|k| k == v) {
+                    return Err(UpdateError {
+                        message: format!(
+                            "template variable ?{v} does not occur in the WHERE clause"
+                        ),
+                    });
+                }
+            }
+            match instantiate(tp, binding) {
+                Ok(Some(t)) => out.push(t),
+                Ok(None) => {} // unbound in this solution: skip
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Instantiate one template triple under one binding.
+///
+/// Returns `Ok(None)` when a template variable is unbound in this
+/// binding, `Err` when instantiation produces an ill-formed triple.
+pub fn instantiate(
+    template: &TriplePattern,
+    binding: &Binding,
+) -> Result<Option<Triple>, UpdateError> {
+    let subject = match fill(&template.subject, binding) {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let predicate = match fill(&template.predicate, binding) {
+        Some(Term::Iri(iri)) => iri,
+        Some(other) => {
+            return Err(UpdateError {
+                message: format!("template predicate instantiated to non-IRI {other}"),
+            })
+        }
+        None => return Ok(None),
+    };
+    let object = match fill(&template.object, binding) {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    if !subject.is_subject_term() {
+        return Err(UpdateError {
+            message: format!("template subject instantiated to literal {subject}"),
+        });
+    }
+    Ok(Some(Triple::new(subject, predicate, object)))
+}
+
+fn fill(tp: &TermPattern, binding: &Binding) -> Option<Term> {
+    match tp {
+        TermPattern::Term(t) => Some(t.clone()),
+        TermPattern::Variable(v) => binding.get(v).cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_update_with_prefixes;
+    use rdf::namespace::{foaf, rdf_type, PrefixMap};
+    use rdf::Literal;
+
+    fn parse(input: &str) -> UpdateOp {
+        parse_update_with_prefixes(input, PrefixMap::common()).unwrap()
+    }
+
+    fn author(n: u32) -> Term {
+        Term::iri(&format!("http://example.org/db/author{n}"))
+    }
+
+    fn graph_with_hert() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::new(author(6), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(6),
+            foaf::firstName(),
+            Literal::plain("Matthias"),
+        ));
+        g.insert(Triple::new(
+            author(6),
+            foaf::family_name(),
+            Literal::plain("Hert"),
+        ));
+        g.insert(Triple::new(
+            author(6),
+            foaf::mbox(),
+            Term::iri("mailto:hert@ifi.uzh.ch"),
+        ));
+        g
+    }
+
+    #[test]
+    fn insert_data_adds_triples() {
+        let mut g = Graph::new();
+        let op = parse(
+            "INSERT DATA { <http://example.org/db/team4> foaf:name \"Database Technology\" . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.len(), 1);
+        // Idempotent on repeat (set semantics).
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn delete_data_removes_known_triples() {
+        let mut g = graph_with_hert();
+        let op = parse(
+            "DELETE DATA { <http://example.org/db/author6> foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(g.len(), 3);
+        // Deleting an absent triple is a no-op.
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.deleted, 0);
+    }
+
+    #[test]
+    fn modify_replaces_mbox_like_listing_11() {
+        let mut g = graph_with_hert();
+        let op = parse(
+            "MODIFY\n\
+             DELETE { ?x foaf:mbox ?mbox . }\n\
+             INSERT { ?x foaf:mbox <mailto:hert@example.com> . }\n\
+             WHERE { ?x a foaf:Person ; foaf:firstName \"Matthias\" ; \
+                     foaf:family_name \"Hert\" ; foaf:mbox ?mbox . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.bindings, 1);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(
+            g.object(&author(6), &foaf::mbox()),
+            Some(Term::iri("mailto:hert@example.com"))
+        );
+    }
+
+    #[test]
+    fn modify_no_bindings_changes_nothing() {
+        let mut g = graph_with_hert();
+        let before = g.clone();
+        let op = parse(
+            "MODIFY DELETE { ?x foaf:mbox ?m . } INSERT { } \
+             WHERE { ?x foaf:family_name \"Nobody\" ; foaf:mbox ?m . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.bindings, 0);
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn modify_multiple_bindings_applies_per_binding() {
+        let mut g = graph_with_hert();
+        g.insert(Triple::new(author(7), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(7),
+            foaf::mbox(),
+            Term::iri("mailto:reif@ifi.uzh.ch"),
+        ));
+        let op = parse(
+            "MODIFY DELETE { ?x foaf:mbox ?m . } INSERT { ?x foaf:mbox <mailto:all@uzh.ch> . } \
+             WHERE { ?x a foaf:Person ; foaf:mbox ?m . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.bindings, 2);
+        assert_eq!(stats.deleted, 2);
+        assert_eq!(stats.inserted, 2); // one triple per bound subject
+        assert_eq!(
+            g.object(&author(6), &foaf::mbox()),
+            Some(Term::iri("mailto:all@uzh.ch"))
+        );
+    }
+
+    #[test]
+    fn where_evaluated_on_pre_update_state() {
+        // Deleting the triple the WHERE clause matched must not stop the
+        // insert of the same round.
+        let mut g = graph_with_hert();
+        let op = parse(
+            "MODIFY DELETE { ?x foaf:family_name \"Hert\" . } \
+             INSERT { ?x foaf:family_name \"HERT\" . } \
+             WHERE { ?x foaf:family_name \"Hert\" . }",
+        );
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(
+            g.object(&author(6), &foaf::family_name()),
+            Some(Term::plain("HERT"))
+        );
+    }
+
+    #[test]
+    fn template_variable_not_in_where_is_error() {
+        let mut g = graph_with_hert();
+        let op = parse(
+            "MODIFY DELETE { ?x foaf:mbox ?nowhere . } INSERT { } \
+             WHERE { ?x foaf:mbox ?m . }",
+        );
+        let err = apply(&mut g, &op).unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn delete_where_shorthand_deletes_matches() {
+        let mut g = graph_with_hert();
+        let op = parse("DELETE WHERE { ?x foaf:mbox ?m . }");
+        let stats = apply(&mut g, &op).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert!(g.matching(None, Some(&foaf::mbox()), None).is_empty());
+    }
+
+    #[test]
+    fn literal_subject_instantiation_is_error() {
+        let mut g = graph_with_hert();
+        // ?n binds to a literal and is used as template subject.
+        let op = parse(
+            "MODIFY DELETE { } INSERT { ?n a foaf:Person . } \
+             WHERE { ?x foaf:firstName ?n . }",
+        );
+        assert!(apply(&mut g, &op).is_err());
+    }
+}

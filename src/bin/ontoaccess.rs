@@ -1,0 +1,216 @@
+//! `ontoaccess` — interactive mediator console.
+//!
+//! The paper's prototype exposes the translator behind an HTTP endpoint;
+//! this binary exposes the same engine behind a terminal. Type a
+//! SPARQL/Update operation or a SPARQL query (end it with an empty
+//! line); the console prints the generated SQL and the RDF feedback
+//! document, or the solution table for queries.
+//!
+//! ```text
+//! cargo run --bin ontoaccess-cli            # paper's sample data
+//! cargo run --bin ontoaccess-cli -- --empty # empty Figure 1 database
+//! cargo run --bin ontoaccess-cli -- --populate 200 --seed 7
+//! ```
+//!
+//! Console commands: `.help`, `.dump` (RDF view as Turtle), `.tables`
+//! (row counts), `.sql <stmt>` (raw SQL against the engine), `.quit`.
+
+use std::io::{BufRead, Write};
+
+use sparql_update_rdb::fixtures;
+use sparql_update_rdb::ontoaccess::Endpoint;
+use sparql_update_rdb::rdf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut endpoint = build_endpoint(&args);
+    println!("OntoAccess console — publication database ready.");
+    println!("Enter SPARQL/Update or SPARQL queries (finish with an empty line).");
+    println!("Commands: .help .dump .tables .sql <stmt> .quit");
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let Some(request) = read_request(&mut lines) else {
+            return;
+        };
+        let trimmed = request.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(command) = trimmed.strip_prefix('.') {
+            if !run_command(&mut endpoint, command) {
+                return;
+            }
+            continue;
+        }
+        dispatch(&mut endpoint, trimmed);
+    }
+}
+
+fn build_endpoint(args: &[String]) -> Endpoint {
+    let mut iter = args.iter();
+    let mut empty = false;
+    let mut populate: Option<usize> = None;
+    let mut seed = 42u64;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--empty" => empty = true,
+            "--populate" => {
+                populate = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or(Some(100));
+            }
+            "--seed" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --empty, --populate N, --seed S)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = populate {
+        let db = fixtures::data::populated_database(n, seed);
+        Endpoint::new(db, fixtures::mapping()).expect("use case mapping is valid")
+    } else if empty {
+        fixtures::endpoint()
+    } else {
+        fixtures::endpoint_with_sample_data()
+    }
+}
+
+// Read lines until an empty line; single-line `.command`s return
+// immediately.
+fn read_request(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Option<String> {
+    let mut buffer = String::new();
+    loop {
+        match lines.next() {
+            None => {
+                return if buffer.trim().is_empty() {
+                    None
+                } else {
+                    Some(buffer)
+                }
+            }
+            Some(Err(_)) => return None,
+            Some(Ok(line)) => {
+                if buffer.trim().is_empty() && line.trim().starts_with('.') {
+                    return Some(line);
+                }
+                if line.trim().is_empty() {
+                    return Some(buffer);
+                }
+                buffer.push_str(&line);
+                buffer.push('\n');
+            }
+        }
+    }
+}
+
+fn run_command(endpoint: &mut Endpoint, command: &str) -> bool {
+    let (name, rest) = command
+        .split_once(char::is_whitespace)
+        .unwrap_or((command, ""));
+    match name {
+        "quit" | "exit" | "q" => return false,
+        "help" => {
+            println!(".dump         print the database's RDF view as Turtle");
+            println!(".tables       print row counts per table");
+            println!(".sql <stmt>   run a raw SQL statement on the engine");
+            println!(".quit         leave the console");
+            println!("anything else is parsed as SPARQL/Update or SPARQL.");
+        }
+        "dump" => match endpoint.materialize() {
+            Ok(graph) => println!("{}", rdf::turtle::write(&graph, endpoint.prefixes())),
+            Err(e) => println!("error: {e}"),
+        },
+        "tables" => {
+            for table in endpoint.database().schema().tables() {
+                println!(
+                    "{:<24} {:>6} rows",
+                    table.name,
+                    endpoint.database().row_count(&table.name).unwrap_or(0)
+                );
+            }
+        }
+        "sql" => match rel::sql::execute_sql(endpoint.database_mut(), rest) {
+            Ok(rel::sql::ExecOutcome::Affected(n)) => println!("{n} row(s) affected"),
+            Ok(rel::sql::ExecOutcome::Rows(rs)) => print_result_set(&rs),
+            Err(e) => println!("error: {e}"),
+        },
+        other => println!("unknown command .{other} — try .help"),
+    }
+    true
+}
+
+fn dispatch(endpoint: &mut Endpoint, request: &str) {
+    if first_word_is_query(request) {
+        match endpoint.execute_query(request) {
+            Ok(sparql::QueryOutcome::Boolean(b)) => println!("ASK → {b}"),
+            Ok(sparql::QueryOutcome::Solutions(solutions)) => {
+                println!(
+                    "{} solution(s) over ?{}",
+                    solutions.len(),
+                    solutions.variables.join(" ?")
+                );
+                for binding in &solutions.bindings {
+                    let row: Vec<String> = solutions
+                        .variables
+                        .iter()
+                        .map(|v| {
+                            binding
+                                .get(v)
+                                .map(|t| rdf::turtle::render_term(t, endpoint.prefixes()))
+                                .unwrap_or_else(|| "—".into())
+                        })
+                        .collect();
+                    println!("    {}", row.join("  |  "));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    } else {
+        let (feedback, result) = endpoint.execute_update_with_feedback(request);
+        if let Ok(outcome) = &result {
+            println!("-- SQL executed:");
+            for stmt in &outcome.statements {
+                println!("    {stmt}");
+            }
+        }
+        println!("-- feedback:");
+        println!("{}", feedback.to_turtle());
+    }
+}
+
+// Queries may start with PREFIX lines; look for the first keyword.
+fn first_word_is_query(request: &str) -> bool {
+    for line in request.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.to_ascii_uppercase().starts_with("PREFIX")
+            || trimmed.to_ascii_uppercase().starts_with("BASE")
+        {
+            continue;
+        }
+        let upper = trimmed.to_ascii_uppercase();
+        return upper.starts_with("SELECT") || upper.starts_with("ASK");
+    }
+    false
+}
+
+fn print_result_set(rs: &rel::sql::ResultSet) {
+    println!("{}", rs.columns.join(" | "));
+    for row in &rs.rows {
+        let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", rendered.join(" | "));
+    }
+    println!("({} row(s))", rs.rows.len());
+}

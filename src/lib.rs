@@ -1,0 +1,39 @@
+//! Umbrella crate for the OntoAccess reproduction of Hert, Reif, Gall:
+//! *Updating Relational Data via SPARQL/Update* (EDBT 2010).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`rdf`] — RDF term model, indexed graph, Turtle/N-Triples I/O
+//! * [`sparql`] — SPARQL + SPARQL/Update parser, algebra, evaluator
+//! * [`rel`] — in-memory relational engine with SQL DML
+//! * [`r3m`] — the update-aware RDB→RDF mapping language
+//! * [`ontoaccess`] — the mediator: SPARQL/Update → SQL translation
+//! * [`fixtures`] — the paper's publication use case and workload generators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparql_update_rdb::fixtures;
+//! use sparql_update_rdb::ontoaccess::Endpoint;
+//!
+//! // Figure 1 schema + Table 1 mapping, preloaded with sample rows.
+//! let mut endpoint = fixtures::endpoint_with_sample_data();
+//! let outcome = endpoint
+//!     .execute_update(
+//!         r#"
+//!         PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//!         PREFIX ex:   <http://example.org/db/>
+//!         INSERT DATA { ex:author42 foaf:family_name "Lovelace" . }
+//!         "#,
+//!     )
+//!     .expect("valid update");
+//! assert!(outcome.statements_executed >= 1);
+//! ```
+
+pub use fixtures;
+pub use ontoaccess;
+pub use r3m;
+pub use rdf;
+pub use rel;
+pub use sparql;
