@@ -25,41 +25,33 @@ fn bench_insert_stream(c: &mut Criterion) {
     group.sample_size(20);
     for n in [10usize, 100, 1000] {
         let (ep, graph, updates) = setup(n);
-        group.bench_with_input(
-            BenchmarkId::new("ontoaccess", n),
-            &updates,
-            |b, updates| {
-                b.iter_batched(
-                    || ep.clone(),
-                    |mut ep| {
-                        for u in updates {
-                            ep.execute_update(u).unwrap();
-                        }
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ontoaccess", n), &updates, |b, updates| {
+            b.iter_batched(
+                || ep.clone(),
+                |mut ep| {
+                    for u in updates {
+                        ep.execute_update(u).unwrap();
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
         let prefixes = ep.prefixes().clone();
         let parsed: Vec<sparql::UpdateOp> = updates
             .iter()
             .map(|u| sparql::parse_update_with_prefixes(u, prefixes.clone()).unwrap())
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("native_store", n),
-            &parsed,
-            |b, parsed| {
-                b.iter_batched(
-                    || graph.clone(),
-                    |mut g| {
-                        for op in parsed {
-                            sparql::apply(&mut g, op).unwrap();
-                        }
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("native_store", n), &parsed, |b, parsed| {
+            b.iter_batched(
+                || graph.clone(),
+                |mut g| {
+                    for op in parsed {
+                        sparql::apply(&mut g, op).unwrap();
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }
@@ -81,8 +73,7 @@ fn bench_single_modify(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
-    let op =
-        sparql::parse_update_with_prefixes(&request, ep.prefixes().clone()).unwrap();
+    let op = sparql::parse_update_with_prefixes(&request, ep.prefixes().clone()).unwrap();
     group.bench_function("native_store", |b| {
         b.iter_batched(
             || graph.clone(),

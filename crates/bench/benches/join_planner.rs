@@ -1,0 +1,96 @@
+//! Index-backed join planner vs. the restored-seed reference executor
+//! (clone-everything pruned nested loop), on the publication workload's
+//! translated join queries at ≥1k rows per joined table. This is the
+//! acceptance bench for the planner PR: the `planner` series must beat
+//! `reference_nested_loop` by ≥5x on the join-heavy cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use rdf::namespace::PrefixMap;
+use rel::sql::Statement;
+use sparql::Query;
+
+fn compiled_workload(db: &rel::Database) -> Vec<(&'static str, rel::sql::SelectStmt)> {
+    let mapping = fixtures::mapping();
+    [
+        ("fk_join", fixtures::workload::select_authors_with_team()),
+        (
+            "link_join",
+            fixtures::workload::select_publications_with_authors(),
+        ),
+        (
+            "filter",
+            fixtures::workload::select_recent_publications(2000),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, text)| {
+        let Query::Select(select) =
+            sparql::parse_query_with_prefixes(&text, PrefixMap::common()).unwrap()
+        else {
+            unreachable!()
+        };
+        let compiled = ontoaccess::compile_select(db, &mapping, &select).unwrap();
+        (name, compiled.sql)
+    })
+    .collect()
+}
+
+// ≥1k rows in every table on the workload's join paths: author, team,
+// publication, and publication_author (2 links per publication).
+fn database(publications: usize) -> rel::Database {
+    let spec = Spec {
+        teams: publications,
+        authors: publications,
+        publishers: 50,
+        pubtypes: 4,
+        publications,
+        authors_per_publication: 2,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 5);
+    db
+}
+
+fn bench_planner_vs_reference(c: &mut Criterion) {
+    for n in [1000usize] {
+        let mut db = database(n);
+        let queries = compiled_workload(&db);
+        // Provision indexes once, as `run_compiled` would; index upkeep
+        // is measured by the mutation benches, not here.
+        {
+            let mapping = fixtures::mapping();
+            let Query::Select(select) = sparql::parse_query_with_prefixes(
+                &fixtures::workload::select_publications_with_authors(),
+                PrefixMap::common(),
+            )
+            .unwrap() else {
+                unreachable!()
+            };
+            let compiled = ontoaccess::compile_select(&db, &mapping, &select).unwrap();
+            ontoaccess::ensure_join_indexes(&mut db, &compiled).unwrap();
+        }
+        for (name, sql) in &queries {
+            let mut group = c.benchmark_group(format!("join_planner/{name}"));
+            group.sample_size(20);
+            group.bench_with_input(BenchmarkId::new("planner", n), sql, |b, sql| {
+                b.iter(|| rel::sql::execute(&mut db, &Statement::Select(sql.clone())).unwrap())
+            });
+            group.bench_with_input(
+                BenchmarkId::new("reference_nested_loop", n),
+                sql,
+                |b, sql| b.iter(|| rel::sql::execute_select_reference(&db, sql).unwrap()),
+            );
+            group.finish();
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_planner_vs_reference
+}
+criterion_main!(benches);

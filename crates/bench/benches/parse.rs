@@ -7,8 +7,14 @@ use rdf::namespace::PrefixMap;
 
 fn bench_sparql_update(c: &mut Criterion) {
     let inputs = [
-        ("listing_9", fixtures::workload::insert_author(6, 3, Some(5))),
-        ("listing_15", fixtures::workload::insert_complete_dataset(12)),
+        (
+            "listing_9",
+            fixtures::workload::insert_author(6, 3, Some(5)),
+        ),
+        (
+            "listing_15",
+            fixtures::workload::insert_complete_dataset(12),
+        ),
         ("listing_17", fixtures::workload::delete_author_email(6)),
         ("listing_11", fixtures::workload::modify_author_email(6)),
     ];
@@ -16,9 +22,7 @@ fn bench_sparql_update(c: &mut Criterion) {
     for (name, text) in &inputs {
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_function(*name, |b| {
-            b.iter(|| {
-                sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap()
-            })
+            b.iter(|| sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap())
         });
     }
     group.finish();

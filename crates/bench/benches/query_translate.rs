@@ -16,12 +16,21 @@ fn parse_select(text: &str) -> sparql::SelectQuery {
 
 fn bench_queries(c: &mut Criterion) {
     let queries = [
-        ("single_table", fixtures::workload::with_prefixes(
-            "SELECT ?x ?n WHERE { ?x a foaf:Person ; foaf:family_name ?n . }",
-        )),
+        (
+            "single_table",
+            fixtures::workload::with_prefixes(
+                "SELECT ?x ?n WHERE { ?x a foaf:Person ; foaf:family_name ?n . }",
+            ),
+        ),
         ("fk_join", fixtures::workload::select_authors_with_team()),
-        ("link_join", fixtures::workload::select_publications_with_authors()),
-        ("filter", fixtures::workload::select_recent_publications(2000)),
+        (
+            "link_join",
+            fixtures::workload::select_publications_with_authors(),
+        ),
+        (
+            "filter",
+            fixtures::workload::select_recent_publications(2000),
+        ),
     ];
     for (name, text) in &queries {
         let query = parse_select(text);
@@ -49,11 +58,9 @@ fn bench_queries(c: &mut Criterion) {
                     )
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new("native_bgp", n),
-                &query,
-                |b, query| b.iter(|| sparql::evaluate_select(&graph, query)),
-            );
+            group.bench_with_input(BenchmarkId::new("native_bgp", n), &query, |b, query| {
+                b.iter(|| sparql::evaluate_select(&graph, query))
+            });
         }
         group.finish();
     }

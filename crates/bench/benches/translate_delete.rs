@@ -43,9 +43,7 @@ fn bench_update_branch(c: &mut Criterion) {
             fixtures::data::ID_BASE,
         ));
         group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| {
-                translate::delete::translate_delete_data(db, &mapping, &triples).unwrap()
-            })
+            b.iter(|| translate::delete::translate_delete_data(db, &mapping, &triples).unwrap())
         });
     }
     group.finish();

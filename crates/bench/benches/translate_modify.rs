@@ -41,8 +41,7 @@ fn bench_by_binding_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("translate_modify/bindings");
     group.sample_size(20);
     for members in [1usize, 4, 16, 64] {
-        let request =
-            fixtures::workload::modify_team_members(fixtures::data::ID_BASE, "Prof");
+        let request = fixtures::workload::modify_team_members(fixtures::data::ID_BASE, "Prof");
         let ep = endpoint_with_team_of(members);
         group.bench_with_input(
             BenchmarkId::from_parameter(members),
@@ -90,10 +89,8 @@ fn bench_optimization_effect(c: &mut Criterion) {
                     "DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
                 )
                 .unwrap();
-                ep.execute_update(
-                    "INSERT DATA { ex:author6 foaf:mbox <mailto:n@x.ch> . }",
-                )
-                .unwrap()
+                ep.execute_update("INSERT DATA { ex:author6 foaf:mbox <mailto:n@x.ch> . }")
+                    .unwrap()
             },
             criterion::BatchSize::SmallInput,
         )

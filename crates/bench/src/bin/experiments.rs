@@ -136,10 +136,7 @@ fn table_1() {
     heading("table1", "Table 1: use case mapping overview");
     let mapping = fixtures::mapping();
     let prefixes = PrefixMap::common();
-    println!(
-        "{:<44} {:<12} → property",
-        "table → class", "attribute"
-    );
+    println!("{:<44} {:<12} → property", "table → class", "attribute");
     println!("{}", "-".repeat(76));
     for table in &mapping.tables {
         let class = rdf::turtle::render_iri(&table.class, &prefixes);
@@ -225,7 +222,10 @@ fn listing_13() {
 }
 
 fn listing_15() {
-    heading("l15", "Listing 15 → Listing 16: complete dataset, FK-sorted");
+    heading(
+        "l15",
+        "Listing 15 → Listing 16: complete dataset, FK-sorted",
+    );
     let mut ep = fixtures::endpoint();
     let generated = run_and_print(
         &mut ep,
@@ -250,7 +250,11 @@ fn listing_15() {
     println!("   satisfying the FK precedences is correct. checking precedences:");
     let pos = |needle: &str| generated.iter().position(|s| s.starts_with(needle));
     let checks = [
-        ("team before author", "INSERT INTO team", "INSERT INTO author"),
+        (
+            "team before author",
+            "INSERT INTO team",
+            "INSERT INTO author",
+        ),
         (
             "pubtype before publication",
             "INSERT INTO pubtype",
@@ -282,7 +286,10 @@ fn listing_15() {
 }
 
 fn listing_17() {
-    heading("l17", "Listing 17 → Listing 18: DELETE DATA removing the email");
+    heading(
+        "l17",
+        "Listing 17 → Listing 18: DELETE DATA removing the email",
+    );
     let mut ep = fixtures::endpoint_with_sample_data();
     let generated = run_and_print(
         &mut ep,

@@ -11,6 +11,7 @@
 use crate::error::{OntoError, OntoResult};
 use crate::feedback::Feedback;
 use crate::modify::ModifyReport;
+use crate::query::CompiledQuery;
 use crate::translate::{execute_sorted, TranslateOptions};
 use r3m::Mapping;
 use rdf::namespace::PrefixMap;
@@ -18,6 +19,7 @@ use rdf::Graph;
 use rel::sql::Statement;
 use rel::Database;
 use sparql::{Query, Solutions, UpdateOp};
+use std::collections::HashMap;
 
 /// Result of a successful update.
 #[derive(Debug, Clone)]
@@ -57,6 +59,19 @@ impl std::fmt::Display for ScriptError {
 
 impl std::error::Error for ScriptError {}
 
+// A parse+compile result cached per query text. Compilation depends
+// only on the schema and the mapping — both fixed after construction —
+// so cached entries never go stale as data changes.
+#[derive(Debug, Clone)]
+enum CachedQuery {
+    Select(CompiledQuery),
+    Ask(CompiledQuery),
+}
+
+// Cached texts before the cache resets (repeated endpoint workloads use
+// a handful of query shapes; the bound only guards degenerate clients).
+const QUERY_CACHE_CAPACITY: usize = 256;
+
 /// The mediator: a database + an R3M mapping + the translation
 /// machinery.
 #[derive(Debug, Clone)]
@@ -64,6 +79,7 @@ pub struct Endpoint {
     db: Database,
     mapping: Mapping,
     prefixes: PrefixMap,
+    query_cache: HashMap<String, CachedQuery>,
 }
 
 impl Endpoint {
@@ -80,6 +96,7 @@ impl Endpoint {
             db,
             mapping,
             prefixes,
+            query_cache: HashMap::new(),
         })
     }
 
@@ -185,13 +202,12 @@ impl Endpoint {
         text: &str,
         atomic_script: bool,
     ) -> Result<Vec<UpdateOutcome>, ScriptError> {
-        let ops = sparql::parse_update_script(text, self.prefixes.clone()).map_err(|e| {
-            ScriptError {
+        let ops =
+            sparql::parse_update_script(text, self.prefixes.clone()).map_err(|e| ScriptError {
                 operation_index: 0,
                 completed: Vec::new(),
                 error: e.into(),
-            }
-        })?;
+            })?;
         let snapshot = if atomic_script {
             Some(self.db.clone())
         } else {
@@ -218,7 +234,10 @@ impl Endpoint {
 
     /// Execute an update and convert the result into a feedback document
     /// (what the HTTP endpoint would send back).
-    pub fn execute_update_with_feedback(&mut self, text: &str) -> (Feedback, OntoResult<UpdateOutcome>) {
+    pub fn execute_update_with_feedback(
+        &mut self,
+        text: &str,
+    ) -> (Feedback, OntoResult<UpdateOutcome>) {
         let operation = sparql::parse_update_with_prefixes(text, self.prefixes.clone())
             .map(|op| op.name().to_owned())
             .unwrap_or_else(|_| "unparsed".to_owned());
@@ -240,10 +259,45 @@ impl Endpoint {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Execute a SPARQL query given as text.
+    /// Execute a SPARQL query given as text. Compiled queries are
+    /// cached per query text: repeated requests skip parsing and
+    /// translation and go straight to the planner.
     pub fn execute_query(&mut self, text: &str) -> OntoResult<sparql::QueryOutcome> {
-        let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
-        crate::query::execute_query(&mut self.db, &self.mapping, &query)
+        if !self.query_cache.contains_key(text) {
+            let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
+            let cached = match &query {
+                Query::Select(select) => CachedQuery::Select(crate::query::compile_select(
+                    &self.db,
+                    &self.mapping,
+                    select,
+                )?),
+                Query::Ask(ask) => CachedQuery::Ask(crate::query::compile_select(
+                    &self.db,
+                    &self.mapping,
+                    &crate::query::ask_to_select(ask),
+                )?),
+            };
+            if self.query_cache.len() >= QUERY_CACHE_CAPACITY {
+                self.query_cache.clear();
+            }
+            self.query_cache.insert(text.to_owned(), cached);
+        }
+        // Disjoint field borrows: the compiled entry stays in the cache
+        // while execution mutates only `self.db` — no per-hit clone.
+        match self.query_cache.get(text).expect("just ensured") {
+            CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
+                crate::query::run_compiled(&mut self.db, compiled)?,
+            )),
+            CachedQuery::Ask(compiled) => {
+                let solutions = crate::query::run_compiled(&mut self.db, compiled)?;
+                Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
+            }
+        }
+    }
+
+    /// Number of compiled queries currently cached.
+    pub fn cached_query_count(&self) -> usize {
+        self.query_cache.len()
     }
 
     /// Execute a SELECT given as text.
@@ -266,11 +320,8 @@ impl Endpoint {
     /// "dereferenceable URI" read the paper's related work describes
     /// (§2), here over the live database.
     pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
-        let identified = crate::translate::identify(
-            &self.db,
-            &self.mapping,
-            &rdf::Term::Iri(uri.clone()),
-        )?;
+        let identified =
+            crate::translate::identify(&self.db, &self.mapping, &rdf::Term::Iri(uri.clone()))?;
         let table = self.db.schema().table(&identified.table_map.table_name)?;
         let Some(row_id) = crate::translate::find_row(&self.db, &identified)? else {
             return Ok(Graph::new()); // mapped but absent: empty description
@@ -311,7 +362,40 @@ impl Endpoint {
                 };
                 let as_subject = s_target.table_name == identified.table_map.table_name;
                 let as_object = o_target.table_name == identified.table_map.table_name;
-                for (_, link_row) in self.db.scan(&link.table_name)? {
+                // Candidate link rows by index on whichever endpoint
+                // columns reference this instance (both are FK columns,
+                // so normally indexed); a failed probe falls back to
+                // scanning.
+                let mut candidates: Option<Vec<rel::RowId>> = Some(Vec::new());
+                for (role_active, column) in [
+                    (as_subject, &link.subject_attribute.attribute_name),
+                    (as_object, &link.object_attribute.attribute_name),
+                ] {
+                    if !role_active {
+                        continue;
+                    }
+                    match self.db.index_probe(&link.table_name, column, key)? {
+                        Some(ids) => {
+                            if let Some(c) = &mut candidates {
+                                c.extend(ids);
+                            }
+                        }
+                        None => candidates = None,
+                    }
+                }
+                let link_rows: Vec<&Vec<rel::Value>> = match candidates {
+                    Some(mut ids) => {
+                        ids.sort_unstable();
+                        ids.dedup();
+                        let mut rows = Vec::with_capacity(ids.len());
+                        for id in ids {
+                            rows.push(self.db.row(&link.table_name, id)?.expect("live id"));
+                        }
+                        rows
+                    }
+                    None => self.db.scan(&link.table_name)?.map(|(_, r)| r).collect(),
+                };
+                for link_row in link_rows {
                     let s_val = &link_row[s_idx];
                     let o_val = &link_row[o_idx];
                     if s_val.is_null() || o_val.is_null() {
@@ -320,16 +404,10 @@ impl Endpoint {
                     let relevant = (as_subject && s_val.sql_eq(key) == Some(true))
                         || (as_object && o_val.sql_eq(key) == Some(true));
                     if relevant {
-                        let s = crate::materialize::key_instance_uri(
-                            &self.mapping,
-                            s_target,
-                            s_val,
-                        )?;
-                        let o = crate::materialize::key_instance_uri(
-                            &self.mapping,
-                            o_target,
-                            o_val,
-                        )?;
+                        let s =
+                            crate::materialize::key_instance_uri(&self.mapping, s_target, s_val)?;
+                        let o =
+                            crate::materialize::key_instance_uri(&self.mapping, o_target, o_val)?;
                         graph.insert(rdf::Triple::new(
                             rdf::Term::Iri(s),
                             link.property.clone(),
@@ -429,6 +507,27 @@ mod tests {
     }
 
     #[test]
+    fn query_cache_hits_and_stays_fresh_across_updates() {
+        let mut ep = endpoint();
+        let q = "SELECT ?x WHERE { ?x a foaf:Person . }";
+        assert_eq!(ep.cached_query_count(), 0);
+        assert_eq!(ep.select(q).unwrap().len(), 2);
+        assert_eq!(ep.cached_query_count(), 1);
+        // Cached compilation re-executes against fresh data.
+        ep.execute_update("INSERT DATA { ex:author8 foaf:family_name \"Gall\" . }")
+            .unwrap();
+        assert_eq!(ep.select(q).unwrap().len(), 3);
+        assert_eq!(ep.cached_query_count(), 1);
+        // ASK goes through the same cache.
+        ep.execute_query("ASK { ?x foaf:family_name \"Gall\" . }")
+            .unwrap();
+        assert_eq!(ep.cached_query_count(), 2);
+        // Unparseable/uncompilable texts are not cached.
+        assert!(ep.execute_query("SELECT nonsense").is_err());
+        assert_eq!(ep.cached_query_count(), 2);
+    }
+
+    #[test]
     fn ask_through_endpoint() {
         let mut ep = endpoint();
         let outcome = ep
@@ -519,8 +618,7 @@ mod tests {
         ];
         for update in updates {
             ep.execute_update(update).unwrap();
-            let op =
-                sparql::parse_update_with_prefixes(update, ep.prefixes().clone()).unwrap();
+            let op = sparql::parse_update_with_prefixes(update, ep.prefixes().clone()).unwrap();
             sparql::apply(&mut native, &op).unwrap();
             assert_eq!(
                 ep.materialize().unwrap(),
@@ -576,10 +674,8 @@ mod check_constraint_tests {
     #[test]
     fn check_violation_is_rejected_with_feedback() {
         let mut ep = endpoint_with_check();
-        ep.execute_update(
-            "INSERT DATA { ex:pub1 dc:title \"ok\" ; ont:pubYear \"2009\" . }",
-        )
-        .unwrap();
+        ep.execute_update("INSERT DATA { ex:pub1 dc:title \"ok\" ; ont:pubYear \"2009\" . }")
+            .unwrap();
         let (feedback, result) = ep.execute_update_with_feedback(
             "INSERT DATA { ex:pub2 dc:title \"bad\" ; ont:pubYear \"1492\" . }",
         );
@@ -631,8 +727,14 @@ mod describe_tests {
         let uri = rdf::Iri::parse("http://example.org/db/author6").unwrap();
         let g = ep.describe(&uri).unwrap();
         let author6 = Term::Iri(uri);
-        assert_eq!(g.object(&author6, &rdf_type()), Some(Term::Iri(foaf::Person())));
-        assert_eq!(g.object(&author6, &foaf::family_name()), Some(Term::plain("Hert")));
+        assert_eq!(
+            g.object(&author6, &rdf_type()),
+            Some(Term::Iri(foaf::Person()))
+        );
+        assert_eq!(
+            g.object(&author6, &foaf::family_name()),
+            Some(Term::plain("Hert"))
+        );
         // Link triple with author6 in object position.
         assert!(g.contains(&rdf::Triple::new(
             Term::iri("http://example.org/db/pub1"),

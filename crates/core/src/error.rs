@@ -283,21 +283,21 @@ impl OntoError {
     /// for improvement" the paper's feedback protocol promises).
     pub fn hint(&self) -> Option<String> {
         match self {
-            OntoError::UnknownSubject { .. } => Some(
-                "use an instance URI built from a TableMap uriPattern of this mapping".into(),
-            ),
+            OntoError::UnknownSubject { .. } => {
+                Some("use an instance URI built from a TableMap uriPattern of this mapping".into())
+            }
             OntoError::MissingRequiredProperty { property, .. } => property
                 .as_ref()
                 .map(|p| format!("add a triple with property {p} to the request")),
-            OntoError::NotNullDelete { .. } => Some(
-                "delete every remaining triple of the entity to remove the whole row".into(),
-            ),
+            OntoError::NotNullDelete { .. } => {
+                Some("delete every remaining triple of the entity to remove the whole row".into())
+            }
             OntoError::AmbiguousPattern { .. } => {
                 Some("add an rdf:type triple pattern for the variable".into())
             }
-            OntoError::AttributeAlreadySet { .. } => Some(
-                "use MODIFY (DELETE/INSERT) to replace the existing value".into(),
-            ),
+            OntoError::AttributeAlreadySet { .. } => {
+                Some("use MODIFY (DELETE/INSERT) to replace the existing value".into())
+            }
             _ => None,
         }
     }

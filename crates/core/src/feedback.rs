@@ -92,7 +92,11 @@ impl Feedback {
                     Literal::plain(error.to_string()),
                 ));
                 if let Some(hint) = error.hint() {
-                    g.insert(Triple::new(report.clone(), fb("hint"), Literal::plain(hint)));
+                    g.insert(Triple::new(
+                        report.clone(),
+                        fb("hint"),
+                        Literal::plain(hint),
+                    ));
                 }
                 // Structured payload where available.
                 match error {
@@ -124,11 +128,7 @@ impl Feedback {
                             Literal::plain(attribute.clone()),
                         ));
                         if let Some(p) = property {
-                            g.insert(Triple::new(
-                                report,
-                                fb("property"),
-                                Term::Iri(p.clone()),
-                            ));
+                            g.insert(Triple::new(report, fb("property"), Term::Iri(p.clone())));
                         }
                     }
                     OntoError::ValueIncompatible {

@@ -54,5 +54,8 @@ pub use error::{OntoError, OntoResult};
 pub use feedback::Feedback;
 pub use materialize::materialize;
 pub use modify::{execute_modify, execute_update_op, ModifyReport};
-pub use query::{compile_select, execute_query, execute_select, CompiledQuery, VarShape};
+pub use query::{
+    compile_select, ensure_join_indexes, execute_query, execute_select, run_compiled,
+    CompiledQuery, VarShape,
+};
 pub use translate::{group_by_subject, identify, TranslateOptions};

@@ -43,7 +43,10 @@ pub fn materialize(db: &Database, mapping: &Mapping) -> OntoResult<Graph> {
             .foreign_key_target()
             .and_then(|id| mapping.table_by_id(id))
             .ok_or_else(|| OntoError::Unsupported {
-                message: format!("link table {:?}: unresolved subject target", link.table_name),
+                message: format!(
+                    "link table {:?}: unresolved subject target",
+                    link.table_name
+                ),
             })?;
         let object_target = link
             .object_attribute
@@ -59,7 +62,11 @@ pub fn materialize(db: &Database, mapping: &Mapping) -> OntoResult<Graph> {
             }
             let s = key_instance_uri(mapping, subject_target, s_val)?;
             let o = key_instance_uri(mapping, object_target, o_val)?;
-            graph.insert(Triple::new(Term::Iri(s), link.property.clone(), Term::Iri(o)));
+            graph.insert(Triple::new(
+                Term::Iri(s),
+                link.property.clone(),
+                Term::Iri(o),
+            ));
         }
     }
     Ok(graph)
@@ -96,22 +103,21 @@ fn emit_row(
         let Some(property) = &attr.property else {
             continue;
         };
-        let idx = table
-            .column_index(&attr.attribute_name)
-            .ok_or_else(|| OntoError::Unsupported {
-                message: format!(
-                    "mapped attribute {}.{} missing",
-                    table.name, attr.attribute_name
-                ),
-            })?;
+        let idx =
+            table
+                .column_index(&attr.attribute_name)
+                .ok_or_else(|| OntoError::Unsupported {
+                    message: format!(
+                        "mapped attribute {}.{} missing",
+                        table.name, attr.attribute_name
+                    ),
+                })?;
         let value = &row[idx];
         if value.is_null() {
             continue;
         }
         let object: Term = match property {
-            PropertyMapping::Data(_) => {
-                value_to_term(value).expect("non-null value has a term")
-            }
+            PropertyMapping::Data(_) => value_to_term(value).expect("non-null value has a term"),
             PropertyMapping::Object(_) => {
                 if let Some(pattern) = &attr.value_pattern {
                     let raw = value_to_pattern(value).expect("non-null");
@@ -172,11 +178,7 @@ pub fn instance_uri(
 /// Instance URI of the row of `target` whose single-column key is
 /// `key` — used for FK objects and link-table endpoints, where only the
 /// key value is at hand.
-pub fn key_instance_uri(
-    mapping: &Mapping,
-    target: &TableMap,
-    key: &Value,
-) -> OntoResult<Iri> {
+pub fn key_instance_uri(mapping: &Mapping, target: &TableMap, key: &Value) -> OntoResult<Iri> {
     let raw = value_to_pattern(key).ok_or_else(|| OntoError::Unsupported {
         message: "NULL key".into(),
     })?;
@@ -234,7 +236,10 @@ mod tests {
         let author7 = Term::iri("http://example.org/db/author7");
         assert_eq!(g.object(&author7, &foaf::mbox()), None);
         assert_eq!(g.object(&author7, &foaf::title()), None);
-        assert_eq!(g.object(&author7, &foaf::firstName()), Some(Term::plain("Gerald")));
+        assert_eq!(
+            g.object(&author7, &foaf::firstName()),
+            Some(Term::plain("Gerald"))
+        );
     }
 
     #[test]

@@ -17,12 +17,12 @@ use crate::translate::delete::translate_delete_data;
 use crate::translate::insert::translate_insert_data;
 use crate::translate::{execute_sorted, TranslateOptions};
 use r3m::Mapping;
+use rdf::Triple;
 use rel::sql::Statement;
 use rel::Database;
 use sparql::{
     instantiate_all, GroupPattern, Projection, SelectQuery, Solutions, TriplePattern, UpdateOp,
 };
-use rdf::Triple;
 
 /// Everything Algorithm 2 produced while processing one `MODIFY`: the
 /// intermediate artifacts the paper shows (the SELECT, the per-binding

@@ -20,11 +20,11 @@ use crate::error::{OntoError, OntoResult};
 use r3m::{Mapping, PropertyMapping, UriPattern};
 use rdf::namespace::rdf_type;
 use rdf::{Iri, Term};
-use rel::sql::{Expr, SelectItem, SelectStmt, Statement, TableRef};
+use rel::sql::{BinOp, Expr, SelectItem, SelectStmt, TableRef};
 use rel::{Database, Value};
 use sparql::{
-    Binding, CompareOp, FilterExpr, Projection, Query, SelectQuery, Solutions,
-    TermPattern, TriplePattern,
+    Binding, CompareOp, FilterExpr, Projection, Query, SelectQuery, Solutions, TermPattern,
+    TriplePattern,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,6 +38,28 @@ pub struct CompiledQuery {
     pub bindings: Vec<(String, VarShape)>,
     /// Row limit applied after conversion.
     pub limit: Option<usize>,
+    /// Equi-join keys of the SQL, as `(left, right)` pairs of
+    /// `(alias, column)` — the planner-facing metadata every FK object
+    /// property and link-table pattern contributes.
+    pub join_keys: Vec<((String, String), (String, String))>,
+    /// Underlying `(table, column)` pairs of the join keys — the
+    /// columns worth a secondary index for this query, with aliases
+    /// resolved through the FROM list at compile time (each pair once).
+    pub join_index_targets: Vec<(String, String)>,
+}
+
+/// Make sure every join column of `compiled` can be answered from an
+/// index, creating secondary hash indexes where none exists (a no-op
+/// for DOUBLE columns, which the engine never probes). Indexes are
+/// idempotent and maintained by the engine from then on, so the cost is
+/// paid once per (database, column).
+pub fn ensure_join_indexes(db: &mut Database, compiled: &CompiledQuery) -> OntoResult<()> {
+    for (table, column) in &compiled.join_index_targets {
+        if !db.supports_index_probe(table, column)? {
+            db.create_index(table, column)?;
+        }
+    }
+    Ok(())
 }
 
 /// How a SPARQL variable maps onto the SQL result.
@@ -62,6 +84,17 @@ pub enum VarShape {
     },
 }
 
+/// Lower an ASK to the SELECT shape the compiler understands: star
+/// projection, LIMIT 1 — non-emptiness of the solutions is the answer.
+pub fn ask_to_select(ask: &sparql::AskQuery) -> SelectQuery {
+    SelectQuery {
+        distinct: false,
+        projection: Projection::Star,
+        pattern: ask.pattern.clone(),
+        limit: Some(1),
+    }
+}
+
 /// Translate and execute a SPARQL query against the database.
 pub fn execute_query(
     db: &mut Database,
@@ -74,13 +107,7 @@ pub fn execute_query(
             Ok(sparql::QueryOutcome::Solutions(solutions))
         }
         Query::Ask(ask) => {
-            let select = SelectQuery {
-                distinct: false,
-                projection: Projection::Star,
-                pattern: ask.pattern.clone(),
-                limit: Some(1),
-            };
-            let solutions = execute_select(db, mapping, &select)?;
+            let solutions = execute_select(db, mapping, &ask_to_select(ask))?;
             Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
         }
     }
@@ -96,10 +123,10 @@ pub fn execute_select(
     run_compiled(db, &compiled)
 }
 
-/// Execute a compiled query.
+/// Execute a compiled query (provisioning indexes for its join keys).
 pub fn run_compiled(db: &mut Database, compiled: &CompiledQuery) -> OntoResult<Solutions> {
-    let outcome = rel::sql::execute(db, &Statement::Select(compiled.sql.clone()))?;
-    let rows = outcome.rows().expect("SELECT yields rows");
+    ensure_join_indexes(db, compiled)?;
+    let rows = rel::sql::execute_select(db, &compiled.sql)?;
     let mut solutions = Solutions {
         variables: compiled.bindings.iter().map(|(v, _)| v.clone()).collect(),
         bindings: Vec::with_capacity(rows.len()),
@@ -132,8 +159,10 @@ fn shape_to_term(shape: &VarShape, value: &Value) -> OntoResult<Term> {
                 .map_err(|e| OntoError::Unsupported {
                     message: e.to_string(),
                 })?;
-            Ok(Term::Iri(Iri::parse(uri).map_err(|e| OntoError::Unsupported {
-                message: e.to_string(),
+            Ok(Term::Iri(Iri::parse(uri).map_err(|e| {
+                OntoError::Unsupported {
+                    message: e.to_string(),
+                }
             })?))
         }
         VarShape::DerivedIri { pattern, attribute } => {
@@ -143,8 +172,10 @@ fn shape_to_term(shape: &VarShape, value: &Value) -> OntoResult<Term> {
                 .map_err(|e| OntoError::Unsupported {
                     message: e.to_string(),
                 })?;
-            Ok(Term::Iri(Iri::parse(uri).map_err(|e| OntoError::Unsupported {
-                message: e.to_string(),
+            Ok(Term::Iri(Iri::parse(uri).map_err(|e| {
+                OntoError::Unsupported {
+                    message: e.to_string(),
+                }
             })?))
         }
     }
@@ -301,10 +332,7 @@ impl<'a> Compiler<'a> {
         // Ground nodes pin their key columns.
         for (key, table_name) in &resolved {
             if let NodeKey::Ground(iri) = key {
-                let (table_map, raw) = self
-                    .mapping
-                    .identify(iri)
-                    .expect("identified in pass 1");
+                let (table_map, raw) = self.mapping.identify(iri).expect("identified in pass 1");
                 debug_assert_eq!(&table_map.table_name, table_name);
                 let table = self.db.schema().table(table_name)?;
                 let alias = self.nodes[key].alias.clone();
@@ -347,12 +375,12 @@ impl<'a> Compiler<'a> {
                 bindings.push((var.clone(), vv.shape.clone()));
             } else if let Some(node) = self.nodes.get(&NodeKey::Var(var.clone())) {
                 let table_name = &resolved[&NodeKey::Var(var.clone())];
-                let table_map = self
-                    .mapping
-                    .table(table_name)
-                    .ok_or_else(|| OntoError::Unsupported {
-                        message: format!("no table map for {table_name:?}"),
-                    })?;
+                let table_map =
+                    self.mapping
+                        .table(table_name)
+                        .ok_or_else(|| OntoError::Unsupported {
+                            message: format!("no table map for {table_name:?}"),
+                        })?;
                 let key_attrs = table_map.uri_pattern.attributes();
                 if key_attrs.len() != 1 {
                     return Err(OntoError::Unsupported {
@@ -399,6 +427,55 @@ impl<'a> Compiler<'a> {
             });
         }
 
+        // Join-key metadata: every alias-to-alias equality the pattern
+        // produced (FK object properties and link-table joins).
+        let join_keys: Vec<((String, String), (String, String))> = self
+            .predicates
+            .iter()
+            .filter_map(|p| {
+                let Expr::Binary {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } = p
+                else {
+                    return None;
+                };
+                let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+                    return None;
+                };
+                match (&a.table, &b.table) {
+                    (Some(ta), Some(tb)) if ta != tb => Some((
+                        (ta.clone(), a.column.clone()),
+                        (tb.clone(), b.column.clone()),
+                    )),
+                    _ => None,
+                }
+            })
+            .collect();
+
+        // Resolve aliases to tables once, at compile time, so every
+        // execution can check index coverage without re-deriving it.
+        let join_index_targets = {
+            let table_of = |alias: &str| -> Option<&str> {
+                from.iter()
+                    .find(|tref| tref.binding() == alias)
+                    .map(|tref| tref.table.as_str())
+            };
+            let mut targets: Vec<(String, String)> = Vec::new();
+            for ((la, lc), (ra, rc)) in &join_keys {
+                for (alias, column) in [(la, lc), (ra, rc)] {
+                    if let Some(table) = table_of(alias.as_str()) {
+                        let pair = (table.to_owned(), String::clone(column));
+                        if !targets.contains(&pair) {
+                            targets.push(pair);
+                        }
+                    }
+                }
+            }
+            targets
+        };
+
         Ok(CompiledQuery {
             sql: SelectStmt {
                 distinct: query.distinct,
@@ -408,6 +485,8 @@ impl<'a> Compiler<'a> {
             },
             bindings,
             limit: query.limit,
+            join_keys,
+            join_index_targets,
         })
     }
 
@@ -430,12 +509,12 @@ impl<'a> Compiler<'a> {
                 .ok_or_else(|| OntoError::Unsupported {
                     message: "rdf:type object must be a ground class IRI".into(),
                 })?;
-            let table = self
-                .mapping
-                .table_by_class(class)
-                .ok_or_else(|| OntoError::Unsupported {
-                    message: format!("class {class} is not mapped"),
-                })?;
+            let table =
+                self.mapping
+                    .table_by_class(class)
+                    .ok_or_else(|| OntoError::Unsupported {
+                        message: format!("class {class} is not mapped"),
+                    })?;
             let name = table.table_name.clone();
             return self.constrain(subject_key, BTreeSet::from([name]));
         }
@@ -485,7 +564,11 @@ impl<'a> Compiler<'a> {
             let attr = table_map
                 .attribute_for_property(&predicate)
                 .expect("collected above");
-            match (&attr.property, &attr.value_pattern, attr.foreign_key_target()) {
+            match (
+                &attr.property,
+                &attr.value_pattern,
+                attr.foreign_key_target(),
+            ) {
                 (Some(PropertyMapping::Object(_)), None, Some(target)) => {
                     if let Some(target_map) = self.mapping.table_by_id(target) {
                         object_tables.insert(target_map.table_name.clone());
@@ -604,14 +687,15 @@ impl<'a> Compiler<'a> {
                 if let Some(vpattern) = &attr.value_pattern {
                     match &pattern.object {
                         TermPattern::Term(Term::Iri(iri)) => {
-                            let values = vpattern.match_uri(None, iri.as_str()).ok_or_else(
-                                || OntoError::ValueIncompatible {
-                                    table: table_name.clone(),
-                                    attribute: attr.attribute_name.clone(),
-                                    value: Term::Iri(iri.clone()),
-                                    reason: format!("does not match value pattern {vpattern}"),
-                                },
-                            )?;
+                            let values =
+                                vpattern.match_uri(None, iri.as_str()).ok_or_else(|| {
+                                    OntoError::ValueIncompatible {
+                                        table: table_name.clone(),
+                                        attribute: attr.attribute_name.clone(),
+                                        value: Term::Iri(iri.clone()),
+                                        reason: format!("does not match value pattern {vpattern}"),
+                                    }
+                                })?;
                             let raw = values
                                 .into_iter()
                                 .find(|(n, _)| n == &attr.attribute_name)
@@ -658,10 +742,8 @@ impl<'a> Compiler<'a> {
                     let object_alias = self.nodes[&object_key].alias.clone();
                     let object_table = resolved[&object_key].clone();
                     let object_pk = self.single_key_attr(&object_table)?;
-                    self.predicates.push(Expr::eq(
-                        col_expr,
-                        Expr::qcol(&object_alias, &object_pk),
-                    ));
+                    self.predicates
+                        .push(Expr::eq(col_expr, Expr::qcol(&object_alias, &object_pk)));
                 }
             }
         }
@@ -729,14 +811,10 @@ impl<'a> Compiler<'a> {
 
     fn compile_filter(&mut self, filter: &FilterExpr) -> OntoResult<Expr> {
         match filter {
-            FilterExpr::And(a, b) => Ok(Expr::and(
-                self.compile_filter(a)?,
-                self.compile_filter(b)?,
-            )),
-            FilterExpr::Or(a, b) => Ok(Expr::or(
-                self.compile_filter(a)?,
-                self.compile_filter(b)?,
-            )),
+            FilterExpr::And(a, b) => {
+                Ok(Expr::and(self.compile_filter(a)?, self.compile_filter(b)?))
+            }
+            FilterExpr::Or(a, b) => Ok(Expr::or(self.compile_filter(a)?, self.compile_filter(b)?)),
             FilterExpr::Not(inner) => Ok(Expr::Not(Box::new(self.compile_filter(inner)?))),
             FilterExpr::Bound(var) => {
                 // Without OPTIONAL every pattern variable is bound.
@@ -766,11 +844,7 @@ impl<'a> Compiler<'a> {
 
     // Translate a filter operand; `other` provides type context for
     // literals compared against columns.
-    fn filter_operand(
-        &self,
-        operand: &TermPattern,
-        other: &TermPattern,
-    ) -> OntoResult<Expr> {
+    fn filter_operand(&self, operand: &TermPattern, other: &TermPattern) -> OntoResult<Expr> {
         match operand {
             TermPattern::Variable(var) => {
                 if let Some(vv) = self.value_vars.get(var) {
@@ -792,17 +866,15 @@ impl<'a> Compiler<'a> {
                 // Use the column type of the variable on the other side
                 // when available.
                 let ty = match other {
-                    TermPattern::Variable(var) => {
-                        self.value_vars.get(var).map(|vv| vv.column_ty)
-                    }
+                    TermPattern::Variable(var) => self.value_vars.get(var).map(|vv| vv.column_ty),
                     _ => None,
                 };
                 let value = match ty {
-                    Some(ty) => literal_to_value(lit, ty).map_err(|reason| {
-                        OntoError::Unsupported {
+                    Some(ty) => {
+                        literal_to_value(lit, ty).map_err(|reason| OntoError::Unsupported {
                             message: format!("FILTER literal {lit}: {reason}"),
-                        }
-                    })?,
+                        })?
+                    }
                     None => best_effort_value(lit),
                 };
                 Ok(Expr::Value(value))
@@ -845,11 +917,7 @@ mod tests {
         let (mut db, mapping) = fixture_db_with_rows();
         let sols = select(&mut db, &mapping, "SELECT ?x WHERE { ?x a foaf:Person . }");
         assert_eq!(sols.len(), 2);
-        let uris: Vec<String> = sols
-            .bindings
-            .iter()
-            .map(|b| b["x"].to_string())
-            .collect();
+        let uris: Vec<String> = sols.bindings.iter().map(|b| b["x"].to_string()).collect();
         assert!(uris.contains(&"<http://example.org/db/author6>".to_owned()));
         assert!(uris.contains(&"<http://example.org/db/author7>".to_owned()));
     }
@@ -927,7 +995,10 @@ mod tests {
             "SELECT ?mbox WHERE { ex:author6 foaf:mbox ?mbox . }",
         );
         assert_eq!(sols.len(), 1);
-        assert_eq!(sols.bindings[0]["mbox"], Term::iri("mailto:hert@ifi.uzh.ch"));
+        assert_eq!(
+            sols.bindings[0]["mbox"],
+            Term::iri("mailto:hert@ifi.uzh.ch")
+        );
     }
 
     #[test]
@@ -1041,9 +1112,9 @@ mod tests {
     #[test]
     fn compiled_sql_is_visible_and_parses() {
         let (db, mapping) = fixture_db_with_rows();
-        let Query::Select(query) = parse_query(
-            "SELECT ?x ?mbox WHERE { ?x a foaf:Person ; foaf:mbox ?mbox . }",
-        ) else {
+        let Query::Select(query) =
+            parse_query("SELECT ?x ?mbox WHERE { ?x a foaf:Person ; foaf:mbox ?mbox . }")
+        else {
             panic!()
         };
         let compiled = compile_select(&db, &mapping, &query).unwrap();
@@ -1053,6 +1124,76 @@ mod tests {
         assert!(text.contains("IS NOT NULL"));
         // Round-trips through the SQL parser.
         rel::sql::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn join_key_metadata_names_fk_and_link_columns() {
+        let (db, mapping) = fixture_db_with_rows();
+        let Query::Select(query) = parse_query(
+            "SELECT ?pub ?code WHERE { ?pub dc:creator ?a . ?a ont:team ?t . \
+             ?t ont:teamCode ?code . }",
+        ) else {
+            panic!()
+        };
+        let compiled = compile_select(&db, &mapping, &query).unwrap();
+        // FK join (author.team = team.id) + two link-table joins.
+        assert_eq!(compiled.join_keys.len(), 3);
+        let targets = &compiled.join_index_targets;
+        assert!(targets.contains(&("author".into(), "team".into())));
+        assert!(targets.contains(&("publication_author".into(), "publication".into())));
+        assert!(targets.contains(&("publication_author".into(), "author".into())));
+        assert!(targets.contains(&("team".into(), "id".into())));
+    }
+
+    #[test]
+    fn ensure_join_indexes_makes_every_target_probeable() {
+        let (mut db, mapping) = fixture_db_with_rows();
+        let Query::Select(query) = parse_query(
+            "SELECT ?pub ?last WHERE { ?pub dc:creator ?a . ?a foaf:family_name ?last . }",
+        ) else {
+            panic!()
+        };
+        let compiled = compile_select(&db, &mapping, &query).unwrap();
+        super::ensure_join_indexes(&mut db, &compiled).unwrap();
+        for (table, column) in &compiled.join_index_targets {
+            assert!(
+                db.supports_index_probe(table, column).unwrap(),
+                "{table}.{column} not probeable"
+            );
+        }
+    }
+
+    #[test]
+    fn ensure_join_indexes_skips_unprobeable_double_columns() {
+        use rel::{Column, Schema, SqlType, Table};
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("m")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("score", SqlType::Double))
+                    .primary_key(&["id"])
+                    .build(),
+            )
+            .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        let compiled = CompiledQuery {
+            sql: rel::sql::parse("SELECT a.id FROM m a, m b WHERE a.score = b.score;")
+                .ok()
+                .and_then(|s| match s {
+                    rel::sql::Statement::Select(s) => Some(s),
+                    _ => None,
+                })
+                .unwrap(),
+            bindings: vec![],
+            limit: None,
+            join_keys: vec![(("a".into(), "score".into()), ("b".into(), "score".into()))],
+            join_index_targets: vec![("m".to_owned(), "score".to_owned())],
+        };
+        // `m.score` is a join target — but being DOUBLE it can never be
+        // probed, so `create_index` no-ops instead of indexing it.
+        super::ensure_join_indexes(&mut db, &compiled).unwrap();
+        assert!(!db.supports_index_probe("m", "score").unwrap());
     }
 
     #[test]
@@ -1067,7 +1208,9 @@ mod tests {
             "SELECT ?p WHERE { ?p dc:creator ?a . }",
             "SELECT ?p ?y WHERE { ?p ont:pubYear ?y . FILTER (?y > 2000) }",
         ] {
-            let Query::Select(query) = parse_query(q) else { panic!() };
+            let Query::Select(query) = parse_query(q) else {
+                panic!()
+            };
             let mut relational = execute_select(&mut db, &mapping, &query).unwrap();
             let mut native = sparql::evaluate_select(&graph, &query);
             relational.bindings.sort();

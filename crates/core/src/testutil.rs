@@ -63,7 +63,10 @@ pub fn fixture_db_with_rows() -> (Database, Mapping) {
     .unwrap();
     db.insert(
         "pubtype",
-        &[a("id", Value::Int(4)), a("type", Value::text("inproceedings"))],
+        &[
+            a("id", Value::Int(4)),
+            a("type", Value::text("inproceedings")),
+        ],
     )
     .unwrap();
     db.insert(
@@ -75,7 +78,10 @@ pub fn fixture_db_with_rows() -> (Database, Mapping) {
         "publication",
         &[
             a("id", Value::Int(1)),
-            a("title", Value::text("Relational Databases as Semantic Web Endpoints")),
+            a(
+                "title",
+                Value::text("Relational Databases as Semantic Web Endpoints"),
+            ),
             a("year", Value::Int(2009)),
             a("type", Value::Int(4)),
             a("publisher", Value::Int(3)),

@@ -74,7 +74,14 @@ fn translate_group(
                 .column_index(&attr.attribute_name)
                 .expect("validated mapping");
             let stored = &row[idx];
-            verify_object_matches(mapping, &identified, attr, &triple.object, stored, &table_name)?;
+            verify_object_matches(
+                mapping,
+                &identified,
+                attr,
+                &triple.object,
+                stored,
+                &table_name,
+            )?;
             if table.is_primary_key(&attr.attribute_name) {
                 return Err(OntoError::Unsupported {
                     message: format!(
@@ -90,7 +97,11 @@ fn translate_group(
         }
         if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
             link_statements.push(translate_link_delete(
-                db, mapping, &identified, link, triple,
+                db,
+                mapping,
+                &identified,
+                link,
+                triple,
             )?);
             continue;
         }
@@ -245,7 +256,10 @@ fn translate_link_delete(
         .foreign_key_target()
         .and_then(|id| mapping.table_by_id(id))
         .ok_or_else(|| OntoError::Unsupported {
-            message: format!("link table {:?}: unresolved subject target", link.table_name),
+            message: format!(
+                "link table {:?}: unresolved subject target",
+                link.table_name
+            ),
         })?;
     if identified.table_map.table_name != subject_target.table_name {
         return Err(OntoError::UnknownProperty {
@@ -260,12 +274,11 @@ fn translate_link_delete(
         .ok_or_else(|| OntoError::Unsupported {
             message: format!("link table {:?}: unresolved object target", link.table_name),
         })?;
-    let object_identified = identify(db, mapping, &triple.object).map_err(|_| {
-        OntoError::TripleNotPresent {
+    let object_identified =
+        identify(db, mapping, &triple.object).map_err(|_| OntoError::TripleNotPresent {
             table: link.table_name.clone(),
             detail: format!("object {} is not a mapped instance", triple.object),
-        }
-    })?;
+        })?;
     if object_identified.table_map.table_name != object_target.table_name {
         return Err(OntoError::TripleNotPresent {
             table: link.table_name.clone(),
@@ -284,9 +297,15 @@ fn translate_link_delete(
             message: "link tables over composite keys are not supported".into(),
         });
     }
-    let (s_val, o_val) = (s_val.into_iter().next().unwrap(), o_val.into_iter().next().unwrap());
+    let (s_val, o_val) = (
+        s_val.into_iter().next().unwrap(),
+        o_val.into_iter().next().unwrap(),
+    );
 
     // The link row must exist (DELETE DATA removes *known* triples).
+    // The subject column is a FK column and therefore hash-indexed:
+    // resolve its candidates by index and check the object side only on
+    // those, instead of scanning the whole link table per triple.
     let link_table = db.schema().table(&link.table_name)?;
     let s_idx = link_table
         .column_index(&link.subject_attribute.attribute_name)
@@ -294,9 +313,26 @@ fn translate_link_delete(
     let o_idx = link_table
         .column_index(&link.object_attribute.attribute_name)
         .expect("validated mapping");
-    let exists = db.scan(&link.table_name)?.any(|(_, row)| {
-        row[s_idx].sql_eq(&s_val) == Some(true) && row[o_idx].sql_eq(&o_val) == Some(true)
-    });
+    let exists = match db.index_probe(
+        &link.table_name,
+        &link.subject_attribute.attribute_name,
+        &s_val,
+    )? {
+        Some(ids) => {
+            let mut found = false;
+            for id in ids {
+                let row = db.row(&link.table_name, id)?.expect("probe id is live");
+                if row[o_idx].sql_eq(&o_val) == Some(true) {
+                    found = true;
+                    break;
+                }
+            }
+            found
+        }
+        None => db.scan(&link.table_name)?.any(|(_, row)| {
+            row[s_idx].sql_eq(&s_val) == Some(true) && row[o_idx].sql_eq(&o_val) == Some(true)
+        }),
+    };
     if !exists {
         return Err(OntoError::TripleNotPresent {
             table: link.table_name.clone(),
@@ -329,9 +365,7 @@ mod tests {
     #[test]
     fn listing_17_translates_to_listing_18() {
         let (db, mapping) = fixture_db_with_rows();
-        let op = parse_update(
-            "DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
-        );
+        let op = parse_update("DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }");
         let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
         assert_eq!(
             render(&stmts),
@@ -374,9 +408,7 @@ mod tests {
     fn deleting_absent_triple_rejected() {
         let (db, mapping) = fixture_db_with_rows();
         // author6's email is hert@ifi.uzh.ch, not this one.
-        let op = parse_update(
-            "DELETE DATA { ex:author6 foaf:mbox <mailto:other@x.ch> . }",
-        );
+        let op = parse_update("DELETE DATA { ex:author6 foaf:mbox <mailto:other@x.ch> . }");
         let err = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap_err();
         assert!(matches!(err, OntoError::TripleNotPresent { .. }));
     }
@@ -396,10 +428,13 @@ mod tests {
             "DELETE DATA { ex:author6 foaf:title \"Mr\" ; foaf:firstName \"Matthias\" . }",
         );
         let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
-        assert_eq!(render(&stmts), vec![
-            "UPDATE author SET title = NULL, firstname = NULL \
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "UPDATE author SET title = NULL, firstname = NULL \
              WHERE id = 6 AND title = 'Mr' AND firstname = 'Matthias';"
-        ]);
+            ]
+        );
     }
 
     #[test]

@@ -31,12 +31,17 @@ pub fn translate_insert_data(
     let mut touched: BTreeMap<Iri, String> = BTreeMap::new();
     for (subject, _) in &groups {
         if let Ok(identified) = identify(db, mapping, subject) {
-            touched.insert(identified.uri.clone(), identified.table_map.table_name.clone());
+            touched.insert(
+                identified.uri.clone(),
+                identified.table_map.table_name.clone(),
+            );
         }
     }
     let mut statements = Vec::new();
     for (subject, group) in &groups {
-        statements.extend(translate_group(db, mapping, subject, group, &touched, options)?);
+        statements.extend(translate_group(
+            db, mapping, subject, group, &touched, options,
+        )?);
     }
     Ok(statements)
 }
@@ -77,7 +82,10 @@ fn translate_group(
                 &triple.object,
                 touched,
             )?;
-            match assignments.iter().find(|(name, _)| name == &attr.attribute_name) {
+            match assignments
+                .iter()
+                .find(|(name, _)| name == &attr.attribute_name)
+            {
                 Some((_, existing)) if existing == &value => {} // duplicate triple
                 Some((_, existing)) => {
                     return Err(OntoError::AttributeAlreadySet {
@@ -93,7 +101,12 @@ fn translate_group(
         }
         if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
             link_statements.push(translate_link_insert(
-                db, mapping, &identified, link, triple, touched,
+                db,
+                mapping,
+                &identified,
+                link,
+                triple,
+                touched,
             )?);
             continue;
         }
@@ -248,26 +261,34 @@ fn object_value(
     object: &Term,
     touched: &BTreeMap<Iri, String>,
 ) -> OntoResult<Value> {
-    match attr.property.as_ref().expect("mapped attribute has property") {
-        PropertyMapping::Data(_) => object_literal_to_value(object, table_name, &attr.attribute_name, ty),
+    match attr
+        .property
+        .as_ref()
+        .expect("mapped attribute has property")
+    {
+        PropertyMapping::Data(_) => {
+            object_literal_to_value(object, table_name, &attr.attribute_name, ty)
+        }
         PropertyMapping::Object(_) => {
-            let object_iri = object.as_iri().ok_or_else(|| OntoError::ValueIncompatible {
-                table: table_name.to_owned(),
-                attribute: attr.attribute_name.clone(),
-                value: object.clone(),
-                reason: "an object property requires an IRI object".into(),
-            })?;
+            let object_iri = object
+                .as_iri()
+                .ok_or_else(|| OntoError::ValueIncompatible {
+                    table: table_name.to_owned(),
+                    attribute: attr.attribute_name.clone(),
+                    value: object.clone(),
+                    reason: "an object property requires an IRI object".into(),
+                })?;
             // Derived-IRI attribute (foaf:mbox style): extract the value
             // from the value pattern.
             if let Some(pattern) = &attr.value_pattern {
-                let values = pattern.match_uri(None, object_iri.as_str()).ok_or_else(|| {
-                    OntoError::ValueIncompatible {
+                let values = pattern
+                    .match_uri(None, object_iri.as_str())
+                    .ok_or_else(|| OntoError::ValueIncompatible {
                         table: table_name.to_owned(),
                         attribute: attr.attribute_name.clone(),
                         value: object.clone(),
                         reason: format!("object does not match value pattern {pattern}"),
-                    }
-                })?;
+                    })?;
                 let raw = values
                     .into_iter()
                     .find(|(name, _)| name == &attr.attribute_name)
@@ -296,11 +317,12 @@ fn object_value(
                             attr.attribute_name
                         ),
                     })?;
-            let expected_table = mapping
-                .table_by_id(target_map_id)
-                .ok_or_else(|| OntoError::Unsupported {
-                    message: format!("foreign key references unknown map node {target_map_id}"),
-                })?;
+            let expected_table =
+                mapping
+                    .table_by_id(target_map_id)
+                    .ok_or_else(|| OntoError::Unsupported {
+                        message: format!("foreign key references unknown map node {target_map_id}"),
+                    })?;
             resolve_instance_ref(
                 db,
                 mapping,
@@ -416,7 +438,10 @@ fn translate_link_insert(
             link.subject_attribute.attribute_name.clone(),
             link.object_attribute.attribute_name.clone(),
         ],
-        values: vec![subject_pk.into_iter().next().expect("len checked"), object_value],
+        values: vec![
+            subject_pk.into_iter().next().expect("len checked"),
+            object_value,
+        ],
     }))
 }
 
@@ -441,13 +466,20 @@ mod tests {
                  ont:team ex:team5 .
              }",
         );
-        let stmts =
-            translate_insert_data(&db, &mapping, &insert_data(&op), TranslateOptions::default())
-                .unwrap();
-        assert_eq!(render(&stmts), vec![
-            "INSERT INTO author (id, title, firstname, lastname, email, team) \
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "INSERT INTO author (id, title, firstname, lastname, email, team) \
              VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);"
-        ]);
+            ]
+        );
     }
 
     #[test]
@@ -459,9 +491,13 @@ mod tests {
                  ont:teamCode \"DBTG\" .
              }",
         );
-        let stmts =
-            translate_insert_data(&db, &mapping, &insert_data(&op), TranslateOptions::default())
-                .unwrap();
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
         assert_eq!(
             render(&stmts),
             vec!["INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');"]
@@ -475,9 +511,13 @@ mod tests {
         // NULLs with actual values."
         let (mut db, mapping) = fixture_db_with_rows();
         let first = parse_update("INSERT DATA { ex:author9 foaf:family_name \"Gall\" . }");
-        let stmts =
-            translate_insert_data(&db, &mapping, &insert_data(&first), TranslateOptions::default())
-                .unwrap();
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&first),
+            TranslateOptions::default(),
+        )
+        .unwrap();
         assert_eq!(
             render(&stmts),
             vec!["INSERT INTO author (id, lastname) VALUES (9, 'Gall');"]
@@ -601,9 +641,7 @@ mod tests {
     #[test]
     fn type_triple_checked_against_class() {
         let (db, mapping) = fixture_db_with_rows();
-        let ok = parse_update(
-            "INSERT DATA { ex:team7 a foaf:Group ; foaf:name \"T\" . }",
-        );
+        let ok = parse_update("INSERT DATA { ex:team7 a foaf:Group ; foaf:name \"T\" . }");
         assert!(translate_insert_data(
             &db,
             &mapping,
@@ -625,9 +663,8 @@ mod tests {
     #[test]
     fn unknown_property_rejected() {
         let (db, mapping) = fixture_db_with_rows();
-        let op = parse_update(
-            "INSERT DATA { ex:team7 foaf:name \"T\" ; foaf:mbox <mailto:t@x.ch> . }",
-        );
+        let op =
+            parse_update("INSERT DATA { ex:team7 foaf:name \"T\" ; foaf:mbox <mailto:t@x.ch> . }");
         // foaf:mbox is an author property, not a team property.
         let err = translate_insert_data(
             &db,
@@ -662,9 +699,8 @@ mod tests {
     #[test]
     fn type_mismatch_in_literal_rejected() {
         let (db, mapping) = fixture_db_with_rows();
-        let op = parse_update(
-            "INSERT DATA { ex:pub9 dc:title \"T\" ; ont:pubYear \"not-a-year\" . }",
-        );
+        let op =
+            parse_update("INSERT DATA { ex:pub9 dc:title \"T\" ; ont:pubYear \"not-a-year\" . }");
         let err = translate_insert_data(
             &db,
             &mapping,
@@ -699,7 +735,12 @@ mod tests {
              foaf:mbox <http://not-a-mailbox.org/> . }",
         );
         assert!(matches!(
-            translate_insert_data(&db, &mapping, &insert_data(&bad), TranslateOptions::default()),
+            translate_insert_data(
+                &db,
+                &mapping,
+                &insert_data(&bad),
+                TranslateOptions::default()
+            ),
             Err(OntoError::ValueIncompatible { .. })
         ));
     }

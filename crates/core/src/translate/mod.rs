@@ -111,22 +111,19 @@ pub fn identify<'a>(
     let table = db.schema().table(&table_map.table_name)?;
     let mut key = Vec::with_capacity(raw_values.len());
     for (attr, raw) in raw_values {
-        let column = table
-            .column(&attr)
-            .ok_or_else(|| OntoError::Unsupported {
-                message: format!(
-                    "uriPattern attribute {attr:?} missing from table {:?}",
-                    table.name
-                ),
-            })?;
-        let value = pattern_value(&raw, column.ty).map_err(|reason| {
-            OntoError::ValueIncompatible {
+        let column = table.column(&attr).ok_or_else(|| OntoError::Unsupported {
+            message: format!(
+                "uriPattern attribute {attr:?} missing from table {:?}",
+                table.name
+            ),
+        })?;
+        let value =
+            pattern_value(&raw, column.ty).map_err(|reason| OntoError::ValueIncompatible {
                 table: table.name.clone(),
                 attribute: attr.clone(),
                 value: subject.clone(),
                 reason,
-            }
-        })?;
+            })?;
         key.push((attr, value));
     }
     Ok(IdentifiedSubject {

@@ -22,10 +22,7 @@ use rel::Schema;
 /// Sort statements along FK dependencies. Errors on dependency cycles
 /// (self-referencing tables inserted and deleted in one operation —
 /// outside the paper's scope).
-pub fn sort_statements(
-    schema: &Schema,
-    statements: Vec<Statement>,
-) -> OntoResult<Vec<Statement>> {
+pub fn sort_statements(schema: &Schema, statements: Vec<Statement>) -> OntoResult<Vec<Statement>> {
     let n = statements.len();
     if n <= 1 {
         return Ok(statements);
@@ -47,9 +44,7 @@ pub fn sort_statements(
     let mut emitted = vec![false; n];
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
-        let next = (0..n).find(|&j| {
-            !emitted[j] && before[j].iter().all(|&i| emitted[i])
-        });
+        let next = (0..n).find(|&j| !emitted[j] && before[j].iter().all(|&i| emitted[i]));
         match next {
             Some(j) => {
                 emitted[j] = true;
@@ -89,8 +84,7 @@ fn must_precede(schema: &Schema, a: &Statement, b: &Statement) -> bool {
 
 // Does `from` declare a foreign key to `to`?
 fn references(schema: &Schema, from: &str, to: &str) -> bool {
-    schema
-        .referenced_tables(from).contains(&to)
+    schema.referenced_tables(from).contains(&to)
 }
 
 #[cfg(test)]

@@ -311,7 +311,11 @@ pub fn mapping() -> Mapping {
 pub fn ontology() -> Graph {
     let mut g = Graph::new();
     let class = |g: &mut Graph, c: Iri| {
-        g.insert(Triple::new(Term::Iri(c.clone()), rdf_type(), Term::Iri(owl::Class())));
+        g.insert(Triple::new(
+            Term::Iri(c.clone()),
+            rdf_type(),
+            Term::Iri(owl::Class()),
+        ));
         g.insert(Triple::new(
             Term::Iri(c),
             rdfs::subClassOf(),
@@ -325,7 +329,11 @@ pub fn ontology() -> Graph {
     class(&mut g, ont::PubType());
 
     let prop = |g: &mut Graph, p: Iri, kind: Iri, domain: Iri, range: Iri| {
-        g.insert(Triple::new(Term::Iri(p.clone()), rdf_type(), Term::Iri(kind)));
+        g.insert(Triple::new(
+            Term::Iri(p.clone()),
+            rdf_type(),
+            Term::Iri(kind),
+        ));
         g.insert(Triple::new(
             Term::Iri(p.clone()),
             rdfs::domain(),
@@ -334,23 +342,107 @@ pub fn ontology() -> Graph {
         g.insert(Triple::new(Term::Iri(p), rdfs::range(), Term::Iri(range)));
     };
     // foaf:Document properties.
-    prop(&mut g, dc::title(), owl::DatatypeProperty(), foaf::Document(), xsd::string());
-    prop(&mut g, ont::pubYear(), owl::DatatypeProperty(), foaf::Document(), xsd::int());
-    prop(&mut g, ont::pubType(), owl::ObjectProperty(), foaf::Document(), ont::PubType());
-    prop(&mut g, dc::publisher(), owl::ObjectProperty(), foaf::Document(), ont::Publisher());
-    prop(&mut g, dc::creator(), owl::ObjectProperty(), foaf::Document(), foaf::Person());
+    prop(
+        &mut g,
+        dc::title(),
+        owl::DatatypeProperty(),
+        foaf::Document(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        ont::pubYear(),
+        owl::DatatypeProperty(),
+        foaf::Document(),
+        xsd::int(),
+    );
+    prop(
+        &mut g,
+        ont::pubType(),
+        owl::ObjectProperty(),
+        foaf::Document(),
+        ont::PubType(),
+    );
+    prop(
+        &mut g,
+        dc::publisher(),
+        owl::ObjectProperty(),
+        foaf::Document(),
+        ont::Publisher(),
+    );
+    prop(
+        &mut g,
+        dc::creator(),
+        owl::ObjectProperty(),
+        foaf::Document(),
+        foaf::Person(),
+    );
     // foaf:Person properties.
-    prop(&mut g, foaf::title(), owl::DatatypeProperty(), foaf::Person(), xsd::string());
-    prop(&mut g, foaf::mbox(), owl::ObjectProperty(), foaf::Person(), owl::Thing());
-    prop(&mut g, foaf::firstName(), owl::DatatypeProperty(), foaf::Person(), xsd::string());
-    prop(&mut g, foaf::family_name(), owl::DatatypeProperty(), foaf::Person(), xsd::string());
-    prop(&mut g, ont::team(), owl::ObjectProperty(), foaf::Person(), foaf::Group());
+    prop(
+        &mut g,
+        foaf::title(),
+        owl::DatatypeProperty(),
+        foaf::Person(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        foaf::mbox(),
+        owl::ObjectProperty(),
+        foaf::Person(),
+        owl::Thing(),
+    );
+    prop(
+        &mut g,
+        foaf::firstName(),
+        owl::DatatypeProperty(),
+        foaf::Person(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        foaf::family_name(),
+        owl::DatatypeProperty(),
+        foaf::Person(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        ont::team(),
+        owl::ObjectProperty(),
+        foaf::Person(),
+        foaf::Group(),
+    );
     // foaf:Group properties.
-    prop(&mut g, foaf::name(), owl::DatatypeProperty(), foaf::Group(), xsd::string());
-    prop(&mut g, ont::teamCode(), owl::DatatypeProperty(), foaf::Group(), xsd::string());
+    prop(
+        &mut g,
+        foaf::name(),
+        owl::DatatypeProperty(),
+        foaf::Group(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        ont::teamCode(),
+        owl::DatatypeProperty(),
+        foaf::Group(),
+        xsd::string(),
+    );
     // ont:Publisher / ont:PubType properties.
-    prop(&mut g, ont::name(), owl::DatatypeProperty(), ont::Publisher(), xsd::string());
-    prop(&mut g, ont_type(), owl::DatatypeProperty(), ont::PubType(), xsd::string());
+    prop(
+        &mut g,
+        ont::name(),
+        owl::DatatypeProperty(),
+        ont::Publisher(),
+        xsd::string(),
+    );
+    prop(
+        &mut g,
+        ont_type(),
+        owl::DatatypeProperty(),
+        ont::PubType(),
+        xsd::string(),
+    );
     g
 }
 
@@ -365,18 +457,35 @@ mod tests {
         assert_eq!(s.len(), 6);
         let author = s.table("author").unwrap();
         assert_eq!(
-            author.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            author
+                .columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["id", "title", "firstname", "lastname", "email", "team"]
         );
         assert!(author.column("lastname").unwrap().not_null);
-        assert!(s.table("publication").unwrap().column("title").unwrap().not_null);
-        assert!(s.table("publication").unwrap().column("year").unwrap().not_null);
-        assert!(s
-            .table("publication_author")
-            .unwrap()
-            .column("id")
-            .unwrap()
-            .auto_increment);
+        assert!(
+            s.table("publication")
+                .unwrap()
+                .column("title")
+                .unwrap()
+                .not_null
+        );
+        assert!(
+            s.table("publication")
+                .unwrap()
+                .column("year")
+                .unwrap()
+                .not_null
+        );
+        assert!(
+            s.table("publication_author")
+                .unwrap()
+                .column("id")
+                .unwrap()
+                .auto_increment
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ pub fn populate(db: &mut Database, spec: &Spec, seed: u64) -> usize {
                 a("id", Value::Int(id)),
                 a("title", Value::text(format!("Publication {id}"))),
                 a("year", Value::Int(1995 + (id % 15))),
-                a("type", Value::Int(pubtype_ids[rng.gen_range(0..pubtype_ids.len())])),
+                a(
+                    "type",
+                    Value::Int(pubtype_ids[rng.gen_range(0..pubtype_ids.len())]),
+                ),
                 a(
                     "publisher",
                     Value::Int(publisher_ids[rng.gen_range(0..publisher_ids.len())]),
@@ -152,7 +155,10 @@ pub fn populate(db: &mut Database, spec: &Spec, seed: u64) -> usize {
         for author in chosen {
             db.insert(
                 "publication_author",
-                &[a("publication", Value::Int(id)), a("author", Value::Int(author))],
+                &[
+                    a("publication", Value::Int(id)),
+                    a("author", Value::Int(author)),
+                ],
             )
             .expect("generated ids are fresh");
             rows += 1;
@@ -177,10 +183,7 @@ mod tests {
         let d1 = populated_database(50, 7);
         let d2 = populated_database(50, 7);
         for table in ["team", "author", "publication", "publication_author"] {
-            assert_eq!(
-                d1.row_count(table).unwrap(),
-                d2.row_count(table).unwrap()
-            );
+            assert_eq!(d1.row_count(table).unwrap(), d2.row_count(table).unwrap());
         }
         let rows1: Vec<_> = d1.scan("author").unwrap().map(|(_, r)| r.clone()).collect();
         let rows2: Vec<_> = d2.scan("author").unwrap().map(|(_, r)| r.clone()).collect();

@@ -77,7 +77,10 @@ pub fn seed_paper_rows(db: &mut Database) {
     .expect("fresh ids");
     db.insert(
         "pubtype",
-        &[a("id", Value::Int(4)), a("type", Value::text("inproceedings"))],
+        &[
+            a("id", Value::Int(4)),
+            a("type", Value::text("inproceedings")),
+        ],
     )
     .expect("fresh ids");
     db.insert(
@@ -113,9 +116,7 @@ mod tests {
     #[test]
     fn sample_endpoint_answers_queries() {
         let mut ep = endpoint_with_sample_data();
-        let sols = ep
-            .select("SELECT ?x WHERE { ?x a foaf:Person . }")
-            .unwrap();
+        let sols = ep.select("SELECT ?x WHERE { ?x a foaf:Person . }").unwrap();
         assert_eq!(sols.len(), 2);
     }
 

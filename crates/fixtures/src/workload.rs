@@ -107,9 +107,7 @@ pub fn select_authors_with_team() -> String {
 
 /// A SELECT over the link table (three-table join query).
 pub fn select_publications_with_authors() -> String {
-    with_prefixes(
-        "SELECT ?p ?last WHERE { ?p dc:creator ?a . ?a foaf:family_name ?last . }",
-    )
+    with_prefixes("SELECT ?p ?last WHERE { ?p dc:creator ?a . ?a foaf:family_name ?last . }")
 }
 
 /// A SELECT with a numeric FILTER.
@@ -204,6 +202,9 @@ mod tests {
                 Err(_) => rejected += 1,
             }
         }
-        assert!(ok > 0, "some updates must succeed (got {rejected} rejections)");
+        assert!(
+            ok > 0,
+            "some updates must succeed (got {rejected} rejections)"
+        );
     }
 }

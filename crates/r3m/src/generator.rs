@@ -107,7 +107,9 @@ pub fn generate(schema: &Schema, config: &GeneratorConfig) -> Result<Mapping, Ge
     };
     for table in schema.tables() {
         if is_link_table(table) {
-            mapping.link_tables.push(generate_link_table(table, config)?);
+            mapping
+                .link_tables
+                .push(generate_link_table(table, config)?);
         } else {
             mapping.tables.push(generate_table(table, config)?);
         }
@@ -119,7 +121,11 @@ fn is_link_table(table: &Table) -> bool {
     if table.foreign_keys.len() != 2 {
         return false;
     }
-    let fk_columns: Vec<&str> = table.foreign_keys.iter().map(|f| f.column.as_str()).collect();
+    let fk_columns: Vec<&str> = table
+        .foreign_keys
+        .iter()
+        .map(|f| f.column.as_str())
+        .collect();
     table
         .columns
         .iter()

@@ -25,9 +25,7 @@ pub mod validate;
 pub mod writer;
 
 pub use generator::{generate, GenerateError, GeneratorConfig};
-pub use model::{
-    AttributeMap, ConstraintInfo, LinkTableMap, Mapping, PropertyMapping, TableMap,
-};
+pub use model::{AttributeMap, ConstraintInfo, LinkTableMap, Mapping, PropertyMapping, TableMap};
 pub use reader::{from_graph, from_turtle, MappingError};
 pub use uri_pattern::{PatternError, Segment, UriPattern};
 pub use validate::{validate, validate_strict, Issue, Severity};

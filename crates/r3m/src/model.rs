@@ -232,9 +232,7 @@ impl Mapping {
 
     /// Link table map by database table name.
     pub fn link_table(&self, table_name: &str) -> Option<&LinkTableMap> {
-        self.link_tables
-            .iter()
-            .find(|t| t.table_name == table_name)
+        self.link_tables.iter().find(|t| t.table_name == table_name)
     }
 
     /// Link table map by mapped object property.
@@ -460,11 +458,13 @@ mod tests {
     fn lookup_by_class_and_id() {
         let m = mapping();
         assert_eq!(
-            m.table_by_class(&foaf::Person()).map(|t| t.table_name.as_str()),
+            m.table_by_class(&foaf::Person())
+                .map(|t| t.table_name.as_str()),
             Some("author")
         );
         assert_eq!(
-            m.table_by_id(&map_iri("team")).map(|t| t.table_name.as_str()),
+            m.table_by_id(&map_iri("team"))
+                .map(|t| t.table_name.as_str()),
             Some("team")
         );
     }

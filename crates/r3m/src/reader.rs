@@ -93,8 +93,7 @@ fn read_table(graph: &Graph, node: &Term) -> Result<TableMap, MappingError> {
         .ok_or_else(|| err(format!("{node} lacks r3m:mapsToClass")))?;
     let pattern_text = string_prop(graph, node, &r3m::uriPattern())
         .ok_or_else(|| err(format!("{node} lacks r3m:uriPattern")))?;
-    let uri_pattern = UriPattern::parse(&pattern_text)
-        .map_err(|e| err(format!("{node}: {e}")))?;
+    let uri_pattern = UriPattern::parse(&pattern_text).map_err(|e| err(format!("{node}: {e}")))?;
     let mut attributes = Vec::new();
     for attr_node in graph.objects(node, &r3m::hasAttribute()) {
         attributes.push(read_attribute(graph, &attr_node)?);
@@ -161,9 +160,7 @@ fn read_attribute(graph: &Graph, node: &Term) -> Result<AttributeMap, MappingErr
         (None, None) => None,
     };
     let value_pattern = match string_prop(graph, node, &r3m::valuePattern()) {
-        Some(text) => Some(
-            UriPattern::parse(&text).map_err(|e| err(format!("{node}: {e}")))?,
-        ),
+        Some(text) => Some(UriPattern::parse(&text).map_err(|e| err(format!("{node}: {e}")))?),
         None => None,
     };
     let mut constraints = Vec::new();
@@ -336,7 +333,8 @@ map:pa_author a r3m:AttributeMap ;
 
         // Cross-check model helpers against the loaded document.
         assert_eq!(
-            m.table_by_class(&foaf::Group()).map(|t| t.table_name.as_str()),
+            m.table_by_class(&foaf::Group())
+                .map(|t| t.table_name.as_str()),
             Some("team")
         );
         assert!(m.link_table_by_property(&dc::creator()).is_some());
@@ -347,7 +345,10 @@ map:pa_author a r3m:AttributeMap ;
     fn missing_database_map_is_error() {
         let doc = "@prefix r3m: <http://ontoaccess.org/r3m#> .\n\
                    <http://example.org/x> a r3m:TableMap .";
-        assert!(from_turtle(doc).unwrap_err().message.contains("no r3m:DatabaseMap"));
+        assert!(from_turtle(doc)
+            .unwrap_err()
+            .message
+            .contains("no r3m:DatabaseMap"));
     }
 
     #[test]
@@ -422,10 +423,7 @@ map:lt a r3m:LinkTableMap ; r3m:hasTableName "lt" ;
 map:s a r3m:AttributeMap ; r3m:hasAttributeName "s" .
 map:o a r3m:AttributeMap ; r3m:hasAttributeName "o" .
 "#;
-        assert!(from_turtle(doc)
-            .unwrap_err()
-            .message
-            .contains("ForeignKey"));
+        assert!(from_turtle(doc).unwrap_err().message.contains("ForeignKey"));
     }
 
     #[test]
@@ -480,7 +478,11 @@ map:pub_year a r3m:AttributeMap ;
     #[test]
     fn check_constraint_round_trips() {
         let mapping = from_turtle(DOC).unwrap();
-        let attr = mapping.table("publication").unwrap().attribute("year").unwrap();
+        let attr = mapping
+            .table("publication")
+            .unwrap()
+            .attribute("year")
+            .unwrap();
         assert!(attr.constraints.iter().any(|c| matches!(
             c,
             ConstraintInfo::Check { name, predicate }

@@ -261,9 +261,7 @@ mod tests {
     fn generate_matches_paper_example() {
         let p = pattern("author%%id%%");
         let uri = p
-            .generate(Some(PREFIX), &|attr| {
-                (attr == "id").then(|| "6".to_owned())
-            })
+            .generate(Some(PREFIX), &|attr| (attr == "id").then(|| "6".to_owned()))
             .unwrap();
         assert_eq!(uri, "http://example.org/db/author6");
     }
@@ -281,20 +279,29 @@ mod tests {
     #[test]
     fn mismatched_uri_is_none() {
         let p = pattern("author%%id%%");
-        assert_eq!(p.match_uri(Some(PREFIX), "http://example.org/db/team1"), None);
-        assert_eq!(p.match_uri(Some(PREFIX), "http://other.org/db/author1"), None);
-        assert_eq!(p.match_uri(Some(PREFIX), "http://example.org/db/author"), None);
+        assert_eq!(
+            p.match_uri(Some(PREFIX), "http://example.org/db/team1"),
+            None
+        );
+        assert_eq!(
+            p.match_uri(Some(PREFIX), "http://other.org/db/author1"),
+            None
+        );
+        assert_eq!(
+            p.match_uri(Some(PREFIX), "http://example.org/db/author"),
+            None
+        );
     }
 
     #[test]
     fn absolute_pattern_overrides_prefix() {
         let p = pattern("http://other.org/team%%id%%");
         assert!(p.is_absolute());
-        let uri = p
-            .generate(Some(PREFIX), &|_| Some("4".into()))
-            .unwrap();
+        let uri = p.generate(Some(PREFIX), &|_| Some("4".into())).unwrap();
         assert_eq!(uri, "http://other.org/team4");
-        assert!(p.match_uri(Some(PREFIX), "http://other.org/team4").is_some());
+        assert!(p
+            .match_uri(Some(PREFIX), "http://other.org/team4")
+            .is_some());
     }
 
     #[test]
@@ -327,9 +334,7 @@ mod tests {
     fn round_trip_property() {
         let p = pattern("team%%id%%");
         for id in ["1", "42", "999"] {
-            let uri = p
-                .generate(Some(PREFIX), &|_| Some(id.to_owned()))
-                .unwrap();
+            let uri = p.generate(Some(PREFIX), &|_| Some(id.to_owned())).unwrap();
             let values = p.match_uri(Some(PREFIX), &uri).unwrap();
             assert_eq!(values, vec![("id".into(), id.to_owned())]);
         }

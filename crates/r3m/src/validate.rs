@@ -79,7 +79,10 @@ pub fn validate(mapping: &Mapping, schema: &Schema) -> Vec<Issue> {
             Err(_) => {
                 error(
                     &mut issues,
-                    format!("mapped table {:?} does not exist in the schema", table_map.table_name),
+                    format!(
+                        "mapped table {:?} does not exist in the schema",
+                        table_map.table_name
+                    ),
                 );
                 continue;
             }
@@ -149,10 +152,7 @@ pub fn validate(mapping: &Mapping, schema: &Schema) -> Vec<Issue> {
                 );
                 continue;
             };
-            if column.not_null
-                && !table.is_primary_key(&column.name)
-                && !attr.is_not_null()
-            {
+            if column.not_null && !table.is_primary_key(&column.name) && !attr.is_not_null() {
                 warn(
                     &mut issues,
                     format!(
@@ -291,9 +291,7 @@ fn validate_attribute(
                 }
             }
             ConstraintInfo::NotNull => {
-                let column = table
-                    .column(&attr.attribute_name)
-                    .expect("checked above");
+                let column = table.column(&attr.attribute_name).expect("checked above");
                 if !column.not_null && !table.is_primary_key(&attr.attribute_name) {
                     issues.push(Issue {
                         severity: Severity::Warning,
@@ -529,11 +527,9 @@ mod tests {
             .iter_mut()
             .find(|a| a.attribute_name == "name")
             .unwrap();
-        name_attr
-            .constraints
-            .push(ConstraintInfo::ForeignKey {
-                references: team_map_id,
-            });
+        name_attr.constraints.push(ConstraintInfo::ForeignKey {
+            references: team_map_id,
+        });
         assert!(validate_strict(&m, &schema()).is_err());
     }
 }

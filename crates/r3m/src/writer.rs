@@ -12,7 +12,11 @@ pub fn to_graph(mapping: &Mapping) -> Graph {
     let mut graph = Graph::new();
     let mut blank_counter = 0usize;
     let db = Term::Iri(mapping.id.clone());
-    graph.insert(Triple::new(db.clone(), rdf_type(), Term::Iri(r3m::DatabaseMap())));
+    graph.insert(Triple::new(
+        db.clone(),
+        rdf_type(),
+        Term::Iri(r3m::DatabaseMap()),
+    ));
 
     let lit = |graph: &mut Graph, s: &Term, p: Iri, v: &Option<String>| {
         if let Some(v) = v {
@@ -28,7 +32,11 @@ pub fn to_graph(mapping: &Mapping) -> Graph {
     for table in &mapping.tables {
         let node = Term::Iri(table.id.clone());
         graph.insert(Triple::new(db.clone(), r3m::hasTable(), node.clone()));
-        graph.insert(Triple::new(node.clone(), rdf_type(), Term::Iri(r3m::TableMap())));
+        graph.insert(Triple::new(
+            node.clone(),
+            rdf_type(),
+            Term::Iri(r3m::TableMap()),
+        ));
         graph.insert(Triple::new(
             node.clone(),
             r3m::hasTableName(),
@@ -69,7 +77,11 @@ pub fn to_graph(mapping: &Mapping) -> Graph {
             Term::Iri(link.property.clone()),
         ));
         let s_node = write_attribute(&mut graph, &link.subject_attribute, &mut blank_counter);
-        graph.insert(Triple::new(node.clone(), r3m::hasSubjectAttribute(), s_node));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::hasSubjectAttribute(),
+            s_node,
+        ));
         let o_node = write_attribute(&mut graph, &link.object_attribute, &mut blank_counter);
         graph.insert(Triple::new(node.clone(), r3m::hasObjectAttribute(), o_node));
     }
@@ -128,7 +140,11 @@ fn write_attribute(graph: &mut Graph, attr: &AttributeMap, blank_counter: &mut u
     for constraint in &attr.constraints {
         *blank_counter += 1;
         let c_node = Term::Blank(BlankNode::new(format!("c{blank_counter}")));
-        graph.insert(Triple::new(node.clone(), r3m::hasConstraint(), c_node.clone()));
+        graph.insert(Triple::new(
+            node.clone(),
+            r3m::hasConstraint(),
+            c_node.clone(),
+        ));
         let class = match constraint {
             ConstraintInfo::PrimaryKey => r3m::PrimaryKey(),
             ConstraintInfo::NotNull => r3m::NotNull(),

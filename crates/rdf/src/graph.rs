@@ -284,7 +284,11 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::new(author(6), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(6),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
         g.insert(Triple::new(
             author(6),
             foaf::firstName(),
@@ -295,7 +299,11 @@ mod tests {
             foaf::family_name(),
             Literal::plain("Hert"),
         ));
-        g.insert(Triple::new(author(7), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(7),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
         g.insert(Triple::new(
             author(7),
             ont::team(),
@@ -321,9 +329,7 @@ mod tests {
         assert!(!g.remove(&t));
         assert!(!g.contains(&t));
         assert_eq!(g.len(), 4);
-        assert!(g
-            .matching(None, Some(&foaf::firstName()), None)
-            .is_empty());
+        assert!(g.matching(None, Some(&foaf::firstName()), None).is_empty());
         assert!(g
             .matching(None, None, Some(&Term::plain("Matthias")))
             .is_empty());
@@ -355,7 +361,10 @@ mod tests {
     fn match_fully_bound() {
         let g = sample();
         let t = Triple::new(author(6), foaf::family_name(), Literal::plain("Hert"));
-        assert_eq!(g.matching(Some(&t.subject), Some(&t.predicate), Some(&t.object)), vec![t]);
+        assert_eq!(
+            g.matching(Some(&t.subject), Some(&t.predicate), Some(&t.object)),
+            vec![t]
+        );
     }
 
     #[test]

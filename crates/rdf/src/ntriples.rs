@@ -87,9 +87,7 @@ fn take_term(rest: &mut &str) -> Result<Term, String> {
                 return Err("expected '_:'".into());
             }
             let body = &rest[2..];
-            let end = body
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(body.len());
+            let end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
             let label = &body[..end];
             if label.is_empty() {
                 return Err("empty blank node label".into());
@@ -208,8 +206,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let g = parse("# comment\n\n<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n")
-            .unwrap();
+        let g =
+            parse("# comment\n\n<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n").unwrap();
         assert_eq!(g.len(), 1);
     }
 

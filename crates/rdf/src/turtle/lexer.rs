@@ -334,9 +334,7 @@ impl<'a> Lexer<'a> {
                     Some('t') => out.push('\t'),
                     Some('u') => out.push(self.read_unicode_escape(4)?),
                     Some('U') => out.push(self.read_unicode_escape(8)?),
-                    Some(other) => {
-                        return Err(self.error(format!("unknown escape '\\{other}'")))
-                    }
+                    Some(other) => return Err(self.error(format!("unknown escape '\\{other}'"))),
                     None => return Err(self.error("unterminated escape")),
                 },
                 Some('\n') => return Err(self.error("newline in single-line string")),

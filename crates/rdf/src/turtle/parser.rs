@@ -145,7 +145,11 @@ impl Parser {
         let ns = match ns_token.kind {
             TokenKind::IriRef(iri) => self.resolve_iri_ref(&iri, ns_line, ns_column)?,
             other => {
-                return Err(self.error_at(ns_line, ns_column, format!("expected IRI, found {other}")))
+                return Err(self.error_at(
+                    ns_line,
+                    ns_column,
+                    format!("expected IRI, found {other}"),
+                ))
             }
         };
         self.expect(&TokenKind::Dot)?;
@@ -159,7 +163,9 @@ impl Parser {
         let (line, column) = (token.line, token.column);
         match token.kind {
             TokenKind::IriRef(iri) => self.base = Some(iri),
-            other => return Err(self.error_at(line, column, format!("expected IRI, found {other}"))),
+            other => {
+                return Err(self.error_at(line, column, format!("expected IRI, found {other}")))
+            }
         }
         self.expect(&TokenKind::Dot)
     }
@@ -175,9 +181,9 @@ impl Parser {
         let (line, column) = (token.line, token.column);
         match token.kind {
             TokenKind::IriRef(iri) => Ok(Term::Iri(self.resolve_iri_ref(&iri, line, column)?)),
-            TokenKind::PrefixedName { prefix, local } => {
-                Ok(Term::Iri(self.resolve_prefixed(&prefix, &local, line, column)?))
-            }
+            TokenKind::PrefixedName { prefix, local } => Ok(Term::Iri(
+                self.resolve_prefixed(&prefix, &local, line, column)?,
+            )),
             TokenKind::BlankNodeLabel(label) => Ok(Term::Blank(BlankNode::new(label))),
             TokenKind::LBracket => {
                 let node = self.fresh_blank();
@@ -231,9 +237,9 @@ impl Parser {
         let (line, column) = (token.line, token.column);
         match token.kind {
             TokenKind::IriRef(iri) => Ok(Term::Iri(self.resolve_iri_ref(&iri, line, column)?)),
-            TokenKind::PrefixedName { prefix, local } => {
-                Ok(Term::Iri(self.resolve_prefixed(&prefix, &local, line, column)?))
-            }
+            TokenKind::PrefixedName { prefix, local } => Ok(Term::Iri(
+                self.resolve_prefixed(&prefix, &local, line, column)?,
+            )),
             TokenKind::BlankNodeLabel(label) => Ok(Term::Blank(BlankNode::new(label))),
             TokenKind::LBracket => {
                 let node = self.fresh_blank();
@@ -275,8 +281,11 @@ impl Parser {
                         self.resolve_prefixed(&prefix, &local, line, column)?
                     }
                     other => {
-                        return Err(self
-                            .error_at(line, column, format!("expected datatype IRI, found {other}")))
+                        return Err(self.error_at(
+                            line,
+                            column,
+                            format!("expected datatype IRI, found {other}"),
+                        ))
                     }
                 };
                 Ok(Term::Literal(Literal::typed(lexical, dt)))

@@ -31,7 +31,8 @@ pub fn write(graph: &Graph, prefixes: &PrefixMap) -> String {
         }
         if let Some((prefix, _)) = rendered.split_once(':') {
             if let Some(ns) = prefixes.namespace(prefix) {
-                used.entry(prefix.to_owned()).or_insert_with(|| ns.to_owned());
+                used.entry(prefix.to_owned())
+                    .or_insert_with(|| ns.to_owned());
             }
         }
     }
@@ -40,7 +41,13 @@ pub fn write(graph: &Graph, prefixes: &PrefixMap) -> String {
     for subject in &subjects {
         let mut triples = graph.triples_for_subject(subject);
         // `a` first, mirroring conventional Turtle style.
-        triples.sort_by_key(|t| (t.predicate != rdf_type(), t.predicate.clone(), t.object.clone()));
+        triples.sort_by_key(|t| {
+            (
+                t.predicate != rdf_type(),
+                t.predicate.clone(),
+                t.object.clone(),
+            )
+        });
 
         let subject_str = render_term(subject, prefixes);
         mark_used(&subject_str, prefixes, &mut used);
@@ -113,9 +120,7 @@ pub fn render_term(term: &Term, prefixes: &PrefixMap) -> String {
 
 /// Render an IRI, abbreviated to `prefix:local` if possible.
 pub fn render_iri(iri: &Iri, prefixes: &PrefixMap) -> String {
-    prefixes
-        .abbreviate(iri)
-        .unwrap_or_else(|| iri.to_string())
+    prefixes.abbreviate(iri).unwrap_or_else(|| iri.to_string())
 }
 
 /// Render a literal, abbreviating its datatype IRI if possible.
@@ -142,8 +147,16 @@ mod tests {
     fn sample() -> Graph {
         let author = Term::iri("http://example.org/db/author6");
         let mut g = Graph::new();
-        g.insert(Triple::new(author.clone(), rdf_type(), Term::Iri(foaf::Person())));
-        g.insert(Triple::new(author.clone(), foaf::title(), Literal::plain("Mr")));
+        g.insert(Triple::new(
+            author.clone(),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
+        g.insert(Triple::new(
+            author.clone(),
+            foaf::title(),
+            Literal::plain("Mr"),
+        ));
         g.insert(Triple::new(
             author.clone(),
             foaf::firstName(),

@@ -10,8 +10,62 @@
 use crate::error::{RelError, RelResult};
 use crate::schema::{Schema, Table};
 use crate::storage::{RowId, TableData};
-use crate::value::Value;
+use crate::value::{IndexKey, SqlType, Value};
 use std::collections::BTreeMap;
+
+// Outcome of converting an equality-probe value into an index key for a
+// column of a given type.
+enum ProbeKey {
+    /// Exact-match key for the column's index.
+    Key(IndexKey),
+    /// SQL equality can never hold (NULL probe or incompatible types).
+    NoMatch,
+    /// Index keys cannot express SQL equality for this column (DOUBLE
+    /// columns may store Int values whose keys differ from equal
+    /// doubles').
+    Unsupported,
+}
+
+fn probe_key(ty: SqlType, value: &Value) -> ProbeKey {
+    match (ty, value) {
+        (SqlType::Double, _) => ProbeKey::Unsupported,
+        (_, Value::Null) => ProbeKey::NoMatch,
+        (SqlType::Integer, Value::Int(i)) => ProbeKey::Key(IndexKey::Int(*i)),
+        (SqlType::Integer, Value::Double(d)) => {
+            // 2.0 = 2 holds in SQL; 2.5 matches no integer. Above 2^53
+            // a double aliases several sql_eq-equal integers (eval
+            // casts Int to f64), so exact-key lookup is unsound there —
+            // fall back to scanning.
+            if d.abs() >= 9_007_199_254_740_992.0 {
+                ProbeKey::Unsupported
+            } else if d.fract() == 0.0 {
+                ProbeKey::Key(IndexKey::Int(*d as i64))
+            } else {
+                ProbeKey::NoMatch
+            }
+        }
+        (SqlType::Varchar, Value::Text(s)) => ProbeKey::Key(IndexKey::Text(s.clone())),
+        (SqlType::Boolean, Value::Bool(b)) => ProbeKey::Key(IndexKey::Bool(*b)),
+        // Remaining combinations compare unequal-typed non-null values:
+        // SQL equality is FALSE.
+        _ => ProbeKey::NoMatch,
+    }
+}
+
+// Whether `column` is the table's whole (single-column) primary key.
+fn single_column_pk(table: &Table, column: &str) -> bool {
+    table.primary_key.len() == 1 && table.primary_key[0] == column
+}
+
+/// Matching row ids of an index probe, borrowed from the index (see
+/// [`Database::index_probe_ids`]).
+#[derive(Debug, Clone, Copy)]
+pub enum ProbeIds<'a> {
+    /// Answered by a PK or UNIQUE index: at most one row.
+    Unique(Option<RowId>),
+    /// Answered by a secondary index: ascending id list.
+    Many(&'a [RowId]),
+}
 
 /// Undo-log entry for transaction rollback.
 #[derive(Debug, Clone)]
@@ -85,6 +139,96 @@ impl Database {
         Ok(self.data[table].row(row_id))
     }
 
+    /// Build (idempotently) a secondary hash index on `table.column`.
+    /// The index is maintained through inserts, updates, deletes, and
+    /// transaction rollback from then on. A no-op for DOUBLE columns:
+    /// [`Database::index_probe`] can never consult such an index (index
+    /// keys cannot express SQL equality for them), so building one
+    /// would cost maintenance forever without ever being read.
+    pub fn create_index(&mut self, table: &str, column: &str) -> RelResult<()> {
+        let t = self.schema.table(table)?;
+        let col = t.column(column).ok_or_else(|| RelError::NoSuchColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })?;
+        if col.ty == SqlType::Double {
+            return Ok(());
+        }
+        let t = t.clone();
+        self.data
+            .get_mut(table)
+            .expect("schema table has storage")
+            .create_index(&t, column);
+        Ok(())
+    }
+
+    /// Whether equality lookups on `table.column` can be answered from
+    /// an index (single-column PK, UNIQUE, or secondary hash index) with
+    /// SQL equality semantics. DOUBLE columns are excluded: they may
+    /// store integer values, whose index keys differ from the equal
+    /// doubles'.
+    pub fn supports_index_probe(&self, table: &str, column: &str) -> RelResult<bool> {
+        let t = self.schema.table(table)?;
+        let Some(col) = t.column(column) else {
+            return Ok(false);
+        };
+        if col.ty == crate::value::SqlType::Double {
+            return Ok(false);
+        }
+        Ok(single_column_pk(t, column) || col.unique || self.data[table].has_index(column))
+    }
+
+    /// Row ids whose `column` equals `value` under SQL equality,
+    /// answered from the best available index (ascending row-id order).
+    /// `Ok(None)` means no index covers the column (callers fall back to
+    /// a scan); `Ok(Some(vec![]))` means the lookup ran and matched
+    /// nothing — including `value` being NULL, which equals no row.
+    pub fn index_probe(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> RelResult<Option<Vec<RowId>>> {
+        Ok(self
+            .index_probe_ids(table, column, value)?
+            .map(|ids| match ids {
+                ProbeIds::Unique(id) => id.into_iter().collect(),
+                ProbeIds::Many(ids) => ids.to_vec(),
+            }))
+    }
+
+    /// Borrowed-result variant of [`Database::index_probe`] for hot
+    /// paths (the planner's index nested loop calls this once per outer
+    /// row): same semantics, ids borrowed from the index instead of
+    /// collected. Probing a VARCHAR column still clones the text to
+    /// build its index key; Integer/Boolean probes — the shapes the
+    /// SPARQL translation emits — do not allocate.
+    pub fn index_probe_ids(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> RelResult<Option<ProbeIds<'_>>> {
+        let t = self.schema.table(table)?;
+        let col = t.column(column).ok_or_else(|| RelError::NoSuchColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })?;
+        let key = match probe_key(col.ty, value) {
+            ProbeKey::Unsupported => return Ok(None),
+            ProbeKey::NoMatch => return Ok(Some(ProbeIds::Many(&[]))),
+            ProbeKey::Key(k) => k,
+        };
+        let data = &self.data[table];
+        if single_column_pk(t, column) {
+            return Ok(Some(ProbeIds::Unique(data.find_by_pk(&[key]))));
+        }
+        if col.unique {
+            return Ok(Some(ProbeIds::Unique(data.find_by_unique(column, &key))));
+        }
+        Ok(data.lookup_by_index(column, &key).map(ProbeIds::Many))
+    }
+
     /// Find a row by primary key values (in PK column order).
     pub fn find_by_pk(&self, table: &str, key: &[Value]) -> RelResult<Option<RowId>> {
         let t = self.schema.table(table)?;
@@ -139,14 +283,22 @@ impl Database {
                         .delete_unchecked(&t, row_id);
                 }
                 UndoOp::Update { table, row_id, old } => {
-                    let t = self.schema.table(&table).expect("logged table exists").clone();
+                    let t = self
+                        .schema
+                        .table(&table)
+                        .expect("logged table exists")
+                        .clone();
                     self.data
                         .get_mut(&table)
                         .expect("logged table exists")
                         .update_unchecked(&t, row_id, old);
                 }
                 UndoOp::Delete { table, row_id, old } => {
-                    let t = self.schema.table(&table).expect("logged table exists").clone();
+                    let t = self
+                        .schema
+                        .table(&table)
+                        .expect("logged table exists")
+                        .clone();
                     self.data
                         .get_mut(&table)
                         .expect("logged table exists")
@@ -230,12 +382,10 @@ impl Database {
             .clone();
         let mut new_row = old.clone();
         for (name, value) in assignments {
-            let i = t
-                .column_index(name)
-                .ok_or_else(|| RelError::NoSuchColumn {
-                    table: table.to_owned(),
-                    column: name.clone(),
-                })?;
+            let i = t.column_index(name).ok_or_else(|| RelError::NoSuchColumn {
+                table: table.to_owned(),
+                column: name.clone(),
+            })?;
             new_row[i] = value.clone();
         }
         if new_row == old {
@@ -362,12 +512,13 @@ impl Database {
         }
         // CHECK constraints (NULL result passes, as in SQL).
         for check in &table.checks {
-            if let Value::Bool(false) = crate::sql::exec::eval_on_row(&check.predicate, table, row)? {
+            if let Value::Bool(false) = crate::sql::exec::eval_on_row(&check.predicate, table, row)?
+            {
                 return Err(RelError::CheckViolation {
                     table: table.name.clone(),
                     name: check.name.clone(),
                     predicate: check.predicate.to_string(),
-                })
+                });
             }
         }
         // Foreign keys (NULL references are permitted, as in SQL).
@@ -391,7 +542,12 @@ impl Database {
         Ok(())
     }
 
-    fn reference_exists(&self, ref_table: &str, ref_column: &str, value: &Value) -> RelResult<bool> {
+    fn reference_exists(
+        &self,
+        ref_table: &str,
+        ref_column: &str,
+        value: &Value,
+    ) -> RelResult<bool> {
         let target = self.schema.table(ref_table)?;
         let data = &self.data[ref_table];
         // Fast path: FK targets the primary key (the use-case shape) …
@@ -400,7 +556,9 @@ impl Database {
         }
         // … or a unique column with an index.
         if target.column(ref_column).is_some_and(|c| c.unique) {
-            return Ok(data.find_by_unique(ref_column, &value.index_key()).is_some());
+            return Ok(data
+                .find_by_unique(ref_column, &value.index_key())
+                .is_some());
         }
         // Schema validation guarantees one of the above.
         unreachable!("FK target is PK or unique (validated)")
@@ -421,9 +579,15 @@ impl Database {
                     continue;
                 }
                 let col_i = other.column_index(&fk.column).expect("validated schema");
-                let referencing = self.data[&other.name]
-                    .scan()
-                    .any(|(_, r)| r[col_i].sql_eq(referenced_value) == Some(true));
+                // FK columns are auto-indexed, so this is a hash lookup;
+                // the scan remains as the fallback for exotic schemas.
+                let referencing =
+                    match self.index_probe(&other.name, &fk.column, referenced_value)? {
+                        Some(ids) => !ids.is_empty(),
+                        None => self.data[&other.name]
+                            .scan()
+                            .any(|(_, r)| r[col_i].sql_eq(referenced_value) == Some(true)),
+                    };
                 if referencing {
                     return Err(RelError::RestrictViolation {
                         table: table.name.clone(),
@@ -499,8 +663,11 @@ mod tests {
     #[test]
     fn insert_applies_defaults_and_nulls() {
         let mut d = db();
-        d.insert("team", &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))])
-            .unwrap();
+        d.insert(
+            "team",
+            &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))],
+        )
+        .unwrap();
         let rid = d
             .insert(
                 "author",
@@ -516,7 +683,9 @@ mod tests {
     fn not_null_enforced() {
         let mut d = db();
         let err = d.insert("author", &[a("id", Value::Int(1))]).unwrap_err();
-        assert!(matches!(err, RelError::NotNullViolation { ref column, .. } if column == "lastname"));
+        assert!(
+            matches!(err, RelError::NotNullViolation { ref column, .. } if column == "lastname")
+        );
     }
 
     #[test]
@@ -539,10 +708,16 @@ mod tests {
     #[test]
     fn unique_enforced_but_ignores_nulls() {
         let mut d = db();
-        d.insert("team", &[a("id", Value::Int(1)), a("code", Value::text("X"))])
-            .unwrap();
+        d.insert(
+            "team",
+            &[a("id", Value::Int(1)), a("code", Value::text("X"))],
+        )
+        .unwrap();
         let err = d
-            .insert("team", &[a("id", Value::Int(2)), a("code", Value::text("X"))])
+            .insert(
+                "team",
+                &[a("id", Value::Int(2)), a("code", Value::text("X"))],
+            )
             .unwrap_err();
         assert!(matches!(err, RelError::UniqueViolation { .. }));
         // Multiple NULLs allowed.
@@ -677,10 +852,147 @@ mod tests {
     }
 
     #[test]
+    fn index_probe_resolves_through_pk_unique_and_secondary() {
+        let mut d = db();
+        d.insert(
+            "team",
+            &[a("id", Value::Int(5)), a("code", Value::text("SEAL"))],
+        )
+        .unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(1)),
+                a("lastname", Value::text("Hert")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(2)),
+                a("lastname", Value::text("Reif")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        // Single-column PK.
+        assert_eq!(
+            d.index_probe("team", "id", &Value::Int(5)).unwrap(),
+            Some(vec![d
+                .find_by_pk("team", &[Value::Int(5)])
+                .unwrap()
+                .unwrap()])
+        );
+        // Unique column.
+        assert_eq!(
+            d.index_probe("team", "code", &Value::text("SEAL"))
+                .unwrap()
+                .map(|ids| ids.len()),
+            Some(1)
+        );
+        // FK column: auto-indexed secondary, two matches.
+        assert_eq!(
+            d.index_probe("author", "team", &Value::Int(5))
+                .unwrap()
+                .map(|ids| ids.len()),
+            Some(2)
+        );
+        // NULL probe matches nothing.
+        assert_eq!(
+            d.index_probe("author", "team", &Value::Null).unwrap(),
+            Some(vec![])
+        );
+        // Unindexed column: no probe.
+        assert_eq!(
+            d.index_probe("author", "lastname", &Value::text("Hert"))
+                .unwrap(),
+            None
+        );
+        assert!(!d.supports_index_probe("author", "lastname").unwrap());
+        // Until an index is created explicitly.
+        d.create_index("author", "lastname").unwrap();
+        assert!(d.supports_index_probe("author", "lastname").unwrap());
+        assert_eq!(
+            d.index_probe("author", "lastname", &Value::text("Hert"))
+                .unwrap()
+                .map(|ids| ids.len()),
+            Some(1)
+        );
+        assert!(matches!(
+            d.create_index("author", "bogus"),
+            Err(RelError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn index_probe_refuses_aliasing_doubles() {
+        // Above 2^53 a double compares sql_eq-equal to several distinct
+        // integers; exact-key lookup must decline so callers scan.
+        let mut d = db();
+        let big = (1i64 << 60) + 50;
+        d.insert("team", &[a("id", Value::Int(big))]).unwrap();
+        let probe = Value::Double((1i64 << 60) as f64);
+        assert_eq!(probe.sql_eq(&Value::Int(big)), Some(true));
+        assert_eq!(d.index_probe("team", "id", &probe).unwrap(), None);
+        // Small integral doubles still probe exactly.
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        assert_eq!(
+            d.index_probe("team", "id", &Value::Double(2.0))
+                .unwrap()
+                .map(|ids| ids.len()),
+            Some(1)
+        );
+        // Non-integral doubles match nothing.
+        assert_eq!(
+            d.index_probe("team", "id", &Value::Double(2.5)).unwrap(),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn index_probe_survives_rollback() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(1)),
+                a("lastname", Value::text("x")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        d.begin().unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(2)),
+                a("lastname", Value::text("y")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        let rid = d.find_by_pk("author", &[Value::Int(1)]).unwrap().unwrap();
+        d.update_row("author", rid, &[a("team", Value::Null)])
+            .unwrap();
+        d.rollback().unwrap();
+        let ids = d
+            .index_probe("author", "team", &Value::Int(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(ids, vec![rid]);
+    }
+
+    #[test]
     fn rollback_restores_everything() {
         let mut d = db();
-        d.insert("team", &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))])
-            .unwrap();
+        d.insert(
+            "team",
+            &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))],
+        )
+        .unwrap();
         let team_rid = d.find_by_pk("team", &[Value::Int(5)]).unwrap().unwrap();
         let before = d.clone();
 
@@ -697,7 +1009,10 @@ mod tests {
         d.delete_row("author", author_rid).unwrap();
         d.rollback().unwrap();
 
-        assert_eq!(d.row_count("team").unwrap(), before.row_count("team").unwrap());
+        assert_eq!(
+            d.row_count("team").unwrap(),
+            before.row_count("team").unwrap()
+        );
         assert_eq!(
             d.row("team", team_rid).unwrap().unwrap()[1],
             Value::text("SEAL")
@@ -733,8 +1048,11 @@ mod tests {
     #[test]
     fn noop_update_succeeds_without_log() {
         let mut d = db();
-        d.insert("team", &[a("id", Value::Int(1)), a("name", Value::text("A"))])
-            .unwrap();
+        d.insert(
+            "team",
+            &[a("id", Value::Int(1)), a("name", Value::text("A"))],
+        )
+        .unwrap();
         let rid = d.find_by_pk("team", &[Value::Int(1)]).unwrap().unwrap();
         d.begin().unwrap();
         d.update_row("team", rid, &[a("name", Value::text("A"))])
@@ -755,7 +1073,11 @@ mod auto_increment_tests {
         schema
             .add_table(
                 Table::builder("link")
-                    .column(Column::new("id", SqlType::Integer).not_null().auto_increment())
+                    .column(
+                        Column::new("id", SqlType::Integer)
+                            .not_null()
+                            .auto_increment(),
+                    )
                     .column(Column::new("x", SqlType::Integer))
                     .primary_key(&["id"])
                     .build(),
@@ -767,8 +1089,12 @@ mod auto_increment_tests {
     #[test]
     fn assigns_sequential_ids_when_omitted() {
         let mut d = db();
-        let r1 = d.insert("link", &[("x".to_owned(), Value::Int(10))]).unwrap();
-        let r2 = d.insert("link", &[("x".to_owned(), Value::Int(20))]).unwrap();
+        let r1 = d
+            .insert("link", &[("x".to_owned(), Value::Int(10))])
+            .unwrap();
+        let r2 = d
+            .insert("link", &[("x".to_owned(), Value::Int(20))])
+            .unwrap();
         assert_eq!(d.row("link", r1).unwrap().unwrap()[0], Value::Int(1));
         assert_eq!(d.row("link", r2).unwrap().unwrap()[0], Value::Int(2));
     }
@@ -776,8 +1102,11 @@ mod auto_increment_tests {
     #[test]
     fn explicit_value_respected_and_counter_follows_max() {
         let mut d = db();
-        d.insert("link", &[("id".to_owned(), Value::Int(41))]).unwrap();
-        let r = d.insert("link", &[("x".to_owned(), Value::Int(1))]).unwrap();
+        d.insert("link", &[("id".to_owned(), Value::Int(41))])
+            .unwrap();
+        let r = d
+            .insert("link", &[("x".to_owned(), Value::Int(1))])
+            .unwrap();
         assert_eq!(d.row("link", r).unwrap().unwrap()[0], Value::Int(42));
     }
 

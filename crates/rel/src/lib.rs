@@ -37,11 +37,14 @@ pub mod sql {
         BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement,
         TableRef, UpdateStmt,
     };
-    pub use exec::{eval, eval_on_row, execute, execute_sql, ExecOutcome, ResultSet};
+    pub use exec::{
+        eval, eval_on_row, execute, execute_select, execute_select_reference, execute_sql,
+        ExecOutcome, ResultSet,
+    };
     pub use parser::{parse, parse_script};
 }
 
-pub use database::Database;
+pub use database::{Database, ProbeIds};
 pub use error::{RelError, RelResult};
 pub use schema::{Check, Column, ForeignKey, Schema, Table, TableBuilder};
 pub use storage::{RowId, TableData};

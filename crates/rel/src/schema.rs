@@ -319,14 +319,15 @@ impl Schema {
                         ),
                     });
                 }
-                let target = self.tables.get(&fk.ref_table).ok_or_else(|| {
-                    RelError::SchemaInvalid {
-                        message: format!(
-                            "table {:?}: foreign key references missing table {:?}",
-                            table.name, fk.ref_table
-                        ),
-                    }
-                })?;
+                let target =
+                    self.tables
+                        .get(&fk.ref_table)
+                        .ok_or_else(|| RelError::SchemaInvalid {
+                            message: format!(
+                                "table {:?}: foreign key references missing table {:?}",
+                                table.name, fk.ref_table
+                            ),
+                        })?;
                 let target_col =
                     target
                         .column(&fk.ref_column)
@@ -366,10 +367,7 @@ impl Schema {
 }
 
 // Walk every column reference in an expression.
-fn visit_columns(
-    expr: &crate::sql::ast::Expr,
-    f: &mut impl FnMut(&crate::sql::ast::ColumnRef),
-) {
+fn visit_columns(expr: &crate::sql::ast::Expr, f: &mut impl FnMut(&crate::sql::ast::ColumnRef)) {
     use crate::sql::ast::Expr;
     match expr {
         Expr::Value(_) => {}
@@ -462,7 +460,9 @@ mod tests {
         assert_eq!(author.column_index("lastname"), Some(1));
         assert!(author.is_primary_key("id"));
         assert_eq!(
-            author.foreign_key_on("team").map(|fk| fk.ref_table.as_str()),
+            author
+                .foreign_key_on("team")
+                .map(|fk| fk.ref_table.as_str()),
             Some("team")
         );
     }
@@ -609,7 +609,10 @@ mod check_tests {
         let mut db = Database::new(schema_with_check()).unwrap();
         db.insert(
             "publication",
-            &[("id".to_owned(), Value::Int(1)), ("year".to_owned(), Value::Int(2009))],
+            &[
+                ("id".to_owned(), Value::Int(1)),
+                ("year".to_owned(), Value::Int(2009)),
+            ],
         )
         .unwrap();
         // NULL year passes (SQL semantics: NULL check result is not FALSE).
@@ -623,7 +626,10 @@ mod check_tests {
         let err = db
             .insert(
                 "publication",
-                &[("id".to_owned(), Value::Int(1)), ("year".to_owned(), Value::Int(1492))],
+                &[
+                    ("id".to_owned(), Value::Int(1)),
+                    ("year".to_owned(), Value::Int(1492)),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, RelError::CheckViolation { ref name, .. } if name == "year_range"));
@@ -631,7 +637,10 @@ mod check_tests {
         let rid = db
             .insert(
                 "publication",
-                &[("id".to_owned(), Value::Int(2)), ("year".to_owned(), Value::Int(2000))],
+                &[
+                    ("id".to_owned(), Value::Int(2)),
+                    ("year".to_owned(), Value::Int(2000)),
+                ],
             )
             .unwrap();
         let err = db

@@ -1,21 +1,36 @@
 //! SQL statement execution against a [`Database`].
 //!
-//! SELECT uses nested-loop joins over the FROM list — the plan shape the
-//! SPARQL-to-SQL translation emits (one table reference per triple
-//! pattern, join conditions as WHERE equality predicates) — with two
-//! classic optimizations that keep it honest at benchmark scale:
-//! **conjunct pushdown** (each AND-conjunct is applied at the shallowest
-//! join level where its columns are bound, pruning partial combinations)
-//! and **greedy join ordering** (bindings are re-ordered so that link
-//! tables sit between their endpoints and constrained tables come
-//! first). Results are independent of the chosen order.
+//! SELECT runs through a small planner over the FROM list — the plan
+//! shape the SPARQL-to-SQL translation emits (one table reference per
+//! triple pattern, join conditions as WHERE equality predicates). WHERE
+//! conjuncts are classified into **candidate restrictions** (`column =
+//! constant` answered from a storage index), **equi-join keys**
+//! (executed as hash joins or index nested loops over *borrowed* rows —
+//! no upfront table clones), and **residual filters** (pushed down to
+//! the shallowest join level where their columns are bound). The greedy
+//! join ordering of the original executor is kept as the complete
+//! fallback for non-equi plans; [`execute_select_reference`] preserves
+//! that executor for differential testing. On valid statements, results
+//! are independent of the chosen order and identical between the two
+//! executors; unknown or ambiguous column references are rejected up
+//! front (the reference executor only notices them for row combinations
+//! it happens to enumerate). Data-dependent *evaluation* errors — e.g.
+//! `NOT` applied to a non-boolean column — remain data-dependent, as in
+//! the reference: whether one surfaces depends on which rows the plan
+//! enumerates, so an index restriction that empties a candidate set can
+//! suppress one just like an empty table always has. Making those
+//! deterministic would take a static type checker over predicates.
+//!
+//! UPDATE and DELETE collect matching row ids through the same
+//! index-probe machinery, without cloning non-matching rows.
 
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
 use crate::sql::ast::{
     BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, UpdateStmt,
 };
-use crate::value::Value;
+use crate::value::{IndexKey, Value};
+use std::collections::HashMap;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,15 +115,15 @@ fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> RelResult<usize> {
 
 fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> RelResult<usize> {
     let table = db.schema().table(&stmt.table)?.clone();
-    // Materialize matching row ids first; mutation invalidates the scan.
-    let mut matches = Vec::new();
-    for (row_id, row) in db.scan(&stmt.table)? {
-        if filter_row(&table, row, stmt.where_clause.as_ref())? {
-            matches.push((row_id, row.clone()));
-        }
-    }
+    let matches = collect_matching_row_ids(db, &stmt.table, &table, stmt.where_clause.as_ref())?;
     let mut affected = 0;
-    for (row_id, row) in matches {
+    for row_id in matches {
+        // One clone per *mutated* row: assignments evaluate against the
+        // pre-assignment values while `update_row` rebuilds the row.
+        let row = db
+            .row(&stmt.table, row_id)?
+            .expect("collected id is live")
+            .clone();
         let mut assignments = Vec::with_capacity(stmt.assignments.len());
         for (column, expr) in &stmt.assignments {
             let value = eval_on_row(expr, &table, &row)?;
@@ -122,17 +137,174 @@ fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> RelResult<usize> {
 
 fn execute_delete(db: &mut Database, stmt: &DeleteStmt) -> RelResult<usize> {
     let table = db.schema().table(&stmt.table)?.clone();
-    let mut matches = Vec::new();
-    for (row_id, row) in db.scan(&stmt.table)? {
-        if filter_row(&table, row, stmt.where_clause.as_ref())? {
-            matches.push(row_id);
-        }
-    }
+    let matches = collect_matching_row_ids(db, &stmt.table, &table, stmt.where_clause.as_ref())?;
     let affected = matches.len();
     for row_id in matches {
         db.delete_row(&stmt.table, row_id)?;
     }
     Ok(affected)
+}
+
+// Row ids matching a single-table WHERE, collected without cloning any
+// row (mutation statements materialize ids first because mutating
+// invalidates the scan). When a `column = constant` conjunct hits an
+// index, only the indexed candidates are filtered instead of the whole
+// table — the translated DELETE/UPDATE shape is `pk = … AND …`, so
+// mutations become O(matches) rather than O(table).
+fn collect_matching_row_ids(
+    db: &Database,
+    table_name: &str,
+    table: &crate::schema::Table,
+    predicate: Option<&Expr>,
+) -> RelResult<Vec<crate::storage::RowId>> {
+    let mut candidates: Option<Vec<crate::storage::RowId>> = None;
+    if let Some(predicate) = predicate {
+        // Reject bad column references up front: with an index-probed
+        // candidate set, rows that would have evaluated (and errored on)
+        // an unknown column may never be visited, which would make the
+        // error appear and disappear with the data.
+        validate_single_table_refs(predicate, table)?;
+        for conjunct in split_conjuncts_ref(predicate) {
+            let Some((column, value)) = const_eq_column(conjunct, &table.name) else {
+                continue;
+            };
+            if let Some(ids) = db.index_probe(table_name, column, value)? {
+                candidates = Some(ids);
+                break;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match candidates {
+        Some(ids) => {
+            for row_id in ids {
+                let row = db.row(table_name, row_id)?.expect("probe id is live");
+                if filter_row(table, row, predicate)? {
+                    out.push(row_id);
+                }
+            }
+        }
+        None => {
+            for (row_id, row) in db.scan(table_name)? {
+                if filter_row(table, row, predicate)? {
+                    out.push(row_id);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// Check every column reference of a single-table predicate against the
+// table, with the same errors `eval_on_row`'s resolver raises — but
+// unconditionally, not only for rows that happen to be visited.
+fn validate_single_table_refs(expr: &Expr, table: &crate::schema::Table) -> RelResult<()> {
+    match expr {
+        Expr::Value(_) => Ok(()),
+        Expr::Column(cref) => {
+            if let Some(qualifier) = &cref.table {
+                if qualifier != &table.name {
+                    return Err(RelError::Execution {
+                        message: format!(
+                            "unknown table qualifier {qualifier:?} (statement targets {:?})",
+                            table.name
+                        ),
+                    });
+                }
+            }
+            if table.column_index(&cref.column).is_none() {
+                return Err(RelError::NoSuchColumn {
+                    table: table.name.clone(),
+                    column: cref.column.clone(),
+                });
+            }
+            Ok(())
+        }
+        Expr::Binary { left, right, .. } => {
+            validate_single_table_refs(left, table)?;
+            validate_single_table_refs(right, table)
+        }
+        Expr::Not(inner) => validate_single_table_refs(inner, table),
+        Expr::IsNull { expr, .. } => validate_single_table_refs(expr, table),
+    }
+}
+
+// Check every column reference of an expression against a multi-binding
+// scope, with the same errors `resolve_multi` raises during evaluation —
+// but unconditionally, not only for row combinations that get
+// enumerated.
+fn validate_scope_refs(expr: &Expr, scope: &[(&String, &crate::schema::Table)]) -> RelResult<()> {
+    match expr {
+        Expr::Value(_) => Ok(()),
+        Expr::Column(cref) => match &cref.table {
+            Some(qualifier) => {
+                let Some((name, table)) = scope.iter().find(|(name, _)| *name == qualifier) else {
+                    return Err(RelError::Execution {
+                        message: format!("unknown table binding {qualifier:?}"),
+                    });
+                };
+                if table.column_index(&cref.column).is_none() {
+                    return Err(RelError::NoSuchColumn {
+                        table: (*name).clone(),
+                        column: cref.column.clone(),
+                    });
+                }
+                Ok(())
+            }
+            None => {
+                let mut declaring = scope
+                    .iter()
+                    .filter(|(_, table)| table.column_index(&cref.column).is_some());
+                let Some(_first) = declaring.next() else {
+                    return Err(RelError::Execution {
+                        message: format!("unknown column {:?}", cref.column),
+                    });
+                };
+                if let Some((second_name, _)) = declaring.next() {
+                    return Err(RelError::Execution {
+                        message: format!(
+                            "ambiguous column {:?} (qualify with a table binding; also in {:?})",
+                            cref.column, second_name
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        },
+        Expr::Binary { left, right, .. } => {
+            validate_scope_refs(left, scope)?;
+            validate_scope_refs(right, scope)
+        }
+        Expr::Not(inner) => validate_scope_refs(inner, scope),
+        Expr::IsNull { expr, .. } => validate_scope_refs(expr, scope),
+    }
+}
+
+// `column = constant` (either side), with the column either unqualified
+// or qualified by `binding`.
+fn const_eq_column<'e>(expr: &'e Expr, binding: &str) -> Option<(&'e str, &'e Value)> {
+    let (cref, value) = const_eq_ref(expr)?;
+    match &cref.table {
+        Some(qualifier) if qualifier != binding => None,
+        _ => Some((cref.column.as_str(), value)),
+    }
+}
+
+// The raw `column = constant` shape (either side), leaving binding
+// resolution to the caller.
+fn const_eq_ref(expr: &Expr) -> Option<(&ColumnRef, &Value)> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = expr
+    else {
+        return None;
+    };
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(c), Expr::Value(v)) | (Expr::Value(v), Expr::Column(c)) => Some((c, v)),
+        _ => None,
+    }
 }
 
 fn filter_row(
@@ -142,20 +314,13 @@ fn filter_row(
 ) -> RelResult<bool> {
     match predicate {
         None => Ok(true),
-        Some(expr) => Ok(matches!(
-            eval_on_row(expr, table, row)?,
-            Value::Bool(true)
-        )),
+        Some(expr) => Ok(matches!(eval_on_row(expr, table, row)?, Value::Bool(true))),
     }
 }
 
 /// Evaluate an expression where column references resolve against one
 /// row of `table` (used by UPDATE/DELETE filters and CHECK constraints).
-pub fn eval_on_row(
-    expr: &Expr,
-    table: &crate::schema::Table,
-    row: &[Value],
-) -> RelResult<Value> {
+pub fn eval_on_row(expr: &Expr, table: &crate::schema::Table, row: &[Value]) -> RelResult<Value> {
     let resolve = |cref: &ColumnRef| -> RelResult<Value> {
         if let Some(qualifier) = &cref.table {
             if qualifier != &table.name {
@@ -247,13 +412,521 @@ fn as_tri(v: &Value) -> RelResult<Option<bool>> {
 }
 
 // ----------------------------------------------------------------------
-// SELECT
+// SELECT: plan, then execute
 // ----------------------------------------------------------------------
+//
+// The planner replaces the seed's clone-everything pruned nested loop.
+// Rows are *borrowed* from storage (no upfront table clones); WHERE
+// conjuncts are classified into
+//
+//   * candidate restrictions — `column = constant` answered from a
+//     storage index, shrinking a binding's scan to the matching rows;
+//   * equi-join keys — `a.x = b.y` between two bindings over
+//     hash-compatible column types, executed as a hash join (build over
+//     the inner binding's candidates) or an index nested loop (probe
+//     the storage index per outer row);
+//   * residual filters — everything else, applied at the shallowest
+//     join level where their columns are bound (the seed's pushdown).
+//
+// The seed's greedy join ordering is kept, both to drive which side of
+// each equi-join becomes the build side and as the complete fallback
+// plan for non-equi queries. Enumeration order is row-id order at every
+// level, so results are byte-identical to the reference executor.
 
-fn execute_select(db: &Database, stmt: &SelectStmt) -> RelResult<ResultSet> {
-    // Bind FROM entries.
+/// Execute a SELECT through the planner (callers holding a parsed
+/// statement skip the `Statement` wrapper — and its clone — entirely).
+pub fn execute_select(db: &Database, stmt: &SelectStmt) -> RelResult<ResultSet> {
+    // Bind FROM entries over borrowed rows.
+    struct Binding<'a> {
+        name: String, // alias or table name
+        table_name: String,
+        table: &'a crate::schema::Table,
+        rows: Vec<&'a Vec<Value>>,
+        restricted: bool,
+    }
+    let raw_conjuncts = match &stmt.where_clause {
+        Some(pred) => split_conjuncts(pred),
+        None => Vec::new(),
+    };
+    let mut bindings: Vec<Binding> = Vec::new();
+    for tref in &stmt.from {
+        let table = db.schema().table(&tref.table)?;
+        let name = tref.binding().to_owned();
+        if bindings.iter().any(|b| b.name == name) {
+            return Err(RelError::Execution {
+                message: format!("duplicate table binding {name:?} in FROM"),
+            });
+        }
+        bindings.push(Binding {
+            name,
+            table_name: tref.table.clone(),
+            table,
+            rows: Vec::new(),
+            restricted: false,
+        });
+    }
+    if bindings.is_empty() {
+        return Err(RelError::Execution {
+            message: "SELECT requires at least one table".into(),
+        });
+    }
+    let owned_scope: Vec<(String, &crate::schema::Table)> =
+        bindings.iter().map(|b| (b.name.clone(), b.table)).collect();
+    let resolution_scope: Vec<(&String, &crate::schema::Table)> =
+        owned_scope.iter().map(|(n, t)| (n, *t)).collect();
+    // Reject unknown/ambiguous column references up front, with the
+    // same errors `resolve_multi` raises during evaluation. The
+    // reference executor only hits them for row combinations it
+    // actually enumerates; an index restriction can empty a binding and
+    // skip that enumeration entirely, so without this check the errors
+    // would appear and disappear with the data (same policy as
+    // `validate_single_table_refs` on the mutation paths).
+    for conjunct in &raw_conjuncts {
+        validate_scope_refs(conjunct, &resolution_scope)?;
+    }
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            validate_scope_refs(expr, &resolution_scope)?;
+        }
+    }
+    // Candidate restriction: a `column = constant` conjunct answered
+    // from a storage index replaces the binding's full scan. The column
+    // reference must resolve *uniquely* to the binding (same rules as
+    // equi-join classification, via `resolve_in_scope`).
+    // Row counts *before* restriction: the greedy order must tie-break
+    // on the same numbers as the reference executor, or output order
+    // would depend on which indexes happen to exist.
+    let mut full_counts = Vec::with_capacity(bindings.len());
+    for binding in &bindings {
+        full_counts.push(db.row_count(&binding.table_name)?);
+    }
+    for (i, binding) in bindings.iter_mut().enumerate() {
+        for conjunct in &raw_conjuncts {
+            let Some((cref, value)) = const_eq_ref(conjunct) else {
+                continue;
+            };
+            if resolve_in_scope(cref, &resolution_scope).map(|(pos, _)| pos) != Some(i) {
+                continue;
+            }
+            if let Some(ids) = db.index_probe(&binding.table_name, &cref.column, value)? {
+                for row_id in ids {
+                    binding
+                        .rows
+                        .push(db.row(&binding.table_name, row_id)?.expect("live id"));
+                }
+                binding.restricted = true;
+                break;
+            }
+        }
+        // Unrestricted bindings stay unmaterialized here; the deferred
+        // loop below scans only the levels whose access path reads a
+        // candidate list.
+    }
+
+    // Expand projection.
+    let named: Vec<(&str, &crate::schema::Table)> = bindings
+        .iter()
+        .map(|b| (b.name.as_str(), b.table))
+        .collect();
+    let (out_columns, out_exprs) = expand_projection(stmt, &named);
+
+    // Greedy join order (see `join_order`): drives which side of each
+    // equi-join is already bound (probe side) vs. newly bound (build
+    // side), and remains the complete plan for non-equi conjuncts.
+    // Ordered on full-table counts (not restricted candidates) so the
+    // chosen order — and therefore result order — matches the
+    // reference executor exactly.
+    let order = join_order(
+        &bindings
+            .iter()
+            .zip(&full_counts)
+            .map(|(b, &count)| (&b.name, b.table, count))
+            .collect::<Vec<_>>(),
+        &raw_conjuncts,
+    )?;
+
+    // Classify conjuncts: equi-join keys become hash/index accesses;
+    // the rest stays as pushed-down residual filters.
+    let level_scope: Vec<(&String, &crate::schema::Table)> = order
+        .iter()
+        .map(|&i| (&bindings[i].name, bindings[i].table))
+        .collect();
+    let mut join_keys: Vec<Vec<JoinKey>> = Vec::new();
+    join_keys.resize_with(order.len(), Vec::new);
+    let mut residuals: Vec<(usize, Expr)> = Vec::new();
+    for conjunct in raw_conjuncts {
+        match classify_equi_join(&conjunct, &level_scope) {
+            Some(key) => join_keys[key.depth].push(key),
+            None => {
+                let level = conjunct_level(&conjunct, &level_scope)?;
+                residuals.push((level, conjunct));
+            }
+        }
+    }
+
+    // Decide each level's access kind before materializing anything:
+    // index-nested-loop levels never read a candidate list, so their
+    // tables must not be scanned at all.
+    enum Planned {
+        Scan,
+        Hash,
+        IndexLoop {
+            column: String,
+            probe: (usize, usize),
+        },
+    }
+    let mut planned: Vec<Planned> = Vec::with_capacity(order.len());
+    for (depth, keys) in join_keys.iter().enumerate() {
+        let binding = &bindings[order[depth]];
+        planned.push(if keys.is_empty() {
+            Planned::Scan
+        } else if keys.len() == 1
+            && !binding.restricted
+            && db.supports_index_probe(&binding.table_name, &keys[0].inner_column)?
+        {
+            Planned::IndexLoop {
+                column: keys[0].inner_column.clone(),
+                probe: keys[0].probe,
+            }
+        } else {
+            Planned::Hash
+        });
+    }
+
+    // Materialize candidate lists only where the plan reads them.
+    for (depth, &i) in order.iter().enumerate() {
+        if matches!(planned[depth], Planned::IndexLoop { .. }) || bindings[i].restricted {
+            continue;
+        }
+        bindings[i].rows = db.scan(&bindings[i].table_name)?.map(|(_, r)| r).collect();
+    }
+
+    // Build the access paths (hash tables over candidate rows, keyed by
+    // the level's join columns — rows with a NULL key never equi-match).
+    let mut accesses: Vec<Access> = Vec::with_capacity(order.len());
+    for (depth, kind) in planned.into_iter().enumerate() {
+        match kind {
+            Planned::Scan => accesses.push(Access::Scan),
+            Planned::IndexLoop { column, probe } => {
+                accesses.push(Access::IndexLoop { column, probe })
+            }
+            Planned::Hash => {
+                let keys = &join_keys[depth];
+                let binding = &bindings[order[depth]];
+                let mut build: HashMap<Vec<IndexKey>, Vec<usize>> = HashMap::new();
+                'rows: for (i, row) in binding.rows.iter().enumerate() {
+                    let mut key = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        let v = &row[k.inner_index];
+                        if v.is_null() {
+                            continue 'rows;
+                        }
+                        key.push(v.index_key());
+                    }
+                    build.entry(key).or_default().push(i);
+                }
+                accesses.push(Access::HashJoin {
+                    build,
+                    probes: keys.iter().map(|k| k.probe).collect(),
+                });
+            }
+        }
+    }
+
+    let mut result = ResultSet {
+        columns: out_columns,
+        rows: Vec::new(),
+    };
+    // Early exit when any binding has no candidates: the join can only
+    // be empty, and a late empty level would otherwise still enumerate
+    // the full outer product in front of it. (Index-loop levels were
+    // not materialized; their candidate count is the full table's.)
+    let all_have_candidates = bindings.iter().zip(&full_counts).all(|(b, &count)| {
+        if b.restricted {
+            !b.rows.is_empty()
+        } else {
+            count > 0
+        }
+    });
+    if all_have_candidates {
+        let plan = JoinPlan {
+            db,
+            accesses: &accesses,
+            residuals: &residuals,
+            out_exprs: &out_exprs,
+        };
+        let ordered_views: Vec<BindingView<'_>> = order
+            .iter()
+            .map(|&i| {
+                let b = &bindings[i];
+                BindingView {
+                    name: &b.name,
+                    table_name: &b.table_name,
+                    table: b.table,
+                    rows: &b.rows,
+                }
+            })
+            .collect();
+        let mut scope = Vec::with_capacity(ordered_views.len());
+        plan.join(&ordered_views, &mut scope, &mut result.rows)?;
+    }
+
+    if stmt.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        result.rows.retain(|row| {
+            let key: Vec<crate::value::IndexKey> = row.iter().map(Value::index_key).collect();
+            seen.insert(key)
+        });
+    }
+    Ok(result)
+}
+
+// Projection expansion shared by the planner and the reference
+// executor: `*` over every binding's columns (qualified names when more
+// than one binding is in scope), expressions with optional aliases.
+fn expand_projection(
+    stmt: &SelectStmt,
+    bindings: &[(&str, &crate::schema::Table)],
+) -> (Vec<String>, Vec<Expr>) {
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut out_exprs: Vec<Expr> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                for (name, table) in bindings {
+                    for column in &table.columns {
+                        out_columns.push(if bindings.len() > 1 {
+                            format!("{}.{}", name, column.name)
+                        } else {
+                            column.name.clone()
+                        });
+                        out_exprs.push(Expr::Column(ColumnRef::qualified(
+                            (*name).to_owned(),
+                            column.name.clone(),
+                        )));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column(c) => c.column.clone(),
+                    other => other.to_string(),
+                });
+                out_columns.push(name);
+                out_exprs.push(expr.clone());
+            }
+        }
+    }
+    (out_columns, out_exprs)
+}
+
+/// One equi-join conjunct `outer.x = inner.y`, resolved against the
+/// join order: `inner` binds at `depth`, `outer` strictly earlier.
+struct JoinKey {
+    depth: usize,
+    /// Column index of the inner (build) side in its row layout.
+    inner_index: usize,
+    /// Column name of the inner side (for storage-index probes).
+    inner_column: String,
+    /// `(scope position, column index)` of the outer (probe) side.
+    probe: (usize, usize),
+}
+
+// An `a.x = b.y` conjunct between two distinct bindings whose column
+// types make IndexKey equality coincide with SQL equality: same
+// declared type, not DOUBLE (DOUBLE columns may store Int values that
+// compare SQL-equal to non-identical keys). Anything else stays a
+// residual filter.
+fn classify_equi_join(expr: &Expr, scope: &[(&String, &crate::schema::Table)]) -> Option<JoinKey> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = expr
+    else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let ra = resolve_in_scope(a, scope)?;
+    let rb = resolve_in_scope(b, scope)?;
+    if ra.0 == rb.0 {
+        return None; // same binding: plain filter
+    }
+    let ty_a = scope[ra.0].1.columns[ra.1].ty;
+    let ty_b = scope[rb.0].1.columns[rb.1].ty;
+    if ty_a != ty_b || ty_a == crate::value::SqlType::Double {
+        return None;
+    }
+    let (outer, (inner_pos, inner_index)) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+    Some(JoinKey {
+        depth: inner_pos,
+        inner_index,
+        inner_column: scope[inner_pos].1.columns[inner_index].name.clone(),
+        probe: outer,
+    })
+}
+
+// Resolve a column reference to `(scope position, column index)`.
+// Unqualified references resolve only when exactly one binding declares
+// the column (ambiguity falls through to the residual path, which
+// reports it at eval time).
+fn resolve_in_scope(
+    cref: &ColumnRef,
+    scope: &[(&String, &crate::schema::Table)],
+) -> Option<(usize, usize)> {
+    match &cref.table {
+        Some(qualifier) => {
+            let pos = scope.iter().position(|(name, _)| *name == qualifier)?;
+            Some((pos, scope[pos].1.column_index(&cref.column)?))
+        }
+        None => {
+            let mut found = None;
+            for (pos, (_, table)) in scope.iter().enumerate() {
+                if let Some(idx) = table.column_index(&cref.column) {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some((pos, idx));
+                }
+            }
+            found
+        }
+    }
+}
+
+/// How one join level reaches its rows.
+enum Access {
+    /// Every candidate row (cross product / non-equi levels).
+    Scan,
+    /// Prebuilt hash table over the level's candidates, probed with the
+    /// outer rows' key values.
+    HashJoin {
+        /// Join-key values → candidate row positions (ascending).
+        build: HashMap<Vec<IndexKey>, Vec<usize>>,
+        /// `(scope position, column index)` per key part.
+        probes: Vec<(usize, usize)>,
+    },
+    /// Probe the table's storage index per outer row (index nested
+    /// loop) — no per-query build at all.
+    IndexLoop {
+        /// Indexed column on this level's table.
+        column: String,
+        /// `(scope position, column index)` of the outer side.
+        probe: (usize, usize),
+    },
+}
+
+// One level's binding, viewed through the join order.
+struct BindingView<'a> {
+    name: &'a str,
+    table_name: &'a str,
+    table: &'a crate::schema::Table,
+    rows: &'a [&'a Vec<Value>],
+}
+
+struct JoinPlan<'p, 'a> {
+    db: &'a Database,
+    accesses: &'p [Access],
+    residuals: &'p [(usize, Expr)],
+    out_exprs: &'p [Expr],
+}
+
+impl<'a> JoinPlan<'_, 'a> {
+    // Recursive join: bind one table per level through its access path,
+    // apply the residual conjuncts that just became evaluable, recurse.
+    fn join(
+        &self,
+        ordered: &[BindingView<'a>],
+        scope: &mut Vec<(&'a str, &'a crate::schema::Table, &'a Vec<Value>)>,
+        out: &mut Vec<Vec<Value>>,
+    ) -> RelResult<()> {
+        let depth = scope.len();
+        if depth == ordered.len() {
+            let resolve = |cref: &ColumnRef| -> RelResult<Value> { resolve_multi(scope, cref) };
+            let mut row = Vec::with_capacity(self.out_exprs.len());
+            for expr in self.out_exprs {
+                row.push(eval(expr, &resolve)?);
+            }
+            out.push(row);
+            return Ok(());
+        }
+        let binding = &ordered[depth];
+        match &self.accesses[depth] {
+            Access::Scan => {
+                for row in binding.rows {
+                    self.bind_row(ordered, scope, out, binding, row)?;
+                }
+            }
+            Access::HashJoin { build, probes } => {
+                let mut key = Vec::with_capacity(probes.len());
+                for &(pos, idx) in probes {
+                    let v = &scope[pos].2[idx];
+                    if v.is_null() {
+                        return Ok(()); // NULL never equi-joins
+                    }
+                    key.push(v.index_key());
+                }
+                if let Some(positions) = build.get(&key) {
+                    for &i in positions {
+                        self.bind_row(ordered, scope, out, binding, binding.rows[i])?;
+                    }
+                }
+            }
+            Access::IndexLoop { column, probe } => {
+                let value = &scope[probe.0].2[probe.1];
+                // Borrowed-result probe: this runs once per outer row.
+                let ids = self
+                    .db
+                    .index_probe_ids(binding.table_name, column, value)?
+                    .expect("planner verified index support");
+                let (one, many) = match ids {
+                    crate::database::ProbeIds::Unique(id) => (id, &[][..]),
+                    crate::database::ProbeIds::Many(ids) => (None, ids),
+                };
+                for row_id in one.into_iter().chain(many.iter().copied()) {
+                    let row = self
+                        .db
+                        .row(binding.table_name, row_id)?
+                        .expect("probe id is live");
+                    self.bind_row(ordered, scope, out, binding, row)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_row(
+        &self,
+        ordered: &[BindingView<'a>],
+        scope: &mut Vec<(&'a str, &'a crate::schema::Table, &'a Vec<Value>)>,
+        out: &mut Vec<Vec<Value>>,
+        binding: &BindingView<'a>,
+        row: &'a Vec<Value>,
+    ) -> RelResult<()> {
+        let depth = scope.len();
+        scope.push((binding.name, binding.table, row));
+        let resolve = |cref: &ColumnRef| -> RelResult<Value> { resolve_multi(scope, cref) };
+        for (level, conjunct) in self.residuals {
+            if *level == depth && !matches!(eval(conjunct, &resolve)?, Value::Bool(true)) {
+                scope.pop();
+                return Ok(());
+            }
+        }
+        self.join(ordered, scope, out)?;
+        scope.pop();
+        Ok(())
+    }
+}
+
+/// Reference SELECT executor: the pre-planner clone-everything pruned
+/// nested loop (upfront full-table clones, greedy ordering, conjunct
+/// pushdown, no indexes). Kept verbatim as the semantic baseline for
+/// the planner's differential tests and benchmarks.
+pub fn execute_select_reference(db: &Database, stmt: &SelectStmt) -> RelResult<ResultSet> {
     struct Binding {
-        name: String,              // alias or table name
+        name: String,
         table: crate::schema::Table,
         rows: Vec<Vec<Value>>,
     }
@@ -274,55 +947,22 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> RelResult<ResultSet> {
             message: "SELECT requires at least one table".into(),
         });
     }
-
-    // Expand projection.
-    let mut out_columns: Vec<String> = Vec::new();
-    let mut out_exprs: Vec<Expr> = Vec::new();
-    for item in &stmt.items {
-        match item {
-            SelectItem::Star => {
-                for b in &bindings {
-                    for column in &b.table.columns {
-                        out_columns.push(if bindings.len() > 1 {
-                            format!("{}.{}", b.name, column.name)
-                        } else {
-                            column.name.clone()
-                        });
-                        out_exprs.push(Expr::Column(ColumnRef::qualified(
-                            b.name.clone(),
-                            column.name.clone(),
-                        )));
-                    }
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| match expr {
-                    Expr::Column(c) => c.column.clone(),
-                    other => other.to_string(),
-                });
-                out_columns.push(name);
-                out_exprs.push(expr.clone());
-            }
-        }
-    }
-
-    // Nested-loop join with conjunct pushdown: the WHERE clause is split
-    // into AND-conjuncts, each applied at the shallowest join level where
-    // all of its columns are bound. Join conditions thus prune partial
-    // combinations instead of filtering the full cross product — the
-    // difference between O(∏nᵢ) and realistic equi-join behaviour for
-    // the plans the SPARQL translation emits.
+    let named: Vec<(&str, &crate::schema::Table)> = bindings
+        .iter()
+        .map(|b| (b.name.as_str(), &b.table))
+        .collect();
+    let (out_columns, out_exprs) = expand_projection(stmt, &named);
     let raw_conjuncts = match &stmt.where_clause {
         Some(pred) => split_conjuncts(pred),
         None => Vec::new(),
     };
-
-    // Greedy join order: start from the binding most constrained on its
-    // own, then repeatedly add the binding connected to the chosen set by
-    // the most conjuncts (tie: fewer rows). This puts link tables between
-    // their endpoints instead of at the end, where their join conditions
-    // could not prune anything.
-    let order = join_order(&bindings.iter().map(|b| (&b.name, &b.table, b.rows.len())).collect::<Vec<_>>(), &raw_conjuncts)?;
+    let order = join_order(
+        &bindings
+            .iter()
+            .map(|b| (&b.name, &b.table, b.rows.len()))
+            .collect::<Vec<_>>(),
+        &raw_conjuncts,
+    )?;
     let ordered: Vec<(&str, &crate::schema::Table, &[Vec<Value>])> = order
         .iter()
         .map(|&i| {
@@ -341,16 +981,20 @@ fn execute_select(db: &Database, stmt: &SelectStmt) -> RelResult<ResultSet> {
             conjuncts.push((level, c));
         }
     }
-
     let mut result = ResultSet {
         columns: out_columns,
         rows: Vec::new(),
     };
     if bindings.iter().all(|b| !b.rows.is_empty()) {
         let mut current: Vec<(&str, &crate::schema::Table, &Vec<Value>)> = Vec::new();
-        join_level(&ordered, &conjuncts, &out_exprs, &mut current, &mut result.rows)?;
+        reference_join_level(
+            &ordered,
+            &conjuncts,
+            &out_exprs,
+            &mut current,
+            &mut result.rows,
+        )?;
     }
-
     if stmt.distinct {
         let mut seen = std::collections::BTreeSet::new();
         result.rows.retain(|row| {
@@ -425,9 +1069,7 @@ fn join_order(
             // Conjuncts that become fully bound by adding i.
             let score = touched
                 .iter()
-                .filter(|t| {
-                    t.contains(&i) && t.iter().all(|&b| b == i || in_chosen[b])
-                })
+                .filter(|t| t.contains(&i) && t.iter().all(|&b| b == i || in_chosen[b]))
                 .count();
             let rows = bindings[i].2;
             let candidate = (score, usize::MAX - rows, usize::MAX - i); // ties: original order
@@ -443,30 +1085,32 @@ fn join_order(
     Ok(chosen)
 }
 
-// Split an expression into its top-level AND conjuncts.
-fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+// Split an expression into its top-level AND conjuncts, borrowing.
+fn split_conjuncts_ref(expr: &Expr) -> Vec<&Expr> {
     match expr {
         Expr::Binary {
             op: BinOp::And,
             left,
             right,
         } => {
-            let mut out = split_conjuncts(left);
-            out.extend(split_conjuncts(right));
+            let mut out = split_conjuncts_ref(left);
+            out.extend(split_conjuncts_ref(right));
             out
         }
-        other => vec![other.clone()],
+        other => vec![other],
     }
+}
+
+// Split an expression into its top-level AND conjuncts (owned).
+fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    split_conjuncts_ref(expr).into_iter().cloned().collect()
 }
 
 // The shallowest join level (binding index) at which every column of
 // `expr` is bound. Qualified refs resolve to their binding; unqualified
 // refs to the unique binding declaring the column (ambiguity is reported
 // at eval time — use the deepest candidate to stay conservative).
-fn conjunct_level(
-    expr: &Expr,
-    bindings: &[(&String, &crate::schema::Table)],
-) -> RelResult<usize> {
+fn conjunct_level(expr: &Expr, bindings: &[(&String, &crate::schema::Table)]) -> RelResult<usize> {
     fn walk(
         expr: &Expr,
         bindings: &[(&String, &crate::schema::Table)],
@@ -512,9 +1156,9 @@ fn conjunct_level(
     Ok(level)
 }
 
-// Recursive pruned join: bind one table per level, applying every
-// conjunct whose columns just became available.
-fn join_level<'a>(
+// Recursive pruned join of the reference executor: bind one table per
+// level, applying every conjunct whose columns just became available.
+fn reference_join_level<'a>(
     bindings: &[(&'a str, &'a crate::schema::Table, &'a [Vec<Value>])],
     conjuncts: &[(usize, Expr)],
     out_exprs: &[Expr],
@@ -541,7 +1185,7 @@ fn join_level<'a>(
                 continue 'rows;
             }
         }
-        join_level(bindings, conjuncts, out_exprs, current, out)?;
+        reference_join_level(bindings, conjuncts, out_exprs, current, out)?;
         current.pop();
     }
     Ok(())
@@ -555,12 +1199,13 @@ fn resolve_multi(
         Some(qualifier) => {
             for (name, table, row) in scope {
                 if name == qualifier {
-                    let idx = table
-                        .column_index(&cref.column)
-                        .ok_or_else(|| RelError::NoSuchColumn {
-                            table: (*name).to_owned(),
-                            column: cref.column.clone(),
-                        })?;
+                    let idx =
+                        table
+                            .column_index(&cref.column)
+                            .ok_or_else(|| RelError::NoSuchColumn {
+                                table: (*name).to_owned(),
+                                column: cref.column.clone(),
+                            })?;
                     return Ok(row[idx].clone());
                 }
             }
@@ -621,8 +1266,16 @@ mod tests {
             )
             .unwrap();
         let mut db = Database::new(schema).unwrap();
-        execute_sql(&mut db, "INSERT INTO team (id, name, code) VALUES (5, 'Software Engineering', 'SEAL');").unwrap();
-        execute_sql(&mut db, "INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');").unwrap();
+        execute_sql(
+            &mut db,
+            "INSERT INTO team (id, name, code) VALUES (5, 'Software Engineering', 'SEAL');",
+        )
+        .unwrap();
+        execute_sql(
+            &mut db,
+            "INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG');",
+        )
+        .unwrap();
         execute_sql(
             &mut db,
             "INSERT INTO author (id, lastname, email, team) VALUES (6, 'Hert', 'hert@ifi.uzh.ch', 5);",
@@ -648,8 +1301,11 @@ mod tests {
     #[test]
     fn select_with_where() {
         let mut d = db();
-        let out = execute_sql(&mut d, "SELECT lastname FROM author WHERE team = 5 AND email IS NOT NULL;")
-            .unwrap();
+        let out = execute_sql(
+            &mut d,
+            "SELECT lastname FROM author WHERE team = 5 AND email IS NOT NULL;",
+        )
+        .unwrap();
         let rows = out.rows().unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows.rows[0][0], Value::text("Hert"));
@@ -685,8 +1341,11 @@ mod tests {
     fn update_where_null_comparison_matches_nothing() {
         let mut d = db();
         // email of author 7 is NULL; NULL = 'x' is unknown, not true.
-        let out = execute_sql(&mut d, "UPDATE author SET lastname = 'X' WHERE email = 'x';")
-            .unwrap();
+        let out = execute_sql(
+            &mut d,
+            "UPDATE author SET lastname = 'X' WHERE email = 'x';",
+        )
+        .unwrap();
         assert_eq!(out.affected(), 0);
     }
 
@@ -717,8 +1376,11 @@ mod tests {
     #[test]
     fn ambiguous_bare_column_rejected() {
         let mut d = db();
-        let err = execute_sql(&mut d, "SELECT id FROM author a, team t WHERE a.team = t.id;")
-            .unwrap_err();
+        let err = execute_sql(
+            &mut d,
+            "SELECT id FROM author a, team t WHERE a.team = t.id;",
+        )
+        .unwrap_err();
         assert!(matches!(err, RelError::Execution { .. }));
     }
 
@@ -801,7 +1463,11 @@ mod join_order_tests {
         schema
             .add_table(
                 Table::builder("link")
-                    .column(Column::new("id", SqlType::Integer).not_null().auto_increment())
+                    .column(
+                        Column::new("id", SqlType::Integer)
+                            .not_null()
+                            .auto_increment(),
+                    )
                     .column(Column::new("a", SqlType::Integer).not_null())
                     .column(Column::new("b", SqlType::Integer).not_null())
                     .primary_key(&["id"])
@@ -812,8 +1478,16 @@ mod join_order_tests {
             .unwrap();
         let mut db = Database::new(schema).unwrap();
         for i in 1..=20i64 {
-            execute_sql(&mut db, &format!("INSERT INTO a (id, v) VALUES ({i}, 'a{i}');")).unwrap();
-            execute_sql(&mut db, &format!("INSERT INTO b (id, v) VALUES ({i}, 'b{i}');")).unwrap();
+            execute_sql(
+                &mut db,
+                &format!("INSERT INTO a (id, v) VALUES ({i}, 'a{i}');"),
+            )
+            .unwrap();
+            execute_sql(
+                &mut db,
+                &format!("INSERT INTO b (id, v) VALUES ({i}, 'b{i}');"),
+            )
+            .unwrap();
         }
         for i in 1..=20i64 {
             execute_sql(
@@ -832,8 +1506,18 @@ mod join_order_tests {
                   WHERE l.a = x.id AND l.b = y.id;";
         let q2 = "SELECT x.v AS av, y.v AS bv FROM link l, b y, a x \
                   WHERE l.a = x.id AND l.b = y.id;";
-        let mut r1 = execute_sql(&mut d, q1).unwrap().rows().unwrap().rows.clone();
-        let mut r2 = execute_sql(&mut d, q2).unwrap().rows().unwrap().rows.clone();
+        let mut r1 = execute_sql(&mut d, q1)
+            .unwrap()
+            .rows()
+            .unwrap()
+            .rows
+            .clone();
+        let mut r2 = execute_sql(&mut d, q2)
+            .unwrap()
+            .rows()
+            .unwrap()
+            .rows
+            .clone();
         let key = |r: &Vec<Value>| r.iter().map(Value::index_key).collect::<Vec<_>>();
         r1.sort_by_key(key);
         r2.sort_by_key(key);
@@ -845,7 +1529,7 @@ mod join_order_tests {
     fn pushdown_preserves_three_valued_semantics() {
         let mut d = db();
         execute_sql(&mut d, "INSERT INTO a (id) VALUES (99);").unwrap(); // v NULL
-        // NULL v never satisfies v = 'a1' nor v <> 'a1'.
+                                                                         // NULL v never satisfies v = 'a1' nor v <> 'a1'.
         let eq = execute_sql(&mut d, "SELECT id FROM a WHERE v = 'a1';").unwrap();
         assert_eq!(eq.rows().unwrap().len(), 1);
         let ne = execute_sql(&mut d, "SELECT id FROM a WHERE v <> 'a1';").unwrap();
@@ -859,5 +1543,311 @@ mod join_order_tests {
         let q = "SELECT x.id FROM a x, b y WHERE x.id = y.id AND (x.v = 'a1' OR y.v = 'b2');";
         let out = execute_sql(&mut d, q).unwrap();
         assert_eq!(out.rows().unwrap().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod planner_tests {
+    use super::*;
+    use crate::schema::{Column, Schema, Table};
+    use crate::value::SqlType;
+
+    // Triangle schema (a, b, link) as in join_order_tests, plus an
+    // unindexed data column to force residual filtering.
+    fn db(n: i64) -> Database {
+        let mut schema = Schema::new();
+        for name in ["a", "b"] {
+            schema
+                .add_table(
+                    Table::builder(name)
+                        .column(Column::new("id", SqlType::Integer).not_null())
+                        .column(Column::new("v", SqlType::Varchar))
+                        .column(Column::new("score", SqlType::Double))
+                        .primary_key(&["id"])
+                        .build(),
+                )
+                .unwrap();
+        }
+        schema
+            .add_table(
+                Table::builder("link")
+                    .column(
+                        Column::new("id", SqlType::Integer)
+                            .not_null()
+                            .auto_increment(),
+                    )
+                    .column(Column::new("a", SqlType::Integer))
+                    .column(Column::new("b", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .foreign_key("a", "a", "id")
+                    .foreign_key("b", "b", "id")
+                    .build(),
+            )
+            .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        for i in 1..=n {
+            execute_sql(
+                &mut db,
+                &format!(
+                    "INSERT INTO a (id, v, score) VALUES ({i}, 'a{i}', {}.5);",
+                    i
+                ),
+            )
+            .unwrap();
+            execute_sql(
+                &mut db,
+                &format!(
+                    "INSERT INTO b (id, v, score) VALUES ({i}, 'b{}', {}.5);",
+                    i % 3,
+                    i
+                ),
+            )
+            .unwrap();
+        }
+        for i in 1..=n {
+            execute_sql(
+                &mut db,
+                &format!("INSERT INTO link (a, b) VALUES ({i}, {});", n + 1 - i),
+            )
+            .unwrap();
+        }
+        // A dangling link row with NULL endpoints: must never join.
+        execute_sql(&mut db, "INSERT INTO link (a, b) VALUES (NULL, NULL);").unwrap();
+        db
+    }
+
+    fn both(db: &mut Database, sql: &str) -> (ResultSet, ResultSet) {
+        let stmt = crate::sql::parser::parse(sql).unwrap();
+        let Statement::Select(select) = &stmt else {
+            panic!()
+        };
+        let planner = execute_select(db, select).unwrap();
+        let reference = execute_select_reference(db, select).unwrap();
+        (planner, reference)
+    }
+
+    #[test]
+    fn planner_matches_reference_rows_and_order() {
+        let mut d = db(20);
+        for sql in [
+            "SELECT x.v, y.v FROM a x, b y, link l WHERE l.a = x.id AND l.b = y.id;",
+            "SELECT * FROM a, link WHERE link.a = a.id;",
+            "SELECT x.id FROM a x, b y WHERE x.id = y.id AND y.v = 'b1';",
+            "SELECT DISTINCT y.v FROM a x, b y WHERE x.id = y.id;",
+            "SELECT x.id, y.id FROM a x, b y;",
+            "SELECT id FROM a WHERE id = 7;",
+            "SELECT x.id FROM a x, b y WHERE x.id = y.id AND (x.v = 'a1' OR y.v = 'b2');",
+            "SELECT x.id FROM a x, b y WHERE x.score = y.score;",
+            "SELECT a.id FROM a, b WHERE a.id = b.id AND a.id <> b.id;",
+        ] {
+            let (planner, reference) = both(&mut d, sql);
+            assert_eq!(planner, reference, "query: {sql}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_constant_restriction_still_errors() {
+        // `id` exists in both tables: the planner must not silently
+        // restrict one binding and return empty — the ambiguity error
+        // of the reference executor must surface.
+        let mut d = db(5);
+        let stmt = crate::sql::parser::parse("SELECT * FROM a, b WHERE id = 999;").unwrap();
+        let Statement::Select(select) = &stmt else {
+            panic!()
+        };
+        let reference = execute_select_reference(&d, select).unwrap_err();
+        let planner = execute(&mut d, &stmt).unwrap_err();
+        assert!(
+            matches!(planner, RelError::Execution { ref message } if message.contains("ambiguous")),
+            "planner: {planner}"
+        );
+        assert!(
+            matches!(reference, RelError::Execution { ref message } if message.contains("ambiguous"))
+        );
+    }
+
+    #[test]
+    fn constant_restriction_uses_pk_index() {
+        let mut d = db(50);
+        let (planner, reference) = both(&mut d, "SELECT v FROM a WHERE id = 13 AND v = 'a13';");
+        assert_eq!(planner, reference);
+        assert_eq!(planner.len(), 1);
+        assert_eq!(planner.rows[0][0], Value::text("a13"));
+    }
+
+    #[test]
+    fn planner_handles_empty_tables() {
+        let mut d = db(0);
+        let out = execute_sql(&mut d, "SELECT * FROM a, b WHERE a.id = b.id;").unwrap();
+        assert!(out.rows().unwrap().is_empty());
+        let out = execute_sql(&mut d, "SELECT * FROM a;").unwrap();
+        assert!(out.rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut d = db(5);
+        // The dangling NULL link row joins nothing.
+        let out = execute_sql(
+            &mut d,
+            "SELECT l.id FROM link l, a x WHERE l.a = x.id AND x.id = 999;",
+        )
+        .unwrap();
+        assert!(out.rows().unwrap().is_empty());
+        let (planner, reference) = both(
+            &mut d,
+            "SELECT l.id, x.v FROM link l, a x WHERE l.a = x.id;",
+        );
+        assert_eq!(planner, reference);
+        assert_eq!(planner.len(), 5); // NULL row excluded
+    }
+
+    #[test]
+    fn double_columns_fall_back_to_residual_filtering() {
+        // score is DOUBLE: the equi-join must not be hashed, but the
+        // result must still be correct (and may legitimately match
+        // Int-vs-Double equal values).
+        let mut d = db(8);
+        execute_sql(&mut d, "INSERT INTO a (id, v, score) VALUES (100, 'x', 3);").unwrap();
+        execute_sql(
+            &mut d,
+            "INSERT INTO b (id, v, score) VALUES (101, 'y', 3.0);",
+        )
+        .unwrap();
+        let (planner, reference) = both(
+            &mut d,
+            "SELECT x.id, y.id FROM a x, b y WHERE x.score = y.score;",
+        );
+        assert_eq!(planner, reference);
+        // Int 3 stored in a.score equals Double 3.0 stored in b.score —
+        // the cross-representation match a hash join would miss.
+        assert!(planner
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::Int(100) && r[1] == Value::Int(101)));
+    }
+
+    #[test]
+    fn planner_reflects_mutations_and_rollback() {
+        let mut d = db(10);
+        let q = "SELECT x.v FROM a x, link l WHERE l.a = x.id;";
+        let before = execute_sql(&mut d, q).unwrap();
+        d.begin().unwrap();
+        execute_sql(&mut d, "DELETE FROM link WHERE a = 4;").unwrap();
+        execute_sql(&mut d, "INSERT INTO a (id, v) VALUES (42, 'a42');").unwrap();
+        execute_sql(&mut d, "INSERT INTO link (a, b) VALUES (42, 1);").unwrap();
+        let during = execute_sql(&mut d, q).unwrap();
+        assert_ne!(before, during);
+        d.rollback().unwrap();
+        let after = execute_sql(&mut d, q).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bad_references_error_even_when_restriction_empties_a_binding() {
+        // The PK restriction on b leaves zero candidates; the ambiguous
+        // unqualified `v` (declared by both a and b) must still be
+        // rejected rather than silently returning an empty result.
+        let mut d = db(3);
+        let err = execute_sql(
+            &mut d,
+            "SELECT x.id FROM a x, b y WHERE y.id = 999 AND v = 'a1';",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RelError::Execution { ref message } if message.contains("ambiguous")),
+            "{err}"
+        );
+        // Unknown projection/filter columns are rejected up front too.
+        assert!(execute_sql(&mut d, "SELECT bogus FROM a WHERE id = 999;").is_err());
+        assert!(execute_sql(&mut d, "SELECT id FROM a WHERE id = 999 AND bogus = 1;").is_err());
+    }
+
+    #[test]
+    fn restriction_does_not_change_join_order_or_row_order() {
+        // Two conjuncts, one index-restrictable (b.p = 2 via FK index),
+        // one not (a.v = 'x', unindexed). The greedy order must
+        // tie-break on full-table counts exactly as the reference does,
+        // or the 18 result rows would come back in a different order.
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("pa")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("v", SqlType::Varchar))
+                    .primary_key(&["id"])
+                    .build(),
+            )
+            .unwrap();
+        schema
+            .add_table(
+                Table::builder("pb")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("p", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .foreign_key("p", "pa", "id")
+                    .build(),
+            )
+            .unwrap();
+        let mut d = Database::new(schema).unwrap();
+        for i in 1..=6i64 {
+            execute_sql(
+                &mut d,
+                &format!("INSERT INTO pa (id, v) VALUES ({i}, 'x');"),
+            )
+            .unwrap();
+        }
+        for i in 1..=6i64 {
+            execute_sql(
+                &mut d,
+                &format!(
+                    "INSERT INTO pb (id, p) VALUES ({i}, {});",
+                    if i <= 3 { 2 } else { i }
+                ),
+            )
+            .unwrap();
+        }
+        let (planner, reference) = both(
+            &mut d,
+            "SELECT pa.id, pb.id FROM pa, pb WHERE pa.v = 'x' AND pb.p = 2;",
+        );
+        assert_eq!(planner, reference);
+        assert_eq!(planner.len(), 18);
+    }
+
+    #[test]
+    fn mutation_where_errors_do_not_depend_on_data() {
+        // An unknown column in the WHERE clause must error even when the
+        // index probe leaves zero candidate rows to evaluate.
+        let mut d = db(5);
+        for sql in [
+            "DELETE FROM a WHERE id = 999 AND bogus = 1;",
+            "DELETE FROM a WHERE id = 1 AND bogus = 1;",
+            "UPDATE a SET v = 'x' WHERE id = 999 AND bogus = 1;",
+            "DELETE FROM a WHERE wrongtable.id = 1;",
+        ] {
+            let err = execute_sql(&mut d, sql).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RelError::NoSuchColumn { .. } | RelError::Execution { .. }
+                ),
+                "{sql}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_delete_use_index_probe_and_match_counts() {
+        let mut d = db(30);
+        // UPDATE through the FK-indexed column.
+        let out = execute_sql(&mut d, "UPDATE link SET b = 1 WHERE a = 3;").unwrap();
+        assert_eq!(out.affected(), 1);
+        // DELETE through the PK index.
+        let out = execute_sql(&mut d, "DELETE FROM link WHERE a = 3;").unwrap();
+        assert_eq!(out.affected(), 1);
+        // WHERE with no usable index still works (scan fallback).
+        let out = execute_sql(&mut d, "UPDATE a SET v = 'z' WHERE v = 'a7';").unwrap();
+        assert_eq!(out.affected(), 1);
     }
 }

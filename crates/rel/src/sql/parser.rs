@@ -44,11 +44,11 @@ pub fn parse_script(input: &str) -> RelResult<Vec<Statement>> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Word(String),    // identifier or keyword (original case preserved)
-    Str(String),     // 'string' (unescaped)
+    Word(String), // identifier or keyword (original case preserved)
+    Str(String),  // 'string' (unescaped)
     Int(i64),
     Float(f64),
-    Symbol(String),  // punctuation / operators
+    Symbol(String), // punctuation / operators
     Eof,
 }
 
@@ -81,7 +81,11 @@ fn lex(input: &str) -> RelResult<Vec<Tok>> {
             }
             tokens.push(Tok::Str(s));
         } else if c.is_ascii_digit()
-            || (c == '-' && matches!(tokens.last(), None | Some(Tok::Symbol(_)) | Some(Tok::Word(_)))
+            || (c == '-'
+                && matches!(
+                    tokens.last(),
+                    None | Some(Tok::Symbol(_)) | Some(Tok::Word(_))
+                )
                 && {
                     let mut ahead = chars.clone();
                     ahead.next();
@@ -531,14 +535,16 @@ mod tests {
 
     #[test]
     fn parses_listing_18() {
-        let stmt = parse(
-            "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';",
-        )
-        .unwrap();
+        let stmt =
+            parse("UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch';")
+                .unwrap();
         let Statement::Update(up) = stmt else {
             panic!("expected UPDATE")
         };
-        assert_eq!(up.assignments, vec![("email".into(), Expr::Value(Value::Null))]);
+        assert_eq!(
+            up.assignments,
+            vec![("email".into(), Expr::Value(Value::Null))]
+        );
         assert!(up.where_clause.is_some());
     }
 

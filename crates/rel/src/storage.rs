@@ -1,5 +1,5 @@
-//! Row storage for one table: heap of rows plus primary-key and unique
-//! indexes.
+//! Row storage for one table: heap of rows plus primary-key, unique,
+//! and secondary (non-unique) hash indexes.
 
 use crate::schema::Table;
 use crate::value::{IndexKey, Value};
@@ -17,11 +17,19 @@ pub struct TableData {
     pk_index: HashMap<Vec<IndexKey>, RowId>,
     /// Per unique column: value → row id (NULLs excluded, as in SQL).
     unique_indexes: HashMap<String, HashMap<IndexKey, RowId>>,
+    /// Per indexed column: value → row ids (non-unique; NULLs excluded).
+    /// Declared FK columns are indexed automatically; the planner and
+    /// [`Database::create_index`](crate::Database::create_index) add
+    /// further join columns. Id lists are kept in ascending row-id
+    /// order so index-backed plans enumerate rows deterministically.
+    secondary_indexes: HashMap<String, HashMap<IndexKey, Vec<RowId>>>,
     next_row_id: RowId,
 }
 
 impl TableData {
-    /// Empty storage with unique indexes prepared from the table schema.
+    /// Empty storage with unique indexes prepared from the table schema
+    /// and secondary indexes on every declared foreign-key column (the
+    /// join columns the SPARQL translation produces).
     pub fn for_table(table: &Table) -> Self {
         let mut data = TableData::default();
         for column in &table.columns {
@@ -30,7 +38,51 @@ impl TableData {
                     .insert(column.name.clone(), HashMap::new());
             }
         }
+        for fk in &table.foreign_keys {
+            let covered = table.column(&fk.column).is_some_and(|c| c.unique)
+                || (table.primary_key.len() == 1 && table.primary_key[0] == fk.column);
+            // DOUBLE columns are never probed (index keys cannot express
+            // SQL equality for them), so indexing one would cost
+            // maintenance forever without ever being read.
+            let probeable = table
+                .column(&fk.column)
+                .is_some_and(|c| c.ty != crate::value::SqlType::Double);
+            if !covered && probeable {
+                data.secondary_indexes
+                    .insert(fk.column.clone(), HashMap::new());
+            }
+        }
         data
+    }
+
+    /// Build (idempotently) a secondary hash index on `column`.
+    pub fn create_index(&mut self, table: &Table, column: &str) {
+        if self.secondary_indexes.contains_key(column) {
+            return;
+        }
+        let idx = table
+            .column_index(column)
+            .expect("caller verified column exists");
+        let mut index: HashMap<IndexKey, Vec<RowId>> = HashMap::new();
+        for (row_id, row) in &self.rows {
+            if !row[idx].is_null() {
+                index.entry(row[idx].index_key()).or_default().push(*row_id);
+            }
+        }
+        self.secondary_indexes.insert(column.to_owned(), index);
+    }
+
+    /// Whether a secondary index exists on `column`.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.secondary_indexes.contains_key(column)
+    }
+
+    /// Row ids holding `key` in the secondary index on `column`
+    /// (ascending). `None` when no such index exists; an empty slice
+    /// when the index exists but holds no match.
+    pub fn lookup_by_index(&self, column: &str, key: &IndexKey) -> Option<&[RowId]> {
+        let index = self.secondary_indexes.get(column)?;
+        Some(index.get(key).map_or(&[][..], Vec::as_slice))
     }
 
     /// Number of stored rows.
@@ -89,7 +141,7 @@ impl TableData {
         new_row: Vec<Value>,
     ) -> Option<Vec<Value>> {
         let old = self.rows.get(&row_id)?.clone();
-        self.unindex_row(table, &old);
+        self.unindex_row(table, row_id, &old);
         self.index_row(table, row_id, &new_row);
         self.rows.insert(row_id, new_row);
         Some(old)
@@ -99,7 +151,7 @@ impl TableData {
     /// Returns the removed values.
     pub fn delete_unchecked(&mut self, table: &Table, row_id: RowId) -> Option<Vec<Value>> {
         let row = self.rows.remove(&row_id)?;
-        self.unindex_row(table, &row);
+        self.unindex_row(table, row_id, &row);
         Some(row)
     }
 
@@ -124,9 +176,21 @@ impl TableData {
                 index.insert(row[i].index_key(), row_id);
             }
         }
+        for (column, index) in &mut self.secondary_indexes {
+            let i = table
+                .column_index(column)
+                .expect("secondary index built from schema");
+            if !row[i].is_null() {
+                let ids = index.entry(row[i].index_key()).or_default();
+                // Restores after rollback can re-add a low id after
+                // higher ones; keep ascending order.
+                let pos = ids.partition_point(|&id| id < row_id);
+                ids.insert(pos, row_id);
+            }
+        }
     }
 
-    fn unindex_row(&mut self, table: &Table, row: &[Value]) {
+    fn unindex_row(&mut self, table: &Table, row_id: RowId, row: &[Value]) {
         if !table.primary_key.is_empty() {
             self.pk_index.remove(&Self::pk_key(table, row));
         }
@@ -136,6 +200,21 @@ impl TableData {
                 .expect("unique index built from schema");
             if !row[i].is_null() {
                 index.remove(&row[i].index_key());
+            }
+        }
+        for (column, index) in &mut self.secondary_indexes {
+            let i = table
+                .column_index(column)
+                .expect("secondary index built from schema");
+            if row[i].is_null() {
+                continue;
+            }
+            let key = row[i].index_key();
+            if let Some(ids) = index.get_mut(&key) {
+                ids.retain(|&id| id != row_id);
+                if ids.is_empty() {
+                    index.remove(&key);
+                }
             }
         }
     }
@@ -179,7 +258,10 @@ mod tests {
         assert_eq!(old[0], Value::Int(1));
         assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), None);
         assert_eq!(data.find_by_pk(&[Value::Int(2).index_key()]), Some(id));
-        assert_eq!(data.find_by_unique("code", &Value::text("A").index_key()), None);
+        assert_eq!(
+            data.find_by_unique("code", &Value::text("A").index_key()),
+            None
+        );
         assert_eq!(
             data.find_by_unique("code", &Value::text("B").index_key()),
             Some(id)
@@ -215,6 +297,83 @@ mod tests {
         let row = data.delete_unchecked(&t, id).unwrap();
         data.restore_unchecked(&t, id, row);
         assert_eq!(data.find_by_pk(&[Value::Int(1).index_key()]), Some(id));
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        data.create_index(&t, "code");
+        assert!(data.has_index("code"));
+        let r1 = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        let r2 = data.insert_unchecked(&t, vec![Value::Int(2), Value::text("A")]);
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("A").index_key()),
+            Some(&[r1, r2][..])
+        );
+        data.update_unchecked(&t, r1, vec![Value::Int(1), Value::text("B")])
+            .unwrap();
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("A").index_key()),
+            Some(&[r2][..])
+        );
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("B").index_key()),
+            Some(&[r1][..])
+        );
+        data.delete_unchecked(&t, r2).unwrap();
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("A").index_key()),
+            Some(&[][..])
+        );
+        assert_eq!(
+            data.lookup_by_index("absent", &Value::Int(1).index_key()),
+            None
+        );
+    }
+
+    #[test]
+    fn secondary_index_built_over_existing_rows_and_skips_nulls() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        let r1 = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        data.insert_unchecked(&t, vec![Value::Int(2), Value::Null]);
+        data.create_index(&t, "code");
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("A").index_key()),
+            Some(&[r1][..])
+        );
+        assert_eq!(
+            data.lookup_by_index("code", &Value::Null.index_key()),
+            Some(&[][..])
+        );
+    }
+
+    #[test]
+    fn restore_keeps_secondary_index_sorted() {
+        let t = table();
+        let mut data = TableData::for_table(&t);
+        data.create_index(&t, "code");
+        let r1 = data.insert_unchecked(&t, vec![Value::Int(1), Value::text("A")]);
+        let r2 = data.insert_unchecked(&t, vec![Value::Int(2), Value::text("A")]);
+        let row = data.delete_unchecked(&t, r1).unwrap();
+        data.restore_unchecked(&t, r1, row);
+        assert_eq!(
+            data.lookup_by_index("code", &Value::text("A").index_key()),
+            Some(&[r1, r2][..])
+        );
+    }
+
+    #[test]
+    fn fk_columns_are_indexed_automatically() {
+        let referencing = Table::builder("child")
+            .column(Column::new("id", SqlType::Integer).not_null())
+            .column(Column::new("parent", SqlType::Integer))
+            .primary_key(&["id"])
+            .foreign_key("parent", "t", "id")
+            .build();
+        let data = TableData::for_table(&referencing);
+        assert!(data.has_index("parent"));
     }
 
     #[test]

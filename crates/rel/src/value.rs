@@ -235,10 +235,7 @@ mod tests {
 
     #[test]
     fn ordering() {
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::text("a").sql_cmp(&Value::text("b")),
             Some(Ordering::Less)
@@ -249,9 +246,11 @@ mod tests {
 
     #[test]
     fn index_keys_are_total() {
-        let mut keys = [Value::text("b").index_key(),
+        let mut keys = [
+            Value::text("b").index_key(),
             Value::Null.index_key(),
-            Value::Int(5).index_key()];
+            Value::Int(5).index_key(),
+        ];
         keys.sort();
         assert_eq!(keys[0], IndexKey::Null);
     }

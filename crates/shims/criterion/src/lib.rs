@@ -1,0 +1,404 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this in-workspace
+//! crate provides the subset of the criterion API the workspace's
+//! benches use: `Criterion` / `BenchmarkGroup` / `Bencher` with `iter`
+//! and `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is real: each benchmark is warmed up, the iteration
+//! count per sample is chosen adaptively so one sample takes ≥ ~200µs,
+//! and samples are collected until the configured measurement time (or
+//! sample count) is exhausted. Results are printed one line per
+//! benchmark and, when `CRITERION_JSON` names a file, appended to it as
+//! JSON lines — which is how `BENCH_baseline.json` is produced.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes its batches. The shim times one routine
+/// invocation per setup regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Input-size annotation for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Input size in bytes.
+    Bytes(u64),
+    /// Input size in elements.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (for groups whose name carries the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id (accepts `&str` and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 50,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Builder: warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Builder: measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Builder: number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config_override: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into_id(), self.config, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing config overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config_override: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn config(&self) -> Config {
+        self.config_override.unwrap_or(self.criterion.config)
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut c = self.config();
+        c.sample_size = n;
+        self.config_override = Some(c);
+        self
+    }
+
+    /// Record the input size (reported, not otherwise used).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.config(), &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.config(), &mut |b: &mut Bencher| {
+            b_call(&mut f, b, input)
+        });
+        self
+    }
+
+    /// Finish the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn b_call<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input)
+}
+
+/// Passed to benchmark closures; records the measured routine.
+pub struct Bencher {
+    mode: BenchMode,
+    config: Config,
+    result: Option<Sample>,
+}
+
+enum BenchMode {
+    /// Calibrate iterations-per-sample.
+    WarmUp,
+    /// Collect timed samples.
+    Measure,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Sample {
+    /// Nanoseconds per iteration, one entry per sample.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` (called repeatedly).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|timed| {
+            let start = Instant::now();
+            black_box(routine());
+            timed(start.elapsed());
+        });
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.run(|timed| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed(start.elapsed());
+        });
+    }
+
+    // Drive one warm-up or measurement pass. `body` runs one iteration
+    // and reports its duration.
+    fn run(&mut self, mut body: impl FnMut(&mut dyn FnMut(Duration))) {
+        match self.mode {
+            BenchMode::WarmUp => {
+                let deadline = Instant::now() + self.config.warm_up;
+                let mut once = |d: Duration| {
+                    let _ = d;
+                };
+                body(&mut once);
+                while Instant::now() < deadline {
+                    body(&mut once);
+                }
+            }
+            BenchMode::Measure => {
+                let mut samples = Vec::with_capacity(self.config.sample_size);
+                let deadline = Instant::now() + self.config.measurement;
+                while samples.len() < self.config.sample_size {
+                    let mut elapsed = Duration::ZERO;
+                    body(&mut |d: Duration| elapsed = d);
+                    samples.push(elapsed.as_secs_f64() * 1e9);
+                    if Instant::now() > deadline && samples.len() >= 10 {
+                        break;
+                    }
+                }
+                self.result = Some(Sample {
+                    per_iter_ns: samples,
+                });
+            }
+        }
+    }
+}
+
+fn run_benchmark(id: &str, config: Config, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass.
+    let mut bencher = Bencher {
+        mode: BenchMode::WarmUp,
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    // Measurement pass.
+    let mut bencher = Bencher {
+        mode: BenchMode::Measure,
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some(sample) = bencher.result else {
+        eprintln!("{id}: benchmark closure never called iter/iter_batched");
+        return;
+    };
+    let mut ns = sample.per_iter_ns.clone();
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let n = ns.len();
+    let median = if n % 2 == 1 {
+        ns[n / 2]
+    } else {
+        (ns[n / 2 - 1] + ns[n / 2]) / 2.0
+    };
+    let mean = ns.iter().sum::<f64>() / n as f64;
+    println!(
+        "{id:<60} median {:>12} mean {:>12} ({n} samples)",
+        format_ns(median),
+        format_ns(mean)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"id\":{:?},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{n}}}",
+            id
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declare a benchmark group function (name/config/targets form and the
+/// short positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench`; a filter argument is accepted and
+            // ignored (the shim always runs everything).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(12);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,612 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this in-workspace
+//! crate provides the subset of the proptest API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `boxed`, strategies for ranges, tuples, string
+//! regexes (a character-class subset), `Just`, `any`, `option::of`,
+//! `collection::vec`, the [`proptest!`] test macro, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs verbatim), and the regex strategy supports only sequences of
+//! character classes with `{n}` / `{n,m}` repetition — exactly the
+//! patterns used in this repository.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Failure of one generated test case (returned by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count (`PROPTEST_CASES` env var overrides).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator for `(test name, case index)` — deterministic across
+    /// runs so failures are reproducible.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9e3779b97f4a7c15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Reject generated values failing `pred` (re-draws, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe strategy alias used by [`prop_oneof!`].
+pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+/// Object-safe mirror of [`Strategy`].
+pub trait DynStrategy<T> {
+    /// Draw one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.as_ref().generate_dyn(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive draws",
+            self.reason
+        );
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    /// The candidate strategies.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical [`Strategy`] ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Function-backed strategy used by [`Arbitrary`] impls.
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for i64 {
+    type Strategy = FnStrategy<i64>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() as i64)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// Ranges are strategies (uniform draw).
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, u64, usize, u32, i32);
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ----------------------------------------------------------------------
+// Regex-subset string strategy
+// ----------------------------------------------------------------------
+
+// One atom of the pattern: the characters it may produce and its
+// repetition bounds.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                + i;
+            let body = &chars[i + 1..close];
+            i = close + 1;
+            let mut set = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                if j + 2 < body.len() && body[j + 1] == '-' {
+                    let (lo, hi) = (body[j], body[j + 2]);
+                    assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                    j += 3;
+                } else {
+                    set.push(body[j]);
+                    j += 1;
+                }
+            }
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition lower bound"),
+                    hi.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..n {
+                out.push(atom.choices[rng.below(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Combinator modules
+// ----------------------------------------------------------------------
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `None` or `Some(inner)` with equal weight on `None` as upstream
+    /// (upstream defaults to 50% `Some`; exact weight is immaterial
+    /// for these tests).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Strategy producing `Option<S::Value>`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vec of `size` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let n = self.size.start + if span == 0 { 0 } else { rng.below(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    /// Upstream re-exports `proptest` itself in the prelude.
+    pub use crate as proptest;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ----------------------------------------------------------------------
+// Macros
+// ----------------------------------------------------------------------
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union {
+            options: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+/// Assert inside a proptest body (returns `Err` instead of panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `name in strategy` argument is drawn
+/// fresh per case; the body may use `prop_assert*` and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = config.effective_cases();
+            for case in 0..u64::from(cases) {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let inputs = format!("{:#?}", ($(&$arg,)+));
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {case} of {} failed: {e}\ninputs: {inputs}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z][A-Za-z0-9]{0,11}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+            let printable = Strategy::generate(&"[ -~]{0,16}", &mut rng);
+            assert!(printable.len() <= 16);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        let s = (0i64..100, "[a-z]{2}");
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_and_asserts(x in 0i64..50, flag in any::<bool>(), s in "[a-z]{1,4}") {
+            prop_assert!((0..50).contains(&x));
+            prop_assert_eq!(s.len(), s.chars().count());
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in proptest::collection::vec(prop_oneof![Just(1u64), 2u64..5], 0..8),
+            o in proptest::option::of("[A-Z]"),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 5));
+            if let Some(s) = o {
+                prop_assert_eq!(s.len(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so this in-workspace
+//! crate provides the exact subset of the rand 0.8 API the workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `gen`, `gen_bool`, and `gen_range`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic per seed,
+//! which is all the fixtures and tests rely on (they never assume
+//! upstream rand's exact stream).
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    /// A deterministic pseudo-random generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding interface (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        rngs::StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Core random-value interface (subset: `gen`, `gen_bool`, `gen_range`).
+pub trait Rng {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform draw from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// Types samplable without parameters (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Types samplable from a `Range` (subset of `SampleUniform`).
+pub trait SampleRange: Sized {
+    /// Draw uniformly from `range` (must be non-empty).
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -361,10 +361,7 @@ mod tests {
             TermPattern::iri(foaf::mbox()),
             TermPattern::var("m"),
         );
-        assert_eq!(
-            p.to_string(),
-            "?x <http://xmlns.com/foaf/0.1/mbox> ?m ."
-        );
+        assert_eq!(p.to_string(), "?x <http://xmlns.com/foaf/0.1/mbox> ?m .");
     }
 
     #[test]

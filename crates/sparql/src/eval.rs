@@ -123,7 +123,12 @@ pub fn match_group(graph: &Graph, group: &GroupPattern) -> Vec<Binding> {
             break;
         }
     }
-    solutions.retain(|b| group.filters.iter().all(|f| eval_filter(f, b) == Some(true)));
+    solutions.retain(|b| {
+        group
+            .filters
+            .iter()
+            .all(|f| eval_filter(f, b) == Some(true))
+    });
     solutions
 }
 
@@ -147,7 +152,11 @@ fn extend_with_pattern(
     for triple in candidates {
         let mut extended = binding.clone();
         if bind(&mut extended, &pattern.subject, &triple.subject)
-            && bind(&mut extended, &pattern.predicate, &Term::Iri(triple.predicate.clone()))
+            && bind(
+                &mut extended,
+                &pattern.predicate,
+                &Term::Iri(triple.predicate.clone()),
+            )
             && bind(&mut extended, &pattern.object, &triple.object)
         {
             out.push(extended);
@@ -255,10 +264,26 @@ mod tests {
             (7, "Gerald", "Reif", 2005),
             (8, "Harald", "Gall", 1998),
         ] {
-            g.insert(Triple::new(author(n), rdf_type(), Term::Iri(foaf::Person())));
-            g.insert(Triple::new(author(n), foaf::firstName(), Literal::plain(first)));
-            g.insert(Triple::new(author(n), foaf::family_name(), Literal::plain(last)));
-            g.insert(Triple::new(author(n), ont::pubYear(), Literal::integer(year)));
+            g.insert(Triple::new(
+                author(n),
+                rdf_type(),
+                Term::Iri(foaf::Person()),
+            ));
+            g.insert(Triple::new(
+                author(n),
+                foaf::firstName(),
+                Literal::plain(first),
+            ));
+            g.insert(Triple::new(
+                author(n),
+                foaf::family_name(),
+                Literal::plain(last),
+            ));
+            g.insert(Triple::new(
+                author(n),
+                ont::pubYear(),
+                Literal::integer(year),
+            ));
         }
         g.insert(Triple::new(
             author(6),
@@ -270,7 +295,9 @@ mod tests {
 
     fn select(graph: &Graph, q: &str) -> Solutions {
         let query = parse_query_with_prefixes(q, PrefixMap::common()).unwrap();
-        let Query::Select(s) = query else { panic!("not a SELECT") };
+        let Query::Select(s) = query else {
+            panic!("not a SELECT")
+        };
         evaluate_select(graph, &s)
     }
 
@@ -338,7 +365,10 @@ mod tests {
             Literal::plain("2009"),
         ));
         // Plain "2009" and typed 2009 compare equal by value.
-        let sols = select(&g, "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y = 2009) }");
+        let sols = select(
+            &g,
+            "SELECT ?x WHERE { ?x ont:pubYear ?y . FILTER (?y = 2009) }",
+        );
         assert_eq!(sols.len(), 1);
     }
 
@@ -394,7 +424,10 @@ mod tests {
 
     #[test]
     fn unsatisfiable_pattern_is_empty() {
-        let sols = select(&sample(), "SELECT ?x WHERE { ?x foaf:mbox ?m . ?x ont:pubYear 1850 . }");
+        let sols = select(
+            &sample(),
+            "SELECT ?x WHERE { ?x foaf:mbox ?m . ?x ont:pubYear 1850 . }",
+        );
         assert!(sols.is_empty());
     }
 

@@ -320,7 +320,9 @@ impl<'a> Lexer<'a> {
                     if c.is_ascii_digit() {
                         num.push(c);
                         self.bump();
-                    } else if c == '.' && !is_decimal && self.peek2().is_some_and(|n| n.is_ascii_digit())
+                    } else if c == '.'
+                        && !is_decimal
+                        && self.peek2().is_some_and(|n| n.is_ascii_digit())
                     {
                         is_decimal = true;
                         num.push(c);
@@ -403,7 +405,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -422,7 +428,10 @@ mod tests {
     fn iri_vs_less_than() {
         assert_eq!(
             kinds("<http://example.org/x>"),
-            vec![TokenKind::IriRef("http://example.org/x".into()), TokenKind::Eof]
+            vec![
+                TokenKind::IriRef("http://example.org/x".into()),
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("?year < 2009"),
@@ -522,7 +531,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("# hi\n42"), vec![TokenKind::Integer(42), TokenKind::Eof]);
+        assert_eq!(
+            kinds("# hi\n42"),
+            vec![TokenKind::Integer(42), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -47,10 +47,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
 }
 
 /// Parse a SPARQL query starting from the given prefixes.
-pub fn parse_query_with_prefixes(
-    input: &str,
-    prefixes: PrefixMap,
-) -> Result<Query, ParseError> {
+pub fn parse_query_with_prefixes(input: &str, prefixes: PrefixMap) -> Result<Query, ParseError> {
     let mut p = Parser::new(input, prefixes)?;
     p.parse_prologue()?;
     let query = p.parse_query_body()?;
@@ -81,10 +78,7 @@ pub fn parse_update_with_prefixes(
 /// one or more operations separated by `;`. Prefix declarations may
 /// also appear between operations (each prologue extends the previous
 /// scope, as in SPARQL 1.1).
-pub fn parse_update_script(
-    input: &str,
-    prefixes: PrefixMap,
-) -> Result<Vec<UpdateOp>, ParseError> {
+pub fn parse_update_script(input: &str, prefixes: PrefixMap) -> Result<Vec<UpdateOp>, ParseError> {
     let mut p = Parser::new(input, prefixes)?;
     let mut ops = Vec::new();
     loop {
@@ -266,9 +260,9 @@ impl Parser {
                 match self.bump().kind {
                     TokenKind::Integer(n) if n >= 0 => Some(n as usize),
                     other => {
-                        return Err(self.err_here(format!(
-                            "expected non-negative LIMIT, found {other}"
-                        )))
+                        return Err(
+                            self.err_here(format!("expected non-negative LIMIT, found {other}"))
+                        )
                     }
                 }
             } else {
@@ -369,9 +363,9 @@ impl Parser {
             match p.to_triple() {
                 Some(t) => triples.push(t),
                 None => {
-                    return Err(self.err_here(format!(
-                        "variables are not allowed in a DATA block: {p}"
-                    )))
+                    return Err(
+                        self.err_here(format!("variables are not allowed in a DATA block: {p}"))
+                    )
                 }
             }
         }
@@ -517,9 +511,7 @@ impl Parser {
                             .prefixes
                             .resolve(&prefix, &local)
                             .ok_or_else(|| fail(format!("undeclared prefix {prefix:?}")))?,
-                        other => {
-                            return Err(fail(format!("expected datatype IRI, found {other}")))
-                        }
+                        other => return Err(fail(format!("expected datatype IRI, found {other}"))),
                     };
                     Ok(TermPattern::literal(Literal::typed(lexical, dt)))
                 }
@@ -648,11 +640,12 @@ mod tests {
             panic!("expected INSERT DATA")
         };
         assert_eq!(triples.len(), 5);
-        assert!(triples.iter().all(|t| t.subject == Term::iri("http://example.org/db/author6")));
         assert!(triples
             .iter()
-            .any(|t| t.predicate == foaf::mbox()
-                && t.object == Term::iri("mailto:hert@ifi.uzh.ch")));
+            .all(|t| t.subject == Term::iri("http://example.org/db/author6")));
+        assert!(triples.iter().any(
+            |t| t.predicate == foaf::mbox() && t.object == Term::iri("mailto:hert@ifi.uzh.ch")
+        ));
     }
 
     #[test]
@@ -736,8 +729,7 @@ mod tests {
 
     #[test]
     fn variables_rejected_in_data_blocks() {
-        let err = parse_update(&with_prefixes("INSERT DATA { ?x foaf:name \"X\" . }"))
-            .unwrap_err();
+        let err = parse_update(&with_prefixes("INSERT DATA { ?x foaf:name \"X\" . }")).unwrap_err();
         assert!(err.message.contains("not allowed"));
     }
 
@@ -785,7 +777,9 @@ mod tests {
             "INSERT DATA { ex:pub12 dc:title \"a\" , \"b\" ; ont:pubYear \"2009\"^^<http://www.w3.org/2001/XMLSchema#integer> . }",
         ))
         .unwrap();
-        let UpdateOp::InsertData { triples } = op else { panic!() };
+        let UpdateOp::InsertData { triples } = op else {
+            panic!()
+        };
         assert_eq!(triples.len(), 3);
         assert!(triples.iter().any(|t| t.predicate == ont::pubYear()
             && t.object == Term::Literal(Literal::typed("2009", xsd::integer()))));
@@ -830,8 +824,7 @@ mod tests {
 
     #[test]
     fn literal_subject_rejected() {
-        assert!(parse_update(&with_prefixes("INSERT DATA { \"lit\" foaf:name \"X\" . }"))
-            .is_err());
+        assert!(parse_update(&with_prefixes("INSERT DATA { \"lit\" foaf:name \"X\" . }")).is_err());
     }
 
     #[test]
@@ -842,7 +835,9 @@ mod tests {
     #[test]
     fn blank_nodes_in_data_block() {
         let op = parse_update(&with_prefixes("INSERT DATA { _:b foaf:name \"X\" . }")).unwrap();
-        let UpdateOp::InsertData { triples } = op else { panic!() };
+        let UpdateOp::InsertData { triples } = op else {
+            panic!()
+        };
         assert!(triples[0].subject.as_blank().is_some());
     }
 
@@ -890,7 +885,11 @@ mod tests {
     #[test]
     fn empty_script_rejected() {
         assert!(parse_update_script("", PrefixMap::new()).is_err());
-        assert!(parse_update_script("PREFIX foaf: <http://xmlns.com/foaf/0.1/>", PrefixMap::new()).is_err());
+        assert!(parse_update_script(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>",
+            PrefixMap::new()
+        )
+        .is_err());
     }
 
     #[test]
@@ -899,7 +898,9 @@ mod tests {
             "MODIFY DELETE { } INSERT { ?x foaf:name \"X\" . } WHERE { ?x a foaf:Person . }",
         ))
         .unwrap();
-        let UpdateOp::Modify { delete, .. } = op else { panic!() };
+        let UpdateOp::Modify { delete, .. } = op else {
+            panic!()
+        };
         assert!(delete.is_empty());
     }
 }

@@ -177,7 +177,11 @@ mod tests {
 
     fn graph_with_hert() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::new(author(6), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(6),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
         g.insert(Triple::new(
             author(6),
             foaf::firstName(),
@@ -261,7 +265,11 @@ mod tests {
     #[test]
     fn modify_multiple_bindings_applies_per_binding() {
         let mut g = graph_with_hert();
-        g.insert(Triple::new(author(7), rdf_type(), Term::Iri(foaf::Person())));
+        g.insert(Triple::new(
+            author(7),
+            rdf_type(),
+            Term::Iri(foaf::Person()),
+        ));
         g.insert(Triple::new(
             author(7),
             foaf::mbox(),

@@ -36,7 +36,10 @@ fn main() {
         ex:publisher3 ont:name "Springer" .
     }"#;
     let outcome = endpoint.execute_update(listing_15).expect("valid insert");
-    println!("executed {} SQL statements, FK-sorted:", outcome.statements_executed);
+    println!(
+        "executed {} SQL statements, FK-sorted:",
+        outcome.statements_executed
+    );
     for stmt in &outcome.statements {
         println!("    {stmt}");
     }

@@ -56,7 +56,10 @@ fn main() {
         println!("{}", request.trim());
         match endpoint.execute_update(request) {
             Ok(outcome) => {
-                println!("--- translated SQL ({} statement(s)):", outcome.statements_executed);
+                println!(
+                    "--- translated SQL ({} statement(s)):",
+                    outcome.statements_executed
+                );
                 for stmt in &outcome.statements {
                     println!("    {stmt}");
                 }
@@ -69,9 +72,7 @@ fn main() {
     // Read back through the SPARQL interface.
     println!("=== SELECT — who is in team SEAL? ===");
     let solutions = endpoint
-        .select(
-            "SELECT ?name WHERE { ?x ont:team ex:team5 ; foaf:family_name ?name . }",
-        )
+        .select("SELECT ?name WHERE { ?x ont:team ex:team5 ; foaf:family_name ?name . }")
         .expect("query succeeds");
     for binding in &solutions.bindings {
         println!("    {}", binding["name"]);

@@ -67,8 +67,8 @@ fn main() {
     // The native store accepts updates the mediator must reject — the
     // conceptual gap of §3 in one picture.
     let invalid = r#"INSERT DATA { ex:author10 foaf:firstName "NoLastName" . }"#;
-    let op = sparql::parse_update_with_prefixes(invalid, endpoint.prefixes().clone())
-        .expect("parses");
+    let op =
+        sparql::parse_update_with_prefixes(invalid, endpoint.prefixes().clone()).expect("parses");
     let mut free_store = native.clone();
     sparql::apply(&mut free_store, &op).expect("native store takes anything");
     let rejected = endpoint.execute_update(invalid).is_err();

@@ -59,10 +59,7 @@ fn build_endpoint(args: &[String]) -> Endpoint {
         match arg.as_str() {
             "--empty" => empty = true,
             "--populate" => {
-                populate = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .or(Some(100));
+                populate = iter.next().and_then(|v| v.parse().ok()).or(Some(100));
             }
             "--seed" => {
                 if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
@@ -70,7 +67,9 @@ fn build_endpoint(args: &[String]) -> Endpoint {
                 }
             }
             other => {
-                eprintln!("unknown argument {other:?} (supported: --empty, --populate N, --seed S)");
+                eprintln!(
+                    "unknown argument {other:?} (supported: --empty, --populate N, --seed S)"
+                );
                 std::process::exit(2);
             }
         }
@@ -87,9 +86,7 @@ fn build_endpoint(args: &[String]) -> Endpoint {
 
 // Read lines until an empty line; single-line `.command`s return
 // immediately.
-fn read_request(
-    lines: &mut impl Iterator<Item = std::io::Result<String>>,
-) -> Option<String> {
+fn read_request(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Option<String> {
     let mut buffer = String::new();
     loop {
         match lines.next() {

@@ -120,7 +120,10 @@ fn delete_respects_restrict_and_reports_database_error() {
                  foaf:name "Software Engineering" ; ont:teamCode "SEAL" . }"#,
         )
         .unwrap_err();
-    assert!(matches!(err, OntoError::Database(rel::RelError::RestrictViolation { .. })));
+    assert!(matches!(
+        err,
+        OntoError::Database(rel::RelError::RestrictViolation { .. })
+    ));
     assert_eq!(ep.database().row_count("team").unwrap(), 2);
 
     // Detach the authors first, then the delete goes through.
@@ -299,9 +302,7 @@ fn idempotent_insert_data_is_accepted_as_noop() {
     // zero SQL statements.
     let mut ep = fixtures::endpoint_with_sample_data();
     let outcome = ep
-        .execute_update(
-            r#"INSERT DATA { ex:author6 foaf:family_name "Hert" ; foaf:title "Mr" . }"#,
-        )
+        .execute_update(r#"INSERT DATA { ex:author6 foaf:family_name "Hert" ; foaf:title "Mr" . }"#)
         .unwrap();
     assert_eq!(outcome.statements_executed, 0);
 }

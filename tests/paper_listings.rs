@@ -132,9 +132,7 @@ fn listing_15_to_listing_16() {
 fn listing_17_to_listing_18() {
     let mut ep = fixtures::endpoint_with_sample_data();
     let outcome = ep
-        .execute_update(
-            r#"DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }"#,
-        )
+        .execute_update(r#"DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }"#)
         .expect("Listing 17 is valid");
     assert_eq!(
         sql(&outcome),

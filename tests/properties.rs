@@ -282,9 +282,24 @@ fn identifier_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,9}".prop_filter("not a keyword", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "INSERT" | "INTO" | "VALUES" | "UPDATE" | "SET" | "DELETE" | "FROM" | "SELECT"
-                | "DISTINCT" | "WHERE" | "AND" | "OR" | "NOT" | "IS" | "NULL" | "TRUE"
-                | "FALSE" | "AS"
+            "INSERT"
+                | "INTO"
+                | "VALUES"
+                | "UPDATE"
+                | "SET"
+                | "DELETE"
+                | "FROM"
+                | "SELECT"
+                | "DISTINCT"
+                | "WHERE"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "IS"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "AS"
         )
     })
 }
@@ -322,13 +337,16 @@ fn sql_statement_strategy() -> impl Strategy<Value = rel::sql::Statement> {
                 where_clause: Some(Expr::eq(Expr::col(&where_col), Expr::Value(where_val))),
             })
         });
-    let delete = (identifier_strategy(), identifier_strategy(), sql_value_strategy()).prop_map(
-        |(table, col, val)| {
+    let delete = (
+        identifier_strategy(),
+        identifier_strategy(),
+        sql_value_strategy(),
+    )
+        .prop_map(|(table, col, val)| {
             Statement::Delete(DeleteStmt {
                 table,
                 where_clause: Some(Expr::eq(Expr::col(&col), Expr::Value(val))),
             })
-        },
-    );
+        });
     prop_oneof![insert, update, delete]
 }
