@@ -1,0 +1,142 @@
+//! Set-based write pipeline vs. the per-row reference path, on
+//! MODIFY and INSERT DATA fan-out at N = 10/100/1k/10k bindings. This
+//! is the acceptance bench for the batching PR: the `batched` series
+//! must beat `per_row_reference` by ≥5x at 1k bindings on the
+//! `insert_data` and `modify_delete` cases (the `modify`
+//! attribute-update case is bounded by the Algorithm 2 SELECT/
+//! instantiation front half both paths share and by identical per-row
+//! index maintenance — expect ~1.2-1.5x at 1k, rising with N as the
+//! reference's quadratic statement-pair sort takes over).
+//!
+//! Both series run the identical Algorithm 1/2 front half (SELECT,
+//! instantiation, per-subject identification); they differ only in
+//! emission and execution — one grouped statement per (table, shape)
+//! through the table-level sort and the bulk engine entry points,
+//! versus one statement per row through the seed's statement-pair sort.
+//!
+//! `BULK_UPDATE_MAX_N` caps the size series (CI smoke sets 1000 to keep
+//! the quadratic reference path's runtime bounded; the committed
+//! `BENCH_bulk_update.json` is a full local run up to 10k).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use rdf::namespace::PrefixMap;
+use sparql::UpdateOp;
+
+fn database(authors: usize) -> rel::Database {
+    let spec = Spec {
+        teams: (authors / 10).max(2),
+        authors,
+        publishers: 2,
+        pubtypes: 4,
+        publications: authors,
+        authors_per_publication: 1,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 7);
+    db
+}
+
+fn parse_op(text: &str) -> UpdateOp {
+    sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap()
+}
+
+// A MODIFY whose WHERE matches every author: N bindings, each becoming
+// one row of a single grouped UPDATE (or N single-row UPDATEs on the
+// reference path).
+fn modify_fanout() -> UpdateOp {
+    parse_op(&fixtures::workload::with_prefixes(
+        "INSERT { ?x foaf:title \"Dr\" . } WHERE { ?x a foaf:Person . }",
+    ))
+}
+
+// A MODIFY deleting every publication outright (all attributes, the
+// type triple, and the authorship link per binding): row deletes fold
+// into `WHERE id IN (…)` while the reference path pays the seed's
+// statement-pair sort over 2N DELETE statements.
+fn modify_delete_fanout() -> UpdateOp {
+    parse_op(&fixtures::workload::with_prefixes(
+        "MODIFY DELETE { ?p a foaf:Document ; dc:title ?t ; ont:pubYear ?y ; \
+           ont:pubType ?ty ; dc:publisher ?pb ; dc:creator ?a . } \
+         INSERT { } \
+         WHERE { ?p dc:title ?t ; ont:pubYear ?y ; ont:pubType ?ty ; \
+           dc:publisher ?pb ; dc:creator ?a . }",
+    ))
+}
+
+// An INSERT DATA creating N fresh authors of one column shape: one
+// N-row INSERT statement (or N single-row INSERTs on the reference
+// path).
+fn insert_data_fanout(n: usize) -> UpdateOp {
+    let mut body = String::from("INSERT DATA {\n");
+    for i in 0..n {
+        let id = 700_000 + i as i64;
+        body.push_str(&format!(
+            "ex:author{id} foaf:family_name \"Last{id}\" ; foaf:firstName \"First{id}\" .\n"
+        ));
+    }
+    body.push('}');
+    parse_op(&fixtures::workload::with_prefixes(&body))
+}
+
+fn bench_batched_vs_per_row(c: &mut Criterion) {
+    let max_n: usize = std::env::var("BULK_UPDATE_MAX_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let mapping = fixtures::mapping();
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        if n > max_n {
+            eprintln!("bulk_update: skipping N={n} (BULK_UPDATE_MAX_N={max_n})");
+            continue;
+        }
+        let db = database(n);
+        // The reference series for whole-entity deletes is capped at
+        // 1k: its statement-pair sort materializes ~N² link-to-row
+        // dependency edges (hundreds of millions at 10k — hours of
+        // runtime), which is precisely the pathology the set-based
+        // pipeline removes. The skip is logged, never silent.
+        let cases = [
+            ("modify", modify_fanout(), usize::MAX),
+            ("modify_delete", modify_delete_fanout(), 1_000),
+            ("insert_data", insert_data_fanout(n), usize::MAX),
+        ];
+        for (name, op, reference_max_n) in &cases {
+            let mut group = c.benchmark_group(format!("bulk_update/{name}"));
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::new("batched", n), op, |b, op| {
+                b.iter_batched(
+                    || db.clone(),
+                    |mut db| ontoaccess::execute_update_op(&mut db, &mapping, op).unwrap(),
+                    BatchSize::LargeInput,
+                )
+            });
+            if n > *reference_max_n {
+                eprintln!(
+                    "bulk_update/{name}: skipping per_row_reference at N={n} \
+                     (quadratic edge materialization; capped at {reference_max_n})"
+                );
+            } else {
+                group.bench_with_input(BenchmarkId::new("per_row_reference", n), op, |b, op| {
+                    b.iter_batched(
+                        || db.clone(),
+                        |mut db| {
+                            ontoaccess::execute_update_op_reference(&mut db, &mapping, op).unwrap()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_batched_vs_per_row
+}
+criterion_main!(benches);

@@ -26,10 +26,13 @@ use std::collections::HashMap;
 pub struct UpdateOutcome {
     /// Operation kind (`INSERT DATA`, `DELETE DATA`, `MODIFY`).
     pub operation: String,
-    /// SQL statements executed, in execution order.
+    /// SQL statements executed, in execution order — one per
+    /// table-level group on the set-based write path.
     pub statements: Vec<Statement>,
-    /// Number of statements executed (0 = request was a no-op).
+    /// Number of statement groups executed (0 = request was a no-op).
     pub statements_executed: usize,
+    /// Total rows inserted/updated/deleted across all groups.
+    pub rows_affected: usize,
     /// MODIFY-specific artifacts (Algorithm 2's intermediate steps).
     pub modify: Option<ModifyReport>,
 }
@@ -68,8 +71,16 @@ enum CachedQuery {
     Ask(CompiledQuery),
 }
 
-// Cached texts before the cache resets (repeated endpoint workloads use
-// a handful of query shapes; the bound only guards degenerate clients).
+// One cache slot: the compiled query plus its last-use stamp for LRU
+// eviction.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    compiled: CachedQuery,
+    last_used: u64,
+}
+
+// Default number of cached texts (repeated endpoint workloads use a
+// handful of query shapes; the bound only guards degenerate clients).
 const QUERY_CACHE_CAPACITY: usize = 256;
 
 /// The mediator: a database + an R3M mapping + the translation
@@ -79,7 +90,9 @@ pub struct Endpoint {
     db: Database,
     mapping: Mapping,
     prefixes: PrefixMap,
-    query_cache: HashMap<String, CachedQuery>,
+    query_cache: HashMap<String, CacheEntry>,
+    query_cache_capacity: usize,
+    cache_clock: u64,
 }
 
 impl Endpoint {
@@ -97,6 +110,8 @@ impl Endpoint {
             mapping,
             prefixes,
             query_cache: HashMap::new(),
+            query_cache_capacity: QUERY_CACHE_CAPACITY,
+            cache_clock: 0,
         })
     }
 
@@ -145,8 +160,9 @@ impl Endpoint {
                 let executed = execute_sorted(&mut self.db, stmts)?;
                 Ok(UpdateOutcome {
                     operation: "INSERT DATA".into(),
-                    statements_executed: executed.len(),
-                    statements: executed,
+                    statements_executed: executed.statements.len(),
+                    rows_affected: executed.rows_affected,
+                    statements: executed.statements,
                     modify: None,
                 })
             }
@@ -159,8 +175,9 @@ impl Endpoint {
                 let executed = execute_sorted(&mut self.db, stmts)?;
                 Ok(UpdateOutcome {
                     operation: "DELETE DATA".into(),
-                    statements_executed: executed.len(),
-                    statements: executed,
+                    statements_executed: executed.statements.len(),
+                    rows_affected: executed.rows_affected,
+                    statements: executed.statements,
                     modify: None,
                 })
             }
@@ -183,6 +200,7 @@ impl Endpoint {
                 Ok(UpdateOutcome {
                     operation: "MODIFY".into(),
                     statements_executed: report.executed.len(),
+                    rows_affected: report.rows_affected,
                     statements: report.executed.clone(),
                     modify: Some(report),
                 })
@@ -246,6 +264,7 @@ impl Endpoint {
             Ok(outcome) => Feedback::Success {
                 operation: outcome.operation.clone(),
                 statements: outcome.statements_executed,
+                rows: outcome.rows_affected,
             },
             Err(error) => Feedback::Rejection {
                 operation,
@@ -260,12 +279,15 @@ impl Endpoint {
     // ------------------------------------------------------------------
 
     /// Execute a SPARQL query given as text. Compiled queries are
-    /// cached per query text: repeated requests skip parsing and
-    /// translation and go straight to the planner.
+    /// cached per query text with LRU eviction: repeated requests skip
+    /// parsing and translation and go straight to the planner, and hot
+    /// entries survive capacity pressure from one-off queries.
     pub fn execute_query(&mut self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        self.cache_clock += 1;
+        let stamp = self.cache_clock;
         if !self.query_cache.contains_key(text) {
             let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
-            let cached = match &query {
+            let compiled = match &query {
                 Query::Select(select) => CachedQuery::Select(crate::query::compile_select(
                     &self.db,
                     &self.mapping,
@@ -277,14 +299,35 @@ impl Endpoint {
                     &crate::query::ask_to_select(ask),
                 )?),
             };
-            if self.query_cache.len() >= QUERY_CACHE_CAPACITY {
-                self.query_cache.clear();
+            // Evict least-recently-used entries until the new insertion
+            // fits. An O(capacity) scan per eviction, paid only on a
+            // miss at capacity — the hit path stays a single hash
+            // lookup. The loop (not a single eviction) lets a lowered
+            // capacity converge from a larger high-water size.
+            while self.query_cache.len() >= self.query_cache_capacity {
+                let Some(coldest) = self
+                    .query_cache
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(text, _)| text.clone())
+                else {
+                    break;
+                };
+                self.query_cache.remove(&coldest);
             }
-            self.query_cache.insert(text.to_owned(), cached);
+            self.query_cache.insert(
+                text.to_owned(),
+                CacheEntry {
+                    compiled,
+                    last_used: stamp,
+                },
+            );
         }
         // Disjoint field borrows: the compiled entry stays in the cache
         // while execution mutates only `self.db` — no per-hit clone.
-        match self.query_cache.get(text).expect("just ensured") {
+        let entry = self.query_cache.get_mut(text).expect("just ensured");
+        entry.last_used = stamp;
+        match &entry.compiled {
             CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
                 crate::query::run_compiled(&mut self.db, compiled)?,
             )),
@@ -298,6 +341,19 @@ impl Endpoint {
     /// Number of compiled queries currently cached.
     pub fn cached_query_count(&self) -> usize {
         self.query_cache.len()
+    }
+
+    /// Whether `text` currently has a cached compilation.
+    pub fn is_query_cached(&self, text: &str) -> bool {
+        self.query_cache.contains_key(text)
+    }
+
+    /// Set the compiled-query cache capacity (≥ 1). Nothing is evicted
+    /// immediately; a cache above the new capacity shrinks to it as
+    /// later misses evict least-recently-used entries. Production
+    /// deployments can size this to their distinct-query working set.
+    pub fn set_query_cache_capacity(&mut self, capacity: usize) {
+        self.query_cache_capacity = capacity.max(1);
     }
 
     /// Execute a SELECT given as text.
@@ -524,6 +580,34 @@ mod tests {
         assert_eq!(ep.cached_query_count(), 2);
         // Unparseable/uncompilable texts are not cached.
         assert!(ep.execute_query("SELECT nonsense").is_err());
+        assert_eq!(ep.cached_query_count(), 2);
+    }
+
+    #[test]
+    fn query_cache_evicts_lru_and_keeps_hot_entries() {
+        let mut ep = endpoint();
+        ep.set_query_cache_capacity(3);
+        let hot = "SELECT ?x WHERE { ?x a foaf:Person . }";
+        ep.select(hot).unwrap();
+        // Fill the cache with one-off queries while re-touching the hot
+        // entry between each, so it is never the least recently used.
+        for year in [2001, 2002, 2003, 2004, 2005] {
+            let cold = format!("SELECT ?p WHERE {{ ?p ont:pubYear \"{year}\" . }}");
+            ep.select(&cold).unwrap();
+            ep.select(hot).unwrap();
+        }
+        assert!(ep.cached_query_count() <= 3);
+        assert!(ep.is_query_cached(hot), "hot entry evicted under LRU");
+        // The most recent cold query survived; the oldest did not.
+        assert!(ep.is_query_cached("SELECT ?p WHERE { ?p ont:pubYear \"2005\" . }"));
+        assert!(!ep.is_query_cached("SELECT ?p WHERE { ?p ont:pubYear \"2001\" . }"));
+        // Evicted entries recompile and still answer correctly.
+        assert_eq!(ep.select(hot).unwrap().len(), 2);
+        // Lowering the capacity converges on the next miss: the cache
+        // shrinks below the old high-water size instead of pinning it.
+        ep.set_query_cache_capacity(2);
+        ep.select("SELECT ?p WHERE { ?p ont:pubYear \"2010\" . }")
+            .unwrap();
         assert_eq!(ep.cached_query_count(), 2);
     }
 

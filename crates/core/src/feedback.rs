@@ -23,12 +23,15 @@ fn fb(local: &str) -> Iri {
 /// Outcome of one request, as reported to the client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Feedback {
-    /// The operation executed; `statements` SQL statements ran.
+    /// The operation executed; `statements` SQL statement groups ran.
     Success {
         /// Operation name (`INSERT DATA`, …).
         operation: String,
-        /// Number of SQL statements executed.
+        /// Number of SQL statements executed (one per table-level
+        /// group on the set-based write path).
         statements: usize,
+        /// Total rows the statements inserted/updated/deleted.
+        rows: usize,
     },
     /// The operation was rejected or failed; nothing was changed.
     Rejection {
@@ -53,6 +56,7 @@ impl Feedback {
             Feedback::Success {
                 operation,
                 statements,
+                rows,
             } => {
                 g.insert(Triple::new(
                     report.clone(),
@@ -65,9 +69,14 @@ impl Feedback {
                     Literal::plain(operation.clone()),
                 ));
                 g.insert(Triple::new(
-                    report,
+                    report.clone(),
                     fb("statementsExecuted"),
                     Literal::integer(*statements as i64),
+                ));
+                g.insert(Triple::new(
+                    report,
+                    fb("rowsAffected"),
+                    Literal::integer(*rows as i64),
                 ));
             }
             Feedback::Rejection { operation, error } => {
@@ -176,6 +185,7 @@ mod tests {
         let f = Feedback::Success {
             operation: "INSERT DATA".into(),
             statements: 3,
+            rows: 120,
         };
         let g = f.to_graph();
         assert!(g.contains(&Triple::new(
@@ -186,6 +196,8 @@ mod tests {
         let text = f.to_turtle();
         assert!(text.contains("fb:Confirmation"));
         assert!(text.contains("3"));
+        assert!(text.contains("fb:rowsAffected"));
+        assert!(text.contains("120"));
     }
 
     #[test]

@@ -53,9 +53,15 @@ pub use endpoint::{Endpoint, ScriptError, UpdateOutcome};
 pub use error::{OntoError, OntoResult};
 pub use feedback::Feedback;
 pub use materialize::materialize;
-pub use modify::{execute_modify, execute_update_op, ModifyReport};
+pub use modify::{
+    execute_modify, execute_modify_reference, execute_update_op, execute_update_op_reference,
+    ModifyReport,
+};
 pub use query::{
     compile_select, ensure_join_indexes, execute_query, execute_select, run_compiled,
     CompiledQuery, VarShape,
 };
-pub use translate::{group_by_subject, identify, TranslateOptions};
+pub use translate::{
+    emit_grouped, emit_per_row, execute_sorted, execute_sorted_reference, group_by_subject,
+    identify, ExecutionReport, RowOp, TranslateOptions,
+};

@@ -13,20 +13,22 @@
 //! value directly.
 
 use crate::error::{OntoError, OntoResult};
-use crate::translate::delete::translate_delete_data;
-use crate::translate::insert::translate_insert_data;
-use crate::translate::{execute_sorted, TranslateOptions};
+use crate::translate::delete::{translate_delete_data, translate_delete_data_per_row};
+use crate::translate::insert::{translate_insert_data, translate_insert_data_per_row};
+use crate::translate::{execute_sorted, execute_sorted_reference, TranslateOptions};
 use r3m::Mapping;
-use rdf::Triple;
+use rdf::{Iri, Term, Triple};
 use rel::sql::Statement;
 use rel::Database;
 use sparql::{
     instantiate_all, GroupPattern, Projection, SelectQuery, Solutions, TriplePattern, UpdateOp,
 };
+use std::collections::BTreeSet;
 
 /// Everything Algorithm 2 produced while processing one `MODIFY`: the
 /// intermediate artifacts the paper shows (the SELECT, the per-binding
-/// DATA operations of Listing 12) plus the executed SQL.
+/// DATA operations of Listing 12) plus the executed SQL with its
+/// group-level accounting.
 #[derive(Debug, Clone, Default)]
 pub struct ModifyReport {
     /// SQL text of the translated SELECT (step 3).
@@ -40,13 +42,18 @@ pub struct ModifyReport {
     pub insert_data: Vec<Triple>,
     /// Deletions dropped by the §5.2 optimization.
     pub optimized_away: Vec<Triple>,
-    /// SQL statements executed, in order.
+    /// SQL statements executed, in order — on the batched path one per
+    /// table-level group, not per binding.
     pub executed: Vec<Statement>,
+    /// Total rows the executed statements inserted/updated/deleted
+    /// (the per-binding fan-out the groups absorbed).
+    pub rows_affected: usize,
 }
 
-/// Execute a `MODIFY` against the database. On error, no change is made
-/// (each DATA round runs in a transaction; a failure in round *k* rolls
-/// back round *k* — see the caller in [`crate::endpoint`] for the outer
+/// Execute a `MODIFY` against the database through the set-based write
+/// pipeline (grouped statements). On error, no change is made (each
+/// DATA round runs in a transaction; a failure in round *k* rolls back
+/// round *k* — see the caller in [`crate::endpoint`] for the outer
 /// transaction that makes the whole MODIFY atomic).
 pub fn execute_modify(
     db: &mut Database,
@@ -54,6 +61,31 @@ pub fn execute_modify(
     delete: &[TriplePattern],
     insert: &[TriplePattern],
     pattern: &GroupPattern,
+) -> OntoResult<ModifyReport> {
+    execute_modify_impl(db, mapping, delete, insert, pattern, true)
+}
+
+/// Reference variant of [`execute_modify`]: identical Algorithm 2, but
+/// steps 5-6 emit and execute one statement per row through the seed's
+/// per-statement sort — the baseline of the batched-vs-per-row
+/// differential tests and the `bulk_update` benchmark.
+pub fn execute_modify_reference(
+    db: &mut Database,
+    mapping: &Mapping,
+    delete: &[TriplePattern],
+    insert: &[TriplePattern],
+    pattern: &GroupPattern,
+) -> OntoResult<ModifyReport> {
+    execute_modify_impl(db, mapping, delete, insert, pattern, false)
+}
+
+fn execute_modify_impl(
+    db: &mut Database,
+    mapping: &Mapping,
+    delete: &[TriplePattern],
+    insert: &[TriplePattern],
+    pattern: &GroupPattern,
+    batched: bool,
 ) -> OntoResult<ModifyReport> {
     let mut report = ModifyReport::default();
 
@@ -71,19 +103,24 @@ pub fn execute_modify(
         .map_err(|e| OntoError::Unsupported { message: e.message })?;
 
     // §5.2 optimization: drop deletions whose (subject, predicate) also
-    // appears among the insertions with a different object.
+    // appears among the insertions — with a different object (the
+    // insert overwrites the value directly) or the same one (the delete
+    // is undone by the reassertion). One (subject, predicate) lookup
+    // per deletion instead of a scan over all insertions.
+    let inserted_sp: BTreeSet<(&Term, &Iri)> = insertions
+        .iter()
+        .map(|i| (&i.subject, &i.predicate))
+        .collect();
     let mut kept_deletions = Vec::new();
     for d in deletions {
-        let replaced = insertions
-            .iter()
-            .any(|i| i.subject == d.subject && i.predicate == d.predicate && i.object != d.object);
-        let reasserted = insertions.contains(&d);
-        if replaced || reasserted {
+        let redundant = inserted_sp.contains(&(&d.subject, &d.predicate));
+        if redundant {
             report.optimized_away.push(d);
         } else {
             kept_deletions.push(d);
         }
     }
+    drop(inserted_sp);
     report.delete_data = kept_deletions.clone();
     report.insert_data = insertions.clone();
 
@@ -91,21 +128,35 @@ pub fn execute_modify(
     // insertions (member submission semantics); inserts may overwrite
     // attributes whose delete was optimized away.
     if !kept_deletions.is_empty() {
-        let stmts = translate_delete_data(db, mapping, &kept_deletions)?;
-        let executed = execute_sorted(db, stmts)?;
-        report.executed.extend(executed);
+        let stmts = if batched {
+            translate_delete_data(db, mapping, &kept_deletions)?
+        } else {
+            translate_delete_data_per_row(db, mapping, &kept_deletions)?
+        };
+        let executed = if batched {
+            execute_sorted(db, stmts)?
+        } else {
+            execute_sorted_reference(db, stmts)?
+        };
+        report.executed.extend(executed.statements);
+        report.rows_affected += executed.rows_affected;
     }
     if !insertions.is_empty() {
-        let stmts = translate_insert_data(
-            db,
-            mapping,
-            &insertions,
-            TranslateOptions {
-                allow_overwrite: true,
-            },
-        )?;
-        let executed = execute_sorted(db, stmts)?;
-        report.executed.extend(executed);
+        let options = TranslateOptions {
+            allow_overwrite: true,
+        };
+        let stmts = if batched {
+            translate_insert_data(db, mapping, &insertions, options)?
+        } else {
+            translate_insert_data_per_row(db, mapping, &insertions, options)?
+        };
+        let executed = if batched {
+            execute_sorted(db, stmts)?
+        } else {
+            execute_sorted_reference(db, stmts)?
+        };
+        report.executed.extend(executed.statements);
+        report.rows_affected += executed.rows_affected;
     }
     Ok(report)
 }
@@ -122,12 +173,13 @@ pub fn select_from_where(pattern: &GroupPattern) -> SelectQuery {
     }
 }
 
-/// Convenience: run any update operation through the right algorithm.
+/// Convenience: run any update operation through the right algorithm
+/// (set-based pipeline).
 pub fn execute_update_op(
     db: &mut Database,
     mapping: &Mapping,
     op: &UpdateOp,
-) -> OntoResult<Vec<Statement>> {
+) -> OntoResult<crate::translate::ExecutionReport> {
     match op {
         UpdateOp::InsertData { triples } => {
             let stmts = translate_insert_data(db, mapping, triples, TranslateOptions::default())?;
@@ -143,7 +195,41 @@ pub fn execute_update_op(
             pattern,
         } => {
             let report = execute_modify(db, mapping, delete, insert, pattern)?;
-            Ok(report.executed)
+            Ok(crate::translate::ExecutionReport {
+                statements: report.executed,
+                rows_affected: report.rows_affected,
+            })
+        }
+    }
+}
+
+/// Reference counterpart of [`execute_update_op`]: the per-row emission
+/// through the seed's statement-pair sort, end to end.
+pub fn execute_update_op_reference(
+    db: &mut Database,
+    mapping: &Mapping,
+    op: &UpdateOp,
+) -> OntoResult<crate::translate::ExecutionReport> {
+    match op {
+        UpdateOp::InsertData { triples } => {
+            let stmts =
+                translate_insert_data_per_row(db, mapping, triples, TranslateOptions::default())?;
+            execute_sorted_reference(db, stmts)
+        }
+        UpdateOp::DeleteData { triples } => {
+            let stmts = translate_delete_data_per_row(db, mapping, triples)?;
+            execute_sorted_reference(db, stmts)
+        }
+        UpdateOp::Modify {
+            delete,
+            insert,
+            pattern,
+        } => {
+            let report = execute_modify_reference(db, mapping, delete, insert, pattern)?;
+            Ok(crate::translate::ExecutionReport {
+                statements: report.executed,
+                rows_affected: report.rows_affected,
+            })
         }
     }
 }
@@ -297,7 +383,17 @@ mod tests {
              WHERE { ?x ont:team ?t . }",
         );
         assert_eq!(report.bindings, 2);
-        assert_eq!(report.executed.len(), 2);
+        // Both bindings share one shape → one grouped statement that
+        // touches two rows.
+        assert_eq!(report.executed.len(), 1);
+        assert_eq!(report.rows_affected, 2);
+        assert_eq!(
+            render(&report.executed),
+            vec![
+                "UPDATE author BY (id, team) SET (team) \
+             VALUES (6, 5, NULL), (7, 5, NULL);"
+            ]
+        );
         for id in [6, 7] {
             let rid = db.find_by_pk("author", &[Value::Int(id)]).unwrap().unwrap();
             let table = db.schema().table("author").unwrap();

@@ -5,29 +5,53 @@
 //! removed with `DELETE FROM`; if it covers a proper subset, the
 //! mentioned attributes are set to NULL with an `UPDATE` (Listing 17 →
 //! Listing 18), rejected early when an attribute is NOT NULL. Link
-//! triples delete the corresponding link-table row.
+//! triples delete the corresponding link-table row. The default
+//! emission groups row plans per (table, column-shape) — pk deletes
+//! fold into `WHERE pk IN (…)`, null-updates into the grouped
+//! `UPDATE … BY …` — while the per-row reference emission reproduces
+//! the seed's one-statement-per-row stream.
 
 use crate::convert::literal_matches_value;
 use crate::error::{OntoError, OntoResult};
-use crate::translate::insert::pk_predicate;
-use crate::translate::{group_by_subject, identify, IdentifiedSubject};
+use crate::translate::insert::pk_key_pairs;
+use crate::translate::{
+    emit_grouped, emit_per_row, group_by_subject, identify, IdentifiedSubject, RowOp,
+};
 use r3m::{Mapping, PropertyMapping};
 use rdf::namespace::rdf_type;
 use rdf::{Term, Triple};
-use rel::sql::{DeleteStmt, Expr, Statement, UpdateStmt};
+use rel::sql::Statement;
 use rel::{Database, Value};
 
-/// Translate a full `DELETE DATA` operation into unsorted SQL.
+/// Translate a full `DELETE DATA` operation into unsorted, grouped SQL
+/// statements (one per table and column shape).
 pub fn translate_delete_data(
     db: &Database,
     mapping: &Mapping,
     triples: &[Triple],
 ) -> OntoResult<Vec<Statement>> {
-    let mut statements = Vec::new();
+    Ok(emit_grouped(
+        db.schema(),
+        delete_plans(db, mapping, triples)?,
+    ))
+}
+
+/// Reference translation: the same row plans emitted one statement per
+/// row, exactly as the pre-batching pipeline did.
+pub fn translate_delete_data_per_row(
+    db: &Database,
+    mapping: &Mapping,
+    triples: &[Triple],
+) -> OntoResult<Vec<Statement>> {
+    Ok(emit_per_row(delete_plans(db, mapping, triples)?))
+}
+
+fn delete_plans(db: &Database, mapping: &Mapping, triples: &[Triple]) -> OntoResult<Vec<RowOp>> {
+    let mut plans = Vec::new();
     for (subject, group) in group_by_subject(triples) {
-        statements.extend(translate_group(db, mapping, &subject, &group)?);
+        plans.extend(translate_group(db, mapping, &subject, &group)?);
     }
-    Ok(statements)
+    Ok(plans)
 }
 
 fn translate_group(
@@ -35,7 +59,7 @@ fn translate_group(
     mapping: &Mapping,
     subject: &Term,
     triples: &[Triple],
-) -> OntoResult<Vec<Statement>> {
+) -> OntoResult<Vec<RowOp>> {
     let identified = identify(db, mapping, subject)?;
     let table = db.schema().table(&identified.table_map.table_name)?.clone();
     let table_name = table.name.clone();
@@ -50,7 +74,7 @@ fn translate_group(
 
     let mut has_type = false;
     let mut mentioned: Vec<(String, Value)> = Vec::new();
-    let mut link_statements: Vec<Statement> = Vec::new();
+    let mut link_plans: Vec<RowOp> = Vec::new();
 
     for triple in triples {
         if triple.predicate == rdf_type() {
@@ -96,7 +120,7 @@ fn translate_group(
             continue;
         }
         if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
-            link_statements.push(translate_link_delete(
+            link_plans.push(translate_link_delete(
                 db,
                 mapping,
                 &identified,
@@ -111,7 +135,7 @@ fn translate_group(
         });
     }
 
-    let mut statements = Vec::new();
+    let mut plans = Vec::new();
     if !mentioned.is_empty() || has_type {
         // All non-NULL, non-key mapped attributes of the row.
         let all_set: Vec<String> = identified
@@ -132,10 +156,10 @@ fn translate_group(
 
         if has_type && covered_all {
             // The request equals all remaining data → remove the row.
-            statements.push(Statement::Delete(DeleteStmt {
+            plans.push(RowOp::Delete {
                 table: table_name.clone(),
-                where_clause: Some(pk_predicate(&table, &identified)?),
-            }));
+                key: pk_key_pairs(&table, &identified)?,
+            });
         } else if has_type {
             return Err(OntoError::CannotRemoveType { table: table_name });
         } else {
@@ -150,27 +174,22 @@ fn translate_group(
                     });
                 }
             }
-            // WHERE pk = … AND attr = current-value … (paper's Listing
-            // 18 includes the value equality).
-            let mut predicate = pk_predicate(&table, &identified)?;
-            for (name, value) in &mentioned {
-                predicate = Expr::and(
-                    predicate,
-                    Expr::eq(Expr::col(name), Expr::Value(value.clone())),
-                );
-            }
-            statements.push(Statement::Update(UpdateStmt {
+            // Key: pk = … plus attr = current-value … (paper's Listing
+            // 18 includes the value equality as a guard).
+            let mut key = pk_key_pairs(&table, &identified)?;
+            key.extend(mentioned.iter().cloned());
+            plans.push(RowOp::Update {
                 table: table_name.clone(),
-                assignments: mentioned
+                key,
+                sets: mentioned
                     .iter()
-                    .map(|(n, _)| (n.clone(), Expr::Value(Value::Null)))
+                    .map(|(n, _)| (n.clone(), Value::Null))
                     .collect(),
-                where_clause: Some(predicate),
-            }));
+            });
         }
     }
-    statements.extend(link_statements);
-    Ok(statements)
+    plans.extend(link_plans);
+    Ok(plans)
 }
 
 // The triple being deleted must actually exist in the RDF view: the
@@ -250,7 +269,7 @@ fn translate_link_delete(
     identified: &IdentifiedSubject<'_>,
     link: &r3m::LinkTableMap,
     triple: &Triple,
-) -> OntoResult<Statement> {
+) -> OntoResult<RowOp> {
     let subject_target = link
         .subject_attribute
         .foreign_key_target()
@@ -342,19 +361,13 @@ fn translate_link_delete(
             ),
         });
     }
-    Ok(Statement::Delete(DeleteStmt {
+    Ok(RowOp::Delete {
         table: link.table_name.clone(),
-        where_clause: Some(Expr::and(
-            Expr::eq(
-                Expr::col(&link.subject_attribute.attribute_name),
-                Expr::Value(s_val),
-            ),
-            Expr::eq(
-                Expr::col(&link.object_attribute.attribute_name),
-                Expr::Value(o_val),
-            ),
-        )),
-    }))
+        key: vec![
+            (link.subject_attribute.attribute_name.clone(), s_val),
+            (link.object_attribute.attribute_name.clone(), o_val),
+        ],
+    })
 }
 
 #[cfg(test)]
@@ -434,6 +447,68 @@ mod tests {
                 "UPDATE author SET title = NULL, firstname = NULL \
              WHERE id = 6 AND title = 'Mr' AND firstname = 'Matthias';"
             ]
+        );
+    }
+
+    #[test]
+    fn full_row_deletes_fold_into_one_in_list() {
+        let (db, mapping) = fixture_db_with_rows();
+        // Remove publication 1's link first so teams are deletable in
+        // isolation — here both team rows, fully covered.
+        let op = parse_update(
+            "DELETE DATA { ex:team4 a foaf:Group ; \
+               foaf:name \"Database Technology\" ; ont:teamCode \"DBTG\" . \
+               ex:team5 a foaf:Group ; \
+               foaf:name \"Software Engineering\" ; ont:teamCode \"SEAL\" . }",
+        );
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(render(&stmts), vec!["DELETE FROM team WHERE id IN (4, 5);"]);
+        // Per-row reference path: one DELETE per row.
+        let per_row = translate_delete_data_per_row(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(
+            render(&per_row),
+            vec![
+                "DELETE FROM team WHERE id = 4;",
+                "DELETE FROM team WHERE id = 5;",
+            ]
+        );
+    }
+
+    #[test]
+    fn same_shape_null_updates_fold_into_grouped_update() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "DELETE DATA { ex:author6 foaf:firstName \"Matthias\" . \
+             ex:author7 foaf:firstName \"Gerald\" . }",
+        );
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "UPDATE author BY (id, firstname) SET (firstname) \
+             VALUES (6, 'Matthias', NULL), (7, 'Gerald', NULL);"
+            ]
+        );
+    }
+
+    #[test]
+    fn link_deletes_sharing_a_subject_fold_into_an_in_list() {
+        let (mut db, mapping) = fixture_db_with_rows();
+        // Give pub1 a second author so two links share the subject side.
+        db.insert(
+            "publication_author",
+            &[
+                ("publication".to_owned(), Value::Int(1)),
+                ("author".to_owned(), Value::Int(7)),
+            ],
+        )
+        .unwrap();
+        let op =
+            parse_update("DELETE DATA { ex:pub1 dc:creator ex:author6 ; dc:creator ex:author7 . }");
+        let stmts = translate_delete_data(&db, &mapping, &delete_data(&op)).unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec!["DELETE FROM publication_author WHERE publication = 1 AND author IN (6, 7);"]
         );
     }
 

@@ -1,29 +1,61 @@
 //! `INSERT DATA` → SQL (paper §5.1).
 //!
-//! Per subject group the translation produces either an `INSERT INTO`
-//! (entity not yet in the database) or an `UPDATE` filling NULL
+//! Per subject group the translation produces either an insert row plan
+//! (entity not yet in the database) or an update plan filling NULL
 //! attributes (entity exists — the paper's "second INSERT DATA with the
 //! additional data" case). Link-table triples (`dc:creator`) become
-//! separate `INSERT`s into the link table.
+//! separate insert plans for the link table. The default emission folds
+//! plans of one (table, column-shape) into one set-based statement
+//! ([`crate::translate::emit_grouped`]); the per-row reference emission
+//! reproduces the seed's one-statement-per-row stream.
 
 use crate::convert::{object_literal_to_value, pattern_value};
 use crate::error::{OntoError, OntoResult};
-use crate::translate::{group_by_subject, identify, IdentifiedSubject, TranslateOptions};
+use crate::translate::{
+    emit_grouped, emit_per_row, group_by_subject, identify, IdentifiedSubject, RowOp,
+    TranslateOptions,
+};
 use r3m::{Mapping, PropertyMapping};
 use rdf::namespace::rdf_type;
 use rdf::{Iri, Term, Triple};
-use rel::sql::{Expr, InsertStmt, Statement, UpdateStmt};
+use rel::sql::Statement;
 use rel::{Database, Value};
 use std::collections::BTreeMap;
 
 /// Translate a full `INSERT DATA` operation (all subject groups) into
-/// unsorted SQL statements.
+/// unsorted, grouped SQL statements (one per table and column shape).
 pub fn translate_insert_data(
     db: &Database,
     mapping: &Mapping,
     triples: &[Triple],
     options: TranslateOptions,
 ) -> OntoResult<Vec<Statement>> {
+    Ok(emit_grouped(
+        db.schema(),
+        insert_plans(db, mapping, triples, options)?,
+    ))
+}
+
+/// Reference translation: the same row plans emitted one statement per
+/// row, exactly as the pre-batching pipeline did. Baseline for the
+/// batched-vs-per-row differential tests and the `bulk_update` bench.
+pub fn translate_insert_data_per_row(
+    db: &Database,
+    mapping: &Mapping,
+    triples: &[Triple],
+    options: TranslateOptions,
+) -> OntoResult<Vec<Statement>> {
+    Ok(emit_per_row(insert_plans(db, mapping, triples, options)?))
+}
+
+// Steps 1-4 of Algorithm 1 for `INSERT DATA`: group, identify, check,
+// and plan one row operation per subject (plus link rows).
+fn insert_plans(
+    db: &Database,
+    mapping: &Mapping,
+    triples: &[Triple],
+    options: TranslateOptions,
+) -> OntoResult<Vec<RowOp>> {
     let groups = group_by_subject(triples);
     // Entities this operation creates or touches: FK targets may be
     // satisfied by rows that a sibling group inserts (Listing 15 inserts
@@ -37,13 +69,13 @@ pub fn translate_insert_data(
             );
         }
     }
-    let mut statements = Vec::new();
+    let mut plans = Vec::new();
     for (subject, group) in &groups {
-        statements.extend(translate_group(
+        plans.extend(translate_group(
             db, mapping, subject, group, &touched, options,
         )?);
     }
-    Ok(statements)
+    Ok(plans)
 }
 
 fn translate_group(
@@ -53,13 +85,13 @@ fn translate_group(
     triples: &[Triple],
     touched: &BTreeMap<Iri, String>,
     options: TranslateOptions,
-) -> OntoResult<Vec<Statement>> {
+) -> OntoResult<Vec<RowOp>> {
     let identified = identify(db, mapping, subject)?;
     let table = db.schema().table(&identified.table_map.table_name)?.clone();
     let table_name = table.name.clone();
 
     let mut assignments: Vec<(String, Value)> = Vec::new();
-    let mut link_statements: Vec<Statement> = Vec::new();
+    let mut link_plans: Vec<RowOp> = Vec::new();
 
     for triple in triples {
         if triple.predicate == rdf_type() {
@@ -100,7 +132,7 @@ fn translate_group(
             continue;
         }
         if let Some(link) = mapping.link_table_by_property(&triple.predicate) {
-            link_statements.push(translate_link_insert(
+            link_plans.push(translate_link_insert(
                 db,
                 mapping,
                 &identified,
@@ -139,7 +171,7 @@ fn translate_group(
         .collect();
 
     let existing_row = crate::translate::find_row(db, &identified)?;
-    let mut statements = Vec::new();
+    let mut plans = Vec::new();
     match existing_row {
         None => {
             // New entity: NOT NULL attributes without default must be
@@ -173,11 +205,11 @@ fn translate_group(
                     values.push(value.clone());
                 }
             }
-            statements.push(Statement::Insert(InsertStmt {
+            plans.push(RowOp::Insert {
                 table: table_name.clone(),
                 columns,
                 values,
-            }));
+            });
         }
         Some(row_id) => {
             // Existing entity: only fill attributes; a differing
@@ -207,32 +239,31 @@ fn translate_group(
                 }
             }
             if !updates.is_empty() {
-                let where_clause = pk_predicate(&table, &identified)?;
-                statements.push(Statement::Update(UpdateStmt {
+                plans.push(RowOp::Update {
                     table: table_name.clone(),
-                    assignments: updates
-                        .into_iter()
-                        .map(|(n, v)| (n, Expr::Value(v)))
-                        .collect(),
-                    where_clause: Some(where_clause),
-                }));
+                    key: pk_key_pairs(&table, &identified)?,
+                    sets: updates,
+                });
             }
         }
     }
-    statements.extend(link_statements);
-    Ok(statements)
+    plans.extend(link_plans);
+    Ok(plans)
 }
 
-/// Build `pk1 = v1 AND pk2 = v2 …` for the identified subject.
-pub fn pk_predicate(table: &rel::Table, identified: &IdentifiedSubject<'_>) -> OntoResult<Expr> {
+/// The `(pk column, value)` pairs identifying a subject's row — the
+/// plan key behind the paper's `WHERE pk1 = v1 AND pk2 = v2 …`.
+pub fn pk_key_pairs(
+    table: &rel::Table,
+    identified: &IdentifiedSubject<'_>,
+) -> OntoResult<Vec<(String, Value)>> {
     let pk_values = identified.pk_values(table)?;
-    let mut conjuncts = Vec::new();
-    for (name, value) in table.primary_key.iter().zip(pk_values) {
-        conjuncts.push(Expr::eq(Expr::col(name), Expr::Value(value)));
+    if table.primary_key.is_empty() {
+        return Err(OntoError::Unsupported {
+            message: format!("table {:?} has no primary key", table.name),
+        });
     }
-    Expr::conjunction(conjuncts).ok_or_else(|| OntoError::Unsupported {
-        message: format!("table {:?} has no primary key", table.name),
-    })
+    Ok(table.primary_key.iter().cloned().zip(pk_values).collect())
 }
 
 fn check_type_triple(
@@ -388,7 +419,7 @@ fn translate_link_insert(
     link: &r3m::LinkTableMap,
     triple: &Triple,
     touched: &BTreeMap<Iri, String>,
-) -> OntoResult<Statement> {
+) -> OntoResult<RowOp> {
     let subject_target = link
         .subject_attribute
         .foreign_key_target()
@@ -432,7 +463,7 @@ fn translate_link_insert(
         &triple.object,
         touched,
     )?;
-    Ok(Statement::Insert(InsertStmt {
+    Ok(RowOp::Insert {
         table: link.table_name.clone(),
         columns: vec![
             link.subject_attribute.attribute_name.clone(),
@@ -442,7 +473,7 @@ fn translate_link_insert(
             subject_pk.into_iter().next().expect("len checked"),
             object_value,
         ],
-    }))
+    })
 }
 
 #[cfg(test)]
@@ -573,6 +604,122 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, OntoError::DanglingObject { .. }));
+    }
+
+    #[test]
+    fn same_shape_subjects_fold_into_one_multi_row_insert() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA {
+               ex:team7 foaf:name \"T7\" ; ont:teamCode \"C7\" .
+               ex:team8 foaf:name \"T8\" ; ont:teamCode \"C8\" .
+               ex:team9 foaf:name \"T9\" ; ont:teamCode \"C9\" .
+             }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "INSERT INTO team (id, name, code) \
+             VALUES (7, 'T7', 'C7'), (8, 'T8', 'C8'), (9, 'T9', 'C9');"
+            ]
+        );
+        // The per-row reference path still emits one statement per row.
+        let per_row = translate_insert_data_per_row(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(per_row.len(), 3);
+    }
+
+    #[test]
+    fn shape_change_breaks_the_insert_run() {
+        // A different column shape in the middle closes the table's
+        // open group: rows must keep plan order so the physical heap
+        // matches the per-row reference emission byte for byte.
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA {
+               ex:team7 foaf:name \"T7\" ; ont:teamCode \"C7\" .
+               ex:team8 foaf:name \"T8\" .
+               ex:team9 foaf:name \"T9\" ; ont:teamCode \"C9\" .
+             }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "INSERT INTO team (id, name, code) VALUES (7, 'T7', 'C7');",
+                "INSERT INTO team (id, name) VALUES (8, 'T8');",
+                "INSERT INTO team (id, name, code) VALUES (9, 'T9', 'C9');",
+            ]
+        );
+    }
+
+    #[test]
+    fn existing_subjects_fold_into_one_grouped_update() {
+        let (db, mapping) = fixture_db_with_rows();
+        // Both authors exist; both get their title filled.
+        let op = parse_update(
+            "INSERT DATA {
+               ex:author6 foaf:mbox <mailto:six@x.ch> .
+               ex:author7 foaf:mbox <mailto:seven@x.ch> .
+             }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions {
+                allow_overwrite: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "UPDATE author BY (id) SET (email) \
+             VALUES (6, 'six@x.ch'), (7, 'seven@x.ch');"
+            ]
+        );
+    }
+
+    #[test]
+    fn link_inserts_fold_into_one_multi_row_insert() {
+        let (db, mapping) = fixture_db_with_rows();
+        let op = parse_update(
+            "INSERT DATA { ex:pub1 dc:creator ex:author7 . \
+             ex:author7 foaf:mbox <mailto:seven@x.ch> . }",
+        );
+        let stmts = translate_insert_data(
+            &db,
+            &mapping,
+            &insert_data(&op),
+            TranslateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            render(&stmts),
+            vec![
+                "UPDATE author SET email = 'seven@x.ch' WHERE id = 7;",
+                "INSERT INTO publication_author (publication, author) VALUES (1, 7);",
+            ]
+        );
     }
 
     #[test]

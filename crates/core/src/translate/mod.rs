@@ -20,9 +20,9 @@ use crate::convert::pattern_value;
 use crate::error::{OntoError, OntoResult};
 use r3m::{Mapping, TableMap};
 use rdf::{Iri, Term, Triple};
-use rel::sql::Statement;
-use rel::{Database, Value};
-use std::collections::BTreeMap;
+use rel::sql::{BulkRow, BulkUpdateStmt, DeleteStmt, Expr, InsertStmt, Statement, UpdateStmt};
+use rel::{Database, IndexKey, Schema, Value};
+use std::collections::{BTreeMap, HashMap};
 
 /// Options modulating translation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -143,22 +143,357 @@ pub fn find_row(
     Ok(db.find_by_pk(&table.name, &pk)?)
 }
 
-/// Steps 5+6 — sort the collected statements by FK dependencies and
-/// execute them inside one transaction. On any failure the transaction
-/// is rolled back and the database is unchanged.
+// ----------------------------------------------------------------------
+// Row plans: the neutral output of steps 3+4, before emission
+// ----------------------------------------------------------------------
+
+/// One row-level effect of Algorithm 1, produced per subject group
+/// before any SQL is rendered. The grouped (default) emission folds all
+/// plans of one (table, column-shape) into one set-based statement; the
+/// per-row reference emission maps each plan to the classic single-row
+/// statement the seed pipeline produced — both from the same plans, so
+/// the two paths are semantically identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowOp {
+    /// A new row.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Supplied columns, in schema order.
+        columns: Vec<String>,
+        /// Values, parallel to `columns`.
+        values: Vec<Value>,
+    },
+    /// Assignments to the row(s) matching `key` with SQL equality. The
+    /// key lists the primary-key pairs first, then any guard pairs (the
+    /// paper's Listing-18 current-value equality).
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value)` equality pairs identifying the row.
+        key: Vec<(String, Value)>,
+        /// `(column, value)` assignments.
+        sets: Vec<(String, Value)>,
+    },
+    /// Removal of the row(s) matching `key`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// `(column, value)` equality pairs identifying the row.
+        key: Vec<(String, Value)>,
+    },
+}
+
+// `k1 = v1 AND k2 = v2 …` over a plan key.
+fn key_predicate(key: &[(String, Value)]) -> Expr {
+    Expr::conjunction(
+        key.iter()
+            .map(|(column, value)| Expr::eq(Expr::col(column), Expr::Value(value.clone())))
+            .collect(),
+    )
+    .expect("plan keys are non-empty")
+}
+
+impl RowOp {
+    // The classic single-row statement (the seed's emission, verbatim).
+    fn into_single_statement(self) -> Statement {
+        match self {
+            RowOp::Insert {
+                table,
+                columns,
+                values,
+            } => Statement::Insert(InsertStmt::single(table, columns, values)),
+            RowOp::Update { table, key, sets } => Statement::Update(UpdateStmt {
+                table,
+                assignments: sets
+                    .into_iter()
+                    .map(|(column, value)| (column, Expr::Value(value)))
+                    .collect(),
+                where_clause: Some(key_predicate(&key)),
+            }),
+            RowOp::Delete { table, key } => Statement::Delete(DeleteStmt {
+                table,
+                where_clause: Some(key_predicate(&key)),
+            }),
+        }
+    }
+}
+
+/// Per-row reference emission: one statement per plan, exactly the
+/// statement stream the pre-batching pipeline produced.
+pub fn emit_per_row(plans: Vec<RowOp>) -> Vec<Statement> {
+    plans
+        .into_iter()
+        .map(RowOp::into_single_statement)
+        .collect()
+}
+
+// Shape keys for update/delete grouping (inserts group by per-table
+// runs instead — see [`emit_grouped`]). Deletes additionally fix every
+// key column but the last (link-table deletes share the subject side),
+// so the varying tail column can fold into one `IN (…)` list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Shape {
+    Update(String, Vec<String>, Vec<String>),
+    Delete(String, Vec<String>, Vec<IndexKey>),
+}
+
+enum Group {
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    Update {
+        table: String,
+        key_columns: Vec<String>,
+        set_columns: Vec<String>,
+        rows: Vec<BulkRow>,
+    },
+    Delete {
+        table: String,
+        prefix: Vec<(String, Value)>,
+        tail_column: String,
+        tail_values: Vec<Value>,
+    },
+}
+
+/// Grouped emission: one statement per (table, column-shape), in
+/// first-appearance order. Single-plan groups render as the classic
+/// single-row statements (the paper's listing shapes); larger groups
+/// become multi-row `INSERT`, grouped `UPDATE … BY …`, or `DELETE …
+/// IN (…)`. Inserts into and deletes from self-referencing tables are
+/// never grouped, preserving the FK sort's cycle detection.
 ///
-/// Returns the statements in execution order.
-pub fn execute_sorted(db: &mut Database, statements: Vec<Statement>) -> OntoResult<Vec<Statement>> {
+/// Inserts fold **runs** per table: a shape change within one table
+/// closes that table's open group, so rows of one table always execute
+/// in plan order and the physical heap (row ids, auto-increment
+/// values) stays byte-identical to the per-row reference emission.
+/// Updates and deletes group across the whole plan list — they create
+/// no row ids, touch each row at most once per round, and removal
+/// order cannot change the final state.
+pub fn emit_grouped(schema: &Schema, plans: Vec<RowOp>) -> Vec<Statement> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut index: HashMap<Shape, usize> = HashMap::new();
+    // Per table: the trailing (still open) insert group and its shape.
+    let mut open_insert: HashMap<String, (Vec<String>, usize)> = HashMap::new();
+    let self_references = |table: &str| schema.referenced_tables(table).contains(&table);
+    for plan in plans {
+        match plan {
+            RowOp::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                if self_references(&table) {
+                    groups.push(Group::Insert {
+                        table,
+                        columns,
+                        rows: vec![values],
+                    });
+                    continue;
+                }
+                match open_insert.get(&table) {
+                    Some((open_columns, at)) if *open_columns == columns => {
+                        let Group::Insert { rows, .. } = &mut groups[*at] else {
+                            unreachable!("open_insert points at an insert group")
+                        };
+                        rows.push(values);
+                    }
+                    _ => {
+                        open_insert.insert(table.clone(), (columns.clone(), groups.len()));
+                        groups.push(Group::Insert {
+                            table,
+                            columns,
+                            rows: vec![values],
+                        });
+                    }
+                }
+            }
+            RowOp::Update { table, key, sets } => {
+                let key_columns: Vec<String> = key.iter().map(|(c, _)| c.clone()).collect();
+                let set_columns: Vec<String> = sets.iter().map(|(c, _)| c.clone()).collect();
+                let row = BulkRow {
+                    key: key.into_iter().map(|(_, v)| v).collect(),
+                    set: sets.into_iter().map(|(_, v)| v).collect(),
+                };
+                let shape = Shape::Update(table.clone(), key_columns.clone(), set_columns.clone());
+                match index.get(&shape) {
+                    Some(&at) => {
+                        let Group::Update { rows, .. } = &mut groups[at] else {
+                            unreachable!("shape key fixes the variant")
+                        };
+                        rows.push(row);
+                    }
+                    None => {
+                        index.insert(shape, groups.len());
+                        groups.push(Group::Update {
+                            table,
+                            key_columns,
+                            set_columns,
+                            rows: vec![row],
+                        });
+                    }
+                }
+            }
+            RowOp::Delete { table, mut key } => {
+                let (tail_column, tail_value) = key.pop().expect("plan keys are non-empty");
+                if self_references(&table) {
+                    groups.push(Group::Delete {
+                        table,
+                        prefix: key,
+                        tail_column,
+                        tail_values: vec![tail_value],
+                    });
+                    continue;
+                }
+                let columns: Vec<String> = key
+                    .iter()
+                    .map(|(c, _)| c.clone())
+                    .chain(std::iter::once(tail_column.clone()))
+                    .collect();
+                let prefix_keys: Vec<IndexKey> = key.iter().map(|(_, v)| v.index_key()).collect();
+                let shape = Shape::Delete(table.clone(), columns, prefix_keys);
+                match index.get(&shape) {
+                    Some(&at) => {
+                        let Group::Delete { tail_values, .. } = &mut groups[at] else {
+                            unreachable!("shape key fixes the variant")
+                        };
+                        tail_values.push(tail_value);
+                    }
+                    None => {
+                        index.insert(shape, groups.len());
+                        groups.push(Group::Delete {
+                            table,
+                            prefix: key,
+                            tail_column,
+                            tail_values: vec![tail_value],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|group| match group {
+            Group::Insert {
+                table,
+                columns,
+                rows,
+            } => Statement::Insert(InsertStmt {
+                table,
+                columns,
+                rows,
+            }),
+            Group::Update {
+                table,
+                key_columns,
+                set_columns,
+                mut rows,
+            } => {
+                if rows.len() == 1 {
+                    let row = rows.remove(0);
+                    RowOp::Update {
+                        table,
+                        key: key_columns.into_iter().zip(row.key).collect(),
+                        sets: set_columns.into_iter().zip(row.set).collect(),
+                    }
+                    .into_single_statement()
+                } else {
+                    Statement::BulkUpdate(BulkUpdateStmt {
+                        table,
+                        key_columns,
+                        set_columns,
+                        rows,
+                    })
+                }
+            }
+            Group::Delete {
+                table,
+                prefix,
+                tail_column,
+                mut tail_values,
+            } => {
+                if tail_values.len() == 1 {
+                    let mut key = prefix;
+                    key.push((tail_column, tail_values.remove(0)));
+                    RowOp::Delete { table, key }.into_single_statement()
+                } else {
+                    let mut conjuncts: Vec<Expr> = prefix
+                        .iter()
+                        .map(|(column, value)| {
+                            Expr::eq(Expr::col(column), Expr::Value(value.clone()))
+                        })
+                        .collect();
+                    conjuncts.push(Expr::col_in_values(&tail_column, tail_values));
+                    Statement::Delete(DeleteStmt {
+                        table,
+                        where_clause: Expr::conjunction(conjuncts),
+                    })
+                }
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Execution (steps 5+6)
+// ----------------------------------------------------------------------
+
+/// What one sorted execution did: the statements in execution order
+/// (one per table-level group on the batched path) plus the total row
+/// count they affected — the group-level accounting the endpoint and
+/// the feedback protocol report.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Statements in execution order.
+    pub statements: Vec<Statement>,
+    /// Rows inserted, updated, or deleted across all statements.
+    pub rows_affected: usize,
+}
+
+/// Steps 5+6 — sort the collected statements by FK dependencies
+/// (table-level groups) and execute them inside one transaction. On any
+/// failure the transaction is rolled back and the database is
+/// unchanged.
+pub fn execute_sorted(
+    db: &mut Database,
+    statements: Vec<Statement>,
+) -> OntoResult<ExecutionReport> {
     let sorted = sort::sort_statements(db.schema(), statements)?;
+    run_in_transaction(db, sorted)
+}
+
+/// Reference variant of [`execute_sorted`] for the per-row statement
+/// stream: the seed's statement-pair sort, then one engine call per
+/// single-row statement. Kept as the differential-test and benchmark
+/// baseline, mirroring `execute_select_reference` on the read side.
+pub fn execute_sorted_reference(
+    db: &mut Database,
+    statements: Vec<Statement>,
+) -> OntoResult<ExecutionReport> {
+    let sorted = sort::sort_statements_reference(db.schema(), statements)?;
+    run_in_transaction(db, sorted)
+}
+
+fn run_in_transaction(db: &mut Database, sorted: Vec<Statement>) -> OntoResult<ExecutionReport> {
     db.begin()?;
+    let mut rows_affected = 0;
     for stmt in &sorted {
-        if let Err(e) = rel::sql::execute(db, stmt) {
-            db.rollback()?;
-            return Err(OntoError::Database(e));
+        match rel::sql::execute(db, stmt) {
+            Ok(outcome) => rows_affected += outcome.affected(),
+            Err(e) => {
+                db.rollback()?;
+                return Err(OntoError::Database(e));
+            }
         }
     }
     db.commit()?;
-    Ok(sorted)
+    Ok(ExecutionReport {
+        statements: sorted,
+        rows_affected,
+    })
 }
 
 #[cfg(test)]

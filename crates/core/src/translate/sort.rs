@@ -12,17 +12,157 @@
 //! * `DELETE`/`UPDATE` on a referencing table → before `DELETE` from a
 //!   referenced table (children first).
 //!
-//! The sort is a stable topological sort: statements keep their request
-//! order wherever the constraints allow, so output is deterministic.
+//! The rules only inspect a statement's kind and target table, so the
+//! sort operates on **table-level classes**: all statements of one
+//! (kind, table) share one node in the dependency graph, and the edge
+//! graph is quadratic in the number of *classes*, not statements. After
+//! the set-based write pipeline groups statements per (table, shape),
+//! classes and statements coincide; the per-row reference path keeps
+//! the seed's statement-pair sort ([`sort_statements_reference`]) as
+//! the semantic baseline, and both produce identical output: a stable
+//! topological order (statements keep their request order wherever the
+//! constraints allow).
 
 use crate::error::{OntoError, OntoResult};
 use rel::sql::Statement;
 use rel::Schema;
+use std::collections::BinaryHeap;
 
-/// Sort statements along FK dependencies. Errors on dependency cycles
-/// (self-referencing tables inserted and deleted in one operation —
-/// outside the paper's scope).
+// A statement's dependency class: DML kind + target table. The grouped
+// `UPDATE … BY …` is an update; SELECT (never emitted here) stays
+// unrelated to everything, as in the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Insert,
+    Update,
+    Delete,
+    Select,
+}
+
+fn kind(stmt: &Statement) -> Kind {
+    match stmt {
+        Statement::Insert(_) => Kind::Insert,
+        Statement::Update(_) | Statement::BulkUpdate(_) => Kind::Update,
+        Statement::Delete(_) => Kind::Delete,
+        Statement::Select(_) => Kind::Select,
+    }
+}
+
+// Must every statement of class `a` run before every statement of class
+// `b`? (The rule set of the seed's statement-pair `must_precede`.)
+fn class_must_precede(schema: &Schema, a: (Kind, &str), b: (Kind, &str)) -> bool {
+    let ((ka, ta), (kb, tb)) = (a, b);
+    if ka == Kind::Select || kb == Kind::Select {
+        return false;
+    }
+    match (ka, kb) {
+        // Parent INSERT before dependent INSERT/UPDATE.
+        (Kind::Insert, Kind::Insert | Kind::Update) => references(schema, tb, ta),
+        // Child DELETE/UPDATE before parent DELETE.
+        (Kind::Delete | Kind::Update, Kind::Delete) => references(schema, ta, tb),
+        _ => false,
+    }
+}
+
+/// Sort statements along FK dependencies, class-level. Errors on
+/// dependency cycles (self-referencing tables touched by several
+/// same-kind statements in one operation — outside the paper's scope).
 pub fn sort_statements(schema: &Schema, statements: Vec<Statement>) -> OntoResult<Vec<Statement>> {
+    let n = statements.len();
+    if n <= 1 {
+        return Ok(statements);
+    }
+    // Classes in first-appearance order; members kept in request order.
+    let mut classes: Vec<(Kind, String)> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut class_of = Vec::with_capacity(n);
+    for (i, stmt) in statements.iter().enumerate() {
+        let key = (kind(stmt), stmt.target_table().unwrap_or("").to_owned());
+        let class = match classes.iter().position(|c| *c == key) {
+            Some(c) => c,
+            None => {
+                classes.push(key);
+                members.push(Vec::new());
+                classes.len() - 1
+            }
+        };
+        members[class].push(i);
+        class_of.push(class);
+    }
+    let c = classes.len();
+    // preds[b] = classes that must fully run before class b.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); c];
+    let mut pending: Vec<usize> = vec![0; c];
+    for a in 0..c {
+        for b in 0..c {
+            // A class is ordered against itself only when it holds
+            // several statements (the seed's pairwise check skips the
+            // lone-statement case) — and then only a cycle can result.
+            if a == b && members[a].len() <= 1 {
+                continue;
+            }
+            let ca = (classes[a].0, classes[a].1.as_str());
+            let cb = (classes[b].0, classes[b].1.as_str());
+            if class_must_precede(schema, ca, cb) {
+                preds[b].push(a);
+                pending[b] += 1;
+            }
+        }
+    }
+    // Stable emission: repeatedly take the lowest-index statement whose
+    // prerequisite classes are fully emitted — exactly the seed's
+    // statement-level Kahn, driven per class. Ready classes sit in a
+    // min-heap keyed by their next member's index.
+    let mut remaining: Vec<usize> = members.iter().map(Vec::len).collect();
+    let mut cursor: Vec<usize> = vec![0; c];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(usize, usize)>> = BinaryHeap::new();
+    for class in 0..c {
+        if pending[class] == 0 {
+            heap.push(std::cmp::Reverse((members[class][0], class)));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    // succs, for releasing classes as their predecessors complete.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); c];
+    for (b, ps) in preds.iter().enumerate() {
+        for &a in ps {
+            succs[a].push(b);
+        }
+    }
+    while let Some(std::cmp::Reverse((index, class))) = heap.pop() {
+        order.push(index);
+        cursor[class] += 1;
+        remaining[class] -= 1;
+        if remaining[class] == 0 {
+            for &b in &succs[class] {
+                pending[b] -= 1;
+                if pending[b] == 0 {
+                    heap.push(std::cmp::Reverse((members[b][cursor[b]], b)));
+                }
+            }
+        } else {
+            heap.push(std::cmp::Reverse((members[class][cursor[class]], class)));
+        }
+    }
+    if order.len() != n {
+        return Err(OntoError::Unsupported {
+            message: "cyclic foreign-key dependency among generated statements".into(),
+        });
+    }
+    let mut slots: Vec<Option<Statement>> = statements.into_iter().map(Some).collect();
+    Ok(order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each index emitted once"))
+        .collect())
+}
+
+/// The seed's statement-pair sort, kept verbatim as the reference for
+/// the per-row write path (differential tests and the `bulk_update`
+/// bench baseline): quadratic in the number of *statements*.
+pub fn sort_statements_reference(
+    schema: &Schema,
+    statements: Vec<Statement>,
+) -> OntoResult<Vec<Statement>> {
     let n = statements.len();
     if n <= 1 {
         return Ok(statements);
@@ -69,17 +209,7 @@ fn must_precede(schema: &Schema, a: &Statement, b: &Statement) -> bool {
     let (Some(ta), Some(tb)) = (a.target_table(), b.target_table()) else {
         return false;
     };
-    match (a, b) {
-        // Parent INSERT before dependent INSERT/UPDATE.
-        (Statement::Insert(_), Statement::Insert(_) | Statement::Update(_)) => {
-            references(schema, tb, ta)
-        }
-        // Child DELETE/UPDATE before parent DELETE.
-        (Statement::Delete(_) | Statement::Update(_), Statement::Delete(_)) => {
-            references(schema, ta, tb)
-        }
-        _ => false,
-    }
+    class_must_precede(schema, (kind(a), ta), (kind(b), tb))
 }
 
 // Does `from` declare a foreign key to `to`?
@@ -157,6 +287,18 @@ mod tests {
     }
 
     #[test]
+    fn bulk_update_participates_in_the_sort_as_an_update() {
+        let (db, _) = fixture_db_with_rows();
+        let input = stmts(&[
+            "DELETE FROM team WHERE id = 5;",
+            "UPDATE author BY (id) SET (team) VALUES (6, NULL), (7, NULL);",
+        ]);
+        let sorted = sort_statements(db.schema(), input).unwrap();
+        assert!(matches!(sorted[0], Statement::BulkUpdate(_)));
+        assert!(matches!(sorted[1], Statement::Delete(_)));
+    }
+
+    #[test]
     fn parent_insert_runs_before_fk_filling_update() {
         let (db, _) = fixture_db_with_rows();
         let input = stmts(&[
@@ -208,5 +350,72 @@ mod tests {
             rel::sql::execute(&mut db, stmt).unwrap();
         }
         db.commit().unwrap();
+    }
+
+    #[test]
+    fn class_sort_matches_reference_sort() {
+        // The table-level class sort and the seed's statement-pair sort
+        // must order every workload identically.
+        let (db, _) = fixture_db_with_rows();
+        let workloads: Vec<Vec<&str>> = vec![
+            vec![
+                "INSERT INTO publication_author (publication, author) VALUES (12, 6);",
+                "INSERT INTO publication (id, title, year, type, publisher) VALUES (12, 'R', 2009, 4, 3);",
+                "INSERT INTO author (id, lastname, team) VALUES (6, 'Hert', 5);",
+                "INSERT INTO team (id, name, code) VALUES (5, 'SE', 'SEAL');",
+                "INSERT INTO pubtype (id, type) VALUES (4, 'inproceedings');",
+                "INSERT INTO publisher (id, name) VALUES (3, 'Springer');",
+            ],
+            vec![
+                "DELETE FROM team WHERE id = 5;",
+                "DELETE FROM author WHERE id = 6;",
+                "UPDATE author SET team = NULL WHERE id = 7;",
+                "DELETE FROM publication_author WHERE publication = 1 AND author = 6;",
+                "INSERT INTO team (id) VALUES (9);",
+                "UPDATE publication SET year = 2010 WHERE id = 1;",
+            ],
+            vec![
+                "INSERT INTO author (id, lastname) VALUES (21, 'A');",
+                "INSERT INTO author (id, lastname) VALUES (22, 'B');",
+                "INSERT INTO team (id) VALUES (9);",
+                "DELETE FROM author WHERE id = 6;",
+                "INSERT INTO author (id, lastname) VALUES (23, 'C');",
+                "DELETE FROM team WHERE id = 4;",
+            ],
+        ];
+        for texts in workloads {
+            let input = stmts(&texts);
+            let fast = sort_statements(db.schema(), input.clone()).unwrap();
+            let reference = sort_statements_reference(db.schema(), input).unwrap();
+            assert_eq!(rendered(&fast), rendered(&reference), "input: {texts:?}");
+        }
+    }
+
+    #[test]
+    fn self_referencing_cycles_still_detected() {
+        use rel::{Column, Database, Schema, SqlType, Table};
+        let mut schema = Schema::new();
+        schema
+            .add_table(
+                Table::builder("node")
+                    .column(Column::new("id", SqlType::Integer).not_null())
+                    .column(Column::new("parent", SqlType::Integer))
+                    .primary_key(&["id"])
+                    .foreign_key("parent", "node", "id")
+                    .build(),
+            )
+            .unwrap();
+        let db = Database::new(schema).unwrap();
+        // Two inserts into a self-referencing table: unsortable (as in
+        // the seed), for the class sort and the reference alike.
+        let input = stmts(&[
+            "INSERT INTO node (id) VALUES (1);",
+            "INSERT INTO node (id, parent) VALUES (2, 1);",
+        ]);
+        assert!(sort_statements(db.schema(), input.clone()).is_err());
+        assert!(sort_statements_reference(db.schema(), input).is_err());
+        // A single insert passes.
+        let one = stmts(&["INSERT INTO node (id) VALUES (1);"]);
+        assert_eq!(sort_statements(db.schema(), one).unwrap().len(), 1);
     }
 }

@@ -328,6 +328,14 @@ impl Database {
     /// their DEFAULT or NULL. All constraints are checked immediately.
     pub fn insert(&mut self, table: &str, assignments: &[(String, Value)]) -> RelResult<RowId> {
         let t = self.schema.table(table)?.clone();
+        for (name, _) in assignments {
+            if t.column_index(name).is_none() {
+                return Err(RelError::NoSuchColumn {
+                    table: table.to_owned(),
+                    column: name.clone(),
+                });
+            }
+        }
         let mut row: Vec<Value> = Vec::with_capacity(t.columns.len());
         for column in &t.columns {
             let assigned = assignments
@@ -343,22 +351,92 @@ impl Database {
             }
             row.push(value);
         }
-        for (name, _) in assignments {
-            if t.column_index(name).is_none() {
-                return Err(RelError::NoSuchColumn {
-                    table: table.to_owned(),
-                    column: name.clone(),
+        self.insert_prepared(&t, row)
+    }
+
+    /// Bulk entry point: insert many rows sharing one column list (the
+    /// multi-row `INSERT … VALUES (…), (…)` of the set-based write
+    /// pipeline). The table is resolved and the column list validated
+    /// once for the whole group; auto-increment values are allocated
+    /// from one batch counter instead of a per-row column scan. Each row
+    /// is still constraint-checked immediately, in order, so a failing
+    /// row aborts with earlier rows applied — run inside a transaction
+    /// (as [`crate::sql::execute`] callers do) for atomicity. Returns
+    /// the number of rows inserted.
+    pub fn insert_many(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Value>],
+    ) -> RelResult<usize> {
+        let t = self.schema.table(table)?.clone();
+        let mut indices = Vec::with_capacity(columns.len());
+        for name in columns {
+            let idx = t.column_index(name).ok_or_else(|| RelError::NoSuchColumn {
+                table: table.to_owned(),
+                column: name.clone(),
+            })?;
+            // A repeated column would make later values silently win;
+            // reject instead of picking one (real RDBs error here too).
+            if indices.contains(&idx) {
+                return Err(RelError::Execution {
+                    message: format!("INSERT into {table:?} names column {name:?} twice"),
                 });
             }
+            indices.push(idx);
         }
-        self.check_row_constraints(&t, &row, None)?;
+        // Batch-local auto-increment counters: next value per column,
+        // seeded from one scan and advanced past every value this batch
+        // assigns — equivalent to the per-row max-scan, without O(N²).
+        let mut auto_next: BTreeMap<usize, i64> = BTreeMap::new();
+        for (i, column) in t.columns.iter().enumerate() {
+            if column.auto_increment {
+                auto_next.insert(i, self.next_auto_value(table, &column.name));
+            }
+        }
+        for values in rows {
+            if values.len() != columns.len() {
+                return Err(RelError::Execution {
+                    message: format!(
+                        "INSERT into {table:?} has {} column(s) but a row with {} value(s)",
+                        columns.len(),
+                        values.len()
+                    ),
+                });
+            }
+            let mut row: Vec<Value> = t
+                .columns
+                .iter()
+                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .collect();
+            for (&idx, value) in indices.iter().zip(values) {
+                row[idx] = value.clone();
+            }
+            for (&idx, next) in &mut auto_next {
+                match &row[idx] {
+                    Value::Null => {
+                        row[idx] = Value::Int(*next);
+                        *next += 1;
+                    }
+                    Value::Int(explicit) => *next = (*next).max(explicit + 1),
+                    _ => {} // non-integer: the type check below rejects it
+                }
+            }
+            self.insert_prepared(&t, row)?;
+        }
+        Ok(rows.len())
+    }
+
+    // Constraint-check and store one fully materialized row of `t`.
+    fn insert_prepared(&mut self, t: &Table, row: Vec<Value>) -> RelResult<RowId> {
+        self.check_row_constraints(t, &row, None)?;
         let row_id = self
             .data
-            .get_mut(table)
+            .get_mut(&t.name)
             .expect("schema table has storage")
-            .insert_unchecked(&t, row);
+            .insert_unchecked(t, row);
         self.log(UndoOp::Insert {
-            table: table.to_owned(),
+            table: t.name.clone(),
             row_id,
         });
         Ok(row_id)
@@ -374,16 +452,45 @@ impl Database {
         assignments: &[(String, Value)],
     ) -> RelResult<()> {
         let t = self.schema.table(table)?.clone();
-        let old = self.data[table]
+        self.update_prepared(&t, row_id, assignments)
+    }
+
+    /// Bulk entry point: apply many per-row assignment sets to one table
+    /// (the grouped `UPDATE … BY … SET … VALUES` of the set-based write
+    /// pipeline). The table is resolved and cloned once for the whole
+    /// group; rows are updated in order with the same immediate
+    /// constraint checking as [`Database::update_row`], so a failing row
+    /// aborts with earlier rows applied — run inside a transaction for
+    /// atomicity. Returns the number of rows updated.
+    pub fn update_rows(
+        &mut self,
+        table: &str,
+        updates: Vec<(RowId, Vec<(String, Value)>)>,
+    ) -> RelResult<usize> {
+        let t = self.schema.table(table)?.clone();
+        let affected = updates.len();
+        for (row_id, assignments) in updates {
+            self.update_prepared(&t, row_id, &assignments)?;
+        }
+        Ok(affected)
+    }
+
+    fn update_prepared(
+        &mut self,
+        t: &Table,
+        row_id: RowId,
+        assignments: &[(String, Value)],
+    ) -> RelResult<()> {
+        let old = self.data[&t.name]
             .row(row_id)
             .ok_or_else(|| RelError::Execution {
-                message: format!("no row {row_id} in {table}"),
+                message: format!("no row {row_id} in {}", t.name),
             })?
             .clone();
         let mut new_row = old.clone();
         for (name, value) in assignments {
             let i = t.column_index(name).ok_or_else(|| RelError::NoSuchColumn {
-                table: table.to_owned(),
+                table: t.name.clone(),
                 column: name.clone(),
             })?;
             new_row[i] = value.clone();
@@ -391,15 +498,23 @@ impl Database {
         if new_row == old {
             return Ok(());
         }
-        self.check_row_constraints(&t, &new_row, Some(row_id))?;
+        // Re-check only what the update can invalidate: columns whose
+        // values changed (an unchanged FK still points at a parent that
+        // RESTRICT protects; an unchanged key cannot newly collide —
+        // any other row taking it would have failed its own check).
+        // CHECK constraints span columns and are re-evaluated whole.
+        let changed: Vec<usize> = (0..new_row.len())
+            .filter(|&i| new_row[i] != old[i])
+            .collect();
+        self.check_row_constraints_changed(t, &new_row, Some(row_id), &changed)?;
         // If a key other rows reference changes, enforce RESTRICT.
-        self.check_restrict_on_key_change(&t, &old, &new_row)?;
+        self.check_restrict_on_key_change(t, &old, &new_row)?;
         self.data
-            .get_mut(table)
+            .get_mut(&t.name)
             .expect("schema table has storage")
-            .update_unchecked(&t, row_id, new_row);
+            .update_unchecked(t, row_id, new_row);
         self.log(UndoOp::Update {
-            table: table.to_owned(),
+            table: t.name.clone(),
             row_id,
             old,
         });
@@ -409,19 +524,37 @@ impl Database {
     /// Delete a row. Errors with RESTRICT if other rows reference it.
     pub fn delete_row(&mut self, table: &str, row_id: RowId) -> RelResult<()> {
         let t = self.schema.table(table)?.clone();
-        let row = self.data[table]
+        self.delete_prepared(&t, row_id)
+    }
+
+    /// Bulk entry point: delete many rows of one table (the row set a
+    /// `WHERE pk IN (…)` delete collects). The table is resolved and
+    /// cloned once; rows are deleted in order with the same immediate
+    /// RESTRICT checking as [`Database::delete_row`], so a failing row
+    /// aborts with earlier rows applied — run inside a transaction for
+    /// atomicity. Returns the number of rows deleted.
+    pub fn delete_rows(&mut self, table: &str, row_ids: &[RowId]) -> RelResult<usize> {
+        let t = self.schema.table(table)?.clone();
+        for &row_id in row_ids {
+            self.delete_prepared(&t, row_id)?;
+        }
+        Ok(row_ids.len())
+    }
+
+    fn delete_prepared(&mut self, t: &Table, row_id: RowId) -> RelResult<()> {
+        let row = self.data[&t.name]
             .row(row_id)
             .ok_or_else(|| RelError::Execution {
-                message: format!("no row {row_id} in {table}"),
+                message: format!("no row {row_id} in {}", t.name),
             })?
             .clone();
-        self.check_restrict(&t, &row)?;
+        self.check_restrict(t, &row)?;
         self.data
-            .get_mut(table)
+            .get_mut(&t.name)
             .expect("schema table has storage")
-            .delete_unchecked(&t, row_id);
+            .delete_unchecked(t, row_id);
         self.log(UndoOp::Delete {
-            table: table.to_owned(),
+            table: t.name.clone(),
             row_id,
             old: row,
         });
@@ -456,8 +589,25 @@ impl Database {
         row: &[Value],
         exclude: Option<RowId>,
     ) -> RelResult<()> {
+        let all: Vec<usize> = (0..row.len()).collect();
+        self.check_row_constraints_changed(table, row, exclude, &all)
+    }
+
+    // Constraint check restricted to the columns listed in `changed`
+    // (inserts pass every column). Column-local checks (type, NOT NULL,
+    // UNIQUE, FK) only fire for changed columns; PK uniqueness only
+    // when a key column changed; CHECK predicates span columns and are
+    // always re-evaluated whole.
+    fn check_row_constraints_changed(
+        &self,
+        table: &Table,
+        row: &[Value],
+        exclude: Option<RowId>,
+        changed: &[usize],
+    ) -> RelResult<()> {
         // Types and NOT NULL.
-        for (i, column) in table.columns.iter().enumerate() {
+        for &i in changed {
+            let column = &table.columns[i];
             let value = &row[i];
             if value.is_null() {
                 if column.not_null || table.is_primary_key(&column.name) {
@@ -478,7 +628,12 @@ impl Database {
             }
         }
         // Primary key uniqueness.
-        if !table.primary_key.is_empty() {
+        let pk_changed = !table.primary_key.is_empty()
+            && table
+                .primary_key_indices()
+                .iter()
+                .any(|i| changed.contains(i));
+        if pk_changed {
             let key = TableData::pk_key(table, row);
             if let Some(existing) = self.data[&table.name].find_by_pk(&key) {
                 if Some(existing) != exclude {
@@ -495,7 +650,8 @@ impl Database {
             }
         }
         // Unique columns.
-        for (i, column) in table.columns.iter().enumerate() {
+        for &i in changed {
+            let column = &table.columns[i];
             if column.unique && !row[i].is_null() {
                 if let Some(existing) =
                     self.data[&table.name].find_by_unique(&column.name, &row[i].index_key())
@@ -526,6 +682,9 @@ impl Database {
             let i = table
                 .column_index(&fk.column)
                 .expect("validated schema: FK column exists");
+            if !changed.contains(&i) {
+                continue;
+            }
             let value = &row[i];
             if value.is_null() {
                 continue;

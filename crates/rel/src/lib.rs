@@ -34,8 +34,8 @@ pub mod sql {
     pub mod printer;
 
     pub use ast::{
-        BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement,
-        TableRef, UpdateStmt,
+        BinOp, BulkRow, BulkUpdateStmt, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem,
+        SelectStmt, Statement, TableRef, UpdateStmt,
     };
     pub use exec::{
         eval, eval_on_row, execute, execute_select, execute_select_reference, execute_sql,

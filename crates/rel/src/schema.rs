@@ -378,6 +378,12 @@ fn visit_columns(expr: &crate::sql::ast::Expr, f: &mut impl FnMut(&crate::sql::a
         }
         Expr::Not(inner) => visit_columns(inner, f),
         Expr::IsNull { expr, .. } => visit_columns(expr, f),
+        Expr::InList { expr, list, .. } => {
+            visit_columns(expr, f);
+            for item in list {
+                visit_columns(item, f);
+            }
+        }
     }
 }
 

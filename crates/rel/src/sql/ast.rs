@@ -3,17 +3,23 @@
 //! Covers exactly the DML the OntoAccess translator emits (paper §5):
 //! `INSERT INTO … VALUES`, `UPDATE … SET … WHERE`, `DELETE FROM … WHERE`,
 //! and `SELECT [DISTINCT] … FROM t1 a1, t2 a2, … WHERE …` with
-//! conjunctive/disjunctive comparison predicates.
+//! conjunctive/disjunctive comparison predicates — plus the set-based
+//! write forms the batched translation pipeline emits: multi-row
+//! `INSERT … VALUES (…), (…)`, `WHERE pk IN (…)` row sets, and the
+//! grouped `UPDATE … BY (…) SET (…) VALUES …` applying per-key
+//! assignments to many rows in one statement.
 
 use crate::value::Value;
 
 /// Any DML statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    /// `INSERT INTO table (columns) VALUES (values)`.
+    /// `INSERT INTO table (columns) VALUES (row), …`.
     Insert(InsertStmt),
     /// `UPDATE table SET col = expr, … [WHERE expr]`.
     Update(UpdateStmt),
+    /// `UPDATE table BY (key cols) SET (set cols) VALUES (row), …`.
+    BulkUpdate(BulkUpdateStmt),
     /// `DELETE FROM table [WHERE expr]`.
     Delete(DeleteStmt),
     /// `SELECT [DISTINCT] items FROM tables [WHERE expr]`.
@@ -26,21 +32,71 @@ impl Statement {
         match self {
             Statement::Insert(s) => Some(&s.table),
             Statement::Update(s) => Some(&s.table),
+            Statement::BulkUpdate(s) => Some(&s.table),
             Statement::Delete(s) => Some(&s.table),
             Statement::Select(_) => None,
         }
     }
 }
 
-/// `INSERT INTO table (columns) VALUES (values)`.
+/// `INSERT INTO table (columns) VALUES (row), (row), …`.
+///
+/// One statement may carry any number of value rows (the set-based
+/// write pipeline folds every insert of one shape into one statement);
+/// a single row prints exactly as the classic single-row form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InsertStmt {
     /// Target table.
     pub table: String,
-    /// Column names, parallel to `values`.
+    /// Column names, parallel to every row of `rows`.
     pub columns: Vec<String>,
-    /// Literal values.
-    pub values: Vec<Value>,
+    /// Literal value rows; each row is parallel to `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl InsertStmt {
+    /// The classic single-row `INSERT INTO … VALUES (…)`.
+    pub fn single(table: impl Into<String>, columns: Vec<String>, values: Vec<Value>) -> Self {
+        InsertStmt {
+            table: table.into(),
+            columns,
+            rows: vec![values],
+        }
+    }
+}
+
+/// `UPDATE table BY (key columns) SET (set columns) VALUES (tuple), …;`
+///
+/// The set-based form of a family of single-row UPDATEs sharing one
+/// shape. Each tuple lists the key values (matched with SQL equality
+/// against the key columns — the translator puts the primary key first,
+/// plus any guard columns such as the paper's Listing-18 current-value
+/// equality) followed by the new values for the set columns. Every
+/// tuple's key is matched against the **pre-statement** state — the
+/// same snapshot semantics as a classic UPDATE's WHERE clause — and
+/// the matched rows are then updated in tuple order. For the tuples
+/// the translator emits (disjoint primary keys, guards over each row's
+/// own values) this coincides with the per-row UPDATE sequence it
+/// replaces; tuples that key on values an earlier tuple writes do not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkUpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// Columns matched (with `=`) against each row's key values.
+    pub key_columns: Vec<String>,
+    /// Columns assigned from each row's set values.
+    pub set_columns: Vec<String>,
+    /// Per-row key/set values.
+    pub rows: Vec<BulkRow>,
+}
+
+/// One row group of a [`BulkUpdateStmt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkRow {
+    /// Values matched against the statement's key columns.
+    pub key: Vec<Value>,
+    /// Values assigned to the statement's set columns.
+    pub set: Vec<Value>,
 }
 
 /// `UPDATE table SET assignments [WHERE predicate]`.
@@ -180,6 +236,16 @@ pub enum Expr {
         /// `IS NOT NULL` when true.
         negated: bool,
     },
+    /// `expr [NOT] IN (item, …)` — the row-set restriction the batched
+    /// delete pipeline emits (`WHERE pk IN (…)`).
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate items (usually literals).
+        list: Vec<Expr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
 }
 
 impl Expr {
@@ -220,6 +286,15 @@ impl Expr {
     /// Literal shorthand.
     pub fn value(value: impl Into<Value>) -> Expr {
         Expr::Value(value.into())
+    }
+
+    /// `column IN (v1, v2, …)` over literal values.
+    pub fn col_in_values(column: &str, values: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(Expr::col(column)),
+            list: values.into_iter().map(Expr::Value).collect(),
+            negated: false,
+        }
     }
 
     /// Conjoin a list of predicates (`None` for the empty list).

@@ -27,7 +27,8 @@
 use crate::database::Database;
 use crate::error::{RelError, RelResult};
 use crate::sql::ast::{
-    BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, UpdateStmt,
+    BinOp, BulkUpdateStmt, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt,
+    Statement, UpdateStmt,
 };
 use crate::value::{IndexKey, Value};
 use std::collections::HashMap;
@@ -91,6 +92,7 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> RelResult<ExecOutcome> {
     match stmt {
         Statement::Insert(s) => execute_insert(db, s).map(ExecOutcome::Affected),
         Statement::Update(s) => execute_update(db, s).map(ExecOutcome::Affected),
+        Statement::BulkUpdate(s) => execute_bulk_update(db, s).map(ExecOutcome::Affected),
         Statement::Delete(s) => execute_delete(db, s).map(ExecOutcome::Affected),
         Statement::Select(s) => execute_select(db, s).map(ExecOutcome::Rows),
     }
@@ -103,23 +105,16 @@ pub fn execute_sql(db: &mut Database, sql: &str) -> RelResult<ExecOutcome> {
 }
 
 fn execute_insert(db: &mut Database, stmt: &InsertStmt) -> RelResult<usize> {
-    let assignments: Vec<(String, Value)> = stmt
-        .columns
-        .iter()
-        .cloned()
-        .zip(stmt.values.iter().cloned())
-        .collect();
-    db.insert(&stmt.table, &assignments)?;
-    Ok(1)
+    db.insert_many(&stmt.table, &stmt.columns, &stmt.rows)
 }
 
 fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> RelResult<usize> {
     let table = db.schema().table(&stmt.table)?.clone();
     let matches = collect_matching_row_ids(db, &stmt.table, &table, stmt.where_clause.as_ref())?;
-    let mut affected = 0;
+    let mut updates = Vec::with_capacity(matches.len());
     for row_id in matches {
         // One clone per *mutated* row: assignments evaluate against the
-        // pre-assignment values while `update_row` rebuilds the row.
+        // pre-assignment values while the engine rebuilds the row.
         let row = db
             .row(&stmt.table, row_id)?
             .expect("collected id is live")
@@ -129,20 +124,102 @@ fn execute_update(db: &mut Database, stmt: &UpdateStmt) -> RelResult<usize> {
             let value = eval_on_row(expr, &table, &row)?;
             assignments.push((column.clone(), value));
         }
-        db.update_row(&stmt.table, row_id, &assignments)?;
-        affected += 1;
+        updates.push((row_id, assignments));
     }
-    Ok(affected)
+    db.update_rows(&stmt.table, updates)
+}
+
+// The grouped UPDATE: every row tuple's key columns are matched (with
+// SQL equality) against the *pre-statement* state — the same snapshot
+// semantics as a classic UPDATE's WHERE clause — then the matched rows
+// are updated in tuple order through one bulk engine pass.
+fn execute_bulk_update(db: &mut Database, stmt: &BulkUpdateStmt) -> RelResult<usize> {
+    let table = db.schema().table(&stmt.table)?.clone();
+    let mut key_indices = Vec::with_capacity(stmt.key_columns.len());
+    for column in stmt.key_columns.iter().chain(&stmt.set_columns) {
+        let idx = table
+            .column_index(column)
+            .ok_or_else(|| RelError::NoSuchColumn {
+                table: stmt.table.clone(),
+                column: column.clone(),
+            })?;
+        if key_indices.len() < stmt.key_columns.len() {
+            key_indices.push(idx);
+        }
+    }
+    let mut updates = Vec::with_capacity(stmt.rows.len());
+    for brow in &stmt.rows {
+        if brow.key.len() != stmt.key_columns.len() || brow.set.len() != stmt.set_columns.len() {
+            return Err(RelError::Execution {
+                message: format!(
+                    "bulk UPDATE on {:?}: row width does not match key/set columns",
+                    stmt.table
+                ),
+            });
+        }
+        let ids =
+            key_equality_matches(db, &stmt.table, &stmt.key_columns, &key_indices, &brow.key)?;
+        for row_id in ids {
+            let assignments: Vec<(String, Value)> = stmt
+                .set_columns
+                .iter()
+                .cloned()
+                .zip(brow.set.iter().cloned())
+                .collect();
+            updates.push((row_id, assignments));
+        }
+    }
+    db.update_rows(&stmt.table, updates)
+}
+
+// Row ids whose `key_columns` values all SQL-equal `key_values`,
+// answered from the best indexed key column (the translator puts the
+// primary key first) with a scan fallback.
+fn key_equality_matches(
+    db: &Database,
+    table_name: &str,
+    key_columns: &[String],
+    key_indices: &[usize],
+    key_values: &[Value],
+) -> RelResult<Vec<crate::storage::RowId>> {
+    let mut candidates: Option<Vec<crate::storage::RowId>> = None;
+    for (column, value) in key_columns.iter().zip(key_values) {
+        if let Some(ids) = db.index_probe(table_name, column, value)? {
+            candidates = Some(ids);
+            break;
+        }
+    }
+    let matches_key = |row: &[Value]| {
+        key_indices
+            .iter()
+            .zip(key_values)
+            .all(|(&idx, value)| row[idx].sql_eq(value) == Some(true))
+    };
+    let mut out = Vec::new();
+    match candidates {
+        Some(ids) => {
+            for row_id in ids {
+                let row = db.row(table_name, row_id)?.expect("probe id is live");
+                if matches_key(row) {
+                    out.push(row_id);
+                }
+            }
+        }
+        None => {
+            for (row_id, row) in db.scan(table_name)? {
+                if matches_key(row) {
+                    out.push(row_id);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn execute_delete(db: &mut Database, stmt: &DeleteStmt) -> RelResult<usize> {
     let table = db.schema().table(&stmt.table)?.clone();
     let matches = collect_matching_row_ids(db, &stmt.table, &table, stmt.where_clause.as_ref())?;
-    let affected = matches.len();
-    for row_id in matches {
-        db.delete_row(&stmt.table, row_id)?;
-    }
-    Ok(affected)
+    db.delete_rows(&stmt.table, &matches)
 }
 
 // Row ids matching a single-table WHERE, collected without cloning any
@@ -165,12 +242,33 @@ fn collect_matching_row_ids(
         // error appear and disappear with the data.
         validate_single_table_refs(predicate, table)?;
         for conjunct in split_conjuncts_ref(predicate) {
-            let Some((column, value)) = const_eq_column(conjunct, &table.name) else {
-                continue;
-            };
-            if let Some(ids) = db.index_probe(table_name, column, value)? {
-                candidates = Some(ids);
-                break;
+            if let Some((column, value)) = const_eq_column(conjunct, &table.name) {
+                if let Some(ids) = db.index_probe(table_name, column, value)? {
+                    candidates = Some(ids);
+                    break;
+                }
+            }
+            // `column IN (constants)` — the batched delete shape: the
+            // candidate set is the union of one probe per constant. Any
+            // unanswerable probe abandons the union (scan fallback).
+            if let Some((column, values)) = const_in_column(conjunct, &table.name) {
+                let mut union = Vec::new();
+                let mut complete = true;
+                for value in values {
+                    match db.index_probe(table_name, column, value)? {
+                        Some(ids) => union.extend(ids),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if complete {
+                    union.sort_unstable();
+                    union.dedup();
+                    candidates = Some(union);
+                    break;
+                }
             }
         }
     }
@@ -226,6 +324,11 @@ fn validate_single_table_refs(expr: &Expr, table: &crate::schema::Table) -> RelR
         }
         Expr::Not(inner) => validate_single_table_refs(inner, table),
         Expr::IsNull { expr, .. } => validate_single_table_refs(expr, table),
+        Expr::InList { expr, list, .. } => {
+            validate_single_table_refs(expr, table)?;
+            list.iter()
+                .try_for_each(|item| validate_single_table_refs(item, table))
+        }
     }
 }
 
@@ -277,6 +380,11 @@ fn validate_scope_refs(expr: &Expr, scope: &[(&String, &crate::schema::Table)]) 
         }
         Expr::Not(inner) => validate_scope_refs(inner, scope),
         Expr::IsNull { expr, .. } => validate_scope_refs(expr, scope),
+        Expr::InList { expr, list, .. } => {
+            validate_scope_refs(expr, scope)?;
+            list.iter()
+                .try_for_each(|item| validate_scope_refs(item, scope))
+        }
     }
 }
 
@@ -288,6 +396,31 @@ fn const_eq_column<'e>(expr: &'e Expr, binding: &str) -> Option<(&'e str, &'e Va
         Some(qualifier) if qualifier != binding => None,
         _ => Some((cref.column.as_str(), value)),
     }
+}
+
+// `column IN (constants)` with every list item a literal, the column
+// unqualified or qualified by `binding`.
+fn const_in_column<'e>(expr: &'e Expr, binding: &str) -> Option<(&'e str, Vec<&'e Value>)> {
+    let Expr::InList {
+        expr,
+        list,
+        negated: false,
+    } = expr
+    else {
+        return None;
+    };
+    let Expr::Column(cref) = expr.as_ref() else {
+        return None;
+    };
+    if matches!(&cref.table, Some(qualifier) if qualifier != binding) {
+        return None;
+    }
+    let mut values = Vec::with_capacity(list.len());
+    for item in list {
+        let Expr::Value(v) = item else { return None };
+        values.push(v);
+    }
+    Some((cref.column.as_str(), values))
 }
 
 // The raw `column = constant` shape (either side), leaving binding
@@ -360,6 +493,29 @@ pub fn eval(expr: &Expr, resolve: &dyn Fn(&ColumnRef) -> RelResult<Value>) -> Re
         Expr::IsNull { expr, negated } => {
             let v = eval(expr, resolve)?;
             Ok(Value::Bool(v.is_null() != *negated))
+        }
+        // `x IN (a, b, …)` ≡ `x = a OR x = b OR …` with SQL three-valued
+        // logic: a NULL comparison anywhere makes a non-match NULL.
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, resolve)?;
+            let mut saw_null = false;
+            for item in list {
+                let w = eval(item, resolve)?;
+                match v.sql_eq(&w) {
+                    Some(true) => return Ok(Value::Bool(!negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
         }
         Expr::Binary { op, left, right } => {
             let l = eval(left, resolve)?;
@@ -1038,6 +1194,12 @@ fn conjunct_bindings(
             }
             Expr::Not(inner) => walk(inner, bindings, out),
             Expr::IsNull { expr, .. } => walk(expr, bindings, out),
+            Expr::InList { expr, list, .. } => {
+                walk(expr, bindings, out);
+                for item in list {
+                    walk(item, bindings, out);
+                }
+            }
         }
     }
     let mut out = Vec::new();
@@ -1149,6 +1311,10 @@ fn conjunct_level(expr: &Expr, bindings: &[(&String, &crate::schema::Table)]) ->
             }
             Expr::Not(inner) => walk(inner, bindings, level),
             Expr::IsNull { expr, .. } => walk(expr, bindings, level),
+            Expr::InList { expr, list, .. } => {
+                walk(expr, bindings, level)?;
+                list.iter().try_for_each(|item| walk(item, bindings, level))
+            }
         }
     }
     let mut level = 0;
@@ -1436,6 +1602,133 @@ mod tests {
         execute_sql(&mut d, "UPDATE team SET name = code WHERE id = 4;").unwrap();
         let out = execute_sql(&mut d, "SELECT name FROM team WHERE id = 4;").unwrap();
         assert_eq!(out.rows().unwrap().rows[0][0], Value::text("DBTG"));
+    }
+
+    #[test]
+    fn multi_row_insert_executes_all_rows() {
+        let mut d = db();
+        let out = execute_sql(
+            &mut d,
+            "INSERT INTO team (id, name) VALUES (10, 'A'), (11, 'B'), (12, 'C');",
+        )
+        .unwrap();
+        assert_eq!(out.affected(), 3);
+        assert_eq!(d.row_count("team").unwrap(), 5);
+    }
+
+    #[test]
+    fn duplicate_insert_column_rejected() {
+        let mut d = db();
+        let err = execute_sql(&mut d, "INSERT INTO team (id, id) VALUES (10, 11);").unwrap_err();
+        assert!(matches!(err, RelError::Execution { .. }));
+        assert_eq!(d.row_count("team").unwrap(), 2);
+    }
+
+    #[test]
+    fn multi_row_insert_checks_constraints_per_row() {
+        let mut d = db();
+        d.begin().unwrap();
+        // Third row collides with the first on the primary key.
+        let err = execute_sql(
+            &mut d,
+            "INSERT INTO team (id, name) VALUES (10, 'A'), (11, 'B'), (10, 'dup');",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelError::PrimaryKeyViolation { .. }));
+        d.rollback().unwrap();
+        // The transaction rollback removed the rows that preceded the
+        // failure, and their index entries with them.
+        assert_eq!(d.row_count("team").unwrap(), 2);
+        assert_eq!(
+            d.index_probe("team", "id", &Value::Int(10)).unwrap(),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn bulk_update_applies_per_key_assignments() {
+        let mut d = db();
+        let out = execute_sql(
+            &mut d,
+            "UPDATE author BY (id) SET (email) VALUES (6, 'a@x.ch'), (7, 'b@x.ch');",
+        )
+        .unwrap();
+        assert_eq!(out.affected(), 2);
+        let rows = execute_sql(&mut d, "SELECT id, email FROM author;").unwrap();
+        let rows = rows.rows().unwrap().rows.clone();
+        assert!(rows.contains(&vec![Value::Int(6), Value::text("a@x.ch")]));
+        assert!(rows.contains(&vec![Value::Int(7), Value::text("b@x.ch")]));
+    }
+
+    #[test]
+    fn bulk_update_guard_columns_restrict_matches() {
+        let mut d = db();
+        // Second tuple's guard does not match author 7's NULL email.
+        let out = execute_sql(
+            &mut d,
+            "UPDATE author BY (id, email) SET (email) \
+             VALUES (6, 'hert@ifi.uzh.ch', NULL), (7, 'nope@x.ch', NULL);",
+        )
+        .unwrap();
+        assert_eq!(out.affected(), 1);
+        let check = execute_sql(&mut d, "SELECT email FROM author WHERE id = 6;").unwrap();
+        assert_eq!(check.rows().unwrap().rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn bulk_update_rechecks_constraints() {
+        let mut d = db();
+        let err =
+            execute_sql(&mut d, "UPDATE author BY (id) SET (team) VALUES (6, 99);").unwrap_err();
+        assert!(matches!(err, RelError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn delete_with_in_list_uses_pk_probe() {
+        let mut d = db();
+        execute_sql(&mut d, "INSERT INTO team (id) VALUES (10), (11), (12);").unwrap();
+        let out = execute_sql(&mut d, "DELETE FROM team WHERE id IN (10, 12, 99);").unwrap();
+        assert_eq!(out.affected(), 2);
+        assert_eq!(d.row_count("team").unwrap(), 3);
+    }
+
+    #[test]
+    fn in_list_three_valued_logic() {
+        let mut d = db();
+        // author 7 has NULL email: `email IN (...)` is NULL, not TRUE,
+        // so the row is not selected.
+        let out = execute_sql(
+            &mut d,
+            "SELECT id FROM author WHERE email IN ('hert@ifi.uzh.ch', 'x@y.ch');",
+        )
+        .unwrap();
+        assert_eq!(out.rows().unwrap().rows, vec![vec![Value::Int(6)]]);
+        // NOT IN over a NULL value is NULL as well — neither row 7 nor
+        // a non-matching constant makes it TRUE.
+        let out = execute_sql(
+            &mut d,
+            "SELECT id FROM author WHERE email NOT IN ('hert@ifi.uzh.ch');",
+        )
+        .unwrap();
+        assert!(out.rows().unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn mid_batch_delete_failure_leaves_transaction_rollbackable() {
+        let mut d = db();
+        execute_sql(&mut d, "INSERT INTO team (id) VALUES (10);").unwrap();
+        d.begin().unwrap();
+        // Team 10 deletes fine; team 5 is referenced by both authors.
+        let err = execute_sql(&mut d, "DELETE FROM team WHERE id IN (10, 5);").unwrap_err();
+        assert!(matches!(err, RelError::RestrictViolation { .. }));
+        d.rollback().unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 3);
+        assert_eq!(
+            d.index_probe("team", "id", &Value::Int(10))
+                .unwrap()
+                .map(|ids| ids.len()),
+            Some(1)
+        );
     }
 }
 

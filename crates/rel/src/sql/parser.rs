@@ -6,8 +6,8 @@
 
 use crate::error::{RelError, RelResult};
 use crate::sql::ast::{
-    BinOp, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, TableRef,
-    UpdateStmt,
+    BinOp, BulkRow, BulkUpdateStmt, ColumnRef, DeleteStmt, Expr, InsertStmt, SelectItem,
+    SelectStmt, Statement, TableRef, UpdateStmt,
 };
 use crate::value::Value;
 
@@ -252,7 +252,7 @@ impl Parser {
         if self.peek_keyword("INSERT") {
             self.parse_insert().map(Statement::Insert)
         } else if self.peek_keyword("UPDATE") {
-            self.parse_update().map(Statement::Update)
+            self.parse_update()
         } else if self.peek_keyword("DELETE") {
             self.parse_delete().map(Statement::Delete)
         } else if self.peek_keyword("SELECT") {
@@ -262,20 +262,8 @@ impl Parser {
         }
     }
 
-    fn parse_insert(&mut self) -> RelResult<InsertStmt> {
-        self.expect_keyword("INSERT")?;
-        self.expect_keyword("INTO")?;
-        let table = self.expect_identifier()?;
-        self.expect_symbol("(")?;
-        let mut columns = Vec::new();
-        loop {
-            columns.push(self.expect_identifier()?);
-            if !self.accept_symbol(",") {
-                break;
-            }
-        }
-        self.expect_symbol(")")?;
-        self.expect_keyword("VALUES")?;
+    // A parenthesized comma-separated literal tuple.
+    fn parse_value_tuple(&mut self) -> RelResult<Vec<Value>> {
         self.expect_symbol("(")?;
         let mut values = Vec::new();
         loop {
@@ -285,25 +273,62 @@ impl Parser {
             }
         }
         self.expect_symbol(")")?;
-        if columns.len() != values.len() {
-            return Err(RelError::SqlParse {
-                message: format!(
-                    "INSERT has {} column(s) but {} value(s)",
-                    columns.len(),
-                    values.len()
-                ),
-            });
+        Ok(values)
+    }
+
+    // A parenthesized comma-separated identifier list.
+    fn parse_column_list(&mut self) -> RelResult<Vec<String>> {
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.expect_identifier()?);
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(columns)
+    }
+
+    fn parse_insert(&mut self) -> RelResult<InsertStmt> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+        let columns = self.parse_column_list()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            let values = self.parse_value_tuple()?;
+            if columns.len() != values.len() {
+                return Err(RelError::SqlParse {
+                    message: format!(
+                        "INSERT has {} column(s) but a row with {} value(s)",
+                        columns.len(),
+                        values.len()
+                    ),
+                });
+            }
+            rows.push(values);
+            if !self.accept_symbol(",") {
+                break;
+            }
         }
         Ok(InsertStmt {
             table,
             columns,
-            values,
+            rows,
         })
     }
 
-    fn parse_update(&mut self) -> RelResult<UpdateStmt> {
+    fn parse_update(&mut self) -> RelResult<Statement> {
         self.expect_keyword("UPDATE")?;
         let table = self.expect_identifier()?;
+        // `UPDATE t BY (…) SET (…) VALUES …` — the grouped form. `BY`
+        // is a contextual keyword: the classic grammar requires SET
+        // here, so no identifier can occupy this position.
+        if self.peek_keyword("BY") {
+            return self.parse_bulk_update(table).map(Statement::BulkUpdate);
+        }
         self.expect_keyword("SET")?;
         let mut assignments = Vec::new();
         loop {
@@ -316,10 +341,45 @@ impl Parser {
             }
         }
         let where_clause = self.parse_optional_where()?;
-        Ok(UpdateStmt {
+        Ok(Statement::Update(UpdateStmt {
             table,
             assignments,
             where_clause,
+        }))
+    }
+
+    fn parse_bulk_update(&mut self, table: String) -> RelResult<BulkUpdateStmt> {
+        self.expect_keyword("BY")?;
+        let key_columns = self.parse_column_list()?;
+        self.expect_keyword("SET")?;
+        let set_columns = self.parse_column_list()?;
+        self.expect_keyword("VALUES")?;
+        let width = key_columns.len() + set_columns.len();
+        let mut rows = Vec::new();
+        loop {
+            let tuple = self.parse_value_tuple()?;
+            if tuple.len() != width {
+                return Err(RelError::SqlParse {
+                    message: format!(
+                        "bulk UPDATE has {} key + {} set column(s) but a row with {} value(s)",
+                        key_columns.len(),
+                        set_columns.len(),
+                        tuple.len()
+                    ),
+                });
+            }
+            let mut key = tuple;
+            let set = key.split_off(key_columns.len());
+            rows.push(BulkRow { key, set });
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        Ok(BulkUpdateStmt {
+            table,
+            key_columns,
+            set_columns,
+            rows,
         })
     }
 
@@ -418,7 +478,7 @@ impl Parser {
     }
 
     // comparison := primary ((= | <> | != | < | <= | > | >=) primary
-    //             | IS [NOT] NULL)?
+    //             | IS [NOT] NULL | [NOT] IN '(' expr, … ')')?
     fn parse_comparison(&mut self) -> RelResult<Expr> {
         let left = self.parse_primary()?;
         if self.accept_keyword("IS") {
@@ -426,6 +486,29 @@ impl Parser {
             self.expect_keyword("NULL")?;
             return Ok(Expr::IsNull {
                 expr: Box::new(left),
+                negated,
+            });
+        }
+        // `IN` / `NOT IN` are contextual: after a complete primary the
+        // classic grammar allows only an operator or the end of the
+        // expression, so the keywords cannot shadow identifiers.
+        if self.peek_keyword("IN") || self.peek_keyword("NOT") {
+            let negated = self.accept_keyword("NOT");
+            if !self.accept_keyword("IN") {
+                return Err(self.err("expected IN after NOT"));
+            }
+            self.expect_symbol("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.accept_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
                 negated,
             });
         }
@@ -529,8 +612,59 @@ mod tests {
         };
         assert_eq!(ins.table, "author");
         assert_eq!(ins.columns.len(), 6);
-        assert_eq!(ins.values[1], Value::text("Mr"));
-        assert_eq!(ins.values[5], Value::Int(5));
+        assert_eq!(ins.rows.len(), 1);
+        assert_eq!(ins.rows[0][1], Value::text("Mr"));
+        assert_eq!(ins.rows[0][5], Value::Int(5));
+    }
+
+    #[test]
+    fn parses_multi_row_insert() {
+        let stmt = parse("INSERT INTO team (id, name) VALUES (4, 'DBTG'), (5, 'SEAL');").unwrap();
+        let Statement::Insert(ins) = stmt else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[1], vec![Value::Int(5), Value::text("SEAL")]);
+        // Every row must match the column count.
+        assert!(parse("INSERT INTO t (a, b) VALUES (1, 2), (3);").is_err());
+    }
+
+    #[test]
+    fn parses_bulk_update() {
+        let stmt = parse(
+            "UPDATE author BY (id, email) SET (email) \
+             VALUES (6, 'a@x.ch', NULL), (7, 'b@x.ch', 'c@x.ch');",
+        )
+        .unwrap();
+        let Statement::BulkUpdate(up) = stmt else {
+            panic!("expected bulk UPDATE")
+        };
+        assert_eq!(up.key_columns, vec!["id", "email"]);
+        assert_eq!(up.set_columns, vec!["email"]);
+        assert_eq!(up.rows.len(), 2);
+        assert_eq!(up.rows[0].key, vec![Value::Int(6), Value::text("a@x.ch")]);
+        assert_eq!(up.rows[0].set, vec![Value::Null]);
+        // Tuple width must be keys + sets.
+        assert!(parse("UPDATE t BY (id) SET (x) VALUES (1);").is_err());
+    }
+
+    #[test]
+    fn parses_in_list() {
+        let stmt = parse("DELETE FROM team WHERE id IN (4, 5);").unwrap();
+        let Statement::Delete(d) = stmt else { panic!() };
+        assert_eq!(
+            d.where_clause,
+            Some(Expr::col_in_values(
+                "id",
+                vec![Value::Int(4), Value::Int(5)]
+            ))
+        );
+        let stmt = parse("SELECT * FROM t WHERE x NOT IN (1);").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::InList { negated: true, .. })
+        ));
     }
 
     #[test]
@@ -559,6 +693,10 @@ mod tests {
             "DELETE FROM t WHERE a = 1 AND (b = 2 OR c = 3);",
             "SELECT id FROM t WHERE email IS NOT NULL;",
             "UPDATE t SET x = -5 WHERE y <> 'a';",
+            "INSERT INTO team (id, name) VALUES (4, 'DBTG'), (5, 'SEAL');",
+            "UPDATE author BY (id) SET (email, team) VALUES (6, NULL, 4), (7, 'x@y.ch', 5);",
+            "DELETE FROM team WHERE id IN (4, 5);",
+            "SELECT id FROM t WHERE x NOT IN (1, 'a') AND y IN (2);",
         ];
         for input in inputs {
             let stmt = parse(input).unwrap();
@@ -620,14 +758,14 @@ mod tests {
     fn negative_numbers() {
         let stmt = parse("INSERT INTO t (a) VALUES (-42);").unwrap();
         let Statement::Insert(i) = stmt else { panic!() };
-        assert_eq!(i.values[0], Value::Int(-42));
+        assert_eq!(i.rows[0][0], Value::Int(-42));
     }
 
     #[test]
     fn float_literals() {
         let stmt = parse("INSERT INTO t (a) VALUES (3.5);").unwrap();
         let Statement::Insert(i) = stmt else { panic!() };
-        assert_eq!(i.values[0], Value::Double(3.5));
+        assert_eq!(i.rows[0][0], Value::Double(3.5));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! against the paper verbatim. Statements render with a trailing `;`.
 
 use crate::sql::ast::{
-    BinOp, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement, TableRef, UpdateStmt,
+    BinOp, BulkUpdateStmt, DeleteStmt, Expr, InsertStmt, SelectItem, SelectStmt, Statement,
+    TableRef, UpdateStmt,
 };
 use std::fmt;
 
@@ -14,22 +15,55 @@ impl fmt::Display for Statement {
         match self {
             Statement::Insert(s) => s.fmt(f),
             Statement::Update(s) => s.fmt(f),
+            Statement::BulkUpdate(s) => s.fmt(f),
             Statement::Delete(s) => s.fmt(f),
             Statement::Select(s) => s.fmt(f),
         }
     }
 }
 
+// `(v1, v2, …)`.
+fn fmt_tuple(f: &mut fmt::Formatter<'_>, values: &[crate::value::Value]) -> fmt::Result {
+    let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    write!(f, "({})", rendered.join(", "))
+}
+
 impl fmt::Display for InsertStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let values: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
         write!(
             f,
-            "INSERT INTO {} ({}) VALUES ({});",
+            "INSERT INTO {} ({}) VALUES ",
             self.table,
             self.columns.join(", "),
-            values.join(", ")
-        )
+        )?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            fmt_tuple(f, row)?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for BulkUpdateStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UPDATE {} BY ({}) SET ({}) VALUES ",
+            self.table,
+            self.key_columns.join(", "),
+            self.set_columns.join(", "),
+        )?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let flat: Vec<crate::value::Value> =
+                row.key.iter().chain(row.set.iter()).cloned().collect();
+            fmt_tuple(f, &flat)?;
+        }
+        write!(f, ";")
     }
 }
 
@@ -123,6 +157,7 @@ fn precedence(expr: &Expr) -> u8 {
         Expr::Not(_) => 3,
         Expr::Binary { .. } => 4,
         Expr::IsNull { .. } => 4,
+        Expr::InList { .. } => 4,
         Expr::Value(_) | Expr::Column(_) => 5,
     }
 }
@@ -161,6 +196,20 @@ impl fmt::Display for Expr {
                     write!(f, " IS NULL")
                 }
             }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                fmt_child(f, expr, precedence(self))?;
+                if *negated {
+                    write!(f, " NOT IN (")?;
+                } else {
+                    write!(f, " IN (")?;
+                }
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(f, "{})", items.join(", "))
+            }
         }
     }
 }
@@ -172,9 +221,9 @@ mod tests {
 
     #[test]
     fn insert_matches_listing_10_style() {
-        let stmt = InsertStmt {
-            table: "author".into(),
-            columns: vec![
+        let stmt = InsertStmt::single(
+            "author",
+            vec![
                 "id".into(),
                 "title".into(),
                 "firstname".into(),
@@ -182,7 +231,7 @@ mod tests {
                 "email".into(),
                 "team".into(),
             ],
-            values: vec![
+            vec![
                 Value::Int(6),
                 Value::text("Mr"),
                 Value::text("Matthias"),
@@ -190,12 +239,65 @@ mod tests {
                 Value::text("hert@ifi.uzh.ch"),
                 Value::Int(5),
             ],
-        };
+        );
         assert_eq!(
             stmt.to_string(),
             "INSERT INTO author (id, title, firstname, lastname, email, team) \
              VALUES (6, 'Mr', 'Matthias', 'Hert', 'hert@ifi.uzh.ch', 5);"
         );
+    }
+
+    #[test]
+    fn multi_row_insert_renders_tuples() {
+        let stmt = InsertStmt {
+            table: "team".into(),
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![
+                vec![Value::Int(4), Value::text("DBTG")],
+                vec![Value::Int(5), Value::text("SEAL")],
+            ],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "INSERT INTO team (id, name) VALUES (4, 'DBTG'), (5, 'SEAL');"
+        );
+    }
+
+    #[test]
+    fn bulk_update_renders_keys_then_sets() {
+        use crate::sql::ast::{BulkRow, BulkUpdateStmt};
+        let stmt = BulkUpdateStmt {
+            table: "author".into(),
+            key_columns: vec!["id".into(), "email".into()],
+            set_columns: vec!["email".into()],
+            rows: vec![
+                BulkRow {
+                    key: vec![Value::Int(6), Value::text("a@x.ch")],
+                    set: vec![Value::Null],
+                },
+                BulkRow {
+                    key: vec![Value::Int(7), Value::text("b@x.ch")],
+                    set: vec![Value::Null],
+                },
+            ],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "UPDATE author BY (id, email) SET (email) \
+             VALUES (6, 'a@x.ch', NULL), (7, 'b@x.ch', NULL);"
+        );
+    }
+
+    #[test]
+    fn in_list_renders() {
+        let e = Expr::col_in_values("id", vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(e.to_string(), "id IN (1, 2)");
+        let neg = Expr::InList {
+            expr: Box::new(Expr::col("id")),
+            list: vec![Expr::value(1i64)],
+            negated: true,
+        };
+        assert_eq!(neg.to_string(), "id NOT IN (1)");
     }
 
     #[test]

@@ -305,22 +305,34 @@ fn identifier_strategy() -> impl Strategy<Value = String> {
 }
 
 fn sql_statement_strategy() -> impl Strategy<Value = rel::sql::Statement> {
-    use rel::sql::{DeleteStmt, Expr, InsertStmt, Statement, UpdateStmt};
+    use rel::sql::{BulkRow, BulkUpdateStmt, DeleteStmt, Expr, InsertStmt, Statement, UpdateStmt};
     let insert = (
         identifier_strategy(),
         proptest::collection::vec((identifier_strategy(), sql_value_strategy()), 1..6),
+        proptest::collection::vec(sql_value_strategy(), 0..8),
     )
-        .prop_map(|(table, pairs)| {
+        .prop_map(|(table, pairs, extra)| {
             // Deduplicate column names to keep the statement well formed.
             let mut seen = std::collections::BTreeSet::new();
             let pairs: Vec<_> = pairs
                 .into_iter()
                 .filter(|(c, _)| seen.insert(c.clone()))
                 .collect();
+            // First row from the pairs; further rows (multi-row VALUES)
+            // recycle the extra values to the same width.
+            let columns: Vec<String> = pairs.iter().map(|(c, _)| c.clone()).collect();
+            let first: Vec<rel::Value> = pairs.into_iter().map(|(_, v)| v).collect();
+            let width = columns.len();
+            let mut rows = vec![first];
+            for chunk in extra.chunks(width) {
+                if chunk.len() == width {
+                    rows.push(chunk.to_vec());
+                }
+            }
             Statement::Insert(InsertStmt {
                 table,
-                columns: pairs.iter().map(|(c, _)| c.clone()).collect(),
-                values: pairs.into_iter().map(|(_, v)| v).collect(),
+                columns,
+                rows,
             })
         });
     let update = (
@@ -337,6 +349,26 @@ fn sql_statement_strategy() -> impl Strategy<Value = rel::sql::Statement> {
                 where_clause: Some(Expr::eq(Expr::col(&where_col), Expr::Value(where_val))),
             })
         });
+    let bulk_update = (
+        identifier_strategy(),
+        identifier_strategy(),
+        identifier_strategy(),
+        proptest::collection::vec((sql_value_strategy(), sql_value_strategy()), 1..5),
+    )
+        .prop_map(|(table, key_col, set_col, tuples)| {
+            Statement::BulkUpdate(BulkUpdateStmt {
+                table,
+                key_columns: vec![key_col],
+                set_columns: vec![set_col],
+                rows: tuples
+                    .into_iter()
+                    .map(|(k, s)| BulkRow {
+                        key: vec![k],
+                        set: vec![s],
+                    })
+                    .collect(),
+            })
+        });
     let delete = (
         identifier_strategy(),
         identifier_strategy(),
@@ -348,5 +380,21 @@ fn sql_statement_strategy() -> impl Strategy<Value = rel::sql::Statement> {
                 where_clause: Some(Expr::eq(Expr::col(&col), Expr::Value(val))),
             })
         });
-    prop_oneof![insert, update, delete]
+    let delete_in = (
+        identifier_strategy(),
+        identifier_strategy(),
+        proptest::collection::vec(sql_value_strategy(), 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(table, col, vals, negated)| {
+            Statement::Delete(DeleteStmt {
+                table,
+                where_clause: Some(rel::sql::Expr::InList {
+                    expr: Box::new(Expr::col(&col)),
+                    list: vals.into_iter().map(Expr::Value).collect(),
+                    negated,
+                }),
+            })
+        });
+    prop_oneof![insert, update, bulk_update, delete, delete_in]
 }
