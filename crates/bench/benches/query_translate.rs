@@ -3,7 +3,6 @@
 //! graph, swept over database size and join depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ontoaccess::Endpoint;
 use rdf::namespace::PrefixMap;
 use sparql::Query;
 
@@ -38,25 +37,14 @@ fn bench_queries(c: &mut Criterion) {
         group.sample_size(20);
         for n in [10usize, 100, 400] {
             let db = fixtures::data::populated_database(n, 5);
-            let graph = ontoaccess::materialize(&db, &fixtures::mapping()).unwrap();
-            let ep = Endpoint::new(db, fixtures::mapping()).unwrap();
+            let mapping = fixtures::mapping();
+            let graph = ontoaccess::materialize(&db, &mapping).unwrap();
+            // The read path is `&Database` now — no per-iteration
+            // endpoint clone needed to run a query.
             group.bench_with_input(
                 BenchmarkId::new("sql_translation", n),
                 &query,
-                |b, query| {
-                    b.iter_batched(
-                        || ep.clone(),
-                        |mut ep| {
-                            ontoaccess::execute_select(
-                                ep.database_mut(),
-                                &fixtures::mapping(),
-                                query,
-                            )
-                            .unwrap()
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
+                |b, query| b.iter(|| ontoaccess::execute_select(&db, &mapping, query).unwrap()),
             );
             group.bench_with_input(BenchmarkId::new("native_bgp", n), &query, |b, query| {
                 b.iter(|| sparql::evaluate_select(&graph, query))

@@ -8,7 +8,7 @@ use rel::Value;
 
 // Database where team `ID_BASE` has exactly `members` authors, all with
 // a title (so the MODIFY template binds for each).
-fn endpoint_with_team_of(members: usize) -> Endpoint {
+fn database_with_team_of(members: usize) -> rel::Database {
     let mut db = fixtures::database();
     let a = |name: &str, v: Value| (name.to_owned(), v);
     let team = fixtures::data::ID_BASE;
@@ -34,21 +34,24 @@ fn endpoint_with_team_of(members: usize) -> Endpoint {
         )
         .unwrap();
     }
-    Endpoint::new(db, fixtures::mapping()).unwrap()
+    db
 }
 
 fn bench_by_binding_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("translate_modify/bindings");
     group.sample_size(20);
+    let mapping = fixtures::mapping();
     for members in [1usize, 4, 16, 64] {
         let request = fixtures::workload::modify_team_members(fixtures::data::ID_BASE, "Prof");
-        let ep = endpoint_with_team_of(members);
+        let db = database_with_team_of(members);
         group.bench_with_input(
             BenchmarkId::from_parameter(members),
             &request,
             |b, request| {
+                // Endpoints no longer clone; reset state by rebuilding
+                // one over a cloned database in the untimed setup.
                 b.iter_batched(
-                    || ep.clone(),
+                    || Endpoint::new(db.clone(), mapping.clone()).unwrap(),
                     |mut ep| ep.execute_update(request).unwrap(),
                     criterion::BatchSize::SmallInput,
                 )
@@ -66,10 +69,12 @@ fn bench_optimization_effect(c: &mut Criterion) {
     group.sample_size(20);
     // Sample data has author6 with a known email — both variants
     // replace it.
-    let ep = fixtures::endpoint_with_sample_data();
+    let mut db = fixtures::database();
+    fixtures::seed_paper_rows(&mut db);
+    let mapping = fixtures::mapping();
     group.bench_function("modify_replacement", |b| {
         b.iter_batched(
-            || ep.clone(),
+            || Endpoint::new(db.clone(), mapping.clone()).unwrap(),
             |mut ep| {
                 ep.execute_update(
                     "MODIFY DELETE { ?x foaf:mbox ?m . } \
@@ -83,7 +88,7 @@ fn bench_optimization_effect(c: &mut Criterion) {
     });
     group.bench_function("delete_then_insert", |b| {
         b.iter_batched(
-            || ep.clone(),
+            || Endpoint::new(db.clone(), mapping.clone()).unwrap(),
             |mut ep| {
                 ep.execute_update(
                     "DELETE DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",

@@ -1,211 +1,90 @@
-//! The OntoAccess mediator facade (paper §6).
+//! The OntoAccess mediator facade (paper §6) — compatibility wrapper.
 //!
 //! The paper's prototype is an HTTP endpoint: requests are parsed,
 //! translated, executed, and answered with an RDF feedback document.
-//! This type is that endpoint minus the socket: a transport layer can
-//! wrap [`Endpoint::execute_update`] /
-//! [`Endpoint::execute_query`] unchanged. The mapping is validated
-//! against the schema at construction — a disagreeing mapping would let
-//! invalid updates through or reject valid ones.
+//! The concurrent core of that endpoint lives in [`crate::mediator`]:
+//! a shared [`Mediator`] handing out [`crate::mediator::ReadSession`]s
+//! and [`crate::mediator::WriteTxn`]s. This type is the original
+//! single-owner facade, kept so existing callers migrate mechanically —
+//! every method delegates to a privately held [`Mediator`]. New code
+//! (and anything that serves concurrent traffic) should construct a
+//! [`Mediator`] directly.
 
-use crate::error::{OntoError, OntoResult};
+use crate::error::OntoResult;
 use crate::feedback::Feedback;
-use crate::modify::ModifyReport;
-use crate::query::CompiledQuery;
-use crate::translate::{execute_sorted, TranslateOptions};
+use crate::mediator::{DatabaseReadGuard, DatabaseWriteGuard, Mediator};
+pub use crate::mediator::{ScriptError, UpdateOutcome};
 use r3m::Mapping;
 use rdf::namespace::PrefixMap;
 use rdf::Graph;
-use rel::sql::Statement;
 use rel::Database;
-use sparql::{Query, Solutions, UpdateOp};
-use std::collections::HashMap;
+use sparql::{Solutions, UpdateOp};
 
-/// Result of a successful update.
-#[derive(Debug, Clone)]
-pub struct UpdateOutcome {
-    /// Operation kind (`INSERT DATA`, `DELETE DATA`, `MODIFY`).
-    pub operation: String,
-    /// SQL statements executed, in execution order — one per
-    /// table-level group on the set-based write path.
-    pub statements: Vec<Statement>,
-    /// Number of statement groups executed (0 = request was a no-op).
-    pub statements_executed: usize,
-    /// Total rows inserted/updated/deleted across all groups.
-    pub rows_affected: usize,
-    /// MODIFY-specific artifacts (Algorithm 2's intermediate steps).
-    pub modify: Option<ModifyReport>,
-}
-
-/// Failure of a multi-operation update request.
-#[derive(Debug, Clone)]
-pub struct ScriptError {
-    /// Zero-based index of the failing operation.
-    pub operation_index: usize,
-    /// Outcomes of the operations that completed before the failure
-    /// (already rolled back when the script ran atomically).
-    pub completed: Vec<UpdateOutcome>,
-    /// The failing operation's error.
-    pub error: OntoError,
-}
-
-impl std::fmt::Display for ScriptError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "operation {} of the update request failed: {}",
-            self.operation_index + 1,
-            self.error
-        )
-    }
-}
-
-impl std::error::Error for ScriptError {}
-
-// A parse+compile result cached per query text. Compilation depends
-// only on the schema and the mapping — both fixed after construction —
-// so cached entries never go stale as data changes.
-#[derive(Debug, Clone)]
-enum CachedQuery {
-    Select(CompiledQuery),
-    Ask(CompiledQuery),
-}
-
-// One cache slot: the compiled query plus its last-use stamp for LRU
-// eviction.
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    compiled: CachedQuery,
-    last_used: u64,
-}
-
-// Default number of cached texts (repeated endpoint workloads use a
-// handful of query shapes; the bound only guards degenerate clients).
-const QUERY_CACHE_CAPACITY: usize = 256;
-
-/// The mediator: a database + an R3M mapping + the translation
-/// machinery.
-#[derive(Debug, Clone)]
+/// The mediator facade: a database + an R3M mapping + the translation
+/// machinery, owned by one caller. A thin wrapper over [`Mediator`];
+/// use [`Endpoint::mediator`] to share the same state concurrently.
+#[derive(Debug)]
 pub struct Endpoint {
-    db: Database,
-    mapping: Mapping,
-    prefixes: PrefixMap,
-    query_cache: HashMap<String, CacheEntry>,
-    query_cache_capacity: usize,
-    cache_clock: u64,
+    mediator: Mediator,
 }
 
 impl Endpoint {
     /// Create an endpoint, validating the mapping against the schema.
     pub fn new(db: Database, mapping: Mapping) -> OntoResult<Self> {
-        r3m::validate_strict(&mapping, db.schema()).map_err(|issue| OntoError::Unsupported {
-            message: format!("mapping rejected: {issue}"),
-        })?;
-        let mut prefixes = PrefixMap::common();
-        if let Some(prefix) = &mapping.uri_prefix {
-            prefixes.insert("ex", prefix.clone());
-        }
         Ok(Endpoint {
-            db,
-            mapping,
-            prefixes,
-            query_cache: HashMap::new(),
-            query_cache_capacity: QUERY_CACHE_CAPACITY,
-            cache_clock: 0,
+            mediator: Mediator::new(db, mapping)?,
         })
     }
 
-    /// The underlying database (read access).
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// The shared mediator behind this endpoint. Clones of the returned
+    /// handle (and its read sessions / write transactions) observe the
+    /// same database and query cache as this endpoint.
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediator
     }
 
-    /// The underlying database (mutable — bypasses the mediator; used by
-    /// fixtures and tests to seed data).
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// Consume the endpoint, returning its mediator.
+    pub fn into_mediator(self) -> Mediator {
+        self.mediator
+    }
+
+    /// The underlying database (read access). The returned guard holds
+    /// the database read lock; do not keep it across an update call.
+    pub fn database(&self) -> DatabaseReadGuard<'_> {
+        self.mediator.database()
+    }
+
+    #[doc(hidden)]
+    /// Raw mutable database access, **bypassing the mediator** (no
+    /// mapping validation, no translation). Test support only — see
+    /// [`Mediator::database_mut_for_tests`].
+    pub fn database_mut_for_tests(&mut self) -> DatabaseWriteGuard<'_> {
+        self.mediator.database_mut_for_tests()
     }
 
     /// The mapping.
     pub fn mapping(&self) -> &Mapping {
-        &self.mapping
+        self.mediator.mapping()
     }
 
     /// Prefixes used for parsing requests and rendering output
     /// (the common vocabularies plus `ex:` for the instance namespace).
     pub fn prefixes(&self) -> &PrefixMap {
-        &self.prefixes
+        self.mediator.prefixes()
     }
 
     // ------------------------------------------------------------------
     // Updates
     // ------------------------------------------------------------------
 
-    /// Execute a SPARQL/Update given as text.
+    /// Execute a SPARQL/Update given as text (one transaction).
     pub fn execute_update(&mut self, text: &str) -> OntoResult<UpdateOutcome> {
-        let op = sparql::parse_update_with_prefixes(text, self.prefixes.clone())?;
-        self.execute_update_op(&op)
+        self.mediator.execute_update(text)
     }
 
-    /// Execute a parsed SPARQL/Update operation.
+    /// Execute a parsed SPARQL/Update operation (one transaction).
     pub fn execute_update_op(&mut self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
-        match op {
-            UpdateOp::InsertData { triples } => {
-                let stmts = crate::translate::insert::translate_insert_data(
-                    &self.db,
-                    &self.mapping,
-                    triples,
-                    TranslateOptions::default(),
-                )?;
-                let executed = execute_sorted(&mut self.db, stmts)?;
-                Ok(UpdateOutcome {
-                    operation: "INSERT DATA".into(),
-                    statements_executed: executed.statements.len(),
-                    rows_affected: executed.rows_affected,
-                    statements: executed.statements,
-                    modify: None,
-                })
-            }
-            UpdateOp::DeleteData { triples } => {
-                let stmts = crate::translate::delete::translate_delete_data(
-                    &self.db,
-                    &self.mapping,
-                    triples,
-                )?;
-                let executed = execute_sorted(&mut self.db, stmts)?;
-                Ok(UpdateOutcome {
-                    operation: "DELETE DATA".into(),
-                    statements_executed: executed.statements.len(),
-                    rows_affected: executed.rows_affected,
-                    statements: executed.statements,
-                    modify: None,
-                })
-            }
-            UpdateOp::Modify {
-                delete,
-                insert,
-                pattern,
-            } => {
-                // MODIFY is atomic: run rounds against a scratch copy;
-                // adopt it only if everything succeeded.
-                let mut scratch = self.db.clone();
-                let report = crate::modify::execute_modify(
-                    &mut scratch,
-                    &self.mapping,
-                    delete,
-                    insert,
-                    pattern,
-                )?;
-                self.db = scratch;
-                Ok(UpdateOutcome {
-                    operation: "MODIFY".into(),
-                    statements_executed: report.executed.len(),
-                    rows_affected: report.rows_affected,
-                    statements: report.executed.clone(),
-                    modify: Some(report),
-                })
-            }
-        }
+        self.mediator.execute_update_op(op)
     }
 
     /// Execute a SPARQL 1.1 style update request: one or more operations
@@ -220,34 +99,7 @@ impl Endpoint {
         text: &str,
         atomic_script: bool,
     ) -> Result<Vec<UpdateOutcome>, ScriptError> {
-        let ops =
-            sparql::parse_update_script(text, self.prefixes.clone()).map_err(|e| ScriptError {
-                operation_index: 0,
-                completed: Vec::new(),
-                error: e.into(),
-            })?;
-        let snapshot = if atomic_script {
-            Some(self.db.clone())
-        } else {
-            None
-        };
-        let mut outcomes = Vec::with_capacity(ops.len());
-        for (i, op) in ops.iter().enumerate() {
-            match self.execute_update_op(op) {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(error) => {
-                    if let Some(snapshot) = snapshot {
-                        self.db = snapshot;
-                    }
-                    return Err(ScriptError {
-                        operation_index: i,
-                        completed: outcomes,
-                        error,
-                    });
-                }
-            }
-        }
-        Ok(outcomes)
+        self.mediator.execute_script(text, atomic_script)
     }
 
     /// Execute an update and convert the result into a feedback document
@@ -256,119 +108,47 @@ impl Endpoint {
         &mut self,
         text: &str,
     ) -> (Feedback, OntoResult<UpdateOutcome>) {
-        let operation = sparql::parse_update_with_prefixes(text, self.prefixes.clone())
-            .map(|op| op.name().to_owned())
-            .unwrap_or_else(|_| "unparsed".to_owned());
-        let result = self.execute_update(text);
-        let feedback = match &result {
-            Ok(outcome) => Feedback::Success {
-                operation: outcome.operation.clone(),
-                statements: outcome.statements_executed,
-                rows: outcome.rows_affected,
-            },
-            Err(error) => Feedback::Rejection {
-                operation,
-                error: error.clone(),
-            },
-        };
-        (feedback, result)
+        self.mediator.execute_update_with_feedback(text)
     }
 
     // ------------------------------------------------------------------
-    // Queries
+    // Queries (read-only: `&self`)
     // ------------------------------------------------------------------
 
     /// Execute a SPARQL query given as text. Compiled queries are
-    /// cached per query text with LRU eviction: repeated requests skip
-    /// parsing and translation and go straight to the planner, and hot
-    /// entries survive capacity pressure from one-off queries.
-    pub fn execute_query(&mut self, text: &str) -> OntoResult<sparql::QueryOutcome> {
-        self.cache_clock += 1;
-        let stamp = self.cache_clock;
-        if !self.query_cache.contains_key(text) {
-            let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
-            let compiled = match &query {
-                Query::Select(select) => CachedQuery::Select(crate::query::compile_select(
-                    &self.db,
-                    &self.mapping,
-                    select,
-                )?),
-                Query::Ask(ask) => CachedQuery::Ask(crate::query::compile_select(
-                    &self.db,
-                    &self.mapping,
-                    &crate::query::ask_to_select(ask),
-                )?),
-            };
-            // Evict least-recently-used entries until the new insertion
-            // fits. An O(capacity) scan per eviction, paid only on a
-            // miss at capacity — the hit path stays a single hash
-            // lookup. The loop (not a single eviction) lets a lowered
-            // capacity converge from a larger high-water size.
-            while self.query_cache.len() >= self.query_cache_capacity {
-                let Some(coldest) = self
-                    .query_cache
-                    .iter()
-                    .min_by_key(|(_, entry)| entry.last_used)
-                    .map(|(text, _)| text.clone())
-                else {
-                    break;
-                };
-                self.query_cache.remove(&coldest);
-            }
-            self.query_cache.insert(
-                text.to_owned(),
-                CacheEntry {
-                    compiled,
-                    last_used: stamp,
-                },
-            );
-        }
-        // Disjoint field borrows: the compiled entry stays in the cache
-        // while execution mutates only `self.db` — no per-hit clone.
-        let entry = self.query_cache.get_mut(text).expect("just ensured");
-        entry.last_used = stamp;
-        match &entry.compiled {
-            CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
-                crate::query::run_compiled(&mut self.db, compiled)?,
-            )),
-            CachedQuery::Ask(compiled) => {
-                let solutions = crate::query::run_compiled(&mut self.db, compiled)?;
-                Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
-            }
-        }
+    /// cached per query text with clock (second-chance) eviction:
+    /// repeated requests skip parsing and translation and go straight
+    /// to the planner, and hot entries survive capacity pressure from
+    /// one-off queries.
+    pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        self.mediator.execute_query(text)
     }
 
     /// Number of compiled queries currently cached.
     pub fn cached_query_count(&self) -> usize {
-        self.query_cache.len()
+        self.mediator.cached_query_count()
     }
 
     /// Whether `text` currently has a cached compilation.
     pub fn is_query_cached(&self, text: &str) -> bool {
-        self.query_cache.contains_key(text)
+        self.mediator.is_query_cached(text)
     }
 
     /// Set the compiled-query cache capacity (≥ 1). Nothing is evicted
     /// immediately; a cache above the new capacity shrinks to it as
-    /// later misses evict least-recently-used entries. Production
-    /// deployments can size this to their distinct-query working set.
+    /// later misses evict.
     pub fn set_query_cache_capacity(&mut self, capacity: usize) {
-        self.query_cache_capacity = capacity.max(1);
+        self.mediator.set_query_cache_capacity(capacity);
     }
 
     /// Execute a SELECT given as text.
-    pub fn select(&mut self, text: &str) -> OntoResult<Solutions> {
-        match self.execute_query(text)? {
-            sparql::QueryOutcome::Solutions(s) => Ok(s),
-            sparql::QueryOutcome::Boolean(_) => Err(OntoError::Unsupported {
-                message: "expected a SELECT query".into(),
-            }),
-        }
+    pub fn select(&self, text: &str) -> OntoResult<Solutions> {
+        self.mediator.select(text)
     }
 
     /// Materialize the database's full RDF view.
     pub fn materialize(&self) -> OntoResult<Graph> {
-        crate::materialize::materialize(&self.db, &self.mapping)
+        self.mediator.materialize()
     }
 
     /// Describe one instance URI: the triples of its row plus its
@@ -376,110 +156,14 @@ impl Endpoint {
     /// "dereferenceable URI" read the paper's related work describes
     /// (§2), here over the live database.
     pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
-        let identified =
-            crate::translate::identify(&self.db, &self.mapping, &rdf::Term::Iri(uri.clone()))?;
-        let table = self.db.schema().table(&identified.table_map.table_name)?;
-        let Some(row_id) = crate::translate::find_row(&self.db, &identified)? else {
-            return Ok(Graph::new()); // mapped but absent: empty description
-        };
-        let row = self
-            .db
-            .row(&identified.table_map.table_name, row_id)?
-            .expect("row id valid")
-            .clone();
-        let mut graph = crate::materialize::materialize_row(
-            &self.db,
-            &self.mapping,
-            identified.table_map,
-            &row,
-        )?;
-        // Link-table triples where this instance is subject or object.
-        let key = identified.pk_values(table)?;
-        if key.len() == 1 {
-            let key = &key[0];
-            for link in &self.mapping.link_tables {
-                let link_table = self.db.schema().table(&link.table_name)?;
-                let s_idx = link_table
-                    .column_index(&link.subject_attribute.attribute_name)
-                    .expect("validated mapping");
-                let o_idx = link_table
-                    .column_index(&link.object_attribute.attribute_name)
-                    .expect("validated mapping");
-                let s_target = link
-                    .subject_attribute
-                    .foreign_key_target()
-                    .and_then(|id| self.mapping.table_by_id(id));
-                let o_target = link
-                    .object_attribute
-                    .foreign_key_target()
-                    .and_then(|id| self.mapping.table_by_id(id));
-                let (Some(s_target), Some(o_target)) = (s_target, o_target) else {
-                    continue;
-                };
-                let as_subject = s_target.table_name == identified.table_map.table_name;
-                let as_object = o_target.table_name == identified.table_map.table_name;
-                // Candidate link rows by index on whichever endpoint
-                // columns reference this instance (both are FK columns,
-                // so normally indexed); a failed probe falls back to
-                // scanning.
-                let mut candidates: Option<Vec<rel::RowId>> = Some(Vec::new());
-                for (role_active, column) in [
-                    (as_subject, &link.subject_attribute.attribute_name),
-                    (as_object, &link.object_attribute.attribute_name),
-                ] {
-                    if !role_active {
-                        continue;
-                    }
-                    match self.db.index_probe(&link.table_name, column, key)? {
-                        Some(ids) => {
-                            if let Some(c) = &mut candidates {
-                                c.extend(ids);
-                            }
-                        }
-                        None => candidates = None,
-                    }
-                }
-                let link_rows: Vec<&Vec<rel::Value>> = match candidates {
-                    Some(mut ids) => {
-                        ids.sort_unstable();
-                        ids.dedup();
-                        let mut rows = Vec::with_capacity(ids.len());
-                        for id in ids {
-                            rows.push(self.db.row(&link.table_name, id)?.expect("live id"));
-                        }
-                        rows
-                    }
-                    None => self.db.scan(&link.table_name)?.map(|(_, r)| r).collect(),
-                };
-                for link_row in link_rows {
-                    let s_val = &link_row[s_idx];
-                    let o_val = &link_row[o_idx];
-                    if s_val.is_null() || o_val.is_null() {
-                        continue;
-                    }
-                    let relevant = (as_subject && s_val.sql_eq(key) == Some(true))
-                        || (as_object && o_val.sql_eq(key) == Some(true));
-                    if relevant {
-                        let s =
-                            crate::materialize::key_instance_uri(&self.mapping, s_target, s_val)?;
-                        let o =
-                            crate::materialize::key_instance_uri(&self.mapping, o_target, o_val)?;
-                        graph.insert(rdf::Triple::new(
-                            rdf::Term::Iri(s),
-                            link.property.clone(),
-                            rdf::Term::Iri(o),
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(graph)
+        self.mediator.describe(uri)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::OntoError;
     use crate::testutil::fixture_db_with_rows;
     use rdf::namespace::foaf;
     use rdf::Term;
@@ -547,6 +231,14 @@ mod tests {
     }
 
     #[test]
+    fn parse_error_feedback_without_double_parse() {
+        let mut ep = endpoint();
+        let (feedback, result) = ep.execute_update_with_feedback("INSERT GARBAGE");
+        assert!(matches!(result, Err(OntoError::Parse { .. })));
+        assert!(!feedback.is_success());
+    }
+
+    #[test]
     fn modify_through_endpoint_is_atomic() {
         let mut ep = endpoint();
         let before = ep.materialize().unwrap();
@@ -584,20 +276,21 @@ mod tests {
     }
 
     #[test]
-    fn query_cache_evicts_lru_and_keeps_hot_entries() {
+    fn query_cache_evicts_cold_and_keeps_hot_entries() {
         let mut ep = endpoint();
         ep.set_query_cache_capacity(3);
         let hot = "SELECT ?x WHERE { ?x a foaf:Person . }";
         ep.select(hot).unwrap();
         // Fill the cache with one-off queries while re-touching the hot
-        // entry between each, so it is never the least recently used.
+        // entry between each, so its referenced bit stays set and the
+        // clock always finds a colder victim.
         for year in [2001, 2002, 2003, 2004, 2005] {
             let cold = format!("SELECT ?p WHERE {{ ?p ont:pubYear \"{year}\" . }}");
             ep.select(&cold).unwrap();
             ep.select(hot).unwrap();
         }
         assert!(ep.cached_query_count() <= 3);
-        assert!(ep.is_query_cached(hot), "hot entry evicted under LRU");
+        assert!(ep.is_query_cached(hot), "hot entry evicted by the clock");
         // The most recent cold query survived; the oldest did not.
         assert!(ep.is_query_cached("SELECT ?p WHERE { ?p ont:pubYear \"2005\" . }"));
         assert!(!ep.is_query_cached("SELECT ?p WHERE { ?p ont:pubYear \"2001\" . }"));
@@ -613,7 +306,7 @@ mod tests {
 
     #[test]
     fn ask_through_endpoint() {
-        let mut ep = endpoint();
+        let ep = endpoint();
         let outcome = ep
             .execute_query("ASK { ?x foaf:family_name \"Hert\" . }")
             .unwrap();
@@ -717,6 +410,7 @@ mod tests {
 #[cfg(test)]
 mod check_constraint_tests {
     use super::*;
+    use crate::error::OntoError;
     use r3m::ConstraintInfo;
     use rel::{Column, Schema, SqlType, Table};
 
@@ -796,6 +490,7 @@ mod check_constraint_tests {
 #[cfg(test)]
 mod describe_tests {
     use super::*;
+    use crate::error::OntoError;
     use crate::testutil::fixture_db_with_rows;
     use rdf::namespace::{dc, foaf, rdf_type};
     use rdf::Term;

@@ -11,24 +11,48 @@
 //!   and the read path of the endpoint)
 //! * [`mod@materialize`] — the virtual RDF view of the database
 //! * [`feedback`] — the semantically rich feedback protocol (§3/§8)
-//! * [`endpoint`] — the mediator facade tying it all together
+//! * [`mediator`] — the concurrent mediator core: a shared [`Mediator`]
+//!   handing out [`ReadSession`]s and [`WriteTxn`]s
+//! * [`endpoint`] — the single-owner facade over it (compat wrapper)
 //! * [`usecase`] — the paper's publication use case (Figs. 1-2, Table 1)
 //!
 //! # Example
+//!
+//! One shared mediator; writes go through an exclusive transaction in
+//! which each operation is a savepoint scope, reads through cheap
+//! `Send + Sync` sessions:
+//!
+//! ```
+//! use ontoaccess::{usecase, Mediator};
+//!
+//! let mediator = Mediator::new(usecase::database(), usecase::mapping()).unwrap();
+//!
+//! // Write: one transaction, each operation individually atomic.
+//! let mut txn = mediator.write();
+//! txn.update(
+//!     "INSERT DATA { ex:team4 foaf:name \"Database Technology\" ; \
+//!      ont:teamCode \"DBTG\" . }",
+//! )
+//! .unwrap();
+//! txn.commit().unwrap();
+//!
+//! // Read: any number of sessions, `&self`, in parallel.
+//! let session = mediator.read();
+//! let sols = session
+//!     .select("SELECT ?code WHERE { ex:team4 ont:teamCode ?code . }")
+//!     .unwrap();
+//! assert_eq!(sols.len(), 1);
+//! ```
+//!
+//! The pre-concurrency facade keeps working (it wraps a [`Mediator`]):
 //!
 //! ```
 //! use ontoaccess::{usecase, Endpoint};
 //!
 //! let mut ep = Endpoint::new(usecase::database(), usecase::mapping()).unwrap();
-//! ep.execute_update(
-//!     "INSERT DATA { ex:team4 foaf:name \"Database Technology\" ; \
-//!      ont:teamCode \"DBTG\" . }",
-//! )
-//! .unwrap();
-//! let sols = ep
-//!     .select("SELECT ?code WHERE { ex:team4 ont:teamCode ?code . }")
+//! ep.execute_update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
 //!     .unwrap();
-//! assert_eq!(sols.len(), 1);
+//! assert_eq!(ep.select("SELECT ?n WHERE { ex:team9 foaf:name ?n . }").unwrap().len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +66,7 @@ pub mod endpoint;
 pub mod error;
 pub mod feedback;
 pub mod materialize;
+pub mod mediator;
 pub mod modify;
 pub mod query;
 pub mod translate;
@@ -49,10 +74,14 @@ pub mod usecase;
 
 mod testutil;
 
-pub use endpoint::{Endpoint, ScriptError, UpdateOutcome};
+pub use endpoint::Endpoint;
 pub use error::{OntoError, OntoResult};
 pub use feedback::Feedback;
 pub use materialize::materialize;
+pub use mediator::{
+    DatabaseReadGuard, DatabaseWriteGuard, Mediator, ReadSession, ScriptError, UpdateOutcome,
+    WriteTxn,
+};
 pub use modify::{
     execute_modify, execute_modify_reference, execute_update_op, execute_update_op_reference,
     ModifyReport,
@@ -63,5 +92,5 @@ pub use query::{
 };
 pub use translate::{
     emit_grouped, emit_per_row, execute_sorted, execute_sorted_reference, group_by_subject,
-    identify, ExecutionReport, RowOp, TranslateOptions,
+    identify, ExecutionReport, RowOp, TranslateOptions, WriteScope,
 };

@@ -1,0 +1,994 @@
+//! The concurrent mediator core (paper §6, grown up).
+//!
+//! The paper's prototype is an HTTP endpoint — inherently concurrent.
+//! This module is the shareable core such a transport needs: a
+//! [`Mediator`] is an `Arc`-shared handle over one database + mapping,
+//! handing out
+//!
+//! * [`ReadSession`]s — cheap (`Arc` clone), `Send + Sync`, answering
+//!   `SELECT`/`ASK`/`DESCRIBE`/materialization through `&self`; any
+//!   number run in parallel, and each query sees a consistent snapshot
+//!   (writers are exclusive, so no torn or partial write is ever
+//!   observable);
+//! * [`WriteTxn`]s — exclusive write transactions over the live
+//!   database. Each SPARQL/Update operation inside a transaction runs
+//!   as a savepoint scope: a rejected operation is undone at O(rows
+//!   touched) cost and the transaction stays usable. Nothing on the
+//!   write path clones the database.
+//!
+//! Who locks what: the schema and mapping are immutable after
+//! construction (validated once); the database sits behind an
+//! [`RwLock`] (shared readers / one writer); the compiled-query cache
+//! sits behind its own [`Mutex`] so cache bookkeeping never blocks on
+//! data access. Compilation depends only on the schema and mapping, so
+//! cached entries never go stale as data changes. Join-index
+//! provisioning — the one mutation the old read path performed —
+//! happens at cache-admission time, under a brief exclusive lock, and
+//! every later execution of the cached entry is a pure read.
+
+use crate::error::{OntoError, OntoResult};
+use crate::feedback::Feedback;
+use crate::modify::ModifyReport;
+use crate::query::CompiledQuery;
+use crate::translate::{execute_sorted, TranslateOptions};
+use r3m::Mapping;
+use rdf::namespace::PrefixMap;
+use rdf::Graph;
+use rel::sql::Statement;
+use rel::Database;
+use sparql::{Query, Solutions, UpdateOp};
+use std::collections::{HashMap, VecDeque};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Result of a successful update.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Operation kind (`INSERT DATA`, `DELETE DATA`, `MODIFY`).
+    pub operation: String,
+    /// SQL statements executed, in execution order — one per
+    /// table-level group on the set-based write path.
+    pub statements: Vec<Statement>,
+    /// Number of statement groups executed (0 = request was a no-op).
+    pub statements_executed: usize,
+    /// Total rows inserted/updated/deleted across all groups.
+    pub rows_affected: usize,
+    /// MODIFY-specific artifacts (Algorithm 2's intermediate steps).
+    pub modify: Option<ModifyReport>,
+}
+
+/// Failure of a multi-operation update request.
+#[derive(Debug, Clone)]
+pub struct ScriptError {
+    /// Zero-based index of the failing operation.
+    pub operation_index: usize,
+    /// Outcomes of the operations that completed before the failure
+    /// (already rolled back when the script ran atomically).
+    pub completed: Vec<UpdateOutcome>,
+    /// The failing operation's error.
+    pub error: OntoError,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "operation {} of the update request failed: {}",
+            self.operation_index + 1,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+// ----------------------------------------------------------------------
+// Compiled-query cache
+// ----------------------------------------------------------------------
+
+// A parse+compile result cached per query text.
+#[derive(Debug)]
+enum CachedQuery {
+    Select(CompiledQuery),
+    Ask(CompiledQuery),
+}
+
+impl CachedQuery {
+    fn compiled(&self) -> &CompiledQuery {
+        match self {
+            CachedQuery::Select(c) | CachedQuery::Ask(c) => c,
+        }
+    }
+}
+
+// One cache slot: the shared compilation plus its second-chance bit.
+#[derive(Debug)]
+struct CacheSlot {
+    compiled: Arc<CachedQuery>,
+    referenced: bool,
+}
+
+// Default number of cached texts (repeated endpoint workloads use a
+// handful of query shapes; the bound only guards degenerate clients).
+const QUERY_CACHE_CAPACITY: usize = 256;
+
+// Compiled-query cache with clock (second-chance) eviction: a hit sets
+// the slot's referenced bit — O(1), no timestamps, no ordered scan. On
+// a miss at capacity the clock hand sweeps the ring: referenced slots
+// get their bit cleared and a second chance, the first unreferenced
+// slot is evicted — O(1) amortized (each sweep step clears a bit some
+// hit set), against the old O(capacity) min-scan per eviction. Hot
+// entries keep their bits set and survive capacity pressure from
+// one-off queries, which never get referenced and evict first.
+#[derive(Debug)]
+struct QueryCache {
+    entries: HashMap<String, CacheSlot>,
+    // Clock ring: every cached text exactly once, insertion order.
+    ring: VecDeque<String>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    fn new() -> Self {
+        QueryCache {
+            entries: HashMap::new(),
+            ring: VecDeque::new(),
+            capacity: QUERY_CACHE_CAPACITY,
+        }
+    }
+
+    fn get(&mut self, text: &str) -> Option<Arc<CachedQuery>> {
+        let slot = self.entries.get_mut(text)?;
+        slot.referenced = true;
+        Some(Arc::clone(&slot.compiled))
+    }
+
+    fn admit(&mut self, text: &str, compiled: Arc<CachedQuery>) {
+        if let Some(slot) = self.entries.get_mut(text) {
+            // Two threads compiled the same text concurrently; keep one.
+            slot.compiled = compiled;
+            slot.referenced = true;
+            return;
+        }
+        // The loop (not a single eviction) lets a lowered capacity
+        // converge from a larger high-water size.
+        while self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.entries.insert(
+            text.to_owned(),
+            CacheSlot {
+                compiled,
+                referenced: false,
+            },
+        );
+        self.ring.push_back(text.to_owned());
+    }
+
+    fn evict_one(&mut self) {
+        while let Some(text) = self.ring.pop_front() {
+            let Some(slot) = self.entries.get_mut(&text) else {
+                continue;
+            };
+            if slot.referenced {
+                slot.referenced = false;
+                self.ring.push_back(text);
+            } else {
+                self.entries.remove(&text);
+                return;
+            }
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared core
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct MediatorCore {
+    db: RwLock<Database>,
+    mapping: Mapping,
+    prefixes: PrefixMap,
+    cache: Mutex<QueryCache>,
+}
+
+// Read access to the mediator's database, released on drop.
+//
+// A lock guard wrapper rather than `&Database` so callers keep the
+// `endpoint.database().row_count(..)` shape; do not hold one across a
+// write call on the same thread (the writer would wait on this guard).
+/// Shared read guard over the mediator's database.
+#[derive(Debug)]
+pub struct DatabaseReadGuard<'a>(RwLockReadGuard<'a, Database>);
+
+impl Deref for DatabaseReadGuard<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+/// Exclusive write guard over the mediator's database (test support —
+/// see [`Mediator::database_mut_for_tests`]).
+#[derive(Debug)]
+pub struct DatabaseWriteGuard<'a>(RwLockWriteGuard<'a, Database>);
+
+impl Deref for DatabaseWriteGuard<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+impl DerefMut for DatabaseWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        &mut self.0
+    }
+}
+
+impl MediatorCore {
+    // Poisoning is recoverable here by construction: a panicking
+    // writer's WriteTxn rolls its transaction back in Drop *before*
+    // the guard is released, so the database behind a poisoned lock is
+    // always in a consistent committed state — one crashed worker must
+    // not brick the mediator for every other session.
+    fn read_db(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_db(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // Compile `text`, provision its join indexes (brief exclusive
+    // access — the admission-time mutation), and admit it to the cache.
+    fn compile_and_admit(&self, text: &str) -> OntoResult<Arc<CachedQuery>> {
+        let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
+        let (compiled, needs_indexes) = {
+            let db = self.read_db();
+            let compiled = match &query {
+                Query::Select(select) => {
+                    CachedQuery::Select(crate::query::compile_select(&db, &self.mapping, select)?)
+                }
+                Query::Ask(ask) => CachedQuery::Ask(crate::query::compile_select(
+                    &db,
+                    &self.mapping,
+                    &crate::query::ask_to_select(ask),
+                )?),
+            };
+            // Decide under the read lock whether provisioning has any
+            // work to do: most queries have no join targets (or all
+            // targets already indexed), and they must not serialize
+            // behind the write lock — or stall behind an open WriteTxn
+            // — for a no-op pass.
+            let needs_indexes = compiled
+                .compiled()
+                .join_index_targets
+                .iter()
+                .any(|(table, column)| !db.supports_index_probe(table, column).unwrap_or(false));
+            (compiled, needs_indexes)
+        };
+        if needs_indexes {
+            let mut db = self.write_db();
+            crate::query::ensure_join_indexes(&mut db, compiled.compiled())?;
+        }
+        let compiled = Arc::new(compiled);
+        self.lock_cache().admit(text, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        let cached = self.lock_cache().get(text);
+        let compiled = match cached {
+            Some(compiled) => compiled,
+            None => self.compile_and_admit(text)?,
+        };
+        let db = self.read_db();
+        match &*compiled {
+            CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
+                crate::query::run_compiled(&db, compiled)?,
+            )),
+            CachedQuery::Ask(compiled) => {
+                let solutions = crate::query::run_compiled(&db, compiled)?;
+                Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
+            }
+        }
+    }
+
+    fn select(&self, text: &str) -> OntoResult<Solutions> {
+        match self.execute_query(text)? {
+            sparql::QueryOutcome::Solutions(s) => Ok(s),
+            sparql::QueryOutcome::Boolean(_) => Err(OntoError::Unsupported {
+                message: "expected a SELECT query".into(),
+            }),
+        }
+    }
+
+    fn materialize(&self) -> OntoResult<Graph> {
+        crate::materialize::materialize(&self.read_db(), &self.mapping)
+    }
+
+    fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
+        describe_in(&self.read_db(), &self.mapping, uri)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Public handles
+// ----------------------------------------------------------------------
+
+/// Shared handle to one mediator core. Cloning is an `Arc` clone: all
+/// clones, [`ReadSession`]s, and [`WriteTxn`]s observe the same
+/// database, mapping, and query cache.
+#[derive(Debug, Clone)]
+pub struct Mediator {
+    core: Arc<MediatorCore>,
+}
+
+impl Mediator {
+    /// Create a mediator, validating the mapping against the schema.
+    pub fn new(db: Database, mapping: Mapping) -> OntoResult<Self> {
+        r3m::validate_strict(&mapping, db.schema()).map_err(|issue| OntoError::Unsupported {
+            message: format!("mapping rejected: {issue}"),
+        })?;
+        let mut prefixes = PrefixMap::common();
+        if let Some(prefix) = &mapping.uri_prefix {
+            prefixes.insert("ex", prefix.clone());
+        }
+        Ok(Mediator {
+            core: Arc::new(MediatorCore {
+                db: RwLock::new(db),
+                mapping,
+                prefixes,
+                cache: Mutex::new(QueryCache::new()),
+            }),
+        })
+    }
+
+    /// A read session: cheap, `Send + Sync`, queries through `&self`.
+    pub fn read(&self) -> ReadSession {
+        ReadSession {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Begin an exclusive write transaction. Blocks until every read
+    /// guard and prior writer released the database; readers block
+    /// until the transaction commits or rolls back — which is exactly
+    /// why they can never observe a torn write.
+    pub fn write(&self) -> WriteTxn<'_> {
+        let mut db = self.core.write_db();
+        db.begin()
+            .expect("no transaction can be open outside a WriteTxn");
+        WriteTxn {
+            core: &self.core,
+            db,
+            open: true,
+        }
+    }
+
+    /// The mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.core.mapping
+    }
+
+    /// Prefixes used for parsing requests and rendering output
+    /// (the common vocabularies plus `ex:` for the instance namespace).
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.core.prefixes
+    }
+
+    /// Read access to the database. Do not hold the guard across a
+    /// write call on the same thread.
+    pub fn database(&self) -> DatabaseReadGuard<'_> {
+        DatabaseReadGuard(self.core.read_db())
+    }
+
+    #[doc(hidden)]
+    /// Exclusive raw access to the database, **bypassing the mediator**:
+    /// no mapping validation, no translation, no feedback. Test support
+    /// for seeding fixture rows and exercising the engine directly —
+    /// production callers go through [`Mediator::write`], which is why
+    /// this accessor is hidden from the documented API.
+    pub fn database_mut_for_tests(&self) -> DatabaseWriteGuard<'_> {
+        DatabaseWriteGuard(self.core.write_db())
+    }
+
+    // ------------------------------------------------------------------
+    // One-shot conveniences (one operation = one transaction, §5.1)
+    // ------------------------------------------------------------------
+
+    /// Execute a SPARQL/Update given as text, as its own transaction.
+    pub fn execute_update(&self, text: &str) -> OntoResult<UpdateOutcome> {
+        let op = sparql::parse_update_with_prefixes(text, self.core.prefixes.clone())?;
+        self.execute_update_op(&op)
+    }
+
+    /// Execute a parsed SPARQL/Update operation, as its own transaction.
+    pub fn execute_update_op(&self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+        let mut txn = self.write();
+        match txn.update_op(op) {
+            Ok(outcome) => {
+                txn.commit()?;
+                Ok(outcome)
+            }
+            Err(e) => {
+                txn.rollback()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute a SPARQL 1.1 style update request: one or more operations
+    /// separated by `;`.
+    ///
+    /// Each operation is one atomicity unit (the paper's §5.1);
+    /// `atomic_script` additionally makes the *whole request*
+    /// all-or-nothing by running every operation inside one write
+    /// transaction — on any failure the transaction rolls back and the
+    /// error reports the failing operation's index. Non-atomic scripts
+    /// commit per operation, letting readers interleave between
+    /// operations.
+    pub fn execute_script(
+        &self,
+        text: &str,
+        atomic_script: bool,
+    ) -> Result<Vec<UpdateOutcome>, ScriptError> {
+        let ops = sparql::parse_update_script(text, self.core.prefixes.clone()).map_err(|e| {
+            ScriptError {
+                operation_index: 0,
+                completed: Vec::new(),
+                error: e.into(),
+            }
+        })?;
+        let mut outcomes = Vec::with_capacity(ops.len());
+        if atomic_script {
+            let mut txn = self.write();
+            for (i, op) in ops.iter().enumerate() {
+                match txn.update_op(op) {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(error) => {
+                        let rollback = txn.rollback();
+                        debug_assert!(rollback.is_ok(), "rollback of an open txn cannot fail");
+                        return Err(ScriptError {
+                            operation_index: i,
+                            completed: outcomes,
+                            error,
+                        });
+                    }
+                }
+            }
+            txn.commit().map_err(|error| ScriptError {
+                operation_index: ops.len().saturating_sub(1),
+                completed: Vec::new(),
+                error,
+            })?;
+            Ok(outcomes)
+        } else {
+            for (i, op) in ops.iter().enumerate() {
+                match self.execute_update_op(op) {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(error) => {
+                        return Err(ScriptError {
+                            operation_index: i,
+                            completed: outcomes,
+                            error,
+                        })
+                    }
+                }
+            }
+            Ok(outcomes)
+        }
+    }
+
+    /// Execute an update and convert the result into a feedback document
+    /// (what the HTTP endpoint would send back). The request text is
+    /// parsed exactly once — the parsed operation both names the
+    /// feedback and executes.
+    pub fn execute_update_with_feedback(
+        &self,
+        text: &str,
+    ) -> (Feedback, OntoResult<UpdateOutcome>) {
+        let op = match sparql::parse_update_with_prefixes(text, self.core.prefixes.clone()) {
+            Ok(op) => op,
+            Err(e) => {
+                let error: OntoError = e.into();
+                let feedback = Feedback::Rejection {
+                    operation: "unparsed".to_owned(),
+                    error: error.clone(),
+                };
+                return (feedback, Err(error));
+            }
+        };
+        let operation = op.name().to_owned();
+        let result = self.execute_update_op(&op);
+        let feedback = match &result {
+            Ok(outcome) => Feedback::Success {
+                operation: outcome.operation.clone(),
+                statements: outcome.statements_executed,
+                rows: outcome.rows_affected,
+            },
+            Err(error) => Feedback::Rejection {
+                operation,
+                error: error.clone(),
+            },
+        };
+        (feedback, result)
+    }
+
+    // ------------------------------------------------------------------
+    // Query conveniences and cache administration
+    // ------------------------------------------------------------------
+
+    /// Execute a SPARQL query given as text (see
+    /// [`ReadSession::execute_query`]).
+    pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        self.core.execute_query(text)
+    }
+
+    /// Execute a SELECT given as text.
+    pub fn select(&self, text: &str) -> OntoResult<Solutions> {
+        self.core.select(text)
+    }
+
+    /// Materialize the database's full RDF view.
+    pub fn materialize(&self) -> OntoResult<Graph> {
+        self.core.materialize()
+    }
+
+    /// Describe one instance URI (see [`ReadSession::describe`]).
+    pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
+        self.core.describe(uri)
+    }
+
+    /// Number of compiled queries currently cached.
+    pub fn cached_query_count(&self) -> usize {
+        self.core.lock_cache().entries.len()
+    }
+
+    /// Whether `text` currently has a cached compilation.
+    pub fn is_query_cached(&self, text: &str) -> bool {
+        self.core.lock_cache().entries.contains_key(text)
+    }
+
+    /// Set the compiled-query cache capacity (≥ 1). Nothing is evicted
+    /// immediately; a cache above the new capacity shrinks to it as
+    /// later misses evict. Production deployments size this to their
+    /// distinct-query working set.
+    pub fn set_query_cache_capacity(&self, capacity: usize) {
+        self.core.lock_cache().set_capacity(capacity);
+    }
+}
+
+/// A read session over a shared [`Mediator`]: `Send + Sync`, cloneable,
+/// all queries through `&self` — hand one to each server worker.
+///
+/// Each query executes against a consistent snapshot: the database
+/// read lock is held for the duration of one query, and writers are
+/// exclusive, so a query sees either all of a transaction's effects or
+/// none. The session does **not** pin one snapshot across queries —
+/// two queries may observe different committed states if a writer
+/// commits between them (read-committed, the paper's §5.1 unit).
+#[derive(Debug, Clone)]
+pub struct ReadSession {
+    core: Arc<MediatorCore>,
+}
+
+impl ReadSession {
+    /// Execute a SPARQL query given as text. Compiled queries are cached
+    /// per query text in the mediator-wide cache (clock eviction):
+    /// repeated requests — from any session — skip parsing and
+    /// translation and go straight to the planner.
+    pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        self.core.execute_query(text)
+    }
+
+    /// Execute a SELECT given as text.
+    pub fn select(&self, text: &str) -> OntoResult<Solutions> {
+        self.core.select(text)
+    }
+
+    /// Materialize the database's full RDF view.
+    pub fn materialize(&self) -> OntoResult<Graph> {
+        self.core.materialize()
+    }
+
+    /// Describe one instance URI: the triples of its row plus its
+    /// link-table triples (in either role). The D2R-style
+    /// "dereferenceable URI" read the paper's related work describes
+    /// (§2), here over the live database.
+    pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
+        self.core.describe(uri)
+    }
+
+    /// Read access to the database. Do not hold the guard across a
+    /// write call on the same thread.
+    pub fn database(&self) -> DatabaseReadGuard<'_> {
+        DatabaseReadGuard(self.core.read_db())
+    }
+}
+
+/// An exclusive write transaction over the mediator's live database.
+///
+/// Obtained from [`Mediator::write`]; holds the database write lock for
+/// its whole lifetime, so readers wait and can never observe its
+/// intermediate states. Each [`WriteTxn::update_op`] runs as a
+/// savepoint scope: on rejection the operation's changes are undone at
+/// O(rows touched) cost and the transaction remains usable. Dropping
+/// the transaction without [`WriteTxn::commit`] rolls everything back.
+#[derive(Debug)]
+pub struct WriteTxn<'a> {
+    core: &'a MediatorCore,
+    db: RwLockWriteGuard<'a, Database>,
+    open: bool,
+}
+
+impl WriteTxn<'_> {
+    /// Execute a SPARQL/Update given as text inside this transaction.
+    pub fn update(&mut self, text: &str) -> OntoResult<UpdateOutcome> {
+        let op = sparql::parse_update_with_prefixes(text, self.core.prefixes.clone())?;
+        self.update_op(&op)
+    }
+
+    /// Execute a parsed SPARQL/Update operation inside this transaction,
+    /// as a savepoint scope: a rejected operation is fully undone while
+    /// earlier operations — and the transaction — survive.
+    pub fn update_op(&mut self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+        let sp = self.db.savepoint("operation")?;
+        match run_update_op(&mut self.db, &self.core.mapping, op) {
+            Ok(outcome) => {
+                self.db.release_savepoint(sp)?;
+                Ok(outcome)
+            }
+            Err(e) => {
+                // ROLLBACK TO keeps the mark (SQL); release it so the
+                // stack does not grow with each rejected operation.
+                self.db.rollback_to_savepoint(sp)?;
+                self.db.release_savepoint(sp)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// The transaction's view of the database, including its own
+    /// uncommitted changes.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Commit: keep every operation's changes and release the lock.
+    pub fn commit(mut self) -> OntoResult<()> {
+        self.open = false;
+        self.db.commit()?;
+        Ok(())
+    }
+
+    /// Roll back: undo every operation's changes and release the lock.
+    pub fn rollback(mut self) -> OntoResult<()> {
+        self.open = false;
+        self.db.rollback()?;
+        Ok(())
+    }
+}
+
+impl Drop for WriteTxn<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // Abandoned transaction (early return, panic unwinding):
+            // leave the database as if it never happened.
+            let _ = self.db.rollback();
+        }
+    }
+}
+
+// One update operation against an open scope (Algorithm 1 / 2),
+// producing the outcome record. The caller provides atomicity (the
+// per-op savepoint in `WriteTxn::update_op`); `execute_sorted` and
+// `execute_modify` nest their own scopes for per-round rollback.
+fn run_update_op(db: &mut Database, mapping: &Mapping, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+    match op {
+        UpdateOp::InsertData { triples } => {
+            let stmts = crate::translate::insert::translate_insert_data(
+                db,
+                mapping,
+                triples,
+                TranslateOptions::default(),
+            )?;
+            let executed = execute_sorted(db, stmts)?;
+            Ok(UpdateOutcome {
+                operation: "INSERT DATA".into(),
+                statements_executed: executed.statements.len(),
+                rows_affected: executed.rows_affected,
+                statements: executed.statements,
+                modify: None,
+            })
+        }
+        UpdateOp::DeleteData { triples } => {
+            let stmts = crate::translate::delete::translate_delete_data(db, mapping, triples)?;
+            let executed = execute_sorted(db, stmts)?;
+            Ok(UpdateOutcome {
+                operation: "DELETE DATA".into(),
+                statements_executed: executed.statements.len(),
+                rows_affected: executed.rows_affected,
+                statements: executed.statements,
+                modify: None,
+            })
+        }
+        UpdateOp::Modify {
+            delete,
+            insert,
+            pattern,
+        } => {
+            // Atomic on the live database: `execute_modify` wraps both
+            // DATA rounds in one savepoint scope (no clone-and-swap).
+            let report = crate::modify::execute_modify(db, mapping, delete, insert, pattern)?;
+            Ok(UpdateOutcome {
+                operation: "MODIFY".into(),
+                statements_executed: report.executed.len(),
+                rows_affected: report.rows_affected,
+                statements: report.executed.clone(),
+                modify: Some(report),
+            })
+        }
+    }
+}
+
+// DESCRIBE over the live database: the row's triples plus link-table
+// triples in either role.
+fn describe_in(db: &Database, mapping: &Mapping, uri: &rdf::Iri) -> OntoResult<Graph> {
+    let identified = crate::translate::identify(db, mapping, &rdf::Term::Iri(uri.clone()))?;
+    let table = db.schema().table(&identified.table_map.table_name)?;
+    let Some(row_id) = crate::translate::find_row(db, &identified)? else {
+        return Ok(Graph::new()); // mapped but absent: empty description
+    };
+    let row = db
+        .row(&identified.table_map.table_name, row_id)?
+        .expect("row id valid")
+        .clone();
+    let mut graph = crate::materialize::materialize_row(db, mapping, identified.table_map, &row)?;
+    // Link-table triples where this instance is subject or object.
+    let key = identified.pk_values(table)?;
+    if key.len() == 1 {
+        let key = &key[0];
+        for link in &mapping.link_tables {
+            let link_table = db.schema().table(&link.table_name)?;
+            let s_idx = link_table
+                .column_index(&link.subject_attribute.attribute_name)
+                .expect("validated mapping");
+            let o_idx = link_table
+                .column_index(&link.object_attribute.attribute_name)
+                .expect("validated mapping");
+            let s_target = link
+                .subject_attribute
+                .foreign_key_target()
+                .and_then(|id| mapping.table_by_id(id));
+            let o_target = link
+                .object_attribute
+                .foreign_key_target()
+                .and_then(|id| mapping.table_by_id(id));
+            let (Some(s_target), Some(o_target)) = (s_target, o_target) else {
+                continue;
+            };
+            let as_subject = s_target.table_name == identified.table_map.table_name;
+            let as_object = o_target.table_name == identified.table_map.table_name;
+            // Candidate link rows by index on whichever endpoint
+            // columns reference this instance (both are FK columns,
+            // so normally indexed); a failed probe falls back to
+            // scanning.
+            let mut candidates: Option<Vec<rel::RowId>> = Some(Vec::new());
+            for (role_active, column) in [
+                (as_subject, &link.subject_attribute.attribute_name),
+                (as_object, &link.object_attribute.attribute_name),
+            ] {
+                if !role_active {
+                    continue;
+                }
+                match db.index_probe(&link.table_name, column, key)? {
+                    Some(ids) => {
+                        if let Some(c) = &mut candidates {
+                            c.extend(ids);
+                        }
+                    }
+                    None => candidates = None,
+                }
+            }
+            let link_rows: Vec<&Vec<rel::Value>> = match candidates {
+                Some(mut ids) => {
+                    ids.sort_unstable();
+                    ids.dedup();
+                    let mut rows = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        rows.push(db.row(&link.table_name, id)?.expect("live id"));
+                    }
+                    rows
+                }
+                None => db.scan(&link.table_name)?.map(|(_, r)| r).collect(),
+            };
+            for link_row in link_rows {
+                let s_val = &link_row[s_idx];
+                let o_val = &link_row[o_idx];
+                if s_val.is_null() || o_val.is_null() {
+                    continue;
+                }
+                let relevant = (as_subject && s_val.sql_eq(key) == Some(true))
+                    || (as_object && o_val.sql_eq(key) == Some(true));
+                if relevant {
+                    let s = crate::materialize::key_instance_uri(mapping, s_target, s_val)?;
+                    let o = crate::materialize::key_instance_uri(mapping, o_target, o_val)?;
+                    graph.insert(rdf::Triple::new(
+                        rdf::Term::Iri(s),
+                        link.property.clone(),
+                        rdf::Term::Iri(o),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(graph)
+}
+
+// Compile-time proof that the handles cross threads: a transport can
+// share one Mediator and hand a ReadSession to every worker.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Mediator>();
+    assert_send_sync::<ReadSession>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixture_db_with_rows;
+
+    fn mediator() -> Mediator {
+        let (db, mapping) = fixture_db_with_rows();
+        Mediator::new(db, mapping).unwrap()
+    }
+
+    #[test]
+    fn read_sessions_share_one_cache_and_database() {
+        let m = mediator();
+        let r1 = m.read();
+        let r2 = m.read();
+        let q = "SELECT ?x WHERE { ?x a foaf:Person . }";
+        assert_eq!(r1.select(q).unwrap().len(), 2);
+        // r2 hits the compilation r1 admitted.
+        assert_eq!(m.cached_query_count(), 1);
+        assert_eq!(r2.select(q).unwrap().len(), 2);
+        assert_eq!(m.cached_query_count(), 1);
+        // A write through the mediator is visible to both sessions.
+        m.execute_update("INSERT DATA { ex:author8 foaf:family_name \"Gall\" . }")
+            .unwrap();
+        assert_eq!(r1.select(q).unwrap().len(), 3);
+        assert_eq!(r2.select(q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn write_txn_commits_operations_atomically() {
+        let m = mediator();
+        let mut txn = m.write();
+        txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+            .unwrap();
+        txn.update("INSERT DATA { ex:author8 foaf:family_name \"Gall\" ; ont:team ex:team9 . }")
+            .unwrap();
+        // Uncommitted changes are visible inside the transaction…
+        assert_eq!(txn.database().row_count("team").unwrap(), 3);
+        txn.commit().unwrap();
+        assert_eq!(m.database().row_count("team").unwrap(), 3);
+        assert_eq!(m.database().row_count("author").unwrap(), 3);
+    }
+
+    #[test]
+    fn rejected_operation_keeps_transaction_usable() {
+        let m = mediator();
+        let mut txn = m.write();
+        txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+            .unwrap();
+        // Dangling team → rejected, undone via its savepoint.
+        let err = txn
+            .update("INSERT DATA { ex:author8 ont:team ex:team424242 . }")
+            .unwrap_err();
+        assert!(matches!(err, OntoError::DanglingObject { .. }));
+        // The transaction continues; the first operation survives.
+        txn.update("INSERT DATA { ex:author8 foaf:family_name \"Gall\" ; ont:team ex:team9 . }")
+            .unwrap();
+        txn.commit().unwrap();
+        assert_eq!(m.database().row_count("team").unwrap(), 3);
+        assert_eq!(m.database().row_count("author").unwrap(), 3);
+    }
+
+    #[test]
+    fn dropped_transaction_rolls_back() {
+        let m = mediator();
+        {
+            let mut txn = m.write();
+            txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+                .unwrap();
+            // No commit: dropped here.
+        }
+        assert_eq!(m.database().row_count("team").unwrap(), 2);
+        // And the lock was released — later writes proceed.
+        m.execute_update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+            .unwrap();
+        assert_eq!(m.database().row_count("team").unwrap(), 3);
+    }
+
+    #[test]
+    fn explicit_rollback_undoes_all_operations() {
+        let m = mediator();
+        let mut txn = m.write();
+        txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+            .unwrap();
+        txn.update("INSERT DATA { ex:team10 foaf:name \"T10\" . }")
+            .unwrap();
+        txn.rollback().unwrap();
+        assert_eq!(m.database().row_count("team").unwrap(), 2);
+    }
+
+    #[test]
+    fn clock_cache_evicts_unreferenced_entries_first() {
+        let m = mediator();
+        m.set_query_cache_capacity(3);
+        let hot = "SELECT ?x WHERE { ?x a foaf:Person . }";
+        m.select(hot).unwrap();
+        for year in [2001, 2002, 2003, 2004, 2005] {
+            let cold = format!("SELECT ?p WHERE {{ ?p ont:pubYear \"{year}\" . }}");
+            m.select(&cold).unwrap();
+            m.select(hot).unwrap(); // keep the hot bit set
+        }
+        assert!(m.cached_query_count() <= 3);
+        assert!(m.is_query_cached(hot), "hot entry evicted by the clock");
+        assert!(!m.is_query_cached("SELECT ?p WHERE { ?p ont:pubYear \"2001\" . }"));
+    }
+
+    #[test]
+    fn cache_capacity_can_shrink_after_the_fact() {
+        let m = mediator();
+        m.set_query_cache_capacity(4);
+        for year in [2001, 2002, 2003, 2004] {
+            m.select(&format!(
+                "SELECT ?p WHERE {{ ?p ont:pubYear \"{year}\" . }}"
+            ))
+            .unwrap();
+        }
+        assert_eq!(m.cached_query_count(), 4);
+        m.set_query_cache_capacity(2);
+        m.select("SELECT ?p WHERE { ?p ont:pubYear \"2010\" . }")
+            .unwrap();
+        assert_eq!(m.cached_query_count(), 2);
+    }
+
+    #[test]
+    fn atomic_script_is_one_transaction() {
+        let m = mediator();
+        let before = m.materialize().unwrap();
+        let err = m
+            .execute_script(
+                "INSERT DATA { ex:team9 foaf:name \"T9\" . } ;\n\
+                 INSERT DATA { ex:author8 ont:team ex:team424242 . }",
+                true,
+            )
+            .unwrap_err();
+        assert_eq!(err.operation_index, 1);
+        assert_eq!(err.completed.len(), 1);
+        assert_eq!(m.materialize().unwrap(), before);
+    }
+
+    #[test]
+    fn query_through_read_session_matches_mediator() {
+        let m = mediator();
+        let session = m.read();
+        let uri = rdf::Iri::parse("http://example.org/db/author6").unwrap();
+        assert_eq!(session.describe(&uri).unwrap(), m.describe(&uri).unwrap());
+        assert_eq!(session.materialize().unwrap(), m.materialize().unwrap());
+    }
+}

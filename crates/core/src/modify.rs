@@ -15,7 +15,7 @@
 use crate::error::{OntoError, OntoResult};
 use crate::translate::delete::{translate_delete_data, translate_delete_data_per_row};
 use crate::translate::insert::{translate_insert_data, translate_insert_data_per_row};
-use crate::translate::{execute_sorted, execute_sorted_reference, TranslateOptions};
+use crate::translate::{execute_sorted, execute_sorted_reference, TranslateOptions, WriteScope};
 use r3m::Mapping;
 use rdf::{Iri, Term, Triple};
 use rel::sql::Statement;
@@ -51,10 +51,11 @@ pub struct ModifyReport {
 }
 
 /// Execute a `MODIFY` against the database through the set-based write
-/// pipeline (grouped statements). On error, no change is made (each
-/// DATA round runs in a transaction; a failure in round *k* rolls back
-/// round *k* — see the caller in [`crate::endpoint`] for the outer
-/// transaction that makes the whole MODIFY atomic).
+/// pipeline (grouped statements). The whole MODIFY is atomic on the
+/// live database: both DATA rounds run inside one [`WriteScope`] (a
+/// transaction, or a savepoint when the caller already holds one), so a
+/// failure in the insert round also undoes the delete round — at O(rows
+/// touched) rollback cost, never by cloning the database.
 pub fn execute_modify(
     db: &mut Database,
     mapping: &Mapping,
@@ -89,9 +90,12 @@ fn execute_modify_impl(
 ) -> OntoResult<ModifyReport> {
     let mut report = ModifyReport::default();
 
-    // Steps 1-3: WHERE → SELECT → SQL → bindings.
+    // Steps 1-3: WHERE → SELECT → SQL → bindings. Index provisioning is
+    // a compile-time concern now that `run_compiled` is read-only; this
+    // path holds `&mut Database` anyway, so it provisions eagerly.
     let select = select_from_where(pattern);
     let compiled = crate::query::compile_select(db, mapping, &select)?;
+    crate::query::ensure_join_indexes(db, &compiled)?;
     report.select_sql = compiled.sql.to_string();
     let solutions: Solutions = crate::query::run_compiled(db, &compiled)?;
     report.bindings = solutions.len();
@@ -126,39 +130,67 @@ fn execute_modify_impl(
 
     // Step 5: translate + execute via Algorithm 1. Deletions first, then
     // insertions (member submission semantics); inserts may overwrite
-    // attributes whose delete was optimized away.
-    if !kept_deletions.is_empty() {
+    // attributes whose delete was optimized away. One scope spans both
+    // rounds, making the whole MODIFY all-or-nothing on the live
+    // database (each round still opens its own nested scope inside
+    // `execute_sorted`).
+    let scope = WriteScope::open(db)?;
+    match modify_rounds(db, mapping, &kept_deletions, &insertions, batched) {
+        Ok((executed, rows_affected)) => {
+            report.executed = executed;
+            report.rows_affected = rows_affected;
+            scope.commit(db)?;
+            Ok(report)
+        }
+        Err(e) => {
+            scope.rollback(db)?;
+            Err(e)
+        }
+    }
+}
+
+// The two DATA rounds of step 5, returning (statements, rows affected).
+fn modify_rounds(
+    db: &mut Database,
+    mapping: &Mapping,
+    deletions: &[Triple],
+    insertions: &[Triple],
+    batched: bool,
+) -> OntoResult<(Vec<Statement>, usize)> {
+    let mut executed = Vec::new();
+    let mut rows_affected = 0;
+    if !deletions.is_empty() {
         let stmts = if batched {
-            translate_delete_data(db, mapping, &kept_deletions)?
+            translate_delete_data(db, mapping, deletions)?
         } else {
-            translate_delete_data_per_row(db, mapping, &kept_deletions)?
+            translate_delete_data_per_row(db, mapping, deletions)?
         };
-        let executed = if batched {
+        let report = if batched {
             execute_sorted(db, stmts)?
         } else {
             execute_sorted_reference(db, stmts)?
         };
-        report.executed.extend(executed.statements);
-        report.rows_affected += executed.rows_affected;
+        executed.extend(report.statements);
+        rows_affected += report.rows_affected;
     }
     if !insertions.is_empty() {
         let options = TranslateOptions {
             allow_overwrite: true,
         };
         let stmts = if batched {
-            translate_insert_data(db, mapping, &insertions, options)?
+            translate_insert_data(db, mapping, insertions, options)?
         } else {
-            translate_insert_data_per_row(db, mapping, &insertions, options)?
+            translate_insert_data_per_row(db, mapping, insertions, options)?
         };
-        let executed = if batched {
+        let report = if batched {
             execute_sorted(db, stmts)?
         } else {
             execute_sorted_reference(db, stmts)?
         };
-        report.executed.extend(executed.statements);
-        report.rows_affected += executed.rows_affected;
+        executed.extend(report.statements);
+        rows_affected += report.rows_affected;
     }
-    Ok(report)
+    Ok((executed, rows_affected))
 }
 
 /// Step 2 — build the SELECT query from the WHERE clause ("used to

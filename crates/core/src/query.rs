@@ -53,6 +53,13 @@ pub struct CompiledQuery {
 /// for DOUBLE columns, which the engine never probes). Indexes are
 /// idempotent and maintained by the engine from then on, so the cost is
 /// paid once per (database, column).
+///
+/// This is a compile/cache-admission-time concern: callers that intend
+/// to run a compiled query repeatedly (the mediator's query cache,
+/// Algorithm 2's MODIFY) provision indexes once while they hold write
+/// access, and every subsequent [`run_compiled`] is a pure read. A
+/// compiled query whose indexes were never provisioned still runs
+/// correctly — the planner falls back to hash joins over scans.
 pub fn ensure_join_indexes(db: &mut Database, compiled: &CompiledQuery) -> OntoResult<()> {
     for (table, column) in &compiled.join_index_targets {
         if !db.supports_index_probe(table, column)? {
@@ -95,9 +102,12 @@ pub fn ask_to_select(ask: &sparql::AskQuery) -> SelectQuery {
     }
 }
 
-/// Translate and execute a SPARQL query against the database.
+/// Translate and execute a SPARQL query against the database. A pure
+/// read: one-shot queries run without index provisioning (the planner
+/// falls back to hash joins); callers that re-run a compilation hold
+/// write access once and call [`ensure_join_indexes`] themselves.
 pub fn execute_query(
-    db: &mut Database,
+    db: &Database,
     mapping: &Mapping,
     query: &Query,
 ) -> OntoResult<sparql::QueryOutcome> {
@@ -115,7 +125,7 @@ pub fn execute_query(
 
 /// Translate and execute a SELECT, returning SPARQL solutions.
 pub fn execute_select(
-    db: &mut Database,
+    db: &Database,
     mapping: &Mapping,
     query: &SelectQuery,
 ) -> OntoResult<Solutions> {
@@ -123,9 +133,10 @@ pub fn execute_select(
     run_compiled(db, &compiled)
 }
 
-/// Execute a compiled query (provisioning indexes for its join keys).
-pub fn run_compiled(db: &mut Database, compiled: &CompiledQuery) -> OntoResult<Solutions> {
-    ensure_join_indexes(db, compiled)?;
+/// Execute a compiled query. Read-only: index provisioning happens at
+/// compile/cache-admission time (see [`ensure_join_indexes`]), so many
+/// threads can run compiled queries against `&Database` in parallel.
+pub fn run_compiled(db: &Database, compiled: &CompiledQuery) -> OntoResult<Solutions> {
     let rows = rel::sql::execute_select(db, &compiled.sql)?;
     let mut solutions = Solutions {
         variables: compiled.bindings.iter().map(|(v, _)| v.clone()).collect(),
@@ -1028,7 +1039,7 @@ mod tests {
 
     #[test]
     fn ambiguous_variable_rejected() {
-        let (mut db, mapping) = fixture_db_with_rows();
+        let (db, mapping) = fixture_db_with_rows();
         // foaf:name maps team.name only — fine. foaf:title maps
         // author.title and publication has dc:title — use a property
         // that exists in two tables: ont:name (publisher) vs foaf:name
@@ -1038,7 +1049,7 @@ mod tests {
             panic!()
         };
         // foaf:name is only on team → unambiguous, 2 teams.
-        let sols = execute_select(&mut db, &mapping, &query).unwrap();
+        let sols = execute_select(&db, &mapping, &query).unwrap();
         assert_eq!(sols.len(), 2);
         let _ = sols;
     }
@@ -1071,15 +1082,15 @@ mod tests {
 
     #[test]
     fn ask_translation() {
-        let (mut db, mapping) = fixture_db_with_rows();
+        let (db, mapping) = fixture_db_with_rows();
         let q = parse_query("ASK { ?x foaf:family_name \"Hert\" . }");
         assert_eq!(
-            execute_query(&mut db, &mapping, &q).unwrap(),
+            execute_query(&db, &mapping, &q).unwrap(),
             QueryOutcome::Boolean(true)
         );
         let q = parse_query("ASK { ?x foaf:family_name \"Nobody\" . }");
         assert_eq!(
-            execute_query(&mut db, &mapping, &q).unwrap(),
+            execute_query(&db, &mapping, &q).unwrap(),
             QueryOutcome::Boolean(false)
         );
     }
@@ -1097,14 +1108,14 @@ mod tests {
 
     #[test]
     fn unmapped_property_rejected() {
-        let (mut db, mapping) = fixture_db_with_rows();
+        let (db, mapping) = fixture_db_with_rows();
         let Query::Select(query) =
             parse_query("SELECT ?x WHERE { ?x <http://example.org/unmapped> ?y . }")
         else {
             panic!()
         };
         assert!(matches!(
-            execute_select(&mut db, &mapping, &query),
+            execute_select(&db, &mapping, &query),
             Err(OntoError::Unsupported { .. })
         ));
     }
@@ -1199,7 +1210,7 @@ mod tests {
     #[test]
     fn matches_native_evaluation_on_materialized_graph() {
         // The relational path and the native path agree.
-        let (mut db, mapping) = fixture_db_with_rows();
+        let (db, mapping) = fixture_db_with_rows();
         let graph = crate::materialize::materialize(&db, &mapping).unwrap();
         for q in [
             "SELECT ?x WHERE { ?x a foaf:Person . }",
@@ -1211,7 +1222,7 @@ mod tests {
             let Query::Select(query) = parse_query(q) else {
                 panic!()
             };
-            let mut relational = execute_select(&mut db, &mapping, &query).unwrap();
+            let mut relational = execute_select(&db, &mapping, &query).unwrap();
             let mut native = sparql::evaluate_select(&graph, &query);
             relational.bindings.sort();
             native.bindings.sort();

@@ -453,16 +453,67 @@ pub struct ExecutionReport {
     pub rows_affected: usize,
 }
 
+/// An atomic write scope over the live database: a top-level
+/// transaction when none is open, a savepoint inside an already-open
+/// one. This is how every unit of the write pipeline (one SPARQL/Update
+/// operation, one MODIFY round, one scripted operation) gets
+/// all-or-nothing semantics without cloning the database — commit cost
+/// is dropping the scope, rollback cost is O(rows touched).
+#[derive(Debug)]
+pub enum WriteScope {
+    /// The scope opened the transaction and owns its end.
+    Transaction,
+    /// The scope nests inside an open transaction as a savepoint.
+    Savepoint(rel::SavepointId),
+}
+
+impl WriteScope {
+    /// Open a scope: `BEGIN`, or `SAVEPOINT` when a transaction is
+    /// already open.
+    pub fn open(db: &mut Database) -> OntoResult<Self> {
+        if db.in_transaction() {
+            Ok(WriteScope::Savepoint(db.savepoint("write_scope")?))
+        } else {
+            db.begin()?;
+            Ok(WriteScope::Transaction)
+        }
+    }
+
+    /// Keep the scope's changes (`COMMIT` / `RELEASE SAVEPOINT`; a
+    /// released savepoint's changes end with the enclosing scope).
+    pub fn commit(self, db: &mut Database) -> OntoResult<()> {
+        match self {
+            WriteScope::Transaction => db.commit()?,
+            WriteScope::Savepoint(sp) => db.release_savepoint(sp)?,
+        }
+        Ok(())
+    }
+
+    /// Undo every change made inside the scope (`ROLLBACK` / `ROLLBACK
+    /// TO SAVEPOINT` + release).
+    pub fn rollback(self, db: &mut Database) -> OntoResult<()> {
+        match self {
+            WriteScope::Transaction => db.rollback()?,
+            WriteScope::Savepoint(sp) => {
+                db.rollback_to_savepoint(sp)?;
+                db.release_savepoint(sp)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Steps 5+6 — sort the collected statements by FK dependencies
-/// (table-level groups) and execute them inside one transaction. On any
-/// failure the transaction is rolled back and the database is
+/// (table-level groups) and execute them inside one atomic write scope
+/// (a transaction, or a savepoint when the caller already holds one).
+/// On any failure the scope is rolled back and the database is
 /// unchanged.
 pub fn execute_sorted(
     db: &mut Database,
     statements: Vec<Statement>,
 ) -> OntoResult<ExecutionReport> {
     let sorted = sort::sort_statements(db.schema(), statements)?;
-    run_in_transaction(db, sorted)
+    run_in_scope(db, sorted)
 }
 
 /// Reference variant of [`execute_sorted`] for the per-row statement
@@ -474,22 +525,22 @@ pub fn execute_sorted_reference(
     statements: Vec<Statement>,
 ) -> OntoResult<ExecutionReport> {
     let sorted = sort::sort_statements_reference(db.schema(), statements)?;
-    run_in_transaction(db, sorted)
+    run_in_scope(db, sorted)
 }
 
-fn run_in_transaction(db: &mut Database, sorted: Vec<Statement>) -> OntoResult<ExecutionReport> {
-    db.begin()?;
+fn run_in_scope(db: &mut Database, sorted: Vec<Statement>) -> OntoResult<ExecutionReport> {
+    let scope = WriteScope::open(db)?;
     let mut rows_affected = 0;
     for stmt in &sorted {
         match rel::sql::execute(db, stmt) {
             Ok(outcome) => rows_affected += outcome.affected(),
             Err(e) => {
-                db.rollback()?;
+                scope.rollback(db)?;
                 return Err(OntoError::Database(e));
             }
         }
     }
-    db.commit()?;
+    scope.commit(db)?;
     Ok(ExecutionReport {
         statements: sorted,
         rows_affected,

@@ -1,0 +1,94 @@
+//! Differential-test assertions shared by the write-pipeline and
+//! concurrency suites: byte-level database equality, index audits, and
+//! the planner-vs-reference query harness over a final state.
+
+use rdf::namespace::PrefixMap;
+use rel::{Database, IndexKey, RowId, Value};
+
+/// Heap equality: every table's `(row id, values)` stream must match.
+///
+/// # Panics
+/// Panics (assert) on the first differing table, naming `context`.
+pub fn assert_heaps_identical(a: &Database, b: &Database, context: &str) {
+    for table in a.schema().tables() {
+        let rows_a: Vec<(RowId, Vec<Value>)> = a
+            .scan(&table.name)
+            .unwrap()
+            .map(|(id, row)| (id, row.clone()))
+            .collect();
+        let rows_b: Vec<(RowId, Vec<Value>)> = b
+            .scan(&table.name)
+            .unwrap()
+            .map(|(id, row)| (id, row.clone()))
+            .collect();
+        assert_eq!(rows_a, rows_b, "table {} differs: {context}", table.name);
+    }
+}
+
+/// Index consistency: every probeable column's index must answer exactly
+/// the scan-derived row set for every stored value.
+///
+/// # Panics
+/// Panics (assert) on the first inconsistent index, naming `context`.
+pub fn assert_indexes_consistent(db: &Database, context: &str) {
+    use std::collections::BTreeMap;
+    for table in db.schema().tables() {
+        for (idx, column) in table.columns.iter().enumerate() {
+            if !db.supports_index_probe(&table.name, &column.name).unwrap() {
+                continue;
+            }
+            let mut expected: BTreeMap<IndexKey, (Value, Vec<RowId>)> = BTreeMap::new();
+            for (row_id, row) in db.scan(&table.name).unwrap() {
+                if row[idx].is_null() {
+                    continue;
+                }
+                expected
+                    .entry(row[idx].index_key())
+                    .or_insert_with(|| (row[idx].clone(), Vec::new()))
+                    .1
+                    .push(row_id);
+            }
+            for (value, ids) in expected.values() {
+                let probed = db
+                    .index_probe(&table.name, &column.name, value)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("probeable column stopped probing: {}", column.name));
+                assert_eq!(
+                    &probed, ids,
+                    "index on {}.{} inconsistent for {value}: {context}",
+                    table.name, column.name
+                );
+            }
+        }
+    }
+}
+
+/// The planner differential harness over a final state: the
+/// index-backed planner and the clone-everything reference executor must
+/// agree on the workload's join queries.
+///
+/// # Panics
+/// Panics (assert) on the first query where the two executors disagree.
+pub fn assert_planner_matches_reference(db: &mut Database, context: &str) {
+    let mapping = crate::mapping();
+    for text in [
+        crate::workload::select_authors_with_team(),
+        crate::workload::select_publications_with_authors(),
+        crate::workload::select_recent_publications(2000),
+    ] {
+        let query = sparql::parse_query_with_prefixes(&text, PrefixMap::common()).unwrap();
+        let sparql::Query::Select(select) = query else {
+            panic!()
+        };
+        let compiled = ontoaccess::compile_select(db, &mapping, &select).unwrap();
+        let reference = rel::sql::execute_select_reference(db, &compiled.sql).unwrap();
+        ontoaccess::ensure_join_indexes(db, &compiled).unwrap();
+        let planner =
+            rel::sql::execute(db, &rel::sql::Statement::Select(compiled.sql.clone())).unwrap();
+        assert_eq!(
+            planner.rows().unwrap(),
+            &reference,
+            "planner drift after {context}: {text}"
+        );
+    }
+}

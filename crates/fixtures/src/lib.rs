@@ -11,11 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod diff;
 pub mod workload;
 
 pub use ontoaccess::usecase::{database, mapping, ontology, schema, MAP_NS, URI_PREFIX};
 
-use ontoaccess::Endpoint;
+use ontoaccess::{Endpoint, Mediator};
 use rel::{Database, Value};
 
 /// An endpoint over an empty Figure-1 database.
@@ -30,6 +31,19 @@ pub fn endpoint_with_sample_data() -> Endpoint {
     let mut db = database();
     seed_paper_rows(&mut db);
     Endpoint::new(db, mapping()).expect("use case mapping is valid")
+}
+
+/// A shared mediator over an empty Figure-1 database.
+pub fn mediator() -> Mediator {
+    Mediator::new(database(), mapping()).expect("use case mapping is valid")
+}
+
+/// A shared mediator preloaded with the paper's sample rows (see
+/// [`endpoint_with_sample_data`]).
+pub fn mediator_with_sample_data() -> Mediator {
+    let mut db = database();
+    seed_paper_rows(&mut db);
+    Mediator::new(db, mapping()).expect("use case mapping is valid")
 }
 
 /// Insert the sample rows of the paper's running examples.
@@ -115,7 +129,7 @@ mod tests {
 
     #[test]
     fn sample_endpoint_answers_queries() {
-        let mut ep = endpoint_with_sample_data();
+        let ep = endpoint_with_sample_data();
         let sols = ep.select("SELECT ?x WHERE { ?x a foaf:Person . }").unwrap();
         assert_eq!(sols.len(), 2);
     }

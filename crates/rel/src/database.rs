@@ -86,6 +86,30 @@ enum UndoOp {
     },
 }
 
+/// Handle to a savepoint created by [`Database::savepoint`]. Valid until
+/// the savepoint is released, rolled over by a rollback to an earlier
+/// mark, or the enclosing transaction ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavepointId(u64);
+
+// One undo mark on the savepoint stack.
+#[derive(Debug, Clone)]
+struct SavepointMark {
+    seq: u64,
+    name: String,
+    // Undo-log length when the mark was set: rolling back to the mark
+    // undoes every log entry at or beyond this position.
+    log_at: usize,
+}
+
+/// An open transaction: the undo log plus the stack of savepoint marks
+/// into it.
+#[derive(Debug, Clone, Default)]
+struct TxnState {
+    log: Vec<UndoOp>,
+    savepoints: Vec<SavepointMark>,
+}
+
 /// An in-memory relational database.
 ///
 /// Row operations ([`Database::insert`], [`Database::update_row`],
@@ -98,7 +122,12 @@ enum UndoOp {
 pub struct Database {
     schema: Schema,
     data: BTreeMap<String, TableData>,
-    txn: Option<Vec<UndoOp>>,
+    txn: Option<TxnState>,
+    // Monotonic over the database's lifetime (never reset by begin):
+    // a stale SavepointId from an earlier transaction can therefore
+    // never alias a later transaction's mark — it just fails to
+    // resolve.
+    savepoint_seq: u64,
 }
 
 impl Database {
@@ -113,6 +142,7 @@ impl Database {
             schema,
             data,
             txn: None,
+            savepoint_seq: 0,
         })
     }
 
@@ -256,11 +286,12 @@ impl Database {
                 message: "transaction already open".into(),
             });
         }
-        self.txn = Some(Vec::new());
+        self.txn = Some(TxnState::default());
         Ok(())
     }
 
-    /// Commit the open transaction.
+    /// Commit the open transaction (releasing any savepoints still on
+    /// its stack).
     pub fn commit(&mut self) -> RelResult<()> {
         self.txn.take().map(|_| ()).ok_or(RelError::Transaction {
             message: "no open transaction".into(),
@@ -269,9 +300,108 @@ impl Database {
 
     /// Roll back the open transaction, restoring every modified row.
     pub fn rollback(&mut self) -> RelResult<()> {
-        let log = self.txn.take().ok_or(RelError::Transaction {
+        let state = self.txn.take().ok_or(RelError::Transaction {
             message: "no open transaction".into(),
         })?;
+        self.undo(state.log);
+        Ok(())
+    }
+
+    /// Set a named savepoint in the open transaction, returning a handle
+    /// for [`Database::rollback_to_savepoint`] /
+    /// [`Database::release_savepoint`]. Savepoints stack: the same name
+    /// may be set repeatedly, and name-based lookups resolve the most
+    /// recent mark (SQL semantics).
+    pub fn savepoint(&mut self, name: impl Into<String>) -> RelResult<SavepointId> {
+        let seq = self.savepoint_seq;
+        let state = self.txn.as_mut().ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })?;
+        self.savepoint_seq += 1;
+        state.savepoints.push(SavepointMark {
+            seq,
+            name: name.into(),
+            log_at: state.log.len(),
+        });
+        Ok(SavepointId(seq))
+    }
+
+    // Stack position of a savepoint handle, or a Transaction error.
+    fn savepoint_position(&self, sp: SavepointId) -> RelResult<usize> {
+        self.txn
+            .as_ref()
+            .and_then(|state| state.savepoints.iter().position(|m| m.seq == sp.0))
+            .ok_or(RelError::Transaction {
+                message: "no such savepoint".into(),
+            })
+    }
+
+    /// Undo every change made since `sp` was set, keeping the
+    /// transaction — and the savepoint itself — open (SQL `ROLLBACK TO
+    /// SAVEPOINT`). Savepoints set after `sp` are discarded.
+    pub fn rollback_to_savepoint(&mut self, sp: SavepointId) -> RelResult<()> {
+        let position = self.savepoint_position(sp)?;
+        let state = self.txn.as_mut().expect("position implies open txn");
+        state.savepoints.truncate(position + 1);
+        let log_at = state.savepoints[position].log_at;
+        let undone = state.log.split_off(log_at);
+        self.undo(undone);
+        Ok(())
+    }
+
+    /// Remove the savepoint `sp` — and any set after it — keeping every
+    /// change for the enclosing scope to commit or undo (SQL `RELEASE
+    /// SAVEPOINT`).
+    pub fn release_savepoint(&mut self, sp: SavepointId) -> RelResult<()> {
+        let position = self.savepoint_position(sp)?;
+        let state = self.txn.as_mut().expect("position implies open txn");
+        state.savepoints.truncate(position);
+        Ok(())
+    }
+
+    /// Roll back to the most recent savepoint with `name` (SQL name
+    /// resolution over the stacked marks).
+    pub fn rollback_to_savepoint_named(&mut self, name: &str) -> RelResult<()> {
+        let sp = self.find_savepoint(name)?;
+        self.rollback_to_savepoint(sp)
+    }
+
+    /// Release the most recent savepoint with `name`.
+    pub fn release_savepoint_named(&mut self, name: &str) -> RelResult<()> {
+        let sp = self.find_savepoint(name)?;
+        self.release_savepoint(sp)
+    }
+
+    fn find_savepoint(&self, name: &str) -> RelResult<SavepointId> {
+        self.txn
+            .as_ref()
+            .and_then(|state| {
+                state
+                    .savepoints
+                    .iter()
+                    .rev()
+                    .find(|m| m.name == name)
+                    .map(|m| SavepointId(m.seq))
+            })
+            .ok_or_else(|| RelError::Transaction {
+                message: format!("no savepoint named {name:?}"),
+            })
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Number of savepoints currently on the transaction's stack (0
+    /// outside a transaction).
+    pub fn savepoint_depth(&self) -> usize {
+        self.txn.as_ref().map_or(0, |state| state.savepoints.len())
+    }
+
+    // Apply undo entries newest-first, restoring rows and their index
+    // entries (shared by full rollback and partial savepoint rollback).
+    fn undo(&mut self, log: Vec<UndoOp>) {
         for op in log.into_iter().rev() {
             match op {
                 UndoOp::Insert { table, row_id } => {
@@ -306,17 +436,11 @@ impl Database {
                 }
             }
         }
-        Ok(())
-    }
-
-    /// Whether a transaction is open.
-    pub fn in_transaction(&self) -> bool {
-        self.txn.is_some()
     }
 
     fn log(&mut self, op: UndoOp) {
-        if let Some(log) = &mut self.txn {
-            log.push(op);
+        if let Some(state) = &mut self.txn {
+            state.log.push(op);
         }
     }
 
@@ -1202,6 +1326,157 @@ mod tests {
         let mut d = db();
         assert!(matches!(d.commit(), Err(RelError::Transaction { .. })));
         assert!(matches!(d.rollback(), Err(RelError::Transaction { .. })));
+    }
+
+    #[test]
+    fn savepoint_partial_rollback_restores_to_mark() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        let sp = d.savepoint("op").unwrap();
+        d.insert("team", &[a("id", Value::Int(3))]).unwrap();
+        let rid = d.find_by_pk("team", &[Value::Int(1)]).unwrap().unwrap();
+        d.update_row("team", rid, &[a("name", Value::text("X"))])
+            .unwrap();
+        d.rollback_to_savepoint(sp).unwrap();
+        // Changes after the mark undone; changes before it kept.
+        assert_eq!(d.row_count("team").unwrap(), 2);
+        assert_eq!(d.row("team", rid).unwrap().unwrap()[1], Value::Null);
+        // The savepoint survives a rollback-to (SQL semantics): work
+        // after it can be undone again.
+        d.insert("team", &[a("id", Value::Int(4))]).unwrap();
+        d.rollback_to_savepoint(sp).unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 2);
+        d.commit().unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 2);
+    }
+
+    #[test]
+    fn release_keeps_changes_for_enclosing_scope() {
+        let mut d = db();
+        d.begin().unwrap();
+        let sp = d.savepoint("op").unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.release_savepoint(sp).unwrap();
+        assert_eq!(d.savepoint_depth(), 0);
+        // Released work still belongs to the transaction's undo log.
+        d.rollback().unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 0);
+    }
+
+    #[test]
+    fn savepoints_stack_and_resolve_names_innermost_first() {
+        let mut d = db();
+        d.begin().unwrap();
+        let outer = d.savepoint("sp").unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.savepoint("sp").unwrap();
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        assert_eq!(d.savepoint_depth(), 2);
+        // Name lookup hits the most recent "sp": only id 2 is undone.
+        d.rollback_to_savepoint_named("sp").unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 1);
+        // Rolling back to the outer mark discards the inner one.
+        d.rollback_to_savepoint(outer).unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 0);
+        assert_eq!(d.savepoint_depth(), 1);
+        d.release_savepoint_named("sp").unwrap();
+        assert_eq!(d.savepoint_depth(), 0);
+        d.commit().unwrap();
+    }
+
+    #[test]
+    fn rollback_to_discards_later_savepoints() {
+        let mut d = db();
+        d.begin().unwrap();
+        let outer = d.savepoint("outer").unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        let inner = d.savepoint("inner").unwrap();
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        d.rollback_to_savepoint(outer).unwrap();
+        // The inner handle died with the rollback.
+        assert!(matches!(
+            d.rollback_to_savepoint(inner),
+            Err(RelError::Transaction { .. })
+        ));
+        assert!(matches!(
+            d.release_savepoint(inner),
+            Err(RelError::Transaction { .. })
+        ));
+        d.commit().unwrap();
+        assert_eq!(d.row_count("team").unwrap(), 0);
+    }
+
+    #[test]
+    fn savepoint_requires_open_transaction() {
+        let mut d = db();
+        assert!(matches!(
+            d.savepoint("sp"),
+            Err(RelError::Transaction { .. })
+        ));
+        d.begin().unwrap();
+        let sp = d.savepoint("sp").unwrap();
+        d.commit().unwrap();
+        // Handles die with the transaction.
+        assert!(matches!(
+            d.rollback_to_savepoint(sp),
+            Err(RelError::Transaction { .. })
+        ));
+        assert_eq!(d.savepoint_depth(), 0);
+    }
+
+    #[test]
+    fn stale_savepoint_id_never_aliases_a_later_transaction() {
+        // The sequence counter is database-lifetime monotonic: a handle
+        // from a committed transaction must not resolve to a mark of a
+        // later transaction that happens to occupy the same stack slot.
+        let mut d = db();
+        d.begin().unwrap();
+        let stale = d.savepoint("a").unwrap();
+        d.commit().unwrap();
+        d.begin().unwrap();
+        let fresh = d.savepoint("b").unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        assert_ne!(stale, fresh);
+        assert!(matches!(
+            d.rollback_to_savepoint(stale),
+            Err(RelError::Transaction { .. })
+        ));
+        // The insert survived the failed stale rollback.
+        assert_eq!(d.row_count("team").unwrap(), 1);
+        d.commit().unwrap();
+    }
+
+    #[test]
+    fn savepoint_rollback_restores_indexes() {
+        let mut d = db();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        d.begin().unwrap();
+        let sp = d.savepoint("op").unwrap();
+        d.insert(
+            "author",
+            &[
+                a("id", Value::Int(1)),
+                a("lastname", Value::text("x")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        d.rollback_to_savepoint(sp).unwrap();
+        // FK secondary index entry undone with the row.
+        assert_eq!(
+            d.index_probe("author", "team", &Value::Int(5)).unwrap(),
+            Some(vec![])
+        );
+        // PK index too: the freed id is reusable within the txn.
+        d.insert(
+            "author",
+            &[a("id", Value::Int(1)), a("lastname", Value::text("y"))],
+        )
+        .unwrap();
+        d.commit().unwrap();
+        assert_eq!(d.row_count("author").unwrap(), 1);
     }
 
     #[test]

@@ -63,22 +63,13 @@ fn main() {
     assert!(result.is_ok());
     println!("{}", feedback.to_turtle());
 
-    // Nothing from the rejected requests leaked into the database.
-    let mut check = endpoint.clone_for_check();
+    // Nothing from the rejected requests leaked into the database: a
+    // read session over the same mediator sees the live state without
+    // copying anything.
+    let check: ontoaccess::ReadSession = endpoint.mediator().read();
     let gandalf = check
         .select("SELECT ?x WHERE { ?x foaf:name \"Gandalf\" . }")
         .expect("query succeeds");
     assert!(gandalf.is_empty());
     println!("database state verified: no partial effects from rejected requests");
-}
-
-/// Local helper trait so the example reads naturally.
-trait CloneForCheck {
-    fn clone_for_check(&self) -> ontoaccess::Endpoint;
-}
-
-impl CloneForCheck for ontoaccess::Endpoint {
-    fn clone_for_check(&self) -> ontoaccess::Endpoint {
-        self.clone()
-    }
 }

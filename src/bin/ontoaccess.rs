@@ -138,7 +138,10 @@ fn run_command(endpoint: &mut Endpoint, command: &str) -> bool {
                 );
             }
         }
-        "sql" => match rel::sql::execute_sql(endpoint.database_mut(), rest) {
+        // Raw SQL is the console's engine-debugging bypass — the same
+        // test-support hatch the fixtures use, deliberately not part of
+        // the documented mediator surface.
+        "sql" => match rel::sql::execute_sql(&mut endpoint.database_mut_for_tests(), rest) {
             Ok(rel::sql::ExecOutcome::Affected(n)) => println!("{n} row(s) affected"),
             Ok(rel::sql::ExecOutcome::Rows(rs)) => print_result_set(&rs),
             Err(e) => println!("error: {e}"),

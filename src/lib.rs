@@ -15,11 +15,12 @@
 //!
 //! ```
 //! use sparql_update_rdb::fixtures;
-//! use sparql_update_rdb::ontoaccess::Endpoint;
 //!
-//! // Figure 1 schema + Table 1 mapping, preloaded with sample rows.
-//! let mut endpoint = fixtures::endpoint_with_sample_data();
-//! let outcome = endpoint
+//! // Figure 1 schema + Table 1 mapping, preloaded with sample rows:
+//! // a shared, thread-safe mediator (writes are exclusive
+//! // transactions, reads are parallel sessions).
+//! let mediator = fixtures::mediator_with_sample_data();
+//! let outcome = mediator
 //!     .execute_update(
 //!         r#"
 //!         PREFIX foaf: <http://xmlns.com/foaf/0.1/>
@@ -29,6 +30,19 @@
 //!     )
 //!     .expect("valid update");
 //! assert!(outcome.statements_executed >= 1);
+//! let readers = mediator.read(); // Send + Sync, one per worker thread
+//! assert_eq!(
+//!     readers
+//!         .select(
+//!             r#"
+//!             PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//!             SELECT ?x WHERE { ?x foaf:family_name "Lovelace" . }
+//!             "#,
+//!         )
+//!         .unwrap()
+//!         .len(),
+//!     1
+//! );
 //! ```
 
 pub use fixtures;

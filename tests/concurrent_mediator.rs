@@ -1,0 +1,283 @@
+//! Concurrency contract of the mediator API.
+//!
+//! 1. Smoke: N reader threads issue cached and uncached queries while a
+//!    writer commits savepoint-backed MODIFYs (and abandons some
+//!    transactions) — readers must never observe a torn or partial
+//!    write, only complete committed states.
+//! 2. Property: the savepoint-backed write path must leave the database
+//!    byte-for-byte identical to the old clone-and-swap semantics (run
+//!    the op on a scratch clone, swap on success, discard on failure) —
+//!    including for operations that fail mid-way, reusing the
+//!    `write_pipeline_differential` harness assertions.
+
+use proptest::prelude::*;
+use sparql_update_rdb::fixtures;
+use sparql_update_rdb::fixtures::diff::{assert_heaps_identical, assert_indexes_consistent};
+use sparql_update_rdb::ontoaccess::{self, Mediator, OntoError, ReadSession};
+use sparql_update_rdb::rdf::namespace::PrefixMap;
+use sparql_update_rdb::sparql;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// The handles must cross threads: this is the compile-time acceptance
+// check (a transport hands one ReadSession to each worker).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Mediator>();
+    assert_send_sync::<ReadSession>();
+};
+
+fn parse_op(text: &str) -> sparql::UpdateOp {
+    sparql::parse_update_with_prefixes(text, PrefixMap::common()).unwrap()
+}
+
+// A mediator whose authors all carry the title `"State0"`.
+fn mediator_with_titled_authors(authors: usize) -> Mediator {
+    let mediator = fixtures::mediator();
+    let mut txn = mediator.write();
+    txn.update(&fixtures::workload::with_prefixes(
+        "INSERT DATA { ex:team1 foaf:name \"T1\" . }",
+    ))
+    .unwrap();
+    for i in 0..authors {
+        txn.update(&fixtures::workload::with_prefixes(&format!(
+            "INSERT DATA {{ ex:author{id} foaf:family_name \"Last{id}\" ; \
+             foaf:title \"State0\" ; ont:team ex:team1 . }}",
+            id = 100 + i
+        )))
+        .unwrap();
+    }
+    txn.commit().unwrap();
+    mediator
+}
+
+/// The concurrent smoke test: 4 readers × (1 cached + 1 uncached query
+/// per iteration) against a writer that alternates committed
+/// all-author MODIFYs with rolled-back transactions. Every reader
+/// result must be a complete, uniform state — `authors` rows, all with
+/// the same title, and never the title only rolled-back transactions
+/// wrote.
+#[test]
+fn readers_never_observe_torn_or_uncommitted_writes() {
+    const AUTHORS: usize = 20;
+    const WRITER_ROUNDS: usize = 25;
+    const READERS: usize = 4;
+
+    let mediator = mediator_with_titled_authors(AUTHORS);
+    let done = AtomicBool::new(false);
+    let titles_query =
+        fixtures::workload::with_prefixes("SELECT ?t WHERE { ?x a foaf:Person ; foaf:title ?t . }");
+
+    std::thread::scope(|scope| {
+        let mediator = &mediator;
+        let done = &done;
+        let titles_query = &titles_query;
+
+        let mut handles = Vec::new();
+        for reader_id in 0..READERS {
+            let session = mediator.read();
+            handles.push(scope.spawn(move || {
+                let mut iterations = 0usize;
+                while !done.load(Ordering::Relaxed) || iterations == 0 {
+                    // Cached query: all readers share one compilation.
+                    let sols = session.select(titles_query).unwrap();
+                    assert_eq!(
+                        sols.len(),
+                        AUTHORS,
+                        "reader {reader_id} saw a partial state"
+                    );
+                    let titles: Vec<String> =
+                        sols.bindings.iter().map(|b| b["t"].to_string()).collect();
+                    assert!(
+                        titles.iter().all(|t| t == &titles[0]),
+                        "reader {reader_id} observed a torn MODIFY: {titles:?}"
+                    );
+                    assert!(
+                        !titles[0].contains("Tentative"),
+                        "reader {reader_id} observed an uncommitted transaction"
+                    );
+                    // Uncached query: unique text exercises the
+                    // compile → provision-indexes → admit path (and the
+                    // clock cache) under concurrency.
+                    let uncached = fixtures::workload::with_prefixes(&format!(
+                        "SELECT ?x WHERE {{ ?x foaf:title \"Probe{reader_id}x{iterations}\" . }}"
+                    ));
+                    assert!(session.select(&uncached).unwrap().is_empty());
+                    iterations += 1;
+                }
+                iterations
+            }));
+        }
+
+        // The writer: committed state flips plus abandoned transactions.
+        for round in 1..=WRITER_ROUNDS {
+            let modify = |title: &str| {
+                fixtures::workload::with_prefixes(&format!(
+                    "MODIFY DELETE {{ ?x foaf:title ?t . }} \
+                     INSERT {{ ?x foaf:title \"{title}\" . }} \
+                     WHERE {{ ?x a foaf:Person ; foaf:title ?t . }}"
+                ))
+            };
+            // A transaction that writes and is dropped without commit:
+            // its state must be invisible to every reader.
+            {
+                let mut txn = mediator.write();
+                txn.update(&modify(&format!("Tentative{round}"))).unwrap();
+                txn.rollback().unwrap();
+            }
+            // The committed flip.
+            mediator
+                .execute_update(&modify(&format!("State{round}")))
+                .unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+
+        for handle in handles {
+            let iterations = handle.join().unwrap();
+            assert!(iterations > 0, "reader never ran");
+        }
+    });
+
+    // Final state: the last committed flip, fully applied.
+    let sols = mediator.select(&titles_query).unwrap();
+    assert_eq!(sols.len(), AUTHORS);
+    assert!(sols.bindings.iter().all(|b| b["t"]
+        .to_string()
+        .contains(&format!("State{WRITER_ROUNDS}"))));
+}
+
+// ----------------------------------------------------------------------
+// Savepoint rollback ≡ clone-and-swap (the seed's atomicity recipe)
+// ----------------------------------------------------------------------
+
+// The mixed workload of the write-pipeline harness, plus the shapes
+// that specifically stress nested savepoints: a MODIFY whose *insert
+// round* fails after its delete round succeeded, and a mid-group
+// RESTRICT failure.
+fn workload_ops(team: i64, k: usize) -> Vec<String> {
+    let team_uri = format!("ex:team{team}");
+    let base = 800_000 + 10 * k as i64;
+    vec![
+        fixtures::workload::insert_author(500_000 + k as i64, k % 5, Some(team)),
+        fixtures::workload::insert_complete_dataset(600_000 + k as i64),
+        fixtures::workload::with_prefixes(&format!(
+            "INSERT DATA {{
+               ex:team{a} foaf:name \"Ta{k}\" ; ont:teamCode \"Ka{k}\" .
+               ex:team{b} foaf:name \"Tb{k}\" .
+               ex:team{c} foaf:name \"Tc{k}\" ; ont:teamCode \"Kc{k}\" .
+             }}",
+            a = base,
+            b = base + 1,
+            c = base + 2,
+        )),
+        fixtures::workload::with_prefixes(&format!(
+            "INSERT {{ ?x foaf:title \"Dr\" . }} WHERE {{ ?x ont:team {team_uri} . }}"
+        )),
+        fixtures::workload::with_prefixes(&format!(
+            "MODIFY DELETE {{ ?x foaf:mbox ?m . }} \
+             INSERT {{ ?x foaf:mbox <mailto:all@new.org> . }} \
+             WHERE {{ ?x ont:team {team_uri} ; foaf:mbox ?m . }}"
+        )),
+        // Delete round succeeds (emails nulled), insert round dangles →
+        // the nested savepoint must undo the delete round too.
+        fixtures::workload::with_prefixes(
+            "MODIFY DELETE { ?x foaf:mbox ?m . } \
+             INSERT { ?x ont:team ex:team987654321 . } \
+             WHERE { ?x foaf:mbox ?m . }",
+        ),
+        fixtures::workload::delete_author_email(1000 + k as i64),
+        // Whole-team deletes: RESTRICT fires mid-group when a team is
+        // still referenced.
+        fixtures::workload::with_prefixes(
+            "MODIFY DELETE { ?t a foaf:Group ; foaf:name ?n ; ont:teamCode ?c . } \
+             INSERT { } WHERE { ?t foaf:name ?n ; ont:teamCode ?c . }",
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On randomized database states and a mixed workload including
+    /// rejected operations, the savepoint-backed live write path (the
+    /// mediator's transaction machinery) must leave the database
+    /// byte-for-byte identical — heap and indexes — to the clone-and-
+    /// swap reference the seed endpoint used for atomicity.
+    #[test]
+    fn savepoint_rollback_equals_clone_and_swap(
+        n in 2usize..20,
+        seed in 0u64..300,
+        team_index in 0usize..4,
+    ) {
+        let initial = fixtures::data::populated_database(n, seed);
+        let mediator = Mediator::new(initial.clone(), fixtures::mapping()).unwrap();
+        let mut reference = initial;
+        let mapping = fixtures::mapping();
+        let team = fixtures::data::ID_BASE + (team_index % (n / 10).max(2)) as i64;
+        for (k, text) in workload_ops(team, n).iter().enumerate() {
+            let op = parse_op(text);
+            // Clone-and-swap reference: scratch copy, adopt on success.
+            let reference_result = {
+                let mut scratch = reference.clone();
+                match ontoaccess::execute_update_op(&mut scratch, &mapping, &op) {
+                    Ok(report) => {
+                        reference = scratch;
+                        Ok(report)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            // Live path: savepoint scopes on the shared database.
+            let live_result = mediator.execute_update_op(&op);
+            match (&live_result, &reference_result) {
+                (Ok(live), Ok(reference)) => {
+                    assert_eq!(
+                        live.rows_affected, reference.rows_affected,
+                        "row accounting differs: {text}"
+                    );
+                }
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(
+                        std::mem::discriminant(ea),
+                        std::mem::discriminant(eb),
+                        "error kinds differ: {text}: live={ea}, reference={eb}"
+                    );
+                    if let (OntoError::Database(ra), OntoError::Database(rb)) = (ea, eb) {
+                        assert_eq!(
+                            std::mem::discriminant(ra),
+                            std::mem::discriminant(rb),
+                            "engine error kinds differ: {text}: live={ra}, reference={rb}"
+                        );
+                    }
+                }
+                (Ok(_), Err(e)) => panic!("live succeeded, reference failed ({e}): {text}"),
+                (Err(e), Ok(_)) => panic!("live failed ({e}), reference succeeded: {text}"),
+            }
+            let live = mediator.database().clone();
+            assert_heaps_identical(&live, &reference, &format!("op {k}: {text}"));
+            assert_indexes_consistent(&live, &format!("op {k} (live)"));
+        }
+    }
+
+    /// Atomic scripts: rolling back a failing script through savepoints
+    /// must equal never having run it (the seed restored a snapshot).
+    #[test]
+    fn atomic_script_rollback_equals_snapshot_restore(
+        n in 2usize..15,
+        seed in 0u64..200,
+    ) {
+        let initial = fixtures::data::populated_database(n, seed);
+        let mediator = Mediator::new(initial.clone(), fixtures::mapping()).unwrap();
+        // Two good operations, then one that dangles.
+        let script = fixtures::workload::with_prefixes(
+            "INSERT DATA { ex:team900000 foaf:name \"S1\" . } ;\n\
+             INSERT DATA { ex:author900000 foaf:family_name \"S\" ; ont:team ex:team900000 . } ;\n\
+             INSERT DATA { ex:author900001 ont:team ex:team987654321 . }",
+        );
+        let err = mediator.execute_script(&script, true).unwrap_err();
+        assert_eq!(err.operation_index, 2);
+        assert_eq!(err.completed.len(), 2);
+        let live = mediator.database().clone();
+        assert_heaps_identical(&live, &initial, "atomic script rollback");
+        assert_indexes_consistent(&live, "atomic script rollback");
+    }
+}

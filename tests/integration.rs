@@ -192,7 +192,7 @@ fn ontology_and_mapping_agree_on_property_ranges() {
 
 #[test]
 fn queries_with_common_prefixes_work_out_of_the_box() {
-    let mut ep = fixtures::endpoint_with_sample_data();
+    let ep = fixtures::endpoint_with_sample_data();
     // No PREFIX declarations needed: endpoint preloads common ones.
     let sols = ep
         .select("SELECT ?name WHERE { ?t ont:teamCode \"SEAL\" ; foaf:name ?name . }")

@@ -179,7 +179,7 @@ proptest! {
     fn query_translation_agrees_with_native(seed in 0u64..1000, n in 5usize..40) {
         let db = fixtures::data::populated_database(n, seed);
         let graph = ontoaccess::materialize(&db, &fixtures::mapping()).unwrap();
-        let mut ep = Endpoint::new(db, fixtures::mapping()).unwrap();
+        let ep = Endpoint::new(db, fixtures::mapping()).unwrap();
         for q in [
             fixtures::workload::select_authors_with_team(),
             fixtures::workload::select_publications_with_authors(),

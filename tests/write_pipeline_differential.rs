@@ -9,93 +9,13 @@
 
 use proptest::prelude::*;
 use sparql_update_rdb::fixtures;
+use sparql_update_rdb::fixtures::diff::{
+    assert_heaps_identical, assert_indexes_consistent, assert_planner_matches_reference,
+};
 use sparql_update_rdb::ontoaccess;
 use sparql_update_rdb::rdf::namespace::PrefixMap;
-use sparql_update_rdb::rel::{self, Database, IndexKey, RowId, Value};
+use sparql_update_rdb::rel::{self, Database, Value};
 use sparql_update_rdb::sparql;
-
-// ----------------------------------------------------------------------
-// State comparison helpers
-// ----------------------------------------------------------------------
-
-// Heap equality: every table's `(row id, values)` stream must match.
-fn assert_heaps_identical(a: &Database, b: &Database, context: &str) {
-    for table in a.schema().tables() {
-        let rows_a: Vec<(RowId, Vec<Value>)> = a
-            .scan(&table.name)
-            .unwrap()
-            .map(|(id, row)| (id, row.clone()))
-            .collect();
-        let rows_b: Vec<(RowId, Vec<Value>)> = b
-            .scan(&table.name)
-            .unwrap()
-            .map(|(id, row)| (id, row.clone()))
-            .collect();
-        assert_eq!(rows_a, rows_b, "table {} differs: {context}", table.name);
-    }
-}
-
-// Index consistency: every probeable column's index must answer exactly
-// the scan-derived row set for every stored value.
-fn assert_indexes_consistent(db: &Database, context: &str) {
-    use std::collections::BTreeMap;
-    for table in db.schema().tables() {
-        for (idx, column) in table.columns.iter().enumerate() {
-            if !db.supports_index_probe(&table.name, &column.name).unwrap() {
-                continue;
-            }
-            let mut expected: BTreeMap<IndexKey, (Value, Vec<RowId>)> = BTreeMap::new();
-            for (row_id, row) in db.scan(&table.name).unwrap() {
-                if row[idx].is_null() {
-                    continue;
-                }
-                expected
-                    .entry(row[idx].index_key())
-                    .or_insert_with(|| (row[idx].clone(), Vec::new()))
-                    .1
-                    .push(row_id);
-            }
-            for (value, ids) in expected.values() {
-                let probed = db
-                    .index_probe(&table.name, &column.name, value)
-                    .unwrap()
-                    .unwrap_or_else(|| panic!("probeable column stopped probing: {}", column.name));
-                assert_eq!(
-                    &probed, ids,
-                    "index on {}.{} inconsistent for {value}: {context}",
-                    table.name, column.name
-                );
-            }
-        }
-    }
-}
-
-// The planner differential harness over the final state: the
-// index-backed planner and the clone-everything reference executor must
-// agree on the workload's join queries.
-fn assert_planner_matches_reference(db: &mut Database, context: &str) {
-    let mapping = fixtures::mapping();
-    for text in [
-        fixtures::workload::select_authors_with_team(),
-        fixtures::workload::select_publications_with_authors(),
-        fixtures::workload::select_recent_publications(2000),
-    ] {
-        let query = sparql::parse_query_with_prefixes(&text, PrefixMap::common()).unwrap();
-        let sparql::Query::Select(select) = query else {
-            panic!()
-        };
-        let compiled = ontoaccess::compile_select(db, &mapping, &select).unwrap();
-        let reference = rel::sql::execute_select_reference(db, &compiled.sql).unwrap();
-        ontoaccess::ensure_join_indexes(db, &compiled).unwrap();
-        let planner =
-            rel::sql::execute(db, &rel::sql::Statement::Select(compiled.sql.clone())).unwrap();
-        assert_eq!(
-            planner.rows().unwrap(),
-            &reference,
-            "planner drift after {context}: {text}"
-        );
-    }
-}
 
 // ----------------------------------------------------------------------
 // Workload generation
