@@ -1,0 +1,173 @@
+//! HTTP throughput acceptance bench for the SPARQL Protocol server.
+//!
+//! Measures loopback requests over real sockets against a running
+//! server instance:
+//!
+//! * **query_keepalive_96req/{1,4,8}** — a fixed batch of 96 cached
+//!   SELECT queries split across 1/4/8 client threads, each holding
+//!   one keep-alive connection. With per-worker `ReadSession`s the
+//!   batch should not get slower as client threads are added — the
+//!   HTTP-level version of PR 3's reader-scaling claim.
+//! * **update_roundtrip/1** — one full POST `/update` round trip
+//!   (translate, execute, commit, RDF feedback document) per
+//!   iteration, on a keep-alive connection.
+//!
+//! Emits `CRITERION_JSON` lines like the other benches; the checked-in
+//! snapshot is `BENCH_http_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use fixtures::http_probe::{urlencode, ProbeConn};
+use ontoaccess::Mediator;
+use ontoaccess_server::{serve, ServerConfig, ServerHandle};
+use std::cell::Cell;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn populated_mediator(n: usize) -> Mediator {
+    let spec = Spec {
+        teams: n,
+        authors: n,
+        publishers: 50.min(n),
+        pubtypes: 4,
+        publications: n,
+        authors_per_publication: 2,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 5);
+    Mediator::new(db, fixtures::mapping()).unwrap()
+}
+
+fn boot_server(workers: usize) -> ServerHandle {
+    serve(
+        populated_mediator(500),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+// A keep-alive connection via the shared probe client; panics on any
+// protocol error so the bench cannot silently measure failures.
+struct Client {
+    conn: ProbeConn,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client {
+            conn: ProbeConn::connect(addr).expect("connect to bench server"),
+        }
+    }
+
+    fn round_trip(&mut self, raw: &str) -> u16 {
+        self.conn.send(raw).expect("request round trip").status
+    }
+}
+
+fn query_request(query: &str) -> String {
+    format!(
+        "GET /sparql?query={} HTTP/1.1\r\nHost: bench\r\n\r\n",
+        urlencode(query)
+    )
+}
+
+fn update_request(update: &str) -> String {
+    format!(
+        "POST /update HTTP/1.1\r\nHost: bench\r\nContent-Type: application/sparql-update\r\n\
+         Content-Length: {}\r\n\r\n{update}",
+        update.len()
+    )
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    const BATCH: usize = 96;
+    let server = boot_server(8);
+    let addr = server.addr();
+    let requests: Vec<String> = [
+        fixtures::workload::select_authors_with_team(),
+        fixtures::workload::select_publications_with_authors(),
+        fixtures::workload::select_recent_publications(2000),
+    ]
+    .iter()
+    .map(|q| query_request(q))
+    .collect();
+    // Warm the compiled-query cache and the join indexes.
+    {
+        let mut client = Client::connect(addr);
+        for request in &requests {
+            assert_eq!(client.round_trip(request), 200);
+        }
+    }
+    let mut group = c.benchmark_group("http_throughput/query_keepalive_96req");
+    group.sample_size(15);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let per_thread = BATCH / threads;
+                        let mut handles = Vec::with_capacity(threads);
+                        for t in 0..threads {
+                            let requests = &requests;
+                            handles.push(scope.spawn(move || {
+                                let mut client = Client::connect(addr);
+                                for i in 0..per_thread {
+                                    let request = &requests[(t + i) % requests.len()];
+                                    assert_eq!(client.round_trip(request), 200);
+                                }
+                            }));
+                        }
+                        for handle in handles {
+                            handle.join().unwrap();
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+fn bench_update_roundtrip(c: &mut Criterion) {
+    let server = boot_server(4);
+    let addr = server.addr();
+    let mut group = c.benchmark_group("http_throughput/update_roundtrip");
+    group.sample_size(15);
+    let counter = Cell::new(0u64);
+    group.bench_function(BenchmarkId::from_parameter(1), |b| {
+        let mut client = Client::connect(addr);
+        b.iter(|| {
+            // A fresh author per iteration: every round trip inserts
+            // one row and returns a Confirmation document.
+            let i = counter.get();
+            counter.set(i + 1);
+            let update = fixtures::workload::with_prefixes(&format!(
+                "INSERT DATA {{ ex:author{} foaf:family_name \"Bench{i}\" . }}",
+                8_000_000 + i
+            ));
+            assert_eq!(client.round_trip(&update_request(&update)), 200);
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_query_throughput, bench_update_roundtrip
+}
+criterion_main!(benches);

@@ -126,6 +126,11 @@ struct QueryCache {
     // Clock ring: every cached text exactly once, insertion order.
     ring: VecDeque<String>,
     capacity: usize,
+    // Monotonic observability counters (surfaced by a transport's
+    // status endpoint via [`Mediator::query_cache_stats`]).
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl QueryCache {
@@ -134,11 +139,18 @@ impl QueryCache {
             entries: HashMap::new(),
             ring: VecDeque::new(),
             capacity: QUERY_CACHE_CAPACITY,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
     fn get(&mut self, text: &str) -> Option<Arc<CachedQuery>> {
-        let slot = self.entries.get_mut(text)?;
+        let Some(slot) = self.entries.get_mut(text) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         slot.referenced = true;
         Some(Arc::clone(&slot.compiled))
     }
@@ -175,6 +187,7 @@ impl QueryCache {
                 self.ring.push_back(text);
             } else {
                 self.entries.remove(&text);
+                self.evictions += 1;
                 return;
             }
         }
@@ -183,6 +196,32 @@ impl QueryCache {
     fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity.max(1);
     }
+
+    fn stats(&self) -> QueryCacheStats {
+        QueryCacheStats {
+            entries: self.entries.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Point-in-time view of the compiled-query cache, for observability
+/// (e.g. a server's status endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Cached query texts right now.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Lookups that found a cached compilation.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries the clock hand evicted under capacity pressure.
+    pub evictions: u64,
 }
 
 // ----------------------------------------------------------------------
@@ -560,6 +599,12 @@ impl Mediator {
         self.core.lock_cache().entries.contains_key(text)
     }
 
+    /// Point-in-time compiled-query cache statistics (size, capacity,
+    /// hit/miss/eviction counters since construction).
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.core.lock_cache().stats()
+    }
+
     /// Set the compiled-query cache capacity (≥ 1). Nothing is evicted
     /// immediately; a cache above the new capacity shrinks to it as
     /// later misses evict. Production deployments size this to their
@@ -614,6 +659,11 @@ impl ReadSession {
     /// write call on the same thread.
     pub fn database(&self) -> DatabaseReadGuard<'_> {
         DatabaseReadGuard(self.core.read_db())
+    }
+
+    /// Prefixes used for parsing requests and rendering output.
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.core.prefixes
     }
 }
 

@@ -1,0 +1,138 @@
+//! A minimal raw-socket HTTP/1.1 probe client, shared by the server's
+//! integration tests and the HTTP benches.
+//!
+//! Deliberately *not* built on the server's own parser: tests and
+//! benches should observe the wire with an independent implementation.
+//! Responses are framed by `Content-Length` only (which the server
+//! always sends), and a connection keeps its carry-over buffer so
+//! keep-alive reuse and pipelining work.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct ProbeResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in order of appearance (names as sent).
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl ProbeResponse {
+    /// First header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) UTF-8.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A client connection with its own read buffer (reusable across
+/// keep-alive requests).
+#[derive(Debug)]
+pub struct ProbeConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ProbeConn {
+    /// Connect with a 10s read timeout and `TCP_NODELAY`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<ProbeConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(ProbeConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Raw access to the socket (interim responses, partial writes,
+    /// custom timeouts).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Write `raw` (a complete request) and read one response.
+    pub fn send(&mut self, raw: &str) -> std::io::Result<ProbeResponse> {
+        self.stream.write_all(raw.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Read exactly one response off the connection.
+    pub fn read_response(&mut self) -> std::io::Result<ProbeResponse> {
+        let eof = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed");
+        let mut chunk = [0u8; 16 * 1024];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(eof()),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_owned());
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split_ascii_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("missing content-length"))?;
+        while self.buf.len() < head_end + 4 + content_length {
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(eof()),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = self.buf[head_end + 4..head_end + 4 + content_length].to_vec();
+        // Keep anything past this response buffered for the next one.
+        self.buf.drain(..head_end + 4 + content_length);
+        Ok(ProbeResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn one_shot(addr: SocketAddr, raw: &str) -> std::io::Result<ProbeResponse> {
+    ProbeConn::connect(addr)?.send(raw)
+}
+
+/// Percent-encode everything outside the URL-safe set (for query
+/// strings in probe requests).
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}

@@ -1,0 +1,115 @@
+//! Structured mapping from [`OntoError`] to HTTP.
+//!
+//! One exhaustive `match` decides the status for every variant — no
+//! wildcard arm, so adding a variant to [`OntoError`] is a compile
+//! error here until someone decides its wire status. The error body is
+//! machine-readable JSON carrying the mediator's stable error code,
+//! the rendered message, and the hint when the feedback protocol has
+//! one.
+
+use crate::wire::{json_string, JSON};
+use ontoaccess::OntoError;
+
+/// The HTTP status a rejection maps to.
+///
+/// The grouping mirrors the paper's rejection taxonomy:
+///
+/// * requests the parser refuses or that are structurally unanswerable
+///   → **400** (client must rewrite the request text);
+/// * requests that parse but violate the mapping's semantic contract
+///   (unknown subjects/properties, class or datatype mismatches,
+///   missing required properties) → **422** (well-formed but
+///   unprocessable against this mapping);
+/// * requests that conflict with the *current state* of the database
+///   (dangling references, already-set attributes, absent triples,
+///   NOT-NULL protection, engine-level constraint violations) →
+///   **409** (the same request could succeed against another state);
+/// * requests using features outside the supported fragment → **501**.
+pub fn status_for(error: &OntoError) -> u16 {
+    match error {
+        // 400 — the request text itself is at fault.
+        OntoError::Parse { .. } => 400,
+        OntoError::AmbiguousPattern { .. } => 400,
+        OntoError::BlankNodeSubject { .. } => 400,
+        // 422 — parses, but the mapping cannot process it.
+        OntoError::UnknownSubject { .. } => 422,
+        OntoError::UnknownProperty { .. } => 422,
+        OntoError::ClassMismatch { .. } => 422,
+        OntoError::ValueIncompatible { .. } => 422,
+        OntoError::MissingRequiredProperty { .. } => 422,
+        OntoError::CannotRemoveType { .. } => 422,
+        // 409 — valid request, wrong database state.
+        OntoError::DanglingObject { .. } => 409,
+        OntoError::AttributeAlreadySet { .. } => 409,
+        OntoError::TripleNotPresent { .. } => 409,
+        OntoError::NotNullDelete { .. } => 409,
+        OntoError::Database(_) => 409,
+        // 501 — outside the implemented fragment.
+        OntoError::Unsupported { .. } => 501,
+    }
+}
+
+/// The JSON error document: stable code, status, message, and the
+/// feedback protocol's hint when available.
+pub fn error_body(error: &OntoError) -> String {
+    let status = status_for(error);
+    let mut out = String::from("{\"error\":{\"code\":");
+    out.push_str(&json_string(error.code()));
+    out.push_str(&format!(",\"status\":{status},\"message\":"));
+    out.push_str(&json_string(&error.to_string()));
+    if let Some(hint) = error.hint() {
+        out.push_str(",\"hint\":");
+        out.push_str(&json_string(&hint));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A protocol-level (non-mediator) JSON error document.
+pub fn protocol_error_body(status: u16, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"Protocol\",\"status\":{status},\"message\":{}}}}}",
+        json_string(message)
+    )
+}
+
+/// Content type of the JSON error documents.
+pub const ERROR_CONTENT_TYPE: &str = JSON;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_partition_the_variants() {
+        let parse = OntoError::Parse {
+            message: "x".into(),
+        };
+        assert_eq!(status_for(&parse), 400);
+        let unknown = OntoError::UnknownSubject {
+            subject: rdf::Term::iri("http://example.org/x"),
+        };
+        assert_eq!(status_for(&unknown), 422);
+        let dangling = OntoError::NotNullDelete {
+            table: "author".into(),
+            attribute: "lastname".into(),
+        };
+        assert_eq!(status_for(&dangling), 409);
+        let unsupported = OntoError::Unsupported {
+            message: "x".into(),
+        };
+        assert_eq!(status_for(&unsupported), 501);
+    }
+
+    #[test]
+    fn error_body_carries_code_and_hint() {
+        let e = OntoError::NotNullDelete {
+            table: "author".into(),
+            attribute: "lastname".into(),
+        };
+        let body = error_body(&e);
+        assert!(body.contains("\"code\":\"NotNullDelete\""));
+        assert!(body.contains("\"status\":409"));
+        assert!(body.contains("\"hint\":"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The server's concurrency skeleton: a bounded connection queue
+//! between one acceptor and a fixed worker pool, plus the connection
+//! registry graceful shutdown uses to unpark workers blocked in reads.
+//!
+//! Backpressure is explicit: the acceptor never blocks on a full
+//! queue — it answers `503 Service Unavailable` inline and closes, so
+//! overload degrades into fast rejections instead of unbounded memory
+//! growth or accept-queue timeouts.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+// ----------------------------------------------------------------------
+// Bounded handoff queue
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct QueueInner {
+    deque: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// Bounded MPMC handoff of accepted connections.
+#[derive(Debug)]
+pub(crate) struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    pub fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                deque: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue an accepted connection; hands the stream back when the
+    /// queue is full (overload) or closed (shutting down).
+    pub fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.deque.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.deque.push_back(stream);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next connection, blocking while the queue is open
+    /// and empty. `None` means closed **and** drained — queued
+    /// connections are always served before workers exit.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = inner.deque.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: no further pushes succeed; waiting workers
+    /// drain what is queued and then exit.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Connection registry (graceful shutdown)
+// ----------------------------------------------------------------------
+
+/// Handles to the sockets workers are currently *reading* on, so
+/// shutdown can unblock a worker parked in a keep-alive read by
+/// shutting the socket's read half down. Entries are registered only
+/// for the duration of a blocking read; request processing and
+/// response writes are never interrupted — that is what "in-flight
+/// requests are drained" means.
+#[derive(Debug, Default)]
+pub(crate) struct ConnRegistry {
+    parked: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    closing: AtomicBool,
+}
+
+impl ConnRegistry {
+    /// Whether shutdown has begun (workers then answer with
+    /// `Connection: close` and stop reusing connections).
+    pub fn closing(&self) -> bool {
+        self.closing.load(Ordering::SeqCst)
+    }
+
+    /// Register a socket about to enter a blocking read. Returns a
+    /// ticket for [`ConnRegistry::deregister`]. When shutdown already
+    /// began, the read half is shut down immediately so the imminent
+    /// read cannot park.
+    pub fn register(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+            parked.insert(id, clone);
+            drop(parked);
+            // Check *after* publishing the entry: a concurrent
+            // `shutdown_reads` either sees the entry or this thread
+            // sees the flag — no window where a read parks forever.
+            if self.closing() {
+                self.shutdown_one(id);
+            }
+        }
+        id
+    }
+
+    /// Drop a ticket once the blocking read returned.
+    pub fn deregister(&self, id: u64) {
+        self.parked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+    }
+
+    fn shutdown_one(&self, id: u64) {
+        let parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = parked.get(&id) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Begin shutdown: mark closing and unblock every parked read.
+    pub fn shutdown_reads(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in parked.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn stream_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_drains_after_close() {
+        let queue = ConnQueue::new(1);
+        let (a, _ka) = stream_pair();
+        let (b, _kb) = stream_pair();
+        assert!(queue.push(a).is_ok());
+        assert!(queue.push(b).is_err(), "second push must overflow");
+        queue.close();
+        assert!(queue.pop().is_some(), "queued connection drains");
+        assert!(queue.pop().is_none(), "then the pool sees closed");
+        let (c, _kc) = stream_pair();
+        assert!(queue.push(c).is_err(), "closed queue takes nothing");
+    }
+
+    #[test]
+    fn registry_unblocks_parked_reads() {
+        use std::io::Read;
+        let (client, server) = stream_pair();
+        let registry = ConnRegistry::default();
+        let id = registry.register(&server);
+        registry.shutdown_reads();
+        // The read half is shut down: a blocking read returns EOF now.
+        let mut server = server;
+        let mut byte = [0u8; 1];
+        assert_eq!(server.read(&mut byte).unwrap(), 0);
+        registry.deregister(id);
+        // Registering after closing shuts down immediately.
+        let id2 = registry.register(&client);
+        let mut client = client;
+        assert_eq!(client.read(&mut byte).unwrap(), 0);
+        registry.deregister(id2);
+    }
+}

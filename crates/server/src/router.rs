@@ -1,0 +1,374 @@
+//! Request routing and the SPARQL Protocol endpoint handlers.
+//!
+//! | Method + path       | Operation |
+//! |---------------------|-----------|
+//! | `GET /sparql?query=`| SPARQL query (also `POST` with a `application/sparql-query` body or an urlencoded form) |
+//! | `POST /update`      | SPARQL/Update; the response body is the paper's §6 RDF feedback document (Turtle) |
+//! | `GET /describe?uri=`| Concise description of one instance URI (graph response) |
+//! | `GET /dump`         | The database's full RDF view (graph response) |
+//! | `GET /status`       | Row counts, query-cache and server counters (JSON) |
+//!
+//! Queries execute on the worker's shared [`ReadSession`]; updates
+//! serialize through the mediator's write transaction. Mediator
+//! rejections map to statuses via [`crate::error_map`]; the update
+//! endpoint keeps the RDF feedback document as its error body, the
+//! query endpoints answer machine-readable JSON errors.
+
+use crate::error_map::{error_body, protocol_error_body, status_for, ERROR_CONTENT_TYPE};
+use crate::http::{Request, Response};
+use crate::stats::ServerStats;
+use crate::wire;
+use ontoaccess::feedback::Feedback;
+use ontoaccess::mediator::{Mediator, ReadSession};
+use ontoaccess::OntoError;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Media type of a SPARQL query sent as a raw POST body.
+pub const SPARQL_QUERY: &str = "application/sparql-query";
+/// Media type of a SPARQL/Update sent as a raw POST body.
+pub const SPARQL_UPDATE: &str = "application/sparql-update";
+const FORM: &str = "application/x-www-form-urlencoded";
+
+// Everything a handler can reach: the shared mediator (writes, admin)
+// and server-level counters. Read sessions are per worker and passed
+// alongside.
+pub(crate) struct AppContext {
+    pub mediator: Mediator,
+    pub stats: Arc<ServerStats>,
+    pub started: Instant,
+    pub workers: usize,
+    pub queue_capacity: usize,
+}
+
+pub(crate) fn handle_request(
+    ctx: &AppContext,
+    session: &ReadSession,
+    request: &Request,
+) -> Response {
+    ctx.stats.record_request();
+    // HEAD is answered like GET everywhere GET is allowed; the
+    // connection layer suppresses the body bytes while keeping the
+    // Content-Length a GET would have produced (RFC 9110 §9.3.2).
+    let method = if request.method == "HEAD" {
+        "GET"
+    } else {
+        request.method.as_str()
+    };
+    match (method, request.path.as_str()) {
+        ("GET", "/") => usage(),
+        ("GET", "/sparql") => query_from_get(ctx, session, request),
+        ("POST", "/sparql") => query_from_post(ctx, session, request),
+        ("POST", "/update") => update(ctx, request),
+        ("GET", "/describe") => describe(session, request),
+        ("GET", "/dump") => dump(session, request),
+        ("GET", "/status") => status(ctx),
+        (_, "/sparql") => method_not_allowed("GET, HEAD, POST"),
+        (_, "/update") => method_not_allowed("POST"),
+        (_, "/describe") | (_, "/dump") | (_, "/status") | (_, "/") => {
+            method_not_allowed("GET, HEAD")
+        }
+        _ => Response::new(
+            404,
+            ERROR_CONTENT_TYPE,
+            protocol_error_body(404, &format!("no such endpoint {:?}", request.path)),
+        ),
+    }
+}
+
+fn usage() -> Response {
+    Response::new(
+        200,
+        "text/plain; charset=utf-8",
+        "OntoAccess SPARQL 1.1 Protocol endpoint\n\
+         \n\
+         GET  /sparql?query=...   SPARQL query (SELECT/ASK)\n\
+         POST /sparql             query as application/sparql-query or form\n\
+         POST /update             SPARQL/Update as application/sparql-update or form\n\
+         GET  /describe?uri=...   describe one instance URI\n\
+         GET  /dump               full RDF view (Turtle / N-Triples)\n\
+         GET  /status             row counts and cache statistics (JSON)\n",
+    )
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::new(
+        405,
+        ERROR_CONTENT_TYPE,
+        protocol_error_body(405, &format!("method not allowed; allowed: {allow}")),
+    )
+    .with_header("Allow", allow)
+}
+
+// ----------------------------------------------------------------------
+// Queries
+// ----------------------------------------------------------------------
+
+fn query_from_get(ctx: &AppContext, session: &ReadSession, request: &Request) -> Response {
+    match request.param("query") {
+        Some(text) => run_query(ctx, session, text, request),
+        None => Response::new(
+            400,
+            ERROR_CONTENT_TYPE,
+            protocol_error_body(400, "missing required parameter \"query\""),
+        ),
+    }
+}
+
+fn query_from_post(ctx: &AppContext, session: &ReadSession, request: &Request) -> Response {
+    let text = match request.content_type().as_deref() {
+        Some(SPARQL_QUERY) => String::from_utf8_lossy(&request.body).into_owned(),
+        Some(FORM) => {
+            let form = request.form_params();
+            match form.into_iter().find(|(k, _)| k == "query") {
+                Some((_, v)) => v,
+                None => {
+                    return Response::new(
+                        400,
+                        ERROR_CONTENT_TYPE,
+                        protocol_error_body(400, "missing required form field \"query\""),
+                    )
+                }
+            }
+        }
+        other => {
+            return Response::new(
+                415,
+                ERROR_CONTENT_TYPE,
+                protocol_error_body(
+                    415,
+                    &format!(
+                        "unsupported content type {:?}; use {SPARQL_QUERY} or {FORM}",
+                        other.unwrap_or("none")
+                    ),
+                ),
+            )
+        }
+    };
+    run_query(ctx, session, &text, request)
+}
+
+fn run_query(ctx: &AppContext, session: &ReadSession, text: &str, request: &Request) -> Response {
+    let Some((content_type, format)) = wire::negotiate_results(request.header("accept")) else {
+        return not_acceptable(
+            "results",
+            &[wire::SPARQL_RESULTS_JSON, wire::SPARQL_RESULTS_XML],
+        );
+    };
+    ctx.stats.record_query();
+    match session.execute_query(text) {
+        Ok(sparql::QueryOutcome::Solutions(solutions)) => {
+            let body = match format {
+                wire::ResultsFormat::Json => wire::solutions_to_json(&solutions),
+                wire::ResultsFormat::Xml => wire::solutions_to_xml(&solutions),
+            };
+            Response::new(200, content_type, body)
+        }
+        Ok(sparql::QueryOutcome::Boolean(value)) => {
+            let body = match format {
+                wire::ResultsFormat::Json => wire::boolean_to_json(value),
+                wire::ResultsFormat::Xml => wire::boolean_to_xml(value),
+            };
+            Response::new(200, content_type, body)
+        }
+        Err(error) => mediator_error(&error),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Updates
+// ----------------------------------------------------------------------
+
+fn update(ctx: &AppContext, request: &Request) -> Response {
+    let text = match request.content_type().as_deref() {
+        Some(SPARQL_UPDATE) => String::from_utf8_lossy(&request.body).into_owned(),
+        Some(FORM) => {
+            let form = request.form_params();
+            match form.into_iter().find(|(k, _)| k == "update") {
+                Some((_, v)) => v,
+                None => {
+                    return Response::new(
+                        400,
+                        ERROR_CONTENT_TYPE,
+                        protocol_error_body(400, "missing required form field \"update\""),
+                    )
+                }
+            }
+        }
+        other => {
+            return Response::new(
+                415,
+                ERROR_CONTENT_TYPE,
+                protocol_error_body(
+                    415,
+                    &format!(
+                        "unsupported content type {:?}; use {SPARQL_UPDATE} or {FORM}",
+                        other.unwrap_or("none")
+                    ),
+                ),
+            )
+        }
+    };
+    ctx.stats.record_update();
+    // A request may carry several operations separated by `;`
+    // (SPARQL 1.1 update request); the whole request is executed as
+    // one atomic write transaction, and the answer is the paper's §6
+    // feedback document either way.
+    let (status, feedback) = match ctx.mediator.execute_script(&text, true) {
+        Ok(outcomes) => {
+            let operation = match outcomes.as_slice() {
+                [only] => only.operation.clone(),
+                many => format!("UPDATE SCRIPT ({} operations)", many.len()),
+            };
+            let statements: usize = outcomes.iter().map(|o| o.statements_executed).sum();
+            let rows: usize = outcomes.iter().map(|o| o.rows_affected).sum();
+            (
+                200,
+                Feedback::Success {
+                    operation,
+                    statements,
+                    rows,
+                },
+            )
+        }
+        Err(script_error) => {
+            let operation = if script_error.completed.is_empty()
+                && matches!(script_error.error, OntoError::Parse { .. })
+            {
+                "unparsed".to_owned()
+            } else {
+                format!("operation {}", script_error.operation_index + 1)
+            };
+            (
+                status_for(&script_error.error),
+                Feedback::Rejection {
+                    operation,
+                    error: script_error.error,
+                },
+            )
+        }
+    };
+    Response::new(status, wire::TURTLE, feedback.to_turtle())
+}
+
+// ----------------------------------------------------------------------
+// Graph endpoints
+// ----------------------------------------------------------------------
+
+fn describe(session: &ReadSession, request: &Request) -> Response {
+    let Some(uri) = request.param("uri") else {
+        return Response::new(
+            400,
+            ERROR_CONTENT_TYPE,
+            protocol_error_body(400, "missing required parameter \"uri\""),
+        );
+    };
+    let iri = match rdf::Iri::parse(uri) {
+        Ok(iri) => iri,
+        Err(e) => {
+            return Response::new(
+                400,
+                ERROR_CONTENT_TYPE,
+                protocol_error_body(400, &format!("invalid uri parameter: {e}")),
+            )
+        }
+    };
+    // Negotiate before touching the database: an unacceptable Accept
+    // header must not pay for the (potentially O(database)) read.
+    let Some(format) = negotiate_graph_format(request) else {
+        return not_acceptable("graph", &[wire::TURTLE, wire::NTRIPLES]);
+    };
+    match session.describe(&iri) {
+        Ok(graph) => graph_response(&graph, session, format),
+        Err(error) => mediator_error(&error),
+    }
+}
+
+fn dump(session: &ReadSession, request: &Request) -> Response {
+    let Some(format) = negotiate_graph_format(request) else {
+        return not_acceptable("graph", &[wire::TURTLE, wire::NTRIPLES]);
+    };
+    match session.materialize() {
+        Ok(graph) => graph_response(&graph, session, format),
+        Err(error) => mediator_error(&error),
+    }
+}
+
+fn negotiate_graph_format(request: &Request) -> Option<(&'static str, wire::GraphFormat)> {
+    wire::negotiate_graph(request.header("accept"))
+}
+
+fn graph_response(
+    graph: &rdf::Graph,
+    session: &ReadSession,
+    (content_type, format): (&'static str, wire::GraphFormat),
+) -> Response {
+    let body = match format {
+        wire::GraphFormat::Turtle => wire::graph_to_turtle(graph, session.prefixes()),
+        wire::GraphFormat::NTriples => wire::graph_to_ntriples(graph),
+    };
+    Response::new(200, content_type, body)
+}
+
+// ----------------------------------------------------------------------
+// Status
+// ----------------------------------------------------------------------
+
+fn status(ctx: &AppContext) -> Response {
+    let mut tables = String::new();
+    {
+        let db = ctx.mediator.database();
+        let mut first = true;
+        for table in db.schema().tables() {
+            if !first {
+                tables.push(',');
+            }
+            first = false;
+            tables.push_str(&wire::json_string(&table.name));
+            tables.push(':');
+            tables.push_str(&db.row_count(&table.name).unwrap_or(0).to_string());
+        }
+    }
+    let cache = ctx.mediator.query_cache_stats();
+    let stats = &ctx.stats;
+    let body = format!(
+        "{{\"uptime_seconds\":{},\"tables\":{{{tables}}},\
+         \"query_cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"overload_rejections\":{}}}}}",
+        ctx.started.elapsed().as_secs(),
+        cache.entries,
+        cache.capacity,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        ctx.workers,
+        ctx.queue_capacity,
+        stats.requests(),
+        stats.queries(),
+        stats.updates(),
+        stats.overload_rejections(),
+    );
+    Response::new(200, wire::JSON, body)
+}
+
+// ----------------------------------------------------------------------
+// Shared error shapes
+// ----------------------------------------------------------------------
+
+fn mediator_error(error: &OntoError) -> Response {
+    Response::new(status_for(error), ERROR_CONTENT_TYPE, error_body(error))
+}
+
+fn not_acceptable(kind: &str, offers: &[&str]) -> Response {
+    Response::new(
+        406,
+        ERROR_CONTENT_TYPE,
+        protocol_error_body(
+            406,
+            &format!(
+                "no acceptable {kind} representation; offered: {}",
+                offers.join(", ")
+            ),
+        ),
+    )
+}

@@ -1,0 +1,52 @@
+//! Server-level counters, shared between the acceptor, the workers,
+//! and the `/status` endpoint. All relaxed atomics: these are
+//! monotonic counters for observability, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic request counters for one server instance.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
+    overload_rejections: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_update(&self) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_overload_rejection(&self) {
+        self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests routed (any endpoint, any outcome).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Query requests that reached execution.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Update requests that reached execution.
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Connections answered 503 because the accept queue was full.
+    pub fn overload_rejections(&self) -> u64 {
+        self.overload_rejections.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,465 @@
+//! Wire formats of the SPARQL Protocol: W3C SPARQL 1.1 Query Results
+//! in JSON and XML for solution sequences and booleans, and
+//! Turtle / N-Triples for graph-shaped responses — plus the `Accept`
+//! header negotiation that picks between them.
+//!
+//! Serialization is deterministic: variables appear in projection
+//! order, bindings in solution order, and JSON object keys in a fixed
+//! order — which is what lets the golden-file tests compare bytes.
+
+use rdf::namespace::PrefixMap;
+use rdf::{Graph, LiteralKind, Term};
+use sparql::Solutions;
+
+/// Media type of SPARQL JSON results.
+pub const SPARQL_RESULTS_JSON: &str = "application/sparql-results+json";
+/// Media type of SPARQL XML results.
+pub const SPARQL_RESULTS_XML: &str = "application/sparql-results+xml";
+/// Media type of Turtle.
+pub const TURTLE: &str = "text/turtle";
+/// Media type of N-Triples.
+pub const NTRIPLES: &str = "application/n-triples";
+/// Media type of the JSON error/status documents.
+pub const JSON: &str = "application/json";
+
+// ----------------------------------------------------------------------
+// Escaping
+// ----------------------------------------------------------------------
+
+/// Append `s` JSON-escaped (without surrounding quotes) to `out`.
+pub fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` as a quoted JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    json_escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Append `s` XML-escaped (text or attribute content) to `out`.
+pub fn xml_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    xml_escape_into(s, &mut out);
+    out
+}
+
+// ----------------------------------------------------------------------
+// SPARQL Results JSON (https://www.w3.org/TR/sparql11-results-json/)
+// ----------------------------------------------------------------------
+
+// One RDF term as a results-JSON object, keys in fixed order:
+// type, value, then xml:lang / datatype.
+fn term_to_json(term: &Term, out: &mut String) {
+    match term {
+        Term::Iri(iri) => {
+            out.push_str("{\"type\":\"uri\",\"value\":");
+            out.push_str(&json_string(iri.as_str()));
+            out.push('}');
+        }
+        Term::Blank(b) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":");
+            out.push_str(&json_string(b.label()));
+            out.push('}');
+        }
+        Term::Literal(lit) => {
+            out.push_str("{\"type\":\"literal\",\"value\":");
+            out.push_str(&json_string(lit.lexical()));
+            match lit.kind() {
+                LiteralKind::Plain => {}
+                LiteralKind::LanguageTagged(tag) => {
+                    out.push_str(",\"xml:lang\":");
+                    out.push_str(&json_string(tag));
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push_str(",\"datatype\":");
+                    out.push_str(&json_string(dt.as_str()));
+                }
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A solution sequence as SPARQL JSON results.
+pub fn solutions_to_json(solutions: &Solutions) -> String {
+    let mut out = String::new();
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, var) in solutions.variables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(var));
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    for (i, binding) in solutions.bindings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        // Projection order, skipping unbound variables.
+        for var in &solutions.variables {
+            let Some(term) = binding.get(var) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&json_string(var));
+            out.push(':');
+            term_to_json(term, &mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// An ASK result as SPARQL JSON results.
+pub fn boolean_to_json(value: bool) -> String {
+    format!("{{\"head\":{{}},\"boolean\":{value}}}")
+}
+
+// ----------------------------------------------------------------------
+// SPARQL Results XML (https://www.w3.org/TR/rdf-sparql-XMLres/)
+// ----------------------------------------------------------------------
+
+const XML_HEADER: &str = "<?xml version=\"1.0\"?>\n\
+     <sparql xmlns=\"http://www.w3.org/2005/sparql-results#\">\n";
+
+fn term_to_xml(term: &Term, out: &mut String) {
+    match term {
+        Term::Iri(iri) => {
+            out.push_str("<uri>");
+            xml_escape_into(iri.as_str(), out);
+            out.push_str("</uri>");
+        }
+        Term::Blank(b) => {
+            out.push_str("<bnode>");
+            xml_escape_into(b.label(), out);
+            out.push_str("</bnode>");
+        }
+        Term::Literal(lit) => {
+            match lit.kind() {
+                LiteralKind::Plain => out.push_str("<literal>"),
+                LiteralKind::LanguageTagged(tag) => {
+                    out.push_str(&format!("<literal xml:lang=\"{}\">", xml_escape(tag)));
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push_str(&format!(
+                        "<literal datatype=\"{}\">",
+                        xml_escape(dt.as_str())
+                    ));
+                }
+            }
+            xml_escape_into(lit.lexical(), out);
+            out.push_str("</literal>");
+        }
+    }
+}
+
+/// A solution sequence as SPARQL XML results.
+pub fn solutions_to_xml(solutions: &Solutions) -> String {
+    let mut out = String::from(XML_HEADER);
+    out.push_str("  <head>\n");
+    for var in &solutions.variables {
+        out.push_str(&format!("    <variable name=\"{}\"/>\n", xml_escape(var)));
+    }
+    out.push_str("  </head>\n  <results>\n");
+    for binding in &solutions.bindings {
+        out.push_str("    <result>\n");
+        for var in &solutions.variables {
+            let Some(term) = binding.get(var) else {
+                continue;
+            };
+            out.push_str(&format!("      <binding name=\"{}\">", xml_escape(var)));
+            term_to_xml(term, &mut out);
+            out.push_str("</binding>\n");
+        }
+        out.push_str("    </result>\n");
+    }
+    out.push_str("  </results>\n</sparql>\n");
+    out
+}
+
+/// An ASK result as SPARQL XML results.
+pub fn boolean_to_xml(value: bool) -> String {
+    format!("{XML_HEADER}  <head/>\n  <boolean>{value}</boolean>\n</sparql>\n")
+}
+
+// ----------------------------------------------------------------------
+// Graph formats
+// ----------------------------------------------------------------------
+
+/// A graph as Turtle, using the mediator's prefixes.
+pub fn graph_to_turtle(graph: &Graph, prefixes: &PrefixMap) -> String {
+    rdf::turtle::write(graph, prefixes)
+}
+
+/// A graph as N-Triples.
+pub fn graph_to_ntriples(graph: &Graph) -> String {
+    rdf::ntriples::write(graph)
+}
+
+// ----------------------------------------------------------------------
+// Content negotiation
+// ----------------------------------------------------------------------
+
+// One entry of an Accept header: type/subtype plus quality.
+struct AcceptEntry {
+    main: String,
+    sub: String,
+    q: f64,
+    order: usize,
+}
+
+fn parse_accept(header: &str) -> Vec<AcceptEntry> {
+    let mut entries = Vec::new();
+    for (order, part) in header.split(',').enumerate() {
+        let mut sections = part.split(';');
+        let Some(mime) = sections.next() else {
+            continue;
+        };
+        let mime = mime.trim().to_ascii_lowercase();
+        let Some((main, sub)) = mime.split_once('/') else {
+            continue;
+        };
+        let mut q = 1.0;
+        for param in sections {
+            if let Some((k, v)) = param.split_once('=') {
+                if k.trim() == "q" {
+                    q = v.trim().parse().unwrap_or(0.0);
+                }
+            }
+        }
+        entries.push(AcceptEntry {
+            main: main.to_owned(),
+            sub: sub.to_owned(),
+            q,
+            order,
+        });
+    }
+    entries
+}
+
+/// Pick the best of `offers` (media types in server preference order)
+/// for an `Accept` header. `None` header → the first offer. `Some` with
+/// nothing acceptable → `None` (the caller answers 406).
+pub fn negotiate<'a>(accept: Option<&str>, offers: &[&'a str]) -> Option<&'a str> {
+    let Some(header) = accept else {
+        return offers.first().copied();
+    };
+    let header = header.trim();
+    if header.is_empty() {
+        return offers.first().copied();
+    }
+    let entries = parse_accept(header);
+    // RFC 9110 §12.5.1: for each offer, its quality is the q of the
+    // *most specific* matching media-range (exact > type/* > */*) —
+    // so `text/turtle;q=0, */*` really excludes Turtle instead of
+    // letting the wildcard's q resurrect it. Among the surviving
+    // offers: highest q wins, then higher specificity of the deciding
+    // entry, then earlier header position, then server preference.
+    let mut best: Option<(&str, f64, u8, usize, usize)> = None;
+    for (offer_idx, offer) in offers.iter().enumerate() {
+        let (omain, osub) = offer.split_once('/').expect("offers are type/subtype");
+        // The most specific entry matching this offer (first one on
+        // specificity ties) decides its quality.
+        let mut deciding: Option<(u8, f64, usize)> = None;
+        for e in &entries {
+            let specificity = if e.main == omain && e.sub == osub {
+                2
+            } else if e.main == omain && e.sub == "*" {
+                1
+            } else if e.main == "*" && e.sub == "*" {
+                0
+            } else {
+                continue;
+            };
+            if deciding.is_none_or(|(dspec, ..)| specificity > dspec) {
+                deciding = Some((specificity, e.q, e.order));
+            }
+        }
+        let Some((specificity, q, order)) = deciding else {
+            continue;
+        };
+        if q <= 0.0 {
+            continue; // explicitly excluded
+        }
+        let better = match best {
+            None => true,
+            Some((_, bq, bspec, border, bidx)) => {
+                q > bq
+                    || (q == bq
+                        && (specificity > bspec
+                            || (specificity == bspec
+                                && (order < border || (order == border && offer_idx < bidx)))))
+            }
+        };
+        if better {
+            best = Some((offer, q, specificity, order, offer_idx));
+        }
+    }
+    best.map(|(offer, ..)| offer)
+}
+
+/// The media types offered for solution/boolean results, in preference
+/// order, with the format each resolves to.
+pub fn negotiate_results(accept: Option<&str>) -> Option<(&'static str, ResultsFormat)> {
+    let offer = negotiate(
+        accept,
+        &[
+            SPARQL_RESULTS_JSON,
+            SPARQL_RESULTS_XML,
+            JSON,
+            "application/xml",
+            "text/xml",
+        ],
+    )?;
+    match offer {
+        SPARQL_RESULTS_JSON | JSON => Some((SPARQL_RESULTS_JSON, ResultsFormat::Json)),
+        _ => Some((SPARQL_RESULTS_XML, ResultsFormat::Xml)),
+    }
+}
+
+/// The media types offered for graph responses, in preference order.
+pub fn negotiate_graph(accept: Option<&str>) -> Option<(&'static str, GraphFormat)> {
+    let offer = negotiate(accept, &[TURTLE, NTRIPLES, "text/plain"])?;
+    match offer {
+        TURTLE => Some((TURTLE, GraphFormat::Turtle)),
+        _ => Some((NTRIPLES, GraphFormat::NTriples)),
+    }
+}
+
+/// Result serialization picked by negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultsFormat {
+    /// `application/sparql-results+json`.
+    Json,
+    /// `application/sparql-results+xml`.
+    Xml,
+}
+
+/// Graph serialization picked by negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// `text/turtle`.
+    Turtle,
+    /// `application/n-triples`.
+    NTriples,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_prefers_quality_then_header_order() {
+        assert_eq!(
+            negotiate(
+                Some("application/sparql-results+xml;q=0.9, application/sparql-results+json"),
+                &[SPARQL_RESULTS_JSON, SPARQL_RESULTS_XML]
+            ),
+            Some(SPARQL_RESULTS_JSON)
+        );
+        assert_eq!(
+            negotiate(
+                Some("application/sparql-results+xml, application/sparql-results+json"),
+                &[SPARQL_RESULTS_JSON, SPARQL_RESULTS_XML]
+            ),
+            Some(SPARQL_RESULTS_XML)
+        );
+    }
+
+    #[test]
+    fn exact_match_beats_wildcard_at_equal_quality() {
+        // RFC 9110 §12.5.1: the most specific reference wins, even
+        // when a catch-all is listed first.
+        assert_eq!(
+            negotiate(
+                Some("*/*, application/sparql-results+xml"),
+                &[SPARQL_RESULTS_JSON, SPARQL_RESULTS_XML]
+            ),
+            Some(SPARQL_RESULTS_XML)
+        );
+        assert_eq!(
+            negotiate(Some("text/*, application/n-triples"), &[TURTLE, NTRIPLES]),
+            Some(NTRIPLES)
+        );
+    }
+
+    #[test]
+    fn explicit_q0_exclusion_is_honored() {
+        // The most specific matching range decides an offer's quality:
+        // a wildcard must not resurrect an explicitly excluded type.
+        assert_eq!(
+            negotiate(Some("text/turtle;q=0, */*"), &[TURTLE, NTRIPLES]),
+            Some(NTRIPLES)
+        );
+        assert_eq!(
+            negotiate(Some("text/turtle;q=0.1, */*"), &[TURTLE, NTRIPLES]),
+            Some(NTRIPLES)
+        );
+        assert_eq!(
+            negotiate(Some("text/turtle;q=0, image/png"), &[TURTLE]),
+            None
+        );
+    }
+
+    #[test]
+    fn wildcards_fall_back_to_server_preference() {
+        assert_eq!(negotiate(Some("*/*"), &[TURTLE, NTRIPLES]), Some(TURTLE));
+        assert_eq!(
+            negotiate(Some("application/*"), &[TURTLE, NTRIPLES]),
+            Some(NTRIPLES)
+        );
+        assert_eq!(negotiate(Some("image/png"), &[TURTLE, NTRIPLES]), None);
+        assert_eq!(negotiate(None, &[TURTLE, NTRIPLES]), Some(TURTLE));
+    }
+
+    #[test]
+    fn json_escaping_covers_control_and_quote_chars() {
+        assert_eq!(
+            json_string("a\"b\\c\nd\te\u{1}"),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn boolean_documents() {
+        assert_eq!(boolean_to_json(true), "{\"head\":{},\"boolean\":true}");
+        assert!(boolean_to_xml(false).contains("<boolean>false</boolean>"));
+    }
+}

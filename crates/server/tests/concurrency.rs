@@ -1,0 +1,293 @@
+//! Concurrency integration test: many client threads over loopback
+//! mixing queries and updates against one server — the end-to-end
+//! exercise of the mediator's session model under real socket I/O.
+//!
+//! Invariants checked:
+//!
+//! * **No torn reads** — every update inserts an *even-sized* batch of
+//!   marker teams in one atomic operation, so any query snapshot must
+//!   observe an even number of markers;
+//! * **Correct statuses under load** — well-formed updates answer 200,
+//!   dangling references 409, garbage queries 400, each with the right
+//!   body shape, regardless of what other threads are doing;
+//! * **Graceful shutdown** — with clients still sending, shutdown
+//!   completes, every response that was received is complete and
+//!   well-formed, and committed writes survive into the drained
+//!   mediator.
+
+use fixtures::http_probe::{one_shot, urlencode, ProbeResponse};
+use ontoaccess_server::{serve, ServerConfig};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ----------------------------------------------------------------------
+// Fallible wrappers over the shared probe client (a request against a
+// server that may be shutting down can legitimately fail at any
+// point; a torn response surfaces as `None`, never as a partial body).
+// ----------------------------------------------------------------------
+
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+impl From<ProbeResponse> for Reply {
+    fn from(response: ProbeResponse) -> Reply {
+        Reply {
+            status: response.status,
+            body: response.text(),
+        }
+    }
+}
+
+fn get(addr: SocketAddr, target: &str) -> Option<Reply> {
+    one_shot(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+    .ok()
+    .map(Reply::from)
+}
+
+fn post_update(addr: SocketAddr, update: &str) -> Option<Reply> {
+    one_shot(
+        addr,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-update\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{update}",
+            update.len()
+        ),
+    )
+    .ok()
+    .map(Reply::from)
+}
+
+// ----------------------------------------------------------------------
+// The mixed workload
+// ----------------------------------------------------------------------
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const ROUNDS: usize = 12;
+// Each atomic op inserts this many marker teams; any snapshot must see
+// a multiple of it.
+const PAIR: usize = 2;
+
+// All marker-team codes in one query snapshot.
+const MARKER_QUERY: &str = "PREFIX ont: <http://example.org/ontology#>\n\
+                            SELECT ?t ?c WHERE { ?t ont:teamCode ?c . }";
+
+fn marker_count(body: &str) -> usize {
+    body.matches("\"MARK").count()
+}
+
+fn pair_insert(team_a: i64, team_b: i64, tag: &str) -> String {
+    format!(
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+         PREFIX ont: <http://example.org/ontology#>\n\
+         PREFIX ex: <http://example.org/db/>\n\
+         INSERT DATA {{\n\
+           ex:team{team_a} foaf:name \"Pair {tag} a\" ; ont:teamCode \"MARK{tag}a\" .\n\
+           ex:team{team_b} foaf:name \"Pair {tag} b\" ; ont:teamCode \"MARK{tag}b\" .\n\
+         }}"
+    )
+}
+
+#[test]
+fn mixed_queries_and_updates_have_no_torn_reads_and_correct_statuses() {
+    let mediator = fixtures::mediator_with_sample_data();
+    let server = serve(
+        mediator.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 256,
+            keep_alive_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let writers_done = Arc::new(AtomicBool::new(false));
+    let snapshots_checked = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            scope.spawn(move || {
+                for k in 0..ROUNDS {
+                    let base = 1_000_000 + (t * ROUNDS + k) as i64 * PAIR as i64;
+                    let tag = format!("t{t}k{k}");
+                    // Well-formed atomic pair insert → 200 Confirmation.
+                    let reply = post_update(addr, &pair_insert(base, base + 1, &tag))
+                        .expect("update reply while server is up");
+                    assert_eq!(reply.status, 200, "update {tag}: {}", reply.body);
+                    assert!(reply.body.contains("fb:Confirmation"));
+                    // Interleave deliberate failures; statuses must hold
+                    // under concurrency.
+                    if k % 3 == 0 {
+                        let dangling = "PREFIX ont: <http://example.org/ontology#>\n\
+                                        PREFIX ex: <http://example.org/db/>\n\
+                                        INSERT DATA { ex:author6 ont:team ex:team77777777 . }";
+                        let reply = post_update(addr, dangling).expect("dangling reply");
+                        assert_eq!(reply.status, 409, "{}", reply.body);
+                        assert!(reply.body.contains("fb:Rejection"));
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let writers_done = Arc::clone(&writers_done);
+            let snapshots_checked = Arc::clone(&snapshots_checked);
+            scope.spawn(move || {
+                let target = format!("/sparql?query={}", urlencode(MARKER_QUERY));
+                let mut i = 0usize;
+                while !writers_done.load(Ordering::SeqCst) {
+                    if i % 5 == 4 {
+                        // Garbage query → 400, even under write load.
+                        let reply =
+                            get(addr, &format!("/sparql?query={}", urlencode("NOT SPARQL")))
+                                .expect("error reply");
+                        assert_eq!(reply.status, 400);
+                    } else {
+                        let reply = get(addr, &target).expect("query reply");
+                        assert_eq!(reply.status, 200);
+                        let markers = marker_count(&reply.body);
+                        // The torn-read check: ops insert PAIR markers
+                        // atomically, so every snapshot sees a multiple.
+                        assert_eq!(
+                            markers % PAIR,
+                            0,
+                            "reader {r} saw a torn write: {markers} markers"
+                        );
+                        snapshots_checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Stop the readers once every writer's effect is visible (the
+        // deadline only bounds the wait if a writer panicked — the
+        // scope join below then propagates that panic).
+        let expected = WRITERS * ROUNDS * PAIR;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let reply = get(addr, &format!("/sparql?query={}", urlencode(MARKER_QUERY)))
+                .expect("progress poll");
+            if marker_count(&reply.body) >= expected || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        writers_done.store(true, Ordering::SeqCst);
+    });
+
+    assert!(
+        snapshots_checked.load(Ordering::Relaxed) > 0,
+        "readers must have observed at least one snapshot"
+    );
+    // Final state: exactly every pair, visible over HTTP and in the
+    // shared mediator.
+    let reply = get(addr, &format!("/sparql?query={}", urlencode(MARKER_QUERY))).unwrap();
+    assert_eq!(marker_count(&reply.body), WRITERS * ROUNDS * PAIR);
+    server.shutdown();
+    let solutions = mediator.select(MARKER_QUERY).unwrap();
+    let markers = solutions
+        .bindings
+        .iter()
+        .filter(|b| {
+            b.get("c")
+                .and_then(|t| t.as_literal())
+                .is_some_and(|l| l.lexical().starts_with("MARK"))
+        })
+        .count();
+    assert_eq!(markers, WRITERS * ROUNDS * PAIR);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let mediator = fixtures::mediator_with_sample_data();
+    let server = serve(
+        mediator.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            keep_alive_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let mut ok_after_none = false;
+                while !stop.load(Ordering::SeqCst) {
+                    let reply = if c % 2 == 0 {
+                        get(addr, "/status")
+                    } else {
+                        let update = format!(
+                            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                             PREFIX ex: <http://example.org/db/>\n\
+                             INSERT DATA {{ ex:author{} foaf:family_name \"L{}\" . }}",
+                            5_000_000 + c,
+                            c
+                        );
+                        post_update(addr, &update)
+                    };
+                    match reply {
+                        Some(reply) => {
+                            // Every response that arrives must be complete
+                            // and well-formed — even mid-shutdown. (The
+                            // first insert per client succeeds, repeats
+                            // conflict; both are expected statuses.)
+                            assert!(
+                                matches!(reply.status, 200 | 409 | 503),
+                                "unexpected status {} during shutdown",
+                                reply.status
+                            );
+                            assert!(!reply.body.is_empty());
+                            assert!(!ok_after_none, "request succeeded after the listener died");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Connection refused / cut: the server is gone —
+                        // it must not come back.
+                        None => ok_after_none = true,
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the clients build up traffic, then shut down underneath them.
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown(); // must return: drained, joined, listener closed
+    assert!(
+        completed.load(Ordering::Relaxed) > 0,
+        "clients must have completed requests before shutdown"
+    );
+    // After shutdown nothing accepts.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+            || get(addr, "/status").is_none(),
+        "server still answering after shutdown"
+    );
+    stop.store(true, Ordering::SeqCst);
+    for client in clients {
+        client.join().unwrap();
+    }
+    // Committed writes survived the drain into the shared mediator.
+    let survivors = mediator
+        .select(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?x WHERE { ?x a foaf:Person . }",
+        )
+        .unwrap();
+    assert!(survivors.len() >= 2, "sample authors remain");
+}

@@ -1,0 +1,170 @@
+//! Golden-file tests for the wire serializers: the SPARQL JSON/XML
+//! results documents are compared byte-for-byte against checked-in
+//! expectations (escaping, typed and language-tagged literals, blank
+//! nodes, unbound variables), and graph serialization is verified by
+//! round-tripping through the workspace's own Turtle and N-Triples
+//! parsers.
+//!
+//! Regenerate the golden files after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test -p ontoaccess-server --test wire_golden`.
+
+use ontoaccess_server::wire;
+use rdf::namespace::PrefixMap;
+use rdf::{Graph, Iri, Literal, Term, Triple};
+use sparql::{Binding, Solutions};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+// Compare against the checked-in file, or rewrite it when
+// UPDATE_GOLDEN is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from its golden file (run with UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+// A solution sequence exercising every term shape and the characters
+// both formats must escape.
+fn tricky_solutions() -> Solutions {
+    let xsd_integer = Iri::parse("http://www.w3.org/2001/XMLSchema#integer").unwrap();
+    let mut first = Binding::new();
+    first.insert("s".into(), Term::iri("http://example.org/db/a?x=1&y='2'"));
+    first.insert("label".into(), Term::Literal(Literal::lang("café", "FR")));
+    first.insert(
+        "count".into(),
+        Term::Literal(Literal::typed("42", xsd_integer)),
+    );
+    first.insert(
+        "note".into(),
+        Term::Literal(Literal::plain("say \"hi\" \\ tab\there\nnew & <line>\u{1}")),
+    );
+    // `missing` stays unbound in the first solution.
+    let mut second = Binding::new();
+    second.insert("s".into(), Term::blank("b0"));
+    second.insert(
+        "label".into(),
+        Term::Literal(Literal::plain("<&>'\" plain")),
+    );
+    second.insert("missing".into(), Term::plain("bound here"));
+    Solutions {
+        variables: vec![
+            "s".into(),
+            "label".into(),
+            "count".into(),
+            "note".into(),
+            "missing".into(),
+        ],
+        bindings: vec![first, second],
+    }
+}
+
+#[test]
+fn sparql_json_results_match_golden() {
+    assert_golden("select.json", &wire::solutions_to_json(&tricky_solutions()));
+}
+
+#[test]
+fn sparql_xml_results_match_golden() {
+    assert_golden("select.xml", &wire::solutions_to_xml(&tricky_solutions()));
+}
+
+#[test]
+fn boolean_results_match_golden() {
+    assert_golden("ask_true.json", &wire::boolean_to_json(true));
+    assert_golden("ask_false.xml", &wire::boolean_to_xml(false));
+}
+
+#[test]
+fn empty_solutions_serialize_to_empty_sequences() {
+    let empty = Solutions {
+        variables: vec!["x".into()],
+        bindings: vec![],
+    };
+    assert_eq!(
+        wire::solutions_to_json(&empty),
+        "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+    );
+    assert!(wire::solutions_to_xml(&empty).contains("<results>\n  </results>"));
+}
+
+// A graph exercising term shapes the serializers must not mangle.
+fn tricky_graph() -> Graph {
+    let mut g = Graph::new();
+    let s = Term::iri("http://example.org/db/entity1");
+    let p = |local: &str| Iri::parse(format!("http://example.org/ontology#{local}")).unwrap();
+    g.insert(Triple::new(
+        s.clone(),
+        p("quote"),
+        Term::Literal(Literal::plain("a \"quoted\" value with \\ and \nnewline")),
+    ));
+    g.insert(Triple::new(
+        s.clone(),
+        p("lang"),
+        Term::Literal(Literal::lang("grüße", "de")),
+    ));
+    g.insert(Triple::new(
+        s.clone(),
+        p("typed"),
+        Term::Literal(Literal::typed(
+            "3.14",
+            Iri::parse("http://www.w3.org/2001/XMLSchema#double").unwrap(),
+        )),
+    ));
+    g.insert(Triple::new(s, p("linked"), Term::blank("anon1")));
+    g.insert(Triple::new(
+        Term::blank("anon1"),
+        p("backref"),
+        Term::iri("http://example.org/db/entity2"),
+    ));
+    g
+}
+
+#[test]
+fn graph_turtle_round_trips_through_the_parser() {
+    let graph = tricky_graph();
+    let turtle = wire::graph_to_turtle(&graph, &PrefixMap::common());
+    let parsed = rdf::turtle::parse(&turtle).expect("server-produced Turtle parses");
+    assert_eq!(parsed, graph, "Turtle round-trip must preserve the graph");
+}
+
+#[test]
+fn graph_ntriples_round_trips_through_the_parser() {
+    let graph = tricky_graph();
+    let nt = wire::graph_to_ntriples(&graph);
+    let parsed = rdf::ntriples::parse(&nt).expect("server-produced N-Triples parses");
+    assert_eq!(
+        parsed, graph,
+        "N-Triples round-trip must preserve the graph"
+    );
+}
+
+#[test]
+fn mediator_query_results_round_trip_sanely() {
+    // End to end through the real engine: the JSON document for a
+    // fixture query carries the expected URIs, correctly typed.
+    let mediator = fixtures::mediator_with_sample_data();
+    let solutions = mediator
+        .select(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?x WHERE { ?x a foaf:Person . }",
+        )
+        .unwrap();
+    let json = wire::solutions_to_json(&solutions);
+    assert!(json.contains("{\"type\":\"uri\",\"value\":\"http://example.org/db/author6\"}"));
+    let xml = wire::solutions_to_xml(&solutions);
+    assert!(xml.contains("<uri>http://example.org/db/author7</uri>"));
+}

@@ -1,15 +1,26 @@
-//! `ontoaccess` — interactive mediator console.
+//! `ontoaccess` — the mediator as a console *or* an HTTP server.
 //!
-//! The paper's prototype exposes the translator behind an HTTP endpoint;
-//! this binary exposes the same engine behind a terminal. Type a
-//! SPARQL/Update operation or a SPARQL query (end it with an empty
-//! line); the console prints the generated SQL and the RDF feedback
-//! document, or the solution table for queries.
+//! Like the paper's prototype, the engine is reachable over HTTP:
+//! `--serve <addr>` boots the SPARQL 1.1 Protocol server of
+//! `crates/server` over the same mediator. Without `--serve`, the
+//! binary is an interactive console: type a SPARQL/Update operation or
+//! a SPARQL query (end it with an empty line); the console prints the
+//! generated SQL and the RDF feedback document, or the solution table
+//! for queries.
 //!
 //! ```text
-//! cargo run --bin ontoaccess-cli            # paper's sample data
+//! cargo run --bin ontoaccess-cli            # console, paper's sample data
 //! cargo run --bin ontoaccess-cli -- --empty # empty Figure 1 database
 //! cargo run --bin ontoaccess-cli -- --populate 200 --seed 7
+//! cargo run --bin ontoaccess-cli -- --serve 127.0.0.1:7878 --workers 8
+//! ```
+//!
+//! In server mode, query with any HTTP client:
+//!
+//! ```text
+//! curl 'http://127.0.0.1:7878/sparql?query=SELECT%20%3Fx%20WHERE%20%7B%20%3Fx%20a%20%3Chttp://xmlns.com/foaf/0.1/Person%3E%20%7D'
+//! curl -X POST http://127.0.0.1:7878/update \
+//!      -H 'Content-Type: application/sparql-update' --data-binary @update.ru
 //! ```
 //!
 //! Console commands: `.help`, `.dump` (RDF view as Turtle), `.tables`
@@ -19,11 +30,18 @@ use std::io::{BufRead, Write};
 
 use sparql_update_rdb::fixtures;
 use sparql_update_rdb::ontoaccess::Endpoint;
+use sparql_update_rdb::ontoaccess_server::{serve, ServerConfig};
 use sparql_update_rdb::rdf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut endpoint = build_endpoint(&args);
+    let options = Options::parse(&args);
+    let endpoint = build_endpoint(&options);
+    if let Some(addr) = &options.serve {
+        run_server(endpoint, addr, options.workers);
+        return;
+    }
+    let mut endpoint = endpoint;
     println!("OntoAccess console — publication database ready.");
     println!("Enter SPARQL/Update or SPARQL queries (finish with an empty line).");
     println!("Commands: .help .dump .tables .sql <stmt> .quit");
@@ -50,38 +68,91 @@ fn main() {
     }
 }
 
-fn build_endpoint(args: &[String]) -> Endpoint {
-    let mut iter = args.iter();
-    let mut empty = false;
-    let mut populate: Option<usize> = None;
-    let mut seed = 42u64;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--empty" => empty = true,
-            "--populate" => {
-                populate = iter.next().and_then(|v| v.parse().ok()).or(Some(100));
-            }
-            "--seed" => {
-                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
-                    seed = v;
+// Parsed command line.
+struct Options {
+    empty: bool,
+    populate: Option<usize>,
+    seed: u64,
+    serve: Option<String>,
+    workers: usize,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut options = Options {
+            empty: false,
+            populate: None,
+            seed: 42,
+            serve: None,
+            workers: 4,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--empty" => options.empty = true,
+                "--populate" => {
+                    options.populate = iter.next().and_then(|v| v.parse().ok()).or(Some(100));
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        options.seed = v;
+                    }
+                }
+                "--serve" => match iter.next() {
+                    Some(addr) => options.serve = Some(addr.clone()),
+                    None => {
+                        eprintln!("--serve needs an address, e.g. --serve 127.0.0.1:7878");
+                        std::process::exit(2);
+                    }
+                },
+                "--workers" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        options.workers = v;
+                    }
+                }
+                other => {
+                    eprintln!(
+                        "unknown argument {other:?} (supported: --empty, --populate N, \
+                         --seed S, --serve ADDR, --workers N)"
+                    );
+                    std::process::exit(2);
                 }
             }
-            other => {
-                eprintln!(
-                    "unknown argument {other:?} (supported: --empty, --populate N, --seed S)"
-                );
-                std::process::exit(2);
-            }
         }
+        options
     }
-    if let Some(n) = populate {
-        let db = fixtures::data::populated_database(n, seed);
+}
+
+fn build_endpoint(options: &Options) -> Endpoint {
+    if let Some(n) = options.populate {
+        let db = fixtures::data::populated_database(n, options.seed);
         Endpoint::new(db, fixtures::mapping()).expect("use case mapping is valid")
-    } else if empty {
+    } else if options.empty {
         fixtures::endpoint()
     } else {
         fixtures::endpoint_with_sample_data()
     }
+}
+
+// `--serve`: boot the SPARQL 1.1 Protocol server and run foreground.
+fn run_server(endpoint: Endpoint, addr: &str, workers: usize) {
+    let config = ServerConfig {
+        workers: workers.max(1),
+        ..ServerConfig::default()
+    };
+    let handle = match serve(endpoint.into_mediator(), addr, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The bound address line is machine-readable on purpose: scripts
+    // (and the CI smoke step) bind port 0 and scrape the real port.
+    println!("listening on http://{}/", handle.addr());
+    println!("endpoints: /sparql /update /describe /dump /status — Ctrl-C stops");
+    std::io::stdout().flush().ok();
+    handle.join();
 }
 
 // Read lines until an empty line; single-line `.command`s return

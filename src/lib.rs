@@ -9,6 +9,7 @@
 //! * [`rel`] — in-memory relational engine with SQL DML
 //! * [`r3m`] — the update-aware RDB→RDF mapping language
 //! * [`ontoaccess`] — the mediator: SPARQL/Update → SQL translation
+//! * [`ontoaccess_server`] — the SPARQL 1.1 Protocol HTTP server over the mediator
 //! * [`fixtures`] — the paper's publication use case and workload generators
 //!
 //! # Quickstart
@@ -44,9 +45,45 @@
 //!     1
 //! );
 //! ```
+//!
+//! # Serving HTTP
+//!
+//! The same mediator speaks the SPARQL 1.1 Protocol over HTTP
+//! (`ontoaccess-cli --serve <addr>`, or [`ontoaccess_server::serve`]
+//! in-process):
+//!
+//! ```no_run
+//! use sparql_update_rdb::{fixtures, ontoaccess_server};
+//!
+//! let handle = ontoaccess_server::serve(
+//!     fixtures::mediator_with_sample_data(),
+//!     "127.0.0.1:7878",
+//!     ontoaccess_server::ServerConfig::default(),
+//! )
+//! .unwrap();
+//! println!("listening on http://{}/", handle.addr());
+//! handle.join();
+//! ```
+//!
+//! and a client session looks like:
+//!
+//! ```text
+//! $ curl 'http://127.0.0.1:7878/sparql?query=PREFIX%20foaf%3A%20%3Chttp%3A%2F%2Fxmlns.com%2Ffoaf%2F0.1%2F%3E%20SELECT%20%3Fx%20WHERE%20%7B%20%3Fx%20a%20foaf%3APerson%20.%20%7D'
+//! {"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"uri","value":"http://example.org/db/author6"}}, …]}}
+//!
+//! $ curl -X POST http://127.0.0.1:7878/update \
+//!        -H 'Content-Type: application/sparql-update' \
+//!        --data-binary 'PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//!   PREFIX ex: <http://example.org/db/>
+//!   INSERT DATA { ex:author8 foaf:family_name "Gall" . }'
+//! _:report a fb:Confirmation ;
+//!          fb:operation "INSERT DATA" ;
+//!          fb:rowsAffected "1"^^xsd:integer .
+//! ```
 
 pub use fixtures;
 pub use ontoaccess;
+pub use ontoaccess_server;
 pub use r3m;
 pub use rdf;
 pub use rel;
