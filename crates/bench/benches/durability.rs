@@ -1,0 +1,158 @@
+//! Durability acceptance bench (ISSUE 5).
+//!
+//! Two claims to prove with numbers:
+//!
+//! * **Group commit amortizes the fsync** — durable commit latency is
+//!   dominated by `fsync`, but concurrent committers share one: the
+//!   per-commit cost of a fixed batch of single-row updates should
+//!   *fall* (or at worst hold) as the batch is spread over 1 → 4 → 8
+//!   writer threads, instead of paying writers × fsyncs. The in-memory
+//!   series is the baseline showing what the log costs at all.
+//! * **Recovery replays fast** — booting a data directory replays the
+//!   committed WAL suffix through the unchecked logical-replay path;
+//!   the `recovery_replay` series measures a full open (snapshot load
+//!   plus replay of 2 000 logged rows), from which rows/sec follows
+//!   directly (printed to stderr at the end of the run).
+//!
+//! Emits `CRITERION_JSON` lines like the other benches; the checked-in
+//! snapshot is `BENCH_durability.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ontoaccess::Mediator;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+// Fresh author ids across every iteration of every series.
+static NEXT_ID: AtomicI64 = AtomicI64::new(2_000_000);
+
+fn insert_one(id: i64) -> String {
+    fixtures::workload::with_prefixes(&format!(
+        "INSERT DATA {{ ex:author{id} foaf:family_name \"L{id}\" . }}"
+    ))
+}
+
+fn durable_mediator(label: &str) -> (Mediator, std::path::PathBuf) {
+    let dir = fixtures::scratch_dir(label);
+    let (mediator, _) = fixtures::durable_mediator_with_sample_data(&dir);
+    (mediator, dir)
+}
+
+// One fixed batch of single-row commits, split across `threads`
+// writers. Every commit is its own transaction: on the durable
+// mediator each must be fsynced before it returns — the group-commit
+// claim is that the *batch* needs far fewer fsyncs than commits.
+fn run_commit_batch(mediator: &Mediator, threads: usize, batch: usize) {
+    std::thread::scope(|scope| {
+        let per_thread = batch / threads;
+        for _ in 0..threads {
+            let mediator = mediator.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+                    mediator.execute_update(&insert_one(id)).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_commit_latency(c: &mut Criterion) {
+    const BATCH: usize = 24;
+    let mut group = c.benchmark_group("durability/commit_24_inserts");
+    group.sample_size(12);
+    for threads in [1usize, 4, 8] {
+        // In-memory baseline: what the same batch costs without a log.
+        let memory = fixtures::mediator_with_sample_data();
+        group.bench_with_input(
+            BenchmarkId::new("memory", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_commit_batch(&memory, threads, BATCH)),
+        );
+        // Durable: append + group fsync per commit.
+        let (durable, dir) = durable_mediator("bench-commit");
+        group.bench_with_input(
+            BenchmarkId::new("durable", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_commit_batch(&durable, threads, BATCH)),
+        );
+        let stats = durable.durability_stats().unwrap();
+        eprintln!(
+            "durability/commit [{} writer(s)]: {} commit(s), {} fsync(s) — {:.2} commits/fsync",
+            threads,
+            stats.commits_appended,
+            stats.wal_syncs,
+            stats.commits_appended as f64 / stats.wal_syncs.max(1) as f64,
+        );
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_recovery_throughput(c: &mut Criterion) {
+    // Prepare a directory whose WAL holds 2 000 logged row inserts
+    // (20 commits × 100-subject INSERT DATA), then measure a full
+    // open: snapshot load + WAL replay.
+    const COMMITS: usize = 20;
+    const ROWS_PER_COMMIT: usize = 100;
+    let (mediator, dir) = durable_mediator("bench-recovery");
+    for _ in 0..COMMITS {
+        let mut body = String::new();
+        for _ in 0..ROWS_PER_COMMIT {
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            body.push_str(&format!("ex:author{id} foaf:family_name \"L{id}\" .\n"));
+        }
+        mediator
+            .execute_update(&fixtures::workload::with_prefixes(&format!(
+                "INSERT DATA {{\n{body}}}"
+            )))
+            .unwrap();
+    }
+    drop(mediator);
+
+    let rows = (COMMITS * ROWS_PER_COMMIT) as u64;
+    let mut group = c.benchmark_group("durability/recovery_replay");
+    group.sample_size(15);
+    group.bench_function(BenchmarkId::from_parameter(format!("rows_{rows}")), |b| {
+        b.iter(|| {
+            let opened = dur::Durability::open(&dir, {
+                let mut db = fixtures::database();
+                fixtures::seed_paper_rows(&mut db);
+                db
+            })
+            .unwrap();
+            assert_eq!(opened.report.rows_replayed, rows);
+            opened
+        })
+    });
+    group.finish();
+
+    // Report replay throughput in rows/sec for the checked-in numbers.
+    let started = Instant::now();
+    let opened = dur::Durability::open(&dir, {
+        let mut db = fixtures::database();
+        fixtures::seed_paper_rows(&mut db);
+        db
+    })
+    .unwrap();
+    let elapsed = started.elapsed();
+    eprintln!(
+        "durability/recovery: {} rows in {:.2?} — {:.0} rows/sec",
+        opened.report.rows_replayed,
+        elapsed,
+        opened.report.rows_replayed as f64 / elapsed.as_secs_f64(),
+    );
+    drop(opened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_commit_latency, bench_recovery_throughput
+}
+criterion_main!(benches);

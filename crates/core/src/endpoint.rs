@@ -36,6 +36,19 @@ impl Endpoint {
         })
     }
 
+    /// Create an endpoint over a durable data directory (see
+    /// [`Mediator::open_durable`]): recover the committed state, then
+    /// persist every later update through the directory's write-ahead
+    /// log. Returns the endpoint and what recovery found.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        initial: Database,
+        mapping: Mapping,
+    ) -> OntoResult<(Self, dur::RecoveryReport)> {
+        let (mediator, report) = Mediator::open_durable(dir, initial, mapping)?;
+        Ok((Endpoint { mediator }, report))
+    }
+
     /// The shared mediator behind this endpoint. Clones of the returned
     /// handle (and its read sessions / write transactions) observe the
     /// same database and query cache as this endpoint.

@@ -141,6 +141,15 @@ pub enum OntoError {
     /// The database engine rejected a translated statement (constraint
     /// violation the early check could not see, e.g. concurrent state).
     Database(rel::RelError),
+    /// The durability layer failed to persist a commit (WAL append or
+    /// fsync error, poisoned log). The transaction was rolled back (or,
+    /// for a post-commit fsync failure, its durability cannot be
+    /// acknowledged); the request itself is fine and may be retried
+    /// once the storage fault is resolved.
+    Storage {
+        /// What the durability layer reported.
+        message: String,
+    },
 }
 
 impl fmt::Display for OntoError {
@@ -237,6 +246,7 @@ impl fmt::Display for OntoError {
                 }
             }
             OntoError::Database(e) => write!(f, "database error: {e}"),
+            OntoError::Storage { message } => write!(f, "durable storage error: {message}"),
         }
     }
 }
@@ -252,6 +262,14 @@ impl From<rel::RelError> for OntoError {
 impl From<sparql::ParseError> for OntoError {
     fn from(e: sparql::ParseError) -> Self {
         OntoError::Parse {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<dur::DurError> for OntoError {
+    fn from(e: dur::DurError) -> Self {
+        OntoError::Storage {
             message: e.to_string(),
         }
     }
@@ -276,6 +294,7 @@ impl OntoError {
             OntoError::Unsupported { .. } => "Unsupported",
             OntoError::AmbiguousPattern { .. } => "AmbiguousPattern",
             OntoError::Database(_) => "DatabaseError",
+            OntoError::Storage { .. } => "StorageError",
         }
     }
 

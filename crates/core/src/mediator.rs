@@ -234,6 +234,10 @@ struct MediatorCore {
     mapping: Mapping,
     prefixes: PrefixMap,
     cache: Mutex<QueryCache>,
+    // When present, every committed WriteTxn is appended to the
+    // write-ahead log and fsynced (group commit) before the commit
+    // call returns; `None` keeps the mediator purely in-memory.
+    durability: Option<dur::Durability>,
 }
 
 // Read access to the mediator's database, released on drop.
@@ -374,8 +378,50 @@ pub struct Mediator {
 }
 
 impl Mediator {
-    /// Create a mediator, validating the mapping against the schema.
+    /// Create an in-memory mediator, validating the mapping against the
+    /// schema. Committed state lives only in RAM; see
+    /// [`Mediator::with_durability`] / [`Mediator::open_durable`] for
+    /// the persistent variants.
     pub fn new(db: Database, mapping: Mapping) -> OntoResult<Self> {
+        Self::build(db, mapping, None)
+    }
+
+    /// Create a mediator whose commits are persisted through an open
+    /// [`dur::Durability`] handle: every [`WriteTxn::commit`] appends
+    /// the transaction's logical operations to the write-ahead log and
+    /// fsyncs (group commit) before returning. The database should be
+    /// the one the handle's recovery produced
+    /// ([`dur::Durability::open`]) — [`Mediator::open_durable`] wires
+    /// the two steps together.
+    pub fn with_durability(
+        db: Database,
+        mapping: Mapping,
+        durability: dur::Durability,
+    ) -> OntoResult<Self> {
+        Self::build(db, mapping, Some(durability))
+    }
+
+    /// Open (or create) a durable data directory and serve the
+    /// recovered state: load the newest valid snapshot, replay the
+    /// committed WAL suffix, truncate any torn tail, and return a
+    /// mediator whose commits append to that WAL. `initial` provides
+    /// the schema and, for a fresh directory, the base data (which is
+    /// immediately checkpointed as snapshot 0).
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        initial: Database,
+        mapping: Mapping,
+    ) -> OntoResult<(Self, dur::RecoveryReport)> {
+        let opened = dur::Durability::open(dir, initial)?;
+        let mediator = Self::with_durability(opened.db, mapping, opened.durability)?;
+        Ok((mediator, opened.report))
+    }
+
+    fn build(
+        db: Database,
+        mapping: Mapping,
+        durability: Option<dur::Durability>,
+    ) -> OntoResult<Self> {
         r3m::validate_strict(&mapping, db.schema()).map_err(|issue| OntoError::Unsupported {
             message: format!("mapping rejected: {issue}"),
         })?;
@@ -389,8 +435,35 @@ impl Mediator {
                 mapping,
                 prefixes,
                 cache: Mutex::new(QueryCache::new()),
+                durability,
             }),
         })
+    }
+
+    /// Whether commits are persisted to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.core.durability.is_some()
+    }
+
+    /// Durability counters (`None` for an in-memory mediator).
+    pub fn durability_stats(&self) -> Option<dur::DurabilityStats> {
+        self.core.durability.as_ref().map(dur::Durability::stats)
+    }
+
+    /// Checkpoint: durably snapshot the current committed state and
+    /// truncate the write-ahead log, so recovery starts from this point
+    /// (the server's `POST /snapshot` admin operation). Returns the
+    /// snapshot's commit sequence. Blocks writers for the duration
+    /// (holds the database read lock); fails with
+    /// [`OntoError::Unsupported`] on an in-memory mediator.
+    pub fn checkpoint(&self) -> OntoResult<u64> {
+        let Some(durability) = &self.core.durability else {
+            return Err(OntoError::Unsupported {
+                message: "mediator has no durability configured (no data directory)".into(),
+            });
+        };
+        let db = self.core.read_db();
+        Ok(durability.checkpoint(&db)?)
     }
 
     /// A read session: cheap, `Send + Sync`, queries through `&self`.
@@ -716,9 +789,45 @@ impl WriteTxn<'_> {
     }
 
     /// Commit: keep every operation's changes and release the lock.
+    ///
+    /// On a durable mediator the commit is write-ahead logged first —
+    /// the transaction's logical operations are appended to the WAL
+    /// *before* the in-memory commit (a failed append rolls the whole
+    /// transaction back, so memory never diverges from what the log can
+    /// reproduce), the database lock is released, and only then does
+    /// the call block on the group fsync. Concurrent committers share
+    /// one fsync: the next writer can append while this one waits.
     pub fn commit(mut self) -> OntoResult<()> {
         self.open = false;
+        let Some(durability) = &self.core.durability else {
+            self.db.commit()?;
+            return Ok(());
+        };
+        let ops = self.db.txn_ops()?;
+        if ops.is_empty() {
+            // Read-only or fully rolled-back transaction: nothing to
+            // make durable.
+            self.db.commit()?;
+            return Ok(());
+        }
+        let seq = match durability.append_commit(&ops) {
+            Ok(seq) => seq,
+            Err(e) => {
+                // The log could not take the commit unit; undo the
+                // in-memory changes so the acknowledged state and the
+                // recoverable state stay identical.
+                self.db.rollback()?;
+                return Err(e.into());
+            }
+        };
         self.db.commit()?;
+        // Release the database (readers and the next writer proceed)
+        // before waiting on the fsync — this is what lets concurrent
+        // committers amortize one fsync. The reference outlives `self`
+        // (it borrows from the mediator core, not the guard).
+        let durability: &dur::Durability = durability;
+        drop(self);
+        durability.sync_to(seq)?;
         Ok(())
     }
 
@@ -1031,6 +1140,150 @@ mod tests {
         assert_eq!(err.operation_index, 1);
         assert_eq!(err.completed.len(), 1);
         assert_eq!(m.materialize().unwrap(), before);
+    }
+
+    fn scratch_dir() -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ontoaccess-mediator-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_mediator(dir: &std::path::Path) -> (Mediator, dur::RecoveryReport) {
+        let (db, mapping) = fixture_db_with_rows();
+        Mediator::open_durable(dir, db, mapping).unwrap()
+    }
+
+    #[test]
+    fn durable_commits_survive_reopen() {
+        let dir = scratch_dir();
+        {
+            let (m, report) = durable_mediator(&dir);
+            assert_eq!(report.commits_replayed, 0);
+            assert!(m.is_durable());
+            m.execute_update("INSERT DATA { ex:author8 foaf:family_name \"Gall\" . }")
+                .unwrap();
+            let mut txn = m.write();
+            txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+                .unwrap();
+            txn.update(
+                "INSERT DATA { ex:author9 foaf:family_name \"Glinz\" ; ont:team ex:team9 . }",
+            )
+            .unwrap();
+            txn.commit().unwrap();
+            let stats = m.durability_stats().unwrap();
+            assert_eq!(stats.commits_appended, 2, "one unit per transaction");
+        }
+        let (reopened, report) = durable_mediator(&dir);
+        assert_eq!(report.commits_replayed, 2);
+        assert_eq!(reopened.database().row_count("author").unwrap(), 4);
+        assert_eq!(reopened.database().row_count("team").unwrap(), 3);
+        assert_eq!(
+            reopened
+                .select("SELECT ?x WHERE { ?x foaf:family_name \"Gall\" . }")
+                .unwrap()
+                .len(),
+            1
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rolled_back_and_rejected_work_is_never_logged() {
+        let dir = scratch_dir();
+        {
+            let (m, _) = durable_mediator(&dir);
+            // Rejected operation inside a surviving transaction: the
+            // savepoint-rolled-back rows must not reach the log.
+            let mut txn = m.write();
+            txn.update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+                .unwrap();
+            let err = txn
+                .update("INSERT DATA { ex:author8 ont:team ex:team424242 . }")
+                .unwrap_err();
+            assert!(matches!(err, OntoError::DanglingObject { .. }));
+            txn.commit().unwrap();
+            // A fully rolled-back transaction logs nothing at all.
+            let mut txn = m.write();
+            txn.update("INSERT DATA { ex:team10 foaf:name \"T10\" . }")
+                .unwrap();
+            txn.rollback().unwrap();
+            assert_eq!(m.durability_stats().unwrap().commits_appended, 1);
+        }
+        let (reopened, _) = durable_mediator(&dir);
+        assert_eq!(reopened.database().row_count("team").unwrap(), 3);
+        assert_eq!(reopened.database().row_count("author").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovers_from_snapshot() {
+        let dir = scratch_dir();
+        {
+            let (m, _) = durable_mediator(&dir);
+            m.execute_update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+                .unwrap();
+            let wal_before = m.durability_stats().unwrap().wal_bytes;
+            let seq = m.checkpoint().unwrap();
+            let stats = m.durability_stats().unwrap();
+            assert!(stats.wal_bytes < wal_before, "checkpoint truncates the log");
+            assert_eq!(stats.last_snapshot_seq, Some(seq));
+            // Post-checkpoint commits land in the fresh log suffix.
+            m.execute_update("INSERT DATA { ex:team10 foaf:name \"T10\" . }")
+                .unwrap();
+        }
+        let (reopened, report) = durable_mediator(&dir);
+        assert_eq!(report.snapshot_seq, Some(1));
+        assert_eq!(report.commits_replayed, 1);
+        assert_eq!(reopened.database().row_count("team").unwrap(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_commits_and_checkpoints_make_progress() {
+        // Regression guard for the checkpoint/group-fsync lock
+        // ordering: checkpoints claim the sync token while holding the
+        // append lock, committers fsync without ever holding both — a
+        // deadlock here hangs this test (and CI kills it).
+        let dir = scratch_dir();
+        let (m, _) = durable_mediator(&dir);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for i in 0..20u64 {
+                        let id = 930_000 + t * 1_000 + i;
+                        m.execute_update(&format!(
+                            "INSERT DATA {{ ex:author{id} foaf:family_name \"C{id}\" . }}"
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+            for _ in 0..10 {
+                m.checkpoint().unwrap();
+            }
+        });
+        m.checkpoint().unwrap();
+        assert_eq!(m.database().row_count("author").unwrap(), 2 + 80);
+        // Everything was committed durably: a reopen sees all of it.
+        drop(m);
+        let (reopened, _) = durable_mediator(&dir);
+        assert_eq!(reopened.database().row_count("author").unwrap(), 2 + 80);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_durability_is_unsupported() {
+        let m = mediator();
+        assert!(!m.is_durable());
+        assert!(m.durability_stats().is_none());
+        assert!(matches!(m.checkpoint(), Err(OntoError::Unsupported { .. })));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Binary encoding primitives shared by the WAL and snapshot formats.
+//!
+//! Everything is little-endian and length-prefixed; there is no
+//! self-describing layer — both formats carry a magic + version tag and
+//! are decoded by position. [`crc32`] is the IEEE polynomial (the one
+//! zlib/PNG use), table-driven, computed at compile time.
+
+use crate::error::{DurError, DurResult};
+use rel::Value;
+
+// ----------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected)
+// ----------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ----------------------------------------------------------------------
+// Writers
+// ----------------------------------------------------------------------
+
+/// Append a `u32` (LE).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (LE).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// Value tags. Stable on disk — append-only, never renumber.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_TEXT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+
+/// Append one SQL value (tag + payload).
+pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            put_u64(buf, *i as u64);
+        }
+        Value::Text(s) => {
+            buf.push(TAG_TEXT);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Double(d) => {
+            buf.push(TAG_DOUBLE);
+            put_u64(buf, d.to_bits());
+        }
+    }
+}
+
+/// Append a full row (column count + values).
+pub fn put_row(buf: &mut Vec<u8>, row: &[Value]) {
+    put_u32(buf, row.len() as u32);
+    for value in row {
+        put_value(buf, value);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reader
+// ----------------------------------------------------------------------
+
+/// Positional reader over a decoded buffer. Every accessor fails with
+/// [`DurError::Corrupt`] instead of panicking — corrupt on-disk state
+/// must surface as a recoverable error, never take the process down.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Context string used in corruption messages ("wal record",
+    /// "snapshot", …).
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Read `data` from the start.
+    pub fn new(data: &'a [u8], what: &'static str) -> Self {
+        Cursor { data, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn corrupt(&self, need: &str) -> DurError {
+        DurError::Corrupt {
+            message: format!(
+                "truncated {} at offset {}: expected {need}",
+                self.what, self.pos
+            ),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> DurResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt("more bytes"));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn take_u8(&mut self) -> DurResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32` (LE).
+    pub fn take_u32(&mut self) -> DurResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn take_u64(&mut self) -> DurResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> DurResult<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DurError::Corrupt {
+            message: format!("{} holds non-UTF-8 string data", self.what),
+        })
+    }
+
+    /// Read one SQL value.
+    pub fn take_value(&mut self) -> DurResult<Value> {
+        Ok(match self.take_u8()? {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Int(self.take_u64()? as i64),
+            TAG_TEXT => Value::Text(self.take_str()?),
+            TAG_BOOL => Value::Bool(self.take_u8()? != 0),
+            TAG_DOUBLE => Value::Double(f64::from_bits(self.take_u64()?)),
+            tag => {
+                return Err(DurError::Corrupt {
+                    message: format!("{} holds unknown value tag {tag}", self.what),
+                })
+            }
+        })
+    }
+
+    /// Read a full row (column count + values).
+    pub fn take_row(&mut self) -> DurResult<Vec<rel::Value>> {
+        let n = self.take_u32()? as usize;
+        if n > self.remaining() {
+            // A row cannot have more columns than bytes left; reject
+            // early so a corrupt count cannot drive a huge allocation.
+            return Err(self.corrupt("plausible column count"));
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.take_value()?);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let values = [
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::text("héllo ' \" \0 world"),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Double(-0.0),
+            Value::Double(f64::INFINITY),
+            Value::Double(2.5),
+        ];
+        let mut buf = Vec::new();
+        put_row(&mut buf, &values);
+        let mut cursor = Cursor::new(&buf, "test");
+        let back = cursor.take_row().unwrap();
+        assert!(cursor.is_exhausted());
+        // NaN-free inputs: PartialEq comparison is sound. Double(-0.0)
+        // round-trips by bit pattern.
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            match (a, b) {
+                (Value::Double(x), Value::Double(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        for cut in 0..buf.len() {
+            let mut cursor = Cursor::new(&buf[..cut], "test");
+            assert!(matches!(cursor.take_str(), Err(DurError::Corrupt { .. })));
+        }
+    }
+
+    #[test]
+    fn absurd_row_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut cursor = Cursor::new(&buf, "test");
+        assert!(matches!(cursor.take_row(), Err(DurError::Corrupt { .. })));
+    }
+}

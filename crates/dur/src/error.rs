@@ -1,0 +1,92 @@
+//! Error type of the durability subsystem.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type DurResult<T> = Result<T, DurError>;
+
+/// Everything the durability layer can fail on.
+#[derive(Debug)]
+pub enum DurError {
+    /// An OS-level I/O operation failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// On-disk state failed validation (bad magic, checksum mismatch,
+    /// truncated structure). Recovery treats corruption *at the WAL
+    /// tail* as a torn write and truncates; anywhere else it is an
+    /// error.
+    Corrupt {
+        /// What was found.
+        message: String,
+    },
+    /// A snapshot was written for a different schema than the one the
+    /// database booted with. Deliberately a hard error: silently
+    /// reinitializing would discard committed data.
+    SchemaMismatch {
+        /// Fingerprint of the booting schema.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// Replaying a logged operation failed in the engine — the log and
+    /// the snapshot disagree about the database's history.
+    Engine(rel::RelError),
+    /// A previous WAL write or fsync failed; the log may be torn beyond
+    /// the last durable commit, so all further durable commits are
+    /// refused until the process restarts and recovers.
+    Poisoned,
+}
+
+impl fmt::Display for DurError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurError::Io { context, source } => write!(f, "{context}: {source}"),
+            DurError::Corrupt { message } => write!(f, "corrupt durable state: {message}"),
+            DurError::SchemaMismatch { expected, found } => write!(
+                f,
+                "snapshot schema fingerprint {found:#018x} does not match the \
+                 booting schema {expected:#018x}; refusing to recover across a \
+                 schema change"
+            ),
+            DurError::Engine(e) => write!(f, "replay rejected by the engine: {e}"),
+            DurError::Poisoned => write!(
+                f,
+                "durability poisoned by an earlier log-write failure; restart to recover"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurError::Io { source, .. } => Some(source),
+            DurError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rel::RelError> for DurError {
+    fn from(e: rel::RelError) -> Self {
+        DurError::Engine(e)
+    }
+}
+
+/// Attach `context` to an I/O result.
+pub(crate) trait IoContext<T> {
+    fn io_context(self, context: impl Into<String>) -> DurResult<T>;
+}
+
+impl<T> IoContext<T> for std::io::Result<T> {
+    fn io_context(self, context: impl Into<String>) -> DurResult<T> {
+        self.map_err(|source| DurError::Io {
+            context: context.into(),
+            source,
+        })
+    }
+}

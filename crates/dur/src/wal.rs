@@ -1,0 +1,351 @@
+//! The write-ahead log format: an append-only stream of checksummed,
+//! length-prefixed records over *logical* row operations.
+//!
+//! ```text
+//! file   := MAGIC record*
+//! record := len:u32  crc32(payload):u32  payload[len]
+//! payload:= BEGIN seq:u64
+//!         | OPS   seq:u64 group*        (insert/update/delete batches)
+//!         | COMMIT seq:u64
+//! group  := kind:u8 table:str rows…     (consecutive ops of one kind
+//!                                        and table, batched)
+//! ```
+//!
+//! One committed transaction is one *commit unit*: `BEGIN seq`, one
+//! `OPS seq` record carrying every logical operation the transaction
+//! applied (savepoint-rolled-back work already excluded by
+//! [`rel::Database::commit_logged`]), and `COMMIT seq` — written with a
+//! single `write(2)` so a torn tail is always a suffix of one unit.
+//! An atomic update script commits once, so it logs as one unit.
+//!
+//! Recovery applies only operations bracketed by a matching
+//! `BEGIN…COMMIT`; a unit whose `COMMIT` never made it to disk (torn
+//! write, crash between write and fsync) is dropped and the file is
+//! truncated back to the end of the last committed unit. Checksums make
+//! "dropped" safe: any partial or bit-flipped record fails its CRC and
+//! terminates the scan *before* the damage can be applied.
+
+use crate::codec::{crc32, put_row, put_str, put_u32, put_u64, Cursor};
+use crate::error::{DurError, DurResult};
+use rel::{LogicalOp, RowId};
+
+/// WAL file magic + format version.
+pub const WAL_MAGIC: &[u8; 8] = b"OAWAL001";
+
+const KIND_BEGIN: u8 = 1;
+const KIND_OPS: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+const GROUP_INSERT: u8 = 1;
+const GROUP_UPDATE: u8 = 2;
+const GROUP_DELETE: u8 = 3;
+
+// Sanity bound on one record: a single commit unit's OPS record holds
+// one transaction's operations, and transactions are bounded by memory
+// long before this.
+const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+fn push_record(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+fn marker(kind: u8, seq: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(kind);
+    put_u64(&mut payload, seq);
+    payload
+}
+
+// Batch tag of one logical op.
+fn group_kind(op: &LogicalOp) -> (u8, &str) {
+    match op {
+        LogicalOp::Insert { table, .. } => (GROUP_INSERT, table),
+        LogicalOp::Update { table, .. } => (GROUP_UPDATE, table),
+        LogicalOp::Delete { table, .. } => (GROUP_DELETE, table),
+    }
+}
+
+/// Encode one committed transaction as a complete commit unit
+/// (`BEGIN`, `OPS`, `COMMIT`), ready to append in a single write.
+/// Consecutive operations of one kind against one table are folded
+/// into a batch so the table name is stored once per run — the
+/// set-based write pipeline produces exactly such runs.
+pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp]) -> Vec<u8> {
+    // Count batch boundaries first so the OPS payload can lead with
+    // its group count.
+    let mut groups: Vec<(u8, &str, &[LogicalOp])> = Vec::new();
+    let mut start = 0;
+    for i in 1..=ops.len() {
+        let boundary = i == ops.len() || group_kind(&ops[i]) != group_kind(&ops[start]);
+        if boundary {
+            let (kind, table) = group_kind(&ops[start]);
+            groups.push((kind, table, &ops[start..i]));
+            start = i;
+        }
+    }
+
+    let mut payload = Vec::new();
+    payload.push(KIND_OPS);
+    put_u64(&mut payload, seq);
+    put_u32(&mut payload, groups.len() as u32);
+    for (kind, table, batch) in groups {
+        payload.push(kind);
+        put_str(&mut payload, table);
+        put_u32(&mut payload, batch.len() as u32);
+        for op in batch {
+            match op {
+                LogicalOp::Insert { row_id, row, .. } | LogicalOp::Update { row_id, row, .. } => {
+                    put_u64(&mut payload, *row_id);
+                    put_row(&mut payload, row);
+                }
+                LogicalOp::Delete { row_id, .. } => {
+                    put_u64(&mut payload, *row_id);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + 42);
+    push_record(&mut out, &marker(KIND_BEGIN, seq));
+    push_record(&mut out, &payload);
+    push_record(&mut out, &marker(KIND_COMMIT, seq));
+    out
+}
+
+// ----------------------------------------------------------------------
+// Decoding
+// ----------------------------------------------------------------------
+
+// One decoded record.
+enum Record {
+    Begin(u64),
+    Ops(u64, Vec<LogicalOp>),
+    Commit(u64),
+}
+
+fn decode_payload(payload: &[u8]) -> DurResult<Record> {
+    let mut cursor = Cursor::new(payload, "wal record");
+    let kind = cursor.take_u8()?;
+    let seq = cursor.take_u64()?;
+    let record = match kind {
+        KIND_BEGIN => Record::Begin(seq),
+        KIND_COMMIT => Record::Commit(seq),
+        KIND_OPS => {
+            let n_groups = cursor.take_u32()?;
+            let mut ops = Vec::new();
+            for _ in 0..n_groups {
+                let group = cursor.take_u8()?;
+                let table = cursor.take_str()?;
+                let n_rows = cursor.take_u32()?;
+                for _ in 0..n_rows {
+                    let row_id: RowId = cursor.take_u64()?;
+                    ops.push(match group {
+                        GROUP_INSERT => LogicalOp::Insert {
+                            table: table.clone(),
+                            row_id,
+                            row: cursor.take_row()?,
+                        },
+                        GROUP_UPDATE => LogicalOp::Update {
+                            table: table.clone(),
+                            row_id,
+                            row: cursor.take_row()?,
+                        },
+                        GROUP_DELETE => LogicalOp::Delete {
+                            table: table.clone(),
+                            row_id,
+                        },
+                        other => {
+                            return Err(DurError::Corrupt {
+                                message: format!("wal record holds unknown batch kind {other}"),
+                            })
+                        }
+                    });
+                }
+            }
+            Record::Ops(seq, ops)
+        }
+        other => {
+            return Err(DurError::Corrupt {
+                message: format!("wal record holds unknown record kind {other}"),
+            })
+        }
+    };
+    if !cursor.is_exhausted() {
+        return Err(DurError::Corrupt {
+            message: format!("wal record carries {} trailing byte(s)", cursor.remaining()),
+        });
+    }
+    Ok(record)
+}
+
+/// One fully committed transaction recovered from the log.
+pub struct CommitUnit {
+    /// The commit sequence number.
+    pub seq: u64,
+    /// The transaction's logical operations, in application order.
+    pub ops: Vec<LogicalOp>,
+}
+
+/// Result of scanning a WAL byte stream (everything after the magic).
+pub struct WalScan {
+    /// Fully committed units, in log order.
+    pub units: Vec<CommitUnit>,
+    /// Absolute file offset (magic included) one past the last
+    /// committed unit — everything beyond is a torn or uncommitted
+    /// tail the caller must truncate.
+    pub durable_end: u64,
+}
+
+/// Scan the record stream (the file content *after* [`WAL_MAGIC`]).
+///
+/// The scan is prefix-greedy and never fails: any malformed, torn, or
+/// checksum-failing record — or a complete record that breaks the
+/// `BEGIN → OPS → COMMIT` bracketing — ends the scan at the last fully
+/// committed unit. That torn-tail tolerance is the crash contract; a
+/// *clean* log simply scans to its end.
+pub fn scan_records(data: &[u8]) -> WalScan {
+    let mut units = Vec::new();
+    let mut durable_end = WAL_MAGIC.len() as u64;
+    let mut pos = 0usize;
+    // The unit being assembled: (seq, ops once the OPS record arrived).
+    let mut pending: Option<(u64, Option<Vec<LogicalOp>>)> = None;
+
+    while data.len() - pos >= 8 {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || data.len() - pos - 8 < len as usize {
+            break; // torn length prefix or torn payload
+        }
+        let payload = &data[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            break; // bit rot or torn write inside the payload
+        }
+        let Ok(record) = decode_payload(payload) else {
+            break; // structurally invalid payload
+        };
+        pos += 8 + len as usize;
+        match record {
+            Record::Begin(seq) => {
+                // A BEGIN while a unit is pending means the previous
+                // unit never committed; drop it and start over.
+                pending = Some((seq, None));
+            }
+            Record::Ops(seq, ops) => match &mut pending {
+                Some((begin_seq, slot)) if *begin_seq == seq && slot.is_none() => {
+                    *slot = Some(ops);
+                }
+                _ => break, // OPS without its BEGIN: bracketing broken
+            },
+            Record::Commit(seq) => match pending.take() {
+                Some((begin_seq, Some(ops))) if begin_seq == seq => {
+                    units.push(CommitUnit { seq, ops });
+                    durable_end = WAL_MAGIC.len() as u64 + pos as u64;
+                }
+                _ => break, // COMMIT without BEGIN+OPS: bracketing broken
+            },
+        }
+    }
+    WalScan { units, durable_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel::Value;
+
+    fn sample_ops() -> Vec<LogicalOp> {
+        vec![
+            LogicalOp::Insert {
+                table: "team".into(),
+                row_id: 0,
+                row: vec![Value::Int(1), Value::text("A"), Value::Null],
+            },
+            LogicalOp::Insert {
+                table: "team".into(),
+                row_id: 1,
+                row: vec![Value::Int(2), Value::Null, Value::Null],
+            },
+            LogicalOp::Update {
+                table: "team".into(),
+                row_id: 0,
+                row: vec![Value::Int(1), Value::text("B"), Value::Null],
+            },
+            LogicalOp::Delete {
+                table: "team".into(),
+                row_id: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn commit_units_round_trip() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_commit_unit(1, &sample_ops()));
+        stream.extend_from_slice(&encode_commit_unit(2, &sample_ops()[..1]));
+        let scan = scan_records(&stream);
+        assert_eq!(scan.units.len(), 2);
+        assert_eq!(scan.units[0].seq, 1);
+        assert_eq!(scan.units[0].ops, sample_ops());
+        assert_eq!(scan.units[1].ops, sample_ops()[..1]);
+        assert_eq!(
+            scan.durable_end,
+            WAL_MAGIC.len() as u64 + stream.len() as u64
+        );
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_keeps_complete_units() {
+        let first = encode_commit_unit(1, &sample_ops());
+        let second = encode_commit_unit(2, &sample_ops());
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        let intact_end = WAL_MAGIC.len() as u64 + first.len() as u64;
+        for cut in first.len()..stream.len() {
+            let scan = scan_records(&stream[..cut]);
+            assert_eq!(scan.units.len(), 1, "cut at {cut}");
+            assert_eq!(scan.durable_end, intact_end, "cut at {cut}");
+        }
+        // The uncut stream holds both.
+        assert_eq!(scan_records(&stream).units.len(), 2);
+    }
+
+    #[test]
+    fn flipped_byte_drops_the_damaged_suffix() {
+        let first = encode_commit_unit(1, &sample_ops());
+        let second = encode_commit_unit(2, &sample_ops());
+        let mut stream = first.clone();
+        stream.extend_from_slice(&second);
+        for flip_at in first.len()..stream.len() {
+            let mut corrupted = stream.clone();
+            corrupted[flip_at] ^= 0xFF;
+            let scan = scan_records(&corrupted);
+            assert_eq!(scan.units.len(), 1, "flip at {flip_at}");
+            assert_eq!(scan.units[0].seq, 1);
+        }
+    }
+
+    #[test]
+    fn unit_without_commit_is_not_applied() {
+        let full = encode_commit_unit(1, &sample_ops());
+        // Chop off the trailing COMMIT record (17 bytes: 8 header + 9
+        // payload) — a complete BEGIN+OPS prefix, yet uncommitted.
+        let chopped = &full[..full.len() - 17];
+        let scan = scan_records(chopped);
+        assert!(scan.units.is_empty());
+        assert_eq!(scan.durable_end, WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn empty_transaction_encodes_and_scans() {
+        let unit = encode_commit_unit(7, &[]);
+        let scan = scan_records(&unit);
+        assert_eq!(scan.units.len(), 1);
+        assert!(scan.units[0].ops.is_empty());
+    }
+}

@@ -47,6 +47,30 @@ pub fn mediator_with_sample_data() -> Mediator {
     Mediator::new(db, mapping()).expect("use case mapping is valid")
 }
 
+/// A durable mediator over `dir`: on a fresh directory the paper's
+/// sample rows are the base state; on reopen the recovered state wins.
+pub fn durable_mediator_with_sample_data(dir: &std::path::Path) -> (Mediator, dur::RecoveryReport) {
+    let mut db = database();
+    seed_paper_rows(&mut db);
+    Mediator::open_durable(dir, db, mapping()).expect("data dir opens")
+}
+
+/// A unique empty scratch directory under the system temp dir (label +
+/// pid + counter — no timestamps, so parallel test binaries and
+/// repeated runs cannot collide with themselves). The caller removes it
+/// when done.
+pub fn scratch_dir(label: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ontoaccess-{label}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 /// Insert the sample rows of the paper's running examples.
 pub fn seed_paper_rows(db: &mut Database) {
     let a = |name: &str, v: Value| (name.to_owned(), v);

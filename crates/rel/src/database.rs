@@ -67,22 +67,87 @@ pub enum ProbeIds<'a> {
     Many(&'a [RowId]),
 }
 
-/// Undo-log entry for transaction rollback.
+/// Transaction-log entry: enough to undo the operation (rollback) *and*
+/// to redo it (the commit-time [`LogicalOp`] stream durability appends
+/// to its write-ahead log).
 #[derive(Debug, Clone)]
 enum UndoOp {
     Insert {
         table: String,
         row_id: RowId,
+        row: Vec<Value>,
     },
     Update {
         table: String,
         row_id: RowId,
         old: Vec<Value>,
+        new: Vec<Value>,
     },
     Delete {
         table: String,
         row_id: RowId,
         old: Vec<Value>,
+    },
+}
+
+impl UndoOp {
+    // The redo view of this log entry.
+    fn to_logical(&self) -> LogicalOp {
+        match self {
+            UndoOp::Insert { table, row_id, row } => LogicalOp::Insert {
+                table: table.clone(),
+                row_id: *row_id,
+                row: row.clone(),
+            },
+            UndoOp::Update {
+                table, row_id, new, ..
+            } => LogicalOp::Update {
+                table: table.clone(),
+                row_id: *row_id,
+                row: new.clone(),
+            },
+            UndoOp::Delete { table, row_id, .. } => LogicalOp::Delete {
+                table: table.clone(),
+                row_id: *row_id,
+            },
+        }
+    }
+}
+
+/// One logical row operation a committed transaction applied, in
+/// application order, with savepoint-rolled-back work already excluded.
+///
+/// This is the redo form a durability layer persists: replaying the
+/// stream with [`Database::apply_logical`] against the pre-transaction
+/// state reproduces the post-commit heap and indexes byte-identically
+/// (row ids included). Produced by [`Database::commit_logged`] /
+/// [`Database::txn_ops`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalOp {
+    /// A row was inserted under `row_id` with the given values.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The id storage assigned.
+        row_id: RowId,
+        /// Full row values in column order.
+        row: Vec<Value>,
+    },
+    /// The row `row_id` now holds the given values.
+    Update {
+        /// Target table.
+        table: String,
+        /// The updated row's id.
+        row_id: RowId,
+        /// Full new row values in column order.
+        row: Vec<Value>,
+    },
+    /// The row `row_id` was deleted.
+    Delete {
+        /// Target table.
+        table: String,
+        /// The deleted row's id.
+        row_id: RowId,
     },
 }
 
@@ -291,11 +356,35 @@ impl Database {
     }
 
     /// Commit the open transaction (releasing any savepoints still on
-    /// its stack).
+    /// its stack). Use [`Database::commit_logged`] to also receive the
+    /// logical redo stream; this variant skips materializing it.
     pub fn commit(&mut self) -> RelResult<()> {
         self.txn.take().map(|_| ()).ok_or(RelError::Transaction {
             message: "no open transaction".into(),
         })
+    }
+
+    /// Commit the open transaction, returning the logical row operations
+    /// it actually applied, in application order. Work undone by a
+    /// savepoint rollback is excluded — the stream is exactly what a
+    /// durability layer must replay to reproduce this commit.
+    pub fn commit_logged(&mut self) -> RelResult<Vec<LogicalOp>> {
+        let state = self.txn.take().ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })?;
+        Ok(state.log.iter().map(UndoOp::to_logical).collect())
+    }
+
+    /// The logical row operations the open transaction has applied so
+    /// far (the commit-time stream of [`Database::commit_logged`],
+    /// observed without committing). A durability layer appends these
+    /// to its log *before* committing, so a failed append can still
+    /// roll the transaction back.
+    pub fn txn_ops(&self) -> RelResult<Vec<LogicalOp>> {
+        let state = self.txn.as_ref().ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })?;
+        Ok(state.log.iter().map(UndoOp::to_logical).collect())
     }
 
     /// Roll back the open transaction, restoring every modified row.
@@ -404,15 +493,18 @@ impl Database {
     fn undo(&mut self, log: Vec<UndoOp>) {
         for op in log.into_iter().rev() {
             match op {
-                UndoOp::Insert { table, row_id } => {
+                UndoOp::Insert { table, row_id, .. } => {
                     let t = self.schema.table(&table).expect("logged table exists");
                     let t = t.clone();
-                    self.data
-                        .get_mut(&table)
-                        .expect("logged table exists")
-                        .delete_unchecked(&t, row_id);
+                    let data = self.data.get_mut(&table).expect("logged table exists");
+                    data.delete_unchecked(&t, row_id);
+                    // Newest-first unwinding ends with the allocator
+                    // back at its pre-transaction position.
+                    data.unallocate_row_id(row_id);
                 }
-                UndoOp::Update { table, row_id, old } => {
+                UndoOp::Update {
+                    table, row_id, old, ..
+                } => {
                     let t = self
                         .schema
                         .table(&table)
@@ -442,6 +534,115 @@ impl Database {
         if let Some(state) = &mut self.txn {
             state.log.push(op);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability support: logical replay and snapshot access
+    // ------------------------------------------------------------------
+
+    /// Re-apply one committed logical operation, **bypassing constraint
+    /// checking** and forcing the recorded row id. Recovery support:
+    /// the operation was constraint-checked when it originally ran, so
+    /// replaying the commit stream of [`Database::commit_logged`]
+    /// against the pre-transaction state reproduces the post-commit
+    /// heap and indexes byte-identically. Replayed inserts advance the
+    /// table's row-id allocator past the recorded id, so rows inserted
+    /// after recovery get the same ids the un-crashed run would have
+    /// assigned.
+    ///
+    /// Not constraint-checked — never feed this user input.
+    pub fn apply_logical(&mut self, op: &LogicalOp) -> RelResult<()> {
+        match op {
+            LogicalOp::Insert { table, row_id, row } => {
+                let t = self.schema.table(table)?.clone();
+                if row.len() != t.columns.len() {
+                    return Err(RelError::Execution {
+                        message: format!(
+                            "replayed insert into {table:?} has {} value(s) for {} column(s)",
+                            row.len(),
+                            t.columns.len()
+                        ),
+                    });
+                }
+                let logged = self.txn.is_some().then(|| row.clone());
+                self.data
+                    .get_mut(table)
+                    .expect("schema table has storage")
+                    .insert_at_unchecked(&t, *row_id, row.clone());
+                if let Some(row) = logged {
+                    self.log(UndoOp::Insert {
+                        table: table.clone(),
+                        row_id: *row_id,
+                        row,
+                    });
+                }
+            }
+            LogicalOp::Update { table, row_id, row } => {
+                let t = self.schema.table(table)?.clone();
+                let old = self
+                    .data
+                    .get_mut(table)
+                    .expect("schema table has storage")
+                    .update_unchecked(&t, *row_id, row.clone())
+                    .ok_or_else(|| RelError::Execution {
+                        message: format!("replayed update of missing row {row_id} in {table}"),
+                    })?;
+                if self.txn.is_some() {
+                    self.log(UndoOp::Update {
+                        table: table.clone(),
+                        row_id: *row_id,
+                        old,
+                        new: row.clone(),
+                    });
+                }
+            }
+            LogicalOp::Delete { table, row_id } => {
+                let t = self.schema.table(table)?.clone();
+                let old = self
+                    .data
+                    .get_mut(table)
+                    .expect("schema table has storage")
+                    .delete_unchecked(&t, *row_id)
+                    .ok_or_else(|| RelError::Execution {
+                        message: format!("replayed delete of missing row {row_id} in {table}"),
+                    })?;
+                if self.txn.is_some() {
+                    self.log(UndoOp::Delete {
+                        table: table.clone(),
+                        row_id: *row_id,
+                        old,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The id the next insert into `table` will be assigned (snapshot
+    /// state: deletes at the tail leave it above `max(id) + 1`).
+    pub fn next_row_id(&self, table: &str) -> RelResult<RowId> {
+        self.schema.table(table)?;
+        Ok(self.data[table].next_row_id())
+    }
+
+    /// Force `table`'s row-id allocator (snapshot restore support; see
+    /// [`Database::apply_logical`] for the replay counterpart). Never
+    /// lowers the allocator below what stored rows require.
+    pub fn set_next_row_id(&mut self, table: &str, next: RowId) -> RelResult<()> {
+        self.schema.table(table)?;
+        self.data
+            .get_mut(table)
+            .expect("schema table has storage")
+            .set_next_row_id(next);
+        Ok(())
+    }
+
+    /// Columns of `table` carrying a secondary (non-unique) hash index,
+    /// in sorted order — what a snapshot must record so recovery can
+    /// rebuild the exact index set via [`Database::create_index`].
+    pub fn secondary_index_columns(&self, table: &str) -> RelResult<Vec<String>> {
+        self.schema.table(table)?;
+        Ok(self.data[table].secondary_index_columns())
     }
 
     // ------------------------------------------------------------------
@@ -554,15 +755,21 @@ impl Database {
     // Constraint-check and store one fully materialized row of `t`.
     fn insert_prepared(&mut self, t: &Table, row: Vec<Value>) -> RelResult<RowId> {
         self.check_row_constraints(t, &row, None)?;
+        // The redo log needs the inserted values; clone only when a
+        // transaction is actually logging.
+        let logged = self.txn.is_some().then(|| row.clone());
         let row_id = self
             .data
             .get_mut(&t.name)
             .expect("schema table has storage")
             .insert_unchecked(t, row);
-        self.log(UndoOp::Insert {
-            table: t.name.clone(),
-            row_id,
-        });
+        if let Some(row) = logged {
+            self.log(UndoOp::Insert {
+                table: t.name.clone(),
+                row_id,
+                row,
+            });
+        }
         Ok(row_id)
     }
 
@@ -633,15 +840,19 @@ impl Database {
         self.check_row_constraints_changed(t, &new_row, Some(row_id), &changed)?;
         // If a key other rows reference changes, enforce RESTRICT.
         self.check_restrict_on_key_change(t, &old, &new_row)?;
+        let logged = self.txn.is_some().then(|| new_row.clone());
         self.data
             .get_mut(&t.name)
             .expect("schema table has storage")
             .update_unchecked(t, row_id, new_row);
-        self.log(UndoOp::Update {
-            table: t.name.clone(),
-            row_id,
-            old,
-        });
+        if let Some(new) = logged {
+            self.log(UndoOp::Update {
+                table: t.name.clone(),
+                row_id,
+                old,
+                new,
+            });
+        }
         Ok(())
     }
 
@@ -1477,6 +1688,176 @@ mod tests {
         .unwrap();
         d.commit().unwrap();
         assert_eq!(d.row_count("author").unwrap(), 1);
+    }
+
+    #[test]
+    fn commit_logged_surfaces_applied_ops_in_order() {
+        let mut d = db();
+        d.begin().unwrap();
+        let rid = d
+            .insert(
+                "team",
+                &[a("id", Value::Int(1)), a("name", Value::text("A"))],
+            )
+            .unwrap();
+        d.update_row("team", rid, &[a("name", Value::text("B"))])
+            .unwrap();
+        let rid2 = d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        d.delete_row("team", rid2).unwrap();
+        let ops = d.commit_logged().unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                LogicalOp::Insert {
+                    table: "team".into(),
+                    row_id: rid,
+                    row: vec![Value::Int(1), Value::text("A"), Value::Null],
+                },
+                LogicalOp::Update {
+                    table: "team".into(),
+                    row_id: rid,
+                    row: vec![Value::Int(1), Value::text("B"), Value::Null],
+                },
+                LogicalOp::Insert {
+                    table: "team".into(),
+                    row_id: rid2,
+                    row: vec![Value::Int(2), Value::Null, Value::Null],
+                },
+                LogicalOp::Delete {
+                    table: "team".into(),
+                    row_id: rid2,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn commit_logged_excludes_savepoint_rolled_back_work() {
+        let mut d = db();
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        let sp = d.savepoint("op").unwrap();
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        d.rollback_to_savepoint(sp).unwrap();
+        d.insert("team", &[a("id", Value::Int(3))]).unwrap();
+        let ops = d.commit_logged().unwrap();
+        let ids: Vec<&Value> = ops
+            .iter()
+            .map(|op| match op {
+                LogicalOp::Insert { row, .. } => &row[0],
+                _ => panic!("only inserts expected"),
+            })
+            .collect();
+        assert_eq!(ids, vec![&Value::Int(1), &Value::Int(3)]);
+    }
+
+    #[test]
+    fn replaying_commit_stream_reproduces_state_byte_identically() {
+        let mut live = db();
+        let mut replica = db();
+        live.begin().unwrap();
+        live.insert(
+            "team",
+            &[a("id", Value::Int(5)), a("name", Value::text("SEAL"))],
+        )
+        .unwrap();
+        live.insert(
+            "author",
+            &[
+                a("id", Value::Int(1)),
+                a("lastname", Value::text("Hert")),
+                a("team", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        let rid = live
+            .find_by_pk("author", &[Value::Int(1)])
+            .unwrap()
+            .unwrap();
+        live.update_row("author", rid, &[a("lastname", Value::text("H."))])
+            .unwrap();
+        let ops = live.commit_logged().unwrap();
+        for op in &ops {
+            replica.apply_logical(op).unwrap();
+        }
+        for table in ["team", "author"] {
+            let a: Vec<_> = live.scan(table).unwrap().collect();
+            let b: Vec<_> = replica.scan(table).unwrap().collect();
+            assert_eq!(a, b, "replayed heap differs in {table}");
+            assert_eq!(
+                live.next_row_id(table).unwrap(),
+                replica.next_row_id(table).unwrap()
+            );
+        }
+        // Index state replayed too.
+        assert_eq!(
+            replica
+                .index_probe("author", "team", &Value::Int(5))
+                .unwrap(),
+            Some(vec![rid])
+        );
+    }
+
+    #[test]
+    fn rollback_unwinds_row_id_allocation() {
+        let mut d = db();
+        let r1 = d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(2))]).unwrap();
+        d.insert("team", &[a("id", Value::Int(3))]).unwrap();
+        d.rollback().unwrap();
+        // Rolled-back inserts do not burn ids…
+        assert_eq!(d.next_row_id("team").unwrap(), r1 + 1);
+        // …including through partial savepoint rollback.
+        d.begin().unwrap();
+        d.insert("team", &[a("id", Value::Int(4))]).unwrap();
+        let before = d.next_row_id("team").unwrap();
+        let sp = d.savepoint("op").unwrap();
+        d.insert("team", &[a("id", Value::Int(5))]).unwrap();
+        d.rollback_to_savepoint(sp).unwrap();
+        assert_eq!(d.next_row_id("team").unwrap(), before);
+        d.commit().unwrap();
+        assert_eq!(d.insert("team", &[a("id", Value::Int(6))]).unwrap(), before);
+    }
+
+    #[test]
+    fn next_row_id_survives_tail_delete_via_setter() {
+        let mut d = db();
+        let r1 = d.insert("team", &[a("id", Value::Int(1))]).unwrap();
+        d.delete_row("team", r1).unwrap();
+        // Allocator is past the deleted row…
+        assert_eq!(d.next_row_id("team").unwrap(), r1 + 1);
+        // …a snapshot restore forces the same position…
+        let mut fresh = db();
+        fresh.set_next_row_id("team", r1 + 1).unwrap();
+        assert_eq!(
+            fresh.insert("team", &[a("id", Value::Int(2))]).unwrap(),
+            r1 + 1
+        );
+        // …and the setter never re-issues a live id.
+        let mut clamped = db();
+        let r = clamped.insert("team", &[a("id", Value::Int(3))]).unwrap();
+        clamped.set_next_row_id("team", 0).unwrap();
+        assert!(clamped.next_row_id("team").unwrap() > r);
+    }
+
+    #[test]
+    fn secondary_index_columns_reports_creatable_set() {
+        let mut d = db();
+        // FK column auto-indexed.
+        assert_eq!(
+            d.secondary_index_columns("author").unwrap(),
+            vec!["team".to_owned()]
+        );
+        d.create_index("author", "lastname").unwrap();
+        assert_eq!(
+            d.secondary_index_columns("author").unwrap(),
+            vec!["lastname".to_owned(), "team".to_owned()]
+        );
+        assert_eq!(
+            d.secondary_index_columns("team").unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod sql {
     pub use parser::{parse, parse_script};
 }
 
-pub use database::{Database, ProbeIds, SavepointId};
+pub use database::{Database, LogicalOp, ProbeIds, SavepointId};
 pub use error::{RelError, RelResult};
 pub use schema::{Check, Column, ForeignKey, Schema, Table, TableBuilder};
 pub use storage::{RowId, TableData};

@@ -126,10 +126,53 @@ impl TableData {
     }
 
     /// Re-insert a row under its original id (transaction rollback of a
-    /// delete).
+    /// delete). Does not advance the row-id allocator: the id was
+    /// allocated by the insert being undone around.
     pub fn restore_unchecked(&mut self, table: &Table, row_id: RowId, row: Vec<Value>) {
         self.index_row(table, row_id, &row);
         self.rows.insert(row_id, row);
+    }
+
+    /// Store a row under an explicitly recorded id, advancing the
+    /// allocator past it (durability replay of a logged insert: the id
+    /// must match the original run so recovered state is byte-identical
+    /// and later inserts allocate the same ids).
+    pub fn insert_at_unchecked(&mut self, table: &Table, row_id: RowId, row: Vec<Value>) {
+        self.index_row(table, row_id, &row);
+        self.rows.insert(row_id, row);
+        self.next_row_id = self.next_row_id.max(row_id + 1);
+    }
+
+    /// The id the next [`TableData::insert_unchecked`] will assign.
+    pub fn next_row_id(&self) -> RowId {
+        self.next_row_id
+    }
+
+    /// Unwind the allocation of `row_id` (transaction rollback of an
+    /// insert). Rollback processes its log newest-first, so the last
+    /// unwound insert leaves the allocator exactly where the
+    /// transaction found it — ids are not burned by rolled-back work,
+    /// which keeps the live allocator byte-identical to what crash
+    /// recovery (snapshot + committed-WAL replay) reproduces.
+    pub fn unallocate_row_id(&mut self, row_id: RowId) {
+        self.next_row_id = self.next_row_id.min(row_id);
+    }
+
+    /// Force the row-id allocator (snapshot restore). Clamped so it
+    /// never re-issues an id a stored row already holds.
+    pub fn set_next_row_id(&mut self, next: RowId) {
+        let floor = self
+            .rows
+            .last_key_value()
+            .map_or(0, |(max_id, _)| max_id + 1);
+        self.next_row_id = next.max(floor);
+    }
+
+    /// Columns carrying a secondary index, sorted (snapshot state).
+    pub fn secondary_index_columns(&self) -> Vec<String> {
+        let mut columns: Vec<String> = self.secondary_indexes.keys().cloned().collect();
+        columns.sort();
+        columns
     }
 
     /// Replace a row's values (already constraint-checked), fixing

@@ -24,7 +24,9 @@ use ontoaccess::OntoError;
 ///   (dangling references, already-set attributes, absent triples,
 ///   NOT-NULL protection, engine-level constraint violations) →
 ///   **409** (the same request could succeed against another state);
-/// * requests using features outside the supported fragment → **501**.
+/// * requests using features outside the supported fragment → **501**;
+/// * durable-storage faults (WAL append/fsync failure, poisoned log) →
+///   **500** — the request is fine, the server's disk is not.
 pub fn status_for(error: &OntoError) -> u16 {
     match error {
         // 400 — the request text itself is at fault.
@@ -44,6 +46,8 @@ pub fn status_for(error: &OntoError) -> u16 {
         OntoError::TripleNotPresent { .. } => 409,
         OntoError::NotNullDelete { .. } => 409,
         OntoError::Database(_) => 409,
+        // 500 — the server's durable storage failed, not the request.
+        OntoError::Storage { .. } => 500,
         // 501 — outside the implemented fragment.
         OntoError::Unsupported { .. } => 501,
     }
@@ -99,6 +103,10 @@ mod tests {
             message: "x".into(),
         };
         assert_eq!(status_for(&unsupported), 501);
+        let storage = OntoError::Storage {
+            message: "wal append failed".into(),
+        };
+        assert_eq!(status_for(&storage), 500);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! | `POST /update`      | SPARQL/Update; the response body is the paper's §6 RDF feedback document (Turtle) |
 //! | `GET /describe?uri=`| Concise description of one instance URI (graph response) |
 //! | `GET /dump`         | The database's full RDF view (graph response) |
-//! | `GET /status`       | Row counts, query-cache and server counters (JSON) |
+//! | `GET /status`       | Version, uptime, row counts, query-cache, durability and server counters (JSON) |
+//! | `POST /snapshot`    | Admin checkpoint: snapshot the committed state, truncate the WAL (durable servers only) |
 //!
 //! Queries execute on the worker's shared [`ReadSession`]; updates
 //! serialize through the mediator's write transaction. Mediator
@@ -63,8 +64,9 @@ pub(crate) fn handle_request(
         ("GET", "/describe") => describe(session, request),
         ("GET", "/dump") => dump(session, request),
         ("GET", "/status") => status(ctx),
+        ("POST", "/snapshot") => snapshot(ctx),
         (_, "/sparql") => method_not_allowed("GET, HEAD, POST"),
-        (_, "/update") => method_not_allowed("POST"),
+        (_, "/update") | (_, "/snapshot") => method_not_allowed("POST"),
         (_, "/describe") | (_, "/dump") | (_, "/status") | (_, "/") => {
             method_not_allowed("GET, HEAD")
         }
@@ -87,7 +89,8 @@ fn usage() -> Response {
          POST /update             SPARQL/Update as application/sparql-update or form\n\
          GET  /describe?uri=...   describe one instance URI\n\
          GET  /dump               full RDF view (Turtle / N-Triples)\n\
-         GET  /status             row counts and cache statistics (JSON)\n",
+         GET  /status             version, row counts, cache and durability statistics (JSON)\n\
+         POST /snapshot           admin checkpoint: snapshot state, truncate the WAL\n",
     )
 }
 
@@ -332,23 +335,71 @@ fn status(ctx: &AppContext) -> Response {
     let cache = ctx.mediator.query_cache_stats();
     let stats = &ctx.stats;
     let body = format!(
-        "{{\"uptime_seconds\":{},\"tables\":{{{tables}}},\
+        "{{\"version\":{},\"uptime_seconds\":{},\"tables\":{{{tables}}},\
          \"query_cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
-         \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"overload_rejections\":{}}}}}",
+         \"durability\":{},\
+         \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"snapshots\":{},\"overload_rejections\":{}}}}}",
+        wire::json_string(env!("CARGO_PKG_VERSION")),
         ctx.started.elapsed().as_secs(),
         cache.entries,
         cache.capacity,
         cache.hits,
         cache.misses,
         cache.evictions,
+        durability_json(ctx),
         ctx.workers,
         ctx.queue_capacity,
         stats.requests(),
         stats.queries(),
         stats.updates(),
+        stats.snapshots(),
         stats.overload_rejections(),
     );
     Response::new(200, wire::JSON, body)
+}
+
+// The `/status` durability object: counters when a data directory is
+// configured, `{"enabled":false}` otherwise.
+fn durability_json(ctx: &AppContext) -> String {
+    match ctx.mediator.durability_stats() {
+        Some(d) => format!(
+            "{{\"enabled\":true,\"wal_bytes\":{},\"commits_appended\":{},\"wal_syncs\":{},\
+             \"records_replayed\":{},\"rows_replayed\":{},\"last_snapshot\":{},\
+             \"last_commit_seq\":{},\"poisoned\":{}}}",
+            d.wal_bytes,
+            d.commits_appended,
+            d.wal_syncs,
+            d.records_replayed,
+            d.rows_replayed,
+            d.last_snapshot_seq
+                .map_or_else(|| "null".to_owned(), |seq| seq.to_string()),
+            d.last_commit_seq,
+            d.poisoned,
+        ),
+        None => "{\"enabled\":false}".to_owned(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Admin checkpoint
+// ----------------------------------------------------------------------
+
+// `POST /snapshot`: durably materialize the committed state and
+// truncate the WAL. Answers 501 (Unsupported) when the server runs
+// without a data directory.
+fn snapshot(ctx: &AppContext) -> Response {
+    match ctx.mediator.checkpoint() {
+        Ok(seq) => {
+            ctx.stats.record_snapshot();
+            let wal_bytes = ctx.mediator.durability_stats().map_or(0, |d| d.wal_bytes);
+            Response::new(
+                200,
+                wire::JSON,
+                format!("{{\"snapshot_seq\":{seq},\"wal_bytes\":{wal_bytes}}}"),
+            )
+        }
+        Err(error) => mediator_error(&error),
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ pub struct ServerStats {
     requests: AtomicU64,
     queries: AtomicU64,
     updates: AtomicU64,
+    snapshots: AtomicU64,
     overload_rejections: AtomicU64,
 }
 
@@ -24,6 +25,10 @@ impl ServerStats {
 
     pub(crate) fn record_update(&self) {
         self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot(&self) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_overload_rejection(&self) {
@@ -43,6 +48,11 @@ impl ServerStats {
     /// Update requests that reached execution.
     pub fn updates(&self) -> u64 {
         self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Admin checkpoints (`POST /snapshot`) that completed.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
     }
 
     /// Connections answered 503 because the accept queue was full.

@@ -316,7 +316,66 @@ fn status_reports_tables_cache_and_counters() {
     assert!(text.contains("\"query_cache\""));
     assert!(text.contains("\"misses\":1"));
     assert!(text.contains("\"queries\":1"));
+    // The version and durability state are always reported; this
+    // server runs in memory.
+    assert!(
+        text.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{text}"
+    );
+    assert!(text.contains("\"uptime_seconds\":"), "{text}");
+    assert!(
+        text.contains("\"durability\":{\"enabled\":false}"),
+        "{text}"
+    );
     server.shutdown();
+}
+
+#[test]
+fn snapshot_endpoint_requires_durability() {
+    let server = test_server();
+    let response = post(&server, "/snapshot", "text/plain", "");
+    assert_eq!(response.status, 501, "{}", response.text());
+    assert!(response.text().contains("\"code\":\"Unsupported\""));
+    // Wrong method is routed, not 404.
+    assert_eq!(get(&server, "/snapshot", None).status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_endpoint_checkpoints_a_durable_server() {
+    let dir = fixtures::scratch_dir("server-snapshot");
+    let (mediator, _) = fixtures::durable_mediator_with_sample_data(&dir);
+    let server = serve(
+        mediator,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let insert = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                  PREFIX ex: <http://example.org/db/>\n\
+                  INSERT DATA { ex:author8 foaf:family_name \"Gall\" . }";
+    assert_eq!(
+        post(&server, "/update", "application/sparql-update", insert).status,
+        200
+    );
+    // Durable counters are live before the checkpoint…
+    let status = get(&server, "/status", None).text();
+    assert!(status.contains("\"enabled\":true"), "{status}");
+    assert!(status.contains("\"commits_appended\":1"), "{status}");
+    // …the checkpoint truncates the WAL and reports its sequence…
+    let response = post(&server, "/snapshot", "text/plain", "");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let text = response.text();
+    assert!(text.contains("\"snapshot_seq\":1"), "{text}");
+    // …and /status reflects it.
+    let status = get(&server, "/status", None).text();
+    assert!(status.contains("\"last_snapshot\":1"), "{status}");
+    assert!(status.contains("\"snapshots\":1"), "{status}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 // ----------------------------------------------------------------------

@@ -13,7 +13,15 @@
 //! cargo run --bin ontoaccess-cli -- --empty # empty Figure 1 database
 //! cargo run --bin ontoaccess-cli -- --populate 200 --seed 7
 //! cargo run --bin ontoaccess-cli -- --serve 127.0.0.1:7878 --workers 8
+//! cargo run --bin ontoaccess-cli -- --data-dir ./data --serve 127.0.0.1:7878
 //! ```
+//!
+//! `--data-dir DIR` makes committed updates durable: the directory
+//! holds a write-ahead log plus snapshots, and booting on an existing
+//! directory recovers the committed state (newest snapshot + WAL
+//! replay, torn tail truncated). It works with and without `--serve`;
+//! the `--empty`/`--populate` flags only decide the *base* state of a
+//! fresh directory and are ignored once one exists.
 //!
 //! In server mode, query with any HTTP client:
 //!
@@ -75,6 +83,7 @@ struct Options {
     seed: u64,
     serve: Option<String>,
     workers: usize,
+    data_dir: Option<String>,
 }
 
 impl Options {
@@ -85,6 +94,7 @@ impl Options {
             seed: 42,
             serve: None,
             workers: 4,
+            data_dir: None,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -110,10 +120,17 @@ impl Options {
                         options.workers = v;
                     }
                 }
+                "--data-dir" => match iter.next() {
+                    Some(dir) => options.data_dir = Some(dir.clone()),
+                    None => {
+                        eprintln!("--data-dir needs a directory, e.g. --data-dir ./data");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!(
                         "unknown argument {other:?} (supported: --empty, --populate N, \
-                         --seed S, --serve ADDR, --workers N)"
+                         --seed S, --serve ADDR, --workers N, --data-dir DIR)"
                     );
                     std::process::exit(2);
                 }
@@ -124,13 +141,39 @@ impl Options {
 }
 
 fn build_endpoint(options: &Options) -> Endpoint {
-    if let Some(n) = options.populate {
-        let db = fixtures::data::populated_database(n, options.seed);
-        Endpoint::new(db, fixtures::mapping()).expect("use case mapping is valid")
-    } else if options.empty {
-        fixtures::endpoint()
-    } else {
-        fixtures::endpoint_with_sample_data()
+    let base_db = || {
+        if let Some(n) = options.populate {
+            fixtures::data::populated_database(n, options.seed)
+        } else if options.empty {
+            fixtures::database()
+        } else {
+            let mut db = fixtures::database();
+            fixtures::seed_paper_rows(&mut db);
+            db
+        }
+    };
+    let Some(dir) = &options.data_dir else {
+        return Endpoint::new(base_db(), fixtures::mapping()).expect("use case mapping is valid");
+    };
+    // Durable boot: open-or-recover the data directory. The base
+    // database only matters on a fresh directory (it becomes
+    // snapshot 0); afterwards the recovered state wins.
+    match Endpoint::open_durable(dir, base_db(), fixtures::mapping()) {
+        Ok((endpoint, report)) => {
+            let snapshot = report
+                .snapshot_seq
+                .map_or_else(|| "none".to_owned(), |seq| seq.to_string());
+            println!(
+                "data dir {dir}: snapshot {snapshot}, {} commit(s) replayed, \
+                 {} row op(s), {} torn byte(s) truncated",
+                report.commits_replayed, report.rows_replayed, report.truncated_bytes
+            );
+            endpoint
+        }
+        Err(e) => {
+            eprintln!("cannot open data dir {dir}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -212,11 +255,20 @@ fn run_command(endpoint: &mut Endpoint, command: &str) -> bool {
         // Raw SQL is the console's engine-debugging bypass — the same
         // test-support hatch the fixtures use, deliberately not part of
         // the documented mediator surface.
-        "sql" => match rel::sql::execute_sql(&mut endpoint.database_mut_for_tests(), rest) {
-            Ok(rel::sql::ExecOutcome::Affected(n)) => println!("{n} row(s) affected"),
-            Ok(rel::sql::ExecOutcome::Rows(rs)) => print_result_set(&rs),
-            Err(e) => println!("error: {e}"),
-        },
+        "sql" => {
+            if endpoint.mediator().is_durable() {
+                println!(
+                    "note: .sql bypasses the mediator, so these changes skip the \
+                     write-ahead log and are lost on restart (they persist only if \
+                     a later snapshot captures them)"
+                );
+            }
+            match rel::sql::execute_sql(&mut endpoint.database_mut_for_tests(), rest) {
+                Ok(rel::sql::ExecOutcome::Affected(n)) => println!("{n} row(s) affected"),
+                Ok(rel::sql::ExecOutcome::Rows(rs)) => print_result_set(&rs),
+                Err(e) => println!("error: {e}"),
+            }
+        }
         other => println!("unknown command .{other} — try .help"),
     }
     true

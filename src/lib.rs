@@ -8,6 +8,7 @@
 //! * [`sparql`] — SPARQL + SPARQL/Update parser, algebra, evaluator
 //! * [`rel`] — in-memory relational engine with SQL DML
 //! * [`r3m`] — the update-aware RDB→RDF mapping language
+//! * [`dur`] — durability: write-ahead log, snapshots, crash recovery
 //! * [`ontoaccess`] — the mediator: SPARQL/Update → SQL translation
 //! * [`ontoaccess_server`] — the SPARQL 1.1 Protocol HTTP server over the mediator
 //! * [`fixtures`] — the paper's publication use case and workload generators
@@ -81,6 +82,7 @@
 //!          fb:rowsAffected "1"^^xsd:integer .
 //! ```
 
+pub use dur;
 pub use fixtures;
 pub use ontoaccess;
 pub use ontoaccess_server;
