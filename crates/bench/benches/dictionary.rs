@@ -1,0 +1,248 @@
+//! Dictionary-encoded storage acceptance bench (ISSUE 6).
+//!
+//! Claims to prove with numbers, against the pre-dictionary inline
+//! encoding as baseline:
+//!
+//! * **Equality probes compare integers** — `text_eq/interned` compares
+//!   `Value::Text` symbol pairs (one u32 each); `text_eq/inline_strings`
+//!   compares the same 64-byte URI-like strings by content, which is
+//!   what every probe, residual filter, and index lookup paid before.
+//! * **Link-join time** — the publication↔author link join at 1k rows
+//!   per table runs through interned index keys end to end.
+//! * **WAL bytes/commit and snapshot bytes** — the durable artifacts of
+//!   a text-heavy workload, measured, next to the inline-encoding
+//!   baseline computed from the same workload (a TEXT cell inline costs
+//!   `4 + len` bytes per occurrence; dictionary-encoded it costs 4, plus
+//!   a one-time `4 + len` delta and 8 bytes of `base`/`n_new` framing
+//!   per commit unit). Emitted as `*_bytes` JSON metric lines.
+//! * **Recovery replays fast** — a full open over the text-heavy WAL
+//!   suffix, with rows/sec derived and emitted.
+//!
+//! Emits `CRITERION_JSON` lines like the other benches; the checked-in
+//! snapshot is `BENCH_dictionary.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use rdf::namespace::PrefixMap;
+use rel::{Sym, Value};
+use sparql::Query;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+// Append a metric line to the same JSON-lines file the criterion shim
+// writes, so byte counters land next to the timing series.
+fn emit_metric(line: &str) {
+    eprintln!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write as _;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Equality probe: interned ids vs string content
+// ----------------------------------------------------------------------
+
+fn bench_text_eq(c: &mut Criterion) {
+    const PAIRS: usize = 4096;
+    // URI-like strings with a long shared prefix: equal-compare is the
+    // worst case for content comparison (full memcmp) and the common
+    // case for join probes.
+    let strings: Vec<String> = (0..PAIRS)
+        .map(|i| format!("http://example.org/db/publication/2009/proceedings/{i:08}"))
+        .collect();
+    let interned_a: Vec<Value> = strings.iter().map(Value::text).collect();
+    let interned_b = interned_a.clone();
+    let inline_a = strings.clone();
+    let inline_b = strings.clone();
+
+    let mut group = c.benchmark_group("dictionary/text_eq");
+    group.bench_function(BenchmarkId::from_parameter("interned"), |b| {
+        b.iter(|| {
+            let mut equal = 0usize;
+            for (x, y) in interned_a.iter().zip(&interned_b) {
+                if black_box(x) == black_box(y) {
+                    equal += 1;
+                }
+            }
+            assert_eq!(equal, PAIRS);
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("inline_strings"), |b| {
+        b.iter(|| {
+            let mut equal = 0usize;
+            for (x, y) in inline_a.iter().zip(&inline_b) {
+                if black_box(x) == black_box(y) {
+                    equal += 1;
+                }
+            }
+            assert_eq!(equal, PAIRS);
+        })
+    });
+    group.finish();
+}
+
+// ----------------------------------------------------------------------
+// Link join at 1k rows through interned index keys
+// ----------------------------------------------------------------------
+
+fn bench_link_join(c: &mut Criterion) {
+    let n = 1000usize;
+    let spec = Spec {
+        teams: n,
+        authors: n,
+        publishers: 50,
+        pubtypes: 4,
+        publications: n,
+        authors_per_publication: 2,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 5);
+
+    let mapping = fixtures::mapping();
+    let Query::Select(select) = sparql::parse_query_with_prefixes(
+        &fixtures::workload::select_publications_with_authors(),
+        PrefixMap::common(),
+    )
+    .unwrap() else {
+        unreachable!()
+    };
+    let compiled = ontoaccess::compile_select(&db, &mapping, &select).unwrap();
+    ontoaccess::ensure_join_indexes(&mut db, &compiled).unwrap();
+
+    let mut group = c.benchmark_group("dictionary/link_join");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            rel::sql::execute(&mut db, &rel::sql::Statement::Select(compiled.sql.clone())).unwrap()
+        })
+    });
+    group.finish();
+}
+
+// ----------------------------------------------------------------------
+// Durable artifact sizes + recovery replay over a text-heavy workload
+// ----------------------------------------------------------------------
+
+const COMMITS: usize = 16;
+const ROWS_PER_COMMIT: usize = 64;
+// One shared literal per workload, repeated in every inserted row — the
+// repetitive shape (team names, publishers, types) the dictionary
+// deduplicates.
+const SHARED: &str = "Institute for Information Systems, Example University";
+
+fn insert_commit(k: usize) -> String {
+    let mut body = String::new();
+    for r in 0..ROWS_PER_COMMIT {
+        let id = 3_000_000 + k * ROWS_PER_COMMIT + r;
+        let _ = writeln!(body, "ex:author{id} foaf:family_name \"{SHARED}\" .");
+    }
+    fixtures::workload::with_prefixes(&format!("INSERT DATA {{\n{body}}}"))
+}
+
+// Inline-encoding cost of every TEXT cell currently stored: `4 + len`
+// per occurrence, vs `4` dictionary-encoded plus one `4 + len` table
+// entry per distinct string (and 4 bytes of symbol count).
+fn snapshot_inline_estimate(db: &rel::Database, snapshot_dict_bytes: u64) -> u64 {
+    use std::collections::HashSet;
+    let mut occurrence_bytes = 0u64;
+    let mut unique: HashSet<Sym> = HashSet::new();
+    for table in db.schema().tables() {
+        for (_, row) in db.scan(&table.name).unwrap() {
+            for value in row {
+                if let Value::Text(s) = value {
+                    occurrence_bytes += s.as_str().len() as u64;
+                    unique.insert(*s);
+                }
+            }
+        }
+    }
+    let dict_section: u64 = 4 + unique
+        .iter()
+        .map(|s| 4 + s.as_str().len() as u64)
+        .sum::<u64>();
+    snapshot_dict_bytes - dict_section + occurrence_bytes
+}
+
+fn bench_durable_artifacts(c: &mut Criterion) {
+    let dir = fixtures::scratch_dir("bench-dictionary");
+    let (mediator, _) = fixtures::durable_mediator_with_sample_data(&dir);
+
+    // Phase 1: committed workload → WAL bytes per commit.
+    let wal_before = mediator.durability_stats().unwrap().wal_bytes;
+    for k in 0..COMMITS {
+        mediator.execute_update(&insert_commit(k)).unwrap();
+    }
+    let wal_dict = mediator.durability_stats().unwrap().wal_bytes - wal_before;
+    // Inline baseline: every occurrence carries its bytes; no dictionary
+    // delta (4 + len, charged once) and no base/n_new framing (8/unit).
+    let occurrences = (COMMITS * ROWS_PER_COMMIT) as u64;
+    let wal_inline = wal_dict + occurrences * SHARED.len() as u64
+        - (4 + SHARED.len() as u64)
+        - (COMMITS as u64) * 8;
+    emit_metric(&format!(
+        "{{\"id\":\"dictionary/wal_bytes_per_commit\",\"dict\":{},\"inline_estimate\":{}}}",
+        wal_dict / COMMITS as u64,
+        wal_inline / COMMITS as u64,
+    ));
+
+    // Phase 2: checkpoint → snapshot bytes.
+    let seq = mediator.checkpoint().unwrap();
+    let snapshot_dict = std::fs::metadata(dir.join(dur::snapshot::snapshot_file_name(seq)))
+        .expect("checkpoint wrote its snapshot")
+        .len();
+    let snapshot_inline = snapshot_inline_estimate(&mediator.database(), snapshot_dict);
+    emit_metric(&format!(
+        "{{\"id\":\"dictionary/snapshot_bytes\",\"dict\":{snapshot_dict},\"inline_estimate\":{snapshot_inline}}}",
+    ));
+
+    // Phase 3: more commits past the checkpoint, then time recovery.
+    for k in COMMITS..2 * COMMITS {
+        mediator.execute_update(&insert_commit(k)).unwrap();
+    }
+    drop(mediator);
+
+    let rows = (COMMITS * ROWS_PER_COMMIT) as u64;
+    let open_recovered = || {
+        let opened = dur::Durability::open(&dir, {
+            let mut db = fixtures::database();
+            fixtures::seed_paper_rows(&mut db);
+            db
+        })
+        .unwrap();
+        assert_eq!(opened.report.rows_replayed, rows);
+        opened
+    };
+    let mut group = c.benchmark_group("dictionary/recovery_replay");
+    group.sample_size(15);
+    group.bench_function(BenchmarkId::from_parameter(format!("rows_{rows}")), |b| {
+        b.iter(&open_recovered)
+    });
+    group.finish();
+
+    let started = Instant::now();
+    let opened = open_recovered();
+    let elapsed = started.elapsed();
+    emit_metric(&format!(
+        "{{\"id\":\"dictionary/recovery_rows_per_sec\",\"rows\":{rows},\"rows_per_sec\":{:.0}}}",
+        opened.report.rows_replayed as f64 / elapsed.as_secs_f64(),
+    ));
+    drop(opened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_text_eq, bench_link_join, bench_durable_artifacts
+}
+criterion_main!(benches);

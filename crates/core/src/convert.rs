@@ -10,6 +10,7 @@
 use crate::error::OntoError;
 use rdf::{Literal, LiteralKind, Term};
 use rel::{SqlType, Value};
+use std::borrow::Cow;
 
 /// Convert an RDF literal to a SQL value for a column of type `ty`.
 ///
@@ -36,7 +37,7 @@ pub fn literal_to_value(lit: &Literal, ty: SqlType) -> Result<Value, String> {
         },
         SqlType::Varchar => {
             if lit.is_stringy() {
-                Ok(Value::Text(lit.lexical().to_owned()))
+                Ok(Value::text(lit.lexical()))
             } else {
                 Err(format!("{lit} is not a string"))
             }
@@ -56,7 +57,9 @@ pub fn value_to_literal(value: &Value) -> Option<Literal> {
     match value {
         Value::Null => None,
         Value::Int(i) => Some(Literal::integer(*i)),
-        Value::Text(s) => Some(Literal::plain(s.clone())),
+        // Borrow the interned copy out of the dictionary — result
+        // materialization decodes without cloning string bytes.
+        Value::Text(s) => Some(Literal::plain_shared(s.as_str())),
         Value::Bool(b) => Some(Literal::boolean(*b)),
         Value::Double(d) => Some(Literal::double(*d)),
     }
@@ -76,7 +79,7 @@ pub fn pattern_value(raw: &str, ty: SqlType) -> Result<Value, String> {
             .parse::<i64>()
             .map(Value::Int)
             .map_err(|_| format!("{raw:?} is not an integer key")),
-        SqlType::Varchar => Ok(Value::Text(raw.to_owned())),
+        SqlType::Varchar => Ok(Value::text(raw)),
         SqlType::Boolean => match raw {
             "true" | "1" => Ok(Value::Bool(true)),
             "false" | "0" => Ok(Value::Bool(false)),
@@ -90,14 +93,15 @@ pub fn pattern_value(raw: &str, ty: SqlType) -> Result<Value, String> {
 }
 
 /// Render a value for URI pattern substitution (inverse of
-/// [`pattern_value`] on the lexical level).
-pub fn value_to_pattern(value: &Value) -> Option<String> {
+/// [`pattern_value`] on the lexical level). Text values borrow out of
+/// the dictionary; numeric values still format into owned strings.
+pub fn value_to_pattern(value: &Value) -> Option<Cow<'static, str>> {
     match value {
         Value::Null => None,
-        Value::Int(i) => Some(i.to_string()),
-        Value::Text(s) => Some(s.clone()),
-        Value::Bool(b) => Some(b.to_string()),
-        Value::Double(d) => Some(format!("{d:?}")),
+        Value::Int(i) => Some(Cow::Owned(i.to_string())),
+        Value::Text(s) => Some(Cow::Borrowed(s.as_str())),
+        Value::Bool(b) => Some(Cow::Owned(b.to_string())),
+        Value::Double(d) => Some(Cow::Owned(format!("{d:?}"))),
     }
 }
 
@@ -108,7 +112,7 @@ pub fn literal_matches_value(lit: &Literal, value: &Value) -> bool {
     match value {
         Value::Null => false,
         Value::Int(i) => lit.as_int() == Some(*i),
-        Value::Text(s) => lit.is_stringy() && lit.lexical() == s,
+        Value::Text(s) => lit.is_stringy() && lit.lexical() == s.as_str(),
         Value::Bool(b) => {
             lit.as_bool() == Some(*b)
                 || (plainish(lit) && lit.lexical() == if *b { "true" } else { "false" })
@@ -166,7 +170,7 @@ mod tests {
         );
         assert_eq!(
             literal_to_value(&Literal::string("Mr"), SqlType::Varchar),
-            Ok(Value::Text("Mr".into()))
+            Ok(Value::text("Mr"))
         );
         // Integer literal does not silently become a string.
         assert!(literal_to_value(&Literal::integer(5), SqlType::Varchar).is_err());
@@ -176,7 +180,7 @@ mod tests {
     fn round_trip_value_literal_value() {
         for v in [
             Value::Int(42),
-            Value::Text("Hert".into()),
+            Value::text("Hert"),
             Value::Bool(false),
             Value::Double(1.5),
         ] {
@@ -206,7 +210,7 @@ mod tests {
         assert!(!literal_matches_value(&Literal::plain("5"), &Value::Int(6)));
         assert!(literal_matches_value(
             &Literal::plain("Hert"),
-            &Value::Text("Hert".into())
+            &Value::text("Hert")
         ));
         assert!(!literal_matches_value(&Literal::plain("x"), &Value::Null));
     }

@@ -450,6 +450,13 @@ impl Mediator {
         self.core.durability.as_ref().map(dur::Durability::stats)
     }
 
+    /// String-dictionary counters. The dictionary is process-global
+    /// (every mediator in this process interns into the same table),
+    /// so the numbers describe the process, not one database.
+    pub fn dictionary_stats(&self) -> rel::DictionaryStats {
+        rel::dictionary_stats()
+    }
+
     /// Checkpoint: durably snapshot the current committed state and
     /// truncate the write-ahead log, so recovery starts from this point
     /// (the server's `POST /snapshot` admin operation). Returns the

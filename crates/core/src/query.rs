@@ -906,7 +906,7 @@ fn best_effort_value(lit: &rdf::Literal) -> Value {
     } else if let Some(d) = lit.as_double() {
         Value::Double(d)
     } else {
-        Value::Text(lit.lexical().to_owned())
+        Value::text(lit.lexical())
     }
 }
 

@@ -6,7 +6,8 @@
 //! zlib/PNG use), table-driven, computed at compile time.
 
 use crate::error::{DurError, DurResult};
-use rel::Value;
+use rel::{Sym, Value};
+use std::collections::HashMap;
 
 // ----------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected)
@@ -70,8 +71,89 @@ const TAG_TEXT: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_DOUBLE: u8 = 4;
 
-/// Append one SQL value (tag + payload).
-pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
+// ----------------------------------------------------------------------
+// Persistent dictionary ids
+// ----------------------------------------------------------------------
+
+/// The durable id space for interned strings.
+///
+/// In-memory [`Sym`] ids depend on process intern order, so they must
+/// never reach disk. The WAL and snapshot formats instead use dense
+/// *persistent ids* (pids) assigned in encode order by this table: a
+/// TEXT value on disk is a fixed-width `pid:u32`, snapshots embed the
+/// whole `pid → string` table, and each WAL commit unit carries the
+/// delta of strings first encoded by that unit. On recovery the table
+/// is rebuilt (snapshot table + per-unit deltas) and pids are mapped
+/// back to whatever `Sym`s this process assigns.
+///
+/// The live table is owned by the durability handle's append state, so
+/// pid assignment is serialized by the same lock that orders commit
+/// units in the log.
+#[derive(Debug, Default, Clone)]
+pub struct DictTable {
+    syms: Vec<Sym>,
+    pids: HashMap<Sym, u32>,
+}
+
+impl DictTable {
+    /// An empty table (fresh data directory).
+    pub fn new() -> Self {
+        DictTable::default()
+    }
+
+    /// Number of assigned pids.
+    pub fn len(&self) -> u32 {
+        self.syms.len() as u32
+    }
+
+    /// Whether no pid has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The pid for `sym`, assigning the next dense id if unseen.
+    pub fn pid_of(&mut self, sym: Sym) -> u32 {
+        if let Some(&pid) = self.pids.get(&sym) {
+            return pid;
+        }
+        let pid = self.syms.len() as u32;
+        self.syms.push(sym);
+        self.pids.insert(sym, pid);
+        pid
+    }
+
+    /// The symbol a pid maps to, if assigned.
+    pub fn sym_at(&self, pid: u32) -> Option<Sym> {
+        self.syms.get(pid as usize).copied()
+    }
+
+    /// The strings assigned pids `from..` (a commit unit's delta, when
+    /// `from` is the table length before encoding it).
+    pub fn strings_since(&self, from: u32) -> impl Iterator<Item = &'static str> + '_ {
+        self.syms[from as usize..].iter().map(|s| s.as_str())
+    }
+
+    /// Drop every assignment at or past `len` — undoes a unit whose
+    /// write failed, so the table tracks what the log actually holds.
+    pub fn truncate(&mut self, len: u32) {
+        for sym in self.syms.drain(len as usize..) {
+            self.pids.remove(&sym);
+        }
+    }
+
+    /// Append `s` as the next pid (rebuilding from a snapshot table or
+    /// a WAL delta). Interns the string.
+    pub fn push_str(&mut self, s: &str) {
+        let sym = Sym::intern(s);
+        let pid = self.syms.len() as u32;
+        self.syms.push(sym);
+        self.pids.insert(sym, pid);
+    }
+}
+
+/// Append one SQL value (tag + payload); text is encoded as its
+/// persistent dictionary id, assigned by `dict` on first sight.
+pub fn put_value(buf: &mut Vec<u8>, value: &Value, dict: &mut DictTable) {
     match value {
         Value::Null => buf.push(TAG_NULL),
         Value::Int(i) => {
@@ -80,7 +162,7 @@ pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
         }
         Value::Text(s) => {
             buf.push(TAG_TEXT);
-            put_str(buf, s);
+            put_u32(buf, dict.pid_of(*s));
         }
         Value::Bool(b) => {
             buf.push(TAG_BOOL);
@@ -94,10 +176,10 @@ pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
 }
 
 /// Append a full row (column count + values).
-pub fn put_row(buf: &mut Vec<u8>, row: &[Value]) {
+pub fn put_row(buf: &mut Vec<u8>, row: &[Value], dict: &mut DictTable) {
     put_u32(buf, row.len() as u32);
     for value in row {
-        put_value(buf, value);
+        put_value(buf, value, dict);
     }
 }
 
@@ -174,12 +256,23 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    /// Read one SQL value.
-    pub fn take_value(&mut self) -> DurResult<Value> {
+    /// Read one SQL value; text pids resolve through `dict` (every pid
+    /// must already be assigned — snapshot table or a preceding delta).
+    pub fn take_value(&mut self, dict: &DictTable) -> DurResult<Value> {
         Ok(match self.take_u8()? {
             TAG_NULL => Value::Null,
             TAG_INT => Value::Int(self.take_u64()? as i64),
-            TAG_TEXT => Value::Text(self.take_str()?),
+            TAG_TEXT => {
+                let pid = self.take_u32()?;
+                let sym = dict.sym_at(pid).ok_or_else(|| DurError::Corrupt {
+                    message: format!(
+                        "{} references dictionary id {pid} beyond table of {}",
+                        self.what,
+                        dict.len()
+                    ),
+                })?;
+                Value::Text(sym)
+            }
             TAG_BOOL => Value::Bool(self.take_u8()? != 0),
             TAG_DOUBLE => Value::Double(f64::from_bits(self.take_u64()?)),
             tag => {
@@ -191,7 +284,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Read a full row (column count + values).
-    pub fn take_row(&mut self) -> DurResult<Vec<rel::Value>> {
+    pub fn take_row(&mut self, dict: &DictTable) -> DurResult<Vec<rel::Value>> {
         let n = self.take_u32()? as usize;
         if n > self.remaining() {
             // A row cannot have more columns than bytes left; reject
@@ -200,7 +293,7 @@ impl<'a> Cursor<'a> {
         }
         let mut row = Vec::with_capacity(n);
         for _ in 0..n {
-            row.push(self.take_value()?);
+            row.push(self.take_value(dict)?);
         }
         Ok(row)
     }
@@ -230,10 +323,11 @@ mod tests {
             Value::Double(f64::INFINITY),
             Value::Double(2.5),
         ];
+        let mut dict = DictTable::new();
         let mut buf = Vec::new();
-        put_row(&mut buf, &values);
+        put_row(&mut buf, &values, &mut dict);
         let mut cursor = Cursor::new(&buf, "test");
-        let back = cursor.take_row().unwrap();
+        let back = cursor.take_row(&dict).unwrap();
         assert!(cursor.is_exhausted());
         // NaN-free inputs: PartialEq comparison is sound. Double(-0.0)
         // round-trips by bit pattern.
@@ -261,6 +355,55 @@ mod tests {
         let mut buf = Vec::new();
         put_u32(&mut buf, u32::MAX);
         let mut cursor = Cursor::new(&buf, "test");
-        assert!(matches!(cursor.take_row(), Err(DurError::Corrupt { .. })));
+        assert!(matches!(
+            cursor.take_row(&DictTable::new()),
+            Err(DurError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn text_values_encode_as_fixed_width_pids() {
+        let long = "x".repeat(200);
+        let mut dict = DictTable::new();
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::text(&long), &mut dict);
+        put_value(&mut buf, &Value::text(&long), &mut dict);
+        // Tag + u32 pid each, regardless of string length; one pid.
+        assert_eq!(buf.len(), 10);
+        assert_eq!(dict.len(), 1);
+        let mut cursor = Cursor::new(&buf, "test");
+        assert_eq!(cursor.take_value(&dict).unwrap(), Value::text(&long));
+        assert_eq!(cursor.take_value(&dict).unwrap(), Value::text(&long));
+    }
+
+    #[test]
+    fn unassigned_pid_is_corrupt_not_a_panic() {
+        let mut dict = DictTable::new();
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::text("only"), &mut dict);
+        let mut cursor = Cursor::new(&buf, "test");
+        assert!(matches!(
+            cursor.take_value(&DictTable::new()),
+            Err(DurError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn dict_table_truncate_rolls_back_assignments() {
+        let mut dict = DictTable::new();
+        let a = dict.pid_of(rel::Sym::intern("dict-tbl-a"));
+        let mark = dict.len();
+        dict.pid_of(rel::Sym::intern("dict-tbl-b"));
+        dict.pid_of(rel::Sym::intern("dict-tbl-c"));
+        assert_eq!(
+            dict.strings_since(mark).collect::<Vec<_>>(),
+            ["dict-tbl-b", "dict-tbl-c"]
+        );
+        dict.truncate(mark);
+        assert_eq!(dict.len(), mark);
+        // Rolled-back strings get fresh pids on re-encode.
+        assert_eq!(dict.pid_of(rel::Sym::intern("dict-tbl-b")), mark);
+        // Retained assignments are untouched.
+        assert_eq!(dict.pid_of(rel::Sym::intern("dict-tbl-a")), a);
     }
 }

@@ -47,6 +47,7 @@ pub mod wal;
 
 pub use error::{DurError, DurResult};
 
+use crate::codec::DictTable;
 use crate::error::IoContext;
 use rel::{Database, LogicalOp};
 use std::fs::{File, OpenOptions};
@@ -61,13 +62,16 @@ pub const WAL_FILE: &str = "wal.log";
 // Sentinel for "no snapshot yet" in the atomic last-snapshot slot.
 const NO_SNAPSHOT: u64 = u64::MAX;
 
-// Append-side state: the next commit sequence and the current log size.
-// Guarded by one mutex so records are framed into the file atomically
-// and in sequence order.
+// Append-side state: the next commit sequence, the current log size,
+// and the persistent-id dictionary table. Guarded by one mutex so
+// records are framed into the file atomically and in sequence order —
+// which also serializes pid assignment, keeping pids dense in commit
+// order.
 #[derive(Debug)]
 struct AppendState {
     next_seq: u64,
     wal_bytes: u64,
+    dict: DictTable,
 }
 
 // Sync-side state for group commit.
@@ -172,15 +176,15 @@ impl Durability {
         //    (Snapshots are written temp + fsync + rename, so a crashed
         //    checkpoint never leaves a half-written file under the
         //    final name — a corrupt one means bit rot or tampering.)
-        let mut base: Option<(u64, Database)> = None;
+        let mut base: Option<(u64, Database, DictTable)> = None;
         if let Some((seq, path)) = snapshot::list_snapshots(&dir)?.into_iter().next() {
             let bytes = std::fs::read(&path).io_context(format!("read {}", path.display()))?;
-            let (snapshot_seq, db) = snapshot::decode_snapshot(&bytes, initial.schema())?;
+            let (snapshot_seq, db, dict) = snapshot::decode_snapshot(&bytes, initial.schema())?;
             debug_assert_eq!(snapshot_seq, seq, "file name vs content");
-            base = Some((snapshot_seq, db));
+            base = Some((snapshot_seq, db, dict));
         }
-        let snapshot_seq = base.as_ref().map(|(seq, _)| *seq);
-        let (base_seq, mut db) = base.unwrap_or((0, initial));
+        let snapshot_seq = base.as_ref().map(|(seq, ..)| *seq);
+        let (base_seq, mut db, mut dict) = base.unwrap_or((0, initial, DictTable::new()));
 
         // 2. The WAL: open for appending, scan, replay the committed
         //    suffix, truncate anything torn.
@@ -218,7 +222,11 @@ impl Durability {
             });
         } else {
             wal_was_empty = bytes.len() == wal::WAL_MAGIC.len();
-            let scan = wal::scan_records(&bytes[wal::WAL_MAGIC.len()..]);
+            // The scan extends the snapshot-seeded dictionary table
+            // with each committed unit's delta (and rolls torn units'
+            // deltas back), so afterwards `dict` is exactly the
+            // writer's table as of the durable prefix.
+            let scan = wal::scan_records(&bytes[wal::WAL_MAGIC.len()..], &mut dict);
             for unit in &scan.units {
                 // Units at or below the snapshot's sequence are already
                 // materialized (a crash between snapshot rename and WAL
@@ -246,7 +254,7 @@ impl Durability {
         //    state as snapshot-0 so it survives restarts.
         let mut last_snapshot = snapshot_seq;
         if snapshot_seq.is_none() && wal_was_empty {
-            snapshot::write_snapshot(&dir, 0, &db)?;
+            snapshot::write_snapshot(&dir, 0, &db, &mut dict)?;
             last_snapshot = Some(0);
         }
 
@@ -257,6 +265,7 @@ impl Durability {
             append: Mutex::new(AppendState {
                 next_seq,
                 wal_bytes,
+                dict,
             }),
             sync: Mutex::new(SyncState {
                 synced_seq,
@@ -306,7 +315,8 @@ impl Durability {
             return Err(DurError::Poisoned);
         }
         let seq = append.next_seq;
-        let unit = wal::encode_commit_unit(seq, ops);
+        let dict_mark = append.dict.len();
+        let unit = wal::encode_commit_unit(seq, ops, &mut append.dict);
         match (&self.wal_file).write_all(&unit) {
             Ok(()) => {
                 append.next_seq += 1;
@@ -315,6 +325,11 @@ impl Durability {
                 Ok(seq)
             }
             Err(source) => {
+                // The unit never (fully) reached the log, so the pids
+                // it assigned must not be considered taken — recovery
+                // will not see them. (The poison refuses further writes
+                // anyway; this keeps the table honest for stats.)
+                append.dict.truncate(dict_mark);
                 self.poisoned.store(true, Ordering::SeqCst);
                 Err(DurError::Io {
                     context: "append commit unit to wal".into(),
@@ -398,8 +413,19 @@ impl Durability {
         }
         let seq = append.next_seq - 1;
         // Stage 1: write the snapshot. A failure here is a clean abort
-        // — the WAL is untouched and stays authoritative.
-        let snapshot_written = snapshot::write_snapshot(&self.dir, seq, db).map(|_| ());
+        // — the WAL is untouched and stays authoritative. The snapshot
+        // embeds the live dictionary table (under the append lock, so
+        // no unit can extend it mid-serialization). Pids freshly
+        // assigned *during* serialization are durable only if the
+        // snapshot landed; on failure they must be rolled back, or a
+        // later commit unit would reference pids no durable delta
+        // declares.
+        let dict_mark = append.dict.len();
+        let snapshot_written =
+            snapshot::write_snapshot(&self.dir, seq, db, &mut append.dict).map(|_| ());
+        if snapshot_written.is_err() {
+            append.dict.truncate(dict_mark);
+        }
         let snapshot_ok = snapshot_written.is_ok();
         let result = match snapshot_written {
             Err(e) => Err(e),

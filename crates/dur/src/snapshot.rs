@@ -5,11 +5,20 @@
 //! fingerprint.
 //!
 //! ```text
-//! file := MAGIC seq:u64 fingerprint:u64 n_tables:u32 table* crc32:u32
+//! file := MAGIC seq:u64 fingerprint:u64
+//!         n_syms:u32 str*               (dictionary: pid → string)
+//!         n_tables:u32 table* crc32:u32
 //! table := name:str next_row_id:u64
 //!          n_secondary:u32 column:str*
 //!          n_rows:u64 (row_id:u64 row)*
 //! ```
+//!
+//! Text cells inside rows are persistent dictionary ids; the embedded
+//! dictionary section is the *full* live pid table at checkpoint time
+//! (not just the strings the heap references), because WAL units
+//! written after the checkpoint extend the writer's table from its
+//! current end — recovery must resume the pid space exactly where the
+//! writer left it.
 //!
 //! Snapshots are written to a temporary name, fsynced, and renamed into
 //! place, so a crash mid-checkpoint leaves the previous snapshot
@@ -24,14 +33,15 @@
 //! them; the explicit `next_row_id` per table covers the one allocator
 //! that is *not* derivable when a table's newest rows were deleted.
 
-use crate::codec::{crc32, put_row, put_str, put_u32, put_u64, Cursor};
+use crate::codec::{crc32, put_row, put_str, put_u32, put_u64, Cursor, DictTable};
 use crate::error::{DurError, DurResult, IoContext};
 use rel::{Database, LogicalOp, Schema};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Snapshot file magic + format version.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OASNAP01";
+/// Snapshot file magic + format version (bumped to 02 when snapshots
+/// grew the embedded dictionary table).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OASNAP02";
 
 /// Name of the snapshot covering commit `seq`.
 pub fn snapshot_file_name(seq: u64) -> String {
@@ -66,6 +76,10 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 /// deterministic.
 pub fn schema_fingerprint(schema: &Schema) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    // Value-encoding generation: bumped when the cell format changed
+    // (text cells became dictionary pids), so a fingerprint match
+    // guarantees the row payloads decode, not just the schema.
+    fnv1a(&mut hash, b"VDICT1");
     for table in schema.tables() {
         fnv1a(&mut hash, b"T");
         fnv1a(&mut hash, table.name.as_bytes());
@@ -110,37 +124,53 @@ pub fn schema_fingerprint(schema: &Schema) -> u64 {
 // ----------------------------------------------------------------------
 
 /// Serialize `db` as the snapshot covering commit `seq`.
-pub fn encode_snapshot(seq: u64, db: &Database) -> Vec<u8> {
-    let mut out = Vec::new();
+///
+/// `dict` is the live persistent-id table; heap strings it has not yet
+/// assigned (possible on the very first checkpoint, whose base data
+/// never crossed the WAL) get pids here, and the snapshot embeds the
+/// full table.
+pub fn encode_snapshot(seq: u64, db: &Database, dict: &mut DictTable) -> Vec<u8> {
+    // Encode the tables first: pid assignment happens while rows are
+    // serialized, and the embedded dictionary must precede them.
+    let tables: Vec<_> = db.schema().tables().map(|t| t.name.clone()).collect();
+    let mut body = Vec::new();
+    put_u32(&mut body, tables.len() as u32);
+    for table in &tables {
+        put_str(&mut body, table);
+        put_u64(&mut body, db.next_row_id(table).expect("schema table"));
+        let secondary = db.secondary_index_columns(table).expect("schema table");
+        put_u32(&mut body, secondary.len() as u32);
+        for column in &secondary {
+            put_str(&mut body, column);
+        }
+        put_u64(&mut body, db.row_count(table).expect("schema table") as u64);
+        for (row_id, row) in db.scan(table).expect("schema table") {
+            put_u64(&mut body, row_id);
+            put_row(&mut body, row, dict);
+        }
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 64);
     out.extend_from_slice(SNAPSHOT_MAGIC);
     put_u64(&mut out, seq);
     put_u64(&mut out, schema_fingerprint(db.schema()));
-    let tables: Vec<_> = db.schema().tables().map(|t| t.name.clone()).collect();
-    put_u32(&mut out, tables.len() as u32);
-    for table in &tables {
-        put_str(&mut out, table);
-        put_u64(&mut out, db.next_row_id(table).expect("schema table"));
-        let secondary = db.secondary_index_columns(table).expect("schema table");
-        put_u32(&mut out, secondary.len() as u32);
-        for column in &secondary {
-            put_str(&mut out, column);
-        }
-        put_u64(&mut out, db.row_count(table).expect("schema table") as u64);
-        for (row_id, row) in db.scan(table).expect("schema table") {
-            put_u64(&mut out, row_id);
-            put_row(&mut out, row);
-        }
+    put_u32(&mut out, dict.len());
+    for s in dict.strings_since(0) {
+        put_str(&mut out, s);
     }
+    out.extend_from_slice(&body);
     let crc = crc32(&out);
     put_u32(&mut out, crc);
     out
 }
 
-/// Decode a snapshot against the booting `schema`. Fails with
-/// [`DurError::SchemaMismatch`] when the snapshot was written for a
-/// different schema and [`DurError::Corrupt`] on any structural or
-/// checksum damage.
-pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database)> {
+/// Decode a snapshot against the booting `schema`, returning the
+/// sequence it covers, the rebuilt database, and the persistent-id
+/// table it embeds (which the caller seeds the live table from before
+/// scanning the WAL). Fails with [`DurError::SchemaMismatch`] when the
+/// snapshot was written for a different schema and
+/// [`DurError::Corrupt`] on any structural or checksum damage.
+pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database, DictTable)> {
     if data.len() < SNAPSHOT_MAGIC.len() + 4 || &data[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(DurError::Corrupt {
             message: "snapshot magic missing".into(),
@@ -163,6 +193,12 @@ pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database
             found: fingerprint,
         });
     }
+    let mut dict = DictTable::new();
+    let n_syms = cursor.take_u32()?;
+    for _ in 0..n_syms {
+        let s = cursor.take_str()?;
+        dict.push_str(&s);
+    }
     let mut db = Database::new(schema.clone())?;
     let n_tables = cursor.take_u32()?;
     for _ in 0..n_tables {
@@ -176,7 +212,7 @@ pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database
         let n_rows = cursor.take_u64()?;
         for _ in 0..n_rows {
             let row_id = cursor.take_u64()?;
-            let row = cursor.take_row()?;
+            let row = cursor.take_row(&dict)?;
             db.apply_logical(&LogicalOp::Insert {
                 table: table.clone(),
                 row_id,
@@ -190,7 +226,7 @@ pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database
             message: format!("snapshot carries {} trailing byte(s)", cursor.remaining()),
         });
     }
-    Ok((seq, db))
+    Ok((seq, db, dict))
 }
 
 // ----------------------------------------------------------------------
@@ -200,8 +236,8 @@ pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database
 /// Durably write the snapshot covering `seq` into `dir`
 /// (write-to-temporary, fsync, rename, fsync directory) and return its
 /// final path.
-pub fn write_snapshot(dir: &Path, seq: u64, db: &Database) -> DurResult<PathBuf> {
-    let bytes = encode_snapshot(seq, db);
+pub fn write_snapshot(dir: &Path, seq: u64, db: &Database, dict: &mut DictTable) -> DurResult<PathBuf> {
+    let bytes = encode_snapshot(seq, db, dict);
     let final_path = dir.join(snapshot_file_name(seq));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
     {
@@ -290,8 +326,8 @@ mod tests {
     #[test]
     fn snapshot_round_trips_byte_identically() {
         let db = sample_db();
-        let bytes = encode_snapshot(42, &db);
-        let (seq, loaded) = decode_snapshot(&bytes, db.schema()).unwrap();
+        let bytes = encode_snapshot(42, &db, &mut DictTable::new());
+        let (seq, loaded, dict) = decode_snapshot(&bytes, db.schema()).unwrap();
         assert_eq!(seq, 42);
         for table in ["team", "author"] {
             let a: Vec<_> = db.scan(table).unwrap().collect();
@@ -306,8 +342,27 @@ mod tests {
                 loaded.secondary_index_columns(table).unwrap()
             );
         }
-        // Re-encoding the loaded database is bit-identical.
-        assert_eq!(encode_snapshot(42, &loaded), bytes);
+        // Re-encoding the loaded database is bit-identical: pids are
+        // assigned in deterministic scan order.
+        assert_eq!(encode_snapshot(42, &loaded, &mut DictTable::new()), bytes);
+        // Re-encoding against the *decoded* table is also identical —
+        // the live writer path after recovery.
+        let mut resumed = dict.clone();
+        assert_eq!(encode_snapshot(42, &loaded, &mut resumed), bytes);
+    }
+
+    #[test]
+    fn snapshot_embeds_the_full_live_table() {
+        // Pids assigned by WAL traffic whose strings no longer appear
+        // in the heap must survive a checkpoint: later WAL units extend
+        // the table from the writer's end.
+        let db = sample_db();
+        let mut dict = DictTable::new();
+        dict.push_str("deleted-from-heap");
+        let bytes = encode_snapshot(1, &db, &mut dict);
+        let (_, _, decoded) = decode_snapshot(&bytes, db.schema()).unwrap();
+        assert_eq!(decoded.len(), dict.len());
+        assert_eq!(decoded.sym_at(0), dict.sym_at(0));
     }
 
     #[test]
@@ -315,8 +370,8 @@ mod tests {
         let mut db = sample_db();
         let rid = db.find_by_pk("author", &[Value::Int(10)]).unwrap().unwrap();
         db.delete_row("author", rid).unwrap();
-        let bytes = encode_snapshot(1, &db);
-        let (_, loaded) = decode_snapshot(&bytes, db.schema()).unwrap();
+        let bytes = encode_snapshot(1, &db, &mut DictTable::new());
+        let (_, loaded, _) = decode_snapshot(&bytes, db.schema()).unwrap();
         assert_eq!(
             db.next_row_id("author").unwrap(),
             loaded.next_row_id("author").unwrap()
@@ -326,7 +381,7 @@ mod tests {
     #[test]
     fn corruption_and_schema_change_are_rejected() {
         let db = sample_db();
-        let bytes = encode_snapshot(1, &db);
+        let bytes = encode_snapshot(1, &db, &mut DictTable::new());
         // Any flipped byte fails the checksum (or the magic).
         for at in [0, 8, bytes.len() / 2, bytes.len() - 1] {
             let mut bad = bytes.clone();

@@ -5,11 +5,24 @@
 //! file   := MAGIC record*
 //! record := len:u32  crc32(payload):u32  payload[len]
 //! payload:= BEGIN seq:u64
-//!         | OPS   seq:u64 group*        (insert/update/delete batches)
+//!         | OPS   seq:u64 delta group*  (insert/update/delete batches)
 //!         | COMMIT seq:u64
+//! delta  := base:u32 n_new:u32 str*     (strings this unit first
+//!                                        assigned persistent ids
+//!                                        base..base+n_new)
 //! group  := kind:u8 table:str rows…     (consecutive ops of one kind
-//!                                        and table, batched)
+//!                                        and table, batched; TEXT cell
+//!                                        = dictionary pid:u32)
 //! ```
+//!
+//! Text cells inside rows are fixed-width persistent dictionary ids
+//! ([`crate::codec::DictTable`]): each string crosses the log once — in
+//! the delta of the first commit unit that stores it — and every later
+//! occurrence costs 4 bytes. The delta carries its explicit `base` so a
+//! scan can both *rebuild* the table (applied units extend it exactly at
+//! `base == len`) and *verify* units already covered by a snapshot
+//! (`base + n_new ≤ len` must re-state the same strings); any mismatch
+//! is treated like structural corruption and ends the scan.
 //!
 //! One committed transaction is one *commit unit*: `BEGIN seq`, one
 //! `OPS seq` record carrying every logical operation the transaction
@@ -25,12 +38,13 @@
 //! "dropped" safe: any partial or bit-flipped record fails its CRC and
 //! terminates the scan *before* the damage can be applied.
 
-use crate::codec::{crc32, put_row, put_str, put_u32, put_u64, Cursor};
+use crate::codec::{crc32, put_row, put_str, put_u32, put_u64, Cursor, DictTable};
 use crate::error::{DurError, DurResult};
 use rel::{LogicalOp, RowId};
 
-/// WAL file magic + format version.
-pub const WAL_MAGIC: &[u8; 8] = b"OAWAL001";
+/// WAL file magic + format version (bumped to 002 when text cells
+/// became dictionary pids).
+pub const WAL_MAGIC: &[u8; 8] = b"OAWAL002";
 
 const KIND_BEGIN: u8 = 1;
 const KIND_OPS: u8 = 2;
@@ -76,7 +90,12 @@ fn group_kind(op: &LogicalOp) -> (u8, &str) {
 /// Consecutive operations of one kind against one table are folded
 /// into a batch so the table name is stored once per run — the
 /// set-based write pipeline produces exactly such runs.
-pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp]) -> Vec<u8> {
+///
+/// `dict` is the live persistent-id table; strings first seen by this
+/// unit are assigned the next dense pids and written into the unit's
+/// delta section. On a failed append the caller must undo those
+/// assignments ([`DictTable::truncate`] back to the pre-call length).
+pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp], dict: &mut DictTable) -> Vec<u8> {
     // Count batch boundaries first so the OPS payload can lead with
     // its group count.
     let mut groups: Vec<(u8, &str, &[LogicalOp])> = Vec::new();
@@ -90,26 +109,37 @@ pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp]) -> Vec<u8> {
         }
     }
 
-    let mut payload = Vec::new();
-    payload.push(KIND_OPS);
-    put_u64(&mut payload, seq);
-    put_u32(&mut payload, groups.len() as u32);
+    // Encode the row groups first: pid assignment happens here, and the
+    // delta of newly assigned strings must precede the rows on disk.
+    let base = dict.len();
+    let mut body = Vec::new();
+    put_u32(&mut body, groups.len() as u32);
     for (kind, table, batch) in groups {
-        payload.push(kind);
-        put_str(&mut payload, table);
-        put_u32(&mut payload, batch.len() as u32);
+        body.push(kind);
+        put_str(&mut body, table);
+        put_u32(&mut body, batch.len() as u32);
         for op in batch {
             match op {
                 LogicalOp::Insert { row_id, row, .. } | LogicalOp::Update { row_id, row, .. } => {
-                    put_u64(&mut payload, *row_id);
-                    put_row(&mut payload, row);
+                    put_u64(&mut body, *row_id);
+                    put_row(&mut body, row, dict);
                 }
                 LogicalOp::Delete { row_id, .. } => {
-                    put_u64(&mut payload, *row_id);
+                    put_u64(&mut body, *row_id);
                 }
             }
         }
     }
+
+    let mut payload = Vec::with_capacity(body.len() + 32);
+    payload.push(KIND_OPS);
+    put_u64(&mut payload, seq);
+    put_u32(&mut payload, base);
+    put_u32(&mut payload, dict.len() - base);
+    for s in dict.strings_since(base) {
+        put_str(&mut payload, s);
+    }
+    payload.extend_from_slice(&body);
 
     let mut out = Vec::with_capacity(payload.len() + 42);
     push_record(&mut out, &marker(KIND_BEGIN, seq));
@@ -129,7 +159,7 @@ enum Record {
     Commit(u64),
 }
 
-fn decode_payload(payload: &[u8]) -> DurResult<Record> {
+fn decode_payload(payload: &[u8], dict: &mut DictTable) -> DurResult<Record> {
     let mut cursor = Cursor::new(payload, "wal record");
     let kind = cursor.take_u8()?;
     let seq = cursor.take_u64()?;
@@ -137,6 +167,36 @@ fn decode_payload(payload: &[u8]) -> DurResult<Record> {
         KIND_BEGIN => Record::Begin(seq),
         KIND_COMMIT => Record::Commit(seq),
         KIND_OPS => {
+            // Dictionary delta: strings this unit assigned pids
+            // base..base+n_new. A unit already covered by a snapshot
+            // re-states pids the snapshot table holds — verify them;
+            // a fresh unit must extend the table exactly at its end.
+            let base = cursor.take_u32()?;
+            let n_new = cursor.take_u32()?;
+            if base > dict.len() {
+                return Err(DurError::Corrupt {
+                    message: format!(
+                        "wal record delta starts at pid {base} beyond table of {}",
+                        dict.len()
+                    ),
+                });
+            }
+            for i in 0..n_new {
+                let s = cursor.take_str()?;
+                let pid = base + i;
+                match dict.sym_at(pid) {
+                    Some(known) if known.as_str() == s => {}
+                    Some(known) => {
+                        return Err(DurError::Corrupt {
+                            message: format!(
+                                "wal record delta re-states pid {pid} as {s:?}, table holds {:?}",
+                                known.as_str()
+                            ),
+                        })
+                    }
+                    None => dict.push_str(&s),
+                }
+            }
             let n_groups = cursor.take_u32()?;
             let mut ops = Vec::new();
             for _ in 0..n_groups {
@@ -149,12 +209,12 @@ fn decode_payload(payload: &[u8]) -> DurResult<Record> {
                         GROUP_INSERT => LogicalOp::Insert {
                             table: table.clone(),
                             row_id,
-                            row: cursor.take_row()?,
+                            row: cursor.take_row(dict)?,
                         },
                         GROUP_UPDATE => LogicalOp::Update {
                             table: table.clone(),
                             row_id,
-                            row: cursor.take_row()?,
+                            row: cursor.take_row(dict)?,
                         },
                         GROUP_DELETE => LogicalOp::Delete {
                             table: table.clone(),
@@ -202,16 +262,21 @@ pub struct WalScan {
     pub durable_end: u64,
 }
 
-/// Scan the record stream (the file content *after* [`WAL_MAGIC`]).
+/// Scan the record stream (the file content *after* [`WAL_MAGIC`]),
+/// extending `dict` with each unit's dictionary delta as it decodes.
 ///
 /// The scan is prefix-greedy and never fails: any malformed, torn, or
 /// checksum-failing record — or a complete record that breaks the
 /// `BEGIN → OPS → COMMIT` bracketing — ends the scan at the last fully
 /// committed unit. That torn-tail tolerance is the crash contract; a
-/// *clean* log simply scans to its end.
-pub fn scan_records(data: &[u8]) -> WalScan {
+/// *clean* log simply scans to its end. On return `dict` holds exactly
+/// the assignments of the committed units (a torn unit's delta, applied
+/// while decoding its OPS record, is rolled back), so the caller can
+/// adopt it as the live table for subsequent appends.
+pub fn scan_records(data: &[u8], dict: &mut DictTable) -> WalScan {
     let mut units = Vec::new();
     let mut durable_end = WAL_MAGIC.len() as u64;
+    let mut durable_dict_len = dict.len();
     let mut pos = 0usize;
     // The unit being assembled: (seq, ops once the OPS record arrived).
     let mut pending: Option<(u64, Option<Vec<LogicalOp>>)> = None;
@@ -226,7 +291,7 @@ pub fn scan_records(data: &[u8]) -> WalScan {
         if crc32(payload) != crc {
             break; // bit rot or torn write inside the payload
         }
-        let Ok(record) = decode_payload(payload) else {
+        let Ok(record) = decode_payload(payload, dict) else {
             break; // structurally invalid payload
         };
         pos += 8 + len as usize;
@@ -246,11 +311,16 @@ pub fn scan_records(data: &[u8]) -> WalScan {
                 Some((begin_seq, Some(ops))) if begin_seq == seq => {
                     units.push(CommitUnit { seq, ops });
                     durable_end = WAL_MAGIC.len() as u64 + pos as u64;
+                    durable_dict_len = dict.len();
                 }
                 _ => break, // COMMIT without BEGIN+OPS: bracketing broken
             },
         }
     }
+    // The table must describe the durable prefix only: an OPS record
+    // whose COMMIT never made it extended the table while decoding, and
+    // those pids will be reassigned by future appends.
+    dict.truncate(durable_dict_len);
     WalScan { units, durable_end }
 }
 
@@ -285,10 +355,12 @@ mod tests {
 
     #[test]
     fn commit_units_round_trip() {
+        let mut wdict = DictTable::new();
         let mut stream = Vec::new();
-        stream.extend_from_slice(&encode_commit_unit(1, &sample_ops()));
-        stream.extend_from_slice(&encode_commit_unit(2, &sample_ops()[..1]));
-        let scan = scan_records(&stream);
+        stream.extend_from_slice(&encode_commit_unit(1, &sample_ops(), &mut wdict));
+        stream.extend_from_slice(&encode_commit_unit(2, &sample_ops()[..1], &mut wdict));
+        let mut rdict = DictTable::new();
+        let scan = scan_records(&stream, &mut rdict);
         assert_eq!(scan.units.len(), 2);
         assert_eq!(scan.units[0].seq, 1);
         assert_eq!(scan.units[0].ops, sample_ops());
@@ -297,34 +369,58 @@ mod tests {
             scan.durable_end,
             WAL_MAGIC.len() as u64 + stream.len() as u64
         );
+        // The reader rebuilt the writer's pid table exactly.
+        assert_eq!(rdict.len(), wdict.len());
+        for pid in 0..wdict.len() {
+            assert_eq!(rdict.sym_at(pid), wdict.sym_at(pid));
+        }
+    }
+
+    #[test]
+    fn repeated_strings_cross_the_log_once() {
+        let mut dict = DictTable::new();
+        let first = encode_commit_unit(1, &sample_ops(), &mut dict);
+        // A later unit reusing the same strings carries an empty delta
+        // and fixed-width pid cells — far smaller than the first.
+        let second = encode_commit_unit(2, &sample_ops(), &mut dict);
+        assert!(second.len() < first.len());
+        assert_eq!(dict.len(), 2); // "A" and "B", once each
     }
 
     #[test]
     fn torn_tail_at_every_byte_keeps_complete_units() {
-        let first = encode_commit_unit(1, &sample_ops());
-        let second = encode_commit_unit(2, &sample_ops());
+        let mut wdict = DictTable::new();
+        let first = encode_commit_unit(1, &sample_ops(), &mut wdict);
+        let second = encode_commit_unit(2, &sample_ops(), &mut wdict);
         let mut stream = first.clone();
         stream.extend_from_slice(&second);
         let intact_end = WAL_MAGIC.len() as u64 + first.len() as u64;
         for cut in first.len()..stream.len() {
-            let scan = scan_records(&stream[..cut]);
+            let mut rdict = DictTable::new();
+            let scan = scan_records(&stream[..cut], &mut rdict);
             assert_eq!(scan.units.len(), 1, "cut at {cut}");
             assert_eq!(scan.durable_end, intact_end, "cut at {cut}");
+            // Only the surviving unit's delta remains in the table.
+            assert_eq!(rdict.len(), 2, "cut at {cut}");
         }
         // The uncut stream holds both.
-        assert_eq!(scan_records(&stream).units.len(), 2);
+        assert_eq!(
+            scan_records(&stream, &mut DictTable::new()).units.len(),
+            2
+        );
     }
 
     #[test]
     fn flipped_byte_drops_the_damaged_suffix() {
-        let first = encode_commit_unit(1, &sample_ops());
-        let second = encode_commit_unit(2, &sample_ops());
+        let mut wdict = DictTable::new();
+        let first = encode_commit_unit(1, &sample_ops(), &mut wdict);
+        let second = encode_commit_unit(2, &sample_ops(), &mut wdict);
         let mut stream = first.clone();
         stream.extend_from_slice(&second);
         for flip_at in first.len()..stream.len() {
             let mut corrupted = stream.clone();
             corrupted[flip_at] ^= 0xFF;
-            let scan = scan_records(&corrupted);
+            let scan = scan_records(&corrupted, &mut DictTable::new());
             assert_eq!(scan.units.len(), 1, "flip at {flip_at}");
             assert_eq!(scan.units[0].seq, 1);
         }
@@ -332,19 +428,40 @@ mod tests {
 
     #[test]
     fn unit_without_commit_is_not_applied() {
-        let full = encode_commit_unit(1, &sample_ops());
+        let full = encode_commit_unit(1, &sample_ops(), &mut DictTable::new());
         // Chop off the trailing COMMIT record (17 bytes: 8 header + 9
         // payload) — a complete BEGIN+OPS prefix, yet uncommitted.
         let chopped = &full[..full.len() - 17];
-        let scan = scan_records(chopped);
+        let mut rdict = DictTable::new();
+        let scan = scan_records(chopped, &mut rdict);
         assert!(scan.units.is_empty());
         assert_eq!(scan.durable_end, WAL_MAGIC.len() as u64);
+        // The uncommitted unit's delta was rolled back with it.
+        assert!(rdict.is_empty());
+    }
+
+    #[test]
+    fn snapshot_covered_units_verify_against_a_seeded_table() {
+        // A crash between snapshot rename and WAL truncation leaves
+        // units behind whose deltas the snapshot table already covers:
+        // the scan must verify, not re-extend.
+        let mut wdict = DictTable::new();
+        let stream = encode_commit_unit(1, &sample_ops(), &mut wdict);
+        let mut seeded = wdict.clone(); // what the snapshot would embed
+        let scan = scan_records(&stream, &mut seeded);
+        assert_eq!(scan.units.len(), 1);
+        assert_eq!(seeded.len(), wdict.len());
+        // A seeded table that *disagrees* ends the scan (corrupt tail).
+        let mut wrong = DictTable::new();
+        wrong.push_str("not-A");
+        wrong.push_str("not-B");
+        assert!(scan_records(&stream, &mut wrong).units.is_empty());
     }
 
     #[test]
     fn empty_transaction_encodes_and_scans() {
-        let unit = encode_commit_unit(7, &[]);
-        let scan = scan_records(&unit);
+        let unit = encode_commit_unit(7, &[], &mut DictTable::new());
+        let scan = scan_records(&unit, &mut DictTable::new());
         assert_eq!(scan.units.len(), 1);
         assert!(scan.units[0].ops.is_empty());
     }

@@ -5,7 +5,32 @@
 use rdf::namespace::PrefixMap;
 use rel::{Database, IndexKey, RowId, Value};
 
-/// Heap equality: every table's `(row id, values)` stream must match.
+/// A dictionary-decoded view of one cell: text ids are resolved back to
+/// their string content so heaps compare by what a client observes, not
+/// by interner id. Doubles compare by bit pattern (total equality).
+#[derive(Debug, PartialEq)]
+enum Decoded {
+    Null,
+    Int(i64),
+    DoubleBits(u64),
+    Bool(bool),
+    Text(&'static str),
+}
+
+fn decode(value: &Value) -> Decoded {
+    match value {
+        Value::Null => Decoded::Null,
+        Value::Int(i) => Decoded::Int(*i),
+        Value::Double(d) => Decoded::DoubleBits(d.to_bits()),
+        Value::Bool(b) => Decoded::Bool(*b),
+        Value::Text(s) => Decoded::Text(s.as_str()),
+    }
+}
+
+/// Heap equality: every table's `(row id, values)` stream must match —
+/// first on raw values (integer dictionary ids), then again through the
+/// decode layer, which catches any divergence between a text id and the
+/// string it resolves to.
 ///
 /// # Panics
 /// Panics (assert) on the first differing table, naming `context`.
@@ -22,6 +47,17 @@ pub fn assert_heaps_identical(a: &Database, b: &Database, context: &str) {
             .map(|(id, row)| (id, row.clone()))
             .collect();
         assert_eq!(rows_a, rows_b, "table {} differs: {context}", table.name);
+        let decoded = |rows: &[(RowId, Vec<Value>)]| -> Vec<(RowId, Vec<Decoded>)> {
+            rows.iter()
+                .map(|(id, row)| (*id, row.iter().map(decode).collect()))
+                .collect()
+        };
+        assert_eq!(
+            decoded(&rows_a),
+            decoded(&rows_b),
+            "table {} differs after decoding: {context}",
+            table.name
+        );
     }
 }
 

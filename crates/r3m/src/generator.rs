@@ -252,7 +252,7 @@ fn generate_attribute(
 
 fn default_lexical(v: &rel::Value) -> String {
     match v {
-        rel::Value::Text(s) => s.clone(),
+        rel::Value::Text(s) => s.as_str().to_owned(),
         other => other.to_string(),
     }
 }

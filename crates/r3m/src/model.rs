@@ -278,7 +278,7 @@ impl Mapping {
     pub fn instance_uri(
         &self,
         table: &TableMap,
-        lookup: &dyn Fn(&str) -> Option<String>,
+        lookup: &dyn Fn(&str) -> Option<std::borrow::Cow<'static, str>>,
     ) -> Result<Iri, crate::uri_pattern::PatternError> {
         let uri = table
             .uri_pattern
@@ -449,7 +449,7 @@ mod tests {
         let m = mapping();
         let t = m.table("author").unwrap();
         let uri = m
-            .instance_uri(t, &|attr| (attr == "id").then(|| "6".to_owned()))
+            .instance_uri(t, &|attr| (attr == "id").then(|| "6".into()))
             .unwrap();
         assert_eq!(uri.as_str(), "http://example.org/db/author6");
     }

@@ -149,11 +149,13 @@ impl UriPattern {
     }
 
     /// Generate a URI string by substituting attribute values.
-    /// `lookup` maps an attribute name to its rendered value.
+    /// `lookup` maps an attribute name to its rendered value — a `Cow`
+    /// so values materialized out of the string dictionary are borrowed
+    /// rather than cloned per substitution.
     pub fn generate(
         &self,
         prefix: Option<&str>,
-        lookup: &dyn Fn(&str) -> Option<String>,
+        lookup: &dyn Fn(&str) -> Option<std::borrow::Cow<'static, str>>,
     ) -> Result<String, PatternError> {
         let mut out = String::new();
         if !self.is_absolute() {
@@ -261,7 +263,7 @@ mod tests {
     fn generate_matches_paper_example() {
         let p = pattern("author%%id%%");
         let uri = p
-            .generate(Some(PREFIX), &|attr| (attr == "id").then(|| "6".to_owned()))
+            .generate(Some(PREFIX), &|attr| (attr == "id").then(|| "6".into()))
             .unwrap();
         assert_eq!(uri, "http://example.org/db/author6");
     }
@@ -334,7 +336,7 @@ mod tests {
     fn round_trip_property() {
         let p = pattern("team%%id%%");
         for id in ["1", "42", "999"] {
-            let uri = p.generate(Some(PREFIX), &|_| Some(id.to_owned())).unwrap();
+            let uri = p.generate(Some(PREFIX), &|_| Some(id.to_owned().into())).unwrap();
             let values = p.match_uri(Some(PREFIX), &uri).unwrap();
             assert_eq!(values, vec![("id".into(), id.to_owned())]);
         }

@@ -2,6 +2,7 @@
 
 use crate::iri::Iri;
 use crate::namespace::{xsd, xsd_is_integer};
+use std::borrow::Cow;
 use std::fmt;
 
 /// An RDF literal value.
@@ -11,9 +12,15 @@ use std::fmt;
 /// datatype/language), matching RDF term equality as used by
 /// `DELETE DATA` — the paper removes *known* triples, so `"5"` and `"05"`
 /// are distinct terms even though they denote the same integer.
+///
+/// The lexical form is a `Cow<'static, str>` so literals materialized
+/// out of dictionary-interned storage ([`Literal::plain_shared`],
+/// [`Literal::string_shared`]) borrow the single interned copy instead
+/// of cloning; parser-built literals own their form as before. `Cow`
+/// compares and hashes by content, so equality semantics are unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Literal {
-    lexical: String,
+    lexical: Cow<'static, str>,
     kind: LiteralKind,
 }
 
@@ -32,8 +39,27 @@ impl Literal {
     /// A plain literal (no language tag, no datatype).
     pub fn plain(lexical: impl Into<String>) -> Self {
         Literal {
-            lexical: lexical.into(),
+            lexical: Cow::Owned(lexical.into()),
             kind: LiteralKind::Plain,
+        }
+    }
+
+    /// A plain literal borrowing a `'static` lexical form — used when
+    /// materializing results out of the string dictionary, where the
+    /// interned copy outlives the process and cloning would be waste.
+    pub fn plain_shared(lexical: &'static str) -> Self {
+        Literal {
+            lexical: Cow::Borrowed(lexical),
+            kind: LiteralKind::Plain,
+        }
+    }
+
+    /// An `xsd:string`-typed literal borrowing a `'static` lexical form
+    /// (dictionary-backed counterpart of [`Literal::string`]).
+    pub fn string_shared(lexical: &'static str) -> Self {
+        Literal {
+            lexical: Cow::Borrowed(lexical),
+            kind: LiteralKind::Typed(xsd::string()),
         }
     }
 
@@ -41,7 +67,7 @@ impl Literal {
     /// RDF concepts §6.
     pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Self {
         Literal {
-            lexical: lexical.into(),
+            lexical: Cow::Owned(lexical.into()),
             kind: LiteralKind::LanguageTagged(tag.into().to_ascii_lowercase()),
         }
     }
@@ -49,7 +75,7 @@ impl Literal {
     /// A typed literal with an explicit datatype IRI.
     pub fn typed(lexical: impl Into<String>, datatype: Iri) -> Self {
         Literal {
-            lexical: lexical.into(),
+            lexical: Cow::Owned(lexical.into()),
             kind: LiteralKind::Typed(datatype),
         }
     }

@@ -44,7 +44,7 @@ fn probe_key(ty: SqlType, value: &Value) -> ProbeKey {
                 ProbeKey::NoMatch
             }
         }
-        (SqlType::Varchar, Value::Text(s)) => ProbeKey::Key(IndexKey::Text(s.clone())),
+        (SqlType::Varchar, Value::Text(s)) => ProbeKey::Key(IndexKey::Text(*s)),
         (SqlType::Boolean, Value::Bool(b)) => ProbeKey::Key(IndexKey::Bool(*b)),
         // Remaining combinations compare unequal-typed non-null values:
         // SQL equality is FALSE.

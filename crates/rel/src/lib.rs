@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod dict;
 pub mod error;
 pub mod schema;
 pub mod storage;
@@ -45,6 +46,7 @@ pub mod sql {
 }
 
 pub use database::{Database, LogicalOp, ProbeIds, SavepointId};
+pub use dict::{dictionary_stats, DictionaryStats, Sym};
 pub use error::{RelError, RelResult};
 pub use schema::{Check, Column, ForeignKey, Schema, Table, TableBuilder};
 pub use storage::{RowId, TableData};

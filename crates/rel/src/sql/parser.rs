@@ -568,7 +568,7 @@ impl Parser {
 
     fn parse_literal(&mut self) -> RelResult<Value> {
         match self.bump() {
-            Tok::Str(s) => Ok(Value::Text(s)),
+            Tok::Str(s) => Ok(Value::text(s)),
             Tok::Int(i) => Ok(Value::Int(i)),
             Tok::Float(f) => Ok(Value::Double(f)),
             Tok::Symbol(s) if s == "-" => match self.bump() {

@@ -22,20 +22,34 @@ impl fmt::Display for Statement {
     }
 }
 
+// `a, b, …` — streams straight into the formatter. The grouped-DML
+// emit path renders statements with thousands of tuples; collecting
+// each into a `Vec<String>` to `join` doubled the allocation traffic.
+fn fmt_separated<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    items: impl IntoIterator<Item = T>,
+) -> fmt::Result {
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
 // `(v1, v2, …)`.
 fn fmt_tuple(f: &mut fmt::Formatter<'_>, values: &[crate::value::Value]) -> fmt::Result {
-    let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-    write!(f, "({})", rendered.join(", "))
+    f.write_str("(")?;
+    fmt_separated(f, values)?;
+    f.write_str(")")
 }
 
 impl fmt::Display for InsertStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "INSERT INTO {} ({}) VALUES ",
-            self.table,
-            self.columns.join(", "),
-        )?;
+        write!(f, "INSERT INTO {} (", self.table)?;
+        fmt_separated(f, &self.columns)?;
+        f.write_str(") VALUES ")?;
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -48,33 +62,37 @@ impl fmt::Display for InsertStmt {
 
 impl fmt::Display for BulkUpdateStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "UPDATE {} BY ({}) SET ({}) VALUES ",
-            self.table,
-            self.key_columns.join(", "),
-            self.set_columns.join(", "),
-        )?;
+        write!(f, "UPDATE {} BY (", self.table)?;
+        fmt_separated(f, &self.key_columns)?;
+        f.write_str(") SET (")?;
+        fmt_separated(f, &self.set_columns)?;
+        f.write_str(") VALUES ")?;
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            let flat: Vec<crate::value::Value> =
-                row.key.iter().chain(row.set.iter()).cloned().collect();
-            fmt_tuple(f, &flat)?;
+            // Key then set values, one tuple, no flattening allocation.
+            f.write_str("(")?;
+            fmt_separated(f, row.key.iter().chain(row.set.iter()))?;
+            f.write_str(")")?;
         }
         write!(f, ";")
     }
 }
 
+struct Assignment<'a>(&'a (String, Expr));
+
+impl fmt::Display for Assignment<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (col, expr) = self.0;
+        write!(f, "{col} = {expr}")
+    }
+}
+
 impl fmt::Display for UpdateStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sets: Vec<String> = self
-            .assignments
-            .iter()
-            .map(|(col, expr)| format!("{col} = {expr}"))
-            .collect();
-        write!(f, "UPDATE {} SET {}", self.table, sets.join(", "))?;
+        write!(f, "UPDATE {} SET ", self.table)?;
+        fmt_separated(f, self.assignments.iter().map(Assignment))?;
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
         }
@@ -98,10 +116,9 @@ impl fmt::Display for SelectStmt {
         if self.distinct {
             write!(f, "DISTINCT ")?;
         }
-        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
-        write!(f, "{}", items.join(", "))?;
-        let tables: Vec<String> = self.from.iter().map(|t| t.to_string()).collect();
-        write!(f, " FROM {}", tables.join(", "))?;
+        fmt_separated(f, &self.items)?;
+        f.write_str(" FROM ")?;
+        fmt_separated(f, &self.from)?;
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
         }
@@ -207,8 +224,8 @@ impl fmt::Display for Expr {
                 } else {
                     write!(f, " IN (")?;
                 }
-                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{})", items.join(", "))
+                fmt_separated(f, list)?;
+                f.write_str(")")
             }
         }
     }

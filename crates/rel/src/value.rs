@@ -1,5 +1,6 @@
 //! SQL data types and runtime values.
 
+use crate::dict::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -32,14 +33,21 @@ impl fmt::Display for SqlType {
 ///
 /// `Null` is a distinct variant rather than an `Option` wrapper because
 /// three-valued logic threads through expression evaluation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Text is carried as an interned [`Sym`], so a `Value` is a fixed-size
+/// `Copy` scalar: equality and hashing never touch string bytes, rows
+/// hold 4-byte ids instead of heap `String`s, and cloning a row is a
+/// memcpy. The string itself lives in the process-global dictionary
+/// ([`crate::dict`]) and is borrowed back out at the serialization
+/// edges via [`Value::as_text`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// SQL NULL.
     Null,
     /// Integer value.
     Int(i64),
-    /// String value.
-    Text(String),
+    /// String value, interned in the global dictionary.
+    Text(Sym),
     /// Boolean value.
     Bool(bool),
     /// Double value.
@@ -47,14 +55,24 @@ pub enum Value {
 }
 
 impl Value {
-    /// Shorthand for a text value.
-    pub fn text(s: impl Into<String>) -> Value {
-        Value::Text(s.into())
+    /// Shorthand for a text value (interns the string).
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Sym::intern(s.as_ref()))
     }
 
     /// Whether this value is NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
+    }
+
+    /// The interned string if this is a text value. The borrow is
+    /// `'static`: the dictionary is append-only, so serialization
+    /// layers can hold it without cloning.
+    pub fn as_text(&self) -> Option<&'static str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 
     /// The type of this value, if non-null.
@@ -82,6 +100,9 @@ impl Value {
     }
 
     /// SQL equality: NULL compares equal to nothing (returns `None`).
+    ///
+    /// Text equality is an integer compare on the interned ids — the
+    /// dictionary guarantees equal strings intern to equal symbols.
     pub fn sql_eq(&self, other: &Value) -> Option<bool> {
         if self.is_null() || other.is_null() {
             return None;
@@ -100,7 +121,14 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
-            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            // Symbol ids are assigned in intern order, not lexicographic
+            // order, so `<`/`>` resolve the strings. Equality short-cut
+            // first: same symbol is the common case in residuals.
+            (Value::Text(a), Value::Text(b)) => Some(if a == b {
+                Ordering::Equal
+            } else {
+                a.as_str().cmp(b.as_str())
+            }),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             (Value::Double(a), Value::Double(b)) => a.partial_cmp(b),
             (Value::Int(a), Value::Double(b)) => (*a as f64).partial_cmp(b),
@@ -111,12 +139,13 @@ impl Value {
 
     /// Key form for uniqueness/index checks: total order including NULL.
     /// Distinct from [`Value::sql_cmp`], which implements three-valued
-    /// comparison semantics.
+    /// comparison semantics. Building a key never allocates — text keys
+    /// carry the interned symbol.
     pub fn index_key(&self) -> IndexKey {
         match self {
             Value::Null => IndexKey::Null,
             Value::Int(i) => IndexKey::Int(*i),
-            Value::Text(s) => IndexKey::Text(s.clone()),
+            Value::Text(s) => IndexKey::Text(*s),
             Value::Bool(b) => IndexKey::Bool(*b),
             Value::Double(d) => IndexKey::Double(d.to_bits()),
         }
@@ -124,8 +153,9 @@ impl Value {
 }
 
 /// Totally ordered, hashable projection of a [`Value`], used as a key in
-/// primary-key and uniqueness indexes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// primary-key and uniqueness indexes. `Copy` — text keys hold the
+/// interned symbol, so key construction and hashing are integer work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexKey {
     /// NULL sorts first.
     Null,
@@ -135,22 +165,72 @@ pub enum IndexKey {
     Bool(bool),
     /// Double key (by bit pattern — exact match only).
     Double(u64),
-    /// Text key.
-    Text(String),
+    /// Text key (interned symbol; equality/hash by id, order by string).
+    Text(Sym),
 }
 
-/// Render a string as a single-quoted SQL literal (doubling embedded
-/// quotes, the style the paper's listings use: `'Matthias'`).
+// Variant rank for the total order (declaration order, as the former
+// derived impl had it).
+fn key_rank(key: &IndexKey) -> u8 {
+    match key {
+        IndexKey::Null => 0,
+        IndexKey::Int(_) => 1,
+        IndexKey::Bool(_) => 2,
+        IndexKey::Double(_) => 3,
+        IndexKey::Text(_) => 4,
+    }
+}
+
+impl Ord for IndexKey {
+    // Hand-written (not derived) because text keys must keep sorting
+    // lexicographically: symbol ids are assigned in intern order.
+    // Consistent with the derived `Eq`/`Hash` — equal symbols are
+    // exactly equal strings.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (IndexKey::Int(a), IndexKey::Int(b)) => a.cmp(b),
+            (IndexKey::Bool(a), IndexKey::Bool(b)) => a.cmp(b),
+            (IndexKey::Double(a), IndexKey::Double(b)) => a.cmp(b),
+            (IndexKey::Text(a), IndexKey::Text(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.as_str().cmp(b.as_str())
+                }
+            }
+            (a, b) => key_rank(a).cmp(&key_rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Append `s` as a single-quoted SQL literal (doubling embedded quotes,
+/// the style the paper's listings use: `'Matthias'`) to `out` — the
+/// allocation-free form the grouped-DML printer batches through.
+pub fn quote_sql_string_into(s: &str, out: &mut String) {
+    out.reserve(s.len() + 2);
+    out.push('\'');
+    // Bulk-copy between quotes instead of pushing char by char: embedded
+    // quotes are rare, so this is usually one memcpy.
+    let mut rest = s;
+    while let Some(pos) = rest.find('\'') {
+        out.push_str(&rest[..=pos]);
+        out.push('\'');
+        rest = &rest[pos + 1..];
+    }
+    out.push_str(rest);
+    out.push('\'');
+}
+
+/// Render a string as a single-quoted SQL literal.
 pub fn quote_sql_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
-    out.push('\'');
-    for c in s.chars() {
-        if c == '\'' {
-            out.push('\'');
-        }
-        out.push(c);
-    }
-    out.push('\'');
+    quote_sql_string_into(s, &mut out);
     out
 }
 
@@ -160,7 +240,20 @@ impl fmt::Display for Value {
         match self {
             Value::Null => write!(f, "NULL"),
             Value::Int(i) => write!(f, "{i}"),
-            Value::Text(s) => write!(f, "{}", quote_sql_string(s)),
+            Value::Text(s) => {
+                // Stream the quoted form; the grouped-DML printer emits
+                // thousands of these per statement, so no intermediate
+                // String.
+                f.write_str("'")?;
+                let mut rest = s.as_str();
+                while let Some(pos) = rest.find('\'') {
+                    f.write_str(&rest[..=pos])?;
+                    f.write_str("'")?;
+                    rest = &rest[pos + 1..];
+                }
+                f.write_str(rest)?;
+                f.write_str("'")
+            }
             Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
             Value::Double(d) => write!(f, "{d:?}"),
         }
@@ -175,13 +268,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
+        Value::text(v)
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::text(v)
     }
 }
 
@@ -210,6 +303,15 @@ mod tests {
     }
 
     #[test]
+    fn quoting_edge_cases() {
+        assert_eq!(quote_sql_string(""), "''");
+        assert_eq!(quote_sql_string("'"), "''''");
+        assert_eq!(quote_sql_string("a'b'c"), "'a''b''c'");
+        assert_eq!(quote_sql_string("''"), "''''''");
+        assert_eq!(quote_sql_string("plain"), "'plain'");
+    }
+
+    #[test]
     fn fits_type_checks() {
         assert!(Value::Int(1).fits(SqlType::Integer));
         assert!(Value::Int(1).fits(SqlType::Double));
@@ -228,6 +330,16 @@ mod tests {
     }
 
     #[test]
+    fn text_equality_is_by_content() {
+        assert_eq!(Value::text("a").sql_eq(&Value::text("a")), Some(true));
+        assert_eq!(Value::text("a").sql_eq(&Value::text("b")), Some(false));
+        assert_eq!(
+            Value::text(String::from("ab")).sql_eq(&Value::text("ab")),
+            Some(true)
+        );
+    }
+
+    #[test]
     fn numeric_cross_type_equality() {
         assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.0)), Some(true));
         assert_eq!(Value::Int(2).sql_eq(&Value::Double(2.5)), Some(false));
@@ -238,6 +350,13 @@ mod tests {
         assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::text("a").sql_cmp(&Value::text("b")),
+            Some(Ordering::Less)
+        );
+        // Lexicographic even when intern order disagrees.
+        let later_but_smaller = Value::text("zz-ordering-1");
+        let earlier_but_larger = Value::text("aa-ordering-1");
+        assert_eq!(
+            earlier_but_larger.sql_cmp(&later_but_smaller),
             Some(Ordering::Less)
         );
         assert_eq!(Value::Int(1).sql_cmp(&Value::text("a")), None);
@@ -253,5 +372,25 @@ mod tests {
         ];
         keys.sort();
         assert_eq!(keys[0], IndexKey::Null);
+    }
+
+    #[test]
+    fn text_index_keys_sort_lexicographically() {
+        let mut keys = [
+            Value::text("zz-keysort").index_key(),
+            Value::text("mm-keysort").index_key(),
+            Value::text("aa-keysort").index_key(),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], Value::text("aa-keysort").index_key());
+        assert_eq!(keys[2], Value::text("zz-keysort").index_key());
+    }
+
+    #[test]
+    fn as_text_borrows_from_dictionary() {
+        let v = Value::text("borrowed");
+        assert_eq!(v.as_text(), Some("borrowed"));
+        assert_eq!(Value::Int(1).as_text(), None);
+        assert_eq!(Value::Null.as_text(), None);
     }
 }

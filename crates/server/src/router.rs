@@ -333,10 +333,12 @@ fn status(ctx: &AppContext) -> Response {
         }
     }
     let cache = ctx.mediator.query_cache_stats();
+    let dict = ctx.mediator.dictionary_stats();
     let stats = &ctx.stats;
     let body = format!(
         "{{\"version\":{},\"uptime_seconds\":{},\"tables\":{{{tables}}},\
          \"query_cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"dictionary\":{{\"symbols\":{},\"string_bytes\":{},\"hits\":{},\"bytes_saved\":{}}},\
          \"durability\":{},\
          \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"snapshots\":{},\"overload_rejections\":{}}}}}",
         wire::json_string(env!("CARGO_PKG_VERSION")),
@@ -346,6 +348,10 @@ fn status(ctx: &AppContext) -> Response {
         cache.hits,
         cache.misses,
         cache.evictions,
+        dict.symbols,
+        dict.string_bytes,
+        dict.hits,
+        dict.bytes_saved,
         durability_json(ctx),
         ctx.workers,
         ctx.queue_capacity,

@@ -327,6 +327,17 @@ fn status_reports_tables_cache_and_counters() {
         text.contains("\"durability\":{\"enabled\":false}"),
         "{text}"
     );
+    // Dictionary counters: the fixture interns text values, so the
+    // process-global symbol count is non-zero by the time /status runs.
+    assert!(text.contains("\"dictionary\":{\"symbols\":"), "{text}");
+    assert!(text.contains("\"bytes_saved\":"), "{text}");
+    let symbols: u64 = text
+        .split("\"dictionary\":{\"symbols\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .expect("symbols counter is a number");
+    assert!(symbols > 0, "{text}");
     server.shutdown();
 }
 

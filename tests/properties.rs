@@ -201,7 +201,7 @@ proptest! {
         let mapping = fixtures::mapping();
         for table in &mapping.tables {
             let uri = mapping
-                .instance_uri(table, &|_| Some(id.to_string()))
+                .instance_uri(table, &|_| Some(id.to_string().into()))
                 .unwrap();
             let (found, values) = mapping.identify(&uri).unwrap();
             prop_assert_eq!(&found.table_name, &table.table_name);
@@ -233,6 +233,84 @@ proptest! {
         let text = stmt.to_string();
         let reparsed = rel::sql::parse(&text).unwrap();
         prop_assert_eq!(reparsed, stmt);
+    }
+
+    /// Dictionary ids are stable: the symbol interned for a string
+    /// before any storage work resolves to the same string and
+    /// re-interns to the same id after (a) a savepoint-rolled-back
+    /// update that carried the string and (b) a full snapshot+WAL
+    /// recovery of a durable mediator that committed it.
+    #[test]
+    fn dictionary_ids_survive_rollback_and_recovery(
+        names in proptest::collection::vec(name_strategy(), 1..4),
+    ) {
+        use sparql_update_rdb::fixtures::diff;
+        use sparql_update_rdb::ontoaccess::Mediator;
+        use sparql_update_rdb::rel::{Sym, Value};
+
+        // Pin every string's id up front.
+        let pinned: Vec<(Sym, &str)> =
+            names.iter().map(|s| (Sym::intern(s), s.as_str())).collect();
+
+        let dir = fixtures::scratch_dir("dict-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = fixtures::database();
+        fixtures::seed_paper_rows(&mut db);
+        let mediator = Mediator::open_durable(&dir, db, fixtures::mapping())
+            .unwrap()
+            .0;
+
+        // (a) Rolled-back work: a two-operation atomic script whose
+        // second operation dangles, so the first (which interns the
+        // string into a stored row) is fully undone and logs nothing.
+        let commits_before = mediator.durability_stats().unwrap().commits_appended;
+        for (k, name) in names.iter().enumerate() {
+            let script = fixtures::workload::with_prefixes(&format!(
+                "INSERT DATA {{ ex:team{id} foaf:name \"{name}\" . }} ;\n\
+                 INSERT DATA {{ ex:author{id} ont:team ex:team555555 . }}",
+                id = 910_000 + k,
+            ));
+            prop_assert!(mediator.execute_script(&script, true).is_err());
+        }
+        prop_assert_eq!(
+            mediator.durability_stats().unwrap().commits_appended,
+            commits_before,
+            "rolled-back scripts must log nothing"
+        );
+        for (sym, s) in &pinned {
+            prop_assert_eq!(sym.as_str(), *s);
+            prop_assert_eq!(Sym::intern(s), *sym);
+        }
+
+        // (b) Committed work, then recovery from disk.
+        for (k, name) in names.iter().enumerate() {
+            let insert = fixtures::workload::with_prefixes(&format!(
+                "INSERT DATA {{ ex:team{id} foaf:name \"{name}\" . }}",
+                id = 920_000 + k,
+            ));
+            mediator.execute_update(&insert).unwrap();
+        }
+        let before = mediator.database().clone();
+        drop(mediator);
+        let recovered = Mediator::open_durable(&dir, fixtures::database(), fixtures::mapping())
+            .unwrap()
+            .0;
+        let after = recovered.database();
+        diff::assert_heaps_identical(&before, &after, "dictionary recovery");
+        // Every recovered text cell resolves to a string that interns
+        // right back to the same id (resolve∘intern is the identity).
+        for table in after.schema().tables() {
+            for (_, row) in after.scan(&table.name).unwrap() {
+                for value in row {
+                    if let Value::Text(sym) = value {
+                        prop_assert_eq!(Sym::intern(sym.as_str()), *sym);
+                    }
+                }
+            }
+        }
+        drop(after);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
@@ -273,7 +351,7 @@ fn sql_value_strategy() -> impl Strategy<Value = rel::Value> {
     prop_oneof![
         Just(rel::Value::Null),
         any::<i64>().prop_map(rel::Value::Int),
-        "[ -~]{0,12}".prop_map(rel::Value::Text),
+        "[ -~]{0,12}".prop_map(rel::Value::text),
         any::<bool>().prop_map(rel::Value::Bool),
     ]
 }
