@@ -30,7 +30,9 @@ fn bench_generate(c: &mut Criterion) {
             i += 1;
             let id = i.to_string();
             pattern
-                .generate(Some("http://example.org/db/"), &|_| Some(id.clone()))
+                .generate(Some("http://example.org/db/"), &|_| {
+                    Some(std::borrow::Cow::Owned(id.clone()))
+                })
                 .unwrap()
         })
     });

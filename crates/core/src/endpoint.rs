@@ -61,9 +61,10 @@ impl Endpoint {
         self.mediator
     }
 
-    /// The underlying database (read access). The returned guard holds
-    /// the database read lock; do not keep it across an update call.
-    pub fn database(&self) -> DatabaseReadGuard<'_> {
+    /// The underlying database (read access): a pinned snapshot of the
+    /// newest published version. Holding the guard never blocks
+    /// writers; it simply keeps seeing its pinned state.
+    pub fn database(&self) -> DatabaseReadGuard {
         self.mediator.database()
     }
 

@@ -14,17 +14,35 @@
 //!   database. Each SPARQL/Update operation inside a transaction runs
 //!   as a savepoint scope: a rejected operation is undone at O(rows
 //!   touched) cost and the transaction stays usable. Nothing on the
-//!   write path clones the database.
+//!   write path clones the database wholesale.
+//!
+//! **MVCC snapshot reads.** Reads never take the writer's lock.
+//! Committed state lives in an immutable *version chain*: every commit
+//! that changed anything publishes an [`Arc`]-shared
+//! [`DatabaseVersion`] — an O(tables + indexes) persistent-structure
+//! clone of the live database (see [`rel::pmap`]), tagged with the
+//! commit's WAL sequence number. A query pins the newest version with
+//! one `Arc` clone and runs entirely against that snapshot: a long
+//! SELECT no longer blocks commits, a bulk commit no longer stalls
+//! every reader, and each query still sees one consistent committed
+//! state. A bounded window of recent versions is retained, which gives
+//! time-travel reads ([`Mediator::read_at`]) for free.
 //!
 //! Who locks what: the schema and mapping are immutable after
-//! construction (validated once); the database sits behind an
-//! [`RwLock`] (shared readers / one writer); the compiled-query cache
-//! sits behind its own [`Mutex`] so cache bookkeeping never blocks on
-//! data access. Compilation depends only on the schema and mapping, so
+//! construction (validated once); the *live* database — touched only
+//! by writers — sits behind a [`Mutex`]; the version chain sits behind
+//! an [`RwLock`] held only for the instants of pinning (an `Arc`
+//! clone) and publishing (a deque push); the compiled-query cache sits
+//! behind its own [`Mutex`] so cache bookkeeping never blocks on data
+//! access. Lock order is live → chain; no code path takes them in the
+//! other order. Compilation depends only on the schema and mapping, so
 //! cached entries never go stale as data changes. Join-index
 //! provisioning — the one mutation the old read path performed —
-//! happens at cache-admission time, under a brief exclusive lock, and
-//! every later execution of the cached entry is a pure read.
+//! happens at cache-admission time against the live database, and is
+//! republished as an index-only replacement of the current version
+//! (same sequence number, same rows): published snapshots are never
+//! mutated in place, and a plan executed against an older pinned
+//! version simply falls back to hash joins.
 
 use crate::error::{OntoError, OntoResult};
 use crate::feedback::Feedback;
@@ -39,7 +57,9 @@ use rel::Database;
 use sparql::{Query, Solutions, UpdateOp};
 use std::collections::{HashMap, VecDeque};
 use std::ops::{Deref, DerefMut};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// Result of a successful update.
 #[derive(Debug, Clone)]
@@ -224,13 +244,68 @@ pub struct QueryCacheStats {
     pub evictions: u64,
 }
 
+/// Point-in-time view of the mediator's concurrency machinery, for
+/// observability (the server's `/status` endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrencyStats {
+    /// Sequence number of the current published version (the WAL commit
+    /// unit it corresponds to, on a durable mediator).
+    pub current_version: u64,
+    /// Versions currently retained in the chain (time-travel window).
+    pub versions_retained: usize,
+    /// [`ReadSession`]s currently alive.
+    pub read_sessions_live: usize,
+    /// Write transactions begun (each acquires the write lock once).
+    pub write_lock_waits: u64,
+    /// Total microseconds writers spent waiting to acquire the write
+    /// lock.
+    pub write_lock_wait_micros: u64,
+}
+
 // ----------------------------------------------------------------------
 // Shared core
 // ----------------------------------------------------------------------
 
+/// One published committed state of the database: the immutable
+/// snapshot a read pins, tagged with the commit sequence that produced
+/// it (the WAL commit unit on a durable mediator).
+#[derive(Debug)]
+pub struct DatabaseVersion {
+    seq: u64,
+    db: Database,
+}
+
+impl DatabaseVersion {
+    /// The commit sequence this version corresponds to.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+// How many published versions the chain retains (beyond any still
+// pinned by live guards, which keep their version alive through their
+// `Arc` regardless). Bounds both time-travel depth and the memory the
+// chain itself can hold onto.
+const RETAINED_VERSIONS: usize = 32;
+
+// The chain of retained versions, oldest → newest; the back is the
+// current version. Never empty: construction publishes the initial
+// state. Sequence numbers are strictly increasing along the deque.
+#[derive(Debug)]
+struct VersionChain {
+    versions: VecDeque<Arc<DatabaseVersion>>,
+}
+
 #[derive(Debug)]
 struct MediatorCore {
-    db: RwLock<Database>,
+    // The live database, touched only by writers (WriteTxn, checkpoint,
+    // admission-time index provisioning, the test write guard). Readers
+    // never lock it.
+    live: Mutex<Database>,
+    // Published snapshots; read-locked for the instant of an Arc clone,
+    // write-locked for the instant of a publish. Lock order: live →
+    // chain (never the reverse).
+    chain: RwLock<VersionChain>,
     mapping: Mapping,
     prefixes: PrefixMap,
     cache: Mutex<QueryCache>,
@@ -238,39 +313,95 @@ struct MediatorCore {
     // write-ahead log and fsynced (group commit) before the commit
     // call returns; `None` keeps the mediator purely in-memory.
     durability: Option<dur::Durability>,
+    // Live ReadSession counter: every session clones this token, so
+    // strong_count - 1 = sessions alive (drop-glue observability).
+    session_token: Arc<()>,
+    // Writer-contention counters (surfaced by `/status`).
+    write_lock_waits: AtomicU64,
+    write_lock_wait_micros: AtomicU64,
 }
 
-// Read access to the mediator's database, released on drop.
-//
-// A lock guard wrapper rather than `&Database` so callers keep the
-// `endpoint.database().row_count(..)` shape; do not hold one across a
-// write call on the same thread (the writer would wait on this guard).
-/// Shared read guard over the mediator's database.
+/// Pinned read access to one published database version.
+///
+/// Owns an `Arc` to its version — not a lock guard: holding one never
+/// blocks writers, and every read through it (`Deref` to [`Database`],
+/// or the query methods) sees the same committed snapshot. Obtained
+/// from [`Mediator::database`] / [`ReadSession::database`], which pin
+/// the newest version at call time, or from a time-travel session.
+/// Dropping the guard releases the version; a version past the
+/// retention window is freed as soon as its last guard drops.
+// No `Clone` derive: `guard.clone()` must keep deref-cloning the
+// `Database` (call sites snapshot the heap that way); re-pinning is
+// cheap anyway.
 #[derive(Debug)]
-pub struct DatabaseReadGuard<'a>(RwLockReadGuard<'a, Database>);
+pub struct DatabaseReadGuard {
+    core: Arc<MediatorCore>,
+    version: Arc<DatabaseVersion>,
+}
 
-impl Deref for DatabaseReadGuard<'_> {
+impl Deref for DatabaseReadGuard {
     type Target = Database;
     fn deref(&self) -> &Database {
-        &self.0
+        &self.version.db
     }
 }
 
-/// Exclusive write guard over the mediator's database (test support —
-/// see [`Mediator::database_mut_for_tests`]).
+impl DatabaseReadGuard {
+    /// Commit sequence of the pinned version.
+    pub fn version_seq(&self) -> u64 {
+        self.version.seq
+    }
+
+    /// Execute a SPARQL query against this pinned snapshot.
+    pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+        self.core.execute_query_at(&self.version, text)
+    }
+
+    /// Execute a SELECT against this pinned snapshot.
+    pub fn select(&self, text: &str) -> OntoResult<Solutions> {
+        self.core.select_at(&self.version, text)
+    }
+
+    /// Materialize the pinned snapshot's full RDF view.
+    pub fn materialize(&self) -> OntoResult<Graph> {
+        crate::materialize::materialize(&self.version.db, &self.core.mapping)
+    }
+
+    /// Describe one instance URI within this pinned snapshot.
+    pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
+        describe_in(&self.version.db, &self.core.mapping, uri)
+    }
+}
+
+/// Exclusive write guard over the mediator's live database (test
+/// support — see [`Mediator::database_mut_for_tests`]). On drop the
+/// (possibly mutated) live state is published as a new version, so
+/// later reads observe the raw edits.
 #[derive(Debug)]
-pub struct DatabaseWriteGuard<'a>(RwLockWriteGuard<'a, Database>);
+pub struct DatabaseWriteGuard<'a> {
+    core: &'a MediatorCore,
+    db: MutexGuard<'a, Database>,
+}
 
 impl Deref for DatabaseWriteGuard<'_> {
     type Target = Database;
     fn deref(&self) -> &Database {
-        &self.0
+        &self.db
     }
 }
 
 impl DerefMut for DatabaseWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut Database {
-        &mut self.0
+        &mut self.db
+    }
+}
+
+impl Drop for DatabaseWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Raw edits bypass the WAL, so this version id does not
+        // correspond to a WAL commit unit — acceptable for a
+        // doc-hidden test hook, fatal anywhere else.
+        self.core.publish_next(self.db.clone());
     }
 }
 
@@ -280,88 +411,153 @@ impl MediatorCore {
     // the guard is released, so the database behind a poisoned lock is
     // always in a consistent committed state — one crashed worker must
     // not brick the mediator for every other session.
-    fn read_db(&self) -> RwLockReadGuard<'_, Database> {
-        self.db.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn write_db(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write().unwrap_or_else(|e| e.into_inner())
+    fn lock_live(&self) -> MutexGuard<'_, Database> {
+        self.live.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    // Compile `text`, provision its join indexes (brief exclusive
-    // access — the admission-time mutation), and admit it to the cache.
-    fn compile_and_admit(&self, text: &str) -> OntoResult<Arc<CachedQuery>> {
+    // Pin the newest published version: one Arc clone under the chain
+    // read lock — the entirety of what a read shares with writers.
+    fn current_version(&self) -> Arc<DatabaseVersion> {
+        let chain = self.chain.read().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(chain.versions.back().expect("chain is never empty"))
+    }
+
+    // Publish `db` as the version for commit `seq`, retiring versions
+    // beyond the retention window. Callers hold the live lock, so
+    // publishes happen in commit order and seqs stay monotone.
+    fn publish(&self, db: Database, seq: u64) {
+        let mut chain = self.chain.write().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            chain.versions.back().is_none_or(|v| v.seq < seq),
+            "versions publish in commit order"
+        );
+        chain
+            .versions
+            .push_back(Arc::new(DatabaseVersion { seq, db }));
+        while chain.versions.len() > RETAINED_VERSIONS {
+            chain.versions.pop_front();
+        }
+    }
+
+    // Publish `db` under the next sequence number (in-memory commits
+    // and the raw test guard, where no WAL hands out seqs).
+    fn publish_next(&self, db: Database) {
+        let mut chain = self.chain.write().unwrap_or_else(|e| e.into_inner());
+        let seq = chain.versions.back().expect("chain is never empty").seq + 1;
+        chain
+            .versions
+            .push_back(Arc::new(DatabaseVersion { seq, db }));
+        while chain.versions.len() > RETAINED_VERSIONS {
+            chain.versions.pop_front();
+        }
+    }
+
+    // Replace the current version with an index-only variant (same
+    // rows, same seq): admission-time join-index provisioning must not
+    // mutate the published snapshot in place, so it rebuilds against
+    // the live database and swaps the result in here.
+    fn republish_current(&self, db: Database) {
+        let mut chain = self.chain.write().unwrap_or_else(|e| e.into_inner());
+        let seq = chain.versions.back().expect("chain is never empty").seq;
+        chain.versions.pop_back();
+        chain
+            .versions
+            .push_back(Arc::new(DatabaseVersion { seq, db }));
+    }
+
+    // The retained version for time travel: the newest version with
+    // `version.seq <= seq` (a commit may leave no version of its own
+    // only when it changed nothing).
+    fn version_at(&self, seq: u64) -> OntoResult<Arc<DatabaseVersion>> {
+        let chain = self.chain.read().unwrap_or_else(|e| e.into_inner());
+        let newest = chain.versions.back().expect("chain is never empty").seq;
+        if seq > newest {
+            return Err(OntoError::Unsupported {
+                message: format!("cannot read as of commit {seq}: the current version is {newest}"),
+            });
+        }
+        match chain.versions.iter().rev().find(|v| v.seq <= seq) {
+            Some(version) => Ok(Arc::clone(version)),
+            None => {
+                let oldest = chain.versions.front().expect("chain is never empty").seq;
+                Err(OntoError::Unsupported {
+                    message: format!(
+                        "version {seq} has been retired (retained window: {oldest}..={newest})"
+                    ),
+                })
+            }
+        }
+    }
+
+    // Compile `text` against `db` (a pinned snapshot) and admit it to
+    // the cache. If the plan wants join indexes the snapshot lacks,
+    // they are provisioned on the *live* database and republished as an
+    // index-only replacement of the current version — never by mutating
+    // a published snapshot. The caller's pinned snapshot keeps running
+    // without them (the planner falls back to hash joins).
+    fn compile_and_admit(&self, db: &Database, text: &str) -> OntoResult<Arc<CachedQuery>> {
         let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
-        let (compiled, needs_indexes) = {
-            let db = self.read_db();
-            let compiled = match &query {
-                Query::Select(select) => {
-                    CachedQuery::Select(crate::query::compile_select(&db, &self.mapping, select)?)
-                }
-                Query::Ask(ask) => CachedQuery::Ask(crate::query::compile_select(
-                    &db,
-                    &self.mapping,
-                    &crate::query::ask_to_select(ask),
-                )?),
-            };
-            // Decide under the read lock whether provisioning has any
-            // work to do: most queries have no join targets (or all
-            // targets already indexed), and they must not serialize
-            // behind the write lock — or stall behind an open WriteTxn
-            // — for a no-op pass.
-            let needs_indexes = compiled
-                .compiled()
-                .join_index_targets
-                .iter()
-                .any(|(table, column)| !db.supports_index_probe(table, column).unwrap_or(false));
-            (compiled, needs_indexes)
+        let compiled = match &query {
+            Query::Select(select) => {
+                CachedQuery::Select(crate::query::compile_select(db, &self.mapping, select)?)
+            }
+            Query::Ask(ask) => CachedQuery::Ask(crate::query::compile_select(
+                db,
+                &self.mapping,
+                &crate::query::ask_to_select(ask),
+            )?),
         };
+        // Decide against the snapshot whether provisioning has any work
+        // to do: most queries have no join targets (or all targets
+        // already indexed), and they must not stall behind an open
+        // WriteTxn for a no-op pass.
+        let needs_indexes = compiled
+            .compiled()
+            .join_index_targets
+            .iter()
+            .any(|(table, column)| !db.supports_index_probe(table, column).unwrap_or(false));
         if needs_indexes {
-            let mut db = self.write_db();
-            crate::query::ensure_join_indexes(&mut db, compiled.compiled())?;
+            let mut live = self.lock_live();
+            crate::query::ensure_join_indexes(&mut live, compiled.compiled())?;
+            self.republish_current(live.clone());
         }
         let compiled = Arc::new(compiled);
         self.lock_cache().admit(text, Arc::clone(&compiled));
         Ok(compiled)
     }
 
-    fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
+    fn execute_query_at(
+        &self,
+        version: &DatabaseVersion,
+        text: &str,
+    ) -> OntoResult<sparql::QueryOutcome> {
         let cached = self.lock_cache().get(text);
         let compiled = match cached {
             Some(compiled) => compiled,
-            None => self.compile_and_admit(text)?,
+            None => self.compile_and_admit(&version.db, text)?,
         };
-        let db = self.read_db();
         match &*compiled {
             CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
-                crate::query::run_compiled(&db, compiled)?,
+                crate::query::run_compiled(&version.db, compiled)?,
             )),
             CachedQuery::Ask(compiled) => {
-                let solutions = crate::query::run_compiled(&db, compiled)?;
+                let solutions = crate::query::run_compiled(&version.db, compiled)?;
                 Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
             }
         }
     }
 
-    fn select(&self, text: &str) -> OntoResult<Solutions> {
-        match self.execute_query(text)? {
+    fn select_at(&self, version: &DatabaseVersion, text: &str) -> OntoResult<Solutions> {
+        match self.execute_query_at(version, text)? {
             sparql::QueryOutcome::Solutions(s) => Ok(s),
             sparql::QueryOutcome::Boolean(_) => Err(OntoError::Unsupported {
                 message: "expected a SELECT query".into(),
             }),
         }
-    }
-
-    fn materialize(&self) -> OntoResult<Graph> {
-        crate::materialize::materialize(&self.read_db(), &self.mapping)
-    }
-
-    fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
-        describe_in(&self.read_db(), &self.mapping, uri)
     }
 }
 
@@ -429,13 +625,28 @@ impl Mediator {
         if let Some(prefix) = &mapping.uri_prefix {
             prefixes.insert("ex", prefix.clone());
         }
+        // The initial version's sequence number is the last recovered
+        // WAL commit unit (0 on a fresh directory or in memory), so the
+        // next commit's version id lines up with its WAL seq and a
+        // reopened mediator resumes the same numbering.
+        let initial_seq = durability.as_ref().map_or(0, |d| d.stats().last_commit_seq);
+        let initial = Arc::new(DatabaseVersion {
+            seq: initial_seq,
+            db: db.clone(),
+        });
         Ok(Mediator {
             core: Arc::new(MediatorCore {
-                db: RwLock::new(db),
+                live: Mutex::new(db),
+                chain: RwLock::new(VersionChain {
+                    versions: VecDeque::from([initial]),
+                }),
                 mapping,
                 prefixes,
                 cache: Mutex::new(QueryCache::new()),
                 durability,
+                session_token: Arc::new(()),
+                write_lock_waits: AtomicU64::new(0),
+                write_lock_wait_micros: AtomicU64::new(0),
             }),
         })
     }
@@ -461,7 +672,9 @@ impl Mediator {
     /// truncate the write-ahead log, so recovery starts from this point
     /// (the server's `POST /snapshot` admin operation). Returns the
     /// snapshot's commit sequence. Blocks writers for the duration
-    /// (holds the database read lock); fails with
+    /// (holds the live-database lock — the durability layer requires
+    /// that no commit lands between serialization and WAL truncation);
+    /// readers proceed on their pinned versions throughout. Fails with
     /// [`OntoError::Unsupported`] on an in-memory mediator.
     pub fn checkpoint(&self) -> OntoResult<u64> {
         let Some(durability) = &self.core.durability else {
@@ -469,23 +682,49 @@ impl Mediator {
                 message: "mediator has no durability configured (no data directory)".into(),
             });
         };
-        let db = self.core.read_db();
+        let db = self.core.lock_live();
         Ok(durability.checkpoint(&db)?)
     }
 
     /// A read session: cheap, `Send + Sync`, queries through `&self`.
+    /// Each query pins the newest published version at its start and
+    /// runs entirely against that snapshot, without ever taking the
+    /// writer's lock.
     pub fn read(&self) -> ReadSession {
         ReadSession {
             core: Arc::clone(&self.core),
+            pinned: None,
+            _token: Arc::clone(&self.core.session_token),
         }
     }
 
-    /// Begin an exclusive write transaction. Blocks until every read
-    /// guard and prior writer released the database; readers block
-    /// until the transaction commits or rolls back — which is exactly
-    /// why they can never observe a torn write.
+    /// A time-travel read session pinned to the database *as of* commit
+    /// `seq`: every query answers from the newest retained version at
+    /// or below that commit. Errors if `seq` is beyond the current
+    /// version or has aged out of the retention window
+    /// (the chain keeps the most recent commits' versions).
+    pub fn read_at(&self, seq: u64) -> OntoResult<ReadSession> {
+        let version = self.core.version_at(seq)?;
+        Ok(ReadSession {
+            core: Arc::clone(&self.core),
+            pinned: Some(version),
+            _token: Arc::clone(&self.core.session_token),
+        })
+    }
+
+    /// Begin an exclusive write transaction. Blocks until the prior
+    /// writer released the live database; readers are unaffected — they
+    /// keep answering from published versions, and observe this
+    /// transaction only once [`WriteTxn::commit`] publishes it (which
+    /// is exactly why they can never observe a torn write).
     pub fn write(&self) -> WriteTxn<'_> {
-        let mut db = self.core.write_db();
+        let start = Instant::now();
+        let mut db = self.core.lock_live();
+        let waited = start.elapsed();
+        self.core.write_lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .write_lock_wait_micros
+            .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
         db.begin()
             .expect("no transaction can be open outside a WriteTxn");
         WriteTxn {
@@ -493,6 +732,41 @@ impl Mediator {
             db,
             open: true,
         }
+    }
+
+    /// Point-in-time concurrency counters: the published version id,
+    /// retained-version count, live read sessions, and how long writers
+    /// have waited to acquire the write lock (surfaced by the server's
+    /// `/status` endpoint).
+    pub fn concurrency_stats(&self) -> ConcurrencyStats {
+        let (current_version, versions_retained) = {
+            let chain = self.core.chain.read().unwrap_or_else(|e| e.into_inner());
+            (
+                chain.versions.back().expect("chain is never empty").seq,
+                chain.versions.len(),
+            )
+        };
+        ConcurrencyStats {
+            current_version,
+            versions_retained,
+            read_sessions_live: Arc::strong_count(&self.core.session_token) - 1,
+            write_lock_waits: self.core.write_lock_waits.load(Ordering::Relaxed),
+            write_lock_wait_micros: self.core.write_lock_wait_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    #[doc(hidden)]
+    /// Weak handle to the retained version with exactly sequence `seq`,
+    /// if any (drop-glue tests: after retirement and the last guard
+    /// drop, the upgrade must fail — proof the snapshot's memory was
+    /// returned).
+    pub fn version_weak_for_tests(&self, seq: u64) -> Option<std::sync::Weak<DatabaseVersion>> {
+        let chain = self.core.chain.read().unwrap_or_else(|e| e.into_inner());
+        chain
+            .versions
+            .iter()
+            .find(|v| v.seq == seq)
+            .map(Arc::downgrade)
     }
 
     /// The mapping.
@@ -506,20 +780,30 @@ impl Mediator {
         &self.core.prefixes
     }
 
-    /// Read access to the database. Do not hold the guard across a
-    /// write call on the same thread.
-    pub fn database(&self) -> DatabaseReadGuard<'_> {
-        DatabaseReadGuard(self.core.read_db())
+    /// Pin the newest published version for reading. The guard owns its
+    /// snapshot — holding it never blocks writers, and it can safely
+    /// live across write calls (it simply keeps seeing its pinned
+    /// state).
+    pub fn database(&self) -> DatabaseReadGuard {
+        DatabaseReadGuard {
+            core: Arc::clone(&self.core),
+            version: self.core.current_version(),
+        }
     }
 
     #[doc(hidden)]
-    /// Exclusive raw access to the database, **bypassing the mediator**:
-    /// no mapping validation, no translation, no feedback. Test support
-    /// for seeding fixture rows and exercising the engine directly —
-    /// production callers go through [`Mediator::write`], which is why
-    /// this accessor is hidden from the documented API.
+    /// Exclusive raw access to the live database, **bypassing the
+    /// mediator**: no mapping validation, no translation, no feedback,
+    /// no write-ahead logging. Test support for seeding fixture rows
+    /// and exercising the engine directly — production callers go
+    /// through [`Mediator::write`], which is why this accessor is
+    /// hidden from the documented API. Dropping the guard publishes the
+    /// edited state as a new version so reads observe it.
     pub fn database_mut_for_tests(&self) -> DatabaseWriteGuard<'_> {
-        DatabaseWriteGuard(self.core.write_db())
+        DatabaseWriteGuard {
+            core: &self.core,
+            db: self.core.lock_live(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -648,25 +932,25 @@ impl Mediator {
     // Query conveniences and cache administration
     // ------------------------------------------------------------------
 
-    /// Execute a SPARQL query given as text (see
-    /// [`ReadSession::execute_query`]).
+    /// Execute a SPARQL query given as text against the newest
+    /// published version (see [`ReadSession::execute_query`]).
     pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
-        self.core.execute_query(text)
+        self.database().execute_query(text)
     }
 
     /// Execute a SELECT given as text.
     pub fn select(&self, text: &str) -> OntoResult<Solutions> {
-        self.core.select(text)
+        self.database().select(text)
     }
 
     /// Materialize the database's full RDF view.
     pub fn materialize(&self) -> OntoResult<Graph> {
-        self.core.materialize()
+        self.database().materialize()
     }
 
     /// Describe one instance URI (see [`ReadSession::describe`]).
     pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
-        self.core.describe(uri)
+        self.database().describe(uri)
     }
 
     /// Number of compiled queries currently cached.
@@ -697,15 +981,23 @@ impl Mediator {
 /// A read session over a shared [`Mediator`]: `Send + Sync`, cloneable,
 /// all queries through `&self` — hand one to each server worker.
 ///
-/// Each query executes against a consistent snapshot: the database
-/// read lock is held for the duration of one query, and writers are
-/// exclusive, so a query sees either all of a transaction's effects or
-/// none. The session does **not** pin one snapshot across queries —
+/// Each query pins the newest published version at its start (one
+/// `Arc` clone) and executes entirely against that snapshot: it sees
+/// either all of a transaction's effects or none, and never waits on a
+/// writer. The session does **not** pin one snapshot across queries —
 /// two queries may observe different committed states if a writer
-/// commits between them (read-committed, the paper's §5.1 unit).
+/// commits between them (read-committed, the paper's §5.1 unit), but
+/// the versions a session observes only ever move forward. Sessions
+/// from [`Mediator::read_at`] *are* pinned: every query answers as of
+/// their fixed commit. Use [`ReadSession::database`] to hold one
+/// snapshot across several queries.
 #[derive(Debug, Clone)]
 pub struct ReadSession {
     core: Arc<MediatorCore>,
+    // `Some` = time-travel session fixed to this version.
+    pinned: Option<Arc<DatabaseVersion>>,
+    // Clone of the core's session token (live-session accounting).
+    _token: Arc<()>,
 }
 
 impl ReadSession {
@@ -714,31 +1006,38 @@ impl ReadSession {
     /// repeated requests — from any session — skip parsing and
     /// translation and go straight to the planner.
     pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
-        self.core.execute_query(text)
+        self.database().execute_query(text)
     }
 
     /// Execute a SELECT given as text.
     pub fn select(&self, text: &str) -> OntoResult<Solutions> {
-        self.core.select(text)
+        self.database().select(text)
     }
 
     /// Materialize the database's full RDF view.
     pub fn materialize(&self) -> OntoResult<Graph> {
-        self.core.materialize()
+        self.database().materialize()
     }
 
     /// Describe one instance URI: the triples of its row plus its
     /// link-table triples (in either role). The D2R-style
     /// "dereferenceable URI" read the paper's related work describes
-    /// (§2), here over the live database.
+    /// (§2), here over the session's snapshot.
     pub fn describe(&self, uri: &rdf::Iri) -> OntoResult<Graph> {
-        self.core.describe(uri)
+        self.database().describe(uri)
     }
 
-    /// Read access to the database. Do not hold the guard across a
-    /// write call on the same thread.
-    pub fn database(&self) -> DatabaseReadGuard<'_> {
-        DatabaseReadGuard(self.core.read_db())
+    /// Pin this session's snapshot: the newest published version, or
+    /// the fixed version of a time-travel session. The guard owns its
+    /// snapshot — holding it never blocks writers.
+    pub fn database(&self) -> DatabaseReadGuard {
+        DatabaseReadGuard {
+            core: Arc::clone(&self.core),
+            version: match &self.pinned {
+                Some(version) => Arc::clone(version),
+                None => self.core.current_version(),
+            },
+        }
     }
 
     /// Prefixes used for parsing requests and rendering output.
@@ -749,16 +1048,19 @@ impl ReadSession {
 
 /// An exclusive write transaction over the mediator's live database.
 ///
-/// Obtained from [`Mediator::write`]; holds the database write lock for
-/// its whole lifetime, so readers wait and can never observe its
-/// intermediate states. Each [`WriteTxn::update_op`] runs as a
-/// savepoint scope: on rejection the operation's changes are undone at
-/// O(rows touched) cost and the transaction remains usable. Dropping
-/// the transaction without [`WriteTxn::commit`] rolls everything back.
+/// Obtained from [`Mediator::write`]; holds the live-database lock for
+/// its whole lifetime, so writers serialize — but readers never see the
+/// lock: they keep answering from published versions, and observe this
+/// transaction's effects only after [`WriteTxn::commit`] publishes a
+/// new version, so intermediate states are unobservable. Each
+/// [`WriteTxn::update_op`] runs as a savepoint scope: on rejection the
+/// operation's changes are undone at O(rows touched) cost and the
+/// transaction remains usable. Dropping the transaction without
+/// [`WriteTxn::commit`] rolls everything back.
 #[derive(Debug)]
 pub struct WriteTxn<'a> {
     core: &'a MediatorCore,
-    db: RwLockWriteGuard<'a, Database>,
+    db: MutexGuard<'a, Database>,
     open: bool,
 }
 
@@ -795,28 +1097,41 @@ impl WriteTxn<'_> {
         &self.db
     }
 
-    /// Commit: keep every operation's changes and release the lock.
+    /// Commit: keep every operation's changes, publish them as a new
+    /// database version, and release the lock.
+    ///
+    /// Publication is the commit's visibility point: an O(tables +
+    /// indexes) persistent-structure clone of the live database is
+    /// pushed onto the version chain (tagged with the WAL commit
+    /// sequence on a durable mediator), and the next query to pin a
+    /// snapshot sees it. A transaction that changed nothing publishes
+    /// nothing — version ids stay aligned with WAL commit units.
     ///
     /// On a durable mediator the commit is write-ahead logged first —
     /// the transaction's logical operations are appended to the WAL
     /// *before* the in-memory commit (a failed append rolls the whole
     /// transaction back, so memory never diverges from what the log can
-    /// reproduce), the database lock is released, and only then does
-    /// the call block on the group fsync. Concurrent committers share
-    /// one fsync: the next writer can append while this one waits.
+    /// reproduce), the new version is published, the live-database lock
+    /// is released, and only then does the call block on the group
+    /// fsync. Concurrent committers share one fsync: the next writer
+    /// can append while this one waits.
     pub fn commit(mut self) -> OntoResult<()> {
         self.open = false;
+        let changed = self.db.txn_has_changes()?;
         let Some(durability) = &self.core.durability else {
             self.db.commit()?;
+            if changed {
+                self.core.publish_next(self.db.clone());
+            }
             return Ok(());
         };
-        let ops = self.db.txn_ops()?;
-        if ops.is_empty() {
+        if !changed {
             // Read-only or fully rolled-back transaction: nothing to
-            // make durable.
+            // make durable, nothing to publish.
             self.db.commit()?;
             return Ok(());
         }
+        let ops = self.db.txn_ops()?;
         let seq = match durability.append_commit(&ops) {
             Ok(seq) => seq,
             Err(e) => {
@@ -828,8 +1143,9 @@ impl WriteTxn<'_> {
             }
         };
         self.db.commit()?;
-        // Release the database (readers and the next writer proceed)
-        // before waiting on the fsync — this is what lets concurrent
+        self.core.publish(self.db.clone(), seq);
+        // Release the live database (the next writer proceeds) before
+        // waiting on the fsync — this is what lets concurrent
         // committers amortize one fsync. The reference outlives `self`
         // (it borrows from the mediator core, not the guard).
         let durability: &dur::Durability = durability;
@@ -1008,6 +1324,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Mediator>();
     assert_send_sync::<ReadSession>();
+    assert_send_sync::<DatabaseReadGuard>();
 };
 
 #[cfg(test)]

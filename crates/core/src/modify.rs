@@ -289,7 +289,7 @@ mod tests {
     fn email_of(db: &Database, id: i64) -> Value {
         let rid = db.find_by_pk("author", &[Value::Int(id)]).unwrap().unwrap();
         let table = db.schema().table("author").unwrap();
-        db.row("author", rid).unwrap().unwrap()[table.column_index("email").unwrap()].clone()
+        db.row("author", rid).unwrap().unwrap()[table.column_index("email").unwrap()]
     }
 
     #[test]

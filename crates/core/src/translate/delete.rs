@@ -115,7 +115,7 @@ fn translate_group(
                 });
             }
             if !mentioned.iter().any(|(n, _)| n == &attr.attribute_name) {
-                mentioned.push((attr.attribute_name.clone(), stored.clone()));
+                mentioned.push((attr.attribute_name.clone(), *stored));
             }
             continue;
         }

@@ -202,7 +202,7 @@ fn translate_group(
                 let from_assign = assignments.iter().find(|(n, _)| n == &column.name);
                 if let Some((name, value)) = from_key.or(from_assign) {
                     columns.push(name.clone());
-                    values.push(value.clone());
+                    values.push(*value);
                 }
             }
             plans.push(RowOp::Insert {

@@ -68,7 +68,7 @@ impl IdentifiedSubject<'_> {
                 .key
                 .iter()
                 .find(|(attr, _)| attr == pk)
-                .map(|(_, v)| v.clone())
+                .map(|(_, v)| *v)
                 .ok_or_else(|| OntoError::Unsupported {
                     message: format!(
                         "uriPattern of table {:?} does not expose primary key attribute {pk:?}",
@@ -188,7 +188,7 @@ pub enum RowOp {
 fn key_predicate(key: &[(String, Value)]) -> Expr {
     Expr::conjunction(
         key.iter()
-            .map(|(column, value)| Expr::eq(Expr::col(column), Expr::Value(value.clone())))
+            .map(|(column, value)| Expr::eq(Expr::col(column), Expr::Value(*value)))
             .collect(),
     )
     .expect("plan keys are non-empty")
@@ -422,9 +422,7 @@ pub fn emit_grouped(schema: &Schema, plans: Vec<RowOp>) -> Vec<Statement> {
                 } else {
                     let mut conjuncts: Vec<Expr> = prefix
                         .iter()
-                        .map(|(column, value)| {
-                            Expr::eq(Expr::col(column), Expr::Value(value.clone()))
-                        })
+                        .map(|(column, value)| Expr::eq(Expr::col(column), Expr::Value(*value)))
                         .collect();
                     conjuncts.push(Expr::col_in_values(&tail_column, tail_values));
                     Statement::Delete(DeleteStmt {

@@ -236,7 +236,12 @@ pub fn decode_snapshot(data: &[u8], schema: &Schema) -> DurResult<(u64, Database
 /// Durably write the snapshot covering `seq` into `dir`
 /// (write-to-temporary, fsync, rename, fsync directory) and return its
 /// final path.
-pub fn write_snapshot(dir: &Path, seq: u64, db: &Database, dict: &mut DictTable) -> DurResult<PathBuf> {
+pub fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    db: &Database,
+    dict: &mut DictTable,
+) -> DurResult<PathBuf> {
     let bytes = encode_snapshot(seq, db, dict);
     let final_path = dir.join(snapshot_file_name(seq));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));

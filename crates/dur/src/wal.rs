@@ -404,10 +404,7 @@ mod tests {
             assert_eq!(rdict.len(), 2, "cut at {cut}");
         }
         // The uncut stream holds both.
-        assert_eq!(
-            scan_records(&stream, &mut DictTable::new()).units.len(),
-            2
-        );
+        assert_eq!(scan_records(&stream, &mut DictTable::new()).units.len(), 2);
     }
 
     #[test]

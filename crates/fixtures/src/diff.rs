@@ -80,7 +80,7 @@ pub fn assert_indexes_consistent(db: &Database, context: &str) {
                 }
                 expected
                     .entry(row[idx].index_key())
-                    .or_insert_with(|| (row[idx].clone(), Vec::new()))
+                    .or_insert_with(|| (row[idx], Vec::new()))
                     .1
                     .push(row_id);
             }

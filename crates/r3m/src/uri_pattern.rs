@@ -336,7 +336,9 @@ mod tests {
     fn round_trip_property() {
         let p = pattern("team%%id%%");
         for id in ["1", "42", "999"] {
-            let uri = p.generate(Some(PREFIX), &|_| Some(id.to_owned().into())).unwrap();
+            let uri = p
+                .generate(Some(PREFIX), &|_| Some(id.to_owned().into()))
+                .unwrap();
             let values = p.match_uri(Some(PREFIX), &uri).unwrap();
             assert_eq!(values, vec![("id".into(), id.to_owned())]);
         }

@@ -185,7 +185,10 @@ struct TxnState {
 /// one operation run "within the context of one database transaction").
 #[derive(Debug, Clone)]
 pub struct Database {
-    schema: Schema,
+    // Arc-shared: the schema is immutable after validation, and sharing
+    // it keeps `Database::clone` — the per-commit version publish — at
+    // O(tables + indexes) Arc bumps instead of a deep schema copy.
+    schema: std::sync::Arc<Schema>,
     data: BTreeMap<String, TableData>,
     txn: Option<TxnState>,
     // Monotonic over the database's lifetime (never reset by begin):
@@ -204,7 +207,7 @@ impl Database {
             .map(|t| (t.name.clone(), TableData::for_table(t)))
             .collect();
         Ok(Database {
-            schema,
+            schema: std::sync::Arc::new(schema),
             data,
             txn: None,
             savepoint_seq: 0,
@@ -385,6 +388,17 @@ impl Database {
             message: "no open transaction".into(),
         })?;
         Ok(state.log.iter().map(UndoOp::to_logical).collect())
+    }
+
+    /// Whether the open transaction has applied any row operations that
+    /// survive to commit (cheap: inspects the undo log's length, without
+    /// materializing the logical redo stream the way
+    /// [`Database::txn_ops`] does). Errors if no transaction is open.
+    pub fn txn_has_changes(&self) -> RelResult<bool> {
+        let state = self.txn.as_ref().ok_or(RelError::Transaction {
+            message: "no open transaction".into(),
+        })?;
+        Ok(!state.log.is_empty())
     }
 
     /// Roll back the open transaction, restoring every modified row.
@@ -666,10 +680,10 @@ impl Database {
             let assigned = assignments
                 .iter()
                 .find(|(name, _)| name == &column.name)
-                .map(|(_, v)| v.clone());
+                .map(|(_, v)| *v);
             let mut value = match assigned {
                 Some(v) => v,
-                None => column.default.clone().unwrap_or(Value::Null),
+                None => column.default.unwrap_or(Value::Null),
             };
             if value.is_null() && column.auto_increment {
                 value = Value::Int(self.next_auto_value(table, &column.name));
@@ -732,10 +746,10 @@ impl Database {
             let mut row: Vec<Value> = t
                 .columns
                 .iter()
-                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .map(|c| c.default.unwrap_or(Value::Null))
                 .collect();
             for (&idx, value) in indices.iter().zip(values) {
-                row[idx] = value.clone();
+                row[idx] = *value;
             }
             for (&idx, next) in &mut auto_next {
                 match &row[idx] {
@@ -824,7 +838,7 @@ impl Database {
                 table: t.name.clone(),
                 column: name.clone(),
             })?;
-            new_row[i] = value.clone();
+            new_row[i] = *value;
         }
         if new_row == old {
             return Ok(());
@@ -958,7 +972,7 @@ impl Database {
                     table: table.name.clone(),
                     column: column.name.clone(),
                     expected: column.ty.to_string(),
-                    value: value.clone(),
+                    value: *value,
                 });
             }
         }
@@ -995,7 +1009,7 @@ impl Database {
                         return Err(RelError::UniqueViolation {
                             table: table.name.clone(),
                             column: column.name.clone(),
-                            value: row[i].clone(),
+                            value: row[i],
                         });
                     }
                 }
@@ -1029,7 +1043,7 @@ impl Database {
                     table: table.name.clone(),
                     column: fk.column.clone(),
                     ref_table: fk.ref_table.clone(),
-                    value: value.clone(),
+                    value: *value,
                 });
             }
         }
@@ -1087,7 +1101,7 @@ impl Database {
                         table: table.name.clone(),
                         referencing_table: other.name.clone(),
                         referencing_column: fk.column.clone(),
-                        value: referenced_value.clone(),
+                        value: *referenced_value,
                     });
                 }
             }

@@ -155,7 +155,8 @@ impl Dictionary {
         let map = guard.get_or_insert_with(HashMap::new);
         if let Some(&id) = map.get(s) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            self.bytes_saved.fetch_add(s.len() as u64, Ordering::Relaxed);
+            self.bytes_saved
+                .fetch_add(s.len() as u64, Ordering::Relaxed);
             return Sym(id);
         }
         let id = u32::try_from(map.len()).expect("dictionary full (2^32 symbols)");
@@ -241,7 +242,7 @@ mod tests {
         assert_eq!(locate(1024), (1, 0));
         assert_eq!(locate(3071), (1, 2047));
         assert_eq!(locate(3072), (2, 0));
-        assert_eq!(locate(u32::MAX).0 < NUM_CHUNKS, true);
+        assert!(locate(u32::MAX).0 < NUM_CHUNKS);
         // Every id maps inside its chunk.
         for id in [0u32, 1023, 1024, 3071, 3072, 1 << 20, u32::MAX] {
             let (chunk, offset) = locate(id);
@@ -262,8 +263,8 @@ mod tests {
         Sym::intern("dict-test-stats-unique-string");
         Sym::intern("dict-test-stats-unique-string");
         let after = dictionary_stats();
-        assert!(after.symbols >= before.symbols + 1);
-        assert!(after.hits >= before.hits + 1);
+        assert!(after.symbols > before.symbols);
+        assert!(after.hits > before.hits);
         assert!(after.string_bytes > before.string_bytes);
         assert!(after.bytes_saved > before.bytes_saved);
     }

@@ -23,6 +23,7 @@
 pub mod database;
 pub mod dict;
 pub mod error;
+pub mod pmap;
 pub mod schema;
 pub mod storage;
 pub mod value;
@@ -48,6 +49,7 @@ pub mod sql {
 pub use database::{Database, LogicalOp, ProbeIds, SavepointId};
 pub use dict::{dictionary_stats, DictionaryStats, Sym};
 pub use error::{RelError, RelResult};
+pub use pmap::PMap;
 pub use schema::{Check, Column, ForeignKey, Schema, Table, TableBuilder};
 pub use storage::{RowId, TableData};
 pub use value::{IndexKey, SqlType, Value};

@@ -1,0 +1,486 @@
+//! A persistent (copy-on-write) ordered map for multi-version storage.
+//!
+//! [`PMap`] is a B-tree whose nodes are [`Arc`]-shared: cloning a map is
+//! O(1) (one `Arc` clone of the root), and mutation path-copies only the
+//! nodes between the root and the touched entry via [`Arc::make_mut`] —
+//! a node whose refcount is 1 is edited in place, so a writer that is
+//! the sole owner of its tree pays ordinary B-tree costs, while a writer
+//! whose tree is shared with published snapshots copies O(log n) nodes
+//! per operation and leaves every snapshot untouched. This is what lets
+//! the mediator publish an immutable database version per commit
+//! (fluree-style immutable indexes) without cloning table data wholesale
+//! and without readers ever taking the write lock.
+//!
+//! Deletion is lazy: entries are removed and emptied nodes unlinked, but
+//! underfull nodes are not rebalanced (a pathological delete pattern can
+//! lower node density, never correctness). The row-id keyed heaps this
+//! map backs are append-mostly, so rebalancing machinery would be dead
+//! weight on the write path.
+
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+// Maximum entries per leaf and children per internal node. Small enough
+// that a path copy is a few cache lines, large enough that a million-row
+// table is ~5 levels deep.
+const MAX: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        // keys.len() + 1 == children.len(); keys[i] is the smallest key
+        // reachable under children[i + 1], so descent picks
+        // children[partition_point(sep <= key)].
+        keys: Vec<K>,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+}
+
+/// A persistent ordered map: O(1) clone, copy-on-write mutation.
+///
+/// Requires `K: Ord + Clone` and `V: Clone` (clones happen only when a
+/// shared node must be path-copied, or when a separator key is copied
+/// into an internal node on split).
+#[derive(Debug, Clone, Default)]
+pub struct PMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        PMap { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow the value stored under `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|k| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &vals[i])
+                }
+                Node::Internal { keys, children } => {
+                    node = &children[keys.partition_point(|sep| sep.borrow() <= key)];
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Mutable borrow of the value stored under `key`, path-copying any
+    /// shared nodes on the way down. A miss copies nothing.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if !self.contains_key(key) {
+            return None;
+        }
+        let mut node = Arc::make_mut(self.root.as_mut()?);
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|k| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &mut vals[i])
+                }
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|sep| sep.borrow() <= key);
+                    node = Arc::make_mut(&mut children[i]);
+                }
+            }
+        }
+    }
+
+    /// Insert `key` → `value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let Some(root) = self.root.as_mut() else {
+            self.root = Some(Arc::new(Node::Leaf {
+                keys: vec![key],
+                vals: vec![value],
+            }));
+            self.len = 1;
+            return None;
+        };
+        let (old, split) = insert_rec(Arc::make_mut(root), key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let left = self.root.take().expect("root present");
+            self.root = Some(Arc::new(Node::Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+            }));
+        }
+        old
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        if !self.contains_key(key) {
+            return None;
+        }
+        let root = self.root.as_mut().expect("key present implies a root");
+        let (removed, _) = remove_rec(Arc::make_mut(root), key);
+        debug_assert!(removed.is_some(), "contains_key guaranteed presence");
+        self.len -= 1;
+        // Shrink the root: drop an emptied tree, collapse single-child
+        // internal chains left behind by lazy deletion.
+        loop {
+            match self.root.as_deref() {
+                Some(Node::Leaf { keys, .. }) if keys.is_empty() => {
+                    self.root = None;
+                }
+                Some(Node::Internal { children, .. }) if children.len() == 1 => {
+                    let child = Arc::clone(&children[0]);
+                    self.root = Some(child);
+                    continue;
+                }
+                _ => {}
+            }
+            break;
+        }
+        removed
+    }
+
+    /// Iterate `(&key, &value)` in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            stack: match &self.root {
+                Some(root) => vec![(root.as_ref(), 0)],
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// The greatest key and its value.
+    pub fn last_key_value(&self) -> Option<(&K, &V)> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    let last = keys.len().checked_sub(1)?;
+                    return Some((&keys[last], &vals[last]));
+                }
+                Node::Internal { children, .. } => {
+                    node = children.last().expect("internal nodes are non-empty");
+                }
+            }
+        }
+    }
+}
+
+// Insert into `node`; on overflow return the separator key and the new
+// right sibling for the parent to link.
+#[allow(clippy::type_complexity)]
+fn insert_rec<K: Ord + Clone, V: Clone>(
+    node: &mut Node<K, V>,
+    key: K,
+    value: V,
+) -> (Option<V>, Option<(K, Arc<Node<K, V>>)>) {
+    match node {
+        Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+            Ok(i) => (Some(std::mem::replace(&mut vals[i], value)), None),
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, value);
+                if keys.len() <= MAX {
+                    return (None, None);
+                }
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                (
+                    None,
+                    Some((
+                        sep,
+                        Arc::new(Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                        }),
+                    )),
+                )
+            }
+        },
+        Node::Internal { keys, children } => {
+            let i = keys.partition_point(|sep| *sep <= key);
+            let (old, split) = insert_rec(Arc::make_mut(&mut children[i]), key, value);
+            let Some((sep, right)) = split else {
+                return (old, None);
+            };
+            keys.insert(i, sep);
+            children.insert(i + 1, right);
+            if children.len() <= MAX {
+                return (old, None);
+            }
+            // children: n+1, keys: n. Keep the left `mid` children with
+            // keys[..mid-1], promote keys[mid-1], hand the rest to the
+            // new right sibling.
+            let mid = children.len() / 2;
+            let right_children = children.split_off(mid);
+            let right_keys = keys.split_off(mid);
+            let sep_up = keys.pop().expect("split leaves a separator to promote");
+            (
+                old,
+                Some((
+                    sep_up,
+                    Arc::new(Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }),
+                )),
+            )
+        }
+    }
+}
+
+// Remove from `node`; the bool reports "this node is now empty" so the
+// parent unlinks it (lazy deletion: no rebalancing of underfull nodes).
+fn remove_rec<K, V, Q>(node: &mut Node<K, V>, key: &Q) -> (Option<V>, bool)
+where
+    K: Ord + Clone + Borrow<Q>,
+    V: Clone,
+    Q: Ord + ?Sized,
+{
+    match node {
+        Node::Leaf { keys, vals } => match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+            Ok(i) => {
+                keys.remove(i);
+                let removed = vals.remove(i);
+                (Some(removed), keys.is_empty())
+            }
+            Err(_) => (None, false),
+        },
+        Node::Internal { keys, children } => {
+            let i = keys.partition_point(|sep| sep.borrow() <= key);
+            let (removed, child_empty) = remove_rec(Arc::make_mut(&mut children[i]), key);
+            if child_empty {
+                children.remove(i);
+                // Drop the separator that bounded the unlinked child.
+                if i > 0 {
+                    keys.remove(i - 1);
+                } else if !keys.is_empty() {
+                    keys.remove(0);
+                }
+            }
+            (removed, children.is_empty())
+        }
+    }
+}
+
+/// Borrowed in-order iterator over a [`PMap`].
+#[derive(Debug)]
+pub struct Iter<'a, K, V> {
+    // (node, next index into its entries/children).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = *self.stack.last()?;
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if idx < keys.len() {
+                        self.stack.last_mut().expect("non-empty").1 += 1;
+                        return Some((&keys[idx], &vals[idx]));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if idx < children.len() {
+                        self.stack.last_mut().expect("non-empty").1 += 1;
+                        self.stack.push((children[idx].as_ref(), 0));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V: Clone> IntoIterator for &'a PMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = PMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    // Deterministic pseudo-random stream (xorshift) for the model test.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_workload() {
+        let mut rng = Rng(0x5eed_cafe);
+        let mut map: PMap<u64, u64> = PMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for step in 0..20_000u64 {
+            let key = rng.next() % 512;
+            match rng.next() % 3 {
+                0 | 1 => {
+                    assert_eq!(map.insert(key, step), model.insert(key, step));
+                }
+                _ => {
+                    assert_eq!(map.remove(&key), model.remove(&key));
+                }
+            }
+            if step % 1_000 == 0 {
+                assert_eq!(map.len(), model.len());
+                assert!(map
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .eq(model.iter().map(|(k, v)| (*k, *v))));
+            }
+        }
+        assert_eq!(map.len(), model.len());
+        assert!(map
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .eq(model.iter().map(|(k, v)| (*k, *v))));
+        assert_eq!(
+            map.last_key_value().map(|(k, v)| (*k, *v)),
+            model.last_key_value().map(|(k, v)| (*k, *v))
+        );
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut map: PMap<u32, String> = PMap::new();
+        for i in 0..1_000 {
+            map.insert(i, format!("v{i}"));
+        }
+        let snapshot = map.clone();
+        // Mutate the original every which way: overwrite, remove, extend.
+        for i in 0..500 {
+            map.insert(i, "overwritten".to_owned());
+        }
+        for i in 500..750 {
+            map.remove(&i);
+        }
+        for i in 1_000..1_200 {
+            map.insert(i, "new".to_owned());
+        }
+        // The snapshot still reads exactly the original state.
+        assert_eq!(snapshot.len(), 1_000);
+        for i in 0..1_000 {
+            assert_eq!(
+                snapshot.get(&i).map(String::as_str),
+                Some(&*format!("v{i}"))
+            );
+        }
+        assert_eq!(snapshot.get(&1_100), None);
+        // And the mutated map sees its own changes.
+        assert_eq!(map.get(&0).map(String::as_str), Some("overwritten"));
+        assert_eq!(map.get(&600), None);
+        assert_eq!(map.len(), 950);
+    }
+
+    #[test]
+    fn get_mut_does_not_disturb_snapshots() {
+        let mut map: PMap<u32, Vec<u32>> = PMap::new();
+        for i in 0..100 {
+            map.insert(i, vec![i]);
+        }
+        let snapshot = map.clone();
+        map.get_mut(&42).expect("present").push(99);
+        assert_eq!(snapshot.get(&42), Some(&vec![42]));
+        assert_eq!(map.get(&42), Some(&vec![42, 99]));
+        assert!(map.get_mut(&12_345).is_none());
+    }
+
+    #[test]
+    fn empty_and_single_entry_edges() {
+        let mut map: PMap<i32, i32> = PMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.remove(&1), None);
+        assert_eq!(map.last_key_value(), None);
+        assert_eq!(map.iter().count(), 0);
+        map.insert(7, 70);
+        assert_eq!(map.last_key_value(), Some((&7, &70)));
+        assert_eq!(map.remove(&7), Some(70));
+        assert!(map.is_empty());
+        assert!(map.root.is_none(), "emptied tree drops its root");
+    }
+
+    #[test]
+    fn ascending_and_descending_bulk_loads_iterate_sorted() {
+        for descending in [false, true] {
+            let mut map: PMap<u64, u64> = PMap::new();
+            for i in 0..5_000u64 {
+                let k = if descending { 5_000 - i } else { i };
+                map.insert(k, k * 2);
+            }
+            assert_eq!(map.len(), 5_000);
+            let keys: Vec<u64> = map.iter().map(|(k, _)| *k).collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted iteration");
+            assert_eq!(keys.len(), 5_000);
+        }
+    }
+}

@@ -471,7 +471,7 @@ pub fn eval_on_row(expr: &Expr, table: &crate::schema::Table, row: &[Value]) -> 
                 table: table.name.clone(),
                 column: cref.column.clone(),
             })?;
-        Ok(row[idx].clone())
+        Ok(row[idx])
     };
     eval(expr, &resolve)
 }
@@ -481,7 +481,7 @@ pub fn eval_on_row(expr: &Expr, table: &crate::schema::Table, row: &[Value]) -> 
 /// semantics; WHERE accepts only `TRUE`.
 pub fn eval(expr: &Expr, resolve: &dyn Fn(&ColumnRef) -> RelResult<Value>) -> RelResult<Value> {
     match expr {
-        Expr::Value(v) => Ok(v.clone()),
+        Expr::Value(v) => Ok(*v),
         Expr::Column(cref) => resolve(cref),
         Expr::Not(inner) => match eval(inner, resolve)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -1372,7 +1372,7 @@ fn resolve_multi(
                                 table: (*name).to_owned(),
                                 column: cref.column.clone(),
                             })?;
-                    return Ok(row[idx].clone());
+                    return Ok(row[idx]);
                 }
             }
             Err(RelError::Execution {
@@ -1391,7 +1391,7 @@ fn resolve_multi(
                             ),
                         });
                     }
-                    found = Some(row[idx].clone());
+                    found = Some(row[idx]);
                 }
             }
             found.ok_or_else(|| RelError::Execution {

@@ -1,9 +1,16 @@
 //! Row storage for one table: heap of rows plus primary-key, unique,
-//! and secondary (non-unique) hash indexes.
+//! and secondary (non-unique) indexes.
+//!
+//! Every map here is a persistent [`PMap`]: cloning a [`TableData`] is
+//! O(#indexes) `Arc` clones, which is what makes publishing an immutable
+//! database version per commit affordable (see [`crate::pmap`]). The
+//! writer mutates its own copy in place; shared nodes are path-copied
+//! on first touch, so published snapshots never observe a mutation.
 
+use crate::pmap::PMap;
 use crate::schema::Table;
 use crate::value::{IndexKey, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Identifier of a stored row, unique within its table for the lifetime
 /// of the database.
@@ -12,17 +19,17 @@ pub type RowId = u64;
 /// Storage for one table.
 #[derive(Debug, Clone, Default)]
 pub struct TableData {
-    rows: BTreeMap<RowId, Vec<Value>>,
+    rows: PMap<RowId, Vec<Value>>,
     /// PK values → row id. Empty key vec when the table has no PK.
-    pk_index: HashMap<Vec<IndexKey>, RowId>,
+    pk_index: PMap<Vec<IndexKey>, RowId>,
     /// Per unique column: value → row id (NULLs excluded, as in SQL).
-    unique_indexes: HashMap<String, HashMap<IndexKey, RowId>>,
+    unique_indexes: HashMap<String, PMap<IndexKey, RowId>>,
     /// Per indexed column: value → row ids (non-unique; NULLs excluded).
     /// Declared FK columns are indexed automatically; the planner and
     /// [`Database::create_index`](crate::Database::create_index) add
     /// further join columns. Id lists are kept in ascending row-id
     /// order so index-backed plans enumerate rows deterministically.
-    secondary_indexes: HashMap<String, HashMap<IndexKey, Vec<RowId>>>,
+    secondary_indexes: HashMap<String, PMap<IndexKey, Vec<RowId>>>,
     next_row_id: RowId,
 }
 
@@ -34,8 +41,7 @@ impl TableData {
         let mut data = TableData::default();
         for column in &table.columns {
             if column.unique {
-                data.unique_indexes
-                    .insert(column.name.clone(), HashMap::new());
+                data.unique_indexes.insert(column.name.clone(), PMap::new());
             }
         }
         for fk in &table.foreign_keys {
@@ -49,13 +55,13 @@ impl TableData {
                 .is_some_and(|c| c.ty != crate::value::SqlType::Double);
             if !covered && probeable {
                 data.secondary_indexes
-                    .insert(fk.column.clone(), HashMap::new());
+                    .insert(fk.column.clone(), PMap::new());
             }
         }
         data
     }
 
-    /// Build (idempotently) a secondary hash index on `column`.
+    /// Build (idempotently) a secondary index on `column`.
     pub fn create_index(&mut self, table: &Table, column: &str) {
         if self.secondary_indexes.contains_key(column) {
             return;
@@ -63,10 +69,18 @@ impl TableData {
         let idx = table
             .column_index(column)
             .expect("caller verified column exists");
-        let mut index: HashMap<IndexKey, Vec<RowId>> = HashMap::new();
-        for (row_id, row) in &self.rows {
+        let mut index: PMap<IndexKey, Vec<RowId>> = PMap::new();
+        for (row_id, row) in self.rows.iter() {
             if !row[idx].is_null() {
-                index.entry(row[idx].index_key()).or_default().push(*row_id);
+                let key = row[idx].index_key();
+                match index.get_mut(&key) {
+                    // Rows iterate in ascending id order, so pushing
+                    // keeps each posting list sorted.
+                    Some(ids) => ids.push(*row_id),
+                    None => {
+                        index.insert(key, vec![*row_id]);
+                    }
+                }
             }
         }
         self.secondary_indexes.insert(column.to_owned(), index);
@@ -224,11 +238,18 @@ impl TableData {
                 .column_index(column)
                 .expect("secondary index built from schema");
             if !row[i].is_null() {
-                let ids = index.entry(row[i].index_key()).or_default();
-                // Restores after rollback can re-add a low id after
-                // higher ones; keep ascending order.
-                let pos = ids.partition_point(|&id| id < row_id);
-                ids.insert(pos, row_id);
+                let key = row[i].index_key();
+                match index.get_mut(&key) {
+                    Some(ids) => {
+                        // Restores after rollback can re-add a low id
+                        // after higher ones; keep ascending order.
+                        let pos = ids.partition_point(|&id| id < row_id);
+                        ids.insert(pos, row_id);
+                    }
+                    None => {
+                        index.insert(key, vec![row_id]);
+                    }
+                }
             }
         }
     }
@@ -253,11 +274,15 @@ impl TableData {
                 continue;
             }
             let key = row[i].index_key();
-            if let Some(ids) = index.get_mut(&key) {
-                ids.retain(|&id| id != row_id);
-                if ids.is_empty() {
-                    index.remove(&key);
+            let now_empty = match index.get_mut(&key) {
+                Some(ids) => {
+                    ids.retain(|&id| id != row_id);
+                    ids.is_empty()
                 }
+                None => false,
+            };
+            if now_empty {
+                index.remove(&key);
             }
         }
     }

@@ -6,7 +6,7 @@
 //! | `POST /update`      | SPARQL/Update; the response body is the paper's §6 RDF feedback document (Turtle) |
 //! | `GET /describe?uri=`| Concise description of one instance URI (graph response) |
 //! | `GET /dump`         | The database's full RDF view (graph response) |
-//! | `GET /status`       | Version, uptime, row counts, query-cache, durability and server counters (JSON) |
+//! | `GET /status`       | Version, uptime, row counts, query-cache, concurrency, durability and server counters (JSON) |
 //! | `POST /snapshot`    | Admin checkpoint: snapshot the committed state, truncate the WAL (durable servers only) |
 //!
 //! Queries execute on the worker's shared [`ReadSession`]; updates
@@ -334,11 +334,13 @@ fn status(ctx: &AppContext) -> Response {
     }
     let cache = ctx.mediator.query_cache_stats();
     let dict = ctx.mediator.dictionary_stats();
+    let conc = ctx.mediator.concurrency_stats();
     let stats = &ctx.stats;
     let body = format!(
         "{{\"version\":{},\"uptime_seconds\":{},\"tables\":{{{tables}}},\
          \"query_cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
          \"dictionary\":{{\"symbols\":{},\"string_bytes\":{},\"hits\":{},\"bytes_saved\":{}}},\
+         \"concurrency\":{{\"current_version\":{},\"versions_retained\":{},\"read_sessions_live\":{},\"write_lock_waits\":{},\"write_lock_wait_micros\":{}}},\
          \"durability\":{},\
          \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"snapshots\":{},\"overload_rejections\":{}}}}}",
         wire::json_string(env!("CARGO_PKG_VERSION")),
@@ -352,6 +354,11 @@ fn status(ctx: &AppContext) -> Response {
         dict.string_bytes,
         dict.hits,
         dict.bytes_saved,
+        conc.current_version,
+        conc.versions_retained,
+        conc.read_sessions_live,
+        conc.write_lock_waits,
+        conc.write_lock_wait_micros,
         durability_json(ctx),
         ctx.workers,
         ctx.queue_capacity,

@@ -342,6 +342,38 @@ fn status_reports_tables_cache_and_counters() {
 }
 
 #[test]
+fn status_reports_concurrency_object() {
+    let server = test_server();
+    // Fresh in-memory server: version 0, only the initial version
+    // retained, no writers yet.
+    let text = get(&server, "/status", None).text();
+    assert!(
+        text.contains("\"concurrency\":{\"current_version\":0,\"versions_retained\":1,"),
+        "{text}"
+    );
+    assert!(text.contains("\"read_sessions_live\":"), "{text}");
+    assert!(text.contains("\"write_lock_waits\":0"), "{text}");
+    assert!(text.contains("\"write_lock_wait_micros\":"), "{text}");
+    // One committed update publishes one new version: the current
+    // version advances and the chain retains both, and the write-lock
+    // acquisition shows up in the wait counters.
+    let insert = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                  PREFIX ex: <http://example.org/db/>\n\
+                  INSERT DATA { ex:author8 foaf:family_name \"Gall\" . }";
+    assert_eq!(
+        post(&server, "/update", "application/sparql-update", insert).status,
+        200
+    );
+    let text = get(&server, "/status", None).text();
+    assert!(
+        text.contains("\"concurrency\":{\"current_version\":1,\"versions_retained\":2,"),
+        "{text}"
+    );
+    assert!(text.contains("\"write_lock_waits\":1"), "{text}");
+    server.shutdown();
+}
+
+#[test]
 fn snapshot_endpoint_requires_durability() {
     let server = test_server();
     let response = post(&server, "/snapshot", "text/plain", "");
