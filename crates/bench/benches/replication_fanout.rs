@@ -1,0 +1,230 @@
+//! Replication fan-out acceptance bench: one durable leader, N read
+//! replicas over loopback HTTP.
+//!
+//! * **query_fanout_96req/{1,2,4}** — the http_throughput read batch
+//!   (96 cached SELECT queries) absorbed by 1/2/4 followers instead of
+//!   the leader. Followers are fully independent mediators, so the
+//!   batch should not get slower as it spreads — replication's
+//!   read-scaling claim over real sockets.
+//! * **apply_lag_24commits/{1,2,4}** — the durability bench's write
+//!   load (a batch of single-row committed updates) pushed through the
+//!   leader, measured until **every** follower reports the leader's
+//!   commit frontier applied. This is the steady-state shipping cost:
+//!   WAL bytes over the wire plus replay, per fan-out width.
+//!
+//! Emits `CRITERION_JSON` lines like the other benches; the checked-in
+//! snapshot is `BENCH_replication.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use fixtures::http_probe::{urlencode, ProbeConn};
+use ontoaccess::Mediator;
+use ontoaccess_server::{serve, ServerConfig, ServerHandle};
+use repl::{ReplicationStatus, Replicator, ReplicatorConfig};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+fn boot_leader(dir: &std::path::Path, n: usize) -> (Mediator, ServerHandle) {
+    let spec = Spec {
+        teams: n,
+        authors: n,
+        publishers: 50.min(n),
+        pubtypes: 4,
+        publications: n,
+        authors_per_publication: 2,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 5);
+    let (mediator, _) = Mediator::open_durable(dir, db, fixtures::mapping()).unwrap();
+    let server = serve(
+        mediator.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral leader port");
+    (mediator, server)
+}
+
+struct Follower {
+    server: ServerHandle,
+    status: ReplicationStatus,
+    replicator: Replicator,
+}
+
+fn attach_followers(leader: &ServerHandle, count: usize) -> Vec<Follower> {
+    (0..count)
+        .map(|_| {
+            let (mediator, replicator) = Replicator::start(
+                leader.addr().to_string(),
+                fixtures::database(),
+                fixtures::mapping(),
+                ReplicatorConfig {
+                    poll_timeout: Duration::from_millis(500),
+                    ..ReplicatorConfig::default()
+                },
+            )
+            .expect("bootstrap follower");
+            let status = replicator.status();
+            let server = serve(
+                mediator,
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 4,
+                    queue_capacity: 256,
+                    keep_alive_timeout: Duration::from_secs(10),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind ephemeral follower port");
+            Follower {
+                server,
+                status,
+                replicator,
+            }
+        })
+        .collect()
+}
+
+fn wait_all_applied(followers: &[Follower], target_seq: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for follower in followers {
+        while follower.status.snapshot().applied_seq < target_seq {
+            assert!(
+                Instant::now() < deadline,
+                "follower never caught up to seq {target_seq}: {:?}",
+                follower.status.snapshot()
+            );
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn teardown(followers: Vec<Follower>) {
+    for follower in followers {
+        follower.server.shutdown();
+        follower.replicator.stop();
+    }
+}
+
+fn query_request(query: &str) -> String {
+    format!(
+        "GET /sparql?query={} HTTP/1.1\r\nHost: bench\r\n\r\n",
+        urlencode(query)
+    )
+}
+
+fn bench_query_fanout(c: &mut Criterion) {
+    const BATCH: usize = 96;
+    let dir = fixtures::scratch_dir("bench-repl-fanout");
+    let (leader, server) = boot_leader(&dir, 500);
+    let requests: Vec<String> = [
+        fixtures::workload::select_authors_with_team(),
+        fixtures::workload::select_publications_with_authors(),
+        fixtures::workload::select_recent_publications(2000),
+    ]
+    .iter()
+    .map(|q| query_request(q))
+    .collect();
+    let mut group = c.benchmark_group("replication_fanout/query_fanout_96req");
+    group.sample_size(10);
+    for followers in [1usize, 2, 4] {
+        let fleet = attach_followers(&server, followers);
+        wait_all_applied(&fleet, leader.concurrency_stats().current_version);
+        // Warm every follower's compiled-query cache and join indexes.
+        for follower in &fleet {
+            let mut conn = ProbeConn::connect(follower.server.addr()).unwrap();
+            for request in &requests {
+                assert_eq!(conn.send(request).unwrap().status, 200);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(followers),
+            &followers,
+            |b, &followers| {
+                b.iter(|| {
+                    // One client thread per follower, the batch split
+                    // evenly — the fan-out analogue of the
+                    // http_throughput keep-alive batch.
+                    std::thread::scope(|scope| {
+                        let per_follower = BATCH / followers;
+                        let mut handles = Vec::with_capacity(followers);
+                        for (t, follower) in fleet.iter().enumerate() {
+                            let requests = &requests;
+                            let addr = follower.server.addr();
+                            handles.push(scope.spawn(move || {
+                                let mut conn = ProbeConn::connect(addr).unwrap();
+                                for i in 0..per_follower {
+                                    let request = &requests[(t + i) % requests.len()];
+                                    assert_eq!(conn.send(request).unwrap().status, 200);
+                                }
+                            }));
+                        }
+                        for handle in handles {
+                            handle.join().unwrap();
+                        }
+                    })
+                })
+            },
+        );
+        teardown(fleet);
+    }
+    group.finish();
+    server.shutdown();
+    drop(leader);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn bench_apply_lag(c: &mut Criterion) {
+    const COMMITS: usize = 24;
+    let dir = fixtures::scratch_dir("bench-repl-lag");
+    let (leader, server) = boot_leader(&dir, 100);
+    let mut group = c.benchmark_group("replication_fanout/apply_lag_24commits");
+    group.sample_size(10);
+    let counter = Cell::new(0u64);
+    for followers in [1usize, 2, 4] {
+        let fleet = attach_followers(&server, followers);
+        wait_all_applied(&fleet, leader.concurrency_stats().current_version);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(followers),
+            &followers,
+            |b, _| {
+                b.iter(|| {
+                    // The durability-bench write shape: single-row
+                    // committed inserts, each one WAL unit, measured
+                    // until the whole fleet has replayed them.
+                    for _ in 0..COMMITS {
+                        let i = counter.get();
+                        counter.set(i + 1);
+                        let update = fixtures::workload::with_prefixes(&format!(
+                            "INSERT DATA {{ ex:author{} foaf:family_name \"Lag{i}\" . }}",
+                            9_000_000 + i
+                        ));
+                        leader.execute_update(&update).unwrap();
+                    }
+                    wait_all_applied(&fleet, leader.concurrency_stats().current_version);
+                })
+            },
+        );
+        teardown(fleet);
+    }
+    group.finish();
+    server.shutdown();
+    drop(leader);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_query_fanout, bench_apply_lag
+}
+criterion_main!(benches);

@@ -150,6 +150,13 @@ pub enum OntoError {
         /// What the durability layer reported.
         message: String,
     },
+    /// This mediator is a read replica: it applies the leader's WAL and
+    /// accepts no local writes (the one-durable-writer topology). The
+    /// request itself may be valid — resend it to the leader.
+    ReadOnlyReplica {
+        /// Address of the leader that accepts writes.
+        leader: String,
+    },
 }
 
 impl fmt::Display for OntoError {
@@ -247,6 +254,10 @@ impl fmt::Display for OntoError {
             }
             OntoError::Database(e) => write!(f, "database error: {e}"),
             OntoError::Storage { message } => write!(f, "durable storage error: {message}"),
+            OntoError::ReadOnlyReplica { leader } => write!(
+                f,
+                "this endpoint is a read replica of {leader}; it accepts no writes"
+            ),
         }
     }
 }
@@ -295,6 +306,7 @@ impl OntoError {
             OntoError::AmbiguousPattern { .. } => "AmbiguousPattern",
             OntoError::Database(_) => "DatabaseError",
             OntoError::Storage { .. } => "StorageError",
+            OntoError::ReadOnlyReplica { .. } => "ReadOnlyReplica",
         }
     }
 
@@ -316,6 +328,9 @@ impl OntoError {
             }
             OntoError::AttributeAlreadySet { .. } => {
                 Some("use MODIFY (DELETE/INSERT) to replace the existing value".into())
+            }
+            OntoError::ReadOnlyReplica { leader } => {
+                Some(format!("send the update to the leader at {leader}"))
             }
             _ => None,
         }

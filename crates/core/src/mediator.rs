@@ -313,6 +313,11 @@ struct MediatorCore {
     // write-ahead log and fsynced (group commit) before the commit
     // call returns; `None` keeps the mediator purely in-memory.
     durability: Option<dur::Durability>,
+    // `Some(leader)` marks this mediator as a read replica: local
+    // writes are refused (the one-durable-writer topology) and
+    // committed state arrives exclusively through
+    // [`Mediator::apply_replicated`].
+    replica_of: Option<String>,
     // Live ReadSession counter: every session clones this token, so
     // strong_count - 1 = sessions alive (drop-glue observability).
     session_token: Arc<()>,
@@ -579,7 +584,7 @@ impl Mediator {
     /// [`Mediator::with_durability`] / [`Mediator::open_durable`] for
     /// the persistent variants.
     pub fn new(db: Database, mapping: Mapping) -> OntoResult<Self> {
-        Self::build(db, mapping, None)
+        Self::build(db, mapping, None, None, None)
     }
 
     /// Create a mediator whose commits are persisted through an open
@@ -594,7 +599,22 @@ impl Mediator {
         mapping: Mapping,
         durability: dur::Durability,
     ) -> OntoResult<Self> {
-        Self::build(db, mapping, Some(durability))
+        Self::build(db, mapping, Some(durability), None, None)
+    }
+
+    /// Create a read-replica mediator: `db` is the state bootstrapped
+    /// from the leader's snapshot at commit `applied_seq`, and `leader`
+    /// is the address local writes are redirected to. The replica is
+    /// in-memory (its durability lives on the leader); committed state
+    /// advances only through [`Mediator::apply_replicated`], and every
+    /// write entry point fails with [`OntoError::ReadOnlyReplica`].
+    pub fn new_replica(
+        db: Database,
+        mapping: Mapping,
+        leader: impl Into<String>,
+        applied_seq: u64,
+    ) -> OntoResult<Self> {
+        Self::build(db, mapping, None, Some(leader.into()), Some(applied_seq))
     }
 
     /// Open (or create) a durable data directory and serve the
@@ -617,6 +637,8 @@ impl Mediator {
         db: Database,
         mapping: Mapping,
         durability: Option<dur::Durability>,
+        replica_of: Option<String>,
+        initial_seq: Option<u64>,
     ) -> OntoResult<Self> {
         r3m::validate_strict(&mapping, db.schema()).map_err(|issue| OntoError::Unsupported {
             message: format!("mapping rejected: {issue}"),
@@ -628,8 +650,10 @@ impl Mediator {
         // The initial version's sequence number is the last recovered
         // WAL commit unit (0 on a fresh directory or in memory), so the
         // next commit's version id lines up with its WAL seq and a
-        // reopened mediator resumes the same numbering.
-        let initial_seq = durability.as_ref().map_or(0, |d| d.stats().last_commit_seq);
+        // reopened mediator resumes the same numbering. A replica's
+        // numbering starts at its bootstrap snapshot's sequence.
+        let initial_seq = initial_seq
+            .unwrap_or_else(|| durability.as_ref().map_or(0, |d| d.stats().last_commit_seq));
         let initial = Arc::new(DatabaseVersion {
             seq: initial_seq,
             db: db.clone(),
@@ -644,6 +668,7 @@ impl Mediator {
                 prefixes,
                 cache: Mutex::new(QueryCache::new()),
                 durability,
+                replica_of,
                 session_token: Arc::new(()),
                 write_lock_waits: AtomicU64::new(0),
                 write_lock_wait_micros: AtomicU64::new(0),
@@ -659,6 +684,87 @@ impl Mediator {
     /// Durability counters (`None` for an in-memory mediator).
     pub fn durability_stats(&self) -> Option<dur::DurabilityStats> {
         self.core.durability.as_ref().map(dur::Durability::stats)
+    }
+
+    /// The leader address when this mediator is a read replica.
+    pub fn replica_of(&self) -> Option<&str> {
+        self.core.replica_of.as_deref()
+    }
+
+    // A replica accepts no local writes; the guard sits on the two
+    // update entry points every transport route funnels through.
+    fn ensure_writable(&self) -> OntoResult<()> {
+        match &self.core.replica_of {
+            Some(leader) => Err(OntoError::ReadOnlyReplica {
+                leader: leader.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply one replicated commit unit (replication follower path):
+    /// replay the leader's logical operations onto the live database
+    /// and publish the result under the leader's commit sequence, so
+    /// replica reads are ordinary pinned MVCC snapshots with
+    /// leader-aligned version ids. The caller (the replicator) feeds
+    /// units in sequence order and skips already-applied sequences.
+    pub fn apply_replicated(&self, seq: u64, ops: &[rel::LogicalOp]) -> OntoResult<()> {
+        let mut db = self.core.lock_live();
+        for op in ops {
+            db.apply_logical(op)?;
+        }
+        self.core.publish(db.clone(), seq);
+        Ok(())
+    }
+
+    /// Replace a replica's state wholesale with a fresh bootstrap
+    /// snapshot at commit `seq` (re-bootstrap after the leader's
+    /// checkpoint truncated WAL history this replica had not applied
+    /// yet). Already-pinned read sessions keep their old versions;
+    /// new reads see the snapshot.
+    pub fn install_replica_base(&self, db: Database, seq: u64) -> OntoResult<()> {
+        let mut live = self.core.lock_live();
+        *live = db.clone();
+        self.core.publish(db, seq);
+        Ok(())
+    }
+
+    /// Current WAL coordinate for replication (`None` without
+    /// durability).
+    pub fn wal_position(&self) -> Option<dur::WalPosition> {
+        self.core
+            .durability
+            .as_ref()
+            .map(dur::Durability::wal_position)
+    }
+
+    /// Serve durable WAL bytes to a replication follower (leader side;
+    /// see [`dur::Durability::fetch_wal`]). [`OntoError::Unsupported`]
+    /// without durability — an in-memory endpoint (including a replica)
+    /// has no log to ship.
+    pub fn fetch_wal(
+        &self,
+        from: u64,
+        epoch: u64,
+        timeout: std::time::Duration,
+    ) -> OntoResult<dur::WalFetch> {
+        let Some(durability) = &self.core.durability else {
+            return Err(OntoError::Unsupported {
+                message: "replication requires a durable leader (no data directory here)".into(),
+            });
+        };
+        Ok(durability.fetch_wal(from, epoch, timeout)?)
+    }
+
+    /// The newest snapshot's raw bytes for follower bootstrap (leader
+    /// side). [`OntoError::Unsupported`] without durability.
+    pub fn latest_snapshot_bytes(&self) -> OntoResult<(u64, Vec<u8>)> {
+        let Some(durability) = &self.core.durability else {
+            return Err(OntoError::Unsupported {
+                message: "replication requires a durable leader (no data directory here)".into(),
+            });
+        };
+        Ok(durability.latest_snapshot_bytes()?)
     }
 
     /// String-dictionary counters. The dictionary is process-global
@@ -817,7 +923,10 @@ impl Mediator {
     }
 
     /// Execute a parsed SPARQL/Update operation, as its own transaction.
+    /// On a read replica this fails with [`OntoError::ReadOnlyReplica`]
+    /// naming the leader — send the update there.
     pub fn execute_update_op(&self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+        self.ensure_writable()?;
         let mut txn = self.write();
         match txn.update_op(op) {
             Ok(outcome) => {
@@ -846,6 +955,11 @@ impl Mediator {
         text: &str,
         atomic_script: bool,
     ) -> Result<Vec<UpdateOutcome>, ScriptError> {
+        self.ensure_writable().map_err(|error| ScriptError {
+            operation_index: 0,
+            completed: Vec::new(),
+            error,
+        })?;
         let ops = sparql::parse_update_script(text, self.core.prefixes.clone()).map_err(|e| {
             ScriptError {
                 operation_index: 0,
@@ -1608,6 +1722,95 @@ mod tests {
         assert!(!m.is_durable());
         assert!(m.durability_stats().is_none());
         assert!(matches!(m.checkpoint(), Err(OntoError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn replica_applies_leader_wal_and_redirects_writes() {
+        let dir = scratch_dir();
+        let (leader, _) = durable_mediator(&dir);
+        leader
+            .execute_update("INSERT DATA { ex:team9 foaf:name \"T9\" . }")
+            .unwrap();
+
+        // Bootstrap exactly as a follower would: snapshot bytes decoded
+        // against the local schema (fingerprint checked), dictionary
+        // adopted, replica numbered from the snapshot's sequence.
+        let (snap_seq, snap_bytes) = leader.latest_snapshot_bytes().unwrap();
+        let (db, mapping) = fixture_db_with_rows();
+        let (decoded_seq, base, mut dict) =
+            dur::snapshot::decode_snapshot(&snap_bytes, db.schema()).unwrap();
+        assert_eq!(decoded_seq, snap_seq);
+        let replica = Mediator::new_replica(base, mapping, "127.0.0.1:7878", snap_seq).unwrap();
+        assert_eq!(replica.replica_of(), Some("127.0.0.1:7878"));
+        assert_eq!(replica.concurrency_stats().current_version, snap_seq);
+
+        // Tail the leader's WAL once and apply every unit past the
+        // snapshot.
+        let position = leader.wal_position().unwrap();
+        let fetched = leader
+            .fetch_wal(
+                dur::wal::WAL_MAGIC.len() as u64,
+                position.epoch,
+                std::time::Duration::ZERO,
+            )
+            .unwrap();
+        let dur::WalFetch::Data { bytes, .. } = fetched else {
+            panic!("leader has committed units to ship");
+        };
+        for unit in dur::wal::scan_records(&bytes, &mut dict).units {
+            if unit.seq > snap_seq {
+                replica.apply_replicated(unit.seq, &unit.ops).unwrap();
+            }
+        }
+        assert_eq!(
+            replica.concurrency_stats().current_version,
+            leader.concurrency_stats().current_version
+        );
+        assert_eq!(replica.database().row_count("team").unwrap(), 3);
+
+        // Local writes are refused with the leader's address, on every
+        // entry point a transport routes through.
+        let err = replica
+            .execute_update("INSERT DATA { ex:team10 foaf:name \"X\" . }")
+            .unwrap_err();
+        assert!(
+            matches!(&err, OntoError::ReadOnlyReplica { leader } if leader == "127.0.0.1:7878")
+        );
+        assert!(err.hint().unwrap().contains("127.0.0.1:7878"));
+        let err = replica
+            .execute_script("INSERT DATA { ex:team10 foaf:name \"X\" . }", true)
+            .unwrap_err();
+        assert!(matches!(err.error, OntoError::ReadOnlyReplica { .. }));
+        let (_, result) =
+            replica.execute_update_with_feedback("INSERT DATA { ex:team10 foaf:name \"X\" . }");
+        assert!(matches!(result, Err(OntoError::ReadOnlyReplica { .. })));
+        // A replica has no durability of its own: checkpoint and WAL
+        // serving are unsupported (a cascading follower gets a 501).
+        assert!(matches!(
+            replica.checkpoint(),
+            Err(OntoError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            replica.fetch_wal(8, 0, std::time::Duration::ZERO),
+            Err(OntoError::Unsupported { .. })
+        ));
+        assert!(replica.wal_position().is_none());
+
+        // Re-bootstrap path: install a fresh base wholesale.
+        let (snap_seq2, snap_bytes2) = {
+            leader.checkpoint().unwrap();
+            leader
+                .execute_update("INSERT DATA { ex:team11 foaf:name \"Y\" . }")
+                .unwrap();
+            leader.checkpoint().unwrap();
+            leader.latest_snapshot_bytes().unwrap()
+        };
+        let (_, base2, _) = dur::snapshot::decode_snapshot(&snap_bytes2, db.schema()).unwrap();
+        replica.install_replica_base(base2, snap_seq2).unwrap();
+        assert_eq!(replica.concurrency_stats().current_version, snap_seq2);
+        assert_eq!(replica.database().row_count("team").unwrap(), 4);
+        drop(leader);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -51,13 +51,19 @@ use crate::codec::DictTable;
 use crate::error::IoContext;
 use rel::{Database, LogicalOp};
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Name of the write-ahead log inside a data directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Largest byte span one [`Durability::fetch_wal`] call returns. A
+/// chunk boundary may split a commit unit; followers keep the torn
+/// tail buffered and complete it with the next fetch.
+pub const MAX_WAL_CHUNK: u64 = 4 << 20;
 
 // Sentinel for "no snapshot yet" in the atomic last-snapshot slot.
 const NO_SNAPSHOT: u64 = u64::MAX;
@@ -80,9 +86,64 @@ struct SyncState {
     // Highest sequence known durable (fsynced, or covered by a
     // checkpointed snapshot).
     synced_seq: u64,
+    // WAL byte extent known durable — replication serves exactly
+    // [0, durable_bytes): fsynced whole commit units, never the tail a
+    // crash could tear. Checkpoint clamps it back to the magic length
+    // (under this mutex, together with the epoch store) the moment the
+    // snapshot makes the log's content obsolete.
+    durable_bytes: u64,
     // Whether some thread is currently inside fsync (or checkpoint
     // holds the token while truncating).
     sync_running: bool,
+}
+
+/// A coordinate in the leader's WAL, as served to replication
+/// followers.
+///
+/// `epoch` identifies one *content lifetime* of the log file: it is the
+/// sequence of the newest snapshot (or [`u64::MAX`] before the first
+/// one), which changes exactly when a checkpoint truncates away content
+/// a follower might still be reading — and is stable across leader
+/// restarts, so follower offsets survive a leader crash. A byte offset
+/// is only meaningful together with the epoch it was observed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Content lifetime of the WAL file (raw last-snapshot slot).
+    pub epoch: u64,
+    /// Bytes of the file (magic included) that are durable.
+    pub durable_bytes: u64,
+    /// Highest durable commit sequence.
+    pub durable_seq: u64,
+    /// Sequence of the newest snapshot, if any.
+    pub snapshot_seq: Option<u64>,
+}
+
+/// Outcome of a follower's [`Durability::fetch_wal`] poll.
+#[derive(Debug)]
+pub enum WalFetch {
+    /// Durable bytes starting exactly at the requested offset.
+    Data {
+        /// The bytes (whole span is durable; may end mid-unit when the
+        /// chunk cap splits one).
+        bytes: Vec<u8>,
+        /// Position after the read (epoch verified unchanged).
+        position: WalPosition,
+    },
+    /// The follower is at the durable edge and nothing new arrived
+    /// within the timeout.
+    CaughtUp {
+        /// Current position.
+        position: WalPosition,
+    },
+    /// The requested coordinate is not servable — the epoch changed
+    /// (checkpoint truncation) or the offset is out of range. The
+    /// follower must restart from the returned position: offset
+    /// [`wal::WAL_MAGIC`]`.len()` in the new epoch if its applied
+    /// sequence covers the snapshot, else a fresh snapshot bootstrap.
+    Reposition {
+        /// Current position.
+        position: WalPosition,
+    },
 }
 
 /// What recovery found and did while opening a data directory.
@@ -269,6 +330,7 @@ impl Durability {
             }),
             sync: Mutex::new(SyncState {
                 synced_seq,
+                durable_bytes: wal_bytes,
                 sync_running: false,
             }),
             synced: Condvar::new(),
@@ -354,9 +416,9 @@ impl Durability {
             // — and never taking the append lock while holding the
             // token keeps checkpoint (which holds the append lock and
             // waits for the token) deadlock-free against this path.
-            let target = {
+            let (target, target_bytes) = {
                 let append = self.append.lock().unwrap_or_else(|e| e.into_inner());
-                append.next_seq - 1
+                (append.next_seq - 1, append.wal_bytes)
             };
             let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
             if sync.synced_seq >= seq {
@@ -376,6 +438,13 @@ impl Durability {
             match result {
                 Ok(()) => {
                     sync.synced_seq = sync.synced_seq.max(target);
+                    // Captured together with `target` under the append
+                    // lock, so the extent is exactly the whole units the
+                    // fsync covered. (After a checkpoint clamped the
+                    // extent, the early `synced_seq >= seq` return above
+                    // guarantees no stale pre-truncation capture reaches
+                    // this line.)
+                    sync.durable_bytes = sync.durable_bytes.max(target_bytes);
                     self.wal_syncs.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
@@ -431,7 +500,16 @@ impl Durability {
             Err(e) => Err(e),
             Ok(()) => {
                 // The renamed snapshot is authoritative from here on.
-                self.last_snapshot_seq.store(seq, Ordering::Relaxed);
+                // Epoch store and durable-extent clamp happen in one
+                // sync-mutex critical section so a replication read can
+                // never observe the new epoch paired with the old
+                // extent (and serve soon-to-be-truncated bytes under
+                // the new epoch's coordinates).
+                {
+                    let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                    self.last_snapshot_seq.store(seq, Ordering::Relaxed);
+                    sync.durable_bytes = wal::WAL_MAGIC.len() as u64;
+                }
                 self.remove_stale_snapshots(seq);
                 // Stage 2: empty the WAL. A failure here leaves the
                 // file in an unknown state (set_len may or may not
@@ -470,6 +548,125 @@ impl Durability {
         self.synced.notify_all();
         drop(append);
         result.map(|()| seq)
+    }
+
+    /// The current WAL coordinate (epoch + durable extent). All epoch
+    /// stores happen under the sync mutex, so the pair read here is
+    /// coherent.
+    pub fn wal_position(&self) -> WalPosition {
+        let sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        self.position_locked(&sync)
+    }
+
+    // Position from an already-held sync guard.
+    fn position_locked(&self, sync: &SyncState) -> WalPosition {
+        let snap = self.last_snapshot_seq.load(Ordering::Relaxed);
+        WalPosition {
+            epoch: snap,
+            durable_bytes: sync.durable_bytes,
+            durable_seq: sync.synced_seq,
+            snapshot_seq: (snap != NO_SNAPSHOT).then_some(snap),
+        }
+    }
+
+    /// Serve durable WAL bytes to a replication follower.
+    ///
+    /// `from` is an absolute file offset (magic included) previously
+    /// learned under `epoch`. Returns [`WalFetch::Data`] with up to
+    /// [`MAX_WAL_CHUNK`] bytes starting at `from`; [`WalFetch::CaughtUp`]
+    /// when `from` is the durable edge and nothing new became durable
+    /// within `timeout` (the long-poll); or [`WalFetch::Reposition`]
+    /// when the coordinate is not servable — the epoch changed under a
+    /// checkpoint truncation, or the offset is out of range. Bytes are
+    /// read through a fresh read-only handle and the epoch is
+    /// re-checked *after* the read, so data returned under an epoch is
+    /// guaranteed to be that epoch's content.
+    pub fn fetch_wal(&self, from: u64, epoch: u64, timeout: Duration) -> DurResult<WalFetch> {
+        let magic = wal::WAL_MAGIC.len() as u64;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(DurError::Poisoned);
+            }
+            let position = self.wal_position();
+            if position.epoch != epoch || from < magic || from > position.durable_bytes {
+                return Ok(WalFetch::Reposition { position });
+            }
+            if from == position.durable_bytes {
+                // Caught up: park on the group-commit condvar until the
+                // durable extent moves, the epoch changes, or time runs
+                // out.
+                let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if self.poisoned.load(Ordering::SeqCst) {
+                        return Err(DurError::Poisoned);
+                    }
+                    let now = self.position_locked(&sync);
+                    if now.epoch != epoch || now.durable_bytes != from {
+                        break; // re-evaluate on the outer loop
+                    }
+                    let Some(remaining) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return Ok(WalFetch::CaughtUp { position: now });
+                    };
+                    sync = self
+                        .synced
+                        .wait_timeout(sync, remaining)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+                continue;
+            }
+            // Data available. Read through a fresh handle: the shared
+            // append handle's cursor belongs to writers.
+            let end = position.durable_bytes.min(from + MAX_WAL_CHUNK);
+            let mut bytes = vec![0u8; (end - from) as usize];
+            let read = File::open(self.dir.join(WAL_FILE))
+                .and_then(|mut file| {
+                    file.seek(SeekFrom::Start(from))?;
+                    file.read_exact(&mut bytes)
+                })
+                .io_context("read wal for replication");
+            // Epoch re-check after the read: a checkpoint stores the new
+            // epoch *before* truncating, so any truncation that could
+            // have corrupted this read is visible here.
+            let after = self.wal_position();
+            if after.epoch != epoch {
+                return Ok(WalFetch::Reposition { position: after });
+            }
+            read?; // unchanged epoch ⇒ durable bytes were readable
+            return Ok(WalFetch::Data {
+                bytes,
+                position: after,
+            });
+        }
+    }
+
+    /// The newest snapshot on disk, as raw bytes, for follower
+    /// bootstrap (decode with [`snapshot::decode_snapshot`], which
+    /// verifies the schema fingerprint and the checksum). Retries if a
+    /// concurrent checkpoint deletes the file mid-read — the listing
+    /// only ever moves forward.
+    pub fn latest_snapshot_bytes(&self) -> DurResult<(u64, Vec<u8>)> {
+        loop {
+            let Some((seq, path)) = snapshot::list_snapshots(&self.dir)?.into_iter().next() else {
+                return Err(DurError::Corrupt {
+                    message: format!("no snapshot in {}", self.dir.display()),
+                });
+            };
+            match std::fs::read(&path) {
+                Ok(bytes) => return Ok((seq, bytes)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(source) => {
+                    return Err(DurError::Io {
+                        context: format!("read {}", path.display()),
+                        source,
+                    })
+                }
+            }
+        }
     }
 
     // Best-effort cleanup of snapshots older than `keep` and stray
@@ -677,6 +874,131 @@ mod tests {
         }
         assert_eq!(durability.stats().wal_syncs, 1);
         assert_eq!(durability.stats().commits_appended, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fetch_wal_round_trips_committed_units() {
+        let dir = scratch();
+        let opened = Durability::open(&dir, fresh_db()).unwrap();
+        let mut db = opened.db;
+        let durability = opened.durability;
+        for id in 1..=3 {
+            commit_insert(&mut db, &durability, id);
+        }
+
+        // Bootstrap exactly as a follower would: newest snapshot bytes,
+        // decoded (fingerprint + checksum checked), dictionary adopted.
+        let (snap_seq, snap_bytes) = durability.latest_snapshot_bytes().unwrap();
+        assert_eq!(snap_seq, 0, "fresh dir checkpoints the base as snapshot-0");
+        let (decoded_seq, mut replica, mut dict) =
+            snapshot::decode_snapshot(&snap_bytes, db.schema()).unwrap();
+        assert_eq!(decoded_seq, 0);
+
+        let position = durability.wal_position();
+        assert_eq!(position.epoch, 0);
+        assert_eq!(position.durable_seq, 3);
+        let fetched = durability
+            .fetch_wal(wal::WAL_MAGIC.len() as u64, position.epoch, Duration::ZERO)
+            .unwrap();
+        let WalFetch::Data { bytes, position } = fetched else {
+            panic!("expected data, got {fetched:?}");
+        };
+        assert_eq!(
+            wal::WAL_MAGIC.len() as u64 + bytes.len() as u64,
+            position.durable_bytes,
+            "everything durable arrives in one small fetch"
+        );
+        let scan = wal::scan_records(&bytes, &mut dict);
+        assert_eq!(scan.units.len(), 3);
+        for unit in &scan.units {
+            for op in &unit.ops {
+                replica.apply_logical(op).unwrap();
+            }
+        }
+        let a: Vec<_> = db.scan("team").unwrap().collect();
+        let b: Vec<_> = replica.scan("team").unwrap().collect();
+        assert_eq!(a, b, "replayed follower equals the leader heap");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fetch_wal_serves_only_synced_bytes() {
+        let dir = scratch();
+        let opened = Durability::open(&dir, fresh_db()).unwrap();
+        let mut db = opened.db;
+        let durability = opened.durability;
+        let edge = durability.wal_position().durable_bytes;
+
+        // Appended but not fsynced: the durable edge must not move.
+        db.begin().unwrap();
+        db.insert("team", &[("id".to_owned(), Value::Int(1))])
+            .unwrap();
+        let ops = db.txn_ops().unwrap();
+        let seq = durability.append_commit(&ops).unwrap();
+        db.commit().unwrap();
+        let fetched = durability
+            .fetch_wal(edge, 0, Duration::from_millis(5))
+            .unwrap();
+        assert!(
+            matches!(fetched, WalFetch::CaughtUp { position } if position.durable_bytes == edge),
+            "unsynced bytes must not be served"
+        );
+
+        durability.sync_to(seq).unwrap();
+        let fetched = durability.fetch_wal(edge, 0, Duration::ZERO).unwrap();
+        assert!(
+            matches!(&fetched, WalFetch::Data { bytes, .. } if !bytes.is_empty()),
+            "after fsync the same poll returns data: {fetched:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fetch_wal_repositions_across_checkpoint_and_range_errors() {
+        let dir = scratch();
+        let opened = Durability::open(&dir, fresh_db()).unwrap();
+        let mut db = opened.db;
+        let durability = opened.durability;
+        for id in 1..=2 {
+            commit_insert(&mut db, &durability, id);
+        }
+        let before = durability.wal_position();
+
+        // Offsets outside [magic, durable] are never served.
+        for bad in [0u64, before.durable_bytes + 1] {
+            assert!(matches!(
+                durability
+                    .fetch_wal(bad, before.epoch, Duration::ZERO)
+                    .unwrap(),
+                WalFetch::Reposition { .. }
+            ));
+        }
+
+        // A checkpoint truncates the log: the old coordinate becomes a
+        // reposition pointing at the new epoch's empty log.
+        durability.checkpoint(&db).unwrap();
+        let fetched = durability
+            .fetch_wal(before.durable_bytes, before.epoch, Duration::ZERO)
+            .unwrap();
+        let WalFetch::Reposition { position } = fetched else {
+            panic!("stale epoch must reposition, got {fetched:?}");
+        };
+        assert_eq!(position.epoch, 2);
+        assert_eq!(position.snapshot_seq, Some(2));
+        assert_eq!(position.durable_bytes, wal::WAL_MAGIC.len() as u64);
+
+        // The new coordinate long-polls clean.
+        assert!(matches!(
+            durability
+                .fetch_wal(
+                    position.durable_bytes,
+                    position.epoch,
+                    Duration::from_millis(5)
+                )
+                .unwrap(),
+            WalFetch::CaughtUp { .. }
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -46,6 +46,9 @@ pub fn status_for(error: &OntoError) -> u16 {
         OntoError::TripleNotPresent { .. } => 409,
         OntoError::NotNullDelete { .. } => 409,
         OntoError::Database(_) => 409,
+        // 409 — valid request, wrong *server*: a read replica refuses
+        // writes and the error names the leader that accepts them.
+        OntoError::ReadOnlyReplica { .. } => 409,
         // 500 — the server's durable storage failed, not the request.
         OntoError::Storage { .. } => 500,
         // 501 — outside the implemented fragment.

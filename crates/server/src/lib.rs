@@ -73,6 +73,10 @@ pub struct ServerConfig {
     /// How long an idle keep-alive connection may park a worker before
     /// it is closed.
     pub keep_alive_timeout: Duration,
+    /// When this server fronts a read replica: the replicator's
+    /// progress handle, surfaced under `/status`. `None` on leaders
+    /// and plain standalone servers.
+    pub replication: Option<repl::ReplicationStatus>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +87,7 @@ impl Default for ServerConfig {
             max_head_bytes: 16 * 1024,
             max_body_bytes: 4 * 1024 * 1024,
             keep_alive_timeout: Duration::from_secs(5),
+            replication: None,
         }
     }
 }
@@ -117,6 +122,7 @@ pub fn serve<A: ToSocketAddrs>(
         started: Instant::now(),
         workers: config.workers.max(1),
         queue_capacity: config.queue_capacity.max(1),
+        replication: config.replication.clone(),
     });
 
     let mut workers = Vec::with_capacity(ctx.workers);

@@ -6,8 +6,10 @@
 //! | `POST /update`      | SPARQL/Update; the response body is the paper's §6 RDF feedback document (Turtle) |
 //! | `GET /describe?uri=`| Concise description of one instance URI (graph response) |
 //! | `GET /dump`         | The database's full RDF view (graph response) |
-//! | `GET /status`       | Version, uptime, row counts, query-cache, concurrency, durability and server counters (JSON) |
+//! | `GET /status`       | Version, uptime, row counts, query-cache, concurrency, durability, replication and server counters (JSON) |
 //! | `POST /snapshot`    | Admin checkpoint: snapshot the committed state, truncate the WAL (durable servers only) |
+//! | `GET /wal`          | Replication: committed WAL bytes from `from=` (absolute offset), long-polling when caught up (durable leaders only) |
+//! | `GET /snapshot/latest` | Replication: the newest snapshot file, for replica bootstrap (durable leaders only) |
 //!
 //! Queries execute on the worker's shared [`ReadSession`]; updates
 //! serialize through the mediator's write transaction. Mediator
@@ -23,7 +25,7 @@ use ontoaccess::feedback::Feedback;
 use ontoaccess::mediator::{Mediator, ReadSession};
 use ontoaccess::OntoError;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Media type of a SPARQL query sent as a raw POST body.
 pub const SPARQL_QUERY: &str = "application/sparql-query";
@@ -40,6 +42,7 @@ pub(crate) struct AppContext {
     pub started: Instant,
     pub workers: usize,
     pub queue_capacity: usize,
+    pub replication: Option<repl::ReplicationStatus>,
 }
 
 pub(crate) fn handle_request(
@@ -65,11 +68,16 @@ pub(crate) fn handle_request(
         ("GET", "/dump") => dump(session, request),
         ("GET", "/status") => status(ctx),
         ("POST", "/snapshot") => snapshot(ctx),
+        ("GET", "/wal") => wal(ctx, request),
+        ("GET", "/snapshot/latest") => snapshot_latest(ctx),
         (_, "/sparql") => method_not_allowed("GET, HEAD, POST"),
         (_, "/update") | (_, "/snapshot") => method_not_allowed("POST"),
-        (_, "/describe") | (_, "/dump") | (_, "/status") | (_, "/") => {
-            method_not_allowed("GET, HEAD")
-        }
+        (_, "/describe")
+        | (_, "/dump")
+        | (_, "/status")
+        | (_, "/")
+        | (_, "/wal")
+        | (_, "/snapshot/latest") => method_not_allowed("GET, HEAD"),
         _ => Response::new(
             404,
             ERROR_CONTENT_TYPE,
@@ -89,8 +97,10 @@ fn usage() -> Response {
          POST /update             SPARQL/Update as application/sparql-update or form\n\
          GET  /describe?uri=...   describe one instance URI\n\
          GET  /dump               full RDF view (Turtle / N-Triples)\n\
-         GET  /status             version, row counts, cache and durability statistics (JSON)\n\
-         POST /snapshot           admin checkpoint: snapshot state, truncate the WAL\n",
+         GET  /status             version, row counts, cache, durability and replication statistics (JSON)\n\
+         POST /snapshot           admin checkpoint: snapshot state, truncate the WAL\n\
+         GET  /wal?from=&epoch=   replication: committed WAL bytes from an absolute offset (long-poll)\n\
+         GET  /snapshot/latest    replication: the newest snapshot file for replica bootstrap\n",
     )
 }
 
@@ -342,6 +352,7 @@ fn status(ctx: &AppContext) -> Response {
          \"dictionary\":{{\"symbols\":{},\"string_bytes\":{},\"hits\":{},\"bytes_saved\":{}}},\
          \"concurrency\":{{\"current_version\":{},\"versions_retained\":{},\"read_sessions_live\":{},\"write_lock_waits\":{},\"write_lock_wait_micros\":{}}},\
          \"durability\":{},\
+         \"replication\":{},\
          \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"snapshots\":{},\"overload_rejections\":{}}}}}",
         wire::json_string(env!("CARGO_PKG_VERSION")),
         ctx.started.elapsed().as_secs(),
@@ -360,6 +371,7 @@ fn status(ctx: &AppContext) -> Response {
         conc.write_lock_waits,
         conc.write_lock_wait_micros,
         durability_json(ctx),
+        replication_json(ctx),
         ctx.workers,
         ctx.queue_capacity,
         stats.requests(),
@@ -369,6 +381,40 @@ fn status(ctx: &AppContext) -> Response {
         stats.overload_rejections(),
     );
     Response::new(200, wire::JSON, body)
+}
+
+// The `/status` replication object: a follower reports its replicator
+// handle's view; a durable leader reports itself caught up with its
+// own commit frontier; anything else is a standalone server.
+fn replication_json(ctx: &AppContext) -> String {
+    if let Some(status) = &ctx.replication {
+        let snap = status.snapshot();
+        return format!(
+            "{{\"role\":\"replica\",\"leader\":{},\"state\":{},\"applied_seq\":{},\
+             \"leader_seq\":{},\"lag_units\":{},\"lag_bytes\":{},\"last_contact_ms\":{},\
+             \"reconnects\":{},\"last_error\":{}}}",
+            wire::json_string(&snap.leader),
+            wire::json_string(snap.state.as_str()),
+            snap.applied_seq,
+            snap.leader_seq,
+            snap.lag_units,
+            snap.lag_bytes,
+            snap.last_contact_ms
+                .map_or_else(|| "null".to_owned(), |ms| ms.to_string()),
+            snap.reconnects,
+            snap.last_error
+                .as_deref()
+                .map_or_else(|| "null".to_owned(), wire::json_string),
+        );
+    }
+    match ctx.mediator.durability_stats() {
+        Some(d) => format!(
+            "{{\"role\":\"leader\",\"applied_seq\":{0},\"leader_seq\":{0},\
+             \"lag_units\":0,\"lag_bytes\":0}}",
+            d.last_commit_seq
+        ),
+        None => "{\"role\":\"standalone\"}".to_owned(),
+    }
 }
 
 // The `/status` durability object: counters when a data directory is
@@ -411,6 +457,94 @@ fn snapshot(ctx: &AppContext) -> Response {
                 format!("{{\"snapshot_seq\":{seq},\"wal_bytes\":{wal_bytes}}}"),
             )
         }
+        Err(error) => mediator_error(&error),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replication (leader side)
+// ----------------------------------------------------------------------
+
+/// Media type of the raw WAL/snapshot byte streams.
+const OCTET_STREAM: &str = "application/octet-stream";
+
+// Replication coordinates travel as headers on every `/wal` answer, so
+// a follower can track the leader's frontier even from an empty
+// (caught-up) response.
+fn with_position(response: Response, position: &dur::WalPosition) -> Response {
+    let response = response
+        .with_header("X-Wal-Epoch", &position.epoch.to_string())
+        .with_header("X-Wal-Size", &position.durable_bytes.to_string())
+        .with_header("X-Leader-Seq", &position.durable_seq.to_string());
+    match position.snapshot_seq {
+        Some(seq) => response.with_header("X-Snapshot-Seq", &seq.to_string()),
+        None => response,
+    }
+}
+
+// `GET /wal?from=&epoch=&timeout_ms=`: committed WAL bytes starting at
+// the absolute offset `from`, provided the follower's `epoch` still
+// names the current WAL generation. Caught-up requests long-poll up to
+// `timeout_ms` (capped); a stale epoch or out-of-range offset answers
+// `409` with the new coordinates in the headers. `501` when this
+// server has no WAL to ship (not durable, or itself a replica).
+fn wal(ctx: &AppContext, request: &Request) -> Response {
+    let (from, epoch) = match (
+        request.param("from").and_then(|v| v.parse::<u64>().ok()),
+        request.param("epoch").and_then(|v| v.parse::<u64>().ok()),
+    ) {
+        (Some(from), Some(epoch)) => (from, epoch),
+        _ => {
+            return Response::new(
+                400,
+                ERROR_CONTENT_TYPE,
+                protocol_error_body(
+                    400,
+                    "missing or invalid required parameters \"from\" and \"epoch\" (u64)",
+                ),
+            )
+        }
+    };
+    // The long poll parks one worker; the cap keeps a malicious
+    // timeout from parking it for good.
+    let timeout_ms = request
+        .param("timeout_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(25_000);
+    match ctx
+        .mediator
+        .fetch_wal(from, epoch, Duration::from_millis(timeout_ms))
+    {
+        Ok(dur::WalFetch::Data { bytes, position }) => {
+            with_position(Response::new(200, OCTET_STREAM, bytes), &position)
+        }
+        Ok(dur::WalFetch::CaughtUp { position }) => {
+            with_position(Response::new(200, OCTET_STREAM, Vec::new()), &position)
+        }
+        Ok(dur::WalFetch::Reposition { position }) => with_position(
+            Response::new(
+                409,
+                ERROR_CONTENT_TYPE,
+                format!(
+                    "{{\"reposition\":true,\"epoch\":{},\"durable_bytes\":{}}}",
+                    position.epoch, position.durable_bytes
+                ),
+            ),
+            &position,
+        ),
+        Err(error) => mediator_error(&error),
+    }
+}
+
+// `GET /snapshot/latest`: the newest snapshot file, verbatim, for
+// replica bootstrap. The WAL epoch always equals the newest snapshot's
+// seq, so the same value is served under both header names.
+fn snapshot_latest(ctx: &AppContext) -> Response {
+    match ctx.mediator.latest_snapshot_bytes() {
+        Ok((seq, bytes)) => Response::new(200, OCTET_STREAM, bytes)
+            .with_header("X-Snapshot-Seq", &seq.to_string())
+            .with_header("X-Wal-Epoch", &seq.to_string()),
         Err(error) => mediator_error(&error),
     }
 }

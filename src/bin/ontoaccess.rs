@@ -14,6 +14,7 @@
 //! cargo run --bin ontoaccess-cli -- --populate 200 --seed 7
 //! cargo run --bin ontoaccess-cli -- --serve 127.0.0.1:7878 --workers 8
 //! cargo run --bin ontoaccess-cli -- --data-dir ./data --serve 127.0.0.1:7878
+//! cargo run --bin ontoaccess-cli -- --serve 127.0.0.1:7879 --replicate-from 127.0.0.1:7878
 //! ```
 //!
 //! `--data-dir DIR` makes committed updates durable: the directory
@@ -40,10 +41,15 @@ use sparql_update_rdb::fixtures;
 use sparql_update_rdb::ontoaccess::Endpoint;
 use sparql_update_rdb::ontoaccess_server::{serve, ServerConfig};
 use sparql_update_rdb::rdf;
+use sparql_update_rdb::repl;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = Options::parse(&args);
+    if let Some(leader) = &options.replicate_from {
+        run_replica(leader, &options);
+        return;
+    }
     let endpoint = build_endpoint(&options);
     if let Some(addr) = &options.serve {
         run_server(endpoint, addr, options.workers);
@@ -84,6 +90,7 @@ struct Options {
     serve: Option<String>,
     workers: usize,
     data_dir: Option<String>,
+    replicate_from: Option<String>,
 }
 
 impl Options {
@@ -95,6 +102,7 @@ impl Options {
             serve: None,
             workers: 4,
             data_dir: None,
+            replicate_from: None,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -127,13 +135,37 @@ impl Options {
                         std::process::exit(2);
                     }
                 },
+                "--replicate-from" => match iter.next() {
+                    Some(addr) => options.replicate_from = Some(addr.clone()),
+                    None => {
+                        eprintln!(
+                            "--replicate-from needs the leader address, \
+                             e.g. --replicate-from 127.0.0.1:7878"
+                        );
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!(
                         "unknown argument {other:?} (supported: --empty, --populate N, \
-                         --seed S, --serve ADDR, --workers N, --data-dir DIR)"
+                         --seed S, --serve ADDR, --workers N, --data-dir DIR, \
+                         --replicate-from ADDR)"
                     );
                     std::process::exit(2);
                 }
+            }
+        }
+        if options.replicate_from.is_some() {
+            if options.serve.is_none() {
+                eprintln!("--replicate-from requires --serve (a replica only serves HTTP reads)");
+                std::process::exit(2);
+            }
+            if options.data_dir.is_some() {
+                eprintln!(
+                    "--replicate-from conflicts with --data-dir: a replica's state \
+                     comes from the leader, not a local data directory"
+                );
+                std::process::exit(2);
             }
         }
         options
@@ -175,6 +207,49 @@ fn build_endpoint(options: &Options) -> Endpoint {
             std::process::exit(1);
         }
     }
+}
+
+// `--replicate-from`: bootstrap a read replica from the leader's
+// newest snapshot, tail its WAL, and serve read-only SPARQL. Updates
+// sent here answer 409 naming the leader.
+fn run_replica(leader: &str, options: &Options) {
+    let addr = options
+        .serve
+        .as_deref()
+        .expect("checked during argument parsing");
+    println!("bootstrapping replica of {leader} ...");
+    std::io::stdout().flush().ok();
+    let (mediator, replicator) = match repl::Replicator::start(
+        leader,
+        fixtures::database(),
+        fixtures::mapping(),
+        repl::ReplicatorConfig::default(),
+    ) {
+        Ok(started) => started,
+        Err(e) => {
+            eprintln!("cannot replicate from {leader}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snap = replicator.status().snapshot();
+    println!("replica bootstrapped at commit seq {}", snap.applied_seq);
+    let config = ServerConfig {
+        workers: options.workers.max(1),
+        replication: Some(replicator.status()),
+        ..ServerConfig::default()
+    };
+    let handle = match serve(mediator, addr, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on http://{}/", handle.addr());
+    println!("endpoints: /sparql /describe /dump /status (read-only replica) — Ctrl-C stops");
+    std::io::stdout().flush().ok();
+    handle.join();
+    replicator.stop();
 }
 
 // `--serve`: boot the SPARQL 1.1 Protocol server and run foreground.

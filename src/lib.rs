@@ -89,4 +89,5 @@ pub use ontoaccess_server;
 pub use r3m;
 pub use rdf;
 pub use rel;
+pub use repl;
 pub use sparql;
