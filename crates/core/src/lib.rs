@@ -79,8 +79,8 @@ pub use error::{OntoError, OntoResult};
 pub use feedback::Feedback;
 pub use materialize::materialize;
 pub use mediator::{
-    ConcurrencyStats, DatabaseReadGuard, DatabaseVersion, DatabaseWriteGuard, Mediator,
-    QueryCacheStats, ReadSession, ScriptError, UpdateOutcome, WriteTxn,
+    ConcurrencyStats, DatabaseReadGuard, DatabaseVersion, DatabaseWriteGuard, JoinPlan, Mediator,
+    QueryCacheStats, QueryProfile, ReadSession, ScriptError, UpdateOutcome, WriteTxn,
 };
 pub use modify::{
     execute_modify, execute_modify_reference, execute_update_op, execute_update_op_reference,

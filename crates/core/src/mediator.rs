@@ -59,7 +59,58 @@ use std::collections::{HashMap, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+// Process-global query/transaction metrics. The obs registry is
+// process-wide (like the string dictionary), so these aggregate over
+// every mediator in the process; the per-instance `*_stats()` structs
+// remain the per-database view.
+struct CoreMetrics {
+    parse: &'static obs::Histogram,
+    plan: &'static obs::Histogram,
+    execute: &'static obs::Histogram,
+    commit: &'static obs::Histogram,
+    cache_hits: &'static obs::Counter,
+    cache_misses: &'static obs::Counter,
+    cache_evictions: &'static obs::Counter,
+}
+
+fn metrics() -> &'static CoreMetrics {
+    static METRICS: std::sync::OnceLock<CoreMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::registry();
+        CoreMetrics {
+            parse: registry.latency_histogram(
+                "ontoaccess_query_parse_seconds",
+                "Wall time parsing SPARQL query text (cache misses only)",
+            ),
+            plan: registry.latency_histogram(
+                "ontoaccess_query_plan_seconds",
+                "Wall time compiling a parsed query to SQL and provisioning join indexes",
+            ),
+            execute: registry.latency_histogram(
+                "ontoaccess_query_execute_seconds",
+                "Wall time executing a compiled query against a pinned snapshot",
+            ),
+            commit: registry.latency_histogram(
+                "ontoaccess_txn_commit_seconds",
+                "Wall time of WriteTxn::commit (WAL append + publish + group fsync)",
+            ),
+            cache_hits: registry.counter(
+                "ontoaccess_query_cache_hits_total",
+                "Compiled-query cache lookups that found a cached compilation",
+            ),
+            cache_misses: registry.counter(
+                "ontoaccess_query_cache_misses_total",
+                "Compiled-query cache lookups that had to compile",
+            ),
+            cache_evictions: registry.counter(
+                "ontoaccess_query_cache_evictions_total",
+                "Compiled-query cache entries evicted under capacity pressure",
+            ),
+        }
+    })
+}
 
 /// Result of a successful update.
 #[derive(Debug, Clone)]
@@ -168,9 +219,11 @@ impl QueryCache {
     fn get(&mut self, text: &str) -> Option<Arc<CachedQuery>> {
         let Some(slot) = self.entries.get_mut(text) else {
             self.misses += 1;
+            metrics().cache_misses.inc();
             return None;
         };
         self.hits += 1;
+        metrics().cache_hits.inc();
         slot.referenced = true;
         Some(Arc::clone(&slot.compiled))
     }
@@ -208,6 +261,7 @@ impl QueryCache {
             } else {
                 self.entries.remove(&text);
                 self.evictions += 1;
+                metrics().cache_evictions.inc();
                 return;
             }
         }
@@ -260,6 +314,66 @@ pub struct ConcurrencyStats {
     /// Total microseconds writers spent waiting to acquire the write
     /// lock.
     pub write_lock_wait_micros: u64,
+}
+
+/// One join in a profiled query's chosen plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Table of the indexed (probe) side.
+    pub table: String,
+    /// Join column on that table.
+    pub column: String,
+    /// `"index_probe"` when the pinned snapshot carries the join
+    /// index, `"hash_join"` when the executor falls back to building a
+    /// hash table (e.g. a snapshot pinned before provisioning).
+    pub strategy: &'static str,
+}
+
+/// Per-stage wall times and plan summary of one profiled query — what
+/// the server's `?profile=1` returns in its `X-Profile` trailer.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Whether the compilation came from the query cache (parse and
+    /// plan times are 0 on a hit).
+    pub cache_hit: bool,
+    /// Wall time parsing the query text, in microseconds.
+    pub parse_micros: u64,
+    /// Wall time compiling to SQL and provisioning join indexes, in
+    /// microseconds.
+    pub plan_micros: u64,
+    /// Wall time executing the compiled plan, in microseconds.
+    pub execute_micros: u64,
+    /// Commit sequence of the snapshot the query answered from.
+    pub version_seq: u64,
+    /// Result rows (for ASK: 1 when true, 0 when false).
+    pub rows: usize,
+    /// Join strategy per join-index target of the plan.
+    pub joins: Vec<JoinPlan>,
+    /// Equi-join key pairs in the compiled SQL.
+    pub join_keys: usize,
+    /// Residual WHERE conjuncts beyond the join keys — the filters the
+    /// executor evaluates per candidate row.
+    pub residual_conjuncts: usize,
+}
+
+// Wall time of the parse and plan stages of one compilation (zero on
+// the cache-hit path, which skips both).
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTimings {
+    parse: Duration,
+    plan: Duration,
+}
+
+// AND-leaf conjuncts of a WHERE tree: `a AND (b AND c)` counts 3.
+fn count_and_leaves(expr: &rel::sql::Expr) -> usize {
+    match expr {
+        rel::sql::Expr::Binary {
+            op: rel::sql::BinOp::And,
+            left,
+            right,
+        } => count_and_leaves(left) + count_and_leaves(right),
+        _ => 1,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -360,6 +474,16 @@ impl DatabaseReadGuard {
     /// Execute a SPARQL query against this pinned snapshot.
     pub fn execute_query(&self, text: &str) -> OntoResult<sparql::QueryOutcome> {
         self.core.execute_query_at(&self.version, text)
+    }
+
+    /// Execute a SPARQL query against this pinned snapshot, returning
+    /// the per-stage wall times and plan summary alongside the outcome
+    /// (the server's `?profile=1` path).
+    pub fn execute_query_profiled(
+        &self,
+        text: &str,
+    ) -> OntoResult<(sparql::QueryOutcome, QueryProfile)> {
+        self.core.execute_query_profiled_at(&self.version, text)
     }
 
     /// Execute a SELECT against this pinned snapshot.
@@ -504,8 +628,15 @@ impl MediatorCore {
     // index-only replacement of the current version — never by mutating
     // a published snapshot. The caller's pinned snapshot keeps running
     // without them (the planner falls back to hash joins).
-    fn compile_and_admit(&self, db: &Database, text: &str) -> OntoResult<Arc<CachedQuery>> {
+    fn compile_and_admit(
+        &self,
+        db: &Database,
+        text: &str,
+    ) -> OntoResult<(Arc<CachedQuery>, StageTimings)> {
+        let parse_started = Instant::now();
         let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
+        let parse = parse_started.elapsed();
+        let plan_started = Instant::now();
         let compiled = match &query {
             Query::Select(select) => {
                 CachedQuery::Select(crate::query::compile_select(db, &self.mapping, select)?)
@@ -530,9 +661,12 @@ impl MediatorCore {
             crate::query::ensure_join_indexes(&mut live, compiled.compiled())?;
             self.republish_current(live.clone());
         }
+        let plan = plan_started.elapsed();
+        metrics().parse.observe_duration(parse);
+        metrics().plan.observe_duration(plan);
         let compiled = Arc::new(compiled);
         self.lock_cache().admit(text, Arc::clone(&compiled));
-        Ok(compiled)
+        Ok((compiled, StageTimings { parse, plan }))
     }
 
     fn execute_query_at(
@@ -543,17 +677,67 @@ impl MediatorCore {
         let cached = self.lock_cache().get(text);
         let compiled = match cached {
             Some(compiled) => compiled,
+            None => self.compile_and_admit(&version.db, text)?.0,
+        };
+        let started = Instant::now();
+        let outcome = run_cached(&version.db, &compiled)?;
+        metrics().execute.observe_duration(started.elapsed());
+        Ok(outcome)
+    }
+
+    // The profiled twin of `execute_query_at`: same cache, same
+    // execution, but the stage wall times and plan summary come back
+    // alongside the outcome.
+    fn execute_query_profiled_at(
+        &self,
+        version: &DatabaseVersion,
+        text: &str,
+    ) -> OntoResult<(sparql::QueryOutcome, QueryProfile)> {
+        let cached = self.lock_cache().get(text);
+        let cache_hit = cached.is_some();
+        let (compiled, timings) = match cached {
+            Some(compiled) => (compiled, StageTimings::default()),
             None => self.compile_and_admit(&version.db, text)?,
         };
-        match &*compiled {
-            CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
-                crate::query::run_compiled(&version.db, compiled)?,
-            )),
-            CachedQuery::Ask(compiled) => {
-                let solutions = crate::query::run_compiled(&version.db, compiled)?;
-                Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
-            }
-        }
+        let started = Instant::now();
+        let outcome = run_cached(&version.db, &compiled)?;
+        let execute = started.elapsed();
+        metrics().execute.observe_duration(execute);
+        let plan = compiled.compiled();
+        let joins = plan
+            .join_index_targets
+            .iter()
+            .map(|(table, column)| JoinPlan {
+                table: table.clone(),
+                column: column.clone(),
+                strategy: if version
+                    .db
+                    .supports_index_probe(table, column)
+                    .unwrap_or(false)
+                {
+                    "index_probe"
+                } else {
+                    "hash_join"
+                },
+            })
+            .collect();
+        let conjuncts = plan.sql.where_clause.as_ref().map_or(0, count_and_leaves);
+        let rows = match &outcome {
+            sparql::QueryOutcome::Solutions(s) => s.len(),
+            sparql::QueryOutcome::Boolean(b) => usize::from(*b),
+        };
+        let profile = QueryProfile {
+            cache_hit,
+            parse_micros: timings.parse.as_micros() as u64,
+            plan_micros: timings.plan.as_micros() as u64,
+            execute_micros: execute.as_micros() as u64,
+            version_seq: version.seq,
+            rows,
+            joins,
+            join_keys: plan.join_keys.len(),
+            residual_conjuncts: conjuncts.saturating_sub(plan.join_keys.len()),
+        };
+        Ok((outcome, profile))
     }
 
     fn select_at(&self, version: &DatabaseVersion, text: &str) -> OntoResult<Solutions> {
@@ -1123,6 +1307,16 @@ impl ReadSession {
         self.database().execute_query(text)
     }
 
+    /// Execute a SPARQL query and return the per-stage wall times and
+    /// plan summary alongside the outcome (see
+    /// [`DatabaseReadGuard::execute_query_profiled`]).
+    pub fn execute_query_profiled(
+        &self,
+        text: &str,
+    ) -> OntoResult<(sparql::QueryOutcome, QueryProfile)> {
+        self.database().execute_query_profiled(text)
+    }
+
     /// Execute a SELECT given as text.
     pub fn select(&self, text: &str) -> OntoResult<Solutions> {
         self.database().select(text)
@@ -1230,6 +1424,7 @@ impl WriteTxn<'_> {
     /// fsync. Concurrent committers share one fsync: the next writer
     /// can append while this one waits.
     pub fn commit(mut self) -> OntoResult<()> {
+        let commit_started = Instant::now();
         self.open = false;
         let changed = self.db.txn_has_changes()?;
         let Some(durability) = &self.core.durability else {
@@ -1237,6 +1432,7 @@ impl WriteTxn<'_> {
             if changed {
                 self.core.publish_next(self.db.clone());
             }
+            metrics().commit.observe_duration(commit_started.elapsed());
             return Ok(());
         };
         if !changed {
@@ -1265,6 +1461,7 @@ impl WriteTxn<'_> {
         let durability: &dur::Durability = durability;
         drop(self);
         durability.sync_to(seq)?;
+        metrics().commit.observe_duration(commit_started.elapsed());
         Ok(())
     }
 
@@ -1282,6 +1479,21 @@ impl Drop for WriteTxn<'_> {
             // Abandoned transaction (early return, panic unwinding):
             // leave the database as if it never happened.
             let _ = self.db.rollback();
+        }
+    }
+}
+
+// Execute a cached compilation against a database, producing the
+// outcome shape its query form dictates (shared by the plain and
+// profiled query paths).
+fn run_cached(db: &Database, compiled: &CachedQuery) -> OntoResult<sparql::QueryOutcome> {
+    match compiled {
+        CachedQuery::Select(compiled) => Ok(sparql::QueryOutcome::Solutions(
+            crate::query::run_compiled(db, compiled)?,
+        )),
+        CachedQuery::Ask(compiled) => {
+            let solutions = crate::query::run_compiled(db, compiled)?;
+            Ok(sparql::QueryOutcome::Boolean(!solutions.is_empty()))
         }
     }
 }

@@ -68,6 +68,41 @@ pub const MAX_WAL_CHUNK: u64 = 4 << 20;
 // Sentinel for "no snapshot yet" in the atomic last-snapshot slot.
 const NO_SNAPSHOT: u64 = u64::MAX;
 
+// Process-global durability metrics (handles resolved once; hot paths
+// touch only relaxed atomics — see `obs`).
+struct DurMetrics {
+    append: &'static obs::Histogram,
+    fsync: &'static obs::Histogram,
+    group_units: &'static obs::Histogram,
+    checkpoint: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static DurMetrics {
+    static METRICS: std::sync::OnceLock<DurMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::registry();
+        DurMetrics {
+            append: registry.latency_histogram(
+                "ontoaccess_wal_append_seconds",
+                "Time to encode and write one commit unit to the WAL",
+            ),
+            fsync: registry.latency_histogram(
+                "ontoaccess_wal_fsync_seconds",
+                "Duration of each WAL fsync (group commit)",
+            ),
+            group_units: registry.sized_histogram(
+                "ontoaccess_wal_group_commit_units",
+                "Commit units made durable per fsync",
+                obs::COUNT_BUCKETS,
+            ),
+            checkpoint: registry.latency_histogram(
+                "ontoaccess_checkpoint_seconds",
+                "Duration of each checkpoint (snapshot write + WAL truncation)",
+            ),
+        }
+    })
+}
+
 // Append-side state: the next commit sequence, the current log size,
 // and the persistent-id dictionary table. Guarded by one mutex so
 // records are framed into the file atomically and in sequence order —
@@ -376,6 +411,7 @@ impl Durability {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(DurError::Poisoned);
         }
+        let started = Instant::now();
         let seq = append.next_seq;
         let dict_mark = append.dict.len();
         let unit = wal::encode_commit_unit(seq, ops, &mut append.dict);
@@ -384,6 +420,7 @@ impl Durability {
                 append.next_seq += 1;
                 append.wal_bytes += unit.len() as u64;
                 self.commits_appended.fetch_add(1, Ordering::Relaxed);
+                metrics().append.observe_duration(started.elapsed());
                 Ok(seq)
             }
             Err(source) => {
@@ -432,11 +469,20 @@ impl Durability {
             }
             sync.sync_running = true;
             drop(sync);
+            let fsync_started = Instant::now();
             let result = self.wal_file.sync_data();
+            let fsync_elapsed = fsync_started.elapsed();
             let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
             sync.sync_running = false;
             match result {
                 Ok(()) => {
+                    metrics().fsync.observe_duration(fsync_elapsed);
+                    // Commits newly covered by this fsync — the group
+                    // size the amortization claim is about.
+                    let group = target.saturating_sub(sync.synced_seq);
+                    if group > 0 {
+                        metrics().group_units.observe(group);
+                    }
                     sync.synced_seq = sync.synced_seq.max(target);
                     // Captured together with `target` under the append
                     // lock, so the extent is exactly the whole units the
@@ -471,6 +517,7 @@ impl Durability {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(DurError::Poisoned);
         }
+        let checkpoint_started = Instant::now();
         let mut append = self.append.lock().unwrap_or_else(|e| e.into_inner());
         // Claim the sync token so no fsync races the truncation.
         {
@@ -547,6 +594,11 @@ impl Durability {
         }
         self.synced.notify_all();
         drop(append);
+        if result.is_ok() {
+            metrics()
+                .checkpoint
+                .observe_duration(checkpoint_started.elapsed());
+        }
         result.map(|()| seq)
     }
 

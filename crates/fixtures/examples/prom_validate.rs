@@ -1,0 +1,39 @@
+//! Validate a Prometheus text exposition document read from stdin.
+//!
+//! Used by the CI server-smoke step:
+//!
+//! ```text
+//! curl -s http://127.0.0.1:PORT/metrics | \
+//!     cargo run -q -p fixtures --example prom_validate
+//! ```
+//!
+//! Exits 0 and prints a sample count when the document is valid; exits
+//! 1 with the first problem on stderr otherwise.
+
+use std::io::Read;
+
+fn main() {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("prom_validate: cannot read stdin: {e}");
+        std::process::exit(1);
+    }
+    match fixtures::prom::validate(&input) {
+        Ok(exposition) => {
+            println!(
+                "prom_validate: OK ({} samples, {} series families)",
+                exposition.samples.len(),
+                exposition
+                    .samples
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            );
+        }
+        Err(problem) => {
+            eprintln!("prom_validate: INVALID: {problem}");
+            std::process::exit(1);
+        }
+    }
+}

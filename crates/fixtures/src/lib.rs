@@ -13,6 +13,7 @@
 pub mod data;
 pub mod diff;
 pub mod http_probe;
+pub mod prom;
 pub mod workload;
 
 pub use ontoaccess::usecase::{database, mapping, ontology, schema, MAP_NS, URI_PREFIX};

@@ -1,0 +1,347 @@
+//! A small validator for the Prometheus text exposition format
+//! (version 0.0.4), used by tests and the CI smoke step to check that
+//! `GET /metrics` emits something a real scraper would accept.
+//!
+//! Scope: syntax of `# HELP`/`# TYPE` comments, metric names, label
+//! sets and sample values, plus the histogram invariants scrapers rely
+//! on — cumulative non-decreasing `_bucket` series ending in a `+Inf`
+//! bucket whose value equals `_count`, with `_sum` present. It is not
+//! a full client-library parser; it rejects what would break a scrape
+//! and accepts the rest.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: metric name, optional label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (series family plus `_bucket`/`_sum`/`_count`
+    /// suffixes for histograms).
+    pub name: String,
+    /// Label name/value pairs, in order of appearance.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` parses as [`f64::INFINITY`]).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The outcome of a successful validation: every sample, in exposition
+/// order.
+#[derive(Debug)]
+pub struct Exposition {
+    /// All parsed samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples with this exact metric name.
+    pub fn series(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Whether any sample has this exact metric name.
+    pub fn has(&self, name: &str) -> bool {
+        self.samples.iter().any(|s| s.name == name)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+// Parse `{k="v",k2="v2"}` starting after the metric name. Returns the
+// label pairs and the rest of the line (the value).
+fn parse_labels(text: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = &text[1..]; // skip '{'
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {text:?}"))?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("label value not quoted in {text:?}"));
+        }
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("invalid escape \\{other} in {text:?}")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {text:?}"))?;
+        labels.push((name.to_owned(), value));
+        rest = &rest[end + 1..];
+        if let Some(after) = rest.trim_start().strip_prefix(',') {
+            rest = after;
+        }
+    }
+}
+
+/// Validate a full exposition document. Returns every parsed sample on
+/// success, the first problem found on failure.
+pub fn validate(text: &str) -> Result<Exposition, String> {
+    let mut samples = Vec::new();
+    // Family name → whether HELP/TYPE were seen (each at most once).
+    let mut helped: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let (kind, rest) = match comment.split_once(' ') {
+                Some(split) => split,
+                None => continue, // a bare comment
+            };
+            if kind != "HELP" && kind != "TYPE" {
+                continue;
+            }
+            let (name, detail) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: # {kind} without a metric name"))?;
+            if !valid_metric_name(name) {
+                return Err(format!(
+                    "line {n}: invalid metric name {name:?} in # {kind}"
+                ));
+            }
+            let entry = helped.entry(name.to_owned()).or_insert((false, false));
+            if kind == "HELP" {
+                if entry.0 {
+                    return Err(format!("line {n}: duplicate # HELP for {name}"));
+                }
+                entry.0 = true;
+            } else {
+                if entry.1 {
+                    return Err(format!("line {n}: duplicate # TYPE for {name}"));
+                }
+                if !matches!(
+                    detail,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown metric type {detail:?}"));
+                }
+                entry.1 = true;
+            }
+            continue;
+        }
+        // A sample line: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| format!("line {n}: sample without a value: {line:?}"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end..]).map_err(|e| format!("line {n}: {e}"))?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let value_text = rest.trim();
+        // A timestamp may follow the value; take the first token.
+        let value_token = value_text.split_ascii_whitespace().next().unwrap_or("");
+        let value = parse_value(value_token)
+            .ok_or_else(|| format!("line {n}: invalid sample value {value_token:?}"))?;
+        samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+    let exposition = Exposition { samples };
+    check_histograms(&exposition)?;
+    Ok(exposition)
+}
+
+// Histogram invariants, per label set: `_bucket` values cumulative and
+// non-decreasing in `le` order, a `+Inf` bucket present and equal to
+// `_count`, and `_sum` present.
+fn check_histograms(exposition: &Exposition) -> Result<(), String> {
+    // Family → non-le label set → (buckets in order, count, sum seen).
+    type SeriesKey = (String, String);
+    let mut buckets: BTreeMap<SeriesKey, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+    let mut sums: BTreeMap<SeriesKey, bool> = BTreeMap::new();
+    let other_labels = |s: &Sample| {
+        let mut pairs: Vec<String> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    };
+    for sample in &exposition.samples {
+        if let Some(family) = sample.name.strip_suffix("_bucket") {
+            let le = sample
+                .label("le")
+                .ok_or_else(|| format!("{} sample without le label", sample.name))?;
+            let le = parse_value(le).ok_or_else(|| format!("invalid le value {le:?}"))?;
+            buckets
+                .entry((family.to_owned(), other_labels(sample)))
+                .or_default()
+                .push((le, sample.value));
+        } else if let Some(family) = sample.name.strip_suffix("_count") {
+            counts.insert((family.to_owned(), other_labels(sample)), sample.value);
+        } else if let Some(family) = sample.name.strip_suffix("_sum") {
+            sums.insert((family.to_owned(), other_labels(sample)), true);
+        }
+    }
+    for ((family, labels), series) in &buckets {
+        let mut previous = f64::NEG_INFINITY;
+        let mut cumulative = -1.0;
+        let mut saw_inf = false;
+        for (le, value) in series {
+            if *le < previous {
+                return Err(format!("{family}{{{labels}}}: le values out of order"));
+            }
+            if cumulative >= 0.0 && *value < cumulative {
+                return Err(format!("{family}{{{labels}}}: buckets not cumulative"));
+            }
+            previous = *le;
+            cumulative = *value;
+            if le.is_infinite() {
+                saw_inf = true;
+            }
+        }
+        if !saw_inf {
+            return Err(format!("{family}{{{labels}}}: missing +Inf bucket"));
+        }
+        let key = (family.clone(), labels.clone());
+        match counts.get(&key) {
+            Some(count) if *count == cumulative => {}
+            Some(count) => {
+                return Err(format!(
+                    "{family}{{{labels}}}: _count {count} != +Inf bucket {cumulative}"
+                ))
+            }
+            None => return Err(format!("{family}{{{labels}}}: missing _count")),
+        }
+        if !sums.contains_key(&key) {
+            return Err(format!("{family}{{{labels}}}: missing _sum"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let doc = "\
+# HELP requests_total Requests served.\n\
+# TYPE requests_total counter\n\
+requests_total 7\n\
+# HELP latency_seconds Latency.\n\
+# TYPE latency_seconds histogram\n\
+latency_seconds_bucket{le=\"0.1\"} 2\n\
+latency_seconds_bucket{le=\"+Inf\"} 3\n\
+latency_seconds_sum 0.42\n\
+latency_seconds_count 3\n";
+        let exposition = validate(doc).expect("valid document");
+        assert!(exposition.has("requests_total"));
+        assert_eq!(exposition.series("latency_seconds_bucket").len(), 2);
+        assert_eq!(exposition.samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let doc = "\
+latency_seconds_bucket{le=\"0.1\"} 5\n\
+latency_seconds_bucket{le=\"+Inf\"} 3\n\
+latency_seconds_sum 1\n\
+latency_seconds_count 3\n";
+        assert!(validate(doc).unwrap_err().contains("not cumulative"));
+    }
+
+    #[test]
+    fn rejects_count_mismatch_and_missing_inf() {
+        let mismatch = "\
+latency_seconds_bucket{le=\"0.1\"} 1\n\
+latency_seconds_bucket{le=\"+Inf\"} 3\n\
+latency_seconds_sum 1\n\
+latency_seconds_count 4\n";
+        assert!(validate(mismatch).unwrap_err().contains("_count"));
+        let no_inf = "\
+latency_seconds_bucket{le=\"0.1\"} 1\n\
+latency_seconds_sum 1\n\
+latency_seconds_count 1\n";
+        assert!(validate(no_inf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_bad_names_and_values() {
+        assert!(validate("9bad_name 1\n").is_err());
+        assert!(validate("name not-a-number\n").is_err());
+        assert!(validate("name{le=\"unterminated} 1\n").is_err());
+    }
+
+    #[test]
+    fn parses_labels_with_escapes() {
+        let doc = "m{path=\"a\\\"b\",x=\"1\"} 2\n";
+        let exposition = validate(doc).expect("valid");
+        assert_eq!(exposition.samples[0].label("path"), Some("a\"b"));
+        assert_eq!(exposition.samples[0].label("x"), Some("1"));
+    }
+}

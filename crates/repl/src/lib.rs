@@ -410,6 +410,30 @@ enum TailError {
     Fatal(String),
 }
 
+// Process-global replication metrics (lag gauges are sampled from
+// [`ReplicationStatus`] at scrape time by the server's `/metrics`).
+struct ReplMetrics {
+    fetch_rtt: &'static obs::Histogram,
+    reconnects: &'static obs::Counter,
+}
+
+fn metrics() -> &'static ReplMetrics {
+    static METRICS: std::sync::OnceLock<ReplMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::registry();
+        ReplMetrics {
+            fetch_rtt: registry.latency_histogram(
+                "ontoaccess_repl_fetch_seconds",
+                "Round-trip time of follower WAL fetches (includes leader long-poll wait)",
+            ),
+            reconnects: registry.counter(
+                "ontoaccess_repl_reconnects_total",
+                "Times the follower lost its leader connection and began reconnecting",
+            ),
+        }
+    })
+}
+
 /// Fetch and verify the leader's newest snapshot.
 fn fetch_snapshot(
     client: &mut LeaderClient,
@@ -459,6 +483,24 @@ struct Tail {
 }
 
 impl Tail {
+    // Terminal failure: log the replication coordinates (the operator's
+    // starting point for diagnosis) and latch the failed state.
+    fn fail(&self, message: String) {
+        let offset = self.consumed_edge + self.buffer.len() as u64;
+        obs::log(
+            obs::Level::Error,
+            "repl",
+            "replication failed",
+            &[
+                ("leader", &self.client.leader()),
+                ("epoch", &self.epoch),
+                ("offset", &offset),
+                ("error", &message),
+            ],
+        );
+        self.status.fail(message);
+    }
+
     fn run(mut self) {
         let mut backoff = self.config.backoff_initial;
         let mut connected = true;
@@ -473,16 +515,34 @@ impl Tail {
                 self.epoch,
                 self.config.poll_timeout.as_millis()
             );
+            let fetch_started = Instant::now();
             let response = match self
                 .client
                 .get(&path, self.config.poll_timeout + read_margin)
             {
-                Ok(response) => response,
+                Ok(response) => {
+                    metrics()
+                        .fetch_rtt
+                        .observe_duration(fetch_started.elapsed());
+                    response
+                }
                 Err(e) => {
                     if connected {
                         self.status.inner.reconnects.fetch_add(1, Ordering::AcqRel);
+                        metrics().reconnects.inc();
                         connected = false;
                     }
+                    obs::log(
+                        obs::Level::Warn,
+                        "repl",
+                        "leader unreachable, reconnecting",
+                        &[
+                            ("leader", &self.client.leader()),
+                            ("epoch", &self.epoch),
+                            ("offset", &from),
+                            ("error", &e),
+                        ],
+                    );
                     self.status.set_state(ReplState::Reconnecting);
                     self.status.note_error(format!("leader unreachable: {e}"));
                     if self.stop.sleep(backoff) {
@@ -499,7 +559,7 @@ impl Tail {
                     backoff = self.config.backoff_initial;
                     self.status.set_state(ReplState::Streaming);
                     if let Err(fatal) = self.ingest(&response) {
-                        self.status.fail(fatal);
+                        self.fail(fatal);
                         return;
                     }
                 }
@@ -525,7 +585,7 @@ impl Tail {
                         _ => match self.rebootstrap() {
                             Ok(()) => {}
                             Err(TailError::Fatal(message)) => {
-                                self.status.fail(message);
+                                self.fail(message);
                                 return;
                             }
                             Err(TailError::Retryable(message)) => {
@@ -541,7 +601,7 @@ impl Tail {
                 501 => {
                     // The leader has no WAL to ship — it is not durable
                     // (or itself a replica). That cannot heal by retry.
-                    self.status.fail(
+                    self.fail(
                         "leader does not ship a WAL (not durable, or itself a replica)".into(),
                     );
                     return;

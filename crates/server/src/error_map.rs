@@ -7,7 +7,8 @@
 //! the rendered message, and the hint when the feedback protocol has
 //! one.
 
-use crate::wire::{json_string, JSON};
+use crate::json::JsonObject;
+use crate::wire::JSON;
 use ontoaccess::OntoError;
 
 /// The HTTP status a rejection maps to.
@@ -59,25 +60,24 @@ pub fn status_for(error: &OntoError) -> u16 {
 /// The JSON error document: stable code, status, message, and the
 /// feedback protocol's hint when available.
 pub fn error_body(error: &OntoError) -> String {
-    let status = status_for(error);
-    let mut out = String::from("{\"error\":{\"code\":");
-    out.push_str(&json_string(error.code()));
-    out.push_str(&format!(",\"status\":{status},\"message\":"));
-    out.push_str(&json_string(&error.to_string()));
+    let mut inner = JsonObject::new()
+        .str("code", error.code())
+        .u64("status", status_for(error) as u64)
+        .str("message", &error.to_string());
     if let Some(hint) = error.hint() {
-        out.push_str(",\"hint\":");
-        out.push_str(&json_string(&hint));
+        inner = inner.str("hint", &hint);
     }
-    out.push_str("}}");
-    out
+    JsonObject::new().raw("error", &inner.finish()).finish()
 }
 
 /// A protocol-level (non-mediator) JSON error document.
 pub fn protocol_error_body(status: u16, message: &str) -> String {
-    format!(
-        "{{\"error\":{{\"code\":\"Protocol\",\"status\":{status},\"message\":{}}}}}",
-        json_string(message)
-    )
+    let inner = JsonObject::new()
+        .str("code", "Protocol")
+        .u64("status", status as u64)
+        .str("message", message)
+        .finish();
+    JsonObject::new().raw("error", &inner).finish()
 }
 
 /// Content type of the JSON error documents.

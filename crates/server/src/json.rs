@@ -1,0 +1,131 @@
+//! Incremental JSON object writer.
+//!
+//! Every JSON body this server emits — `/status`, the replication
+//! reposition answer, the error documents, the `X-Profile` trailer —
+//! used to be hand-concatenated `format!` strings, each with its own
+//! chance to misplace a comma or forget to escape a value. This tiny
+//! builder centralizes the syntax: keys appear in call order (so
+//! existing golden bodies keep their shape), values go through
+//! [`crate::wire::json_string`] escaping, and nesting composes by
+//! embedding one finished object as a [`JsonObject::raw`] field.
+
+use crate::wire::json_string;
+
+/// A JSON object under construction. Build with the chaining field
+/// methods, close with [`JsonObject::finish`].
+#[derive(Debug)]
+pub(crate) struct JsonObject {
+    out: String,
+    first: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(&json_string(key));
+        self.out.push(':');
+    }
+
+    /// A string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push_str(&json_string(value));
+        self
+    }
+
+    /// An unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// A boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// A field whose value is already rendered JSON (a nested object,
+    /// an array, `null`) — embedded verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// An optional integer: the number, or `null`.
+    pub fn opt_u64(self, key: &str, value: Option<u64>) -> Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// An optional string: escaped, or `null`.
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Close the object and return the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Render a JSON array from already-rendered element strings.
+pub(crate) fn json_array<I: IntoIterator<Item = String>>(elements: I) -> String {
+    let mut out = String::from("[");
+    for (i, element) in elements.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&element);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_in_call_order_with_escaping() {
+        let body = JsonObject::new()
+            .str("name", "a \"b\"\n")
+            .u64("n", 7)
+            .bool("ok", true)
+            .raw("nested", &JsonObject::new().u64("x", 1).finish())
+            .opt_u64("missing", None)
+            .opt_str("hint", Some("h"))
+            .finish();
+        assert_eq!(
+            body,
+            "{\"name\":\"a \\\"b\\\"\\n\",\"n\":7,\"ok\":true,\
+             \"nested\":{\"x\":1},\"missing\":null,\"hint\":\"h\"}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(json_array(Vec::new()), "[]");
+        assert_eq!(json_array(vec!["1".to_owned(), "2".to_owned()]), "[1,2]");
+    }
+}

@@ -40,6 +40,8 @@
 
 pub mod error_map;
 pub mod http;
+mod json;
+mod metrics;
 mod pool;
 pub mod router;
 mod stats;
@@ -77,6 +79,10 @@ pub struct ServerConfig {
     /// progress handle, surfaced under `/status`. `None` on leaders
     /// and plain standalone servers.
     pub replication: Option<repl::ReplicationStatus>,
+    /// Queries whose handler wall time reaches this many milliseconds
+    /// land in the bounded slow-query log surfaced on `/status`
+    /// (`slow_queries`). `0` records every query.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +94,7 @@ impl Default for ServerConfig {
             max_body_bytes: 4 * 1024 * 1024,
             keep_alive_timeout: Duration::from_secs(5),
             replication: None,
+            slow_query_ms: 250,
         }
     }
 }
@@ -123,6 +130,9 @@ pub fn serve<A: ToSocketAddrs>(
         workers: config.workers.max(1),
         queue_capacity: config.queue_capacity.max(1),
         replication: config.replication.clone(),
+        metrics: metrics::HttpMetrics::new(),
+        slow_log: metrics::SlowQueryLog::new(32),
+        slow_query_micros: config.slow_query_ms.saturating_mul(1000),
     });
 
     let mut workers = Vec::with_capacity(ctx.workers);
@@ -252,12 +262,15 @@ fn acceptor_loop(
             // Overload: reject inline rather than queue without bound.
             stats.record_overload_rejection();
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-            let response = Response::new(
-                503,
-                error_map::ERROR_CONTENT_TYPE,
-                error_map::protocol_error_body(503, "server overloaded; retry shortly"),
-            )
-            .with_header("Retry-After", "1");
+            let response = router::attach_request_id(
+                Response::new(
+                    503,
+                    error_map::ERROR_CONTENT_TYPE,
+                    error_map::protocol_error_body(503, "server overloaded; retry shortly"),
+                )
+                .with_header("Retry-After", "1"),
+                &obs::next_request_id(),
+            );
             let mut stream = stream;
             let _ = http::write_response(&mut stream, &response, false, false);
             let _ = stream.shutdown(Shutdown::Both);
@@ -332,10 +345,13 @@ fn serve_connection(
             }
             Err(error) => {
                 if let Some(status) = error.status() {
-                    let response = Response::new(
-                        status,
-                        error_map::ERROR_CONTENT_TYPE,
-                        error_map::protocol_error_body(status, &error.message()),
+                    let response = router::attach_request_id(
+                        Response::new(
+                            status,
+                            error_map::ERROR_CONTENT_TYPE,
+                            error_map::protocol_error_body(status, &error.message()),
+                        ),
+                        &obs::next_request_id(),
                     );
                     let _ = http::write_response(conn.stream(), &response, false, false);
                 }

@@ -1,0 +1,175 @@
+//! Server-side observability plumbing: the per-endpoint HTTP metric
+//! handles and the bounded slow-query log.
+//!
+//! Metric handles are resolved once at server construction (registry
+//! lookups take a mutex; the request path must not), then recording is
+//! a couple of relaxed atomic ops per request — cheap enough to leave
+//! on in production, and compiled to a no-op via [`obs::set_enabled`]
+//! for the overhead baseline.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+const ENDPOINT_HELP: &str = "HTTP request wall time per endpoint, routing through response build";
+
+// The routable paths, each its own labeled latency series; anything
+// else (404s) lands in the "other" series.
+const ENDPOINTS: &[&str] = &[
+    "/",
+    "/sparql",
+    "/update",
+    "/describe",
+    "/dump",
+    "/status",
+    "/metrics",
+    "/snapshot",
+    "/wal",
+    "/snapshot/latest",
+];
+
+/// Pre-resolved handles for the HTTP layer's metrics.
+#[derive(Debug)]
+pub(crate) struct HttpMetrics {
+    /// Requests currently being handled (gauge).
+    pub in_flight: &'static obs::Gauge,
+    endpoints: Vec<(&'static str, &'static obs::Histogram)>,
+    other: &'static obs::Histogram,
+}
+
+impl HttpMetrics {
+    pub fn new() -> Self {
+        let registry = obs::registry();
+        HttpMetrics {
+            in_flight: registry.gauge(
+                "ontoaccess_http_in_flight_requests",
+                "Requests currently being handled by a worker",
+            ),
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|path| {
+                    (
+                        *path,
+                        registry.latency_histogram_labeled(
+                            "ontoaccess_http_request_seconds",
+                            ENDPOINT_HELP,
+                            ("endpoint", path),
+                        ),
+                    )
+                })
+                .collect(),
+            other: registry.latency_histogram_labeled(
+                "ontoaccess_http_request_seconds",
+                ENDPOINT_HELP,
+                ("endpoint", "other"),
+            ),
+        }
+    }
+
+    /// The latency series for a request path.
+    pub fn endpoint(&self, path: &str) -> &'static obs::Histogram {
+        self.endpoints
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map_or(self.other, |(_, h)| *h)
+    }
+}
+
+/// One retained slow query.
+#[derive(Debug, Clone)]
+pub(crate) struct SlowQueryEntry {
+    /// The query text, truncated to [`SlowQueryLog::TEXT_LIMIT`].
+    pub query: String,
+    /// Total handler wall time, in microseconds.
+    pub micros: u64,
+    /// Wall-clock capture time (Unix milliseconds).
+    pub at_unix_ms: u64,
+}
+
+/// Bounded in-memory ring of the most recent queries that crossed the
+/// configured threshold, surfaced on `/status` as `slow_queries`.
+#[derive(Debug)]
+pub(crate) struct SlowQueryLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+impl SlowQueryLog {
+    /// Longest query text retained per entry; the tail is elided.
+    pub const TEXT_LIMIT: usize = 200;
+
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one slow query, evicting the oldest entry at capacity.
+    pub fn record(&self, query: &str, micros: u64) {
+        let mut text: String = query.chars().take(Self::TEXT_LIMIT).collect();
+        if text.len() < query.len() {
+            text.push('…');
+        }
+        let at_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(SlowQueryEntry {
+            query: text,
+            micros,
+            at_unix_ms,
+        });
+    }
+
+    /// Snapshot the retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_query_log_evicts_oldest_at_capacity() {
+        let log = SlowQueryLog::new(3);
+        for i in 0..5 {
+            log.record(&format!("SELECT {i}"), i);
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].query, "SELECT 2");
+        assert_eq!(entries[2].query, "SELECT 4");
+        assert_eq!(entries[2].micros, 4);
+    }
+
+    #[test]
+    fn slow_query_log_truncates_long_text() {
+        let log = SlowQueryLog::new(1);
+        let long = "x".repeat(SlowQueryLog::TEXT_LIMIT + 50);
+        log.record(&long, 1);
+        let entry = &log.entries()[0];
+        assert!(entry.query.chars().count() == SlowQueryLog::TEXT_LIMIT + 1);
+        assert!(entry.query.ends_with('…'));
+    }
+
+    #[test]
+    fn endpoint_lookup_falls_back_to_other() {
+        let metrics = HttpMetrics::new();
+        let sparql = metrics.endpoint("/sparql");
+        let nowhere = metrics.endpoint("/nowhere");
+        assert!(!std::ptr::eq(sparql, nowhere));
+        assert!(std::ptr::eq(nowhere, metrics.endpoint("/elsewhere")));
+    }
+}

@@ -11,6 +11,32 @@ use std::collections::{HashMap, VecDeque};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+// Process-global queue metrics: instantaneous depth plus how long each
+// connection sat waiting for a worker (the backpressure early-warning
+// signal — wait grows before the 503s start).
+struct PoolMetrics {
+    depth: &'static obs::Gauge,
+    wait: &'static obs::Histogram,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::registry();
+        PoolMetrics {
+            depth: registry.gauge(
+                "ontoaccess_pool_queue_depth",
+                "Accepted connections currently waiting for a worker",
+            ),
+            wait: registry.latency_histogram(
+                "ontoaccess_pool_queue_wait_seconds",
+                "Time an accepted connection waited in the queue before a worker picked it up",
+            ),
+        }
+    })
+}
 
 // ----------------------------------------------------------------------
 // Bounded handoff queue
@@ -18,7 +44,8 @@ use std::sync::{Condvar, Mutex};
 
 #[derive(Debug)]
 struct QueueInner {
-    deque: VecDeque<TcpStream>,
+    // Each entry remembers when it was enqueued (queue-wait metric).
+    deque: VecDeque<(Instant, TcpStream)>,
     closed: bool,
 }
 
@@ -49,7 +76,8 @@ impl ConnQueue {
         if inner.closed || inner.deque.len() >= self.capacity {
             return Err(stream);
         }
-        inner.deque.push_back(stream);
+        inner.deque.push_back((Instant::now(), stream));
+        metrics().depth.set(inner.deque.len() as u64);
         drop(inner);
         self.available.notify_one();
         Ok(())
@@ -61,7 +89,9 @@ impl ConnQueue {
     pub fn pop(&self) -> Option<TcpStream> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(stream) = inner.deque.pop_front() {
+            if let Some((enqueued, stream)) = inner.deque.pop_front() {
+                metrics().depth.set(inner.deque.len() as u64);
+                metrics().wait.observe_duration(enqueued.elapsed());
                 return Some(stream);
             }
             if inner.closed {

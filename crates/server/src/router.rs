@@ -7,6 +7,7 @@
 //! | `GET /describe?uri=`| Concise description of one instance URI (graph response) |
 //! | `GET /dump`         | The database's full RDF view (graph response) |
 //! | `GET /status`       | Version, uptime, row counts, query-cache, concurrency, durability, replication and server counters (JSON) |
+//! | `GET /metrics`      | Prometheus text exposition (`text/plain; version=0.0.4`) of every layer's metrics |
 //! | `POST /snapshot`    | Admin checkpoint: snapshot the committed state, truncate the WAL (durable servers only) |
 //! | `GET /wal`          | Replication: committed WAL bytes from `from=` (absolute offset), long-polling when caught up (durable leaders only) |
 //! | `GET /snapshot/latest` | Replication: the newest snapshot file, for replica bootstrap (durable leaders only) |
@@ -19,10 +20,12 @@
 
 use crate::error_map::{error_body, protocol_error_body, status_for, ERROR_CONTENT_TYPE};
 use crate::http::{Request, Response};
+use crate::json::{json_array, JsonObject};
+use crate::metrics::{HttpMetrics, SlowQueryLog};
 use crate::stats::ServerStats;
 use crate::wire;
 use ontoaccess::feedback::Feedback;
-use ontoaccess::mediator::{Mediator, ReadSession};
+use ontoaccess::mediator::{Mediator, QueryProfile, ReadSession};
 use ontoaccess::OntoError;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,6 +46,10 @@ pub(crate) struct AppContext {
     pub workers: usize,
     pub queue_capacity: usize,
     pub replication: Option<repl::ReplicationStatus>,
+    pub metrics: HttpMetrics,
+    pub slow_log: SlowQueryLog,
+    /// Queries at or above this handler wall time land in `slow_log`.
+    pub slow_query_micros: u64,
 }
 
 pub(crate) fn handle_request(
@@ -50,7 +57,10 @@ pub(crate) fn handle_request(
     session: &ReadSession,
     request: &Request,
 ) -> Response {
+    let started = Instant::now();
+    let request_id = request_id_for(request);
     ctx.stats.record_request();
+    ctx.metrics.in_flight.add(1);
     // HEAD is answered like GET everywhere GET is allowed; the
     // connection layer suppresses the body bytes while keeping the
     // Content-Length a GET would have produced (RFC 9110 §9.3.2).
@@ -59,7 +69,7 @@ pub(crate) fn handle_request(
     } else {
         request.method.as_str()
     };
-    match (method, request.path.as_str()) {
+    let response = match (method, request.path.as_str()) {
         ("GET", "/") => usage(),
         ("GET", "/sparql") => query_from_get(ctx, session, request),
         ("POST", "/sparql") => query_from_post(ctx, session, request),
@@ -67,6 +77,7 @@ pub(crate) fn handle_request(
         ("GET", "/describe") => describe(session, request),
         ("GET", "/dump") => dump(session, request),
         ("GET", "/status") => status(ctx),
+        ("GET", "/metrics") => metrics_exposition(ctx),
         ("POST", "/snapshot") => snapshot(ctx),
         ("GET", "/wal") => wal(ctx, request),
         ("GET", "/snapshot/latest") => snapshot_latest(ctx),
@@ -76,6 +87,7 @@ pub(crate) fn handle_request(
         | (_, "/dump")
         | (_, "/status")
         | (_, "/")
+        | (_, "/metrics")
         | (_, "/wal")
         | (_, "/snapshot/latest") => method_not_allowed("GET, HEAD"),
         _ => Response::new(
@@ -83,7 +95,61 @@ pub(crate) fn handle_request(
             ERROR_CONTENT_TYPE,
             protocol_error_body(404, &format!("no such endpoint {:?}", request.path)),
         ),
+    };
+    ctx.metrics.in_flight.sub(1);
+    let elapsed = started.elapsed();
+    ctx.metrics
+        .endpoint(&request.path)
+        .observe_duration(elapsed);
+    obs::log(
+        obs::Level::Info,
+        "http",
+        "request",
+        &[
+            ("id", &request_id),
+            ("method", &request.method),
+            ("path", &request.path),
+            ("status", &response.status),
+            ("micros", &elapsed.as_micros()),
+        ],
+    );
+    attach_request_id(response, &request_id)
+}
+
+// Accept a sane inbound `X-Request-Id` (so a caller's trace id flows
+// through), otherwise mint one.
+fn request_id_for(request: &Request) -> String {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= 64
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.')) =>
+        {
+            id.to_owned()
+        }
+        _ => obs::next_request_id(),
     }
+}
+
+/// Echo the request id on the response, and stitch it into JSON error
+/// documents so a client-reported failure is greppable in the server
+/// log (`{"request_id":…,"error":…}`).
+pub(crate) fn attach_request_id(mut response: Response, request_id: &str) -> Response {
+    if response.status >= 400
+        && response.content_type.as_deref() == Some(ERROR_CONTENT_TYPE)
+        && response.body.first() == Some(&b'{')
+    {
+        let prefix = JsonObject::new().str("request_id", request_id).finish();
+        let mut body = Vec::with_capacity(prefix.len() + response.body.len());
+        // `{"request_id":"…"` + `,` + the original body minus its `{`.
+        body.extend_from_slice(&prefix.as_bytes()[..prefix.len() - 1]);
+        body.push(b',');
+        body.extend_from_slice(&response.body[1..]);
+        response.body = body;
+    }
+    response.with_header("X-Request-Id", request_id)
 }
 
 fn usage() -> Response {
@@ -98,6 +164,7 @@ fn usage() -> Response {
          GET  /describe?uri=...   describe one instance URI\n\
          GET  /dump               full RDF view (Turtle / N-Triples)\n\
          GET  /status             version, row counts, cache, durability and replication statistics (JSON)\n\
+         GET  /metrics            Prometheus text exposition of all server metrics\n\
          POST /snapshot           admin checkpoint: snapshot state, truncate the WAL\n\
          GET  /wal?from=&epoch=   replication: committed WAL bytes from an absolute offset (long-poll)\n\
          GET  /snapshot/latest    replication: the newest snapshot file for replica bootstrap\n",
@@ -169,23 +236,74 @@ fn run_query(ctx: &AppContext, session: &ReadSession, text: &str, request: &Requ
         );
     };
     ctx.stats.record_query();
-    match session.execute_query(text) {
-        Ok(sparql::QueryOutcome::Solutions(solutions)) => {
-            let body = match format {
-                wire::ResultsFormat::Json => wire::solutions_to_json(&solutions),
-                wire::ResultsFormat::Xml => wire::solutions_to_xml(&solutions),
-            };
-            Response::new(200, content_type, body)
-        }
-        Ok(sparql::QueryOutcome::Boolean(value)) => {
-            let body = match format {
-                wire::ResultsFormat::Json => wire::boolean_to_json(value),
-                wire::ResultsFormat::Xml => wire::boolean_to_xml(value),
-            };
-            Response::new(200, content_type, body)
+    let profiled = request.param("profile").is_some_and(|v| v == "1");
+    let query_started = Instant::now();
+    let result = if profiled {
+        session
+            .execute_query_profiled(text)
+            .map(|(outcome, profile)| (outcome, Some(profile)))
+    } else {
+        session.execute_query(text).map(|outcome| (outcome, None))
+    };
+    let micros = query_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    if micros >= ctx.slow_query_micros {
+        ctx.slow_log.record(text, micros);
+        obs::log(
+            obs::Level::Warn,
+            "http",
+            "slow query",
+            &[("micros", &micros), ("query", &text)],
+        );
+    }
+    match result {
+        Ok((outcome, profile)) => {
+            let response = outcome_response(&outcome, content_type, format);
+            match profile {
+                Some(p) => response.with_header("X-Profile", &profile_json(&p)),
+                None => response,
+            }
         }
         Err(error) => mediator_error(&error),
     }
+}
+
+fn outcome_response(
+    outcome: &sparql::QueryOutcome,
+    content_type: &'static str,
+    format: wire::ResultsFormat,
+) -> Response {
+    let body = match (outcome, format) {
+        (sparql::QueryOutcome::Solutions(s), wire::ResultsFormat::Json) => {
+            wire::solutions_to_json(s)
+        }
+        (sparql::QueryOutcome::Solutions(s), wire::ResultsFormat::Xml) => wire::solutions_to_xml(s),
+        (sparql::QueryOutcome::Boolean(b), wire::ResultsFormat::Json) => wire::boolean_to_json(*b),
+        (sparql::QueryOutcome::Boolean(b), wire::ResultsFormat::Xml) => wire::boolean_to_xml(*b),
+    };
+    Response::new(200, content_type, body)
+}
+
+// The `X-Profile` trailer: the chosen plan (per-join strategy) and
+// per-stage wall times, one line of JSON so it survives as a header.
+fn profile_json(profile: &QueryProfile) -> String {
+    let joins = json_array(profile.joins.iter().map(|join| {
+        JsonObject::new()
+            .str("table", &join.table)
+            .str("column", &join.column)
+            .str("strategy", join.strategy)
+            .finish()
+    }));
+    JsonObject::new()
+        .bool("cache_hit", profile.cache_hit)
+        .u64("parse_micros", profile.parse_micros)
+        .u64("plan_micros", profile.plan_micros)
+        .u64("execute_micros", profile.execute_micros)
+        .u64("version_seq", profile.version_seq)
+        .u64("rows", profile.rows as u64)
+        .raw("joins", &joins)
+        .u64("join_keys", profile.join_keys as u64)
+        .u64("residual_conjuncts", profile.residual_conjuncts as u64)
+        .finish()
 }
 
 // ----------------------------------------------------------------------
@@ -328,7 +446,7 @@ fn graph_response(
 // ----------------------------------------------------------------------
 
 fn status(ctx: &AppContext) -> Response {
-    let mut tables = String::new();
+    let mut tables = String::from("{");
     {
         let db = ctx.mediator.database();
         let mut first = true;
@@ -342,45 +460,196 @@ fn status(ctx: &AppContext) -> Response {
             tables.push_str(&db.row_count(&table.name).unwrap_or(0).to_string());
         }
     }
+    tables.push('}');
     let cache = ctx.mediator.query_cache_stats();
     let dict = ctx.mediator.dictionary_stats();
     let conc = ctx.mediator.concurrency_stats();
     let stats = &ctx.stats;
-    let body = format!(
-        "{{\"version\":{},\"uptime_seconds\":{},\"tables\":{{{tables}}},\
-         \"query_cache\":{{\"entries\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}},\
-         \"dictionary\":{{\"symbols\":{},\"string_bytes\":{},\"hits\":{},\"bytes_saved\":{}}},\
-         \"concurrency\":{{\"current_version\":{},\"versions_retained\":{},\"read_sessions_live\":{},\"write_lock_waits\":{},\"write_lock_wait_micros\":{}}},\
-         \"durability\":{},\
-         \"replication\":{},\
-         \"server\":{{\"workers\":{},\"queue_capacity\":{},\"requests\":{},\"queries\":{},\"updates\":{},\"snapshots\":{},\"overload_rejections\":{}}}}}",
-        wire::json_string(env!("CARGO_PKG_VERSION")),
-        ctx.started.elapsed().as_secs(),
-        cache.entries,
-        cache.capacity,
-        cache.hits,
-        cache.misses,
-        cache.evictions,
-        dict.symbols,
-        dict.string_bytes,
-        dict.hits,
-        dict.bytes_saved,
-        conc.current_version,
-        conc.versions_retained,
-        conc.read_sessions_live,
-        conc.write_lock_waits,
-        conc.write_lock_wait_micros,
-        durability_json(ctx),
-        replication_json(ctx),
-        ctx.workers,
-        ctx.queue_capacity,
-        stats.requests(),
-        stats.queries(),
-        stats.updates(),
-        stats.snapshots(),
-        stats.overload_rejections(),
-    );
+    let slow_queries = json_array(ctx.slow_log.entries().into_iter().map(|entry| {
+        JsonObject::new()
+            .str("query", &entry.query)
+            .u64("micros", entry.micros)
+            .u64("at_unix_ms", entry.at_unix_ms)
+            .finish()
+    }));
+    let body = JsonObject::new()
+        .str("version", env!("CARGO_PKG_VERSION"))
+        .u64("uptime_seconds", ctx.started.elapsed().as_secs())
+        .raw("tables", &tables)
+        .raw(
+            "query_cache",
+            &JsonObject::new()
+                .u64("entries", cache.entries as u64)
+                .u64("capacity", cache.capacity as u64)
+                .u64("hits", cache.hits)
+                .u64("misses", cache.misses)
+                .u64("evictions", cache.evictions)
+                .finish(),
+        )
+        .raw(
+            "dictionary",
+            &JsonObject::new()
+                .u64("symbols", dict.symbols)
+                .u64("string_bytes", dict.string_bytes)
+                .u64("hits", dict.hits)
+                .u64("bytes_saved", dict.bytes_saved)
+                .finish(),
+        )
+        .raw(
+            "concurrency",
+            &JsonObject::new()
+                .u64("current_version", conc.current_version)
+                .u64("versions_retained", conc.versions_retained as u64)
+                .u64("read_sessions_live", conc.read_sessions_live as u64)
+                .u64("write_lock_waits", conc.write_lock_waits)
+                .u64("write_lock_wait_micros", conc.write_lock_wait_micros)
+                .finish(),
+        )
+        .raw("durability", &durability_json(ctx))
+        .raw("replication", &replication_json(ctx))
+        .raw(
+            "server",
+            &JsonObject::new()
+                .u64("workers", ctx.workers as u64)
+                .u64("queue_capacity", ctx.queue_capacity as u64)
+                .u64("requests", stats.requests())
+                .u64("queries", stats.queries())
+                .u64("updates", stats.updates())
+                .u64("snapshots", stats.snapshots())
+                .u64("overload_rejections", stats.overload_rejections())
+                .finish(),
+        )
+        .raw("slow_queries", &slow_queries)
+        .finish();
     Response::new(200, wire::JSON, body)
+}
+
+// ----------------------------------------------------------------------
+// Metrics exposition
+// ----------------------------------------------------------------------
+
+/// Content type of the Prometheus text exposition format.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+// `GET /metrics`: render the process-global registry. Counters and
+// histograms accumulate on the hot paths; point-in-time state (cache
+// occupancy, dictionary size, MVCC chain, WAL frontier, replication
+// lag) is sampled into gauges here, at scrape time — the scrape path
+// is cold, so the registry lookups' mutex is fine.
+fn metrics_exposition(ctx: &AppContext) -> Response {
+    let registry = obs::registry();
+    registry
+        .gauge_labeled(
+            "ontoaccess_build_info",
+            "Constant 1, labeled with the server version",
+            Some(("version", env!("CARGO_PKG_VERSION"))),
+        )
+        .set(1);
+    registry
+        .gauge("ontoaccess_uptime_seconds", "Seconds since server start")
+        .set(ctx.started.elapsed().as_secs());
+    let cache = ctx.mediator.query_cache_stats();
+    registry
+        .gauge(
+            "ontoaccess_query_cache_entries",
+            "Compiled queries currently cached",
+        )
+        .set(cache.entries as u64);
+    registry
+        .gauge(
+            "ontoaccess_query_cache_capacity",
+            "Query cache capacity (entries)",
+        )
+        .set(cache.capacity as u64);
+    let dict = ctx.mediator.dictionary_stats();
+    registry
+        .gauge(
+            "ontoaccess_dictionary_symbols",
+            "Interned strings in the process-global dictionary",
+        )
+        .set(dict.symbols);
+    registry
+        .gauge(
+            "ontoaccess_dictionary_string_bytes",
+            "Bytes of unique string payload held by the dictionary",
+        )
+        .set(dict.string_bytes);
+    registry
+        .gauge(
+            "ontoaccess_dictionary_bytes_saved",
+            "Bytes avoided by interning repeated strings",
+        )
+        .set(dict.bytes_saved);
+    let conc = ctx.mediator.concurrency_stats();
+    registry
+        .gauge(
+            "ontoaccess_mvcc_current_version",
+            "Sequence number of the currently published database version",
+        )
+        .set(conc.current_version);
+    registry
+        .gauge(
+            "ontoaccess_mvcc_versions_retained",
+            "Database versions retained for live readers",
+        )
+        .set(conc.versions_retained as u64);
+    registry
+        .gauge(
+            "ontoaccess_mvcc_read_sessions",
+            "Read sessions currently live",
+        )
+        .set(conc.read_sessions_live as u64);
+    registry
+        .gauge(
+            "ontoaccess_write_lock_waits_total",
+            "Write transactions that had to wait for the write lock",
+        )
+        .set(conc.write_lock_waits);
+    if let Some(d) = ctx.mediator.durability_stats() {
+        registry
+            .gauge("ontoaccess_wal_size_bytes", "Durable WAL size in bytes")
+            .set(d.wal_bytes);
+        registry
+            .gauge(
+                "ontoaccess_wal_last_commit_seq",
+                "Sequence number of the last durably committed unit",
+            )
+            .set(d.last_commit_seq);
+        registry
+            .gauge(
+                "ontoaccess_wal_poisoned",
+                "1 when the WAL refused further appends after a fault",
+            )
+            .set(u64::from(d.poisoned));
+    }
+    if let Some(status) = &ctx.replication {
+        let snap = status.snapshot();
+        registry
+            .gauge(
+                "ontoaccess_repl_applied_seq",
+                "Last WAL commit unit applied by this replica",
+            )
+            .set(snap.applied_seq);
+        registry
+            .gauge(
+                "ontoaccess_repl_leader_seq",
+                "Leader's durable commit frontier as last observed",
+            )
+            .set(snap.leader_seq);
+        registry
+            .gauge(
+                "ontoaccess_repl_lag_units",
+                "Commit units the replica trails the leader by",
+            )
+            .set(snap.lag_units);
+        registry
+            .gauge(
+                "ontoaccess_repl_lag_bytes",
+                "WAL bytes the replica trails the leader by",
+            )
+            .set(snap.lag_bytes);
+    }
+    Response::new(200, METRICS_CONTENT_TYPE, registry.render())
 }
 
 // The `/status` replication object: a follower reports its replicator
@@ -389,31 +658,28 @@ fn status(ctx: &AppContext) -> Response {
 fn replication_json(ctx: &AppContext) -> String {
     if let Some(status) = &ctx.replication {
         let snap = status.snapshot();
-        return format!(
-            "{{\"role\":\"replica\",\"leader\":{},\"state\":{},\"applied_seq\":{},\
-             \"leader_seq\":{},\"lag_units\":{},\"lag_bytes\":{},\"last_contact_ms\":{},\
-             \"reconnects\":{},\"last_error\":{}}}",
-            wire::json_string(&snap.leader),
-            wire::json_string(snap.state.as_str()),
-            snap.applied_seq,
-            snap.leader_seq,
-            snap.lag_units,
-            snap.lag_bytes,
-            snap.last_contact_ms
-                .map_or_else(|| "null".to_owned(), |ms| ms.to_string()),
-            snap.reconnects,
-            snap.last_error
-                .as_deref()
-                .map_or_else(|| "null".to_owned(), wire::json_string),
-        );
+        return JsonObject::new()
+            .str("role", "replica")
+            .str("leader", &snap.leader)
+            .str("state", snap.state.as_str())
+            .u64("applied_seq", snap.applied_seq)
+            .u64("leader_seq", snap.leader_seq)
+            .u64("lag_units", snap.lag_units)
+            .u64("lag_bytes", snap.lag_bytes)
+            .opt_u64("last_contact_ms", snap.last_contact_ms)
+            .u64("reconnects", snap.reconnects)
+            .opt_str("last_error", snap.last_error.as_deref())
+            .finish();
     }
     match ctx.mediator.durability_stats() {
-        Some(d) => format!(
-            "{{\"role\":\"leader\",\"applied_seq\":{0},\"leader_seq\":{0},\
-             \"lag_units\":0,\"lag_bytes\":0}}",
-            d.last_commit_seq
-        ),
-        None => "{\"role\":\"standalone\"}".to_owned(),
+        Some(d) => JsonObject::new()
+            .str("role", "leader")
+            .u64("applied_seq", d.last_commit_seq)
+            .u64("leader_seq", d.last_commit_seq)
+            .u64("lag_units", 0)
+            .u64("lag_bytes", 0)
+            .finish(),
+        None => JsonObject::new().str("role", "standalone").finish(),
     }
 }
 
@@ -421,21 +687,18 @@ fn replication_json(ctx: &AppContext) -> String {
 // configured, `{"enabled":false}` otherwise.
 fn durability_json(ctx: &AppContext) -> String {
     match ctx.mediator.durability_stats() {
-        Some(d) => format!(
-            "{{\"enabled\":true,\"wal_bytes\":{},\"commits_appended\":{},\"wal_syncs\":{},\
-             \"records_replayed\":{},\"rows_replayed\":{},\"last_snapshot\":{},\
-             \"last_commit_seq\":{},\"poisoned\":{}}}",
-            d.wal_bytes,
-            d.commits_appended,
-            d.wal_syncs,
-            d.records_replayed,
-            d.rows_replayed,
-            d.last_snapshot_seq
-                .map_or_else(|| "null".to_owned(), |seq| seq.to_string()),
-            d.last_commit_seq,
-            d.poisoned,
-        ),
-        None => "{\"enabled\":false}".to_owned(),
+        Some(d) => JsonObject::new()
+            .bool("enabled", true)
+            .u64("wal_bytes", d.wal_bytes)
+            .u64("commits_appended", d.commits_appended)
+            .u64("wal_syncs", d.wal_syncs)
+            .u64("records_replayed", d.records_replayed)
+            .u64("rows_replayed", d.rows_replayed)
+            .opt_u64("last_snapshot", d.last_snapshot_seq)
+            .u64("last_commit_seq", d.last_commit_seq)
+            .bool("poisoned", d.poisoned)
+            .finish(),
+        None => JsonObject::new().bool("enabled", false).finish(),
     }
 }
 
@@ -454,7 +717,10 @@ fn snapshot(ctx: &AppContext) -> Response {
             Response::new(
                 200,
                 wire::JSON,
-                format!("{{\"snapshot_seq\":{seq},\"wal_bytes\":{wal_bytes}}}"),
+                JsonObject::new()
+                    .u64("snapshot_seq", seq)
+                    .u64("wal_bytes", wal_bytes)
+                    .finish(),
             )
         }
         Err(error) => mediator_error(&error),
@@ -526,10 +792,11 @@ fn wal(ctx: &AppContext, request: &Request) -> Response {
             Response::new(
                 409,
                 ERROR_CONTENT_TYPE,
-                format!(
-                    "{{\"reposition\":true,\"epoch\":{},\"durable_bytes\":{}}}",
-                    position.epoch, position.durable_bytes
-                ),
+                JsonObject::new()
+                    .bool("reposition", true)
+                    .u64("epoch", position.epoch)
+                    .u64("durable_bytes", position.durable_bytes)
+                    .finish(),
             ),
             &position,
         ),

@@ -1,62 +1,95 @@
 //! Server-level counters, shared between the acceptor, the workers,
-//! and the `/status` endpoint. All relaxed atomics: these are
-//! monotonic counters for observability, not synchronization.
+//! and the `/status` endpoint.
+//!
+//! The counters live in the process-global [`obs`] registry, so
+//! `/status` and `/metrics` read the same source of truth — this
+//! struct is just the pre-resolved handles (registry lookups take a
+//! mutex; the request path records through `&'static` references).
+//! Global registry semantics follow: several servers in one process
+//! share these series, exactly like the string dictionary.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Monotonic request counters for one server instance.
-#[derive(Debug, Default)]
+/// Monotonic request counters, backed by the process-global metric
+/// registry.
+#[derive(Debug)]
 pub struct ServerStats {
-    requests: AtomicU64,
-    queries: AtomicU64,
-    updates: AtomicU64,
-    snapshots: AtomicU64,
-    overload_rejections: AtomicU64,
+    requests: &'static obs::Counter,
+    queries: &'static obs::Counter,
+    updates: &'static obs::Counter,
+    snapshots: &'static obs::Counter,
+    overload_rejections: &'static obs::Counter,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        let registry = obs::registry();
+        ServerStats {
+            requests: registry.counter(
+                "ontoaccess_http_requests_total",
+                "Requests routed (any endpoint, any outcome)",
+            ),
+            queries: registry.counter(
+                "ontoaccess_http_queries_total",
+                "Query requests that reached execution",
+            ),
+            updates: registry.counter(
+                "ontoaccess_http_updates_total",
+                "Update requests that reached execution",
+            ),
+            snapshots: registry.counter(
+                "ontoaccess_http_snapshots_total",
+                "Admin checkpoints (POST /snapshot) that completed",
+            ),
+            overload_rejections: registry.counter(
+                "ontoaccess_http_overload_rejections_total",
+                "Connections answered 503 because the accept queue was full",
+            ),
+        }
+    }
 }
 
 impl ServerStats {
     pub(crate) fn record_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
     }
 
     pub(crate) fn record_query(&self) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.inc();
     }
 
     pub(crate) fn record_update(&self) {
-        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.updates.inc();
     }
 
     pub(crate) fn record_snapshot(&self) {
-        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.snapshots.inc();
     }
 
     pub(crate) fn record_overload_rejection(&self) {
-        self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+        self.overload_rejections.inc();
     }
 
     /// Requests routed (any endpoint, any outcome).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Query requests that reached execution.
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.get()
     }
 
     /// Update requests that reached execution.
     pub fn updates(&self) -> u64 {
-        self.updates.load(Ordering::Relaxed)
+        self.updates.get()
     }
 
     /// Admin checkpoints (`POST /snapshot`) that completed.
     pub fn snapshots(&self) -> u64 {
-        self.snapshots.load(Ordering::Relaxed)
+        self.snapshots.get()
     }
 
     /// Connections answered 503 because the accept queue was full.
     pub fn overload_rejections(&self) -> u64 {
-        self.overload_rejections.load(Ordering::Relaxed)
+        self.overload_rejections.get()
     }
 }

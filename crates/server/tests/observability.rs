@@ -1,0 +1,222 @@
+//! Observability integration tests: the `/metrics` Prometheus
+//! exposition (validated with the fixtures' format checker), per-query
+//! profiling (`?profile=1` → `X-Profile`), request-id propagation, and
+//! the bounded slow-query log on `/status`.
+
+use fixtures::http_probe::{one_shot, urlencode, ProbeResponse};
+use ontoaccess_server::{serve, ServerConfig, ServerHandle};
+use std::time::Duration;
+
+fn send(server: &ServerHandle, raw: &str) -> ProbeResponse {
+    one_shot(server.addr(), raw).expect("request against the test server")
+}
+
+fn get(server: &ServerHandle, target: &str) -> ProbeResponse {
+    send(
+        server,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn test_server(slow_query_ms: u64) -> ServerHandle {
+    serve(
+        fixtures::mediator_with_sample_data(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            keep_alive_timeout: Duration::from_millis(500),
+            slow_query_ms,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+const PERSONS: &str = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                       SELECT ?x WHERE { ?x a foaf:Person . }";
+
+const JOIN_QUERY: &str = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                          PREFIX ont: <http://example.org/ontology#>\n\
+                          SELECT ?n ?c WHERE { ?x a foaf:Person . \
+                          ?x foaf:family_name ?n . ?x ont:team ?t . \
+                          ?t ont:teamCode ?c . }";
+
+// ----------------------------------------------------------------------
+// /metrics exposition
+// ----------------------------------------------------------------------
+
+#[test]
+fn metrics_expose_valid_prometheus_text_across_layers() {
+    let server = test_server(250);
+    // Drive some traffic so the interesting series exist.
+    for _ in 0..3 {
+        let q = get(&server, &format!("/sparql?query={}", urlencode(PERSONS)));
+        assert_eq!(q.status, 200);
+    }
+    let update = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                  PREFIX ont: <http://example.org/ontology#>\n\
+                  PREFIX ex: <http://example.org/db/>\n\
+                  INSERT DATA { ex:team9 foaf:name \"Obs\" ; ont:teamCode \"OBS\" . }";
+    let response = send(
+        &server,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/sparql-update\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{update}",
+            update.len()
+        ),
+    );
+    assert_eq!(response.status, 200);
+
+    let metrics = get(&server, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = metrics.text();
+    let exposition = fixtures::prom::validate(&text)
+        .unwrap_or_else(|e| panic!("/metrics must be valid exposition: {e}\n{text}"));
+
+    // One stable name per instrumented layer, histograms included.
+    for name in [
+        // server
+        "ontoaccess_http_requests_total",
+        "ontoaccess_http_queries_total",
+        "ontoaccess_http_in_flight_requests",
+        "ontoaccess_pool_queue_depth",
+        // core
+        "ontoaccess_query_parse_seconds_count",
+        "ontoaccess_query_execute_seconds_sum",
+        "ontoaccess_query_cache_hits_total",
+        "ontoaccess_txn_commit_seconds_count",
+        "ontoaccess_query_cache_entries",
+        // sampled gauges
+        "ontoaccess_dictionary_symbols",
+        "ontoaccess_mvcc_current_version",
+        "ontoaccess_build_info",
+    ] {
+        assert!(exposition.has(name), "missing {name} in:\n{text}");
+    }
+    // The per-endpoint histogram carries the endpoint label.
+    let by_endpoint = exposition.series("ontoaccess_http_request_seconds_count");
+    assert!(
+        by_endpoint
+            .iter()
+            .any(|s| s.label("endpoint") == Some("/sparql") && s.value >= 3.0),
+        "per-endpoint latency series in:\n{text}"
+    );
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// ?profile=1
+// ----------------------------------------------------------------------
+
+#[test]
+fn profile_param_returns_plan_and_stage_timings() {
+    let server = test_server(250);
+    let target = format!("/sparql?query={}&profile=1", urlencode(JOIN_QUERY));
+    let first = get(&server, &target);
+    assert_eq!(first.status, 200);
+    let profile = first.header("x-profile").expect("X-Profile on first run");
+    assert!(
+        profile.contains("\"cache_hit\":false"),
+        "first run compiles: {profile}"
+    );
+    for key in [
+        "\"parse_micros\":",
+        "\"plan_micros\":",
+        "\"execute_micros\":",
+        "\"rows\":",
+        "\"joins\":[",
+        "\"strategy\":",
+        "\"join_keys\":",
+        "\"residual_conjuncts\":",
+    ] {
+        assert!(profile.contains(key), "{key} in {profile}");
+    }
+    // The three-join query plans real join work.
+    assert!(
+        profile.contains("\"table\":"),
+        "join targets named: {profile}"
+    );
+
+    let second = get(&server, &target);
+    let profile = second.header("x-profile").expect("X-Profile on rerun");
+    assert!(
+        profile.contains("\"cache_hit\":true"),
+        "second run hits the cache: {profile}"
+    );
+    // A plain query is unaffected.
+    let plain = get(&server, &format!("/sparql?query={}", urlencode(PERSONS)));
+    assert_eq!(plain.status, 200);
+    assert!(plain.header("x-profile").is_none());
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// X-Request-Id
+// ----------------------------------------------------------------------
+
+#[test]
+fn request_ids_are_echoed_or_generated_and_attached_to_errors() {
+    let server = test_server(250);
+    // Inbound ids within the allowed alphabet flow through.
+    let response = send(
+        &server,
+        "GET /status HTTP/1.1\r\nHost: t\r\nX-Request-Id: trace-42.a\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(response.header("x-request-id"), Some("trace-42.a"));
+    // Absent (or unusable) ids get a generated one.
+    let response = get(&server, "/status");
+    let generated = response.header("x-request-id").expect("generated id");
+    assert!(!generated.is_empty());
+    let response = send(
+        &server,
+        "GET /status HTTP/1.1\r\nHost: t\r\nX-Request-Id: bad id!\r\nConnection: close\r\n\r\n",
+    );
+    let replaced = response.header("x-request-id").expect("replacement id");
+    assert_ne!(replaced, "bad id!");
+    // JSON error bodies lead with the request id.
+    let error = send(
+        &server,
+        "GET /nowhere HTTP/1.1\r\nHost: t\r\nX-Request-Id: err-7\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(error.status, 404);
+    assert_eq!(error.header("x-request-id"), Some("err-7"));
+    let text = error.text();
+    assert!(
+        text.starts_with("{\"request_id\":\"err-7\","),
+        "id leads the error body: {text}"
+    );
+    assert!(text.contains("\"error\":{"), "error object kept: {text}");
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Slow-query log
+// ----------------------------------------------------------------------
+
+#[test]
+fn slow_query_log_is_bounded_and_surfaced_on_status() {
+    // Threshold 0: every query is "slow", so the ring must evict.
+    let server = test_server(0);
+    for i in 0..40 {
+        let query = format!(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+             SELECT ?x{i} WHERE {{ ?x{i} a foaf:Person . }}"
+        );
+        let response = get(&server, &format!("/sparql?query={}", urlencode(&query)));
+        assert_eq!(response.status, 200);
+    }
+    let status = get(&server, "/status");
+    assert_eq!(status.status, 200);
+    let text = status.text();
+    let entries = text.matches("\"micros\":").count();
+    assert_eq!(entries, 32, "ring capped at 32 entries: {text}");
+    // The oldest queries were evicted, the newest retained.
+    assert!(!text.contains("?x0 "), "oldest evicted: {text}");
+    assert!(text.contains("?x39"), "newest retained: {text}");
+    server.shutdown();
+}

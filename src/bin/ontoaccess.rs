@@ -17,6 +17,11 @@
 //! cargo run --bin ontoaccess-cli -- --serve 127.0.0.1:7879 --replicate-from 127.0.0.1:7878
 //! ```
 //!
+//! `--log-level LEVEL` (error/warn/info/debug/off, or `target=level`
+//! pairs; env `ONTOACCESS_LOG` works too) turns on logfmt structured
+//! logs on stderr. `--slow-query-ms N` sets the slow-query-log
+//! threshold surfaced under `/status` (`0` records every query).
+//!
 //! `--data-dir DIR` makes committed updates durable: the directory
 //! holds a write-ahead log plus snapshots, and booting on an existing
 //! directory recovers the committed state (newest snapshot + WAL
@@ -38,6 +43,7 @@
 use std::io::{BufRead, Write};
 
 use sparql_update_rdb::fixtures;
+use sparql_update_rdb::obs;
 use sparql_update_rdb::ontoaccess::Endpoint;
 use sparql_update_rdb::ontoaccess_server::{serve, ServerConfig};
 use sparql_update_rdb::rdf;
@@ -52,7 +58,7 @@ fn main() {
     }
     let endpoint = build_endpoint(&options);
     if let Some(addr) = &options.serve {
-        run_server(endpoint, addr, options.workers);
+        run_server(endpoint, addr, &options);
         return;
     }
     let mut endpoint = endpoint;
@@ -91,6 +97,7 @@ struct Options {
     workers: usize,
     data_dir: Option<String>,
     replicate_from: Option<String>,
+    slow_query_ms: u64,
 }
 
 impl Options {
@@ -103,6 +110,7 @@ impl Options {
             workers: 4,
             data_dir: None,
             replicate_from: None,
+            slow_query_ms: ServerConfig::default().slow_query_ms,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -145,11 +153,30 @@ impl Options {
                         std::process::exit(2);
                     }
                 },
+                "--log-level" => match iter.next() {
+                    Some(level) => {
+                        if let Err(e) = obs::set_log_filter_str(level) {
+                            eprintln!("--log-level: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                    None => {
+                        eprintln!("--log-level needs a level: error, warn, info, debug or off");
+                        std::process::exit(2);
+                    }
+                },
+                "--slow-query-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => options.slow_query_ms = ms,
+                    None => {
+                        eprintln!("--slow-query-ms needs a threshold in milliseconds (u64)");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!(
                         "unknown argument {other:?} (supported: --empty, --populate N, \
                          --seed S, --serve ADDR, --workers N, --data-dir DIR, \
-                         --replicate-from ADDR)"
+                         --replicate-from ADDR, --log-level LEVEL, --slow-query-ms N)"
                     );
                     std::process::exit(2);
                 }
@@ -236,6 +263,7 @@ fn run_replica(leader: &str, options: &Options) {
     let config = ServerConfig {
         workers: options.workers.max(1),
         replication: Some(replicator.status()),
+        slow_query_ms: options.slow_query_ms,
         ..ServerConfig::default()
     };
     let handle = match serve(mediator, addr, config) {
@@ -246,16 +274,19 @@ fn run_replica(leader: &str, options: &Options) {
         }
     };
     println!("listening on http://{}/", handle.addr());
-    println!("endpoints: /sparql /describe /dump /status (read-only replica) — Ctrl-C stops");
+    println!(
+        "endpoints: /sparql /describe /dump /status /metrics (read-only replica) — Ctrl-C stops"
+    );
     std::io::stdout().flush().ok();
     handle.join();
     replicator.stop();
 }
 
 // `--serve`: boot the SPARQL 1.1 Protocol server and run foreground.
-fn run_server(endpoint: Endpoint, addr: &str, workers: usize) {
+fn run_server(endpoint: Endpoint, addr: &str, options: &Options) {
     let config = ServerConfig {
-        workers: workers.max(1),
+        workers: options.workers.max(1),
+        slow_query_ms: options.slow_query_ms,
         ..ServerConfig::default()
     };
     let handle = match serve(endpoint.into_mediator(), addr, config) {
@@ -268,7 +299,7 @@ fn run_server(endpoint: Endpoint, addr: &str, workers: usize) {
     // The bound address line is machine-readable on purpose: scripts
     // (and the CI smoke step) bind port 0 and scrape the real port.
     println!("listening on http://{}/", handle.addr());
-    println!("endpoints: /sparql /update /describe /dump /status — Ctrl-C stops");
+    println!("endpoints: /sparql /update /describe /dump /status /metrics — Ctrl-C stops");
     std::io::stdout().flush().ok();
     handle.join();
 }

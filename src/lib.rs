@@ -84,6 +84,7 @@
 
 pub use dur;
 pub use fixtures;
+pub use obs;
 pub use ontoaccess;
 pub use ontoaccess_server;
 pub use r3m;
