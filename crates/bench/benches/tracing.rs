@@ -1,0 +1,126 @@
+//! Tracing-overhead bench: the hot HTTP query path with the span layer
+//! live vs. compiled to a no-op.
+//!
+//! Same shape as the `observability` bench: a fixed 96-request batch
+//! of cached SELECT queries over one keep-alive loopback connection.
+//! With tracing `enabled` every request assembles a full trace — root
+//! span, query pipeline spans, per-join spans, typed attributes — and
+//! submits it to the tail-sampled store (these fast queries churn the
+//! sampled ring, the common production case). The `disabled` point
+//! flips the process-wide [`obs::set_enabled`] kill switch, so
+//! [`obs::trace::start`] returns an inert guard and every span call
+//! degrades to a thread-local probe. The acceptance budget is < 3%
+//! overhead between the two — see `BENCH_tracing.json` for the
+//! checked-in numbers.
+//!
+//! The kill switch is process-global, so this bench must not share a
+//! process with anything asserting on trace retention; each bench
+//! binary is its own process, which is exactly that isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fixtures::data::Spec;
+use fixtures::http_probe::{urlencode, ProbeConn};
+use ontoaccess::Mediator;
+use ontoaccess_server::{serve, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn populated_mediator(n: usize) -> Mediator {
+    let spec = Spec {
+        teams: n,
+        authors: n,
+        publishers: 50.min(n),
+        pubtypes: 4,
+        publications: n,
+        authors_per_publication: 2,
+    };
+    let mut db = fixtures::database();
+    fixtures::data::populate(&mut db, &spec, 5);
+    Mediator::new(db, fixtures::mapping()).unwrap()
+}
+
+fn boot_server() -> ServerHandle {
+    serve(
+        populated_mediator(500),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            keep_alive_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+struct Client {
+    conn: ProbeConn,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client {
+            conn: ProbeConn::connect(addr).expect("connect to bench server"),
+        }
+    }
+
+    fn round_trip(&mut self, raw: &str) -> u16 {
+        self.conn.send(raw).expect("request round trip").status
+    }
+}
+
+fn query_request(query: &str) -> String {
+    format!(
+        "GET /sparql?query={} HTTP/1.1\r\nHost: bench\r\n\r\n",
+        urlencode(query)
+    )
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    const BATCH: usize = 96;
+    let server = boot_server();
+    let addr = server.addr();
+    let requests: Vec<String> = [
+        fixtures::workload::select_authors_with_team(),
+        fixtures::workload::select_publications_with_authors(),
+        fixtures::workload::select_recent_publications(2000),
+    ]
+    .iter()
+    .map(|q| query_request(q))
+    .collect();
+    // Warm the compiled-query cache and the join indexes.
+    {
+        let mut client = Client::connect(addr);
+        for request in &requests {
+            assert_eq!(client.round_trip(request), 200);
+        }
+    }
+    let mut group = c.benchmark_group("tracing/query_96req");
+    group.sample_size(15);
+    for mode in ["enabled", "disabled"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            obs::set_enabled(mode == "enabled");
+            let mut client = Client::connect(addr);
+            b.iter(|| {
+                for i in 0..BATCH {
+                    let request = &requests[i % requests.len()];
+                    assert_eq!(client.round_trip(request), 200);
+                }
+            });
+            obs::set_enabled(true);
+        });
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded per-point runtime so the full suite finishes quickly;
+    // pass --measurement-time to override for precision runs.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tracing_overhead
+}
+criterion_main!(benches);

@@ -79,8 +79,9 @@ pub use error::{OntoError, OntoResult};
 pub use feedback::Feedback;
 pub use materialize::materialize;
 pub use mediator::{
-    ConcurrencyStats, DatabaseReadGuard, DatabaseVersion, DatabaseWriteGuard, JoinPlan, Mediator,
-    QueryCacheStats, QueryProfile, ReadSession, ScriptError, UpdateOutcome, WriteTxn,
+    CommitProfile, ConcurrencyStats, DatabaseReadGuard, DatabaseVersion, DatabaseWriteGuard,
+    JoinPlan, Mediator, QueryCacheStats, QueryExplain, QueryProfile, ReadSession, ScriptError,
+    UpdateOutcome, UpdateProfile, WriteTxn,
 };
 pub use modify::{
     execute_modify, execute_modify_reference, execute_update_op, execute_update_op_reference,
@@ -91,6 +92,6 @@ pub use query::{
     CompiledQuery, VarShape,
 };
 pub use translate::{
-    emit_grouped, emit_per_row, execute_sorted, execute_sorted_reference, group_by_subject,
-    identify, ExecutionReport, RowOp, TranslateOptions, WriteScope,
+    emit_grouped, emit_per_row, execute_sorted, execute_sorted_reference, execute_sorted_timed,
+    group_by_subject, identify, ExecutionReport, RowOp, TranslateOptions, WriteScope,
 };

@@ -48,7 +48,7 @@ use crate::error::{OntoError, OntoResult};
 use crate::feedback::Feedback;
 use crate::modify::ModifyReport;
 use crate::query::CompiledQuery;
-use crate::translate::{execute_sorted, TranslateOptions};
+use crate::translate::{execute_sorted_timed, TranslateOptions};
 use r3m::Mapping;
 use rdf::namespace::PrefixMap;
 use rdf::Graph;
@@ -364,6 +364,113 @@ struct StageTimings {
     plan: Duration,
 }
 
+/// Per-stage wall times of one profiled update script — what the
+/// server's `?profile=1` on `POST /update` returns in its `X-Profile`
+/// header, the write-side twin of [`QueryProfile`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateProfile {
+    /// Wall time parsing the update script, in microseconds.
+    pub parse_micros: u64,
+    /// Wall time translating triples to SQL statements (Algorithms
+    /// 1/2; a MODIFY's translation is folded into execute, see
+    /// [`Mediator::execute_script_profiled`]), in microseconds.
+    pub translate_micros: u64,
+    /// Wall time dependency-sorting translated statements, in
+    /// microseconds.
+    pub sort_micros: u64,
+    /// Wall time executing statements against the live database, in
+    /// microseconds.
+    pub execute_micros: u64,
+    /// Wall time encoding and writing the commit unit to the WAL, in
+    /// microseconds (0 on an in-memory mediator).
+    pub wal_append_micros: u64,
+    /// Wall time blocked on the covering group fsync, in microseconds
+    /// (0 on an in-memory mediator).
+    pub fsync_micros: u64,
+    /// Operations the script executed.
+    pub operations: usize,
+}
+
+/// Durability timings of one committed write transaction — what
+/// [`WriteTxn::commit_profiled`] returns (both zero on an in-memory
+/// mediator or when the transaction changed nothing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitProfile {
+    /// Wall time appending the commit unit to the WAL, in microseconds.
+    pub wal_append_micros: u64,
+    /// Wall time blocked on the covering group fsync, in microseconds.
+    pub fsync_micros: u64,
+}
+
+// Per-stage wall times accumulated across a script's operations (the
+// update-profiling path threads one accumulator through every op).
+#[derive(Debug, Clone, Copy, Default)]
+struct UpdateStageAcc {
+    translate: Duration,
+    sort: Duration,
+    execute: Duration,
+}
+
+/// The chosen plan of a query described *without executing it* — the
+/// server's `?explain=1` body. Shares [`JoinPlan`] (and the same
+/// strategy/conjunct computations) with [`QueryProfile`], so EXPLAIN
+/// output is guaranteed to match what a profiled execution of the same
+/// query against the same snapshot reports.
+#[derive(Debug, Clone)]
+pub struct QueryExplain {
+    /// Whether the compilation came from the query cache.
+    pub cache_hit: bool,
+    /// Query form: `"select"` or `"ask"`.
+    pub form: &'static str,
+    /// Commit sequence of the snapshot the plan was resolved against.
+    pub version_seq: u64,
+    /// Join strategy per join-index target of the plan, in join order.
+    pub joins: Vec<JoinPlan>,
+    /// Equi-join key pairs in the compiled SQL.
+    pub join_keys: usize,
+    /// Total AND-leaf conjuncts of the WHERE clause.
+    pub conjuncts: usize,
+    /// Residual conjuncts beyond the join keys — evaluated per
+    /// candidate row at execution time.
+    pub residual_conjuncts: usize,
+}
+
+// The per-target strategy summary shared by `?profile=1`, `?explain=1`,
+// and the per-join trace spans: one computation, so every surface
+// reports the identical plan for the same snapshot + cache state.
+fn join_plans(db: &Database, plan: &crate::query::CompiledQuery) -> Vec<JoinPlan> {
+    plan.join_index_targets
+        .iter()
+        .map(|(table, column)| JoinPlan {
+            table: table.clone(),
+            column: column.clone(),
+            strategy: if db.supports_index_probe(table, column).unwrap_or(false) {
+                "index_probe"
+            } else {
+                "hash_join"
+            },
+        })
+        .collect()
+}
+
+// One trace span per join step of the plan, carrying the index-vs-hash
+// choice and the probe-side row count. Gated on an active trace: the
+// strategy probe is not free and must cost nothing untraced.
+fn trace_join_spans(db: &Database, plan: &crate::query::CompiledQuery) {
+    if !obs::trace::is_active() {
+        return;
+    }
+    for join in join_plans(db, plan) {
+        let span = obs::trace::span("query.join");
+        span.attr_str("table", &join.table);
+        span.attr_str("column", &join.column);
+        span.attr_str("strategy", join.strategy);
+        if let Ok(rows) = db.row_count(&join.table) {
+            span.attr_u64("rows", rows as u64);
+        }
+    }
+}
+
 // AND-leaf conjuncts of a WHERE tree: `a AND (b AND c)` counts 3.
 fn count_and_leaves(expr: &rel::sql::Expr) -> usize {
     match expr {
@@ -484,6 +591,13 @@ impl DatabaseReadGuard {
         text: &str,
     ) -> OntoResult<(sparql::QueryOutcome, QueryProfile)> {
         self.core.execute_query_profiled_at(&self.version, text)
+    }
+
+    /// Describe the plan a query would run with against this pinned
+    /// snapshot — same compilation and cache as execution, but the plan
+    /// is never run (the server's `?explain=1` path).
+    pub fn explain_query(&self, text: &str) -> OntoResult<QueryExplain> {
+        self.core.explain_query_at(&self.version, text)
     }
 
     /// Execute a SELECT against this pinned snapshot.
@@ -634,9 +748,12 @@ impl MediatorCore {
         text: &str,
     ) -> OntoResult<(Arc<CachedQuery>, StageTimings)> {
         let parse_started = Instant::now();
+        let parse_span = obs::trace::span("query.parse");
         let query: Query = sparql::parse_query_with_prefixes(text, self.prefixes.clone())?;
+        drop(parse_span);
         let parse = parse_started.elapsed();
         let plan_started = Instant::now();
+        let plan_span = obs::trace::span("query.plan");
         let compiled = match &query {
             Query::Select(select) => {
                 CachedQuery::Select(crate::query::compile_select(db, &self.mapping, select)?)
@@ -662,10 +779,13 @@ impl MediatorCore {
             self.republish_current(live.clone());
         }
         let plan = plan_started.elapsed();
+        drop(plan_span);
         metrics().parse.observe_duration(parse);
         metrics().plan.observe_duration(plan);
         let compiled = Arc::new(compiled);
+        let admit_span = obs::trace::span("query.cache_admit");
         self.lock_cache().admit(text, Arc::clone(&compiled));
+        drop(admit_span);
         Ok((compiled, StageTimings { parse, plan }))
     }
 
@@ -680,9 +800,49 @@ impl MediatorCore {
             None => self.compile_and_admit(&version.db, text)?.0,
         };
         let started = Instant::now();
+        let span = obs::trace::span("query.execute");
+        trace_join_spans(&version.db, compiled.compiled());
         let outcome = run_cached(&version.db, &compiled)?;
+        if span.armed() {
+            span.attr_u64("version_seq", version.seq);
+            span.attr_u64(
+                "rows",
+                match &outcome {
+                    sparql::QueryOutcome::Solutions(s) => s.len() as u64,
+                    sparql::QueryOutcome::Boolean(b) => u64::from(*b),
+                },
+            );
+        }
+        drop(span);
         metrics().execute.observe_duration(started.elapsed());
         Ok(outcome)
+    }
+
+    // The plan-only sibling of `execute_query_profiled_at`: identical
+    // cache lookup and compilation, identical strategy resolution
+    // against the pinned snapshot — but the compiled plan is *never
+    // run*, so EXPLAIN touches no row data.
+    fn explain_query_at(&self, version: &DatabaseVersion, text: &str) -> OntoResult<QueryExplain> {
+        let cached = self.lock_cache().get(text);
+        let cache_hit = cached.is_some();
+        let compiled = match cached {
+            Some(compiled) => compiled,
+            None => self.compile_and_admit(&version.db, text)?.0,
+        };
+        let plan = compiled.compiled();
+        let conjuncts = plan.sql.where_clause.as_ref().map_or(0, count_and_leaves);
+        Ok(QueryExplain {
+            cache_hit,
+            form: match &*compiled {
+                CachedQuery::Select(_) => "select",
+                CachedQuery::Ask(_) => "ask",
+            },
+            version_seq: version.seq,
+            joins: join_plans(&version.db, plan),
+            join_keys: plan.join_keys.len(),
+            conjuncts,
+            residual_conjuncts: conjuncts.saturating_sub(plan.join_keys.len()),
+        })
     }
 
     // The profiled twin of `execute_query_at`: same cache, same
@@ -700,27 +860,14 @@ impl MediatorCore {
             None => self.compile_and_admit(&version.db, text)?,
         };
         let started = Instant::now();
+        let span = obs::trace::span("query.execute");
+        trace_join_spans(&version.db, compiled.compiled());
         let outcome = run_cached(&version.db, &compiled)?;
+        drop(span);
         let execute = started.elapsed();
         metrics().execute.observe_duration(execute);
         let plan = compiled.compiled();
-        let joins = plan
-            .join_index_targets
-            .iter()
-            .map(|(table, column)| JoinPlan {
-                table: table.clone(),
-                column: column.clone(),
-                strategy: if version
-                    .db
-                    .supports_index_probe(table, column)
-                    .unwrap_or(false)
-                {
-                    "index_probe"
-                } else {
-                    "hash_join"
-                },
-            })
-            .collect();
+        let joins = join_plans(&version.db, plan);
         let conjuncts = plan.sql.where_clause.as_ref().map_or(0, count_and_leaves);
         let rows = match &outcome {
             sparql::QueryOutcome::Solutions(s) => s.len(),
@@ -1144,6 +1291,7 @@ impl Mediator {
             completed: Vec::new(),
             error,
         })?;
+        let parse_span = obs::trace::span("update.parse");
         let ops = sparql::parse_update_script(text, self.core.prefixes.clone()).map_err(|e| {
             ScriptError {
                 operation_index: 0,
@@ -1151,6 +1299,7 @@ impl Mediator {
                 error: e.into(),
             }
         })?;
+        drop(parse_span);
         let mut outcomes = Vec::with_capacity(ops.len());
         if atomic_script {
             let mut txn = self.write();
@@ -1189,6 +1338,65 @@ impl Mediator {
             }
             Ok(outcomes)
         }
+    }
+
+    /// The profiled sibling of [`Mediator::execute_script`]'s atomic
+    /// form: one write transaction, per-operation savepoints, one
+    /// commit — plus the per-stage wall times (parse, translate, sort,
+    /// execute, WAL append, fsync wait) the server's `?profile=1` on
+    /// `POST /update` reports.
+    pub fn execute_script_profiled(
+        &self,
+        text: &str,
+    ) -> Result<(Vec<UpdateOutcome>, UpdateProfile), ScriptError> {
+        self.ensure_writable().map_err(|error| ScriptError {
+            operation_index: 0,
+            completed: Vec::new(),
+            error,
+        })?;
+        let parse_started = Instant::now();
+        let parse_span = obs::trace::span("update.parse");
+        let ops = sparql::parse_update_script(text, self.core.prefixes.clone()).map_err(|e| {
+            ScriptError {
+                operation_index: 0,
+                completed: Vec::new(),
+                error: e.into(),
+            }
+        })?;
+        drop(parse_span);
+        let parse = parse_started.elapsed();
+        let mut acc = UpdateStageAcc::default();
+        let mut outcomes = Vec::with_capacity(ops.len());
+        let mut txn = self.write();
+        for (i, op) in ops.iter().enumerate() {
+            match txn.update_op_staged(op, &mut acc) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(error) => {
+                    let rollback = txn.rollback();
+                    debug_assert!(rollback.is_ok(), "rollback of an open txn cannot fail");
+                    return Err(ScriptError {
+                        operation_index: i,
+                        completed: outcomes,
+                        error,
+                    });
+                }
+            }
+        }
+        let commit = txn.commit_profiled().map_err(|error| ScriptError {
+            operation_index: ops.len().saturating_sub(1),
+            completed: Vec::new(),
+            error,
+        })?;
+        let profile = UpdateProfile {
+            parse_micros: parse.as_micros() as u64,
+            translate_micros: acc.translate.as_micros() as u64,
+            sort_micros: acc.sort.as_micros() as u64,
+            execute_micros: acc.execute.as_micros() as u64,
+            wal_append_micros: commit.wal_append_micros,
+            fsync_micros: commit.fsync_micros,
+            operations: outcomes.len(),
+        };
+        Ok((outcomes, profile))
     }
 
     /// Execute an update and convert the result into a feedback document
@@ -1317,6 +1525,12 @@ impl ReadSession {
         self.database().execute_query_profiled(text)
     }
 
+    /// Describe the plan a query would run with, without executing it
+    /// (see [`DatabaseReadGuard::explain_query`]).
+    pub fn explain_query(&self, text: &str) -> OntoResult<QueryExplain> {
+        self.database().explain_query(text)
+    }
+
     /// Execute a SELECT given as text.
     pub fn select(&self, text: &str) -> OntoResult<Solutions> {
         self.database().select(text)
@@ -1383,8 +1597,18 @@ impl WriteTxn<'_> {
     /// as a savepoint scope: a rejected operation is fully undone while
     /// earlier operations — and the transaction — survive.
     pub fn update_op(&mut self, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+        self.update_op_staged(op, &mut UpdateStageAcc::default())
+    }
+
+    // `update_op` with per-stage wall times accumulated into `acc`
+    // (the script-profiling path).
+    fn update_op_staged(
+        &mut self,
+        op: &UpdateOp,
+        acc: &mut UpdateStageAcc,
+    ) -> OntoResult<UpdateOutcome> {
         let sp = self.db.savepoint("operation")?;
-        match run_update_op(&mut self.db, &self.core.mapping, op) {
+        match run_update_op(&mut self.db, &self.core.mapping, op, acc) {
             Ok(outcome) => {
                 self.db.release_savepoint(sp)?;
                 Ok(outcome)
@@ -1423,8 +1647,15 @@ impl WriteTxn<'_> {
     /// is released, and only then does the call block on the group
     /// fsync. Concurrent committers share one fsync: the next writer
     /// can append while this one waits.
-    pub fn commit(mut self) -> OntoResult<()> {
+    pub fn commit(self) -> OntoResult<()> {
+        self.commit_profiled().map(|_| ())
+    }
+
+    /// [`WriteTxn::commit`] with the durability stage wall times (WAL
+    /// append, group-fsync wait) returned — the update-profiling path.
+    pub fn commit_profiled(mut self) -> OntoResult<CommitProfile> {
         let commit_started = Instant::now();
+        let span = obs::trace::span("txn.commit");
         self.open = false;
         let changed = self.db.txn_has_changes()?;
         let Some(durability) = &self.core.durability else {
@@ -1433,16 +1664,20 @@ impl WriteTxn<'_> {
                 self.core.publish_next(self.db.clone());
             }
             metrics().commit.observe_duration(commit_started.elapsed());
-            return Ok(());
+            return Ok(CommitProfile::default());
         };
         if !changed {
             // Read-only or fully rolled-back transaction: nothing to
             // make durable, nothing to publish.
             self.db.commit()?;
-            return Ok(());
+            return Ok(CommitProfile::default());
         }
         let ops = self.db.txn_ops()?;
-        let seq = match durability.append_commit(&ops) {
+        // Stamp the active trace's id into the commit unit so a
+        // replica's apply links back to this request.
+        let trace_id = obs::trace::current_trace_id();
+        let append_started = Instant::now();
+        let seq = match durability.append_commit(&ops, trace_id.as_deref()) {
             Ok(seq) => seq,
             Err(e) => {
                 // The log could not take the commit unit; undo the
@@ -1452,6 +1687,7 @@ impl WriteTxn<'_> {
                 return Err(e.into());
             }
         };
+        let wal_append_micros = append_started.elapsed().as_micros() as u64;
         self.db.commit()?;
         self.core.publish(self.db.clone(), seq);
         // Release the live database (the next writer proceeds) before
@@ -1460,9 +1696,16 @@ impl WriteTxn<'_> {
         // (it borrows from the mediator core, not the guard).
         let durability: &dur::Durability = durability;
         drop(self);
+        let fsync_started = Instant::now();
         durability.sync_to(seq)?;
+        let fsync_micros = fsync_started.elapsed().as_micros() as u64;
+        span.attr_u64("seq", seq);
+        drop(span);
         metrics().commit.observe_duration(commit_started.elapsed());
-        Ok(())
+        Ok(CommitProfile {
+            wal_append_micros,
+            fsync_micros,
+        })
     }
 
     /// Roll back: undo every operation's changes and release the lock.
@@ -1502,16 +1745,27 @@ fn run_cached(db: &Database, compiled: &CachedQuery) -> OntoResult<sparql::Query
 // producing the outcome record. The caller provides atomicity (the
 // per-op savepoint in `WriteTxn::update_op`); `execute_sorted` and
 // `execute_modify` nest their own scopes for per-round rollback.
-fn run_update_op(db: &mut Database, mapping: &Mapping, op: &UpdateOp) -> OntoResult<UpdateOutcome> {
+fn run_update_op(
+    db: &mut Database,
+    mapping: &Mapping,
+    op: &UpdateOp,
+    acc: &mut UpdateStageAcc,
+) -> OntoResult<UpdateOutcome> {
     match op {
         UpdateOp::InsertData { triples } => {
+            let translate_started = Instant::now();
+            let translate_span = obs::trace::span("update.translate");
             let stmts = crate::translate::insert::translate_insert_data(
                 db,
                 mapping,
                 triples,
                 TranslateOptions::default(),
             )?;
-            let executed = execute_sorted(db, stmts)?;
+            drop(translate_span);
+            acc.translate += translate_started.elapsed();
+            let (executed, sort, execute) = execute_sorted_timed(db, stmts)?;
+            acc.sort += sort;
+            acc.execute += execute;
             Ok(UpdateOutcome {
                 operation: "INSERT DATA".into(),
                 statements_executed: executed.statements.len(),
@@ -1521,8 +1775,14 @@ fn run_update_op(db: &mut Database, mapping: &Mapping, op: &UpdateOp) -> OntoRes
             })
         }
         UpdateOp::DeleteData { triples } => {
+            let translate_started = Instant::now();
+            let translate_span = obs::trace::span("update.translate");
             let stmts = crate::translate::delete::translate_delete_data(db, mapping, triples)?;
-            let executed = execute_sorted(db, stmts)?;
+            drop(translate_span);
+            acc.translate += translate_started.elapsed();
+            let (executed, sort, execute) = execute_sorted_timed(db, stmts)?;
+            acc.sort += sort;
+            acc.execute += execute;
             Ok(UpdateOutcome {
                 operation: "DELETE DATA".into(),
                 statements_executed: executed.statements.len(),
@@ -1538,7 +1798,17 @@ fn run_update_op(db: &mut Database, mapping: &Mapping, op: &UpdateOp) -> OntoRes
         } => {
             // Atomic on the live database: `execute_modify` wraps both
             // DATA rounds in one savepoint scope (no clone-and-swap).
+            // Translation happens inside per matched binding, so the
+            // whole operation is accounted to the execute stage.
+            let execute_started = Instant::now();
+            let span = obs::trace::span("update.execute");
             let report = crate::modify::execute_modify(db, mapping, delete, insert, pattern)?;
+            if span.armed() {
+                span.attr_u64("statements", report.executed.len() as u64);
+                span.attr_u64("rows_affected", report.rows_affected as u64);
+            }
+            drop(span);
+            acc.execute += execute_started.elapsed();
             Ok(UpdateOutcome {
                 operation: "MODIFY".into(),
                 statements_executed: report.executed.len(),

@@ -402,7 +402,12 @@ impl Durability {
     /// On a write failure the handle poisons itself and the caller must
     /// roll the transaction back: the log may be torn beyond the last
     /// durable commit, so accepting further writes would diverge.
-    pub fn append_commit(&self, ops: &[LogicalOp]) -> DurResult<u64> {
+    ///
+    /// `trace_id` — the originating request's trace id, if the commit
+    /// happens under an active trace — is stamped into the unit's
+    /// `BEGIN` record so replicas can link their apply back to it.
+    pub fn append_commit(&self, ops: &[LogicalOp], trace_id: Option<&str>) -> DurResult<u64> {
+        let span = obs::trace::span("wal.append");
         let mut append = self.append.lock().unwrap_or_else(|e| e.into_inner());
         // Checked under the append lock: a committer that was blocked
         // on the lock while another's write failed must not append
@@ -414,13 +419,15 @@ impl Durability {
         let started = Instant::now();
         let seq = append.next_seq;
         let dict_mark = append.dict.len();
-        let unit = wal::encode_commit_unit(seq, ops, &mut append.dict);
+        let unit = wal::encode_commit_unit(seq, ops, &mut append.dict, trace_id);
         match (&self.wal_file).write_all(&unit) {
             Ok(()) => {
                 append.next_seq += 1;
                 append.wal_bytes += unit.len() as u64;
                 self.commits_appended.fetch_add(1, Ordering::Relaxed);
                 metrics().append.observe_duration(started.elapsed());
+                span.attr_u64("seq", seq);
+                span.attr_u64("bytes", unit.len() as u64);
                 Ok(seq)
             }
             Err(source) => {
@@ -443,6 +450,12 @@ impl Durability {
     /// one fsync that covers every record appended so far and wake all
     /// waiters it satisfied.
     pub fn sync_to(&self, seq: u64) -> DurResult<()> {
+        // Covers the whole wait — piggybacking on a running fsync
+        // included — so the span length is the group-commit latency the
+        // committer actually paid. `group` (commits the fsync newly
+        // covered) is attached only by the committer that ran it.
+        let span = obs::trace::span("wal.fsync_wait");
+        span.attr_u64("seq", seq);
         loop {
             if self.poisoned.load(Ordering::SeqCst) {
                 return Err(DurError::Poisoned);
@@ -482,6 +495,7 @@ impl Durability {
                     let group = target.saturating_sub(sync.synced_seq);
                     if group > 0 {
                         metrics().group_units.observe(group);
+                        span.attr_u64("group", group);
                     }
                     sync.synced_seq = sync.synced_seq.max(target);
                     // Captured together with `target` under the append
@@ -518,6 +532,7 @@ impl Durability {
             return Err(DurError::Poisoned);
         }
         let checkpoint_started = Instant::now();
+        let span = obs::trace::span("wal.checkpoint");
         let mut append = self.append.lock().unwrap_or_else(|e| e.into_inner());
         // Claim the sync token so no fsync races the truncation.
         {
@@ -598,6 +613,7 @@ impl Durability {
             metrics()
                 .checkpoint
                 .observe_duration(checkpoint_started.elapsed());
+            span.attr_u64("seq", seq);
         }
         result.map(|()| seq)
     }
@@ -810,7 +826,7 @@ mod tests {
         db.insert("team", &[("id".to_owned(), Value::Int(id))])
             .unwrap();
         let ops = db.txn_ops().unwrap();
-        let seq = durability.append_commit(&ops).unwrap();
+        let seq = durability.append_commit(&ops, None).unwrap();
         db.commit().unwrap();
         durability.sync_to(seq).unwrap();
     }
@@ -917,7 +933,7 @@ mod tests {
             db.insert("team", &[("id".to_owned(), Value::Int(id))])
                 .unwrap();
             let ops = db.txn_ops().unwrap();
-            seqs.push(durability.append_commit(&ops).unwrap());
+            seqs.push(durability.append_commit(&ops, None).unwrap());
             db.commit().unwrap();
         }
         durability.sync_to(*seqs.last().unwrap()).unwrap();
@@ -987,7 +1003,7 @@ mod tests {
         db.insert("team", &[("id".to_owned(), Value::Int(1))])
             .unwrap();
         let ops = db.txn_ops().unwrap();
-        let seq = durability.append_commit(&ops).unwrap();
+        let seq = durability.append_commit(&ops, None).unwrap();
         db.commit().unwrap();
         let fetched = durability
             .fetch_wal(edge, 0, Duration::from_millis(5))

@@ -4,7 +4,8 @@
 //! ```text
 //! file   := MAGIC record*
 //! record := len:u32  crc32(payload):u32  payload[len]
-//! payload:= BEGIN seq:u64
+//! payload:= BEGIN seq:u64 [trace:str]   (trace: originating request's
+//!                                        trace id, optional)
 //!         | OPS   seq:u64 delta group*  (insert/update/delete batches)
 //!         | COMMIT seq:u64
 //! delta  := base:u32 n_new:u32 str*     (strings this unit first
@@ -95,7 +96,17 @@ fn group_kind(op: &LogicalOp) -> (u8, &str) {
 /// unit are assigned the next dense pids and written into the unit's
 /// delta section. On a failed append the caller must undo those
 /// assignments ([`DictTable::truncate`] back to the pre-call length).
-pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp], dict: &mut DictTable) -> Vec<u8> {
+///
+/// `trace_id` is the originating request's trace id, stamped into the
+/// `BEGIN` record so a replica's apply can link back to the leader-side
+/// trace. `None` encodes the bare legacy `BEGIN` (9 bytes), which old
+/// logs hold and this decoder still accepts.
+pub fn encode_commit_unit(
+    seq: u64,
+    ops: &[LogicalOp],
+    dict: &mut DictTable,
+    trace_id: Option<&str>,
+) -> Vec<u8> {
     // Count batch boundaries first so the OPS payload can lead with
     // its group count.
     let mut groups: Vec<(u8, &str, &[LogicalOp])> = Vec::new();
@@ -141,8 +152,13 @@ pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp], dict: &mut DictTable) -> 
     }
     payload.extend_from_slice(&body);
 
-    let mut out = Vec::with_capacity(payload.len() + 42);
-    push_record(&mut out, &marker(KIND_BEGIN, seq));
+    let mut begin = marker(KIND_BEGIN, seq);
+    if let Some(trace) = trace_id {
+        put_str(&mut begin, trace);
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + begin.len() + 42);
+    push_record(&mut out, &begin);
     push_record(&mut out, &payload);
     push_record(&mut out, &marker(KIND_COMMIT, seq));
     out
@@ -154,7 +170,7 @@ pub fn encode_commit_unit(seq: u64, ops: &[LogicalOp], dict: &mut DictTable) -> 
 
 // One decoded record.
 enum Record {
-    Begin(u64),
+    Begin(u64, Option<String>),
     Ops(u64, Vec<LogicalOp>),
     Commit(u64),
 }
@@ -164,7 +180,16 @@ fn decode_payload(payload: &[u8], dict: &mut DictTable) -> DurResult<Record> {
     let kind = cursor.take_u8()?;
     let seq = cursor.take_u64()?;
     let record = match kind {
-        KIND_BEGIN => Record::Begin(seq),
+        KIND_BEGIN => {
+            // The trace id is optional: legacy records end right after
+            // the seq, traced records carry one trailing string.
+            let trace_id = if cursor.is_exhausted() {
+                None
+            } else {
+                Some(cursor.take_str()?)
+            };
+            Record::Begin(seq, trace_id)
+        }
         KIND_COMMIT => Record::Commit(seq),
         KIND_OPS => {
             // Dictionary delta: strings this unit assigned pids
@@ -250,6 +275,9 @@ pub struct CommitUnit {
     pub seq: u64,
     /// The transaction's logical operations, in application order.
     pub ops: Vec<LogicalOp>,
+    /// Trace id of the request that wrote the unit, if it was traced —
+    /// the cross-node link a replica's apply span attaches to.
+    pub trace_id: Option<String>,
 }
 
 /// Result of scanning a WAL byte stream (everything after the magic).
@@ -278,8 +306,9 @@ pub fn scan_records(data: &[u8], dict: &mut DictTable) -> WalScan {
     let mut durable_end = WAL_MAGIC.len() as u64;
     let mut durable_dict_len = dict.len();
     let mut pos = 0usize;
-    // The unit being assembled: (seq, ops once the OPS record arrived).
-    let mut pending: Option<(u64, Option<Vec<LogicalOp>>)> = None;
+    // The unit being assembled: (seq, trace id, ops once the OPS
+    // record arrived).
+    let mut pending: Option<(u64, Option<String>, Option<Vec<LogicalOp>>)> = None;
 
     while data.len() - pos >= 8 {
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
@@ -296,20 +325,20 @@ pub fn scan_records(data: &[u8], dict: &mut DictTable) -> WalScan {
         };
         pos += 8 + len as usize;
         match record {
-            Record::Begin(seq) => {
+            Record::Begin(seq, trace_id) => {
                 // A BEGIN while a unit is pending means the previous
                 // unit never committed; drop it and start over.
-                pending = Some((seq, None));
+                pending = Some((seq, trace_id, None));
             }
             Record::Ops(seq, ops) => match &mut pending {
-                Some((begin_seq, slot)) if *begin_seq == seq && slot.is_none() => {
+                Some((begin_seq, _, slot)) if *begin_seq == seq && slot.is_none() => {
                     *slot = Some(ops);
                 }
                 _ => break, // OPS without its BEGIN: bracketing broken
             },
             Record::Commit(seq) => match pending.take() {
-                Some((begin_seq, Some(ops))) if begin_seq == seq => {
-                    units.push(CommitUnit { seq, ops });
+                Some((begin_seq, trace_id, Some(ops))) if begin_seq == seq => {
+                    units.push(CommitUnit { seq, ops, trace_id });
                     durable_end = WAL_MAGIC.len() as u64 + pos as u64;
                     durable_dict_len = dict.len();
                 }
@@ -357,8 +386,13 @@ mod tests {
     fn commit_units_round_trip() {
         let mut wdict = DictTable::new();
         let mut stream = Vec::new();
-        stream.extend_from_slice(&encode_commit_unit(1, &sample_ops(), &mut wdict));
-        stream.extend_from_slice(&encode_commit_unit(2, &sample_ops()[..1], &mut wdict));
+        stream.extend_from_slice(&encode_commit_unit(
+            1,
+            &sample_ops(),
+            &mut wdict,
+            Some("abc-1-req"),
+        ));
+        stream.extend_from_slice(&encode_commit_unit(2, &sample_ops()[..1], &mut wdict, None));
         let mut rdict = DictTable::new();
         let scan = scan_records(&stream, &mut rdict);
         assert_eq!(scan.units.len(), 2);
@@ -379,10 +413,10 @@ mod tests {
     #[test]
     fn repeated_strings_cross_the_log_once() {
         let mut dict = DictTable::new();
-        let first = encode_commit_unit(1, &sample_ops(), &mut dict);
+        let first = encode_commit_unit(1, &sample_ops(), &mut dict, None);
         // A later unit reusing the same strings carries an empty delta
         // and fixed-width pid cells — far smaller than the first.
-        let second = encode_commit_unit(2, &sample_ops(), &mut dict);
+        let second = encode_commit_unit(2, &sample_ops(), &mut dict, None);
         assert!(second.len() < first.len());
         assert_eq!(dict.len(), 2); // "A" and "B", once each
     }
@@ -390,8 +424,8 @@ mod tests {
     #[test]
     fn torn_tail_at_every_byte_keeps_complete_units() {
         let mut wdict = DictTable::new();
-        let first = encode_commit_unit(1, &sample_ops(), &mut wdict);
-        let second = encode_commit_unit(2, &sample_ops(), &mut wdict);
+        let first = encode_commit_unit(1, &sample_ops(), &mut wdict, None);
+        let second = encode_commit_unit(2, &sample_ops(), &mut wdict, None);
         let mut stream = first.clone();
         stream.extend_from_slice(&second);
         let intact_end = WAL_MAGIC.len() as u64 + first.len() as u64;
@@ -410,8 +444,8 @@ mod tests {
     #[test]
     fn flipped_byte_drops_the_damaged_suffix() {
         let mut wdict = DictTable::new();
-        let first = encode_commit_unit(1, &sample_ops(), &mut wdict);
-        let second = encode_commit_unit(2, &sample_ops(), &mut wdict);
+        let first = encode_commit_unit(1, &sample_ops(), &mut wdict, None);
+        let second = encode_commit_unit(2, &sample_ops(), &mut wdict, None);
         let mut stream = first.clone();
         stream.extend_from_slice(&second);
         for flip_at in first.len()..stream.len() {
@@ -425,7 +459,7 @@ mod tests {
 
     #[test]
     fn unit_without_commit_is_not_applied() {
-        let full = encode_commit_unit(1, &sample_ops(), &mut DictTable::new());
+        let full = encode_commit_unit(1, &sample_ops(), &mut DictTable::new(), None);
         // Chop off the trailing COMMIT record (17 bytes: 8 header + 9
         // payload) — a complete BEGIN+OPS prefix, yet uncommitted.
         let chopped = &full[..full.len() - 17];
@@ -443,7 +477,7 @@ mod tests {
         // units behind whose deltas the snapshot table already covers:
         // the scan must verify, not re-extend.
         let mut wdict = DictTable::new();
-        let stream = encode_commit_unit(1, &sample_ops(), &mut wdict);
+        let stream = encode_commit_unit(1, &sample_ops(), &mut wdict, None);
         let mut seeded = wdict.clone(); // what the snapshot would embed
         let scan = scan_records(&stream, &mut seeded);
         assert_eq!(scan.units.len(), 1);
@@ -457,7 +491,7 @@ mod tests {
 
     #[test]
     fn empty_transaction_encodes_and_scans() {
-        let unit = encode_commit_unit(7, &[], &mut DictTable::new());
+        let unit = encode_commit_unit(7, &[], &mut DictTable::new(), None);
         let scan = scan_records(&unit, &mut DictTable::new());
         assert_eq!(scan.units.len(), 1);
         assert!(scan.units[0].ops.is_empty());

@@ -36,6 +36,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};

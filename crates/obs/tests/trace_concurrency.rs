@@ -1,0 +1,104 @@
+//! Trace-store concurrency: writer threads churn traces through the
+//! process-global store while it evicts under both retention classes.
+//! The invariants audited here are the ones the span model promises:
+//!
+//! * no lost parent links — every retained span's parent resolves
+//!   inside its own trace, and always to an earlier span;
+//! * tail-sampling priority — sampled churn fills the priority ring
+//!   with error/slow traces and never starves it;
+//! * the memory bound holds — the `spans_held` canary equals exactly
+//!   the spans retained across both rings, and stays under the
+//!   capacity-derived ceiling (the same style of audit PR 7's `Weak`
+//!   canary runs on the MVCC version chain).
+//!
+//! One test function on purpose: the global store is process-wide, and
+//! this integration binary is its only user, so the final accounting
+//! can be exact instead of monotone.
+
+use obs::trace::{self, MAX_SPANS_PER_TRACE};
+
+const THREADS: usize = 8;
+const TRACES_PER_THREAD: usize = 200;
+
+#[test]
+fn concurrent_churn_keeps_links_priority_and_the_memory_bound() {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..TRACES_PER_THREAD {
+                    let id = format!("churn-{t}-{i}");
+                    let tr = trace::start(&id, "request");
+                    assert!(tr.armed(), "one trace per thread must always arm");
+                    {
+                        let a = trace::span("stage.a");
+                        a.attr_u64("iteration", i as u64);
+                        {
+                            let b = trace::span("stage.b");
+                            b.attr_str("thread", "writer");
+                        }
+                    }
+                    drop(trace::span("stage.c"));
+                    // A deterministic mix of priority classes riding on
+                    // heavy sampled traffic.
+                    if i % 10 == 0 {
+                        trace::mark_slow();
+                    }
+                    if i % 17 == 0 {
+                        trace::mark_error();
+                    }
+                    assert!(tr.finish(), "armed traces are always retained on submit");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+
+    let store = trace::store();
+    let (priority, sampled) = store.counts();
+    let (priority_cap, sampled_cap) = store.capacities();
+
+    // Both rings bounded; the priority ring is *full* — each thread
+    // emitted ~30 priority traces (240 total against a cap of 64), and
+    // sampled churn must not have evicted any of them.
+    assert!(sampled <= sampled_cap);
+    assert_eq!(
+        priority, priority_cap,
+        "priority ring must be at capacity, never starved by sampled churn"
+    );
+
+    let index = store.index();
+    assert_eq!(index.len(), priority + sampled);
+    for record in &index {
+        // Every indexed trace is reachable by id (the operator's
+        // `GET /trace/<id>` path).
+        assert!(store.contains(&record.trace_id));
+        assert_eq!(record.spans.len(), 4, "root + three stage spans");
+        for span in &record.spans {
+            match span.parent {
+                None => assert_eq!(span.id, 0, "only the root is parentless"),
+                Some(parent) => {
+                    assert!(
+                        parent < span.id,
+                        "parents precede children ({} -> {parent})",
+                        span.id
+                    );
+                    assert_eq!(
+                        record.spans[parent as usize].id, parent,
+                        "parent link resolves within the trace"
+                    );
+                }
+            }
+            assert!(span.end_micros >= span.start_micros);
+        }
+    }
+
+    // The canary is exact — not just bounded — after quiescence.
+    let retained_spans: u64 = index.iter().map(|r| r.spans.len() as u64).sum();
+    assert_eq!(store.spans_held(), retained_spans);
+    assert!(
+        store.spans_held() <= ((priority_cap + sampled_cap) * MAX_SPANS_PER_TRACE) as u64,
+        "memory bound: spans held must stay under the capacity-derived ceiling"
+    );
+}

@@ -70,16 +70,35 @@ impl LeaderClient {
 
     /// `GET path` with the given read timeout (must exceed any
     /// server-side long-poll the path performs). On error the
-    /// connection is dropped so the next call starts fresh.
+    /// connection is dropped so the next call starts fresh. A fresh
+    /// request id is minted for the call; use
+    /// [`LeaderClient::get_with_request_id`] to choose it.
     pub fn get(&mut self, path: &str, read_timeout: Duration) -> std::io::Result<LeaderResponse> {
-        let result = self.get_inner(path, read_timeout);
+        self.get_with_request_id(path, read_timeout, &obs::next_request_id())
+    }
+
+    /// [`LeaderClient::get`] with an explicit request id, sent as
+    /// `X-Request-Id` so the leader's access log, error bodies, and
+    /// traces stitch to the follower call that caused them.
+    pub fn get_with_request_id(
+        &mut self,
+        path: &str,
+        read_timeout: Duration,
+        request_id: &str,
+    ) -> std::io::Result<LeaderResponse> {
+        let result = self.get_inner(path, read_timeout, request_id);
         if result.is_err() {
             self.disconnect();
         }
         result
     }
 
-    fn get_inner(&mut self, path: &str, read_timeout: Duration) -> std::io::Result<LeaderResponse> {
+    fn get_inner(
+        &mut self,
+        path: &str,
+        read_timeout: Duration,
+        request_id: &str,
+    ) -> std::io::Result<LeaderResponse> {
         if self.stream.is_none() {
             let addr = self.leader.to_socket_addrs()?.next().ok_or_else(|| {
                 bad(&format!(
@@ -95,7 +114,7 @@ impl LeaderClient {
         let stream = self.stream.as_mut().expect("connected above");
         stream.set_read_timeout(Some(read_timeout))?;
         let request = format!(
-            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nX-Request-Id: {request_id}\r\nConnection: keep-alive\r\n\r\n",
             self.leader
         );
         stream.write_all(request.as_bytes())?;
@@ -185,6 +204,31 @@ mod tests {
         assert_eq!(second.status, 409);
         assert_eq!(second.body, b"{}");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn request_id_header_reaches_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut head = [0u8; 4096];
+            let n = std::io::Read::read(&mut stream, &mut head).unwrap();
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            String::from_utf8_lossy(&head[..n]).into_owned()
+        });
+        let mut client = LeaderClient::new(addr.to_string());
+        let response = client
+            .get_with_request_id("/wal", Duration::from_secs(2), "follower-7-cafe")
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let head = server.join().unwrap();
+        assert!(
+            head.contains("X-Request-Id: follower-7-cafe\r\n"),
+            "request head must carry the id, got: {head}"
+        );
     }
 
     #[test]

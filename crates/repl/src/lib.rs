@@ -515,11 +515,23 @@ impl Tail {
                 self.epoch,
                 self.config.poll_timeout.as_millis()
             );
+            // Each fetch runs under its own trace, keyed by the request
+            // id the leader also sees (`X-Request-Id` on the wire), so
+            // leader-side logs stitch to the follower poll that caused
+            // them. Only data-carrying fetches are worth a store slot;
+            // caught-up polls and connection errors are discarded
+            // (logged and counted elsewhere).
+            let request_id = obs::next_request_id();
+            let fetch_trace = obs::trace::start(&request_id, "repl.fetch");
+            fetch_trace.attr_str("leader", self.client.leader());
+            fetch_trace.attr_u64("epoch", self.epoch);
+            fetch_trace.attr_u64("from", from);
             let fetch_started = Instant::now();
-            let response = match self
-                .client
-                .get(&path, self.config.poll_timeout + read_margin)
-            {
+            let response = match self.client.get_with_request_id(
+                &path,
+                self.config.poll_timeout + read_margin,
+                &request_id,
+            ) {
                 Ok(response) => {
                     metrics()
                         .fetch_rtt
@@ -527,6 +539,7 @@ impl Tail {
                     response
                 }
                 Err(e) => {
+                    fetch_trace.discard();
                     if connected {
                         self.status.inner.reconnects.fetch_add(1, Ordering::AcqRel);
                         metrics().reconnects.inc();
@@ -553,6 +566,13 @@ impl Tail {
                 }
             };
             self.status.touch_contact();
+            fetch_trace.attr_u64("status", response.status as u64);
+            fetch_trace.attr_u64("bytes", response.body.len() as u64);
+            if response.status == 200 && !response.body.is_empty() {
+                fetch_trace.finish();
+            } else {
+                fetch_trace.discard();
+            }
             match response.status {
                 200 => {
                     connected = true;
@@ -655,9 +675,25 @@ impl Tail {
             {
                 return Ok(());
             }
-            self.mediator
-                .apply_replicated(unit.seq, &unit.ops)
-                .map_err(|e| format!("replay of commit {} failed: {e}", unit.seq))?;
+            // A unit stamped with a trace id gets an apply trace under
+            // the *same* key, so `GET /trace/<request-id>` on this
+            // replica links the leader-side write to its local apply —
+            // the cross-node half of the trace.
+            let apply_trace = unit.trace_id.as_deref().map(|id| {
+                let trace = obs::trace::start(id, "repl.apply");
+                trace.attr_u64("leader_seq", unit.seq);
+                trace.attr_u64("epoch", self.epoch);
+                trace.attr_str("leader", self.client.leader());
+                trace.attr_u64("ops", unit.ops.len() as u64);
+                trace
+            });
+            if let Err(e) = self.mediator.apply_replicated(unit.seq, &unit.ops) {
+                // Drop glue submits the trace as an error trace
+                // (priority retention) on the way out.
+                obs::trace::mark_error();
+                return Err(format!("replay of commit {} failed: {e}", unit.seq));
+            }
+            drop(apply_trace);
             self.applied = unit.seq;
             self.status
                 .inner

@@ -83,6 +83,9 @@ pub struct ServerConfig {
     /// land in the bounded slow-query log surfaced on `/status`
     /// (`slow_queries`). `0` records every query.
     pub slow_query_ms: u64,
+    /// Entries retained by the slow-query ring (oldest evicted beyond
+    /// this).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +98,7 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(5),
             replication: None,
             slow_query_ms: 250,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -131,7 +135,7 @@ pub fn serve<A: ToSocketAddrs>(
         queue_capacity: config.queue_capacity.max(1),
         replication: config.replication.clone(),
         metrics: metrics::HttpMetrics::new(),
-        slow_log: metrics::SlowQueryLog::new(32),
+        slow_log: metrics::SlowQueryLog::new(config.slow_query_capacity),
         slow_query_micros: config.slow_query_ms.saturating_mul(1000),
     });
 
@@ -290,20 +294,21 @@ fn worker_loop(
     idle: Duration,
 ) {
     let session = ctx.mediator.read();
-    while let Some(stream) = queue.pop() {
+    while let Some((stream, queue_wait)) = queue.pop() {
         let _ = stream.set_nodelay(true);
         // A panicking handler must not take the worker down with it:
         // the connection is dropped, the next one is served. (Mediator
         // state stays consistent — a panicked WriteTxn rolls back in
         // its Drop.)
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(stream, registry, ctx, &session, limits, idle);
+            serve_connection(stream, queue_wait, registry, ctx, &session, limits, idle);
         }));
     }
 }
 
 fn serve_connection(
     stream: TcpStream,
+    queue_wait: Duration,
     registry: &ConnRegistry,
     ctx: &AppContext,
     session: &ReadSession,
@@ -311,6 +316,9 @@ fn serve_connection(
     idle: Duration,
 ) {
     let mut conn = Connection::new(stream, limits);
+    // The pool wait belongs to the first request on the connection;
+    // keep-alive successors never queued.
+    let mut queue_wait = Some(queue_wait);
     loop {
         let closing = registry.closing();
         // While draining, don't let a silent client park the worker:
@@ -333,7 +341,7 @@ fn serve_connection(
             // Peer closed between requests, or idle timeout: done.
             Ok(None) => return,
             Ok(Some(request)) => {
-                let response = router::handle_request(ctx, session, &request);
+                let response = router::handle_request(ctx, session, &request, queue_wait.take());
                 let keep_alive = request.wants_keep_alive() && !registry.closing();
                 let head_only = request.method == "HEAD";
                 if http::write_response(conn.stream(), &response, keep_alive, head_only).is_err() {

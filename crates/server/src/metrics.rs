@@ -26,6 +26,8 @@ const ENDPOINTS: &[&str] = &[
     "/snapshot",
     "/wal",
     "/snapshot/latest",
+    "/trace",
+    "/traces",
 ];
 
 /// Pre-resolved handles for the HTTP layer's metrics.
@@ -82,6 +84,12 @@ pub(crate) struct SlowQueryEntry {
     pub query: String,
     /// Total handler wall time, in microseconds.
     pub micros: u64,
+    /// The request id the query ran under — the handle for
+    /// `GET /trace/<request-id>` when `trace_retained` is set.
+    pub request_id: String,
+    /// Whether a trace was recorded for this request (slow traces are
+    /// tail-sampling priority, so a recorded trace is a retained one).
+    pub trace_retained: bool,
     /// Wall-clock capture time (Unix milliseconds).
     pub at_unix_ms: u64,
 }
@@ -106,7 +114,7 @@ impl SlowQueryLog {
     }
 
     /// Record one slow query, evicting the oldest entry at capacity.
-    pub fn record(&self, query: &str, micros: u64) {
+    pub fn record(&self, query: &str, micros: u64, request_id: &str, trace_retained: bool) {
         let mut text: String = query.chars().take(Self::TEXT_LIMIT).collect();
         if text.len() < query.len() {
             text.push('…');
@@ -122,6 +130,8 @@ impl SlowQueryLog {
         ring.push_back(SlowQueryEntry {
             query: text,
             micros,
+            request_id: request_id.to_owned(),
+            trace_retained,
             at_unix_ms,
         });
     }
@@ -145,20 +155,23 @@ mod tests {
     fn slow_query_log_evicts_oldest_at_capacity() {
         let log = SlowQueryLog::new(3);
         for i in 0..5 {
-            log.record(&format!("SELECT {i}"), i);
+            log.record(&format!("SELECT {i}"), i, &format!("req-{i}"), i % 2 == 0);
         }
         let entries = log.entries();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].query, "SELECT 2");
         assert_eq!(entries[2].query, "SELECT 4");
         assert_eq!(entries[2].micros, 4);
+        assert_eq!(entries[2].request_id, "req-4");
+        assert!(entries[2].trace_retained);
+        assert!(!entries[1].trace_retained);
     }
 
     #[test]
     fn slow_query_log_truncates_long_text() {
         let log = SlowQueryLog::new(1);
         let long = "x".repeat(SlowQueryLog::TEXT_LIMIT + 50);
-        log.record(&long, 1);
+        log.record(&long, 1, "req-long", false);
         let entry = &log.entries()[0];
         assert!(entry.query.chars().count() == SlowQueryLog::TEXT_LIMIT + 1);
         assert!(entry.query.ends_with('…'));

@@ -83,16 +83,19 @@ impl ConnQueue {
         Ok(())
     }
 
-    /// Dequeue the next connection, blocking while the queue is open
-    /// and empty. `None` means closed **and** drained — queued
-    /// connections are always served before workers exit.
-    pub fn pop(&self) -> Option<TcpStream> {
+    /// Dequeue the next connection (with how long it sat queued, so
+    /// the first request's trace can carry the pool wait), blocking
+    /// while the queue is open and empty. `None` means closed **and**
+    /// drained — queued connections are always served before workers
+    /// exit.
+    pub fn pop(&self) -> Option<(TcpStream, std::time::Duration)> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some((enqueued, stream)) = inner.deque.pop_front() {
                 metrics().depth.set(inner.deque.len() as u64);
-                metrics().wait.observe_duration(enqueued.elapsed());
-                return Some(stream);
+                let waited = enqueued.elapsed();
+                metrics().wait.observe_duration(waited);
+                return Some((stream, waited));
             }
             if inner.closed {
                 return None;

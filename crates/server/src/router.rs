@@ -11,6 +11,14 @@
 //! | `POST /snapshot`    | Admin checkpoint: snapshot the committed state, truncate the WAL (durable servers only) |
 //! | `GET /wal`          | Replication: committed WAL bytes from `from=` (absolute offset), long-polling when caught up (durable leaders only) |
 //! | `GET /snapshot/latest` | Replication: the newest snapshot file, for replica bootstrap (durable leaders only) |
+//! | `GET /traces`       | Index of retained traces (tail-sampled: error/slow priority + a sampled ring) |
+//! | `GET /trace/<id>`   | Span tree of one retained trace, keyed by its request id (JSON) |
+//!
+//! Two query-string switches ride on `/sparql`: `?profile=1` executes
+//! and attaches stage timings plus the chosen join plan as an
+//! `X-Profile` header; `?explain=1` answers the chosen plan as JSON
+//! **without executing**. `/update` honors `?profile=1` the same way
+//! (translate/sort/execute/WAL-append/fsync stage timings).
 //!
 //! Queries execute on the worker's shared [`ReadSession`]; updates
 //! serialize through the mediator's write transaction. Mediator
@@ -25,7 +33,9 @@ use crate::metrics::{HttpMetrics, SlowQueryLog};
 use crate::stats::ServerStats;
 use crate::wire;
 use ontoaccess::feedback::Feedback;
-use ontoaccess::mediator::{Mediator, QueryProfile, ReadSession};
+use ontoaccess::mediator::{
+    JoinPlan, Mediator, QueryExplain, QueryProfile, ReadSession, UpdateProfile,
+};
 use ontoaccess::OntoError;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,11 +66,27 @@ pub(crate) fn handle_request(
     ctx: &AppContext,
     session: &ReadSession,
     request: &Request,
+    queue_wait: Option<Duration>,
 ) -> Response {
     let started = Instant::now();
     let request_id = request_id_for(request);
     ctx.stats.record_request();
     ctx.metrics.in_flight.add(1);
+    // The request's trace, keyed by its id: every span the layers
+    // below emit on this thread (parse, plan, join steps, WAL append,
+    // fsync wait, …) parents into this root. Inert when [`obs`] is
+    // disabled.
+    let trace = obs::trace::start(&request_id, "request");
+    trace.attr_str("method", &request.method);
+    trace.attr_str("path", &request.path);
+    if let Some(wait) = queue_wait {
+        // Present only on a connection's first request: how long the
+        // accepted socket sat in the pool queue before a worker ran.
+        trace.attr_u64(
+            "queue_wait_micros",
+            wait.as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
     // HEAD is answered like GET everywhere GET is allowed; the
     // connection layer suppresses the body bytes while keeping the
     // Content-Length a GET would have produced (RFC 9110 §9.3.2).
@@ -71,8 +97,8 @@ pub(crate) fn handle_request(
     };
     let response = match (method, request.path.as_str()) {
         ("GET", "/") => usage(),
-        ("GET", "/sparql") => query_from_get(ctx, session, request),
-        ("POST", "/sparql") => query_from_post(ctx, session, request),
+        ("GET", "/sparql") => query_from_get(ctx, session, request, &request_id),
+        ("POST", "/sparql") => query_from_post(ctx, session, request, &request_id),
         ("POST", "/update") => update(ctx, request),
         ("GET", "/describe") => describe(session, request),
         ("GET", "/dump") => dump(session, request),
@@ -81,6 +107,8 @@ pub(crate) fn handle_request(
         ("POST", "/snapshot") => snapshot(ctx),
         ("GET", "/wal") => wal(ctx, request),
         ("GET", "/snapshot/latest") => snapshot_latest(ctx),
+        ("GET", "/traces") => traces_index(),
+        ("GET", path) if path.starts_with("/trace/") => trace_detail(path),
         (_, "/sparql") => method_not_allowed("GET, HEAD, POST"),
         (_, "/update") | (_, "/snapshot") => method_not_allowed("POST"),
         (_, "/describe")
@@ -89,7 +117,9 @@ pub(crate) fn handle_request(
         | (_, "/")
         | (_, "/metrics")
         | (_, "/wal")
-        | (_, "/snapshot/latest") => method_not_allowed("GET, HEAD"),
+        | (_, "/snapshot/latest")
+        | (_, "/traces") => method_not_allowed("GET, HEAD"),
+        (_, path) if path.starts_with("/trace/") => method_not_allowed("GET, HEAD"),
         _ => Response::new(
             404,
             ERROR_CONTENT_TYPE,
@@ -98,8 +128,18 @@ pub(crate) fn handle_request(
     };
     ctx.metrics.in_flight.sub(1);
     let elapsed = started.elapsed();
+    // Tail-sample classification happens here, where the outcome is
+    // known: failed and slow requests become priority traces.
+    trace.attr_u64("status", u64::from(response.status));
+    if response.status >= 400 {
+        obs::trace::mark_error();
+    }
+    if elapsed.as_micros().min(u64::MAX as u128) as u64 >= ctx.slow_query_micros {
+        obs::trace::mark_slow();
+    }
+    trace.finish();
     ctx.metrics
-        .endpoint(&request.path)
+        .endpoint(endpoint_series(&request.path))
         .observe_duration(elapsed);
     obs::log(
         obs::Level::Info,
@@ -114,6 +154,16 @@ pub(crate) fn handle_request(
         ],
     );
     attach_request_id(response, &request_id)
+}
+
+// The per-path `/trace/<id>` suffix would mint one latency series per
+// trace id; collapse it onto a single "/trace" series.
+fn endpoint_series(path: &str) -> &str {
+    if path.starts_with("/trace/") {
+        "/trace"
+    } else {
+        path
+    }
 }
 
 // Accept a sane inbound `X-Request-Id` (so a caller's trace id flows
@@ -167,7 +217,12 @@ fn usage() -> Response {
          GET  /metrics            Prometheus text exposition of all server metrics\n\
          POST /snapshot           admin checkpoint: snapshot state, truncate the WAL\n\
          GET  /wal?from=&epoch=   replication: committed WAL bytes from an absolute offset (long-poll)\n\
-         GET  /snapshot/latest    replication: the newest snapshot file for replica bootstrap\n",
+         GET  /snapshot/latest    replication: the newest snapshot file for replica bootstrap\n\
+         GET  /traces             index of retained traces (tail-sampled)\n\
+         GET  /trace/<request-id> span tree of one retained trace (JSON)\n\
+         \n\
+         /sparql switches: ?profile=1 (X-Profile stage timings + join plan), ?explain=1 (plan JSON, no execution)\n\
+         /update switches: ?profile=1 (X-Profile update stage timings)\n",
     )
 }
 
@@ -184,9 +239,14 @@ fn method_not_allowed(allow: &str) -> Response {
 // Queries
 // ----------------------------------------------------------------------
 
-fn query_from_get(ctx: &AppContext, session: &ReadSession, request: &Request) -> Response {
+fn query_from_get(
+    ctx: &AppContext,
+    session: &ReadSession,
+    request: &Request,
+    request_id: &str,
+) -> Response {
     match request.param("query") {
-        Some(text) => run_query(ctx, session, text, request),
+        Some(text) => run_query(ctx, session, text, request, request_id),
         None => Response::new(
             400,
             ERROR_CONTENT_TYPE,
@@ -195,7 +255,12 @@ fn query_from_get(ctx: &AppContext, session: &ReadSession, request: &Request) ->
     }
 }
 
-fn query_from_post(ctx: &AppContext, session: &ReadSession, request: &Request) -> Response {
+fn query_from_post(
+    ctx: &AppContext,
+    session: &ReadSession,
+    request: &Request,
+    request_id: &str,
+) -> Response {
     let text = match request.content_type().as_deref() {
         Some(SPARQL_QUERY) => String::from_utf8_lossy(&request.body).into_owned(),
         Some(FORM) => {
@@ -225,10 +290,25 @@ fn query_from_post(ctx: &AppContext, session: &ReadSession, request: &Request) -
             )
         }
     };
-    run_query(ctx, session, &text, request)
+    run_query(ctx, session, &text, request, request_id)
 }
 
-fn run_query(ctx: &AppContext, session: &ReadSession, text: &str, request: &Request) -> Response {
+fn run_query(
+    ctx: &AppContext,
+    session: &ReadSession,
+    text: &str,
+    request: &Request,
+    request_id: &str,
+) -> Response {
+    // `?explain=1`: describe the chosen plan without executing it. The
+    // body is always JSON (there is no result set to negotiate).
+    if request.param("explain").is_some_and(|v| v == "1") {
+        ctx.stats.record_query();
+        return match session.explain_query(text) {
+            Ok(explain) => Response::new(200, wire::JSON, explain_json(&explain)),
+            Err(error) => mediator_error(&error),
+        };
+    }
     let Some((content_type, format)) = wire::negotiate_results(request.header("accept")) else {
         return not_acceptable(
             "results",
@@ -247,12 +327,16 @@ fn run_query(ctx: &AppContext, session: &ReadSession, text: &str, request: &Requ
     };
     let micros = query_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     if micros >= ctx.slow_query_micros {
-        ctx.slow_log.record(text, micros);
+        // Flag the active trace *now* so tail sampling pins it to the
+        // priority ring; the ring entry then links to it by id.
+        obs::trace::mark_slow();
+        ctx.slow_log
+            .record(text, micros, request_id, obs::trace::is_active());
         obs::log(
             obs::Level::Warn,
             "http",
             "slow query",
-            &[("micros", &micros), ("query", &text)],
+            &[("id", &request_id), ("micros", &micros), ("query", &text)],
         );
     }
     match result {
@@ -283,16 +367,22 @@ fn outcome_response(
     Response::new(200, content_type, body)
 }
 
-// The `X-Profile` trailer: the chosen plan (per-join strategy) and
-// per-stage wall times, one line of JSON so it survives as a header.
-fn profile_json(profile: &QueryProfile) -> String {
-    let joins = json_array(profile.joins.iter().map(|join| {
+// The joins array shared *byte for byte* by `?profile=1` and
+// `?explain=1` — one renderer over the one [`JoinPlan`] computation, so
+// EXPLAIN output can be diffed against a profiled execution directly.
+fn join_plan_json(joins: &[JoinPlan]) -> String {
+    json_array(joins.iter().map(|join| {
         JsonObject::new()
             .str("table", &join.table)
             .str("column", &join.column)
             .str("strategy", join.strategy)
             .finish()
-    }));
+    }))
+}
+
+// The `X-Profile` trailer: the chosen plan (per-join strategy) and
+// per-stage wall times, one line of JSON so it survives as a header.
+fn profile_json(profile: &QueryProfile) -> String {
     JsonObject::new()
         .bool("cache_hit", profile.cache_hit)
         .u64("parse_micros", profile.parse_micros)
@@ -300,9 +390,24 @@ fn profile_json(profile: &QueryProfile) -> String {
         .u64("execute_micros", profile.execute_micros)
         .u64("version_seq", profile.version_seq)
         .u64("rows", profile.rows as u64)
-        .raw("joins", &joins)
+        .raw("joins", &join_plan_json(&profile.joins))
         .u64("join_keys", profile.join_keys as u64)
         .u64("residual_conjuncts", profile.residual_conjuncts as u64)
+        .finish()
+}
+
+// The `?explain=1` body: the plan the executor *would* run — conjunct
+// classification, join order and strategy, snapshot coordinates —
+// without touching row data.
+fn explain_json(explain: &QueryExplain) -> String {
+    JsonObject::new()
+        .bool("cache_hit", explain.cache_hit)
+        .str("form", explain.form)
+        .u64("version_seq", explain.version_seq)
+        .raw("joins", &join_plan_json(&explain.joins))
+        .u64("join_keys", explain.join_keys as u64)
+        .u64("conjuncts", explain.conjuncts as u64)
+        .u64("residual_conjuncts", explain.residual_conjuncts as u64)
         .finish()
 }
 
@@ -344,9 +449,21 @@ fn update(ctx: &AppContext, request: &Request) -> Response {
     // A request may carry several operations separated by `;`
     // (SPARQL 1.1 update request); the whole request is executed as
     // one atomic write transaction, and the answer is the paper's §6
-    // feedback document either way.
-    let (status, feedback) = match ctx.mediator.execute_script(&text, true) {
-        Ok(outcomes) => {
+    // feedback document either way. `?profile=1` runs the same atomic
+    // path with per-stage timing and answers it as an `X-Profile`
+    // header alongside the unchanged feedback body.
+    let profiled = request.param("profile").is_some_and(|v| v == "1");
+    let result = if profiled {
+        ctx.mediator
+            .execute_script_profiled(&text)
+            .map(|(outcomes, profile)| (outcomes, Some(profile)))
+    } else {
+        ctx.mediator
+            .execute_script(&text, true)
+            .map(|outcomes| (outcomes, None))
+    };
+    let (status, feedback, profile) = match result {
+        Ok((outcomes, profile)) => {
             let operation = match outcomes.as_slice() {
                 [only] => only.operation.clone(),
                 many => format!("UPDATE SCRIPT ({} operations)", many.len()),
@@ -360,6 +477,7 @@ fn update(ctx: &AppContext, request: &Request) -> Response {
                     statements,
                     rows,
                 },
+                profile,
             )
         }
         Err(script_error) => {
@@ -376,10 +494,29 @@ fn update(ctx: &AppContext, request: &Request) -> Response {
                     operation,
                     error: script_error.error,
                 },
+                None,
             )
         }
     };
-    Response::new(status, wire::TURTLE, feedback.to_turtle())
+    let response = Response::new(status, wire::TURTLE, feedback.to_turtle());
+    match profile {
+        Some(p) => response.with_header("X-Profile", &update_profile_json(&p)),
+        None => response,
+    }
+}
+
+// The update `X-Profile` trailer: where a write's wall time went, from
+// parse through the covering group fsync.
+fn update_profile_json(profile: &UpdateProfile) -> String {
+    JsonObject::new()
+        .u64("parse_micros", profile.parse_micros)
+        .u64("translate_micros", profile.translate_micros)
+        .u64("sort_micros", profile.sort_micros)
+        .u64("execute_micros", profile.execute_micros)
+        .u64("wal_append_micros", profile.wal_append_micros)
+        .u64("fsync_micros", profile.fsync_micros)
+        .u64("operations", profile.operations as u64)
+        .finish()
 }
 
 // ----------------------------------------------------------------------
@@ -469,6 +606,8 @@ fn status(ctx: &AppContext) -> Response {
         JsonObject::new()
             .str("query", &entry.query)
             .u64("micros", entry.micros)
+            .str("request_id", &entry.request_id)
+            .bool("trace_retained", entry.trace_retained)
             .u64("at_unix_ms", entry.at_unix_ms)
             .finish()
     }));
@@ -814,6 +953,95 @@ fn snapshot_latest(ctx: &AppContext) -> Response {
             .with_header("X-Wal-Epoch", &seq.to_string()),
         Err(error) => mediator_error(&error),
     }
+}
+
+// ----------------------------------------------------------------------
+// Traces
+// ----------------------------------------------------------------------
+
+// `GET /traces`: the retained-trace index, newest first, with the
+// store's occupancy and its memory-bound canary. Entry summaries only;
+// follow `trace_id` to `/trace/<id>` for the span tree.
+fn traces_index() -> Response {
+    let store = obs::trace::store();
+    let (priority, sampled) = store.counts();
+    let (priority_capacity, sampled_capacity) = store.capacities();
+    let traces = json_array(store.index().into_iter().map(|record| {
+        JsonObject::new()
+            .str("trace_id", &record.trace_id)
+            .str("root", record.root)
+            .u64("started_unix_ms", record.started_unix_ms)
+            .u64("duration_micros", record.duration_micros)
+            .bool("error", record.error)
+            .bool("slow", record.slow)
+            .u64("spans", record.spans.len() as u64)
+            .finish()
+    }));
+    let body = JsonObject::new()
+        .u64("priority", priority as u64)
+        .u64("sampled", sampled as u64)
+        .u64("priority_capacity", priority_capacity as u64)
+        .u64("sampled_capacity", sampled_capacity as u64)
+        .u64("spans_held", store.spans_held())
+        .raw("traces", &traces)
+        .finish();
+    Response::new(200, wire::JSON, body)
+}
+
+// `GET /trace/<request-id>`: the span tree of one retained trace. A
+// miss is a plain 404 — the id may never have been traced, or its
+// trace was ring-sampled away (only error/slow traces are pinned).
+fn trace_detail(path: &str) -> Response {
+    let id = &path["/trace/".len()..];
+    match obs::trace::store().get(id) {
+        Some(record) => Response::new(200, wire::JSON, trace_json(&record)),
+        None => Response::new(
+            404,
+            ERROR_CONTENT_TYPE,
+            protocol_error_body(
+                404,
+                &format!("no retained trace {id:?} (traces are tail-sampled; see /traces)"),
+            ),
+        ),
+    }
+}
+
+// One trace as JSON: the record header plus its spans in recording
+// order. The tree is encoded by `parent` span ids (`null` on the
+// root); offsets are microseconds from the trace start.
+fn trace_json(record: &obs::trace::TraceRecord) -> String {
+    let spans = json_array(record.spans.iter().map(|span| {
+        JsonObject::new()
+            .u64("id", u64::from(span.id))
+            .opt_u64("parent", span.parent.map(u64::from))
+            .str("name", span.name)
+            .u64("start_micros", span.start_micros)
+            .u64("end_micros", span.end_micros)
+            .raw("attrs", &span_attrs_json(&span.attrs))
+            .finish()
+    }));
+    JsonObject::new()
+        .str("trace_id", &record.trace_id)
+        .str("root", record.root)
+        .u64("started_unix_ms", record.started_unix_ms)
+        .u64("duration_micros", record.duration_micros)
+        .bool("error", record.error)
+        .bool("slow", record.slow)
+        .u64("spans_dropped", record.spans_dropped)
+        .raw("spans", &spans)
+        .finish()
+}
+
+fn span_attrs_json(attrs: &[(&'static str, obs::trace::AttrValue)]) -> String {
+    let mut object = JsonObject::new();
+    for (key, value) in attrs {
+        object = match value {
+            obs::trace::AttrValue::U64(v) => object.u64(key, *v),
+            obs::trace::AttrValue::Str(v) => object.str(key, v),
+            obs::trace::AttrValue::Bool(v) => object.bool(key, *v),
+        };
+    }
+    object.finish()
 }
 
 // ----------------------------------------------------------------------

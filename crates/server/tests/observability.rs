@@ -1,7 +1,8 @@
 //! Observability integration tests: the `/metrics` Prometheus
 //! exposition (validated with the fixtures' format checker), per-query
-//! profiling (`?profile=1` → `X-Profile`), request-id propagation, and
-//! the bounded slow-query log on `/status`.
+//! profiling (`?profile=1` → `X-Profile`), request-id propagation,
+//! the bounded slow-query log on `/status`, the trace endpoints
+//! (`/trace/<id>`, `/traces`), `?explain=1`, and update profiling.
 
 use fixtures::http_probe::{one_shot, urlencode, ProbeResponse};
 use ontoaccess_server::{serve, ServerConfig, ServerHandle};
@@ -199,6 +200,37 @@ fn request_ids_are_echoed_or_generated_and_attached_to_errors() {
 // ----------------------------------------------------------------------
 
 #[test]
+fn slow_ring_entries_link_to_retained_traces() {
+    // Threshold 0: the query is "slow", so its trace is pinned to the
+    // priority ring and the slow-ring entry links to it by request id.
+    let server = test_server(0);
+    let response = send(
+        &server,
+        &format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: t\r\n\
+             X-Request-Id: slow-link-1\r\nConnection: close\r\n\r\n",
+            urlencode(PERSONS)
+        ),
+    );
+    assert_eq!(response.status, 200);
+    let status = get(&server, "/status");
+    let text = status.text();
+    assert!(
+        text.contains("\"request_id\":\"slow-link-1\""),
+        "ring entry names the request id: {text}"
+    );
+    assert!(
+        text.contains("\"trace_retained\":true"),
+        "ring entry flags the retained trace: {text}"
+    );
+    // The flagged id resolves on the trace endpoint.
+    let trace = get(&server, "/trace/slow-link-1");
+    assert_eq!(trace.status, 200);
+    assert!(trace.text().contains("\"trace_id\":\"slow-link-1\""));
+    server.shutdown();
+}
+
+#[test]
 fn slow_query_log_is_bounded_and_surfaced_on_status() {
     // Threshold 0: every query is "slow", so the ring must evict.
     let server = test_server(0);
@@ -218,5 +250,181 @@ fn slow_query_log_is_bounded_and_surfaced_on_status() {
     // The oldest queries were evicted, the newest retained.
     assert!(!text.contains("?x0 "), "oldest evicted: {text}");
     assert!(text.contains("?x39"), "newest retained: {text}");
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Trace endpoints
+// ----------------------------------------------------------------------
+
+#[test]
+fn trace_endpoint_returns_the_span_tree_of_a_slow_query() {
+    // Threshold 0: the request is tail-classified slow, so its trace
+    // lands in the priority ring and `/trace/<id>` must resolve it.
+    let server = test_server(0);
+    let response = send(
+        &server,
+        &format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: t\r\n\
+             X-Request-Id: traced-join-1\r\nConnection: close\r\n\r\n",
+            urlencode(JOIN_QUERY)
+        ),
+    );
+    assert_eq!(response.status, 200);
+
+    let trace = get(&server, "/trace/traced-join-1");
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.header("content-type"), Some("application/json"));
+    let text = trace.text();
+    // Record header: keyed by the request id, classified slow.
+    assert!(text.contains("\"trace_id\":\"traced-join-1\""), "{text}");
+    assert!(text.contains("\"root\":\"request\""), "{text}");
+    assert!(text.contains("\"slow\":true"), "{text}");
+    // The span tree crosses the server layer into core: the root
+    // request span parents the query pipeline, joins included.
+    for span in [
+        "\"name\":\"query.parse\"",
+        "\"name\":\"query.plan\"",
+        "\"name\":\"query.execute\"",
+        "\"name\":\"query.join\"",
+    ] {
+        assert!(text.contains(span), "{span} in {text}");
+    }
+    assert!(
+        text.contains("\"parent\":null") && text.contains("\"parent\":0"),
+        "root is parentless, top-level spans parent to it: {text}"
+    );
+    assert!(
+        text.contains("\"strategy\":"),
+        "join spans carry the strategy: {text}"
+    );
+
+    // The index lists it, with store occupancy and the span canary.
+    let index = get(&server, "/traces");
+    assert_eq!(index.status, 200);
+    let text = index.text();
+    assert!(text.contains("\"trace_id\":\"traced-join-1\""), "{text}");
+    for key in [
+        "\"priority\":",
+        "\"sampled\":",
+        "\"spans_held\":",
+        "\"traces\":[",
+    ] {
+        assert!(text.contains(key), "{key} in {text}");
+    }
+
+    // Unknown ids answer a JSON 404.
+    let missing = get(&server, "/trace/never-seen");
+    assert_eq!(missing.status, 404);
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// ?explain=1
+// ----------------------------------------------------------------------
+
+#[test]
+fn explain_matches_the_profiled_join_plan_without_executing() {
+    let server = test_server(250);
+    let profile_target = format!("/sparql?query={}&profile=1", urlencode(JOIN_QUERY));
+    // First run compiles against a snapshot pinned before the join
+    // indexes were provisioned; the steady state (cache hit, fresh
+    // pin) is what EXPLAIN must match byte for byte.
+    assert_eq!(get(&server, &profile_target).status, 200);
+    let profiled = get(&server, &profile_target);
+    assert_eq!(profiled.status, 200);
+    let profile = profiled.header("x-profile").expect("X-Profile").to_owned();
+
+    let explained = get(
+        &server,
+        &format!("/sparql?query={}&explain=1", urlencode(JOIN_QUERY)),
+    );
+    assert_eq!(explained.status, 200);
+    assert_eq!(explained.header("content-type"), Some("application/json"));
+    let body = explained.text();
+    assert!(body.contains("\"form\":\"select\""), "{body}");
+    assert!(body.contains("\"cache_hit\":true"), "{body}");
+    for key in [
+        "\"version_seq\":",
+        "\"join_keys\":",
+        "\"conjuncts\":",
+        "\"residual_conjuncts\":",
+    ] {
+        assert!(body.contains(key), "{key} in {body}");
+    }
+    // No execution: EXPLAIN reports the plan, never row data.
+    assert!(
+        !body.contains("\"rows\""),
+        "explain must not execute: {body}"
+    );
+
+    // The joins array — join order, index selections — is the same
+    // bytes on both surfaces (shared renderer over the shared plan
+    // computation).
+    let joins_of = |s: &str| {
+        let start = s.find("\"joins\":[").expect("joins array");
+        let end = s[start..].find(']').expect("closed array");
+        s[start..start + end + 1].to_owned()
+    };
+    assert_eq!(
+        joins_of(&body),
+        joins_of(&profile),
+        "explain joins must be byte-identical to the profiled plan"
+    );
+    server.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Update ?profile=1
+// ----------------------------------------------------------------------
+
+#[test]
+fn update_profile_param_returns_stage_timings() {
+    let server = test_server(250);
+    let update = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+                  PREFIX ont: <http://example.org/ontology#>\n\
+                  PREFIX ex: <http://example.org/db/>\n\
+                  INSERT DATA { ex:team8 foaf:name \"Profiled\" ; ont:teamCode \"PRF\" . }";
+    let response = send(
+        &server,
+        &format!(
+            "POST /update?profile=1 HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/sparql-update\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{update}",
+            update.len()
+        ),
+    );
+    assert_eq!(response.status, 200);
+    let profile = response.header("x-profile").expect("X-Profile on update");
+    for key in [
+        "\"parse_micros\":",
+        "\"translate_micros\":",
+        "\"sort_micros\":",
+        "\"execute_micros\":",
+        "\"wal_append_micros\":",
+        "\"fsync_micros\":",
+        "\"operations\":1",
+    ] {
+        assert!(profile.contains(key), "{key} in {profile}");
+    }
+    // The feedback document still answers the body.
+    assert!(
+        response.text().contains("Confirmation"),
+        "feedback body kept"
+    );
+
+    // A plain update is unaffected.
+    let update2 = update.replace("team8", "team7").replace("PRF", "PR7");
+    let plain = send(
+        &server,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/sparql-update\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{update2}",
+            update2.len()
+        ),
+    );
+    assert_eq!(plain.status, 200);
+    assert!(plain.header("x-profile").is_none());
     server.shutdown();
 }

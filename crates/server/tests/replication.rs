@@ -384,3 +384,114 @@ fn follower_serves_reads_refuses_writes_and_reports_status() {
     replicator.stop();
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+// ----------------------------------------------------------------------
+// Cross-node tracing
+// ----------------------------------------------------------------------
+
+// The tracing acceptance path: a slow leader write produces one trace
+// whose span tree crosses server → core → dur, its id rides the WAL
+// commit unit to the follower, and the follower's apply trace under
+// the *same* id names the matching leader seq.
+//
+// In production the two stores live in two processes; here both ends
+// share the process-global store, where a same-id insert replaces. So
+// the leader's span tree is verified *before* the replicator starts,
+// and the apply trace (which then takes the id over) after.
+#[test]
+fn slow_leader_write_traces_across_layers_and_links_the_follower_apply() {
+    let dir = fixtures::scratch_dir("repl-trace-xnode");
+    let (mediator, _) = fixtures::durable_mediator_with_sample_data(&dir);
+    let leader = serve(
+        mediator,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            // Threshold 0: the write is tail-classified slow, pinning
+            // its trace to the priority ring.
+            slow_query_ms: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+
+    // One request id for the whole topology.
+    let update = insert_author(60);
+    let response = send(
+        &leader,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-update\r\n\
+             X-Request-Id: xnode-write-60\r\nContent-Length: {}\r\nConnection: close\r\n\r\n\
+             {update}",
+            update.len()
+        ),
+    );
+    assert_eq!(response.status, 200, "{}", response.text());
+
+    // Leader: the retained trace's span tree crosses every layer — the
+    // server's request root, core's update pipeline and commit, dur's
+    // WAL append and group-fsync wait.
+    let leader_trace = get(&leader, "/trace/xnode-write-60");
+    assert_eq!(leader_trace.status, 200, "{}", leader_trace.text());
+    let text = leader_trace.text();
+    assert!(text.contains("\"trace_id\":\"xnode-write-60\""), "{text}");
+    assert!(text.contains("\"root\":\"request\""), "{text}");
+    assert!(text.contains("\"slow\":true"), "{text}");
+    for span in [
+        "\"name\":\"update.parse\"",
+        "\"name\":\"update.translate\"",
+        "\"name\":\"txn.commit\"",
+        "\"name\":\"wal.append\"",
+        "\"name\":\"wal.fsync_wait\"",
+    ] {
+        assert!(text.contains(span), "{span} in {text}");
+    }
+    assert!(
+        text.contains("\"seq\":1"),
+        "the commit seq rides the WAL spans: {text}"
+    );
+
+    // Bootstrap the follower: it tails the WAL, meets the commit unit
+    // stamped with the write's trace id, and applies it under an apply
+    // trace keyed by that id.
+    let (follower_mediator, replicator) = repl::Replicator::start(
+        leader.addr().to_string(),
+        fixtures::database(),
+        fixtures::mapping(),
+        repl::ReplicatorConfig {
+            poll_timeout: Duration::from_millis(500),
+            ..repl::ReplicatorConfig::default()
+        },
+    )
+    .expect("bootstrap against live leader");
+    let status = replicator.status();
+    let follower = serve(
+        follower_mediator,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            replication: Some(status.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind follower port");
+    wait_for_lag_zero(&status, 1);
+
+    // Follower: the apply trace under the same id links back to the
+    // leader write, and its leader_seq matches the commit.
+    let follower_trace = get(&follower, "/trace/xnode-write-60");
+    assert_eq!(follower_trace.status, 200, "{}", follower_trace.text());
+    let text = follower_trace.text();
+    assert!(text.contains("\"trace_id\":\"xnode-write-60\""), "{text}");
+    assert!(text.contains("\"root\":\"repl.apply\""), "{text}");
+    assert!(text.contains("\"leader_seq\":1"), "{text}");
+    assert!(
+        text.contains(&format!("\"leader\":\"{}\"", leader.addr())),
+        "{text}"
+    );
+
+    follower.shutdown();
+    leader.shutdown();
+    replicator.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

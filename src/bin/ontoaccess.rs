@@ -20,7 +20,8 @@
 //! `--log-level LEVEL` (error/warn/info/debug/off, or `target=level`
 //! pairs; env `ONTOACCESS_LOG` works too) turns on logfmt structured
 //! logs on stderr. `--slow-query-ms N` sets the slow-query-log
-//! threshold surfaced under `/status` (`0` records every query).
+//! threshold surfaced under `/status` (`0` records every query);
+//! `--slow-query-capacity N` sizes that ring (default 32).
 //!
 //! `--data-dir DIR` makes committed updates durable: the directory
 //! holds a write-ahead log plus snapshots, and booting on an existing
@@ -98,6 +99,7 @@ struct Options {
     data_dir: Option<String>,
     replicate_from: Option<String>,
     slow_query_ms: u64,
+    slow_query_capacity: usize,
 }
 
 impl Options {
@@ -111,6 +113,7 @@ impl Options {
             data_dir: None,
             replicate_from: None,
             slow_query_ms: ServerConfig::default().slow_query_ms,
+            slow_query_capacity: ServerConfig::default().slow_query_capacity,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -172,11 +175,19 @@ impl Options {
                         std::process::exit(2);
                     }
                 },
+                "--slow-query-capacity" => match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => options.slow_query_capacity = n,
+                    None => {
+                        eprintln!("--slow-query-capacity needs an entry count (usize)");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!(
                         "unknown argument {other:?} (supported: --empty, --populate N, \
                          --seed S, --serve ADDR, --workers N, --data-dir DIR, \
-                         --replicate-from ADDR, --log-level LEVEL, --slow-query-ms N)"
+                         --replicate-from ADDR, --log-level LEVEL, --slow-query-ms N, \
+                         --slow-query-capacity N)"
                     );
                     std::process::exit(2);
                 }
@@ -264,6 +275,7 @@ fn run_replica(leader: &str, options: &Options) {
         workers: options.workers.max(1),
         replication: Some(replicator.status()),
         slow_query_ms: options.slow_query_ms,
+        slow_query_capacity: options.slow_query_capacity,
         ..ServerConfig::default()
     };
     let handle = match serve(mediator, addr, config) {
@@ -287,6 +299,7 @@ fn run_server(endpoint: Endpoint, addr: &str, options: &Options) {
     let config = ServerConfig {
         workers: options.workers.max(1),
         slow_query_ms: options.slow_query_ms,
+        slow_query_capacity: options.slow_query_capacity,
         ..ServerConfig::default()
     };
     let handle = match serve(endpoint.into_mediator(), addr, config) {
